@@ -1,0 +1,45 @@
+//! Figure 1 — the Valve behavior diagram.
+//!
+//! Regenerates the figure end-to-end from Listing 2.1: parse → spec →
+//! validation → DOT, with each stage also measured separately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use micropython_parser::parse_module;
+use shelley_bench::PAPER_SOURCE;
+use shelley_core::{build_systems, spec_diagram};
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1/parse_listing_2_1", |b| {
+        b.iter(|| parse_module(PAPER_SOURCE).expect("parses").classes().count())
+    });
+
+    let module = parse_module(PAPER_SOURCE).unwrap();
+    c.bench_function("fig1/build_valve_spec", |b| {
+        b.iter(|| {
+            let (systems, _) = build_systems(&module);
+            systems.get("Valve").expect("valve").spec.operations.len()
+        })
+    });
+
+    let (systems, _) = build_systems(&module);
+    let valve = systems.get("Valve").unwrap();
+    c.bench_function("fig1/render_diagram", |b| {
+        b.iter(|| spec_diagram(&valve.spec).len())
+    });
+
+    c.bench_function("fig1/end_to_end", |b| {
+        b.iter(|| {
+            let module = parse_module(PAPER_SOURCE).expect("parses");
+            let (systems, diags) = build_systems(&module);
+            assert!(!diags.has_errors());
+            spec_diagram(&systems.get("Valve").expect("valve").spec).len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 3 — the Sector method-dependency graph (§3.1).
+//!
+//! Regenerates the figure from Listing 3.1 (entry node per method, exit
+//! node per return, ordering arcs) and sweeps graph extraction over
+//! growing synthetic specs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micropython_parser::parse_module;
+use shelley_bench::{chain_class, SECTOR_SOURCE};
+use shelley_core::extract::dependency::DependencyGraph;
+use shelley_core::build_systems;
+
+fn bench_fig3(c: &mut Criterion) {
+    let module = parse_module(SECTOR_SOURCE).unwrap();
+    let (systems, _) = build_systems(&module);
+    let sector = systems.get("Sector").unwrap();
+
+    c.bench_function("fig3/dependency_graph_of_sector", |b| {
+        b.iter(|| {
+            let g = DependencyGraph::from_spec(&sector.spec);
+            assert_eq!(g.entry_count(), 4);
+            assert_eq!(g.exit_count(), 6);
+            g.edges.len()
+        })
+    });
+
+    c.bench_function("fig3/render_dot", |b| {
+        let g = DependencyGraph::from_spec(&sector.spec);
+        b.iter(|| g.to_dot().len())
+    });
+
+    let mut group = c.benchmark_group("fig3/dependency_graph_scaling");
+    for n in [10usize, 50, 200] {
+        let src = chain_class("Chain", n);
+        let module = parse_module(&src).unwrap();
+        let (systems, _) = build_systems(&module);
+        let chain = systems.get("Chain").unwrap().spec.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, spec| {
+            b.iter(|| DependencyGraph::from_spec(spec).edges.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Figure 4 — the calculus: trace semantics vs behavior inference.
+//!
+//! Regenerates the formal core's behavior on Examples 1–3 and
+//! characterizes the central algorithmic claim implicit in the paper:
+//! behavior inference is **syntax-directed** (near-linear in program
+//! size), whereas deciding membership through the operational semantics
+//! costs polynomial per trace and enumerating traces is exponential — the
+//! reason Shelley infers a regular expression once instead of exploring
+//! traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shelley_ir::generate::{generate_program, GenConfig};
+use shelley_ir::{enumerate_traces, infer, EnumConfig, Program, Status, TraceChecker};
+use shelley_regular::Alphabet;
+
+fn example_program() -> (Alphabet, Program) {
+    let mut ab = Alphabet::new();
+    let (a, b, c) = (ab.intern("a"), ab.intern("b"), ab.intern("c"));
+    let p = Program::loop_(Program::seq(
+        Program::call(a),
+        Program::if_(
+            Program::seq(Program::call(b), Program::ret(0)),
+            Program::call(c),
+        ),
+    ));
+    (ab, p)
+}
+
+fn bench_examples(c: &mut Criterion) {
+    let (ab, p) = example_program();
+    let a = ab.lookup("a").unwrap();
+    let b = ab.lookup("b").unwrap();
+    let cc = ab.lookup("c").unwrap();
+
+    c.bench_function("fig4/example1_2_trace_judgment", |bch| {
+        bch.iter(|| {
+            let checker = TraceChecker::new(&p);
+            assert!(checker.derivable(Status::Ongoing, &[a, cc, a, cc]));
+            assert!(checker.derivable(Status::Returned, &[a, cc, a, b]));
+        })
+    });
+
+    c.bench_function("fig4/example3_inference", |bch| {
+        bch.iter(|| infer(&p).size())
+    });
+}
+
+fn bench_inference_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/inference_scaling");
+    for size in [10usize, 100, 1000, 5000] {
+        let (_, p) = generate_program(
+            42,
+            GenConfig {
+                target_size: size,
+                ..GenConfig::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.size()),
+            &p,
+            |bch, p| bch.iter(|| infer(p).size()),
+        );
+    }
+    group.finish();
+}
+
+/// The who-wins comparison: deciding "does trace t belong to the method's
+/// behavior" by (a) the operational semantics directly, vs (b) inferring
+/// once and matching the regular expression. Inference wins as soon as
+/// more than a handful of traces are checked.
+fn bench_semantics_vs_inference(c: &mut Criterion) {
+    let (_, p) = generate_program(
+        7,
+        GenConfig {
+            target_size: 60,
+            ..GenConfig::default()
+        },
+    );
+    // A workload of traces to classify.
+    let traces: Vec<Vec<shelley_regular::Symbol>> =
+        enumerate_traces(&p, EnumConfig { max_len: 5, max_iters: 2, max_traces: 64 })
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+    assert!(!traces.is_empty());
+
+    let mut group = c.benchmark_group("fig4/membership_mode");
+    group.bench_function("semantics_per_trace", |bch| {
+        bch.iter(|| {
+            let checker = TraceChecker::new(&p);
+            traces.iter().filter(|t| checker.in_language(t)).count()
+        })
+    });
+    group.bench_function("infer_once_then_match", |bch| {
+        bch.iter(|| {
+            let behavior = infer(&p);
+            traces.iter().filter(|t| behavior.matches(t)).count()
+        })
+    });
+    group.finish();
+
+    // The exponential baseline: enumerating the trace set outright.
+    let mut group = c.benchmark_group("fig4/enumeration_baseline");
+    for max_len in [4usize, 6, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_len),
+            &max_len,
+            |bch, &max_len| {
+                bch.iter(|| {
+                    enumerate_traces(
+                        &p,
+                        EnumConfig {
+                            max_len,
+                            max_iters: max_len,
+                            max_traces: 100_000,
+                        },
+                    )
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_examples, bench_inference_scaling, bench_semantics_vs_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Runtime-enforcement overhead: what does guarding every call with the
+//! spec monitor cost? (No paper counterpart — characterizes the
+//! `shelley-runtime` companion.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micropython_parser::parse_module;
+use shelley_bench::chain_class;
+use shelley_core::build_systems;
+use shelley_runtime::SpecMonitor;
+
+fn bench_monitor(c: &mut Criterion) {
+    // Per-invocation cost across protocol sizes.
+    let mut group = c.benchmark_group("runtime/invoke_per_call");
+    for n in [2usize, 8, 32] {
+        let src = chain_class("Chain", n);
+        let module = parse_module(&src).unwrap();
+        let (systems, _) = build_systems(&module);
+        let spec = systems.get("Chain").unwrap().spec.clone();
+        let ops: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| {
+                let mut m = SpecMonitor::new(spec);
+                for _ in 0..4 {
+                    for op in &ops {
+                        m.invoke(op).expect("protocol-conforming");
+                    }
+                }
+                m.finish().expect("complete");
+                m.history().len()
+            })
+        });
+    }
+    group.finish();
+
+    // Construction cost (automaton + liveness precomputation).
+    let mut group = c.benchmark_group("runtime/monitor_construction");
+    for n in [2usize, 8, 32, 128] {
+        let src = chain_class("Chain", n);
+        let module = parse_module(&src).unwrap();
+        let (systems, _) = build_systems(&module);
+        let spec = systems.get("Chain").unwrap().spec.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| SpecMonitor::new(spec).allowed().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_monitor
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Scalability characterization of the full pipeline.
+//!
+//! The paper evaluates no performance numbers; this sweep records how the
+//! reproduction scales: end-to-end verification time against (a) protocol
+//! length `n` and (b) subsystem count `k`, plus the automaton sizes the
+//! checks operate on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shelley_bench::chain_system;
+use shelley_core::{build_integration, check_source};
+
+fn bench_protocol_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/protocol_length");
+    for n in [2usize, 8, 32, 64] {
+        let src = chain_system(1, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            b.iter(|| {
+                let checked = check_source(src).expect("parses");
+                assert!(checked.report.passed());
+                checked.systems.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_subsystem_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/subsystem_count");
+    for k in [1usize, 2, 4, 8, 12] {
+        let src = chain_system(k, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &src, |b, src| {
+            b.iter(|| {
+                let checked = check_source(src).expect("parses");
+                assert!(checked.report.passed());
+                checked.systems.len()
+            })
+        });
+    }
+    group.finish();
+
+    // Report the automaton sizes once per configuration (stderr, for
+    // EXPERIMENTS.md).
+    for k in [1usize, 4, 8, 12] {
+        let src = chain_system(k, 4);
+        let checked = check_source(&src).unwrap();
+        let driver = checked.systems.get("Driver").unwrap();
+        let integration = build_integration(driver);
+        eprintln!(
+            "scalability/sizes k={k}: integration NFA states={} edges={} alphabet={}",
+            integration.nfa.num_states(),
+            integration.nfa.num_edges(),
+            integration.nfa.alphabet().len(),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocol_length, bench_subsystem_count
+}
+criterion_main!(benches);

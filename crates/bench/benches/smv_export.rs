@@ -1,0 +1,55 @@
+//! §5 future work — the NFA → NuSMV translation.
+//!
+//! Measures model emission and the explicit-state validation of the
+//! regular → ω-regular encoding across spec sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micropython_parser::parse_module;
+use shelley_bench::{chain_class, PAPER_SOURCE};
+use shelley_core::spec::{intern_spec_events, spec_automaton};
+use shelley_core::build_systems;
+use shelley_regular::{Alphabet, Dfa};
+use shelley_smv::{nfa_to_smv, validate_model};
+use std::rc::Rc;
+
+fn spec_nfa(src: &str, class: &str) -> shelley_regular::Nfa {
+    let module = parse_module(src).unwrap();
+    let (systems, _) = build_systems(&module);
+    let spec = &systems.get(class).unwrap().spec;
+    let mut ab = Alphabet::new();
+    intern_spec_events(spec, None, &mut ab);
+    spec_automaton(spec, None, Rc::new(ab)).nfa().clone()
+}
+
+fn bench_smv(c: &mut Criterion) {
+    let valve = spec_nfa(PAPER_SOURCE, "Valve");
+    c.bench_function("smv/emit_valve_model", |b| {
+        b.iter(|| nfa_to_smv(&valve, "Valve", &[]).to_smv().len())
+    });
+
+    let model = nfa_to_smv(&valve, "Valve", &[]);
+    let dfa = Dfa::from_nfa(&valve).minimize();
+    c.bench_function("smv/validate_valve_model", |b| {
+        b.iter(|| {
+            let report = validate_model(&model, &dfa, 5);
+            assert!(report.passed());
+            report.words_checked
+        })
+    });
+
+    let mut group = c.benchmark_group("smv/emission_scaling");
+    for n in [4usize, 16, 64] {
+        let nfa = spec_nfa(&chain_class("Chain", n), "Chain");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &nfa, |b, nfa| {
+            b.iter(|| nfa_to_smv(nfa, "Chain", &[]).to_smv().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_smv
+}
+criterion_main!(benches);

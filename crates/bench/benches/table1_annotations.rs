@@ -1,0 +1,48 @@
+//! Table 1 — Shelley's annotations.
+//!
+//! Regenerates the table by parsing and validating classes that exercise
+//! every annotation (`@claim`, `@sys`, `@sys([...])`, `@op_initial`,
+//! `@op`, `@op_final`, `@op_initial_final`), sweeping the number of
+//! annotated operations. Reported rows: time to parse + build + validate
+//! per module size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micropython_parser::parse_module;
+use shelley_bench::{annotation_module, chain_system};
+use shelley_core::build_systems;
+
+fn bench_annotations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/annotated_class");
+    for n_ops in [4usize, 16, 64, 256] {
+        let src = annotation_module(n_ops);
+        group.bench_with_input(BenchmarkId::from_parameter(n_ops), &src, |b, src| {
+            b.iter(|| {
+                let module = parse_module(src).expect("parses");
+                let (systems, diags) = build_systems(&module);
+                assert!(!diags.has_errors());
+                systems.len()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table1/composite_annotations");
+    for k in [1usize, 4, 8] {
+        let src = chain_system(k, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &src, |b, src| {
+            b.iter(|| {
+                let module = parse_module(src).expect("parses");
+                let (systems, _) = build_systems(&module);
+                systems.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_annotations
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 2 — return statements and their meanings.
+//!
+//! Regenerates the table by parsing and extracting next-operation sets
+//! from every return form (`return ["m"]`, `return ["m1","m2"]`,
+//! `return ["m"], 2`, `return ["m"], True`, `return ["m1","m2"], 2`),
+//! sweeping the number of return statements per module.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use micropython_parser::parse_module;
+use shelley_bench::return_forms_module;
+use shelley_ir::denote_exits;
+use shelley_regular::Alphabet;
+use std::collections::BTreeSet;
+
+fn bench_return_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/parse_and_extract");
+    for reps in [1usize, 10, 50, 200] {
+        let src = return_forms_module(reps);
+        group.bench_with_input(BenchmarkId::from_parameter(reps * 5), &src, |b, src| {
+            b.iter(|| {
+                let module = parse_module(src).expect("parses");
+                let class = module.classes().next().expect("one class");
+                let fields: BTreeSet<String> = BTreeSet::new();
+                let mut total_exits = 0usize;
+                for func in class.methods() {
+                    let mut ab = Alphabet::new();
+                    let lowered =
+                        shelley_core::extract::lower::lower_method(func, &fields, &mut ab);
+                    let (_, exits) = denote_exits(&lowered.program);
+                    total_exits += exits.len();
+                }
+                total_exits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_return_forms
+}
+criterion_main!(benches);

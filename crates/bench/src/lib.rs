@@ -1,0 +1,227 @@
+//! Shared workload generators for the benchmark harness.
+//!
+//! Every bench regenerates one artifact of the paper (see `DESIGN.md`'s
+//! per-experiment index); the generators here produce the synthetic
+//! MicroPython sources and calculus programs the sweeps run over.
+
+use std::fmt::Write as _;
+
+/// The paper's Listing 2.1 + 2.2 (Valve + BadSector), verbatim modulo the
+/// `clean` field rename.
+pub const PAPER_SOURCE: &str = r#"
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean_pin = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean_pin.on()
+        return ["test"]
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                print("a failed")
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                self.a.close()
+                return []
+"#;
+
+/// The Sector class of Listing 3.1 as annotated source.
+pub const SECTOR_SOURCE: &str = r#"
+@sys
+class Sector:
+    @op_initial
+    def open_a(self):
+        if which:
+            return ["close_a", "open_b"]
+        else:
+            return ["clean_a"]
+
+    @op
+    def clean_a(self):
+        return ["open_a"]
+
+    @op
+    def close_a(self):
+        return ["open_a"]
+
+    @op_final
+    def open_b(self):
+        if which:
+            return []
+        else:
+            return []
+"#;
+
+/// A base class whose protocol is a chain `s0 → … → s{n-1}` (last final,
+/// looping back to `s0`).
+pub fn chain_class(name: &str, n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "@sys\nclass {name}:");
+    for i in 0..n {
+        let decorator = if n == 1 {
+            "@op_initial_final"
+        } else if i == 0 {
+            "@op_initial"
+        } else if i == n - 1 {
+            "@op_final"
+        } else {
+            "@op"
+        };
+        let next = if i == n - 1 {
+            "[\"s0\"]".to_string()
+        } else {
+            format!("[\"s{}\"]", i + 1)
+        };
+        let _ = writeln!(out, "    {decorator}");
+        let _ = writeln!(out, "    def s{i}(self):");
+        let _ = writeln!(out, "        return {next}");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// A composite driving `k` chain instances through one full round each.
+pub fn driver_class(k: usize, n: usize) -> String {
+    let fields: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+    let quoted: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "@sys([{}])", quoted.join(", "));
+    let _ = writeln!(out, "class Driver:");
+    let _ = writeln!(out, "    def __init__(self):");
+    for f in &fields {
+        let _ = writeln!(out, "        self.{f} = Chain()");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "    @op_initial_final");
+    let _ = writeln!(out, "    def run(self):");
+    for f in &fields {
+        for i in 0..n {
+            let _ = writeln!(out, "        self.{f}.s{i}()");
+        }
+    }
+    let _ = writeln!(out, "        return []");
+    out
+}
+
+/// A complete module: one chain class plus a `k`-subsystem driver.
+pub fn chain_system(k: usize, n: usize) -> String {
+    format!("{}\n{}", chain_class("Chain", n), driver_class(k, n))
+}
+
+/// A module with `n` operations exercising every Table 1 annotation.
+pub fn annotation_module(n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "@claim(\"G !x.boom\")");
+    let _ = writeln!(out, "@sys");
+    let _ = writeln!(out, "class Annotated:");
+    for i in 0..n.max(2) {
+        let decorator = match i % 4 {
+            0 => "@op_initial",
+            1 => "@op",
+            2 => "@op_final",
+            _ => "@op_initial_final",
+        };
+        let next = format!("[\"m{}\"]", (i + 1) % n.max(2));
+        let _ = writeln!(out, "    {decorator}");
+        let _ = writeln!(out, "    def m{i}(self):");
+        let _ = writeln!(out, "        return {next}");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// A module whose single class uses every return form of Table 2, `reps`
+/// times over.
+pub fn return_forms_module(reps: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "class Forms:");
+    for i in 0..reps {
+        let _ = writeln!(out, "    def list_{i}(self):");
+        let _ = writeln!(out, "        return [\"a\", \"b\"]");
+        let _ = writeln!(out, "    def tuple_int_{i}(self):");
+        let _ = writeln!(out, "        return [\"a\"], 2");
+        let _ = writeln!(out, "    def tuple_bool_{i}(self):");
+        let _ = writeln!(out, "        return [\"a\"], True");
+        let _ = writeln!(out, "    def tuple_multi_{i}(self):");
+        let _ = writeln!(out, "        return [\"a\", \"b\"], 2");
+        let _ = writeln!(out, "    def empty_{i}(self):");
+        let _ = writeln!(out, "        return []");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_core::check_source;
+
+    #[test]
+    fn generated_sources_verify() {
+        for (k, n) in [(1, 1), (2, 3), (4, 5)] {
+            let checked = check_source(&chain_system(k, n)).unwrap();
+            assert!(checked.report.passed(), "k={k} n={n}");
+        }
+        let checked = check_source(PAPER_SOURCE).unwrap();
+        assert!(!checked.report.passed());
+        let checked = check_source(SECTOR_SOURCE).unwrap();
+        assert!(checked.report.passed());
+    }
+
+    #[test]
+    fn annotation_module_parses() {
+        let checked = check_source(&annotation_module(8)).unwrap();
+        assert!(!checked.report.diagnostics.has_errors());
+    }
+
+    #[test]
+    fn return_forms_module_parses() {
+        let m = micropython_parser::parse_module(&return_forms_module(3)).unwrap();
+        assert_eq!(m.classes().count(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! `shelleyc` — command-line front end for Shelley model inference and
+//! verification of MicroPython classes.
+//!
+//! ```text
+//! shelleyc check <file.py> [more.py ...]  verify all @sys classes
+//! shelleyc diagram <file.py> <Class>      DOT operation diagram (Fig. 1)
+//! shelleyc deps <file.py> <Class>         DOT dependency graph (Fig. 3)
+//! shelleyc integration <file.py> <Class>  DOT integration automaton (Fig. 2)
+//! shelleyc smv <file.py> <Class>          NuSMV model (future work, §5)
+//! shelleyc infer <file.py> <Class> <op>   inferred behavior regex (Fig. 4)
+//! shelleyc stats <file.py>                 model-size summary per system
+//! shelleyc language <file.py> <Class>      whole-system language as a regex
+//! shelleyc replay <file.py> <Class> <trace> validate a recorded trace
+//! ```
+//!
+//! `replay` reads a trace file with one operation name per line (blank
+//! lines and `#` comments ignored) and checks it against the class's
+//! model — offline runtime verification of an execution log.
+
+use shelley_core::extract::dependency::DependencyGraph;
+use shelley_core::{
+    build_integration, check_source, integration_diagram, spec_diagram,
+};
+use shelley_smv::nfa_to_smv;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Verification(output)) => {
+            print!("{output}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  shelleyc check <file.py> [more.py ...]
+  shelleyc diagram <file.py> <Class>
+  shelleyc deps <file.py> <Class>
+  shelleyc integration <file.py> <Class>
+  shelleyc smv <file.py> <Class>
+  shelleyc infer <file.py> <Class> <operation>
+  shelleyc stats <file.py>
+  shelleyc language <file.py> <Class>
+  shelleyc replay <file.py> <Class> <trace-file>";
+
+enum CliError {
+    Usage(String),
+    Verification(String),
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    let path = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage("missing input file".into()))?;
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let file = micropython_parser::SourceFile::new(path.clone(), source.clone());
+    let checked = check_source(&source).map_err(|e| {
+        let (line, col) = file.line_col(e.span.start);
+        CliError::Verification(format!("{path}:{line}:{col}: {e}\n"))
+    })?;
+
+    let class_arg = |i: usize| -> Result<&shelley_core::System, CliError> {
+        let name = args
+            .get(i)
+            .ok_or_else(|| CliError::Usage("missing class name".into()))?;
+        checked
+            .systems
+            .get(name)
+            .ok_or_else(|| CliError::Usage(format!("no @sys class `{name}` in {path}")))
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            // Additional files form a multi-file project.
+            let checked = if args.len() > 2 {
+                let mut files =
+                    vec![shelley_core::ProjectFile::new(path.clone(), source.clone())];
+                for extra in &args[2..] {
+                    let text = std::fs::read_to_string(extra).map_err(|e| {
+                        CliError::Usage(format!("cannot read {extra}: {e}"))
+                    })?;
+                    files.push(shelley_core::ProjectFile::new(extra.clone(), text));
+                }
+                shelley_core::check_project(&files)
+                    .map_err(|e| CliError::Verification(format!("{e}\n")))?
+            } else {
+                checked
+            };
+            let mut out = checked.report.render(Some(&file));
+            if checked.report.passed() {
+                out.push_str(&format!(
+                    "OK: {} system(s) verified\n",
+                    checked.systems.len()
+                ));
+                Ok(out)
+            } else {
+                Err(CliError::Verification(out))
+            }
+        }
+        "diagram" => {
+            let system = class_arg(2)?;
+            Ok(spec_diagram(&system.spec))
+        }
+        "deps" => {
+            let system = class_arg(2)?;
+            Ok(DependencyGraph::from_spec(&system.spec).to_dot())
+        }
+        "integration" => {
+            let system = class_arg(2)?;
+            if !system.is_composite() {
+                return Err(CliError::Usage(format!(
+                    "`{}` is a base class; integration diagrams require a composite",
+                    system.name
+                )));
+            }
+            let integration = build_integration(system);
+            Ok(integration_diagram(&system.name, &integration))
+        }
+        "smv" => {
+            let system = class_arg(2)?;
+            let nfa = if system.is_composite() {
+                build_integration(system).nfa
+            } else {
+                let mut ab = shelley_regular::Alphabet::new();
+                shelley_core::spec::intern_spec_events(&system.spec, None, &mut ab);
+                shelley_core::spec::spec_automaton(
+                    &system.spec,
+                    None,
+                    std::rc::Rc::new(ab),
+                )
+                .nfa()
+                .clone()
+            };
+            // Claims become LTLSPECs in the emitted model; atoms must be
+            // interned in the model alphabet, so parse against a copy.
+            let mut scratch = (**nfa.alphabet()).clone();
+            let mut claims = Vec::new();
+            for claim in &system.claims {
+                if let Ok(f) = shelley_ltlf::parse_formula(&claim.formula, &mut scratch)
+                {
+                    claims.push(f);
+                }
+            }
+            let model =
+                nfa_to_smv(&nfa, &format!("Shelley model of {}", system.name), &claims);
+            Ok(model.to_smv())
+        }
+        "infer" => {
+            let system = class_arg(2)?;
+            let op = args
+                .get(3)
+                .ok_or_else(|| CliError::Usage("missing operation name".into()))?;
+            let info = system.composite().ok_or_else(|| {
+                CliError::Usage(format!(
+                    "`{}` is a base class; behavior inference applies to composites",
+                    system.name
+                ))
+            })?;
+            let lowered = info.methods.get(op).ok_or_else(|| {
+                CliError::Usage(format!("no operation `{op}` on `{}`", system.name))
+            })?;
+            let behavior = shelley_ir::infer(&lowered.program);
+            Ok(format!("{}\n", behavior.display(&info.alphabet)))
+        }
+        "replay" => {
+            let system = class_arg(2)?;
+            let trace_path = args
+                .get(3)
+                .ok_or_else(|| CliError::Usage("missing trace file".into()))?;
+            let trace_text = std::fs::read_to_string(trace_path).map_err(|e| {
+                CliError::Usage(format!("cannot read {trace_path}: {e}"))
+            })?;
+            let ops: Vec<&str> = trace_text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .collect();
+            let mut monitor = shelley_runtime::SpecMonitor::new(&system.spec);
+            for (i, op) in ops.iter().enumerate() {
+                if let Err(e) = monitor.invoke(op) {
+                    return Err(CliError::Verification(format!(
+                        "{trace_path}:{}: {e}\n",
+                        i + 1
+                    )));
+                }
+            }
+            monitor.finish().map_err(|e| {
+                CliError::Verification(format!(
+                    "{trace_path}: trace is incomplete: {e}\n"
+                ))
+            })?;
+            Ok(format!(
+                "OK: {} operation(s) form a complete usage of `{}`\n",
+                ops.len(),
+                system.name
+            ))
+        }
+        "language" => {
+            let system = class_arg(2)?;
+            if let Some(_info) = system.composite() {
+                let integration = build_integration(system);
+                let dfa = shelley_regular::Dfa::from_nfa(&integration.nfa).minimize();
+                let regex = dfa.to_regex();
+                Ok(format!("{}\n", regex.display(integration.nfa.alphabet())))
+            } else {
+                let mut ab = shelley_regular::Alphabet::new();
+                shelley_core::spec::intern_spec_events(&system.spec, None, &mut ab);
+                let ab = std::rc::Rc::new(ab);
+                let auto =
+                    shelley_core::spec::spec_automaton(&system.spec, None, ab.clone());
+                let dfa = shelley_regular::Dfa::from_nfa(auto.nfa()).minimize();
+                Ok(format!("{}\n", dfa.to_regex().display(&ab)))
+            }
+        }
+        "stats" => {
+            let mut out = String::new();
+            for system in checked.systems.iter() {
+                out.push_str(&shelley_core::system_stats(system).to_string());
+                out.push('\n');
+            }
+            if checked.systems.is_empty() {
+                out.push_str("no @sys classes found\n");
+            }
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}

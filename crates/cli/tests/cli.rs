@@ -1,0 +1,268 @@
+//! Integration tests for the `shelleyc` binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+const PAPER: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+"#;
+
+const GOOD: &str = r#"
+@sys
+class Led:
+    @op_initial
+    def on(self):
+        return ["off"]
+
+    @op_final
+    def off(self):
+        return ["on"]
+"#;
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("shelleyc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn shelleyc(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_shelleyc"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn check_fails_on_the_paper_example_with_exact_output() {
+    let path = write_temp("paper.py", PAPER);
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("Error in specification: INVALID SUBSYSTEM USAGE"));
+    assert!(stdout.contains("Counter example: open_a, a.test, a.open"));
+    assert!(stdout.contains("* Valve 'a': test, >open< (not final)"));
+    assert!(stdout.contains("Error in specification: FAIL TO MEET REQUIREMENT"));
+    assert!(stdout.contains("Formula: (!a.open) W b.open"));
+}
+
+#[test]
+fn check_passes_on_a_correct_file() {
+    let path = write_temp("good.py", GOOD);
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("OK: 1 system(s) verified"));
+}
+
+#[test]
+fn diagram_outputs_dot() {
+    let path = write_temp("paper2.py", PAPER);
+    let (stdout, _, code) = shelleyc(&["diagram", path.to_str().unwrap(), "Valve"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.starts_with("digraph \"Valve\""));
+    assert!(stdout.contains("__start -> \"test\""));
+}
+
+#[test]
+fn deps_outputs_dependency_graph() {
+    let path = write_temp("paper3.py", PAPER);
+    let (stdout, _, code) = shelleyc(&["deps", path.to_str().unwrap(), "Valve"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("test/exit0"));
+}
+
+#[test]
+fn integration_requires_composite() {
+    let path = write_temp("paper4.py", PAPER);
+    let (_, stderr, code) = shelleyc(&["integration", path.to_str().unwrap(), "Valve"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("base class"));
+    let (stdout, _, code) =
+        shelleyc(&["integration", path.to_str().unwrap(), "BadSector"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("a.test"));
+}
+
+#[test]
+fn smv_outputs_module() {
+    let path = write_temp("paper5.py", PAPER);
+    let (stdout, _, code) = shelleyc(&["smv", path.to_str().unwrap(), "Valve"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("MODULE main"));
+    assert!(stdout.contains("_stop"));
+}
+
+#[test]
+fn infer_prints_behavior_regex() {
+    let path = write_temp("paper6.py", PAPER);
+    let (stdout, _, code) =
+        shelleyc(&["infer", path.to_str().unwrap(), "BadSector", "open_a"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("a.test"));
+    assert!(stdout.contains("a.open"));
+    assert!(stdout.contains("+"));
+}
+
+#[test]
+fn usage_errors_on_bad_invocations() {
+    let (_, stderr, code) = shelleyc(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("missing input file") || stderr.contains("usage"));
+    let (_, stderr, code) = shelleyc(&["check", "/nonexistent/file.py"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn parse_errors_reported_with_position() {
+    let path = write_temp("broken.py", "def broken(:\n    pass\n");
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("broken.py:1:"));
+}
+
+#[test]
+fn stats_prints_model_sizes() {
+    let path = write_temp("paper7.py", PAPER);
+    let (stdout, _, code) = shelleyc(&["stats", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("Valve (base)"));
+    assert!(stdout.contains("BadSector (composite)"));
+    assert!(stdout.contains("spec automaton"));
+}
+
+#[test]
+fn language_prints_a_regex() {
+    let path = write_temp("paper8.py", PAPER);
+    let (stdout, _, code) = shelleyc(&["language", path.to_str().unwrap(), "Valve"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("test"));
+    assert!(stdout.contains("·") || stdout.contains("+") || stdout.contains("ε"));
+    // Composite languages include markers and qualified events.
+    let (stdout, _, code) =
+        shelleyc(&["language", path.to_str().unwrap(), "BadSector"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("open_a"));
+    assert!(stdout.contains("a.test"));
+}
+
+#[test]
+fn multi_file_check_resolves_across_files() {
+    let valve = write_temp(
+        "mf_valve.py",
+        GOOD, // Led class
+    );
+    let user = write_temp(
+        "mf_user.py",
+        r#"
+@sys(["led"])
+class Blinker:
+    def __init__(self):
+        self.led = Led()
+
+    @op_initial_final
+    def blink(self):
+        self.led.on()
+        self.led.off()
+        return []
+"#,
+    );
+    let (stdout, _, code) = shelleyc(&[
+        "check",
+        user.to_str().unwrap(),
+        valve.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("OK: 2 system(s) verified"));
+}
+
+#[test]
+fn replay_validates_traces() {
+    let program = write_temp("paper9.py", PAPER);
+    let good = write_temp("trace_good.txt", "test\nopen\nclose\n# comment\ntest\nclean\n");
+    let bad = write_temp("trace_bad.txt", "open\n");
+    let incomplete = write_temp("trace_incomplete.txt", "test\nopen\n");
+
+    let (stdout, _, code) = shelleyc(&[
+        "replay",
+        program.to_str().unwrap(),
+        "Valve",
+        good.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("complete usage"));
+
+    let (stdout, _, code) = shelleyc(&[
+        "replay",
+        program.to_str().unwrap(),
+        "Valve",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("not allowed"));
+    assert!(stdout.contains(":1:"), "line number expected: {stdout}");
+
+    let (stdout, _, code) = shelleyc(&[
+        "replay",
+        program.to_str().unwrap(),
+        "Valve",
+        incomplete.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("incomplete"));
+}

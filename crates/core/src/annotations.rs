@@ -1,0 +1,333 @@
+//! Shelley's annotations (Table 1 of the paper).
+//!
+//! | Annotation              | Applies to | Meaning                          |
+//! |-------------------------|------------|----------------------------------|
+//! | `@claim("φ")`           | class      | temporal requirement             |
+//! | `@sys`                  | class      | base class                       |
+//! | `@sys(["s1", …, "sn"])` | class      | composite class                  |
+//! | `@op_initial`           | method     | invoke in first place            |
+//! | `@op_final`             | method     | invoke in last place             |
+//! | `@op_initial_final`     | method     | invoke in first and last places  |
+//! | `@op`                   | method     | in between initial and final     |
+
+use crate::diagnostics::{codes, Diagnostic, Diagnostics};
+use micropython_parser::ast::{ClassDef, ExprKind, FuncDef};
+use micropython_parser::Span;
+
+/// How a class participates in verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassKind {
+    /// `@sys` — a base class: its model comes solely from annotations and
+    /// `return` lists; method bodies are not analyzed.
+    Base,
+    /// `@sys(["a", "b"])` — a composite class using the named subsystem
+    /// fields; method bodies are extracted and verified.
+    Composite(Vec<String>),
+    /// No `@sys` decorator — the class is ignored by Shelley.
+    Unconstrained,
+}
+
+/// A temporal claim attached to a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// The raw formula text, exactly as written in the source.
+    pub formula: String,
+    /// Where the claim was written.
+    pub span: Span,
+}
+
+/// Parsed class-level annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassAnnotations {
+    /// Base / composite / unconstrained.
+    pub kind: ClassKind,
+    /// Temporal claims, in source order.
+    pub claims: Vec<Claim>,
+}
+
+/// How a method participates in the model (Table 1, method annotations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `@op_initial` — may be invoked first.
+    Initial,
+    /// `@op_final` — may be invoked last.
+    Final,
+    /// `@op_initial_final` — may be invoked first and last.
+    InitialFinal,
+    /// `@op` — only in between initial and final operations.
+    Middle,
+}
+
+impl OpKind {
+    /// Whether this operation can start an object's lifetime.
+    pub fn is_initial(self) -> bool {
+        matches!(self, OpKind::Initial | OpKind::InitialFinal)
+    }
+
+    /// Whether this operation can end an object's lifetime.
+    pub fn is_final(self) -> bool {
+        matches!(self, OpKind::Final | OpKind::InitialFinal)
+    }
+}
+
+/// Extracts the class-level annotations of `class_def`.
+///
+/// Unknown decorators produce `W005` warnings; malformed `@sys`/`@claim`
+/// arguments produce `E004` errors (the class is then treated as
+/// unconstrained).
+pub fn class_annotations(
+    class_def: &ClassDef,
+    diagnostics: &mut Diagnostics,
+) -> ClassAnnotations {
+    let mut kind = ClassKind::Unconstrained;
+    let mut claims = Vec::new();
+    for dec in &class_def.decorators {
+        match dec.name() {
+            Some("sys") => {
+                let args = dec.args();
+                if args.is_empty() {
+                    kind = ClassKind::Base;
+                } else if args.len() == 1 {
+                    match args[0].as_string_list() {
+                        Some(names) if !names.is_empty() => {
+                            let owned: Vec<String> =
+                                names.iter().map(|s| s.to_string()).collect();
+                            let mut sorted = owned.clone();
+                            sorted.sort();
+                            sorted.dedup();
+                            if sorted.len() != owned.len() {
+                                diagnostics.push(
+                                    Diagnostic::error(
+                                        codes::BAD_ANNOTATION,
+                                        "duplicate subsystem names in `@sys([...])`",
+                                    )
+                                    .with_span(dec.span),
+                                );
+                            }
+                            kind = ClassKind::Composite(owned);
+                        }
+                        _ => {
+                            diagnostics.push(
+                                Diagnostic::error(
+                                    codes::BAD_ANNOTATION,
+                                    "`@sys` expects a non-empty list of subsystem \
+                                     field names, e.g. `@sys([\"a\", \"b\"])`",
+                                )
+                                .with_span(dec.span),
+                            );
+                        }
+                    }
+                } else {
+                    diagnostics.push(
+                        Diagnostic::error(
+                            codes::BAD_ANNOTATION,
+                            "`@sys` takes at most one argument",
+                        )
+                        .with_span(dec.span),
+                    );
+                }
+            }
+            Some("claim") => {
+                let args = dec.args();
+                match args {
+                    [arg] => match &arg.kind {
+                        ExprKind::Str(s) => claims.push(Claim {
+                            formula: s.clone(),
+                            span: arg.span,
+                        }),
+                        _ => diagnostics.push(
+                            Diagnostic::error(
+                                codes::BAD_ANNOTATION,
+                                "`@claim` expects a string formula",
+                            )
+                            .with_span(dec.span),
+                        ),
+                    },
+                    _ => diagnostics.push(
+                        Diagnostic::error(
+                            codes::BAD_ANNOTATION,
+                            "`@claim` expects exactly one string argument",
+                        )
+                        .with_span(dec.span),
+                    ),
+                }
+            }
+            Some(other) => diagnostics.push(
+                Diagnostic::warning(
+                    codes::UNKNOWN_DECORATOR,
+                    format!("unknown class decorator `@{other}` ignored"),
+                )
+                .with_span(dec.span),
+            ),
+            None => diagnostics.push(
+                Diagnostic::warning(
+                    codes::UNKNOWN_DECORATOR,
+                    "unrecognized class decorator expression ignored",
+                )
+                .with_span(dec.span),
+            ),
+        }
+    }
+    ClassAnnotations { kind, claims }
+}
+
+/// Extracts the operation annotation of a method, if any.
+///
+/// Methods without an `@op*` decorator (such as `__init__`) are not part of
+/// the model and return `None`.
+pub fn op_annotation(
+    func: &FuncDef,
+    diagnostics: &mut Diagnostics,
+) -> Option<(OpKind, Span)> {
+    let mut found: Option<(OpKind, Span)> = None;
+    for dec in &func.decorators {
+        let kind = match dec.name() {
+            Some("op") => OpKind::Middle,
+            Some("op_initial") => OpKind::Initial,
+            Some("op_final") => OpKind::Final,
+            Some("op_initial_final") => OpKind::InitialFinal,
+            Some(other) => {
+                diagnostics.push(
+                    Diagnostic::warning(
+                        codes::UNKNOWN_DECORATOR,
+                        format!("unknown method decorator `@{other}` ignored"),
+                    )
+                    .with_span(dec.span),
+                );
+                continue;
+            }
+            None => continue,
+        };
+        if found.is_some() {
+            diagnostics.push(
+                Diagnostic::error(
+                    codes::BAD_ANNOTATION,
+                    format!(
+                        "method `{}` has multiple operation decorators",
+                        func.name.node
+                    ),
+                )
+                .with_span(dec.span),
+            );
+        }
+        found = Some((kind, dec.span));
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micropython_parser::parse_module;
+
+    fn first_class(src: &str) -> (ClassAnnotations, Diagnostics) {
+        let m = parse_module(src).unwrap();
+        let c = m.classes().next().unwrap();
+        let mut diags = Diagnostics::new();
+        let ann = class_annotations(c, &mut diags);
+        (ann, diags)
+    }
+
+    #[test]
+    fn base_class() {
+        let (ann, diags) = first_class("@sys\nclass V:\n    pass\n");
+        assert_eq!(ann.kind, ClassKind::Base);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn composite_class_with_claim() {
+        let (ann, diags) = first_class(
+            "@claim(\"(!a.open) W b.open\")\n@sys([\"a\", \"b\"])\nclass S:\n    pass\n",
+        );
+        assert_eq!(
+            ann.kind,
+            ClassKind::Composite(vec!["a".into(), "b".into()])
+        );
+        assert_eq!(ann.claims.len(), 1);
+        assert_eq!(ann.claims[0].formula, "(!a.open) W b.open");
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn unconstrained_class() {
+        let (ann, _) = first_class("class P:\n    pass\n");
+        assert_eq!(ann.kind, ClassKind::Unconstrained);
+    }
+
+    #[test]
+    fn malformed_sys_args() {
+        let (ann, diags) = first_class("@sys(42)\nclass V:\n    pass\n");
+        assert_eq!(ann.kind, ClassKind::Unconstrained);
+        assert!(diags.has_errors());
+        assert_eq!(diags.by_code(codes::BAD_ANNOTATION).count(), 1);
+    }
+
+    #[test]
+    fn empty_sys_list_rejected() {
+        let (_, diags) = first_class("@sys([])\nclass V:\n    pass\n");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn unknown_decorator_warns() {
+        let (_, diags) = first_class("@gadget\n@sys\nclass V:\n    pass\n");
+        assert!(!diags.has_errors());
+        assert_eq!(diags.by_code(codes::UNKNOWN_DECORATOR).count(), 1);
+    }
+
+    #[test]
+    fn op_annotations_all_kinds() {
+        let src = r#"
+class V:
+    @op_initial
+    def a(self):
+        pass
+
+    @op
+    def b(self):
+        pass
+
+    @op_final
+    def c(self):
+        pass
+
+    @op_initial_final
+    def d(self):
+        pass
+
+    def helper(self):
+        pass
+"#;
+        let m = parse_module(src).unwrap();
+        let c = m.classes().next().unwrap();
+        let mut diags = Diagnostics::new();
+        let kinds: Vec<Option<OpKind>> = c
+            .methods()
+            .map(|f| op_annotation(f, &mut diags).map(|(k, _)| k))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Some(OpKind::Initial),
+                Some(OpKind::Middle),
+                Some(OpKind::Final),
+                Some(OpKind::InitialFinal),
+                None,
+            ]
+        );
+        assert!(diags.is_empty());
+        assert!(OpKind::InitialFinal.is_initial() && OpKind::InitialFinal.is_final());
+        assert!(!OpKind::Middle.is_initial() && !OpKind::Middle.is_final());
+    }
+
+    #[test]
+    fn duplicate_op_decorators_error() {
+        let src = "class V:\n    @op\n    @op_final\n    def a(self):\n        pass\n";
+        let m = parse_module(src).unwrap();
+        let c = m.classes().next().unwrap();
+        let mut diags = Diagnostics::new();
+        let _ = op_annotation(c.method("a").unwrap(), &mut diags);
+        assert!(diags.has_errors());
+    }
+}

@@ -1,0 +1,248 @@
+//! Diagnostics: structured errors and warnings with source locations.
+
+use micropython_parser::{SourceFile, Span};
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Non-fatal advice; verification continues.
+    Warning,
+    /// Verification failure or malformed input.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// `E` codes are errors, `W` codes warnings. The two `specification`
+/// failures of the paper (§2.2) are [`codes::INVALID_SUBSYSTEM_USAGE`] and
+/// [`codes::FAIL_TO_MEET_REQUIREMENT`].
+pub mod codes {
+    /// A method invokes an operation its subsystem's class does not define.
+    pub const UNDEFINED_OPERATION: &str = "E001";
+    /// A `return` names a next-operation the class does not define.
+    pub const UNDEFINED_NEXT_OPERATION: &str = "E002";
+    /// A `match` over a constrained call does not handle every exit point.
+    pub const NON_EXHAUSTIVE_MATCH: &str = "E003";
+    /// Class annotation is malformed (`@sys` arguments, duplicate ops, …).
+    pub const BAD_ANNOTATION: &str = "E004";
+    /// A `@sys(["x"])` field is never assigned in `__init__` or has an
+    /// unknown class.
+    pub const UNKNOWN_SUBSYSTEM: &str = "E005";
+    /// A class has no `@op_initial` operation.
+    pub const NO_INITIAL_OPERATION: &str = "E006";
+    /// A claim formula failed to parse.
+    pub const BAD_CLAIM: &str = "E007";
+    /// The paper's "INVALID SUBSYSTEM USAGE" specification error.
+    pub const INVALID_SUBSYSTEM_USAGE: &str = "E100";
+    /// The paper's "FAIL TO MEET REQUIREMENT" specification error.
+    pub const FAIL_TO_MEET_REQUIREMENT: &str = "E101";
+    /// A case pattern can never match any exit point of the callee.
+    pub const UNREACHABLE_CASE: &str = "W001";
+    /// An operation is unreachable from the initial operations.
+    pub const UNREACHABLE_OPERATION: &str = "W002";
+    /// A method body may finish without a `return` declaring next
+    /// operations (treated as `return []`).
+    pub const IMPLICIT_RETURN: &str = "W003";
+    /// No final operation is reachable from some reachable exit (the object
+    /// can get stuck).
+    pub const NO_FINAL_REACHABLE: &str = "W004";
+    /// An unknown decorator was ignored.
+    pub const UNKNOWN_DECORATOR: &str = "W005";
+    /// A constrained call with several exit points is not scrutinized by a
+    /// `match` (all continuations are merged).
+    pub const UNSCRUTINIZED_EXITS: &str = "W006";
+    /// `break`/`continue` are over-approximated by the loop abstraction.
+    pub const LOOP_JUMP_APPROXIMATED: &str = "W007";
+    /// A subsystem field is reassigned outside `__init__` — the analysis
+    /// ignores aliasing, so the model may not reflect the new object.
+    pub const FIELD_REASSIGNED: &str = "W008";
+}
+
+/// A single diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable code (see [`codes`]).
+    pub code: &'static str,
+    /// Primary source location, when known.
+    pub span: Option<Span>,
+    /// Main message.
+    pub message: String,
+    /// Additional free-form lines (counterexamples, per-subsystem details).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            span: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            span: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic, with a source snippet when a file is given.
+    pub fn render(&self, source: Option<&SourceFile>) -> String {
+        let mut out = match (self.span, source) {
+            (Some(span), Some(file)) => file.render_diagnostic(
+                span,
+                &format!("{} [{}]", self.severity, self.code),
+                &self.message,
+            ),
+            _ => format!("{} [{}]: {}", self.severity, self.code, self.message),
+        };
+        for note in &self.notes {
+            out.push_str("\n  ");
+            out.push_str(note);
+        }
+        out
+    }
+}
+
+/// An ordered collection of diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// All diagnostics in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Only the errors.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Only the warnings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether any error is present.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Merges another collection into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Finds diagnostics by code.
+    pub fn by_code<'a>(
+        &'a self,
+        code: &'a str,
+    ) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.items.iter().filter(move |d| d.code == code)
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_without_source() {
+        let d = Diagnostic::error(codes::UNDEFINED_OPERATION, "no such operation `pump`")
+            .with_note("defined operations: test, open, close");
+        let s = d.render(None);
+        assert!(s.contains("error [E001]"));
+        assert!(s.contains("pump"));
+        assert!(s.contains("\n  defined operations"));
+    }
+
+    #[test]
+    fn render_with_source_snippet() {
+        let file = SourceFile::new("v.py", "self.a.pump()\n");
+        let d = Diagnostic::error(codes::UNDEFINED_OPERATION, "no such operation")
+            .with_span(Span::new(7, 11));
+        let s = d.render(Some(&file));
+        assert!(s.contains("v.py:1:8"));
+        assert!(s.contains("^^^^"));
+    }
+
+    #[test]
+    fn collection_queries() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::error(codes::INVALID_SUBSYSTEM_USAGE, "x"));
+        ds.push(Diagnostic::warning(codes::UNREACHABLE_OPERATION, "y"));
+        assert!(ds.has_errors());
+        assert_eq!(ds.errors().count(), 1);
+        assert_eq!(ds.warnings().count(), 1);
+        assert_eq!(ds.by_code(codes::INVALID_SUBSYSTEM_USAGE).count(), 1);
+        assert_eq!(ds.len(), 2);
+    }
+}

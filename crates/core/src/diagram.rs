@@ -1,0 +1,142 @@
+//! Behavior diagrams (Figures 1–3 of the paper).
+//!
+//! Shelley "includes a visualization tool that automatically generates
+//! behavior diagrams based on the code annotations and based on the
+//! control flow of the code under analysis". This module renders:
+//!
+//! * [`spec_diagram`] — the operation diagram of a class (Fig. 1: nodes are
+//!   operations, arrows are allowed successions, initial operations get a
+//!   start arrow, final operations a double border);
+//! * [`DependencyGraph::to_dot`](crate::extract::dependency::DependencyGraph::to_dot)
+//!   — the entry/exit dependency graph (Fig. 3);
+//! * [`integration_diagram`] — the integration automaton of a composite
+//!   (Fig. 2's underlying structure).
+
+use crate::integration::Integration;
+use crate::spec::ClassSpec;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders the operation diagram of a class (the shape of Figure 1).
+pub fn spec_diagram(spec: &ClassSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", spec.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  label=\"{}\";", spec.name);
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  __start [shape=point];");
+    for op in &spec.operations {
+        if op.kind.is_final() {
+            let _ = writeln!(out, "  \"{}\" [shape=doublecircle];", op.name);
+        }
+        if op.kind.is_initial() {
+            let _ = writeln!(out, "  __start -> \"{}\";", op.name);
+        }
+    }
+    // Deduplicated op → next edges.
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for op in &spec.operations {
+        for exit in &op.exits {
+            for next in &exit.next {
+                edges.insert((op.name.clone(), next.clone()));
+            }
+        }
+    }
+    for (from, to) in edges {
+        let _ = writeln!(out, "  \"{from}\" -> \"{to}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the integration automaton of a composite (Figure 2's underlying
+/// graph: operation markers and subsystem events interleaved).
+pub fn integration_diagram(class_name: &str, integration: &Integration) -> String {
+    integration.nfa.to_dot(class_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integration::build_integration;
+    use crate::system::build_systems;
+    use micropython_parser::parse_module;
+
+    const VALVE: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+"#;
+
+    #[test]
+    fn figure1_valve_diagram() {
+        let m = parse_module(VALVE).unwrap();
+        let (systems, _) = build_systems(&m);
+        let dot = spec_diagram(&systems.get("Valve").unwrap().spec);
+        // Start arrow into test only.
+        assert_eq!(dot.matches("__start -> ").count(), 1);
+        assert!(dot.contains("__start -> \"test\""));
+        // Final ops are double circles.
+        assert!(dot.contains("\"close\" [shape=doublecircle]"));
+        assert!(dot.contains("\"clean\" [shape=doublecircle]"));
+        assert!(!dot.contains("\"open\" [shape=doublecircle]"));
+        // The five transitions of Fig. 1.
+        for edge in [
+            "\"test\" -> \"open\"",
+            "\"test\" -> \"clean\"",
+            "\"open\" -> \"close\"",
+            "\"close\" -> \"test\"",
+            "\"clean\" -> \"test\"",
+        ] {
+            assert!(dot.contains(edge), "missing {edge}");
+        }
+    }
+
+    #[test]
+    fn integration_diagram_renders() {
+        let src = format!(
+            r#"{VALVE}
+@sys(["a"])
+class S:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def cycle(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+"#
+        );
+        let m = parse_module(&src).unwrap();
+        let (systems, _) = build_systems(&m);
+        let sys = systems.get("S").unwrap();
+        let integration = build_integration(sys);
+        let dot = integration_diagram("S", &integration);
+        assert!(dot.contains("digraph \"S\""));
+        assert!(dot.contains("cycle"));
+        assert!(dot.contains("a.test"));
+    }
+}

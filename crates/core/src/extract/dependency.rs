@@ -1,0 +1,222 @@
+//! Method dependency extraction (§3.1, Figure 3).
+//!
+//! The dependency graph is a directed graph where the nodes are the entry
+//! point of each method plus every exit point, and arcs are ordering
+//! constraints: each entry links to its exits, and each exit links to the
+//! entry of every method it `return`s.
+
+use crate::spec::ClassSpec;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A node of the dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DepNode {
+    /// The single entry node of a method.
+    Entry(String),
+    /// The `i`-th exit node of a method.
+    Exit(String, usize),
+}
+
+/// The method-dependency graph of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyGraph {
+    /// The class name.
+    pub class: String,
+    /// All nodes.
+    pub nodes: Vec<DepNode>,
+    /// Arcs as `(from, to)` indices into `nodes`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of `spec` exactly as §3.1 describes.
+    pub fn from_spec(spec: &ClassSpec) -> DependencyGraph {
+        let mut nodes = Vec::new();
+        let mut index: BTreeMap<DepNode, usize> = BTreeMap::new();
+        let mut intern = |n: DepNode, nodes: &mut Vec<DepNode>| -> usize {
+            if let Some(&i) = index.get(&n) {
+                return i;
+            }
+            let i = nodes.len();
+            nodes.push(n.clone());
+            index.insert(n, i);
+            i
+        };
+        let mut edges = Vec::new();
+        // One entry node per method; one exit node per return.
+        for op in &spec.operations {
+            let entry = intern(DepNode::Entry(op.name.clone()), &mut nodes);
+            for (ei, _) in op.exits.iter().enumerate() {
+                let exit = intern(DepNode::Exit(op.name.clone(), ei), &mut nodes);
+                edges.push((entry, exit));
+            }
+        }
+        // Exit → entry of each returned method.
+        for op in &spec.operations {
+            for (ei, exit_spec) in op.exits.iter().enumerate() {
+                let exit = intern(DepNode::Exit(op.name.clone(), ei), &mut nodes);
+                for next in &exit_spec.next {
+                    if spec.operation(next).is_some() {
+                        let entry = intern(DepNode::Entry(next.clone()), &mut nodes);
+                        edges.push((exit, entry));
+                    }
+                }
+            }
+        }
+        DependencyGraph {
+            class: spec.name.clone(),
+            nodes,
+            edges,
+        }
+    }
+
+    /// Number of entry nodes.
+    pub fn entry_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, DepNode::Entry(_)))
+            .count()
+    }
+
+    /// Number of exit nodes.
+    pub fn exit_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, DepNode::Exit(..)))
+            .count()
+    }
+
+    /// Successor node indices of `node`.
+    pub fn successors(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(f, _)| *f == node)
+            .map(|(_, t)| *t)
+    }
+
+    /// Renders the graph as Graphviz DOT (the shape of Figure 3).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.class);
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                DepNode::Entry(name) => {
+                    let _ = writeln!(
+                        out,
+                        "  n{i} [label=\"{name}\", shape=box, style=rounded];"
+                    );
+                }
+                DepNode::Exit(name, ei) => {
+                    let _ = writeln!(
+                        out,
+                        "  n{i} [label=\"{name}/exit{ei}\", shape=ellipse];"
+                    );
+                }
+            }
+        }
+        for (f, t) in &self.edges {
+            let _ = writeln!(out, "  n{f} -> n{t};");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::OpKind;
+    use crate::spec::{ClassSpec, ExitSpec, OperationSpec};
+
+    /// The `Sector` class of Listing 3.1 (code elided to returns).
+    fn sector_spec() -> ClassSpec {
+        let exit = |next: &[&str]| ExitSpec {
+            next: next.iter().map(|s| s.to_string()).collect(),
+            span: None,
+            implicit: false,
+        };
+        ClassSpec {
+            name: "Sector".into(),
+            operations: vec![
+                OperationSpec {
+                    name: "open_a".into(),
+                    kind: OpKind::Initial,
+                    exits: vec![exit(&["close_a", "open_b"]), exit(&["clean_a"])],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "clean_a".into(),
+                    kind: OpKind::Middle,
+                    exits: vec![exit(&["open_a"])],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "close_a".into(),
+                    kind: OpKind::Middle,
+                    exits: vec![exit(&["open_a"])],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "open_b".into(),
+                    kind: OpKind::Final,
+                    exits: vec![exit(&[]), exit(&[])],
+                    span: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sector_graph_shape_matches_section_3_1() {
+        // "we have 4 methods ... so there are 4 entry nodes"; open_a has 2
+        // returns → 2 exit nodes; open_b has 2 returns → 2 exits;
+        // clean_a/close_a 1 each. Total 6 exits.
+        let g = DependencyGraph::from_spec(&sector_spec());
+        assert_eq!(g.entry_count(), 4);
+        assert_eq!(g.exit_count(), 6);
+        // Entry→exit edges: 6. Exit→entry edges: open_a/exit0 → close_a,
+        // open_b (2); open_a/exit1 → clean_a (1); clean_a → open_a (1);
+        // close_a → open_a (1); open_b exits → none. Total 5.
+        assert_eq!(g.edges.len(), 6 + 5);
+    }
+
+    #[test]
+    fn exit_a_links_to_both_returned_methods() {
+        let g = DependencyGraph::from_spec(&sector_spec());
+        // Find exit node (A) = open_a/exit0.
+        let exit_a = g
+            .nodes
+            .iter()
+            .position(|n| *n == DepNode::Exit("open_a".into(), 0))
+            .unwrap();
+        let succ: Vec<&DepNode> = g.successors(exit_a).map(|i| &g.nodes[i]).collect();
+        assert!(succ.contains(&&DepNode::Entry("close_a".into())));
+        assert!(succ.contains(&&DepNode::Entry("open_b".into())));
+        assert_eq!(succ.len(), 2);
+    }
+
+    #[test]
+    fn dot_output_names_all_methods() {
+        let g = DependencyGraph::from_spec(&sector_spec());
+        let dot = g.to_dot();
+        for name in ["open_a", "clean_a", "close_a", "open_b"] {
+            assert!(dot.contains(name), "missing {name}");
+        }
+        assert!(dot.contains("open_a/exit0"));
+        assert!(dot.contains("open_b/exit1"));
+    }
+
+    #[test]
+    fn undefined_next_operations_are_skipped() {
+        let mut spec = sector_spec();
+        spec.operations[1].exits[0].next = vec!["missing".into()];
+        let g = DependencyGraph::from_spec(&spec);
+        // No edge to a nonexistent entry.
+        assert!(g
+            .nodes
+            .iter()
+            .all(|n| *n != DepNode::Entry("missing".into())));
+    }
+}

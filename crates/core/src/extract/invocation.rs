@@ -1,0 +1,332 @@
+//! Method invocation analysis (§3, step 3).
+//!
+//! Two checks:
+//!
+//! * **defined operations** — every call `self.x.m()` on a constrained
+//!   field must target an operation defined by `x`'s class;
+//! * **matching exit points** — a `match` over a constrained call must
+//!   handle every distinct next-set of the callee's exit points (§2.2,
+//!   *Matching exit points*); impossible cases are flagged, and constrained
+//!   calls with several exit classes that are *not* scrutinized get a
+//!   warning.
+
+use crate::diagnostics::{codes, Diagnostic, Diagnostics};
+use crate::extract::lower::LoweredMethod;
+use crate::spec::ClassSpec;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Runs invocation analysis for one lowered method.
+///
+/// `subsystems` maps each constrained field to the [`ClassSpec`] of its
+/// class. Diagnostics are appended to `diagnostics`.
+pub fn check_invocations(
+    method_name: &str,
+    lowered: &LoweredMethod,
+    subsystems: &BTreeMap<String, &ClassSpec>,
+    diagnostics: &mut Diagnostics,
+) {
+    // 1. Defined operations.
+    for call in &lowered.calls {
+        let Some(spec) = subsystems.get(&call.field) else {
+            continue; // unknown fields are reported by the system builder
+        };
+        if spec.operation(&call.method).is_none() {
+            let defined: Vec<&str> = spec
+                .operations
+                .iter()
+                .map(|o| o.name.as_str())
+                .collect();
+            diagnostics.push(
+                Diagnostic::error(
+                    codes::UNDEFINED_OPERATION,
+                    format!(
+                        "method `{method_name}` invokes `{}.{}`, but class \
+                         `{}` defines no operation `{}`",
+                        call.field, call.method, spec.name, call.method
+                    ),
+                )
+                .with_span(call.span)
+                .with_note(format!("defined operations: {}", defined.join(", "))),
+            );
+        }
+    }
+
+    // 2. Exhaustive matches over exit points.
+    for m in &lowered.matches {
+        let Some(spec) = subsystems.get(&m.field) else {
+            continue;
+        };
+        if spec.operation(&m.method).is_none() {
+            continue; // already reported above
+        }
+        let exit_sets = spec.exit_next_sets(&m.method);
+        let has_catch_all = m.cases.iter().any(|c| c.catch_all);
+        let covered: Vec<&BTreeSet<String>> =
+            m.cases.iter().filter_map(|c| c.strings.as_ref()).collect();
+        // Every exit class must be handled by some case (or a catch-all).
+        if !has_catch_all {
+            let missing: Vec<String> = exit_sets
+                .iter()
+                .filter(|set| !covered.iter().any(|c| *c == *set))
+                .map(|set| render_set(set))
+                .collect();
+            if !missing.is_empty() {
+                diagnostics.push(
+                    Diagnostic::error(
+                        codes::NON_EXHAUSTIVE_MATCH,
+                        format!(
+                            "`match` on `{}.{}` in `{method_name}` does not \
+                             handle all exit points of `{}`",
+                            m.field, m.method, m.method
+                        ),
+                    )
+                    .with_span(m.span)
+                    .with_note(format!("unhandled exit points: {}", missing.join("; "))),
+                );
+            }
+        }
+        // Impossible cases: a string-list pattern matching no exit class.
+        for case in &m.cases {
+            if let Some(strings) = &case.strings {
+                if !exit_sets.iter().any(|set| set == strings) {
+                    diagnostics.push(
+                        Diagnostic::warning(
+                            codes::UNREACHABLE_CASE,
+                            format!(
+                                "case {} can never match an exit point of \
+                                 `{}.{}`",
+                                render_set(strings),
+                                m.field,
+                                m.method
+                            ),
+                        )
+                        .with_span(case.span),
+                    );
+                }
+            }
+        }
+    }
+
+    // 3. Unscrutinized calls with several exit classes.
+    for call in &lowered.calls {
+        if call.scrutinized {
+            continue;
+        }
+        let Some(spec) = subsystems.get(&call.field) else {
+            continue;
+        };
+        if spec.operation(&call.method).is_none() {
+            continue;
+        }
+        if spec.exit_next_sets(&call.method).len() > 1 {
+            diagnostics.push(
+                Diagnostic::warning(
+                    codes::UNSCRUTINIZED_EXITS,
+                    format!(
+                        "`{}.{}` has several exit points but its result is \
+                         not scrutinized by a `match` in `{method_name}`",
+                        call.field, call.method
+                    ),
+                )
+                .with_span(call.span),
+            );
+        }
+    }
+
+    // 4. Field reassignment: the analysis ignores aliasing (§2), so a
+    // subsystem field overwritten mid-protocol silently desynchronizes the
+    // model from the object.
+    for (field, span) in &lowered.field_writes {
+        diagnostics.push(
+            Diagnostic::warning(
+                codes::FIELD_REASSIGNED,
+                format!(
+                    "subsystem field `{field}` is reassigned in \
+                     `{method_name}`; the analysis ignores aliasing and will \
+                     keep using the original object's model"
+                ),
+            )
+            .with_span(*span),
+        );
+    }
+
+    // 5. Loop jumps are over-approximated.
+    for span in &lowered.loop_jumps {
+        diagnostics.push(
+            Diagnostic::warning(
+                codes::LOOP_JUMP_APPROXIMATED,
+                format!(
+                    "`break`/`continue` in `{method_name}` is over-approximated \
+                     by the loop abstraction"
+                ),
+            )
+            .with_span(*span),
+        );
+    }
+}
+
+fn render_set(set: &BTreeSet<String>) -> String {
+    let items: Vec<String> = set.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::OpKind;
+    use crate::extract::lower::lower_method;
+    use crate::spec::{ExitSpec, OperationSpec};
+    use micropython_parser::parse_module;
+    use shelley_regular::Alphabet;
+
+    fn valve_spec() -> ClassSpec {
+        let exit = |next: &[&str]| ExitSpec {
+            next: next.iter().map(|s| s.to_string()).collect(),
+            span: None,
+            implicit: false,
+        };
+        ClassSpec {
+            name: "Valve".into(),
+            operations: vec![
+                OperationSpec {
+                    name: "test".into(),
+                    kind: OpKind::Initial,
+                    exits: vec![exit(&["open"]), exit(&["clean"])],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "open".into(),
+                    kind: OpKind::Middle,
+                    exits: vec![exit(&["close"])],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "close".into(),
+                    kind: OpKind::Final,
+                    exits: vec![exit(&["test"])],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "clean".into(),
+                    kind: OpKind::Final,
+                    exits: vec![exit(&["test"])],
+                    span: None,
+                },
+            ],
+        }
+    }
+
+    fn check(src: &str) -> Diagnostics {
+        let m = parse_module(src).unwrap();
+        let class = m.classes().next().unwrap();
+        let func = class.methods().next().unwrap();
+        let fields: BTreeSet<String> = BTreeSet::from(["a".to_string()]);
+        let mut ab = Alphabet::new();
+        let lowered = lower_method(func, &fields, &mut ab);
+        let spec = valve_spec();
+        let subsystems: BTreeMap<String, &ClassSpec> =
+            BTreeMap::from([("a".to_string(), &spec)]);
+        let mut diags = Diagnostics::new();
+        check_invocations(&func.name.node, &lowered, &subsystems, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn undefined_operation_reported() {
+        let d = check(
+            "class C:\n    def m(self):\n        self.a.pump()\n        return []\n",
+        );
+        assert_eq!(d.by_code(codes::UNDEFINED_OPERATION).count(), 1);
+        let diag = d.by_code(codes::UNDEFINED_OPERATION).next().unwrap();
+        assert!(diag.message.contains("a.pump"));
+        assert!(diag.notes[0].contains("test, open, close, clean"));
+    }
+
+    #[test]
+    fn exhaustive_match_passes() {
+        let d = check(
+            r#"
+class C:
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+"#,
+        );
+        assert!(!d.has_errors(), "{:?}", d);
+    }
+
+    #[test]
+    fn non_exhaustive_match_reported() {
+        let d = check(
+            r#"
+class C:
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return []
+"#,
+        );
+        assert_eq!(d.by_code(codes::NON_EXHAUSTIVE_MATCH).count(), 1);
+        let diag = d.by_code(codes::NON_EXHAUSTIVE_MATCH).next().unwrap();
+        assert!(diag.notes[0].contains("clean"));
+    }
+
+    #[test]
+    fn catch_all_silences_exhaustiveness() {
+        let d = check(
+            r#"
+class C:
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                return []
+            case _:
+                return []
+"#,
+        );
+        assert_eq!(d.by_code(codes::NON_EXHAUSTIVE_MATCH).count(), 0);
+    }
+
+    #[test]
+    fn impossible_case_warned() {
+        let d = check(
+            r#"
+class C:
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                return []
+            case ["clean"]:
+                return []
+            case ["explode"]:
+                return []
+"#,
+        );
+        assert_eq!(d.by_code(codes::UNREACHABLE_CASE).count(), 1);
+    }
+
+    #[test]
+    fn unscrutinized_multi_exit_call_warned() {
+        let d = check(
+            "class C:\n    def m(self):\n        self.a.test()\n        return []\n",
+        );
+        assert_eq!(d.by_code(codes::UNSCRUTINIZED_EXITS).count(), 1);
+    }
+
+    #[test]
+    fn single_exit_call_needs_no_match() {
+        let d = check(
+            "class C:\n    def m(self):\n        self.a.close()\n        return []\n",
+        );
+        assert_eq!(d.by_code(codes::UNSCRUTINIZED_EXITS).count(), 0);
+        assert!(!d.has_errors());
+    }
+}

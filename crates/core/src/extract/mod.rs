@@ -1,0 +1,15 @@
+//! Model extraction (§3 of the paper).
+//!
+//! The three steps, in order:
+//!
+//! 1. **Method dependency extraction** ([`dependency`]) — the graph of
+//!    entry/exit nodes and ordering constraints (§3.1, Fig. 3);
+//! 2. **Method behavior extraction** ([`lower`]) — lowering method bodies
+//!    to the imperative calculus and inferring per-exit behaviors (§3.2,
+//!    Fig. 4);
+//! 3. **Method invocation analysis** ([`invocation`]) — defined-operation
+//!    checks and exhaustive `match` over exit points (§3, step 3).
+
+pub mod dependency;
+pub mod invocation;
+pub mod lower;

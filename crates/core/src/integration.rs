@@ -1,0 +1,245 @@
+//! The integration automaton of a composite class.
+//!
+//! The composite's own specification fixes *which operations can be called
+//! in which order*; each operation's extracted behavior (per exit point)
+//! fixes *which subsystem events the operation emits*. Splicing the
+//! behavior fragments between the specification's exit states yields one
+//! NFA — the **integration automaton** — whose language is the set of all
+//! event sequences any legal complete usage of the composite can produce,
+//! with *operation markers* interleaved so counterexamples read like the
+//! paper's (`open_a, a.test, a.open`).
+
+use crate::system::{CompositeInfo, System};
+use shelley_ir::denote_exits;
+use shelley_regular::{Label, Nfa, Regex, Symbol};
+use std::collections::BTreeMap;
+
+/// The integration automaton plus the bookkeeping to interpret its words.
+#[derive(Debug, Clone)]
+pub struct Integration {
+    /// The automaton. Words interleave marker symbols (operation names)
+    /// with subsystem events (`a.test`).
+    pub nfa: Nfa,
+    /// The marker symbols.
+    pub markers: std::collections::BTreeSet<Symbol>,
+}
+
+/// Builds the integration automaton of a composite system.
+///
+/// # Panics
+///
+/// Panics if `system` is not composite (callers check first).
+pub fn build_integration(system: &System) -> Integration {
+    let info: &CompositeInfo = system
+        .composite()
+        .expect("integration requires a composite system");
+    let alphabet = info.alphabet.clone();
+    let spec = &system.spec;
+
+    // Per-operation, per-live-exit behaviors.
+    // The spec's exits were filtered to live ones in declaration order, so
+    // re-deriving the live list from the lowered program matches 1:1.
+    let mut behaviors: BTreeMap<(usize, usize), Regex> = BTreeMap::new();
+    for (oi, op) in spec.operations.iter().enumerate() {
+        let Some(lowered) = info.methods.get(&op.name) else {
+            continue;
+        };
+        let (_, tagged) = denote_exits(&lowered.program);
+        let tagged: BTreeMap<usize, Regex> = tagged.into_iter().collect();
+        let mut live_exit_ids: Vec<usize> = tagged
+            .iter()
+            .filter(|(_, r)| !r.is_empty_language())
+            .map(|(e, _)| *e)
+            .collect();
+        live_exit_ids.sort_unstable();
+        for (ei, exit_id) in live_exit_ids.into_iter().enumerate() {
+            if ei < op.exits.len() {
+                behaviors.insert((oi, ei), tagged[&exit_id].clone());
+            }
+        }
+    }
+
+    let mut b = Nfa::builder(alphabet.clone());
+    let start = b.add_state();
+    b.set_start(start);
+    // Zero usage is a legal complete usage.
+    b.mark_accepting(start);
+
+    // One state per spec exit.
+    let mut exit_state: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (oi, op) in spec.operations.iter().enumerate() {
+        for ei in 0..op.exits.len() {
+            let s = b.add_state();
+            exit_state.insert((oi, ei), s);
+            if op.kind.is_final() {
+                b.mark_accepting(s);
+            }
+        }
+    }
+
+    let index_of: BTreeMap<&str, usize> = spec
+        .operations
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.name.as_str(), i))
+        .collect();
+
+    // Splice an operation invocation from `from` into each exit of `op`.
+    let splice = |b: &mut shelley_regular::NfaBuilder, from: usize, oi: usize| {
+        let op = &spec.operations[oi];
+        let marker = alphabet
+            .lookup(&op.name)
+            .expect("marker symbol interned during system building");
+        let entry = b.add_state();
+        b.add_edge(from, Label::Sym(marker), entry);
+        for ei in 0..op.exits.len() {
+            let behavior = behaviors
+                .get(&(oi, ei))
+                .cloned()
+                .unwrap_or(Regex::Epsilon);
+            let tail = b.add_regex(entry, &behavior);
+            b.add_edge(tail, Label::Eps, exit_state[&(oi, ei)]);
+        }
+    };
+
+    // From start: initial operations.
+    for (oi, op) in spec.operations.iter().enumerate() {
+        if op.kind.is_initial() {
+            splice(&mut b, start, oi);
+        }
+    }
+    // From each exit: the declared next operations.
+    for (oi, op) in spec.operations.iter().enumerate() {
+        for (ei, exit) in op.exits.iter().enumerate() {
+            let from = exit_state[&(oi, ei)];
+            for next in &exit.next {
+                if let Some(&ni) = index_of.get(next.as_str()) {
+                    splice(&mut b, from, ni);
+                }
+            }
+        }
+    }
+
+    Integration {
+        nfa: b.build(),
+        markers: info.markers.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::build_systems;
+    use micropython_parser::parse_module;
+    use shelley_regular::ops::strip_markers;
+
+    const BADSECTOR: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                print("a failed")
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                self.a.close()
+                return []
+"#;
+
+    #[test]
+    fn badsector_integration_contains_paper_counterexample() {
+        let m = parse_module(BADSECTOR).unwrap();
+        let (systems, diags) = build_systems(&m);
+        assert!(!diags.has_errors(), "{:?}", diags);
+        let bs = systems.get("BadSector").unwrap();
+        let integration = build_integration(bs);
+        let ab = integration.nfa.alphabet().clone();
+        let s = |n: &str| ab.lookup(n).unwrap();
+        // The paper's counterexample: open_a, a.test, a.open — a complete
+        // usage of BadSector (open_a is final) whose a-projection is the
+        // incomplete Valve run test·open.
+        assert!(integration.nfa.accepts(&[
+            s("open_a"),
+            s("a.test"),
+            s("a.open")
+        ]));
+        // The clean branch: open_a, a.test, a.clean.
+        assert!(integration.nfa.accepts(&[
+            s("open_a"),
+            s("a.test"),
+            s("a.clean")
+        ]));
+        // The full run through open_b.
+        assert!(integration.nfa.accepts(&[
+            s("open_a"),
+            s("a.test"),
+            s("a.open"),
+            s("open_b"),
+            s("b.test"),
+            s("b.open"),
+            s("a.close"),
+            s("b.close"),
+        ]));
+        // Empty usage.
+        assert!(integration.nfa.accepts(&[]));
+        // open_b cannot come first (not initial).
+        assert!(!integration.nfa.accepts(&[s("open_b"), s("b.test"), s("b.clean")]));
+        // Events cannot appear without their operation marker.
+        assert!(!integration.nfa.accepts(&[s("a.test"), s("a.open")]));
+    }
+
+    #[test]
+    fn markers_strip_to_event_traces() {
+        let m = parse_module(BADSECTOR).unwrap();
+        let (systems, _) = build_systems(&m);
+        let bs = systems.get("BadSector").unwrap();
+        let integration = build_integration(bs);
+        let ab = integration.nfa.alphabet().clone();
+        let s = |n: &str| ab.lookup(n).unwrap();
+        let word = vec![s("open_a"), s("a.test"), s("a.clean")];
+        let stripped = strip_markers(&word, &integration.markers);
+        assert_eq!(stripped, vec![s("a.test"), s("a.clean")]);
+    }
+}

@@ -1,0 +1,273 @@
+//! The end-to-end verification pipeline.
+//!
+//! `parse → annotations → specs → extraction → invocation analysis →
+//! subsystem usage → temporal claims`, producing a [`CheckReport`] with all
+//! structural diagnostics and the paper's two specification errors.
+
+use crate::diagnostics::{codes, Diagnostic, Diagnostics};
+use crate::integration::{build_integration, Integration};
+use crate::system::{build_systems, SystemSet};
+use crate::verify::claims::{check_claims, ClaimViolation};
+use crate::verify::usage::{check_usage, UsageViolation};
+use micropython_parser::{parse_module, ParseError, SourceFile};
+
+/// The result of verifying one source file.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Structural diagnostics (annotations, invocation analysis, lints).
+    pub diagnostics: Diagnostics,
+    /// `INVALID SUBSYSTEM USAGE` failures, by class.
+    pub usage_violations: Vec<(String, UsageViolation)>,
+    /// `FAIL TO MEET REQUIREMENT` failures, by class.
+    pub claim_violations: Vec<(String, ClaimViolation)>,
+}
+
+impl CheckReport {
+    /// Whether verification passed (no errors of any kind; warnings are
+    /// allowed).
+    pub fn passed(&self) -> bool {
+        !self.diagnostics.has_errors()
+            && self.usage_violations.is_empty()
+            && self.claim_violations.is_empty()
+    }
+
+    /// Renders the whole report: specification errors in the paper's
+    /// format, then the remaining diagnostics.
+    pub fn render(&self, source: Option<&SourceFile>) -> String {
+        let mut out = String::new();
+        for (class, v) in &self.usage_violations {
+            out.push_str(&format!("[{class}] "));
+            out.push_str(&v.render());
+            out.push('\n');
+        }
+        for (class, v) in &self.claim_violations {
+            out.push_str(&format!("[{class}] "));
+            out.push_str(&v.render());
+            out.push('\n');
+        }
+        for d in self.diagnostics.iter() {
+            out.push_str(&d.render(source));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The verified systems plus everything the verifier computed for them.
+#[derive(Debug, Clone)]
+pub struct Checked {
+    /// All systems of the module.
+    pub systems: SystemSet,
+    /// Integration automata of composite systems, by class name.
+    pub integrations: Vec<(String, Integration)>,
+    /// The report.
+    pub report: CheckReport,
+}
+
+/// Parses and fully verifies `source`.
+///
+/// # Errors
+///
+/// Returns the parse error if the source is not in the supported
+/// MicroPython subset; all verification findings are reported through the
+/// returned [`CheckReport`] instead.
+pub fn check_source(source: &str) -> Result<Checked, ParseError> {
+    let module = parse_module(source)?;
+    Ok(check_module(&module))
+}
+
+/// Verifies an already-parsed module (used by multi-file projects).
+pub fn check_module(module: &micropython_parser::ast::Module) -> Checked {
+    let (systems, mut diagnostics) = build_systems(module);
+    let mut usage_violations = Vec::new();
+    let mut claim_violations = Vec::new();
+    let mut integrations = Vec::new();
+
+    for system in systems.iter() {
+        let integration = system.is_composite().then(|| build_integration(system));
+        if let Some(ref integ) = integration {
+            if let Err(v) = check_usage(system, &systems, integ) {
+                diagnostics.push(
+                    Diagnostic::error(
+                        codes::INVALID_SUBSYSTEM_USAGE,
+                        format!(
+                            "class `{}`: invalid subsystem usage (counterexample: {})",
+                            system.name, v.counterexample_text
+                        ),
+                    )
+                    .with_note(v.render().trim_end().to_owned()),
+                );
+                usage_violations.push((system.name.clone(), v));
+            }
+        }
+        for v in check_claims(system, integration.as_ref(), &mut diagnostics) {
+            diagnostics.push(
+                Diagnostic::error(
+                    codes::FAIL_TO_MEET_REQUIREMENT,
+                    format!(
+                        "class `{}`: fails requirement `{}` (counterexample: {})",
+                        system.name, v.formula, v.counterexample_text
+                    ),
+                )
+                .with_note(v.render().trim_end().to_owned()),
+            );
+            claim_violations.push((system.name.clone(), v));
+        }
+        if let Some(integ) = integration {
+            integrations.push((system.name.clone(), integ));
+        }
+    }
+
+    Checked {
+        systems,
+        integrations,
+        report: CheckReport {
+            diagnostics,
+            usage_violations,
+            claim_violations,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Listings 2.1 + 2.2 of the paper, verbatim.
+    pub(crate) const PAPER_SOURCE: &str = r#"
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean_pin = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean_pin.on()
+        return ["test"]
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                print("a failed")
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                self.a.close()
+                return []
+"#;
+
+    #[test]
+    fn paper_example_end_to_end() {
+        let checked = check_source(PAPER_SOURCE).unwrap();
+        assert!(!checked.report.passed());
+        // Exactly one usage violation (BadSector) with the paper's text.
+        assert_eq!(checked.report.usage_violations.len(), 1);
+        let (class, v) = &checked.report.usage_violations[0];
+        assert_eq!(class, "BadSector");
+        assert_eq!(v.counterexample_text, "open_a, a.test, a.open");
+        assert_eq!(
+            v.subsystem_errors[0].render(),
+            "Valve 'a': test, >open< (not final)"
+        );
+        // And one claim violation.
+        assert_eq!(checked.report.claim_violations.len(), 1);
+        let (_, cv) = &checked.report.claim_violations[0];
+        assert_eq!(cv.formula, "(!a.open) W b.open");
+        // Valve itself is fine; both systems built.
+        assert_eq!(checked.systems.len(), 2);
+        assert_eq!(checked.integrations.len(), 1);
+        // The rendered report shows both paper error blocks.
+        let text = checked.report.render(None);
+        assert!(text.contains("INVALID SUBSYSTEM USAGE"));
+        assert!(text.contains("FAIL TO MEET REQUIREMENT"));
+    }
+
+    #[test]
+    fn fixed_sector_passes() {
+        // The corrected sector: open both valves in one operation,
+        // respecting the Valve protocol and the claim.
+        let src = PAPER_SOURCE.replace(
+            r#"@claim("(!a.open) W b.open")"#,
+            r#"@claim("(!a.open) W b.test")"#,
+        );
+        // Build a conforming composite instead of BadSector.
+        let good = r#"
+@sys(["a"])
+class GoodSector:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def water(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+"#;
+        let valve_only: String = src
+            .split("@claim")
+            .next()
+            .unwrap()
+            .to_owned()
+            + good;
+        let checked = check_source(&valve_only).unwrap();
+        assert!(checked.report.passed(), "{}", checked.report.render(None));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(check_source("def broken(:\n").is_err());
+    }
+
+    #[test]
+    fn empty_module_passes_vacuously() {
+        let checked = check_source("x = 1\n").unwrap();
+        assert!(checked.report.passed());
+        assert!(checked.systems.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Multi-file projects.
+//!
+//! Real controllers split classes across files (`valve.py`, `sector.py`,
+//! `controller.py`); subsystem resolution must see all of them at once.
+//! [`check_project`] parses every file, merges the modules (later files
+//! may reference classes from earlier ones and vice versa — resolution is
+//! name-based and order-independent), and runs the full pipeline.
+
+use crate::diagnostics::{codes, Diagnostic};
+use crate::pipeline::{check_module, Checked};
+use micropython_parser::ast::Module;
+use micropython_parser::{parse_module, ParseError};
+
+/// One source file of a project.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectFile {
+    /// Display name (path) used in diagnostics.
+    pub name: String,
+    /// The file's source text.
+    pub source: String,
+}
+
+impl ProjectFile {
+    /// Pairs a display name with source text.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        ProjectFile {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// A parse failure attributed to its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectParseError {
+    /// The failing file's display name.
+    pub file: String,
+    /// The underlying error.
+    pub error: ParseError,
+}
+
+impl std::fmt::Display for ProjectParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.error)
+    }
+}
+
+impl std::error::Error for ProjectParseError {}
+
+/// Parses and verifies a whole project (any number of files).
+///
+/// Class resolution is global: a composite in one file may use `@sys`
+/// classes declared in any other. Duplicate class names across files are
+/// reported as `E004` and the later definition wins (matching Python's
+/// last-definition semantics for re-imported names).
+///
+/// # Errors
+///
+/// Returns the first [`ProjectParseError`]; verification findings are in
+/// the returned [`Checked`]'s report.
+pub fn check_project(files: &[ProjectFile]) -> Result<Checked, ProjectParseError> {
+    let mut merged = Module { body: Vec::new() };
+    let mut parsed: Vec<(String, Module)> = Vec::new();
+    for file in files {
+        let module = parse_module(&file.source).map_err(|error| ProjectParseError {
+            file: file.name.clone(),
+            error,
+        })?;
+        parsed.push((file.name.clone(), module));
+    }
+
+    // Detect duplicate class names across files.
+    let mut seen: std::collections::BTreeMap<String, String> =
+        std::collections::BTreeMap::new();
+    let mut duplicates = Vec::new();
+    for (name, module) in &parsed {
+        for class in module.classes() {
+            if let Some(first) = seen.get(&class.name.node) {
+                duplicates.push(Diagnostic::error(
+                    codes::BAD_ANNOTATION,
+                    format!(
+                        "class `{}` defined in both {first} and {name}; the \
+                         later definition is used",
+                        class.name.node
+                    ),
+                ));
+            } else {
+                seen.insert(class.name.node.clone(), name.clone());
+            }
+        }
+    }
+
+    for (_, module) in parsed {
+        merged.body.extend(module.body);
+    }
+
+    let mut checked = check_module(&merged);
+    for d in duplicates {
+        checked.report.diagnostics.push(d);
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALVE_PY: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+"#;
+
+    const SECTOR_PY: &str = r#"
+@sys(["a"])
+class Sector:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def water(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+"#;
+
+    #[test]
+    fn cross_file_resolution_works() {
+        let files = [
+            ProjectFile::new("valve.py", VALVE_PY),
+            ProjectFile::new("sector.py", SECTOR_PY),
+        ];
+        let checked = check_project(&files).unwrap();
+        assert!(checked.report.passed(), "{}", checked.report.render(None));
+        assert_eq!(checked.systems.len(), 2);
+        assert!(checked.systems.get("Sector").unwrap().is_composite());
+    }
+
+    #[test]
+    fn file_order_does_not_matter() {
+        // Sector first, Valve second: forward reference still resolves.
+        let files = [
+            ProjectFile::new("sector.py", SECTOR_PY),
+            ProjectFile::new("valve.py", VALVE_PY),
+        ];
+        let checked = check_project(&files).unwrap();
+        assert!(checked.report.passed(), "{}", checked.report.render(None));
+    }
+
+    #[test]
+    fn parse_errors_name_the_file() {
+        let files = [
+            ProjectFile::new("good.py", VALVE_PY),
+            ProjectFile::new("bad.py", "def broken(:\n"),
+        ];
+        let err = check_project(&files).unwrap_err();
+        assert_eq!(err.file, "bad.py");
+    }
+
+    #[test]
+    fn duplicate_classes_reported() {
+        let files = [
+            ProjectFile::new("v1.py", VALVE_PY),
+            ProjectFile::new("v2.py", VALVE_PY),
+        ];
+        let checked = check_project(&files).unwrap();
+        assert!(checked
+            .report
+            .diagnostics
+            .by_code(codes::BAD_ANNOTATION)
+            .any(|d| d.message.contains("defined in both")));
+    }
+
+    #[test]
+    fn violations_cross_files() {
+        let bad_sector = SECTOR_PY.replace("self.a.close()\n                ", "");
+        let files = [
+            ProjectFile::new("valve.py", VALVE_PY),
+            ProjectFile::new("sector.py", &bad_sector),
+        ];
+        let checked = check_project(&files).unwrap();
+        assert_eq!(checked.report.usage_violations.len(), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! Class specifications: the operation model of a `@sys` class.
+//!
+//! A specification is the data of §3.1's method-dependency graph: a set of
+//! operations, which of them are initial/final, and — per *exit point*
+//! (return site) — the set of operations allowed next. Compiling the
+//! specification yields an NFA whose states are exit points; its language
+//! is the set of **complete usages** of the class (starting at an initial
+//! operation, ending at a final one; the empty usage is always legal).
+
+use crate::annotations::OpKind;
+use micropython_parser::Span;
+use shelley_regular::{Alphabet, Label, Nfa, StateId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// One exit point (return site) of an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExitSpec {
+    /// Names of the operations that may be invoked next (`return ["close"]`
+    /// → `["close"]`; `return []` → empty).
+    pub next: Vec<String>,
+    /// Where the `return` was written (absent for implicit returns).
+    pub span: Option<Span>,
+    /// Whether this exit was synthesized for a body that can fall off the
+    /// end without a `return`.
+    pub implicit: bool,
+}
+
+/// One operation (an `@op*`-annotated method).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationSpec {
+    /// The method name.
+    pub name: String,
+    /// Initial/final/middle (Table 1).
+    pub kind: OpKind,
+    /// Exit points in source order.
+    pub exits: Vec<ExitSpec>,
+    /// Where the method was declared.
+    pub span: Option<Span>,
+}
+
+/// The specification (operation model) of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSpec {
+    /// The class name.
+    pub name: String,
+    /// Operations in declaration order.
+    pub operations: Vec<OperationSpec>,
+}
+
+impl ClassSpec {
+    /// Finds an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&OperationSpec> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Names of the initial operations.
+    pub fn initial_ops(&self) -> impl Iterator<Item = &OperationSpec> {
+        self.operations.iter().filter(|o| o.kind.is_initial())
+    }
+
+    /// The distinct next-sets of an operation's exits — the "exit classes"
+    /// a caller must scrutinize with `match` (§2.2, *Matching exit
+    /// points*).
+    pub fn exit_next_sets(&self, op: &str) -> Vec<BTreeSet<String>> {
+        let Some(op) = self.operation(op) else {
+            return Vec::new();
+        };
+        let mut seen: Vec<BTreeSet<String>> = Vec::new();
+        for exit in &op.exits {
+            let set: BTreeSet<String> = exit.next.iter().cloned().collect();
+            if !seen.contains(&set) {
+                seen.push(set);
+            }
+        }
+        seen
+    }
+}
+
+/// The exit-point automaton of a specification, with the bookkeeping
+/// needed to explain runs (which state is which exit).
+#[derive(Debug, Clone)]
+pub struct SpecAutomaton {
+    nfa: Nfa,
+    /// `(operation index, exit index)` for each exit state id.
+    exit_info: BTreeMap<StateId, (usize, usize)>,
+    start: StateId,
+}
+
+impl SpecAutomaton {
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The start state (no operation invoked yet).
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Which `(operation, exit)` a state represents, if it is an exit state.
+    pub fn exit_at(&self, state: StateId) -> Option<(usize, usize)> {
+        self.exit_info.get(&state).copied()
+    }
+}
+
+/// Compiles `spec` into its exit-point automaton over `alphabet`.
+///
+/// Event symbols are the operation names, optionally qualified with
+/// `prefix.` (so the `Valve` spec of field `a` speaks `a.test`, `a.open`,
+/// …). All operation symbols are interned into `alphabet` by
+/// [`intern_spec_events`] before this is called.
+///
+/// States: one start state plus one state per exit point. Transitions:
+/// `start --op--> exit(op, i)` for every initial `op` and each of its
+/// exits; `exit(e) --op'--> exit(op', j)` whenever `op' ∈ next(e)`.
+/// Accepting: the start state (empty usage) and every exit of a final
+/// operation.
+pub fn spec_automaton(
+    spec: &ClassSpec,
+    prefix: Option<&str>,
+    alphabet: Rc<Alphabet>,
+) -> SpecAutomaton {
+    let sym_of = |name: &str| {
+        let full = qualify(prefix, name);
+        alphabet
+            .lookup(&full)
+            .unwrap_or_else(|| panic!("operation symbol `{full}` not interned"))
+    };
+
+    let mut b = Nfa::builder(alphabet.clone());
+    let start = b.add_state();
+    b.set_start(start);
+    b.mark_accepting(start);
+
+    // Allocate exit states.
+    let mut exit_state: BTreeMap<(usize, usize), StateId> = BTreeMap::new();
+    let mut exit_info: BTreeMap<StateId, (usize, usize)> = BTreeMap::new();
+    for (oi, op) in spec.operations.iter().enumerate() {
+        for ei in 0..op.exits.len() {
+            let s = b.add_state();
+            exit_state.insert((oi, ei), s);
+            exit_info.insert(s, (oi, ei));
+            if op.kind.is_final() {
+                b.mark_accepting(s);
+            }
+        }
+    }
+
+    // start --op--> exits of initial ops.
+    for (oi, op) in spec.operations.iter().enumerate() {
+        if op.kind.is_initial() {
+            let sym = sym_of(&op.name);
+            for ei in 0..op.exits.len() {
+                b.add_edge(start, Label::Sym(sym), exit_state[&(oi, ei)]);
+            }
+        }
+    }
+
+    // exit --op'--> exits of op' for each op' in next(exit).
+    let index_of: BTreeMap<&str, usize> = spec
+        .operations
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.name.as_str(), i))
+        .collect();
+    for (oi, op) in spec.operations.iter().enumerate() {
+        for (ei, exit) in op.exits.iter().enumerate() {
+            let from = exit_state[&(oi, ei)];
+            for next_name in &exit.next {
+                let Some(&ni) = index_of.get(next_name.as_str()) else {
+                    // Undefined next-operations are reported by validation;
+                    // the automaton simply omits the edge.
+                    continue;
+                };
+                let sym = sym_of(next_name);
+                for nei in 0..spec.operations[ni].exits.len() {
+                    b.add_edge(from, Label::Sym(sym), exit_state[&(ni, nei)]);
+                }
+            }
+        }
+    }
+
+    SpecAutomaton {
+        nfa: b.build(),
+        exit_info,
+        start,
+    }
+}
+
+/// Interns every operation symbol of `spec` (qualified with `prefix.` if
+/// given) into `alphabet`.
+pub fn intern_spec_events(spec: &ClassSpec, prefix: Option<&str>, alphabet: &mut Alphabet) {
+    for op in &spec.operations {
+        alphabet.intern(&qualify(prefix, &op.name));
+    }
+}
+
+/// Qualifies an operation name with an instance prefix (`a` + `open` →
+/// `a.open`).
+pub fn qualify(prefix: Option<&str>, name: &str) -> String {
+    match prefix {
+        Some(p) => format!("{p}.{name}"),
+        None => name.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_regular::Dfa;
+
+    /// The Valve specification of Listing 2.1.
+    pub(crate) fn valve_spec() -> ClassSpec {
+        ClassSpec {
+            name: "Valve".into(),
+            operations: vec![
+                OperationSpec {
+                    name: "test".into(),
+                    kind: OpKind::Initial,
+                    exits: vec![
+                        ExitSpec {
+                            next: vec!["open".into()],
+                            span: None,
+                            implicit: false,
+                        },
+                        ExitSpec {
+                            next: vec!["clean".into()],
+                            span: None,
+                            implicit: false,
+                        },
+                    ],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "open".into(),
+                    kind: OpKind::Middle,
+                    exits: vec![ExitSpec {
+                        next: vec!["close".into()],
+                        span: None,
+                        implicit: false,
+                    }],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "close".into(),
+                    kind: OpKind::Final,
+                    exits: vec![ExitSpec {
+                        next: vec!["test".into()],
+                        span: None,
+                        implicit: false,
+                    }],
+                    span: None,
+                },
+                OperationSpec {
+                    name: "clean".into(),
+                    kind: OpKind::Final,
+                    exits: vec![ExitSpec {
+                        next: vec!["test".into()],
+                        span: None,
+                        implicit: false,
+                    }],
+                    span: None,
+                },
+            ],
+        }
+    }
+
+    fn valve_automaton(prefix: Option<&str>) -> (Rc<Alphabet>, SpecAutomaton) {
+        let spec = valve_spec();
+        let mut ab = Alphabet::new();
+        intern_spec_events(&spec, prefix, &mut ab);
+        let ab = Rc::new(ab);
+        let auto = spec_automaton(&spec, prefix, ab.clone());
+        (ab, auto)
+    }
+
+    #[test]
+    fn valve_accepts_paper_usages() {
+        let (ab, auto) = valve_automaton(None);
+        let s = |n: &str| ab.lookup(n).unwrap();
+        let nfa = auto.nfa();
+        // Empty usage is legal.
+        assert!(nfa.accepts(&[]));
+        // test → open → close.
+        assert!(nfa.accepts(&[s("test"), s("open"), s("close")]));
+        // test → clean.
+        assert!(nfa.accepts(&[s("test"), s("clean")]));
+        // Repeat cycles: close returns ["test"].
+        assert!(nfa.accepts(&[
+            s("test"),
+            s("open"),
+            s("close"),
+            s("test"),
+            s("clean")
+        ]));
+    }
+
+    #[test]
+    fn valve_rejects_bad_usages() {
+        let (ab, auto) = valve_automaton(None);
+        let s = |n: &str| ab.lookup(n).unwrap();
+        let nfa = auto.nfa();
+        // The BadSector failure: test → open is incomplete (open not final).
+        assert!(!nfa.accepts(&[s("test"), s("open")]));
+        // Cannot start with open (not initial).
+        assert!(!nfa.accepts(&[s("open"), s("close")]));
+        // Cannot clean after open.
+        assert!(!nfa.accepts(&[s("test"), s("open"), s("clean")]));
+        // Only test alone is incomplete too.
+        assert!(!nfa.accepts(&[s("test")]));
+    }
+
+    #[test]
+    fn qualified_automaton_speaks_prefixed_events() {
+        let (ab, auto) = valve_automaton(Some("a"));
+        let s = |n: &str| ab.lookup(n).unwrap();
+        assert!(auto.nfa().accepts(&[s("a.test"), s("a.clean")]));
+        assert!(ab.lookup("test").is_none());
+    }
+
+    #[test]
+    fn exit_states_are_tracked() {
+        let (_, auto) = valve_automaton(None);
+        // 5 exits total (test has 2, the other three 1 each) + start.
+        assert_eq!(auto.nfa().num_states(), 6);
+        let exits: Vec<(usize, usize)> = (0..auto.nfa().num_states())
+            .filter_map(|q| auto.exit_at(q))
+            .collect();
+        assert_eq!(exits.len(), 5);
+        assert!(auto.exit_at(auto.start()).is_none());
+    }
+
+    #[test]
+    fn exit_next_sets_deduplicate() {
+        let spec = valve_spec();
+        let sets = spec.exit_next_sets("test");
+        assert_eq!(sets.len(), 2);
+        assert!(sets.contains(&BTreeSet::from(["open".to_string()])));
+        assert!(sets.contains(&BTreeSet::from(["clean".to_string()])));
+        assert_eq!(spec.exit_next_sets("close").len(), 1);
+        assert!(spec.exit_next_sets("missing").is_empty());
+    }
+
+    #[test]
+    fn spec_language_is_regular_and_deterministic_after_compilation() {
+        let (_, auto) = valve_automaton(None);
+        let dfa = Dfa::from_nfa(auto.nfa()).minimize();
+        assert!(dfa.num_states() >= 3);
+        // Deterministic check agrees with the NFA on enumerated words.
+        for w in dfa.enumerate_words(5, 200) {
+            assert!(auto.nfa().accepts(&w));
+        }
+    }
+}

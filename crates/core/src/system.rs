@@ -1,0 +1,600 @@
+//! Building verified systems from a parsed module.
+//!
+//! Two passes over the module's `@sys` classes:
+//!
+//! 1. every class gets a [`ClassSpec`] — operations from `@op*` decorators,
+//!    exit points from the lowered bodies' live returns;
+//! 2. composite classes resolve their subsystem fields against `__init__`
+//!    and the other specs, and invocation analysis runs.
+
+use crate::annotations::{class_annotations, op_annotation, Claim, ClassKind};
+use crate::diagnostics::{codes, Diagnostic, Diagnostics};
+use crate::extract::invocation::check_invocations;
+use crate::extract::lower::{
+    lower_method, subsystem_classes, LoweredMethod, ReturnForm,
+};
+use crate::spec::{intern_spec_events, spec_automaton, ClassSpec, ExitSpec, OperationSpec};
+use micropython_parser::ast::Module;
+use shelley_ir::denote_exits;
+use shelley_regular::{Alphabet, Label};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// A subsystem instance of a composite class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subsystem {
+    /// The field name (`a` in `self.a = Valve()`).
+    pub field: String,
+    /// The class instantiated in `__init__`.
+    pub class_name: String,
+}
+
+/// What kind of system a class is.
+#[derive(Debug, Clone)]
+pub enum SystemKind {
+    /// `@sys` — model from annotations only.
+    Base,
+    /// `@sys([...])` — model plus extracted behaviors over subsystems.
+    Composite(CompositeInfo),
+}
+
+/// The extraction products of a composite class.
+#[derive(Debug, Clone)]
+pub struct CompositeInfo {
+    /// Declared subsystems in decorator order.
+    pub subsystems: Vec<Subsystem>,
+    /// Lowered bodies of the `@op*` methods, keyed by operation name.
+    pub methods: BTreeMap<String, LoweredMethod>,
+    /// The composite's alphabet: its own operation names (markers) plus the
+    /// qualified events of every subsystem, plus claim atoms.
+    pub alphabet: Rc<Alphabet>,
+    /// The marker symbols (the composite's own operation names).
+    pub markers: BTreeSet<shelley_regular::Symbol>,
+}
+
+/// A verified (or verifiable) system: one `@sys` class.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// The class name.
+    pub name: String,
+    /// Base or composite.
+    pub kind: SystemKind,
+    /// The operation model.
+    pub spec: ClassSpec,
+    /// Temporal claims in source order.
+    pub claims: Vec<Claim>,
+}
+
+impl System {
+    /// Whether this is a composite system.
+    pub fn is_composite(&self) -> bool {
+        matches!(self.kind, SystemKind::Composite(_))
+    }
+
+    /// The composite info, if any.
+    pub fn composite(&self) -> Option<&CompositeInfo> {
+        match &self.kind {
+            SystemKind::Composite(c) => Some(c),
+            SystemKind::Base => None,
+        }
+    }
+}
+
+/// All systems of a module, in declaration order.
+#[derive(Debug, Clone, Default)]
+pub struct SystemSet {
+    systems: Vec<System>,
+}
+
+impl SystemSet {
+    /// Looks a system up by class name.
+    pub fn get(&self, name: &str) -> Option<&System> {
+        self.systems.iter().find(|s| s.name == name)
+    }
+
+    /// All systems in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &System> {
+        self.systems.iter()
+    }
+
+    /// Number of systems.
+    pub fn len(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// Whether no `@sys` class was found.
+    pub fn is_empty(&self) -> bool {
+        self.systems.is_empty()
+    }
+}
+
+/// Builds every `@sys` system of `module`, reporting structural problems.
+pub fn build_systems(module: &Module) -> (SystemSet, Diagnostics) {
+    let mut diagnostics = Diagnostics::new();
+    let mut systems = Vec::new();
+
+    // Pass 1: specs and lowered methods for every @sys class.
+    struct Raw {
+        name: String,
+        kind: ClassKind,
+        claims: Vec<Claim>,
+        spec: ClassSpec,
+        methods: BTreeMap<String, LoweredMethod>,
+        alphabet: Alphabet,
+        declared_fields: Vec<String>,
+        init_classes: BTreeMap<String, String>,
+    }
+    let mut raws: Vec<Raw> = Vec::new();
+
+    for class in module.classes() {
+        let ann = class_annotations(class, &mut diagnostics);
+        let (declared_fields, is_composite) = match &ann.kind {
+            ClassKind::Unconstrained => continue,
+            ClassKind::Base => (Vec::new(), false),
+            ClassKind::Composite(fields) => (fields.clone(), true),
+        };
+        let field_set: BTreeSet<String> = declared_fields.iter().cloned().collect();
+        let mut alphabet = Alphabet::new();
+        let mut operations = Vec::new();
+        let mut methods = BTreeMap::new();
+
+        for func in class.methods() {
+            let Some((op_kind, _)) = op_annotation(func, &mut diagnostics) else {
+                continue;
+            };
+            let lowered = lower_method(func, &field_set, &mut alphabet);
+            // Live exits: a return site contributes an exit point iff some
+            // run actually reaches it.
+            let (_, tagged) = denote_exits(&lowered.program);
+            let live: BTreeSet<usize> = tagged
+                .iter()
+                .filter(|(_, r)| !r.is_empty_language())
+                .map(|(e, _)| *e)
+                .collect();
+            let mut exits = Vec::new();
+            for (id, exit) in lowered.exits.iter().enumerate() {
+                if !live.contains(&id) {
+                    continue;
+                }
+                if exit.form == ReturnForm::Implicit {
+                    diagnostics.push(
+                        Diagnostic::warning(
+                            codes::IMPLICIT_RETURN,
+                            format!(
+                                "operation `{}` of `{}` may finish without a \
+                                 `return` declaring next operations; treated \
+                                 as `return []`",
+                                func.name.node, class.name.node
+                            ),
+                        )
+                        .with_span(func.name.span),
+                    );
+                }
+                if exit.form == ReturnForm::Other {
+                    diagnostics.push(
+                        Diagnostic::warning(
+                            codes::IMPLICIT_RETURN,
+                            format!(
+                                "a `return` in operation `{}` of `{}` does not \
+                                 declare next operations (see Table 2 forms); \
+                                 treated as `return []`",
+                                func.name.node, class.name.node
+                            ),
+                        )
+                        .with_span(exit.span.unwrap_or(func.name.span)),
+                    );
+                }
+                exits.push(ExitSpec {
+                    next: exit.next.clone(),
+                    span: exit.span,
+                    implicit: exit.form == ReturnForm::Implicit,
+                });
+            }
+            operations.push(OperationSpec {
+                name: func.name.node.clone(),
+                kind: op_kind,
+                exits,
+                span: Some(func.name.span),
+            });
+            methods.insert(func.name.node.clone(), lowered);
+        }
+
+        let init_classes = class
+            .method("__init__")
+            .map(subsystem_classes)
+            .unwrap_or_default();
+
+        raws.push(Raw {
+            name: class.name.node.clone(),
+            kind: if is_composite {
+                ClassKind::Composite(declared_fields.clone())
+            } else {
+                ClassKind::Base
+            },
+            claims: ann.claims,
+            spec: ClassSpec {
+                name: class.name.node.clone(),
+                operations,
+            },
+            methods,
+            alphabet,
+            declared_fields,
+            init_classes,
+        });
+    }
+
+    // Spec-level validation for every system.
+    let spec_index: BTreeMap<String, ClassSpec> = raws
+        .iter()
+        .map(|r| (r.name.clone(), r.spec.clone()))
+        .collect();
+    for raw in &raws {
+        validate_spec(&raw.spec, &mut diagnostics);
+    }
+
+    // Pass 2: resolve composites and run invocation analysis.
+    for raw in raws {
+        let Raw {
+            name,
+            kind,
+            claims,
+            spec,
+            methods,
+            mut alphabet,
+            declared_fields,
+            init_classes,
+        } = raw;
+        let kind = match kind {
+            // Unconstrained classes were filtered out in pass 1.
+            ClassKind::Base | ClassKind::Unconstrained => {
+                // Base classes speak their own (unqualified) operations.
+                SystemKind::Base
+            }
+            ClassKind::Composite(_) => {
+                let mut subsystems = Vec::new();
+                let mut sub_specs: BTreeMap<String, &ClassSpec> = BTreeMap::new();
+                for field in &declared_fields {
+                    let Some(class_name) = init_classes.get(field) else {
+                        diagnostics.push(Diagnostic::error(
+                            codes::UNKNOWN_SUBSYSTEM,
+                            format!(
+                                "subsystem field `{field}` of `{name}` is never \
+                                 assigned `self.{field} = SomeClass()` in \
+                                 `__init__`"
+                            ),
+                        ));
+                        continue;
+                    };
+                    let Some(sub_spec) = spec_index.get(class_name) else {
+                        diagnostics.push(Diagnostic::error(
+                            codes::UNKNOWN_SUBSYSTEM,
+                            format!(
+                                "subsystem `{field}` of `{name}` is an instance \
+                                 of `{class_name}`, which is not a `@sys` class \
+                                 in this module"
+                            ),
+                        ));
+                        continue;
+                    };
+                    subsystems.push(Subsystem {
+                        field: field.clone(),
+                        class_name: class_name.clone(),
+                    });
+                    sub_specs.insert(field.clone(), sub_spec);
+                }
+
+                // Invocation analysis (step 3).
+                for (op_name, lowered) in &methods {
+                    check_invocations(op_name, lowered, &sub_specs, &mut diagnostics);
+                }
+
+                // Complete the alphabet: markers + all subsystem events.
+                let mut markers = BTreeSet::new();
+                for op in &spec.operations {
+                    markers.insert(alphabet.intern(&op.name));
+                }
+                for sub in &subsystems {
+                    if let Some(sub_spec) = spec_index.get(&sub.class_name) {
+                        intern_spec_events(sub_spec, Some(&sub.field), &mut alphabet);
+                    }
+                }
+                SystemKind::Composite(CompositeInfo {
+                    subsystems,
+                    methods,
+                    alphabet: Rc::new(alphabet),
+                    markers,
+                })
+            }
+        };
+        systems.push(System {
+            name,
+            kind,
+            spec,
+            claims,
+        });
+    }
+
+    (SystemSet { systems }, diagnostics)
+}
+
+/// Structural validation of a specification: initial operations exist, next
+/// references resolve, operations are reachable, and no reachable state is
+/// stuck away from every final operation.
+pub fn validate_spec(spec: &ClassSpec, diagnostics: &mut Diagnostics) {
+    if spec.operations.is_empty() {
+        diagnostics.push(Diagnostic::warning(
+            codes::UNREACHABLE_OPERATION,
+            format!("`@sys` class `{}` declares no operations", spec.name),
+        ));
+        return;
+    }
+    if spec.initial_ops().next().is_none() {
+        diagnostics.push(Diagnostic::error(
+            codes::NO_INITIAL_OPERATION,
+            format!(
+                "class `{}` has no `@op_initial` (or `@op_initial_final`) \
+                 operation; no method may ever be invoked",
+                spec.name
+            ),
+        ));
+    }
+    // Undefined next-operations.
+    for op in &spec.operations {
+        for exit in &op.exits {
+            for next in &exit.next {
+                if spec.operation(next).is_none() {
+                    diagnostics.push(
+                        Diagnostic::error(
+                            codes::UNDEFINED_NEXT_OPERATION,
+                            format!(
+                                "operation `{}` of `{}` returns `\"{}\"`, which \
+                                 is not an operation of the class",
+                                op.name, spec.name, next
+                            ),
+                        )
+                        .with_span(exit.span.unwrap_or_default()),
+                    );
+                }
+            }
+        }
+    }
+    // Reachability over the spec automaton.
+    let mut alphabet = Alphabet::new();
+    intern_spec_events(spec, None, &mut alphabet);
+    let auto = spec_automaton(spec, None, Rc::new(alphabet));
+    let nfa = auto.nfa();
+    // Forward reachability from start.
+    let mut fwd = vec![false; nfa.num_states()];
+    let mut stack = vec![auto.start()];
+    fwd[auto.start()] = true;
+    while let Some(q) = stack.pop() {
+        for &(_, dst) in nfa.edges_from(q) {
+            if !fwd[dst] {
+                fwd[dst] = true;
+                stack.push(dst);
+            }
+        }
+    }
+    let mut reachable_ops: BTreeSet<usize> = BTreeSet::new();
+    for q in 0..nfa.num_states() {
+        if fwd[q] {
+            if let Some((oi, _)) = auto.exit_at(q) {
+                reachable_ops.insert(oi);
+            }
+        }
+    }
+    for (oi, op) in spec.operations.iter().enumerate() {
+        if !reachable_ops.contains(&oi) && !op.exits.is_empty() {
+            diagnostics.push(
+                Diagnostic::warning(
+                    codes::UNREACHABLE_OPERATION,
+                    format!(
+                        "operation `{}` of `{}` is unreachable from the \
+                         initial operations",
+                        op.name, spec.name
+                    ),
+                )
+                .with_span(op.span.unwrap_or_default()),
+            );
+        }
+    }
+    // Backward reachability from accepting states: reachable-but-stuck
+    // exits can never complete the object's lifetime.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nfa.num_states()];
+    for q in 0..nfa.num_states() {
+        for &(label, dst) in nfa.edges_from(q) {
+            debug_assert!(matches!(label, Label::Sym(_)));
+            preds[dst].push(q);
+        }
+    }
+    let mut live = vec![false; nfa.num_states()];
+    let mut stack: Vec<usize> = (0..nfa.num_states())
+        .filter(|&q| nfa.is_accepting(q))
+        .collect();
+    for &q in &stack {
+        live[q] = true;
+    }
+    while let Some(q) = stack.pop() {
+        for &p in &preds[q] {
+            if !live[p] {
+                live[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    for q in 0..nfa.num_states() {
+        if fwd[q] && !live[q] {
+            if let Some((oi, ei)) = auto.exit_at(q) {
+                let op = &spec.operations[oi];
+                diagnostics.push(
+                    Diagnostic::warning(
+                        codes::NO_FINAL_REACHABLE,
+                        format!(
+                            "after exit {ei} of operation `{}` of `{}`, no \
+                             final operation is reachable (the object gets \
+                             stuck)",
+                            op.name, spec.name
+                        ),
+                    )
+                    .with_span(op.exits[ei].span.unwrap_or_default()),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micropython_parser::parse_module;
+
+    const VALVE: &str = r#"
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+"#;
+
+    #[test]
+    fn builds_valve_base_system() {
+        let m = parse_module(VALVE).unwrap();
+        let (systems, diags) = build_systems(&m);
+        assert!(!diags.has_errors(), "{:?}", diags);
+        let valve = systems.get("Valve").unwrap();
+        assert!(!valve.is_composite());
+        assert_eq!(valve.spec.operations.len(), 4);
+        let test = valve.spec.operation("test").unwrap();
+        assert_eq!(test.exits.len(), 2);
+        assert_eq!(test.exits[0].next, vec!["open"]);
+        assert_eq!(test.exits[1].next, vec!["clean"]);
+        assert!(test.kind.is_initial());
+        assert!(valve.spec.operation("close").unwrap().kind.is_final());
+    }
+
+    #[test]
+    fn builds_composite_with_subsystems() {
+        let src = format!(
+            "{VALVE}\n\n@sys([\"a\", \"b\"])\nclass Sector:\n    def __init__(self):\n        self.a = Valve()\n        self.b = Valve()\n\n    @op_initial_final\n    def run(self):\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                self.a.close()\n                return []\n            case [\"clean\"]:\n                self.a.clean()\n                return []\n"
+        );
+        let m = parse_module(&src).unwrap();
+        let (systems, diags) = build_systems(&m);
+        assert!(!diags.has_errors(), "{:?}", diags);
+        let sector = systems.get("Sector").unwrap();
+        let info = sector.composite().unwrap();
+        assert_eq!(info.subsystems.len(), 2);
+        assert_eq!(info.subsystems[0].class_name, "Valve");
+        // Alphabet has markers + qualified events.
+        assert!(info.alphabet.lookup("run").is_some());
+        assert!(info.alphabet.lookup("a.test").is_some());
+        assert!(info.alphabet.lookup("b.clean").is_some());
+        assert_eq!(info.markers.len(), 1);
+    }
+
+    #[test]
+    fn missing_subsystem_field_reported() {
+        let src = "@sys([\"a\"])\nclass S:\n    def __init__(self):\n        pass\n\n    @op_initial_final\n    def go(self):\n        return []\n";
+        let m = parse_module(src).unwrap();
+        let (_, diags) = build_systems(&m);
+        assert_eq!(diags.by_code(codes::UNKNOWN_SUBSYSTEM).count(), 1);
+    }
+
+    #[test]
+    fn unknown_subsystem_class_reported() {
+        let src = "@sys([\"a\"])\nclass S:\n    def __init__(self):\n        self.a = Mystery()\n\n    @op_initial_final\n    def go(self):\n        return []\n";
+        let m = parse_module(src).unwrap();
+        let (_, diags) = build_systems(&m);
+        assert_eq!(diags.by_code(codes::UNKNOWN_SUBSYSTEM).count(), 1);
+    }
+
+    #[test]
+    fn no_initial_reported() {
+        let src = "@sys\nclass V:\n    @op\n    def a(self):\n        return []\n";
+        let m = parse_module(src).unwrap();
+        let (_, diags) = build_systems(&m);
+        assert_eq!(diags.by_code(codes::NO_INITIAL_OPERATION).count(), 1);
+    }
+
+    #[test]
+    fn undefined_next_operation_reported() {
+        let src =
+            "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return [\"launch\"]\n";
+        let m = parse_module(src).unwrap();
+        let (_, diags) = build_systems(&m);
+        assert_eq!(diags.by_code(codes::UNDEFINED_NEXT_OPERATION).count(), 1);
+    }
+
+    #[test]
+    fn unreachable_operation_warned() {
+        let src = "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return []\n\n    @op_final\n    def zombie(self):\n        return []\n";
+        let m = parse_module(src).unwrap();
+        let (_, diags) = build_systems(&m);
+        assert_eq!(diags.by_code(codes::UNREACHABLE_OPERATION).count(), 1);
+    }
+
+    #[test]
+    fn stuck_exit_warned() {
+        // b returns [] but is not final: using it strands the object.
+        let src = "@sys\nclass V:\n    @op_initial\n    def a(self):\n        return [\"b\"]\n\n    @op\n    def b(self):\n        return []\n";
+        let m = parse_module(src).unwrap();
+        let (_, diags) = build_systems(&m);
+        assert!(diags.by_code(codes::NO_FINAL_REACHABLE).count() >= 1);
+    }
+
+    #[test]
+    fn implicit_return_warned() {
+        let src = "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        if x:\n            return []\n";
+        let m = parse_module(src).unwrap();
+        let (systems, diags) = build_systems(&m);
+        assert_eq!(diags.by_code(codes::IMPLICIT_RETURN).count(), 1);
+        // The implicit exit materializes in the spec.
+        let v = systems.get("V").unwrap();
+        assert_eq!(v.spec.operation("a").unwrap().exits.len(), 2);
+        assert!(v.spec.operation("a").unwrap().exits[1].implicit);
+    }
+
+    #[test]
+    fn unconstrained_classes_are_ignored() {
+        let src = "class Helper:\n    def go(self):\n        return 1\n";
+        let m = parse_module(src).unwrap();
+        let (systems, diags) = build_systems(&m);
+        assert!(systems.is_empty());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn hierarchical_composites_resolve() {
+        // A composite whose subsystem is itself a composite.
+        let src = format!(
+            "{VALVE}\n\n@sys([\"v\"])\nclass Sector:\n    def __init__(self):\n        self.v = Valve()\n\n    @op_initial_final\n    def cycle(self):\n        match self.v.test():\n            case [\"open\"]:\n                self.v.open()\n                self.v.close()\n                return []\n            case [\"clean\"]:\n                self.v.clean()\n                return []\n\n@sys([\"s\"])\nclass Controller:\n    def __init__(self):\n        self.s = Sector()\n\n    @op_initial_final\n    def tick(self):\n        self.s.cycle()\n        return []\n"
+        );
+        let m = parse_module(&src).unwrap();
+        let (systems, diags) = build_systems(&m);
+        assert!(!diags.has_errors(), "{:?}", diags);
+        let ctl = systems.get("Controller").unwrap();
+        let info = ctl.composite().unwrap();
+        assert_eq!(info.subsystems[0].class_name, "Sector");
+        assert!(info.alphabet.lookup("s.cycle").is_some());
+    }
+}

@@ -1,0 +1,4 @@
+//! Verification passes: subsystem usage (§2.2) and temporal claims.
+
+pub mod claims;
+pub mod usage;

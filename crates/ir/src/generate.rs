@@ -1,0 +1,211 @@
+//! Deterministic synthetic-program generation.
+//!
+//! The benchmark harness sweeps behavior inference and trace checking over
+//! programs of controlled size; this module provides a reproducible
+//! generator (xorshift PRNG, no external dependencies) so bench runs are
+//! comparable across machines.
+
+use crate::program::Program;
+use shelley_regular::{Alphabet, Symbol};
+
+/// Deterministic xorshift64* PRNG.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Seeds the generator (`seed` may be any value).
+    pub fn new(seed: u64) -> Self {
+        SplitMix {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Shape parameters for [`generate_program`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Target number of AST nodes (approximate; generation stops growing
+    /// once reached).
+    pub target_size: usize,
+    /// Number of distinct callable symbols.
+    pub num_symbols: usize,
+    /// Per-mille probability that a grown leaf becomes `return`.
+    pub return_weight: usize,
+    /// Maximum nesting depth of `if`/`loop`.
+    pub max_depth: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            target_size: 50,
+            num_symbols: 4,
+            return_weight: 100,
+            max_depth: 6,
+        }
+    }
+}
+
+/// Generates a pseudo-random program and the alphabet of its call symbols.
+///
+/// Generation is fully determined by `seed` and `cfg`.
+pub fn generate_program(seed: u64, cfg: GenConfig) -> (Alphabet, Program) {
+    let mut ab = Alphabet::new();
+    let syms: Vec<Symbol> = (0..cfg.num_symbols.max(1))
+        .map(|i| ab.intern(&format!("f{i}")))
+        .collect();
+    let mut rng = SplitMix::new(seed);
+    let mut exit_counter = 0usize;
+    let mut budget = cfg.target_size.max(1);
+    let mut p = gen_node(&mut rng, &syms, cfg, 0, &mut budget, &mut exit_counter);
+    // Keep sequencing fresh subtrees until the size target is reached, so
+    // `target_size` is honored regardless of how the first roll lands.
+    while p.size() + 1 < cfg.target_size {
+        let mut budget = cfg.target_size - p.size();
+        let q = gen_node(&mut rng, &syms, cfg, 0, &mut budget, &mut exit_counter);
+        p = Program::seq(p, q);
+    }
+    (ab, p)
+}
+
+fn gen_node(
+    rng: &mut SplitMix,
+    syms: &[Symbol],
+    cfg: GenConfig,
+    depth: usize,
+    budget: &mut usize,
+    exits: &mut usize,
+) -> Program {
+    if *budget <= 1 || depth >= cfg.max_depth {
+        return gen_leaf(rng, syms, cfg, exits);
+    }
+    *budget = budget.saturating_sub(1);
+    match rng.below(100) {
+        // Sequencing dominates, as in real method bodies.
+        0..=49 => {
+            let a = gen_node(rng, syms, cfg, depth, budget, exits);
+            let b = gen_node(rng, syms, cfg, depth, budget, exits);
+            Program::seq(a, b)
+        }
+        50..=69 => {
+            let a = gen_node(rng, syms, cfg, depth + 1, budget, exits);
+            let b = gen_node(rng, syms, cfg, depth + 1, budget, exits);
+            Program::if_(a, b)
+        }
+        70..=79 => {
+            let body = gen_node(rng, syms, cfg, depth + 1, budget, exits);
+            Program::loop_(body)
+        }
+        _ => gen_leaf(rng, syms, cfg, exits),
+    }
+}
+
+fn gen_leaf(
+    rng: &mut SplitMix,
+    syms: &[Symbol],
+    cfg: GenConfig,
+    exits: &mut usize,
+) -> Program {
+    let roll = rng.below(1000);
+    if roll < cfg.return_weight {
+        let e = *exits;
+        *exits += 1;
+        Program::ret(e)
+    } else if roll < cfg.return_weight + 100 {
+        Program::skip()
+    } else {
+        Program::call(syms[rng.below(syms.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer;
+    use crate::semantics::{enumerate_traces, EnumConfig};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let (_, p1) = generate_program(42, cfg);
+        let (_, p2) = generate_program(42, cfg);
+        assert_eq!(p1, p2);
+        let (_, p3) = generate_program(43, cfg);
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn generated_programs_scale_with_target() {
+        let small = generate_program(
+            7,
+            GenConfig {
+                target_size: 10,
+                ..GenConfig::default()
+            },
+        )
+        .1
+        .size();
+        let large = generate_program(
+            7,
+            GenConfig {
+                target_size: 400,
+                ..GenConfig::default()
+            },
+        )
+        .1
+        .size();
+        assert!(large > small, "large={large} small={small}");
+    }
+
+    #[test]
+    fn generated_programs_satisfy_theorem1() {
+        for seed in 0..20 {
+            let (_, p) = generate_program(seed, GenConfig::default());
+            let behavior = infer(&p);
+            let cfg = EnumConfig {
+                max_len: 4,
+                max_iters: 2,
+                max_traces: 500,
+            };
+            for (_, trace) in enumerate_traces(&p, cfg) {
+                assert!(
+                    behavior.matches(&trace),
+                    "seed {seed}: trace {trace:?} not in inferred behavior"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exit_ids_are_distinct() {
+        let (_, p) = generate_program(
+            11,
+            GenConfig {
+                target_size: 200,
+                return_weight: 300,
+                ..GenConfig::default()
+            },
+        );
+        let mut exits = p.exits();
+        let len = exits.len();
+        exits.sort_unstable();
+        exits.dedup();
+        assert_eq!(exits.len(), len);
+    }
+}

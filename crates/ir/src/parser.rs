@@ -1,0 +1,305 @@
+//! Parser for the paper's concrete program syntax.
+//!
+//! ```text
+//! p ::= f() | skip | return | p; p | if(*) { p } else { p } | loop(*) { p }
+//! ```
+//!
+//! This is the exact notation Fig. 4 uses, so formal examples can be
+//! written down verbatim in tests, benches, and the REPL-style tooling:
+//!
+//! ```
+//! use shelley_ir::{parse_program, Status, TraceChecker};
+//! use shelley_regular::Alphabet;
+//!
+//! let mut ab = Alphabet::new();
+//! let p = parse_program(
+//!     "loop(*) { a(); if(*) { b(); return } else { c() } }",
+//!     &mut ab,
+//! )?;
+//! let a = ab.lookup("a").unwrap();
+//! let c = ab.lookup("c").unwrap();
+//! assert!(TraceChecker::new(&p).derivable(Status::Ongoing, &[a, c]));
+//! # Ok::<(), shelley_ir::ParseProgramError>(())
+//! ```
+
+use crate::program::Program;
+use shelley_regular::Alphabet;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl Error for ParseProgramError {}
+
+/// Parses the paper's concrete syntax, interning call names into
+/// `alphabet`. Each `return` receives a fresh exit id in source order.
+///
+/// # Errors
+///
+/// Returns [`ParseProgramError`] on malformed syntax.
+pub fn parse_program(
+    input: &str,
+    alphabet: &mut Alphabet,
+) -> Result<Program, ParseProgramError> {
+    let mut p = Parser {
+        input,
+        chars: input.char_indices().collect(),
+        pos: 0,
+        alphabet,
+        exits: 0,
+    };
+    p.skip_ws();
+    let program = p.sequence()?;
+    p.skip_ws();
+    if p.pos < p.chars.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(program)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+    exits: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map_or(self.input.len(), |&(o, _)| o)
+    }
+
+    fn error(&self, message: &str) -> ParseProgramError {
+        ParseProgramError {
+            offset: self.offset(),
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        let mut i = self.pos;
+        for expected in text.chars() {
+            match self.chars.get(i) {
+                Some(&(_, c)) if c == expected => i += 1,
+                _ => return false,
+            }
+        }
+        self.pos = i;
+        true
+    }
+
+    fn expect(&mut self, text: &str) -> Result<(), ParseProgramError> {
+        if self.eat(text) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{text}`")))
+        }
+    }
+
+    fn peek_word(&self) -> Option<String> {
+        let c = self.peek()?;
+        if !(c.is_ascii_alphabetic() || c == '_') {
+            return None;
+        }
+        let mut out = String::new();
+        let mut i = self.pos;
+        while let Some(&(_, c)) = self.chars.get(i) {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                out.push(c);
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        Some(out)
+    }
+
+    fn sequence(&mut self) -> Result<Program, ParseProgramError> {
+        let mut items = vec![self.atom()?];
+        loop {
+            self.skip_ws();
+            if self.eat(";") {
+                self.skip_ws();
+                // Allow a trailing semicolon before a closing brace.
+                if matches!(self.peek(), Some('}') | None) {
+                    break;
+                }
+                items.push(self.atom()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Program::seq_all(items))
+    }
+
+    fn atom(&mut self) -> Result<Program, ParseProgramError> {
+        self.skip_ws();
+        let Some(word) = self.peek_word() else {
+            return Err(self.error("expected a program"));
+        };
+        match word.as_str() {
+            "skip" => {
+                self.pos += word.chars().count();
+                Ok(Program::skip())
+            }
+            "return" => {
+                self.pos += word.chars().count();
+                let exit = self.exits;
+                self.exits += 1;
+                Ok(Program::ret(exit))
+            }
+            "if" => {
+                self.pos += word.chars().count();
+                self.skip_ws();
+                self.expect("(")?;
+                self.skip_ws();
+                self.expect("*")?;
+                self.skip_ws();
+                self.expect(")")?;
+                self.skip_ws();
+                self.expect("{")?;
+                let then = self.sequence()?;
+                self.skip_ws();
+                self.expect("}")?;
+                self.skip_ws();
+                self.expect("else")?;
+                self.skip_ws();
+                self.expect("{")?;
+                let orelse = self.sequence()?;
+                self.skip_ws();
+                self.expect("}")?;
+                Ok(Program::if_(then, orelse))
+            }
+            "loop" => {
+                self.pos += word.chars().count();
+                self.skip_ws();
+                self.expect("(")?;
+                self.skip_ws();
+                self.expect("*")?;
+                self.skip_ws();
+                self.expect(")")?;
+                self.skip_ws();
+                self.expect("{")?;
+                let body = self.sequence()?;
+                self.skip_ws();
+                self.expect("}")?;
+                Ok(Program::loop_(body))
+            }
+            "else" => Err(self.error("`else` without a matching `if`")),
+            name => {
+                self.pos += word.chars().count();
+                self.skip_ws();
+                self.expect("(")?;
+                self.skip_ws();
+                self.expect(")")?;
+                Ok(Program::call(self.alphabet.intern(name)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer;
+    use crate::semantics::{Status, TraceChecker};
+
+    #[test]
+    fn parses_the_fig4_example() {
+        let mut ab = Alphabet::new();
+        let p = parse_program(
+            "loop(*) { a(); if(*) { b(); return } else { c() } }",
+            &mut ab,
+        )
+        .unwrap();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        let checker = TraceChecker::new(&p);
+        assert!(checker.derivable(Status::Ongoing, &[a, c, a, c]));
+        assert!(checker.derivable(Status::Returned, &[a, c, a, b]));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let mut ab = Alphabet::new();
+        let sources = [
+            "skip",
+            "return",
+            "f()",
+            "f(); g(); return",
+            "if(*) { f() } else { skip }",
+            "loop(*) { f(); if(*) { return } else { g() } }",
+        ];
+        for src in sources {
+            let p = parse_program(src, &mut ab).unwrap();
+            let shown = p.display(&ab).to_string();
+            let mut ab2 = ab.clone();
+            let p2 = parse_program(&shown, &mut ab2).unwrap();
+            // Compare behaviors, since exit ids may renumber.
+            let b1 = infer(&p);
+            let b2 = infer(&p2);
+            for word in [vec![], ab.lookup("f").into_iter().collect::<Vec<_>>()] {
+                assert_eq!(b1.matches(&word), b2.matches(&word), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn exit_ids_count_up() {
+        let mut ab = Alphabet::new();
+        let p = parse_program(
+            "if(*) { return } else { if(*) { return } else { return } }",
+            &mut ab,
+        )
+        .unwrap();
+        assert_eq!(p.exits(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn errors_with_offsets() {
+        let mut ab = Alphabet::new();
+        assert!(parse_program("if(*) { f() }", &mut ab).is_err()); // missing else
+        assert!(parse_program("f(", &mut ab).is_err());
+        assert!(parse_program("loop() { f() }", &mut ab).is_err()); // missing *
+        assert!(parse_program("f() g()", &mut ab).is_err()); // missing ;
+    }
+
+    #[test]
+    fn dotted_names_are_calls() {
+        let mut ab = Alphabet::new();
+        let p = parse_program("a.open(); a.close()", &mut ab).unwrap();
+        assert_eq!(p.calls().len(), 2);
+        assert!(ab.lookup("a.open").is_some());
+    }
+}

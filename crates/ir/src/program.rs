@@ -1,0 +1,281 @@
+//! The paper's imperative calculus (Fig. 4, *Syntax*).
+//!
+//! ```text
+//! p ::= f() | skip | return | p;p | if(*){p} else {p} | loop(*){p}
+//! ```
+//!
+//! Programs abstract MicroPython method bodies: only control flow and calls
+//! on constrained objects remain; conditions, loop bounds and values are
+//! erased (`if(*)` is a nondeterministic choice, `loop(*)` runs an unknown
+//! number of iterations).
+
+use shelley_regular::{Alphabet, Symbol};
+use std::fmt;
+
+/// Identifier of a `return` site (an *exit point* in the terminology of
+/// §3.1's method-dependency graph).
+///
+/// The paper's inference collects returned behaviors as a set; Shelley
+/// additionally needs to know *which* return produced each behavior, because
+/// every return site declares its own set of next operations. Exit ids give
+/// that association while keeping the paper-faithful functions oblivious to
+/// them.
+pub type ExitId = usize;
+
+/// A program of the source calculus.
+///
+/// # Examples
+///
+/// The program of Examples 1–3 of the paper:
+/// `loop(*){ a(); if(*){ b(); return } else { c() } }`:
+///
+/// ```
+/// use shelley_ir::Program;
+/// use shelley_regular::Alphabet;
+///
+/// let mut ab = Alphabet::new();
+/// let (a, b, c) = (ab.intern("a"), ab.intern("b"), ab.intern("c"));
+/// let p = Program::loop_(Program::seq(
+///     Program::call(a),
+///     Program::if_(
+///         Program::seq(Program::call(b), Program::ret(0)),
+///         Program::call(c),
+///     ),
+/// ));
+/// assert_eq!(
+///     p.display(&ab).to_string(),
+///     "loop(*) { a(); if(*) { b(); return } else { c() } }"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Program {
+    /// A method call `f()`; arguments are discarded by the abstraction.
+    Call(Symbol),
+    /// Any MicroPython instruction of no interest to the analysis.
+    Skip,
+    /// A `return`; the value is ignored at this stage of the analysis. The
+    /// [`ExitId`] identifies the return site.
+    Return(ExitId),
+    /// Sequencing `p₁; p₂`.
+    Seq(Box<Program>, Box<Program>),
+    /// Nondeterministic choice `if(*){p₁} else {p₂}`.
+    If(Box<Program>, Box<Program>),
+    /// A loop running an unknown number of iterations, `loop(*){p}`.
+    Loop(Box<Program>),
+}
+
+impl Program {
+    /// A call `f()`.
+    pub fn call(f: Symbol) -> Self {
+        Program::Call(f)
+    }
+
+    /// The no-op `skip`.
+    pub fn skip() -> Self {
+        Program::Skip
+    }
+
+    /// A `return` at exit site `exit`.
+    pub fn ret(exit: ExitId) -> Self {
+        Program::Return(exit)
+    }
+
+    /// Sequencing.
+    pub fn seq(p1: Program, p2: Program) -> Self {
+        Program::Seq(Box::new(p1), Box::new(p2))
+    }
+
+    /// Sequences all programs in order (`skip` for an empty sequence).
+    pub fn seq_all<I: IntoIterator<Item = Program>>(items: I) -> Self {
+        let mut iter = items.into_iter();
+        let first = match iter.next() {
+            Some(p) => p,
+            None => return Program::Skip,
+        };
+        iter.fold(first, Program::seq)
+    }
+
+    /// Nondeterministic conditional.
+    pub fn if_(p1: Program, p2: Program) -> Self {
+        Program::If(Box::new(p1), Box::new(p2))
+    }
+
+    /// N-way nondeterministic choice (right-nested conditionals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty.
+    pub fn choice<I: IntoIterator<Item = Program>>(branches: I) -> Self {
+        let mut items: Vec<Program> = branches.into_iter().collect();
+        assert!(!items.is_empty(), "choice over zero branches");
+        let mut acc = items.pop().expect("nonempty");
+        while let Some(p) = items.pop() {
+            acc = Program::if_(p, acc);
+        }
+        acc
+    }
+
+    /// A loop.
+    pub fn loop_(body: Program) -> Self {
+        Program::Loop(Box::new(body))
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Program::Call(_) | Program::Skip | Program::Return(_) => 1,
+            Program::Seq(a, b) | Program::If(a, b) => 1 + a.size() + b.size(),
+            Program::Loop(a) => 1 + a.size(),
+        }
+    }
+
+    /// All exit ids occurring in the program, in source order.
+    pub fn exits(&self) -> Vec<ExitId> {
+        let mut out = Vec::new();
+        self.collect_exits(&mut out);
+        out
+    }
+
+    fn collect_exits(&self, out: &mut Vec<ExitId>) {
+        match self {
+            Program::Return(e) => out.push(*e),
+            Program::Call(_) | Program::Skip => {}
+            Program::Seq(a, b) | Program::If(a, b) => {
+                a.collect_exits(out);
+                b.collect_exits(out);
+            }
+            Program::Loop(a) => a.collect_exits(out),
+        }
+    }
+
+    /// All called symbols, in source order (with duplicates).
+    pub fn calls(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_calls(&mut out);
+        out
+    }
+
+    fn collect_calls(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Program::Call(f) => out.push(*f),
+            Program::Skip | Program::Return(_) => {}
+            Program::Seq(a, b) | Program::If(a, b) => {
+                a.collect_calls(out);
+                b.collect_calls(out);
+            }
+            Program::Loop(a) => a.collect_calls(out),
+        }
+    }
+
+    /// Renders the program in the paper's concrete syntax.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> DisplayProgram<'a> {
+        DisplayProgram {
+            program: self,
+            alphabet,
+        }
+    }
+}
+
+/// Pretty-printer returned by [`Program::display`].
+#[derive(Debug)]
+pub struct DisplayProgram<'a> {
+    program: &'a Program,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayProgram<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_program(f, self.program, self.alphabet)
+    }
+}
+
+fn write_program(
+    f: &mut fmt::Formatter<'_>,
+    p: &Program,
+    ab: &Alphabet,
+) -> fmt::Result {
+    match p {
+        Program::Call(s) => write!(f, "{}()", ab.name(*s)),
+        Program::Skip => write!(f, "skip"),
+        Program::Return(_) => write!(f, "return"),
+        Program::Seq(a, b) => {
+            write_program(f, a, ab)?;
+            write!(f, "; ")?;
+            write_program(f, b, ab)
+        }
+        Program::If(a, b) => {
+            write!(f, "if(*) {{ ")?;
+            write_program(f, a, ab)?;
+            write!(f, " }} else {{ ")?;
+            write_program(f, b, ab)?;
+            write!(f, " }}")
+        }
+        Program::Loop(a) => {
+            write!(f, "loop(*) {{ ")?;
+            write_program(f, a, ab)?;
+            write!(f, " }}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> (Alphabet, Symbol, Symbol) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        (ab, a, b)
+    }
+
+    #[test]
+    fn seq_all_of_empty_is_skip() {
+        assert_eq!(Program::seq_all([]), Program::Skip);
+    }
+
+    #[test]
+    fn choice_builds_nested_ifs() {
+        let (_, a, b) = ab();
+        let c = Program::choice([
+            Program::call(a),
+            Program::call(b),
+            Program::skip(),
+        ]);
+        assert_eq!(
+            c,
+            Program::if_(
+                Program::call(a),
+                Program::if_(Program::call(b), Program::skip())
+            )
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero branches")]
+    fn choice_rejects_empty() {
+        let _ = Program::choice([]);
+    }
+
+    #[test]
+    fn exits_and_calls_in_order() {
+        let (_, a, b) = ab();
+        let p = Program::seq(
+            Program::call(a),
+            Program::if_(
+                Program::ret(7),
+                Program::seq(Program::call(b), Program::ret(9)),
+            ),
+        );
+        assert_eq!(p.exits(), vec![7, 9]);
+        assert_eq!(p.calls(), vec![a, b]);
+        assert_eq!(p.size(), 7);
+    }
+
+    #[test]
+    fn display_uses_paper_syntax() {
+        let (ab, a, _) = ab();
+        let p = Program::seq(Program::call(a), Program::ret(0));
+        assert_eq!(p.display(&ab).to_string(), "a(); return");
+    }
+}

@@ -1,0 +1,439 @@
+//! The trace semantics of the calculus (Fig. 4, *Semantics*).
+//!
+//! The judgment `s ⊢ l ∈ p` states that trace `l` is output by program `p`
+//! with status `s`, where `s` is `0` (ongoing) or `R` (returned). This
+//! module provides two executable views of the judgment:
+//!
+//! * [`TraceChecker`] — an exact decision procedure for
+//!   `s ⊢ l ∈ p` (given a concrete trace), implementing each inference rule
+//!   directly with memoization;
+//! * [`enumerate_traces`] — a bounded enumerator producing every derivable
+//!   `(s, l)` up to a trace-length/loop-unrolling budget.
+//!
+//! Together with behavior inference these let the test suite check the
+//! paper's Theorem 1 (soundness) and Theorem 2 (completeness) executably.
+
+use crate::program::Program;
+use shelley_regular::{Symbol, Word};
+use std::collections::{BTreeSet, HashMap};
+
+/// The status of a trace: the paper's `s ::= 0 | R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Status {
+    /// `0` — the trace is ongoing and can be sequenced further.
+    Ongoing,
+    /// `R` — the program has returned; nothing may follow.
+    Returned,
+}
+
+/// An exact decision procedure for the judgment `s ⊢ l ∈ p`.
+///
+/// The checker indexes the program's AST nodes once and memoizes
+/// sub-derivations on `(node, status, trace-slice)`, so deciding a trace of
+/// length *n* over a program of size *m* is polynomial (roughly
+/// `O(m·n²)` with loop-closure computation).
+///
+/// # Examples
+///
+/// Example 1 and Example 2 of the paper:
+///
+/// ```
+/// use shelley_ir::{Program, Status, TraceChecker};
+/// use shelley_regular::Alphabet;
+///
+/// let mut ab = Alphabet::new();
+/// let (a, b, c) = (ab.intern("a"), ab.intern("b"), ab.intern("c"));
+/// // loop(*){ a(); if(*){ b(); return } else { c() } }
+/// let p = Program::loop_(Program::seq(
+///     Program::call(a),
+///     Program::if_(
+///         Program::seq(Program::call(b), Program::ret(0)),
+///         Program::call(c),
+///     ),
+/// ));
+/// let checker = TraceChecker::new(&p);
+/// // Example 1: 0 ⊢ [a,c,a,c]
+/// assert!(checker.derivable(Status::Ongoing, &[a, c, a, c]));
+/// // Example 2: R ⊢ [a,c,a,b]
+/// assert!(checker.derivable(Status::Returned, &[a, c, a, b]));
+/// ```
+#[derive(Debug)]
+pub struct TraceChecker<'p> {
+    root: usize,
+    nodes: Vec<&'p Program>,
+}
+
+impl<'p> TraceChecker<'p> {
+    /// Indexes `program` for trace checking.
+    pub fn new(program: &'p Program) -> Self {
+        let mut nodes = Vec::new();
+        index_nodes(program, &mut nodes);
+        TraceChecker { root: 0, nodes }
+    }
+
+    /// Decides `status ⊢ trace ∈ program`.
+    pub fn derivable(&self, status: Status, trace: &[Symbol]) -> bool {
+        let mut ctx = CheckCtx {
+            nodes: &self.nodes,
+            word: trace,
+            memo: HashMap::new(),
+            closures: HashMap::new(),
+        };
+        ctx.check(self.root, status, 0, trace.len())
+    }
+
+    /// Decides `trace ∈ L(p)` (Definition 1: some status derives it).
+    pub fn in_language(&self, trace: &[Symbol]) -> bool {
+        self.derivable(Status::Ongoing, trace)
+            || self.derivable(Status::Returned, trace)
+    }
+}
+
+fn index_nodes<'p>(p: &'p Program, nodes: &mut Vec<&'p Program>) {
+    nodes.push(p);
+    match p {
+        Program::Call(_) | Program::Skip | Program::Return(_) => {}
+        Program::Seq(a, b) | Program::If(a, b) => {
+            index_nodes(a, nodes);
+            index_nodes(b, nodes);
+        }
+        Program::Loop(a) => index_nodes(a, nodes),
+    }
+}
+
+/// Finds the node ids of the two direct children (children are laid out
+/// immediately after their parent in pre-order; the second child follows the
+/// first child's whole subtree).
+fn child_ids(nodes: &[&Program], id: usize) -> (usize, usize) {
+    let first = id + 1;
+    let second = first + nodes[first].size();
+    (first, second)
+}
+
+struct CheckCtx<'a, 'p> {
+    nodes: &'a [&'p Program],
+    word: &'a [Symbol],
+    memo: HashMap<(usize, Status, usize, usize), bool>,
+    /// `closures[(loop_id, i)]` = positions reachable from `i` by ongoing
+    /// segments of the loop body.
+    closures: HashMap<(usize, usize), Vec<usize>>,
+}
+
+impl CheckCtx<'_, '_> {
+    fn check(&mut self, id: usize, status: Status, i: usize, j: usize) -> bool {
+        if let Some(&r) = self.memo.get(&(id, status, i, j)) {
+            return r;
+        }
+        // Mark in-progress as false to break (impossible) cycles safely.
+        self.memo.insert((id, status, i, j), false);
+        let result = self.check_uncached(id, status, i, j);
+        self.memo.insert((id, status, i, j), result);
+        result
+    }
+
+    fn check_uncached(&mut self, id: usize, status: Status, i: usize, j: usize) -> bool {
+        match self.nodes[id] {
+            // Rule CALL: 0 ⊢ [f] ∈ f().
+            Program::Call(f) => {
+                status == Status::Ongoing && j == i + 1 && self.word[i] == *f
+            }
+            // Rule SKIP: 0 ⊢ [] ∈ skip.
+            Program::Skip => status == Status::Ongoing && i == j,
+            // Rule RETURN: R ⊢ [] ∈ return.
+            Program::Return(_) => status == Status::Returned && i == j,
+            Program::Seq(..) => {
+                let (p1, p2) = child_ids(self.nodes, id);
+                // Rule SEQ-1: R ⊢ l ∈ p1 ⟹ R ⊢ l ∈ p1;p2.
+                if status == Status::Returned && self.check(p1, Status::Returned, i, j)
+                {
+                    return true;
+                }
+                // Rule SEQ-2: 0 ⊢ l1 ∈ p1 ∧ s ⊢ l2 ∈ p2 ⟹ s ⊢ l1·l2.
+                (i..=j).any(|k| {
+                    self.check(p1, Status::Ongoing, i, k)
+                        && self.check(p2, status, k, j)
+                })
+            }
+            Program::If(..) => {
+                let (p1, p2) = child_ids(self.nodes, id);
+                // Rules IF-1 / IF-2.
+                self.check(p1, status, i, j) || self.check(p2, status, i, j)
+            }
+            Program::Loop(..) => {
+                let body = id + 1;
+                let reachable = self.closure0(id, body, i, j);
+                match status {
+                    // LOOP-1 ∪ LOOP-3(0): j reachable by ongoing segments.
+                    Status::Ongoing => reachable.contains(&j),
+                    // LOOP-2 ∪ LOOP-3(R): ongoing segments then an R-segment.
+                    Status::Returned => reachable
+                        .iter()
+                        .any(|&k| self.check(body, Status::Returned, k, j)),
+                }
+            }
+        }
+    }
+
+    /// Positions reachable from `i` (bounded by `j`) through zero or more
+    /// ongoing segments of the loop body.
+    fn closure0(&mut self, loop_id: usize, body: usize, i: usize, j: usize) -> Vec<usize> {
+        if let Some(c) = self.closures.get(&(loop_id, i)) {
+            return c.iter().copied().filter(|&k| k <= j).collect();
+        }
+        let n = self.word.len();
+        let mut reachable = vec![false; n + 1];
+        reachable[i] = true;
+        let mut stack = vec![i];
+        while let Some(k) = stack.pop() {
+            // Strictly-progressing segments only: an empty ongoing segment
+            // never reaches a new position.
+            for k2 in (k + 1)..=n {
+                if !reachable[k2] && self.check(body, Status::Ongoing, k, k2) {
+                    reachable[k2] = true;
+                    stack.push(k2);
+                }
+            }
+        }
+        let positions: Vec<usize> = (i..=n).filter(|&k| reachable[k]).collect();
+        self.closures.insert((loop_id, i), positions.clone());
+        positions.into_iter().filter(|&k| k <= j).collect()
+    }
+}
+
+/// Budget for [`enumerate_traces`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnumConfig {
+    /// Maximum trace length to keep.
+    pub max_len: usize,
+    /// Maximum number of loop iterations to unroll.
+    pub max_iters: usize,
+    /// Cap on the number of distinct traces retained per subprogram.
+    pub max_traces: usize,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig {
+            max_len: 6,
+            max_iters: 3,
+            max_traces: 10_000,
+        }
+    }
+}
+
+/// Enumerates derivable `(status, trace)` pairs of `program` within the
+/// budget.
+///
+/// The result is an *under-approximation* of the semantics: every returned
+/// pair is derivable, and every derivable pair within the budget (trace no
+/// longer than `max_len`, loops unrolled at most `max_iters` times, no cap
+/// overflow) is present.
+pub fn enumerate_traces(program: &Program, cfg: EnumConfig) -> BTreeSet<(Status, Word)> {
+    match program {
+        Program::Call(f) => BTreeSet::from([(Status::Ongoing, vec![*f])]),
+        Program::Skip => BTreeSet::from([(Status::Ongoing, Vec::new())]),
+        Program::Return(_) => BTreeSet::from([(Status::Returned, Vec::new())]),
+        Program::Seq(p1, p2) => {
+            let t1 = enumerate_traces(p1, cfg);
+            let t2 = enumerate_traces(p2, cfg);
+            let mut out = BTreeSet::new();
+            for (s1, l1) in &t1 {
+                match s1 {
+                    Status::Returned => {
+                        out.insert((Status::Returned, l1.clone()));
+                    }
+                    Status::Ongoing => {
+                        for (s2, l2) in &t2 {
+                            if l1.len() + l2.len() <= cfg.max_len {
+                                let mut l = l1.clone();
+                                l.extend_from_slice(l2);
+                                out.insert((*s2, l));
+                            }
+                        }
+                    }
+                }
+                if out.len() > cfg.max_traces {
+                    break;
+                }
+            }
+            out
+        }
+        Program::If(p1, p2) => {
+            let mut out = enumerate_traces(p1, cfg);
+            out.extend(enumerate_traces(p2, cfg));
+            out
+        }
+        Program::Loop(body) => {
+            let t = enumerate_traces(body, cfg);
+            let mut out: BTreeSet<(Status, Word)> =
+                BTreeSet::from([(Status::Ongoing, Vec::new())]);
+            let mut ongoing: BTreeSet<Word> = BTreeSet::from([Vec::new()]);
+            for _ in 0..cfg.max_iters {
+                let mut next_ongoing = BTreeSet::new();
+                for prefix in &ongoing {
+                    for (s, l) in &t {
+                        if prefix.len() + l.len() > cfg.max_len {
+                            continue;
+                        }
+                        let mut full = prefix.clone();
+                        full.extend_from_slice(l);
+                        match s {
+                            Status::Ongoing => {
+                                next_ongoing.insert(full);
+                            }
+                            Status::Returned => {
+                                out.insert((Status::Returned, full));
+                            }
+                        }
+                    }
+                }
+                for l in &next_ongoing {
+                    out.insert((Status::Ongoing, l.clone()));
+                }
+                if next_ongoing.is_empty() || out.len() > cfg.max_traces {
+                    break;
+                }
+                ongoing = next_ongoing;
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_regular::Alphabet;
+
+    fn example_program() -> (Alphabet, Symbol, Symbol, Symbol, Program) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let c = ab.intern("c");
+        let p = Program::loop_(Program::seq(
+            Program::call(a),
+            Program::if_(
+                Program::seq(Program::call(b), Program::ret(0)),
+                Program::call(c),
+            ),
+        ));
+        (ab, a, b, c, p)
+    }
+
+    #[test]
+    fn paper_example_1_ongoing() {
+        let (_, a, _, c, p) = example_program();
+        let checker = TraceChecker::new(&p);
+        assert!(checker.derivable(Status::Ongoing, &[a, c, a, c]));
+    }
+
+    #[test]
+    fn paper_example_2_returned() {
+        let (_, a, b, c, p) = example_program();
+        let checker = TraceChecker::new(&p);
+        assert!(checker.derivable(Status::Returned, &[a, c, a, b]));
+        // The same trace is NOT ongoing (b is only followed by return).
+        assert!(!checker.derivable(Status::Ongoing, &[a, c, a, b]));
+    }
+
+    #[test]
+    fn nothing_follows_a_return() {
+        let (_, a, b, c, p) = example_program();
+        let checker = TraceChecker::new(&p);
+        assert!(!checker.in_language(&[a, b, a]));
+        assert!(!checker.in_language(&[a, b, c]));
+    }
+
+    #[test]
+    fn rules_for_atoms() {
+        let mut ab = Alphabet::new();
+        let f = ab.intern("f");
+        let call = Program::call(f);
+        let c = TraceChecker::new(&call);
+        assert!(c.derivable(Status::Ongoing, &[f]));
+        assert!(!c.derivable(Status::Returned, &[f]));
+        assert!(!c.derivable(Status::Ongoing, &[]));
+
+        let skip = Program::skip();
+        let c = TraceChecker::new(&skip);
+        assert!(c.derivable(Status::Ongoing, &[]));
+        assert!(!c.derivable(Status::Returned, &[]));
+
+        let ret = Program::ret(0);
+        let c = TraceChecker::new(&ret);
+        assert!(c.derivable(Status::Returned, &[]));
+        assert!(!c.derivable(Status::Ongoing, &[]));
+    }
+
+    #[test]
+    fn seq_early_return_discards_continuation() {
+        let mut ab = Alphabet::new();
+        let f = ab.intern("f");
+        let g = ab.intern("g");
+        // (return ; g()): R ⊢ [] by SEQ-1; g never runs.
+        let p = Program::seq(Program::ret(0), Program::call(g));
+        let c = TraceChecker::new(&p);
+        assert!(c.derivable(Status::Returned, &[]));
+        assert!(!c.in_language(&[g]));
+        let _ = f;
+    }
+
+    #[test]
+    fn loop_can_return_from_body() {
+        let mut ab = Alphabet::new();
+        let f = ab.intern("f");
+        // loop(*){ if(*){ f() } else { return } }
+        let p = Program::loop_(Program::if_(Program::call(f), Program::ret(0)));
+        let c = TraceChecker::new(&p);
+        assert!(c.derivable(Status::Ongoing, &[]));
+        assert!(c.derivable(Status::Returned, &[]));
+        assert!(c.derivable(Status::Returned, &[f, f]));
+        assert!(c.derivable(Status::Ongoing, &[f, f, f]));
+    }
+
+    #[test]
+    fn nullable_loop_body_terminates() {
+        // loop(*){ skip } must not diverge and accepts only the empty
+        // ongoing trace.
+        let p = Program::loop_(Program::skip());
+        let c = TraceChecker::new(&p);
+        assert!(c.derivable(Status::Ongoing, &[]));
+        assert!(!c.derivable(Status::Returned, &[]));
+    }
+
+    #[test]
+    fn enumeration_matches_checker() {
+        let (_, _, _, _, p) = example_program();
+        let checker = TraceChecker::new(&p);
+        let traces = enumerate_traces(&p, EnumConfig::default());
+        assert!(!traces.is_empty());
+        for (s, l) in &traces {
+            assert!(checker.derivable(*s, l), "{s:?} {l:?} not derivable");
+        }
+    }
+
+    #[test]
+    fn enumeration_contains_paper_examples() {
+        let (_, a, b, c, p) = example_program();
+        let traces = enumerate_traces(&p, EnumConfig::default());
+        assert!(traces.contains(&(Status::Ongoing, vec![a, c, a, c])));
+        assert!(traces.contains(&(Status::Returned, vec![a, c, a, b])));
+        assert!(traces.contains(&(Status::Returned, vec![a, b])));
+        assert!(traces.contains(&(Status::Ongoing, vec![])));
+    }
+
+    #[test]
+    fn enumeration_respects_max_len() {
+        let mut ab = Alphabet::new();
+        let f = ab.intern("f");
+        let p = Program::loop_(Program::call(f));
+        let cfg = EnumConfig {
+            max_len: 3,
+            max_iters: 10,
+            max_traces: 1000,
+        };
+        let traces = enumerate_traces(&p, cfg);
+        assert!(traces.iter().all(|(_, l)| l.len() <= 3));
+        assert!(traces.contains(&(Status::Ongoing, vec![f, f, f])));
+    }
+}

@@ -1,0 +1,270 @@
+//! LTLf-to-DFA compilation via progression quotienting.
+//!
+//! States are normalized formulas; the transition on event `e` is
+//! [`progress`](crate::progress); a state accepts iff
+//! [`accepts_empty`](crate::accepts_empty). ACI normalization of `∧`/`∨`
+//! (see [`Formula`]) keeps the reachable state space finite.
+//!
+//! The resulting automaton is a *monitor*: it accepts exactly the finite
+//! traces satisfying the formula, so model checking `L(M) ⊆ L(φ)` reduces
+//! to emptiness of `L(M) ∩ L(¬φ)` — the paper's future-work observation
+//! that Shelley can work directly with regular languages instead of
+//! encoding into ω-regular NuSMV models.
+
+use crate::semantics::{accepts_empty, progress};
+use crate::syntax::Formula;
+use shelley_regular::{Alphabet, Dfa, Symbol};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Canonicalizes a progression state.
+///
+/// Progression rebuilds boolean structure around the temporal *closure*
+/// formulas (the `U`/`R`/`X` subterms of the original claim), and two
+/// semantically equal states can differ syntactically — left alone, the
+/// state space would grow without bound. Converting every state to DNF
+/// over closure literals (with absorption and complementary-literal
+/// pruning) makes equality semantic enough for the quotient to stay
+/// finite: literals always belong to the finite closure of the original
+/// formula, so there are finitely many DNFs.
+///
+/// DNF conversion is exponential in the worst case, which is acceptable at
+/// claim size (a few operators).
+fn canonicalize(f: Formula) -> Formula {
+    match &f {
+        Formula::And(_) | Formula::Or(_) => {}
+        _ => return f,
+    }
+    let clauses = dnf(&f);
+    // Absorption: drop clauses that are supersets of another clause.
+    let mut kept: Vec<&BTreeSet<Formula>> = Vec::new();
+    for c in &clauses {
+        if !clauses.iter().any(|d| d != c && d.is_subset(c)) {
+            kept.push(c);
+        }
+    }
+    Formula::or_all(
+        kept.into_iter()
+            .map(|c| Formula::and_all(c.iter().cloned())),
+    )
+}
+
+/// DNF over non-boolean literals. Clauses with complementary or mutually
+/// exclusive (distinct `Atom`) literals are dropped.
+fn dnf(f: &Formula) -> BTreeSet<BTreeSet<Formula>> {
+    match f {
+        Formula::Or(items) => items.iter().flat_map(dnf).collect(),
+        Formula::And(items) => {
+            let mut acc: BTreeSet<BTreeSet<Formula>> =
+                BTreeSet::from([BTreeSet::new()]);
+            for item in items {
+                let item_dnf = dnf(item);
+                let mut next = BTreeSet::new();
+                for clause in &acc {
+                    for extra in &item_dnf {
+                        let mut merged = clause.clone();
+                        merged.extend(extra.iter().cloned());
+                        if clause_consistent(&merged) {
+                            next.insert(merged);
+                        }
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        lit => BTreeSet::from([BTreeSet::from([lit.clone()])]),
+    }
+}
+
+/// Cheap unsatisfiability filter for a conjunction of literals.
+fn clause_consistent(clause: &BTreeSet<Formula>) -> bool {
+    let mut atom: Option<Symbol> = None;
+    for lit in clause {
+        match lit {
+            // Two distinct event atoms can never hold at the same position.
+            Formula::Atom(s) => {
+                if let Some(prev) = atom {
+                    if prev != *s {
+                        return false;
+                    }
+                }
+                atom = Some(*s);
+            }
+            Formula::NotAtom(s) => {
+                if clause.contains(&Formula::Atom(*s)) {
+                    return false;
+                }
+            }
+            Formula::Empty => {
+                if clause.contains(&Formula::Nonempty) {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(a) = atom {
+        if clause.contains(&Formula::NotAtom(a)) || clause.contains(&Formula::Empty) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Compiles `formula` into a complete DFA over `alphabet` accepting exactly
+/// the satisfying traces.
+///
+/// Events mentioned by the formula but absent from `alphabet` are
+/// impossible; callers should intern the formula's atoms into the alphabet
+/// first (the claim parser does this automatically).
+///
+/// # Examples
+///
+/// ```
+/// use shelley_ltlf::{parse_formula, to_dfa};
+/// use shelley_regular::Alphabet;
+/// use std::rc::Rc;
+///
+/// let mut ab = Alphabet::new();
+/// let f = parse_formula("(!a.open) W b.open", &mut ab)?;
+/// let a_open = ab.lookup("a.open").unwrap();
+/// let b_open = ab.lookup("b.open").unwrap();
+/// let dfa = to_dfa(&f, Rc::new(ab));
+/// assert!(dfa.accepts(&[]));
+/// assert!(dfa.accepts(&[b_open, a_open]));
+/// assert!(!dfa.accepts(&[a_open]));
+/// # Ok::<(), shelley_ltlf::ParseFormulaError>(())
+/// ```
+pub fn to_dfa(formula: &Formula, alphabet: Rc<Alphabet>) -> Dfa {
+    let mut index: HashMap<Formula, usize> = HashMap::new();
+    let mut states: Vec<Formula> = Vec::new();
+    let mut table: Vec<Vec<usize>> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let nsyms = alphabet.len();
+
+    let intern = |f: Formula,
+                      states: &mut Vec<Formula>,
+                      table: &mut Vec<Vec<usize>>,
+                      accepting: &mut Vec<bool>,
+                      index: &mut HashMap<Formula, usize>|
+     -> usize {
+        if let Some(&q) = index.get(&f) {
+            return q;
+        }
+        let q = states.len();
+        accepting.push(accepts_empty(&f));
+        table.push(vec![usize::MAX; nsyms]);
+        index.insert(f.clone(), q);
+        states.push(f);
+        q
+    };
+
+    let start = intern(
+        canonicalize(formula.clone()),
+        &mut states,
+        &mut table,
+        &mut accepting,
+        &mut index,
+    );
+    let mut queue = vec![start];
+    while let Some(q) = queue.pop() {
+        for s in 0..nsyms {
+            if table[q][s] != usize::MAX {
+                continue;
+            }
+            let next = canonicalize(progress(&states[q], Symbol::from_index(s)));
+            let was = states.len();
+            let dst = intern(
+                next,
+                &mut states,
+                &mut table,
+                &mut accepting,
+                &mut index,
+            );
+            table[q][s] = dst;
+            if dst == was {
+                queue.push(dst);
+            }
+        }
+    }
+    Dfa::from_parts(alphabet, table, start, accepting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::eval;
+
+    fn setup() -> (Rc<Alphabet>, Symbol, Symbol, Symbol) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let c = ab.intern("c");
+        (Rc::new(ab), a, b, c)
+    }
+
+    #[test]
+    fn dfa_agrees_with_eval_on_samples() {
+        let (ab, a, b, c) = setup();
+        let formulas = [
+            Formula::globally(Formula::NotAtom(a)),
+            Formula::eventually(Formula::atom(b)),
+            Formula::weak_until(Formula::NotAtom(a), Formula::atom(b)),
+            Formula::until(
+                Formula::or(Formula::atom(a), Formula::atom(c)),
+                Formula::atom(b),
+            ),
+            Formula::next(Formula::atom(c)),
+            Formula::and(
+                Formula::eventually(Formula::atom(a)),
+                Formula::globally(Formula::NotAtom(b)),
+            ),
+        ];
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            vec![a],
+            vec![b],
+            vec![c],
+            vec![a, b],
+            vec![b, a],
+            vec![c, b, a],
+            vec![a, a, b, c],
+            vec![c, c, c],
+        ];
+        for f in &formulas {
+            let dfa = to_dfa(f, ab.clone());
+            for w in &words {
+                assert_eq!(dfa.accepts(w), eval(f, w), "formula {f:?} word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_of_negation_is_complement() {
+        let (ab, a, b, _) = setup();
+        let f = Formula::weak_until(Formula::NotAtom(a), Formula::atom(b));
+        let pos = to_dfa(&f, ab.clone());
+        let neg = to_dfa(&f.negate(), ab.clone());
+        assert!(pos.equivalent(&neg.complement()).is_ok());
+    }
+
+    #[test]
+    fn automaton_is_small_for_simple_claims() {
+        let (ab, a, b, _) = setup();
+        let f = Formula::weak_until(Formula::NotAtom(a), Formula::atom(b));
+        let dfa = to_dfa(&f, ab).minimize();
+        // !a W b has a 3-state minimal monitor (waiting / satisfied / failed).
+        assert!(dfa.num_states() <= 3, "{} states", dfa.num_states());
+    }
+
+    #[test]
+    fn true_and_false_monitors() {
+        let (ab, a, _, _) = setup();
+        let all = to_dfa(&Formula::tt(), ab.clone());
+        assert!(all.accepts(&[]));
+        assert!(all.accepts(&[a, a]));
+        let none = to_dfa(&Formula::ff(), ab);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Model checking a regular model against an LTLf claim.
+//!
+//! A *model* is any automaton whose language is the set of complete event
+//! traces a system can produce (in Shelley, the integration automaton of a
+//! composite class). A claim `φ` holds iff every model trace satisfies it:
+//! `L(M) ⊆ L(φ)`, decided via emptiness of `L(M) ∩ L(¬φ)` with a shortest
+//! violating trace as counterexample.
+
+use crate::automaton::to_dfa;
+use crate::syntax::Formula;
+use shelley_regular::{ops, Dfa, Nfa, Symbol, Word};
+use std::collections::BTreeSet;
+
+/// The result of checking one claim against a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// Every model trace satisfies the claim.
+    Holds,
+    /// Some model trace violates the claim; a shortest one is returned
+    /// (marker symbols preserved where the model interleaves them).
+    Violated {
+        /// A shortest violating trace.
+        counterexample: Word,
+    },
+}
+
+impl ClaimOutcome {
+    /// Whether the claim holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, ClaimOutcome::Holds)
+    }
+}
+
+/// Checks `L(model) ⊆ L(claim)`, ignoring the symbols in `markers` (they
+/// advance the model but are invisible to the claim).
+///
+/// # Panics
+///
+/// Panics if `model`'s alphabet differs from the alphabet the claim monitor
+/// is built over (they must share one `Alphabet`).
+pub fn check_claim(
+    model: &Nfa,
+    claim: &Formula,
+    markers: &BTreeSet<Symbol>,
+) -> ClaimOutcome {
+    let bad = to_dfa(&claim.negate(), model.alphabet().clone());
+    match ops::shortest_joint_word(model, &bad, markers) {
+        None => ClaimOutcome::Holds,
+        Some(counterexample) => ClaimOutcome::Violated { counterexample },
+    }
+}
+
+/// Checks a claim against a DFA model with no markers.
+pub fn check_claim_dfa(model: &Dfa, claim: &Formula) -> ClaimOutcome {
+    let bad = to_dfa(&claim.negate(), model.alphabet().clone());
+    match model.intersect(&bad).shortest_accepted() {
+        None => ClaimOutcome::Holds,
+        Some(counterexample) => ClaimOutcome::Violated { counterexample },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use crate::semantics::eval;
+    use shelley_regular::{parse_regex, Alphabet};
+    use std::rc::Rc;
+
+    #[test]
+    fn claim_holds_on_conforming_model() {
+        let mut ab = Alphabet::new();
+        let claim = parse_formula("(!a.open) W b.open", &mut ab).unwrap();
+        // Model: b.open then a.open (conforming).
+        let model_re = parse_regex("b.open ; a.open", &mut ab).unwrap();
+        let ab = Rc::new(ab);
+        let model = Nfa::from_regex(&model_re, ab);
+        assert!(check_claim(&model, &claim, &BTreeSet::new()).holds());
+    }
+
+    #[test]
+    fn claim_violated_with_shortest_counterexample() {
+        let mut ab = Alphabet::new();
+        let claim = parse_formula("(!a.open) W b.open", &mut ab).unwrap();
+        // Model: either the long conforming trace or a short violating one.
+        let model_re =
+            parse_regex("(b.open ; a.open) + (a.test ; a.open)", &mut ab).unwrap();
+        let ab = Rc::new(ab);
+        let model = Nfa::from_regex(&model_re, ab.clone());
+        match check_claim(&model, &claim, &BTreeSet::new()) {
+            ClaimOutcome::Violated { counterexample } => {
+                assert_eq!(ab.render_word(&counterexample), "a.test, a.open");
+                assert!(!eval(&claim, &counterexample));
+            }
+            ClaimOutcome::Holds => panic!("claim should be violated"),
+        }
+    }
+
+    #[test]
+    fn markers_are_invisible_to_the_claim() {
+        let mut ab = Alphabet::new();
+        let claim = parse_formula("G !fail", &mut ab).unwrap();
+        // Model with an interleaved marker `op` that must not confuse the
+        // monitor: op ; ok is fine, op ; fail is not.
+        let ok_model = parse_regex("op ; ok", &mut ab).unwrap();
+        let bad_model = parse_regex("op ; fail", &mut ab).unwrap();
+        let op = ab.lookup("op").unwrap();
+        let fail = ab.lookup("fail").unwrap();
+        let ab = Rc::new(ab);
+        let markers = BTreeSet::from([op]);
+        assert!(check_claim(
+            &Nfa::from_regex(&ok_model, ab.clone()),
+            &claim,
+            &markers
+        )
+        .holds());
+        match check_claim(&Nfa::from_regex(&bad_model, ab), &claim, &markers) {
+            ClaimOutcome::Violated { counterexample } => {
+                // Marker preserved in the reported trace.
+                assert_eq!(counterexample, vec![op, fail]);
+            }
+            ClaimOutcome::Holds => panic!("should be violated"),
+        }
+    }
+
+    #[test]
+    fn empty_model_satisfies_everything() {
+        let mut ab = Alphabet::new();
+        let claim = parse_formula("F done", &mut ab).unwrap();
+        let empty = parse_regex("void", &mut ab).unwrap();
+        let ab = Rc::new(ab);
+        let model = Nfa::from_regex(&empty, ab);
+        assert!(check_claim(&model, &claim, &BTreeSet::new()).holds());
+    }
+
+    #[test]
+    fn dfa_variant_agrees() {
+        let mut ab = Alphabet::new();
+        let claim = parse_formula("F b", &mut ab).unwrap();
+        let model_re = parse_regex("a ; a", &mut ab).unwrap();
+        let ab = Rc::new(ab);
+        let nfa = Nfa::from_regex(&model_re, ab);
+        let dfa = Dfa::from_nfa(&nfa);
+        let r1 = check_claim(&nfa, &claim, &BTreeSet::new());
+        let r2 = check_claim_dfa(&dfa, &claim);
+        assert_eq!(r1.holds(), r2.holds());
+        assert!(!r1.holds());
+    }
+}

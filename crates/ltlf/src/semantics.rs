@@ -1,0 +1,236 @@
+//! Finite-trace evaluation and formula progression.
+//!
+//! Two independent implementations of LTLf satisfaction are provided and
+//! cross-checked by the property suite:
+//!
+//! * [`eval`] — direct positional evaluation `w, i ⊨ φ`;
+//! * [`progress`] + [`accepts_empty`] — formula progression, the basis of
+//!   the automaton construction: `e·w ⊨ φ ⇔ w ⊨ progress(φ, e)` and
+//!   `ε ⊨ φ ⇔ accepts_empty(φ)`.
+//!
+//! Traces may be empty (a constrained object may legally never be used);
+//! on the empty trace `G`/`R`/weak-next hold vacuously while
+//! atoms/`F`/`U`/strong-next fail.
+
+use crate::syntax::Formula;
+use shelley_regular::Symbol;
+
+/// Whether the empty trace satisfies `f`.
+pub fn accepts_empty(f: &Formula) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Empty => true,
+        Formula::Nonempty => false,
+        Formula::Atom(_) => false,
+        // The complement of an atom: holds when there is no current event.
+        Formula::NotAtom(_) => true,
+        Formula::And(items) => items.iter().all(accepts_empty),
+        Formula::Or(items) => items.iter().any(accepts_empty),
+        Formula::Next(_) => false,
+        Formula::WeakNext(_) => true,
+        Formula::Until(_, _) => false,
+        Formula::Release(_, _) => true,
+    }
+}
+
+/// The progression of `f` through one event: the formula that the rest of
+/// the trace must satisfy.
+pub fn progress(f: &Formula, event: Symbol) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Empty => Formula::False,
+        Formula::Nonempty => Formula::True,
+        Formula::Atom(s) => {
+            if *s == event {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::NotAtom(s) => {
+            if *s == event {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::And(items) => {
+            Formula::and_all(items.iter().map(|g| progress(g, event)))
+        }
+        Formula::Or(items) => {
+            Formula::or_all(items.iter().map(|g| progress(g, event)))
+        }
+        // After consuming one event, the "next position" of the original
+        // trace is the first position of the remainder — which must exist
+        // for strong next and may be absent for weak next.
+        Formula::Next(g) => Formula::and(Formula::Nonempty, (**g).clone()),
+        Formula::WeakNext(g) => Formula::or(Formula::Empty, (**g).clone()),
+        Formula::Until(a, b) => {
+            // φ U ψ ≡ ψ ∨ (φ ∧ X(φ U ψ))
+            Formula::or(
+                progress(b, event),
+                Formula::and(progress(a, event), f.clone()),
+            )
+        }
+        Formula::Release(a, b) => {
+            // φ R ψ ≡ ψ ∧ (φ ∨ X[!](φ R ψ))
+            Formula::and(
+                progress(b, event),
+                Formula::or(progress(a, event), f.clone()),
+            )
+        }
+    }
+}
+
+/// Decides `trace ⊨ f` by iterated progression.
+pub fn eval(f: &Formula, trace: &[Symbol]) -> bool {
+    let mut cur = f.clone();
+    for &e in trace {
+        cur = progress(&cur, e);
+        // Early exit on constants.
+        match cur {
+            Formula::True => return true,
+            Formula::False => return false,
+            _ => {}
+        }
+    }
+    accepts_empty(&cur)
+}
+
+/// Decides `trace ⊨ f` by direct positional recursion (reference
+/// implementation used for differential testing).
+pub fn eval_direct(f: &Formula, trace: &[Symbol]) -> bool {
+    eval_at(f, trace, 0)
+}
+
+fn eval_at(f: &Formula, trace: &[Symbol], i: usize) -> bool {
+    let n = trace.len();
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Empty => i >= n,
+        Formula::Nonempty => i < n,
+        Formula::Atom(s) => i < n && trace[i] == *s,
+        Formula::NotAtom(s) => i >= n || trace[i] != *s,
+        Formula::And(items) => items.iter().all(|g| eval_at(g, trace, i)),
+        Formula::Or(items) => items.iter().any(|g| eval_at(g, trace, i)),
+        Formula::Next(g) => i + 1 < n && eval_at(g, trace, i + 1),
+        Formula::WeakNext(g) => i + 1 >= n || eval_at(g, trace, i + 1),
+        Formula::Until(a, b) => (i..n).any(|k| {
+            eval_at(b, trace, k) && (i..k).all(|j| eval_at(a, trace, j))
+        }),
+        Formula::Release(a, b) => (i..n).all(|k| {
+            eval_at(b, trace, k) || (i..k).any(|j| eval_at(a, trace, j))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_regular::Alphabet;
+
+    fn setup() -> (Alphabet, Symbol, Symbol, Symbol) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let c = ab.intern("c");
+        (ab, a, b, c)
+    }
+
+    #[test]
+    fn atoms_hold_at_first_position() {
+        let (_, a, b, _) = setup();
+        assert!(eval(&Formula::atom(a), &[a]));
+        assert!(!eval(&Formula::atom(a), &[b]));
+        assert!(!eval(&Formula::atom(a), &[]));
+        // An atom constrains only position 0.
+        assert!(eval(&Formula::atom(a), &[a, b, b]));
+    }
+
+    #[test]
+    fn globally_and_eventually() {
+        let (_, a, b, _) = setup();
+        let ga = Formula::globally(Formula::atom(a));
+        assert!(eval(&ga, &[]));
+        assert!(eval(&ga, &[a, a, a]));
+        assert!(!eval(&ga, &[a, b]));
+        let fb = Formula::eventually(Formula::atom(b));
+        assert!(!eval(&fb, &[]));
+        assert!(eval(&fb, &[a, a, b]));
+        assert!(!eval(&fb, &[a, a]));
+    }
+
+    #[test]
+    fn strong_vs_weak_next() {
+        let (_, a, b, _) = setup();
+        let xa = Formula::next(Formula::atom(b));
+        let wxa = Formula::weak_next(Formula::atom(b));
+        assert!(eval(&xa, &[a, b]));
+        assert!(!eval(&xa, &[a]));
+        assert!(!eval(&xa, &[]));
+        assert!(eval(&wxa, &[a]));
+        assert!(eval(&wxa, &[]));
+        assert!(!eval(&wxa, &[a, a]));
+        assert!(eval(&wxa, &[a, b]));
+    }
+
+    #[test]
+    fn until_semantics() {
+        let (_, a, b, _) = setup();
+        let u = Formula::until(Formula::atom(a), Formula::atom(b));
+        assert!(eval(&u, &[b]));
+        assert!(eval(&u, &[a, a, b]));
+        assert!(!eval(&u, &[a, a]));
+        assert!(!eval(&u, &[]));
+    }
+
+    #[test]
+    fn paper_weak_until_claim() {
+        // (!a.open) W b.open — a.open must not occur until b.open does (or
+        // never occurs at all).
+        let mut ab = Alphabet::new();
+        let a_open = ab.intern("a.open");
+        let b_open = ab.intern("b.open");
+        let a_test = ab.intern("a.test");
+        let claim = Formula::weak_until(Formula::NotAtom(a_open), Formula::atom(b_open));
+        // Satisfied: a.open never happens.
+        assert!(eval(&claim, &[a_test, a_test]));
+        assert!(eval(&claim, &[]));
+        // Satisfied: b.open strictly before a.open.
+        assert!(eval(&claim, &[a_test, b_open, a_open]));
+        // Violated: a.open before b.open (the BadSector behavior).
+        assert!(!eval(&claim, &[a_test, a_open, b_open]));
+    }
+
+    #[test]
+    fn progression_agrees_with_direct() {
+        let (_, a, b, c) = setup();
+        let formulas = [
+            Formula::globally(Formula::or(Formula::atom(a), Formula::atom(b))),
+            Formula::until(Formula::NotAtom(c), Formula::atom(b)),
+            Formula::weak_until(Formula::NotAtom(a), Formula::atom(c)),
+            Formula::next(Formula::eventually(Formula::atom(a))),
+            Formula::release(Formula::atom(a), Formula::NotAtom(b)),
+        ];
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            vec![a],
+            vec![b, c],
+            vec![a, b, c],
+            vec![c, c, a, b],
+            vec![b, b, b],
+        ];
+        for f in &formulas {
+            for w in &words {
+                assert_eq!(
+                    eval(f, w),
+                    eval_direct(f, w),
+                    "formula {f:?} word {w:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Semantics-preserving formula simplification.
+//!
+//! Claims written by hand (and monitors produced by progression) often
+//! contain redundancy; [`simplify`] applies a terminating set of
+//! equivalences bottom-up until a fixpoint:
+//!
+//! * idempotence of `U`/`R` on equal arguments (`φ U φ ≡ nonempty ∧ φ`,
+//!   `φ R φ ≡ empty ∨ φ` — the guards account for the empty trace);
+//! * `F F φ ≡ F φ`, `G G φ ≡ G φ`;
+//! * `F (φ ∨ ψ) ≡ F φ ∨ F ψ`, `G (φ ∧ ψ) ≡ G φ ∧ G ψ`;
+//! * `X (φ ∧ ψ) ≡ X φ ∧ X ψ`, `X[!] (φ ∨ ψ) ≡ X[!] φ ∨ X[!] ψ`;
+//! * boolean absorption `φ ∨ (φ ∧ ψ) ≡ φ` and `φ ∧ (φ ∨ ψ) ≡ φ`;
+//! * complementary literals: `a ∧ ¬a ≡ false` and `a ∨ ¬a ≡ true` (the
+//!   latter holds even on the empty remainder because `¬a` is the exact
+//!   complement of `a`, see [`Formula::NotAtom`]);
+//! * constant folding (already ensured by the smart constructors).
+//!
+//! Every rewrite is checked equivalence-preserving by the property suite.
+
+use crate::syntax::Formula;
+
+/// Simplifies `f` while preserving its language exactly.
+///
+/// Distribution rules (`F` over `∨`, `G` over `∧`, `X` over `∧`) may grow
+/// the AST by a node or two, but they expose nested redundancy that the
+/// collapsing rules then remove; the fixpoint loop terminates because each
+/// pass either shrinks the formula or pushes temporal operators strictly
+/// closer to the leaves.
+pub fn simplify(f: &Formula) -> Formula {
+    let mut current = f.clone();
+    loop {
+        let next = pass(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+}
+
+fn pass(f: &Formula) -> Formula {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Empty
+        | Formula::Nonempty
+        | Formula::Atom(_)
+        | Formula::NotAtom(_) => f.clone(),
+        Formula::And(items) => {
+            let simplified: Vec<Formula> = items.iter().map(pass).collect();
+            // a ∧ ¬a ≡ false (an event cannot both be and not be `a`;
+            // on the empty remainder `a` already fails).
+            for item in &simplified {
+                if let Formula::Atom(s) = item {
+                    if simplified.contains(&Formula::NotAtom(*s)) {
+                        return Formula::False;
+                    }
+                }
+                if *item == Formula::Empty && simplified.contains(&Formula::Nonempty)
+                {
+                    return Formula::False;
+                }
+            }
+            // Absorption: drop disjunctions that contain another conjunct.
+            let kept: Vec<Formula> = simplified
+                .iter()
+                .filter(|item| match item {
+                    Formula::Or(disjuncts) => !disjuncts
+                        .iter()
+                        .any(|d| simplified.iter().any(|other| other == d)),
+                    _ => true,
+                })
+                .cloned()
+                .collect();
+            Formula::and_all(kept)
+        }
+        Formula::Or(items) => {
+            let simplified: Vec<Formula> = items.iter().map(pass).collect();
+            // a ∨ ¬a ≡ true (¬a covers the empty remainder too).
+            for item in &simplified {
+                if let Formula::Atom(s) = item {
+                    if simplified.contains(&Formula::NotAtom(*s)) {
+                        return Formula::True;
+                    }
+                }
+                if *item == Formula::Empty && simplified.contains(&Formula::Nonempty)
+                {
+                    return Formula::True;
+                }
+            }
+            let kept: Vec<Formula> = simplified
+                .iter()
+                .filter(|item| match item {
+                    Formula::And(conjuncts) => !conjuncts
+                        .iter()
+                        .any(|c| simplified.iter().any(|other| other == c)),
+                    _ => true,
+                })
+                .cloned()
+                .collect();
+            Formula::or_all(kept)
+        }
+        Formula::Next(g) => match pass(g) {
+            // X (φ ∧ ψ) ≡ X φ ∧ X ψ.
+            Formula::And(items) => {
+                Formula::and_all(items.into_iter().map(Formula::next))
+            }
+            g => Formula::next(g),
+        },
+        Formula::WeakNext(g) => match pass(g) {
+            // X[!] (φ ∨ ψ) ≡ X[!] φ ∨ X[!] ψ.
+            Formula::Or(items) => {
+                Formula::or_all(items.into_iter().map(Formula::weak_next))
+            }
+            g => Formula::weak_next(g),
+        },
+        Formula::Until(a, b) => {
+            let a = pass(a);
+            let b = pass(b);
+            // φ U φ ≡ nonempty ∧ φ (U always needs a position; on the
+            // empty trace U is false even when φ holds vacuously).
+            if a == b {
+                return Formula::and(Formula::Nonempty, a);
+            }
+            // F-specific rules (F φ = true U φ).
+            if a == Formula::True {
+                return match b {
+                    // F F ψ ≡ F ψ.
+                    Formula::Until(inner_a, inner_b)
+                        if *inner_a == Formula::True =>
+                    {
+                        Formula::until(Formula::True, *inner_b)
+                    }
+                    // F (φ ∨ ψ) ≡ F φ ∨ F ψ.
+                    Formula::Or(items) => Formula::or_all(
+                        items.into_iter().map(Formula::eventually),
+                    ),
+                    b => Formula::eventually(b),
+                };
+            }
+            // φ U (φ U ψ) ≡ φ U ψ.
+            if let Formula::Until(inner_a, inner_b) = &b {
+                if **inner_a == a {
+                    return Formula::until(a, (**inner_b).clone());
+                }
+            }
+            Formula::until(a, b)
+        }
+        Formula::Release(a, b) => {
+            let a = pass(a);
+            let b = pass(b);
+            // φ R φ ≡ empty ∨ φ (R is vacuously true on the empty trace).
+            if a == b {
+                return Formula::or(Formula::Empty, a);
+            }
+            // G-specific rules (G φ = false R φ).
+            if a == Formula::False {
+                return match b {
+                    // G G ψ ≡ G ψ.
+                    Formula::Release(inner_a, inner_b)
+                        if *inner_a == Formula::False =>
+                    {
+                        Formula::release(Formula::False, *inner_b)
+                    }
+                    // G (φ ∧ ψ) ≡ G φ ∧ G ψ.
+                    Formula::And(items) => Formula::and_all(
+                        items.into_iter().map(Formula::globally),
+                    ),
+                    b => Formula::globally(b),
+                };
+            }
+            // φ R (φ R ψ) ≡ φ R ψ.
+            if let Formula::Release(inner_a, inner_b) = &b {
+                if **inner_a == a {
+                    return Formula::release(a, (**inner_b).clone());
+                }
+            }
+            Formula::release(a, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::eval;
+    use shelley_regular::Alphabet;
+
+    fn ab2() -> (Alphabet, shelley_regular::Symbol, shelley_regular::Symbol) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        (ab, a, b)
+    }
+
+    #[test]
+    fn ff_collapses() {
+        let (_, a, _) = ab2();
+        let f = Formula::eventually(Formula::eventually(Formula::atom(a)));
+        assert_eq!(simplify(&f), Formula::eventually(Formula::atom(a)));
+    }
+
+    #[test]
+    fn gg_collapses() {
+        let (_, a, _) = ab2();
+        let f = Formula::globally(Formula::globally(Formula::atom(a)));
+        assert_eq!(simplify(&f), Formula::globally(Formula::atom(a)));
+    }
+
+    #[test]
+    fn until_idempotence() {
+        let (_, a, _) = ab2();
+        let f = Formula::until(Formula::atom(a), Formula::atom(a));
+        // φ U φ ≡ nonempty ∧ φ; for an atom the nonempty guard is implied,
+        // but the rewrite keeps it (it is semantically equal).
+        let s = simplify(&f);
+        for w in [vec![], vec![a]] {
+            assert_eq!(
+                crate::semantics::eval(&f, &w),
+                crate::semantics::eval(&s, &w)
+            );
+        }
+    }
+
+    #[test]
+    fn complementary_literals() {
+        let (_, a, _) = ab2();
+        let conj = Formula::and(Formula::atom(a), Formula::NotAtom(a));
+        assert_eq!(simplify(&conj), Formula::False);
+        let disj = Formula::or(Formula::atom(a), Formula::NotAtom(a));
+        assert_eq!(simplify(&disj), Formula::True);
+    }
+
+    #[test]
+    fn absorption() {
+        let (_, a, b) = ab2();
+        let f = Formula::or(
+            Formula::atom(a),
+            Formula::and(Formula::atom(a), Formula::atom(b)),
+        );
+        assert_eq!(simplify(&f), Formula::atom(a));
+    }
+
+    #[test]
+    fn f_distributes_over_or() {
+        let (_, a, b) = ab2();
+        let f = Formula::eventually(Formula::or(Formula::atom(a), Formula::atom(b)));
+        let s = simplify(&f);
+        assert_eq!(
+            s,
+            Formula::or(
+                Formula::eventually(Formula::atom(a)),
+                Formula::eventually(Formula::atom(b))
+            )
+        );
+    }
+
+    #[test]
+    fn simplification_preserves_semantics_on_samples() {
+        let (_, a, b) = ab2();
+        let formulas = [
+            Formula::eventually(Formula::eventually(Formula::atom(a))),
+            Formula::globally(Formula::and(
+                Formula::NotAtom(a),
+                Formula::or(Formula::atom(b), Formula::NotAtom(a)),
+            )),
+            Formula::until(
+                Formula::atom(a),
+                Formula::until(Formula::atom(a), Formula::atom(b)),
+            ),
+            Formula::next(Formula::and(Formula::atom(a), Formula::atom(b))),
+            Formula::weak_until(Formula::NotAtom(a), Formula::atom(b)),
+        ];
+        let words: Vec<Vec<shelley_regular::Symbol>> = vec![
+            vec![],
+            vec![a],
+            vec![b],
+            vec![a, b],
+            vec![b, a, b],
+            vec![a, a, a],
+        ];
+        for f in &formulas {
+            let s = simplify(f);
+            for w in &words {
+                assert_eq!(eval(f, w), eval(&s, w), "{f:?} vs {s:?} on {w:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for LTLf: progression vs direct evaluation vs the
+//! compiled monitor DFA, negation as complement, and operator laws.
+
+use proptest::prelude::*;
+use shelley_ltlf::{accepts_empty, eval, eval_direct, progress, to_dfa, Formula};
+use shelley_regular::{Alphabet, Symbol};
+use std::rc::Rc;
+
+const NSYMS: usize = 3;
+
+fn alphabet() -> Rc<Alphabet> {
+    Rc::new(Alphabet::from_names(["a", "b", "c"]))
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::tt()),
+        Just(Formula::ff()),
+        (0..NSYMS).prop_map(|i| Formula::atom(Symbol::from_index(i))),
+        (0..NSYMS).prop_map(|i| Formula::NotAtom(Symbol::from_index(i))),
+    ];
+    // Progression-quotient monitors are exponential in the worst case, so
+    // the generator stays at claim-like sizes (the paper's claims have
+    // 2-4 operators).
+    leaf.prop_recursive(3, 14, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            inner.clone().prop_map(Formula::next),
+            inner.clone().prop_map(Formula::weak_next),
+            inner.clone().prop_map(Formula::eventually),
+            inner.clone().prop_map(Formula::globally),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::until(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::release(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::weak_until(a, b)),
+        ]
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec((0..NSYMS).prop_map(Symbol::from_index), 0..7)
+}
+
+proptest! {
+    /// Progression-based and direct evaluation agree.
+    #[test]
+    fn eval_implementations_agree(f in arb_formula(), w in arb_word()) {
+        prop_assert_eq!(eval(&f, &w), eval_direct(&f, &w));
+    }
+
+    /// The compiled monitor accepts exactly the satisfying traces.
+    #[test]
+    fn monitor_agrees_with_eval(f in arb_formula(), w in arb_word()) {
+        let dfa = to_dfa(&f, alphabet());
+        prop_assert_eq!(dfa.accepts(&w), eval(&f, &w));
+    }
+
+    /// Negation is a true language complement (including the empty trace).
+    #[test]
+    fn negation_is_complement(f in arb_formula(), w in arb_word()) {
+        prop_assert_eq!(eval(&f.negate(), &w), !eval(&f, &w));
+    }
+
+    /// Negation is involutive.
+    #[test]
+    fn negation_involutive(f in arb_formula(), w in arb_word()) {
+        prop_assert_eq!(eval(&f.negate().negate(), &w), eval(&f, &w));
+    }
+
+    /// The fundamental progression equation: e·w ⊨ φ ⇔ w ⊨ progress(φ, e).
+    #[test]
+    fn progression_equation(
+        f in arb_formula(),
+        e in (0..NSYMS).prop_map(Symbol::from_index),
+        w in arb_word()
+    ) {
+        let mut ew = vec![e];
+        ew.extend_from_slice(&w);
+        prop_assert_eq!(eval(&f, &ew), eval(&progress(&f, e), &w));
+    }
+
+    /// ε ⊨ φ ⇔ accepts_empty(φ).
+    #[test]
+    fn empty_trace_base_case(f in arb_formula()) {
+        prop_assert_eq!(eval(&f, &[]), accepts_empty(&f));
+    }
+
+    /// Expansion law: φ U ψ ≡ ψ ∨ (φ ∧ X(φ U ψ)) — at real positions only:
+    /// on the empty trace U is false by definition while ψ may hold
+    /// vacuously, so the law is stated for nonempty traces.
+    #[test]
+    fn until_expansion(f in arb_formula(), g in arb_formula(), w in arb_word()) {
+        prop_assume!(!w.is_empty());
+        let u = Formula::until(f.clone(), g.clone());
+        let expanded = Formula::or(
+            g,
+            Formula::and(f, Formula::next(u.clone())),
+        );
+        prop_assert_eq!(eval(&u, &w), eval(&expanded, &w));
+    }
+
+    /// Expansion law: φ R ψ ≡ ψ ∧ (φ ∨ X[!](φ R ψ)) — nonempty traces
+    /// only, dually to `until_expansion`.
+    #[test]
+    fn release_expansion(f in arb_formula(), g in arb_formula(), w in arb_word()) {
+        prop_assume!(!w.is_empty());
+        let r = Formula::release(f.clone(), g.clone());
+        let expanded = Formula::and(
+            g,
+            Formula::or(f, Formula::weak_next(r.clone())),
+        );
+        prop_assert_eq!(eval(&r, &w), eval(&expanded, &w));
+    }
+
+    /// The paper's definition: φ W ψ ≡ (φ U ψ) ∨ G φ.
+    #[test]
+    fn weak_until_definition(f in arb_formula(), g in arb_formula(), w in arb_word()) {
+        let w_formula = Formula::weak_until(f.clone(), g.clone());
+        let manual = Formula::or(
+            Formula::until(f.clone(), g),
+            Formula::globally(f),
+        );
+        prop_assert_eq!(eval(&w_formula, &w), eval(&manual, &w));
+    }
+
+    /// Monitor DFAs stay small after minimization (sanity bound: the
+    /// progression-state space of our bounded-depth formulas).
+    #[test]
+    fn monitors_minimize(f in arb_formula()) {
+        let dfa = to_dfa(&f, alphabet());
+        let min = dfa.minimize();
+        prop_assert!(min.num_states() <= dfa.num_states());
+        prop_assert!(min.equivalent(&dfa).is_ok());
+    }
+}
+
+proptest! {
+    /// Simplification preserves the language exactly.
+    #[test]
+    fn simplify_preserves_semantics(f in arb_formula(), w in arb_word()) {
+        let s = shelley_ltlf::simplify(&f);
+        prop_assert_eq!(eval(&f, &w), eval(&s, &w));
+    }
+
+    /// Simplification is idempotent.
+    #[test]
+    fn simplify_idempotent(f in arb_formula()) {
+        let s1 = shelley_ltlf::simplify(&f);
+        let s2 = shelley_ltlf::simplify(&s1);
+        prop_assert_eq!(s1, s2);
+    }
+}

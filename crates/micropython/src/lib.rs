@@ -1,0 +1,56 @@
+//! # micropython-parser
+//!
+//! Lexer and parser for the MicroPython subset analyzed by Shelley
+//! (*Formalizing Model Inference of MicroPython*, DSN-W 2023).
+//!
+//! The subset covers everything the paper's examples use and Shelley's
+//! analysis consumes:
+//!
+//! * decorated classes and methods (`@sys`, `@claim(...)`, `@op_initial`,
+//!   `@op`, `@op_final`, `@op_initial_final` — Table 1);
+//! * `return` statements including the tuple value forms of Table 2
+//!   (`return ["close"], 2`);
+//! * branching with `if/elif/else` and `match/case`, looping with `for`
+//!   and `while` (§2.2);
+//! * calls and attribute chains (`self.a.open()`), assignments, literals.
+//!
+//! Python exceptions are not modeled, matching the paper's scope.
+//!
+//! The parser is a hand-written recursive-descent parser over an
+//! indentation-aware token stream (CPython-style `INDENT`/`DEDENT` with
+//! implicit line joining inside brackets). All AST nodes carry [`Span`]s
+//! and [`SourceFile`] renders caret diagnostics.
+//!
+//! # Example
+//!
+//! ```
+//! use micropython_parser::parse_module;
+//!
+//! let source = r#"
+//! @sys
+//! class Valve:
+//!     @op_initial
+//!     def test(self):
+//!         return ["open", "clean"]
+//! "#;
+//! let module = parse_module(source)?;
+//! let valve = module.class("Valve").unwrap();
+//! assert_eq!(valve.decorators[0].name(), Some("sys"));
+//! # Ok::<(), micropython_parser::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod lexer;
+mod parser;
+pub mod printer;
+mod span;
+mod token;
+pub mod visit;
+
+pub use lexer::{tokenize, LexError};
+pub use parser::{parse_module, ParseError};
+pub use span::{SourceFile, Span, Spanned};
+pub use token::{Keyword, Punct, Token, TokenKind};

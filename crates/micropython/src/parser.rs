@@ -1,0 +1,1363 @@
+//! Recursive-descent parser for the MicroPython subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError};
+use crate::span::{Span, Spanned};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use std::error::Error;
+use std::fmt;
+
+/// A syntax error with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            span: e.span,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a module from source text.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered (lexical errors are
+/// converted).
+///
+/// # Examples
+///
+/// ```
+/// use micropython_parser::parse_module;
+///
+/// let m = parse_module("@sys\nclass Valve:\n    def test(self):\n        return [\"open\"]\n")?;
+/// let valve = m.class("Valve").unwrap();
+/// assert_eq!(valve.decorators[0].name(), Some("sys"));
+/// assert_eq!(valve.methods().count(), 1);
+/// # Ok::<(), micropython_parser::ParseError>(())
+/// ```
+pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let body = p.parse_stmts_until_eof()?;
+    Ok(Module { body })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn at_punct(&self, p: Punct) -> bool {
+        matches!(self.peek_kind(), TokenKind::Punct(q) if *q == p)
+    }
+
+    fn at_keyword(&self, k: Keyword) -> bool {
+        matches!(self.peek_kind(), TokenKind::Keyword(q) if *q == k)
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<Token, ParseError> {
+        if self.at_punct(p) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected `{p}`, found {}", self.peek_kind())))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<Token, ParseError> {
+        if self.at_keyword(k) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected `{k}`, found {}", self.peek_kind())))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        if self.at(&TokenKind::Newline) {
+            self.bump();
+            Ok(())
+        } else if self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected end of line, found {}",
+                self.peek_kind()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<Spanned<String>, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok(Spanned::new(name, t.span))
+            }
+            other => Err(self.error(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            span: self.peek().span,
+            message: message.into(),
+        }
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn parse_stmts_until_eof(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            while self.at(&TokenKind::Newline) {
+                self.bump();
+            }
+            if self.at(&TokenKind::Eof) {
+                return Ok(out);
+            }
+            out.push(self.parse_stmt()?);
+        }
+    }
+
+    /// Parses one statement (compound or a simple-statement line).
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek_kind() {
+            TokenKind::Punct(Punct::At) => self.parse_decorated(),
+            TokenKind::Keyword(Keyword::Class) => {
+                self.parse_class(Vec::new()).map(Stmt::ClassDef)
+            }
+            TokenKind::Keyword(Keyword::Def) => {
+                self.parse_def(Vec::new()).map(Stmt::FuncDef)
+            }
+            TokenKind::Keyword(Keyword::If) => self.parse_if(),
+            TokenKind::Keyword(Keyword::Match) => self.parse_match(),
+            TokenKind::Keyword(Keyword::While) => self.parse_while(),
+            TokenKind::Keyword(Keyword::For) => self.parse_for(),
+            _ => {
+                let stmt = self.parse_simple_stmt()?;
+                // Allow `a; b` on one line — additional statements are
+                // parsed by the caller via the same entry point when the
+                // semicolon is present.
+                if self.eat_punct(Punct::Semicolon) {
+                    // Peek: a trailing semicolon before newline is allowed.
+                    if !self.at(&TokenKind::Newline) && !self.at(&TokenKind::Eof) {
+                        // Re-enter for the rest of the line; wrap in a
+                        // synthetic sequence by returning the first and
+                        // letting the caller loop. Simplest correct
+                        // handling: parse the rest and splice.
+                        // We parse remaining into a flat vec and return a
+                        // synthetic If-free structure is overkill; instead
+                        // we disallow multiple statements per line beyond
+                        // the first to keep the AST simple.
+                        return Err(self.error(
+                            "multiple statements on one line are not supported",
+                        ));
+                    }
+                }
+                self.expect_newline()?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn parse_decorated(&mut self) -> Result<Stmt, ParseError> {
+        let mut decorators = Vec::new();
+        while self.at_punct(Punct::At) {
+            let at = self.bump();
+            let expr = self.parse_expr()?;
+            let span = at.span.to(expr.span);
+            decorators.push(Decorator { expr, span });
+            self.expect_newline()?;
+            while self.at(&TokenKind::Newline) {
+                self.bump();
+            }
+        }
+        if self.at_keyword(Keyword::Class) {
+            self.parse_class(decorators).map(Stmt::ClassDef)
+        } else if self.at_keyword(Keyword::Def) {
+            self.parse_def(decorators).map(Stmt::FuncDef)
+        } else {
+            Err(self.error("decorators must be followed by `class` or `def`"))
+        }
+    }
+
+    fn parse_class(&mut self, decorators: Vec<Decorator>) -> Result<ClassDef, ParseError> {
+        let kw = self.expect_keyword(Keyword::Class)?;
+        let name = self.expect_ident()?;
+        let mut bases = Vec::new();
+        if self.eat_punct(Punct::LParen) {
+            while !self.at_punct(Punct::RParen) {
+                bases.push(self.parse_expr()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        }
+        let body = self.parse_suite()?;
+        let end = body.last().map_or(name.span, Stmt::span);
+        let start = decorators.first().map_or(kw.span, |d| d.span);
+        Ok(ClassDef {
+            decorators,
+            name,
+            bases,
+            body,
+            span: start.to(end),
+        })
+    }
+
+    fn parse_def(&mut self, decorators: Vec<Decorator>) -> Result<FuncDef, ParseError> {
+        let kw = self.expect_keyword(Keyword::Def)?;
+        let name = self.expect_ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        while !self.at_punct(Punct::RParen) {
+            let p = self.expect_ident()?;
+            // Optional annotation / default (parsed and discarded).
+            if self.eat_punct(Punct::Colon) {
+                let _ = self.parse_expr()?;
+            }
+            if self.eat_punct(Punct::Assign) {
+                let _ = self.parse_expr()?;
+            }
+            params.push(p);
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::RParen)?;
+        if self.eat_punct(Punct::Arrow) {
+            let _ = self.parse_expr()?;
+        }
+        let body = self.parse_suite()?;
+        let end = body.last().map_or(name.span, Stmt::span);
+        let start = decorators.first().map_or(kw.span, |d| d.span);
+        Ok(FuncDef {
+            decorators,
+            name,
+            params,
+            body,
+            span: start.to(end),
+        })
+    }
+
+    /// Parses `: suite` — either an indented block or a simple statement on
+    /// the same line.
+    fn parse_suite(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct(Punct::Colon)?;
+        if self.at(&TokenKind::Newline) {
+            self.bump();
+            while self.at(&TokenKind::Newline) {
+                self.bump();
+            }
+            if !self.at(&TokenKind::Indent) {
+                return Err(self.error("expected an indented block"));
+            }
+            self.bump();
+            let mut out = Vec::new();
+            loop {
+                while self.at(&TokenKind::Newline) {
+                    self.bump();
+                }
+                if self.at(&TokenKind::Dedent) {
+                    self.bump();
+                    return Ok(out);
+                }
+                if self.at(&TokenKind::Eof) {
+                    return Ok(out);
+                }
+                out.push(self.parse_stmt()?);
+            }
+        } else {
+            // Simple suite on the same line.
+            let stmt = self.parse_simple_stmt()?;
+            self.expect_newline()?;
+            Ok(vec![stmt])
+        }
+    }
+
+    /// Parses a simple (one-line, non-compound) statement, not consuming
+    /// the trailing newline.
+    fn parse_simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Return) => {
+                let kw = self.bump();
+                if self.at(&TokenKind::Newline) || self.at(&TokenKind::Eof) {
+                    return Ok(Stmt::Return(ReturnStmt {
+                        value: None,
+                        span: kw.span,
+                    }));
+                }
+                let value = self.parse_testlist()?;
+                let span = kw.span.to(value.span);
+                Ok(Stmt::Return(ReturnStmt {
+                    value: Some(value),
+                    span,
+                }))
+            }
+            TokenKind::Keyword(Keyword::Pass) => Ok(Stmt::Pass(self.bump().span)),
+            TokenKind::Keyword(Keyword::Break) => Ok(Stmt::Break(self.bump().span)),
+            TokenKind::Keyword(Keyword::Continue) => {
+                Ok(Stmt::Continue(self.bump().span))
+            }
+            TokenKind::Keyword(Keyword::Import) => {
+                let kw = self.bump();
+                let mut names = vec![self.parse_dotted_name()?];
+                while self.eat_punct(Punct::Comma) {
+                    names.push(self.parse_dotted_name()?);
+                }
+                let span = kw.span.to(self.peek().span);
+                Ok(Stmt::Import(ImportStmt { names, span }))
+            }
+            TokenKind::Keyword(Keyword::From) => {
+                let kw = self.bump();
+                let module = self.parse_dotted_name()?;
+                self.expect_keyword(Keyword::Import)?;
+                let mut names = vec![format!("{module}.*")];
+                if self.at_punct(Punct::Star) {
+                    self.bump();
+                } else {
+                    names.clear();
+                    loop {
+                        let n = self.expect_ident()?;
+                        if self.at_keyword(Keyword::As) {
+                            self.bump();
+                            let _ = self.expect_ident()?;
+                        }
+                        names.push(format!("{module}.{}", n.node));
+                        if !self.eat_punct(Punct::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let span = kw.span.to(self.peek().span);
+                Ok(Stmt::Import(ImportStmt { names, span }))
+            }
+            _ => {
+                let expr = self.parse_testlist()?;
+                if self.at_punct(Punct::Assign) {
+                    self.bump();
+                    let value = self.parse_testlist()?;
+                    let span = expr.span.to(value.span);
+                    Ok(Stmt::Assign(AssignStmt {
+                        target: expr,
+                        value,
+                        aug_op: None,
+                        span,
+                    }))
+                } else if let TokenKind::Punct(
+                    p @ (Punct::PlusAssign
+                    | Punct::MinusAssign
+                    | Punct::StarAssign
+                    | Punct::SlashAssign),
+                ) = *self.peek_kind()
+                {
+                    let op = match p {
+                        Punct::PlusAssign => "+",
+                        Punct::MinusAssign => "-",
+                        Punct::StarAssign => "*",
+                        _ => "/",
+                    };
+                    self.bump();
+                    let value = self.parse_testlist()?;
+                    let span = expr.span.to(value.span);
+                    Ok(Stmt::Assign(AssignStmt {
+                        target: expr,
+                        value,
+                        aug_op: Some(op.to_owned()),
+                        span,
+                    }))
+                } else {
+                    let span = expr.span;
+                    Ok(Stmt::Expr(ExprStmt { expr, span }))
+                }
+            }
+        }
+    }
+
+    fn parse_dotted_name(&mut self) -> Result<String, ParseError> {
+        let mut name = self.expect_ident()?.node;
+        while self.at_punct(Punct::Dot) {
+            self.bump();
+            name.push('.');
+            name.push_str(&self.expect_ident()?.node);
+        }
+        Ok(name)
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        let kw = self.expect_keyword(Keyword::If)?;
+        let mut branches = Vec::new();
+        let cond = self.parse_expr()?;
+        let body = self.parse_suite()?;
+        branches.push((cond, body));
+        let mut orelse = None;
+        let mut end = kw.span;
+        loop {
+            // `elif` / `else` appear at the same indentation, possibly after
+            // blank lines.
+            let save = self.pos;
+            while self.at(&TokenKind::Newline) {
+                self.bump();
+            }
+            if self.at_keyword(Keyword::Elif) {
+                self.bump();
+                let cond = self.parse_expr()?;
+                let body = self.parse_suite()?;
+                end = body.last().map_or(end, Stmt::span);
+                branches.push((cond, body));
+            } else if self.at_keyword(Keyword::Else) {
+                self.bump();
+                let body = self.parse_suite()?;
+                end = body.last().map_or(end, Stmt::span);
+                orelse = Some(body);
+                break;
+            } else {
+                self.pos = save;
+                break;
+            }
+        }
+        Ok(Stmt::If(IfStmt {
+            branches,
+            orelse,
+            span: kw.span.to(end),
+        }))
+    }
+
+    fn parse_match(&mut self) -> Result<Stmt, ParseError> {
+        let kw = self.expect_keyword(Keyword::Match)?;
+        let subject = self.parse_expr()?;
+        self.expect_punct(Punct::Colon)?;
+        self.expect_newline()?;
+        while self.at(&TokenKind::Newline) {
+            self.bump();
+        }
+        if !self.at(&TokenKind::Indent) {
+            return Err(self.error("expected an indented block of `case` arms"));
+        }
+        self.bump();
+        let mut cases = Vec::new();
+        loop {
+            while self.at(&TokenKind::Newline) {
+                self.bump();
+            }
+            if self.at(&TokenKind::Dedent) || self.at(&TokenKind::Eof) {
+                if self.at(&TokenKind::Dedent) {
+                    self.bump();
+                }
+                break;
+            }
+            let case_kw = self.expect_keyword(Keyword::Case)?;
+            let pattern = self.parse_pattern()?;
+            let body = self.parse_suite()?;
+            let end = body.last().map_or(case_kw.span, Stmt::span);
+            cases.push(MatchCase {
+                pattern,
+                body,
+                span: case_kw.span.to(end),
+            });
+        }
+        if cases.is_empty() {
+            return Err(self.error("`match` requires at least one `case`"));
+        }
+        let end = cases.last().map_or(kw.span, |c| c.span);
+        Ok(Stmt::Match(MatchStmt {
+            subject,
+            cases,
+            span: kw.span.to(end),
+        }))
+    }
+
+    fn parse_pattern(&mut self) -> Result<Pattern, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Punct(Punct::LBracket) => {
+                let open = self.bump();
+                let mut items = Vec::new();
+                while !self.at_punct(Punct::RBracket) {
+                    items.push(self.parse_pattern()?);
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                let close = self.expect_punct(Punct::RBracket)?;
+                Ok(Pattern::List(items, open.span.to(close.span)))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                let open = self.bump();
+                let mut items = Vec::new();
+                while !self.at_punct(Punct::RParen) {
+                    items.push(self.parse_pattern()?);
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                let close = self.expect_punct(Punct::RParen)?;
+                if items.len() == 1 {
+                    Ok(items.into_iter().next().expect("one item"))
+                } else {
+                    Ok(Pattern::Tuple(items, open.span.to(close.span)))
+                }
+            }
+            TokenKind::Str(s) => {
+                let t = self.bump();
+                Ok(Pattern::Literal(Expr::new(ExprKind::Str(s), t.span)))
+            }
+            TokenKind::Int(v) => {
+                let t = self.bump();
+                Ok(Pattern::Literal(Expr::new(ExprKind::Int(v), t.span)))
+            }
+            TokenKind::Float(v) => {
+                let t = self.bump();
+                Ok(Pattern::Literal(Expr::new(ExprKind::Float(v), t.span)))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                let t = self.bump();
+                Ok(Pattern::Literal(Expr::new(ExprKind::Bool(true), t.span)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                let t = self.bump();
+                Ok(Pattern::Literal(Expr::new(ExprKind::Bool(false), t.span)))
+            }
+            TokenKind::Keyword(Keyword::None) => {
+                let t = self.bump();
+                Ok(Pattern::Literal(Expr::new(ExprKind::NoneLit, t.span)))
+            }
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                if name == "_" {
+                    Ok(Pattern::Wildcard(t.span))
+                } else {
+                    Ok(Pattern::Capture(Spanned::new(name, t.span)))
+                }
+            }
+            other => Err(self.error(format!("expected a pattern, found {other}"))),
+        }
+    }
+
+    fn parse_while(&mut self) -> Result<Stmt, ParseError> {
+        let kw = self.expect_keyword(Keyword::While)?;
+        let cond = self.parse_expr()?;
+        let body = self.parse_suite()?;
+        let end = body.last().map_or(kw.span, Stmt::span);
+        Ok(Stmt::While(WhileStmt {
+            cond,
+            body,
+            span: kw.span.to(end),
+        }))
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, ParseError> {
+        let kw = self.expect_keyword(Keyword::For)?;
+        let target = self.parse_target_list()?;
+        self.expect_keyword(Keyword::In)?;
+        let iter = self.parse_expr()?;
+        let body = self.parse_suite()?;
+        let end = body.last().map_or(kw.span, Stmt::span);
+        Ok(Stmt::For(ForStmt {
+            target,
+            iter,
+            body,
+            span: kw.span.to(end),
+        }))
+    }
+
+    /// Parses a `for`-loop target: one or more postfix expressions separated
+    /// by commas (no comparison operators, so `in` stays a keyword here).
+    fn parse_target_list(&mut self) -> Result<Expr, ParseError> {
+        let first = self.parse_postfix()?;
+        if !self.at_punct(Punct::Comma) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_punct(Punct::Comma) {
+            if self.at_keyword(Keyword::In) {
+                break;
+            }
+            items.push(self.parse_postfix()?);
+        }
+        let span = items
+            .first()
+            .expect("nonempty")
+            .span
+            .to(items.last().expect("nonempty").span);
+        Ok(Expr::new(ExprKind::Tuple(items), span))
+    }
+
+    // ----- expressions --------------------------------------------------
+
+    /// `testlist ::= expr (',' expr)*` — a bare comma builds a tuple
+    /// (`return ["close"], 2` from Table 2).
+    fn parse_testlist(&mut self) -> Result<Expr, ParseError> {
+        let first = self.parse_expr()?;
+        if !self.at_punct(Punct::Comma) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_punct(Punct::Comma) {
+            // Trailing comma before newline/closer.
+            if self.at(&TokenKind::Newline)
+                || self.at(&TokenKind::Eof)
+                || self.at_punct(Punct::RParen)
+                || self.at_punct(Punct::RBracket)
+            {
+                break;
+            }
+            items.push(self.parse_expr()?);
+        }
+        let span = items
+            .first()
+            .expect("nonempty")
+            .span
+            .to(items.last().expect("nonempty").span);
+        Ok(Expr::new(ExprKind::Tuple(items), span))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.at_keyword(Keyword::Or) {
+            self.bump();
+            let right = self.parse_and()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::BinOp {
+                    op: "or".into(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.at_keyword(Keyword::And) {
+            self.bump();
+            let right = self.parse_not()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::BinOp {
+                    op: "and".into(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.at_keyword(Keyword::Not) {
+            let kw = self.bump();
+            let operand = self.parse_not()?;
+            let span = kw.span.to(operand.span);
+            return Ok(Expr::new(
+                ExprKind::UnaryOp {
+                    op: "not".into(),
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_bitor()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Punct(Punct::Eq) => "==",
+                TokenKind::Punct(Punct::Ne) => "!=",
+                TokenKind::Punct(Punct::Lt) => "<",
+                TokenKind::Punct(Punct::Gt) => ">",
+                TokenKind::Punct(Punct::Le) => "<=",
+                TokenKind::Punct(Punct::Ge) => ">=",
+                TokenKind::Keyword(Keyword::In) => "in",
+                TokenKind::Keyword(Keyword::Is) => {
+                    // `is` / `is not`.
+                    self.bump();
+                    let op = if self.at_keyword(Keyword::Not) {
+                        self.bump();
+                        "is not"
+                    } else {
+                        "is"
+                    };
+                    let right = self.parse_bitor()?;
+                    let span = left.span.to(right.span);
+                    left = Expr::new(
+                        ExprKind::BinOp {
+                            op: op.into(),
+                            left: Box::new(left),
+                            right: Box::new(right),
+                        },
+                        span,
+                    );
+                    continue;
+                }
+                TokenKind::Keyword(Keyword::Not) => {
+                    // `not in` (prefix `not` is handled above comparison).
+                    self.bump();
+                    self.expect_keyword(Keyword::In)?;
+                    let right = self.parse_bitor()?;
+                    let span = left.span.to(right.span);
+                    left = Expr::new(
+                        ExprKind::BinOp {
+                            op: "not in".into(),
+                            left: Box::new(left),
+                            right: Box::new(right),
+                        },
+                        span,
+                    );
+                    continue;
+                }
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_bitor()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::BinOp {
+                    op: op.into(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+    }
+
+    fn parse_bitor(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_arith()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Punct(Punct::Pipe) => "|",
+                TokenKind::Punct(Punct::Amp) => "&",
+                TokenKind::Punct(Punct::Caret) => "^",
+                TokenKind::Punct(Punct::LShift) => "<<",
+                TokenKind::Punct(Punct::RShift) => ">>",
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_arith()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::BinOp {
+                    op: op.into(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+    }
+
+    fn parse_arith(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_term()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Punct(Punct::Plus) => "+",
+                TokenKind::Punct(Punct::Minus) => "-",
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_term()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::BinOp {
+                    op: op.into(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Punct(Punct::Star) => "*",
+                TokenKind::Punct(Punct::Slash) => "/",
+                TokenKind::Punct(Punct::DoubleSlash) => "//",
+                TokenKind::Punct(Punct::Percent) => "%",
+                TokenKind::Punct(Punct::DoubleStar) => "**",
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::BinOp {
+                    op: op.into(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek_kind() {
+            TokenKind::Punct(Punct::Minus) => "-",
+            TokenKind::Punct(Punct::Plus) => "+",
+            TokenKind::Punct(Punct::Tilde) => "~",
+            _ => return self.parse_postfix(),
+        };
+        let t = self.bump();
+        let operand = self.parse_unary()?;
+        let span = t.span.to(operand.span);
+        Ok(Expr::new(
+            ExprKind::UnaryOp {
+                op: op.into(),
+                operand: Box::new(operand),
+            },
+            span,
+        ))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            if self.at_punct(Punct::Dot) {
+                self.bump();
+                let attr = self.expect_ident()?;
+                let span = expr.span.to(attr.span);
+                expr = Expr::new(
+                    ExprKind::Attribute {
+                        value: Box::new(expr),
+                        attr,
+                    },
+                    span,
+                );
+            } else if self.at_punct(Punct::LParen) {
+                self.bump();
+                let mut args = Vec::new();
+                while !self.at_punct(Punct::RParen) {
+                    // Keyword arguments are parsed and flattened to their
+                    // value (the analysis ignores arguments anyway).
+                    let arg = self.parse_expr()?;
+                    if self.at_punct(Punct::Assign) {
+                        self.bump();
+                        let value = self.parse_expr()?;
+                        args.push(value);
+                        let _ = arg;
+                    } else {
+                        args.push(arg);
+                    }
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                let close = self.expect_punct(Punct::RParen)?;
+                let span = expr.span.to(close.span);
+                expr = Expr::new(
+                    ExprKind::Call {
+                        func: Box::new(expr),
+                        args,
+                    },
+                    span,
+                );
+            } else if self.at_punct(Punct::LBracket) {
+                self.bump();
+                let index = self.parse_expr()?;
+                let close = self.expect_punct(Punct::RBracket)?;
+                let span = expr.span.to(close.span);
+                expr = Expr::new(
+                    ExprKind::Subscript {
+                        value: Box::new(expr),
+                        index: Box::new(index),
+                    },
+                    span,
+                );
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok(Expr::new(ExprKind::Name(name), t.span))
+            }
+            TokenKind::Int(v) => {
+                let t = self.bump();
+                Ok(Expr::new(ExprKind::Int(v), t.span))
+            }
+            TokenKind::Float(v) => {
+                let t = self.bump();
+                Ok(Expr::new(ExprKind::Float(v), t.span))
+            }
+            TokenKind::Str(s) => {
+                let t = self.bump();
+                Ok(Expr::new(ExprKind::Str(s), t.span))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                let t = self.bump();
+                Ok(Expr::new(ExprKind::Bool(true), t.span))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                let t = self.bump();
+                Ok(Expr::new(ExprKind::Bool(false), t.span))
+            }
+            TokenKind::Keyword(Keyword::None) => {
+                let t = self.bump();
+                Ok(Expr::new(ExprKind::NoneLit, t.span))
+            }
+            TokenKind::Punct(Punct::LBracket) => {
+                let open = self.bump();
+                let mut items = Vec::new();
+                while !self.at_punct(Punct::RBracket) {
+                    items.push(self.parse_expr()?);
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                let close = self.expect_punct(Punct::RBracket)?;
+                Ok(Expr::new(
+                    ExprKind::List(items),
+                    open.span.to(close.span),
+                ))
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                let open = self.bump();
+                // `{}` is an empty dict; `{a: b}` a dict; `{a, b}` a set.
+                if self.at_punct(Punct::RBrace) {
+                    let close = self.bump();
+                    return Ok(Expr::new(
+                        ExprKind::Dict(Vec::new()),
+                        open.span.to(close.span),
+                    ));
+                }
+                let first = self.parse_expr()?;
+                if self.eat_punct(Punct::Colon) {
+                    let value = self.parse_expr()?;
+                    let mut pairs = vec![(first, value)];
+                    while self.eat_punct(Punct::Comma) {
+                        if self.at_punct(Punct::RBrace) {
+                            break;
+                        }
+                        let k = self.parse_expr()?;
+                        self.expect_punct(Punct::Colon)?;
+                        let v = self.parse_expr()?;
+                        pairs.push((k, v));
+                    }
+                    let close = self.expect_punct(Punct::RBrace)?;
+                    Ok(Expr::new(
+                        ExprKind::Dict(pairs),
+                        open.span.to(close.span),
+                    ))
+                } else {
+                    let mut items = vec![first];
+                    while self.eat_punct(Punct::Comma) {
+                        if self.at_punct(Punct::RBrace) {
+                            break;
+                        }
+                        items.push(self.parse_expr()?);
+                    }
+                    let close = self.expect_punct(Punct::RBrace)?;
+                    Ok(Expr::new(
+                        ExprKind::Set(items),
+                        open.span.to(close.span),
+                    ))
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                let open = self.bump();
+                if self.at_punct(Punct::RParen) {
+                    let close = self.bump();
+                    return Ok(Expr::new(
+                        ExprKind::Tuple(Vec::new()),
+                        open.span.to(close.span),
+                    ));
+                }
+                let first = self.parse_expr()?;
+                if self.at_punct(Punct::Comma) {
+                    let mut items = vec![first];
+                    while self.eat_punct(Punct::Comma) {
+                        if self.at_punct(Punct::RParen) {
+                            break;
+                        }
+                        items.push(self.parse_expr()?);
+                    }
+                    let close = self.expect_punct(Punct::RParen)?;
+                    Ok(Expr::new(
+                        ExprKind::Tuple(items),
+                        open.span.to(close.span),
+                    ))
+                } else {
+                    self.expect_punct(Punct::RParen)?;
+                    Ok(first)
+                }
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_valve_listing() {
+        // Listing 2.1 of the paper, verbatim.
+        let src = r#"
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+"#;
+        let m = parse_module(src).unwrap();
+        let valve = m.class("Valve").unwrap();
+        assert_eq!(valve.decorators.len(), 1);
+        assert_eq!(valve.decorators[0].name(), Some("sys"));
+        let names: Vec<&str> = valve.methods().map(|f| f.name.node.as_str()).collect();
+        assert_eq!(names, vec!["__init__", "test", "open", "close", "clean"]);
+        let test = valve.method("test").unwrap();
+        assert_eq!(test.decorators[0].name(), Some("op_initial"));
+        // The body of test is a single if with else.
+        assert_eq!(test.body.len(), 1);
+        match &test.body[0] {
+            Stmt::If(ifs) => {
+                assert_eq!(ifs.branches.len(), 1);
+                assert!(ifs.orelse.is_some());
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_badsector_listing() {
+        // Listing 2.2 of the paper, verbatim.
+        let src = r#"
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                print("a failed")
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                self.a.close()
+                return []
+"#;
+        let m = parse_module(src).unwrap();
+        let bs = m.class("BadSector").unwrap();
+        assert_eq!(bs.decorators.len(), 2);
+        assert_eq!(bs.decorators[0].name(), Some("claim"));
+        assert_eq!(bs.decorators[1].name(), Some("sys"));
+        // @sys(["a","b"]) argument list.
+        let sys_args = bs.decorators[1].args();
+        assert_eq!(sys_args.len(), 1);
+        assert_eq!(
+            sys_args[0].as_string_list().unwrap(),
+            vec!["a", "b"]
+        );
+        let open_a = bs.method("open_a").unwrap();
+        match &open_a.body[0] {
+            Stmt::Match(m) => {
+                assert_eq!(m.cases.len(), 2);
+                match &m.cases[0].pattern {
+                    Pattern::List(items, _) => {
+                        assert_eq!(items.len(), 1);
+                        assert!(matches!(&items[0], Pattern::Literal(e)
+                            if matches!(&e.kind, ExprKind::Str(s) if s == "open")));
+                    }
+                    other => panic!("expected list pattern, got {other:?}"),
+                }
+                // The subject is self.a.test().
+                assert_eq!(
+                    m.subject.as_self_method_call().unwrap(),
+                    (vec!["a"], "test")
+                );
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tuple_returns_of_table2() {
+        let src = r#"
+def f(self):
+    return ["close"], 2
+
+def g(self):
+    return ["close"], True
+
+def h(self):
+    return ["open", "clean"], 2
+"#;
+        let m = parse_module(src).unwrap();
+        for stmt in &m.body {
+            let Stmt::FuncDef(f) = stmt else {
+                panic!("expected def")
+            };
+            let Stmt::Return(r) = &f.body[0] else {
+                panic!("expected return")
+            };
+            let v = r.value.as_ref().unwrap();
+            match &v.kind {
+                ExprKind::Tuple(items) => {
+                    assert_eq!(items.len(), 2);
+                    assert!(items[0].as_string_list().is_some());
+                }
+                other => panic!("expected tuple, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_loops() {
+        let src = r#"
+def f(self):
+    for i in range(10):
+        self.a.step()
+    while self.ready():
+        self.b.poll()
+"#;
+        let m = parse_module(src).unwrap();
+        let Stmt::FuncDef(f) = &m.body[0] else {
+            panic!()
+        };
+        assert!(matches!(&f.body[0], Stmt::For(_)));
+        assert!(matches!(&f.body[1], Stmt::While(_)));
+    }
+
+    #[test]
+    fn parses_elif_chain() {
+        let src = r#"
+def f(self):
+    if a:
+        pass
+    elif b:
+        pass
+    elif c:
+        pass
+    else:
+        pass
+"#;
+        let m = parse_module(src).unwrap();
+        let Stmt::FuncDef(f) = &m.body[0] else {
+            panic!()
+        };
+        let Stmt::If(ifs) = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(ifs.branches.len(), 3);
+        assert!(ifs.orelse.is_some());
+    }
+
+    #[test]
+    fn if_without_else_at_end_of_block() {
+        let src = "def f(self):\n    if a:\n        pass\n\ndef g(self):\n    pass\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn error_on_missing_block() {
+        let err = parse_module("def f(self):\nx = 1\n").unwrap_err();
+        assert!(err.message.contains("indented block"));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_module("def f(:\n    pass\n").unwrap_err();
+        assert!(err.span.start > 0);
+    }
+
+    #[test]
+    fn wildcard_pattern() {
+        let src = r#"
+def f(self):
+    match self.a.test():
+        case ["open"]:
+            pass
+        case _:
+            pass
+"#;
+        let m = parse_module(src).unwrap();
+        let Stmt::FuncDef(f) = &m.body[0] else {
+            panic!()
+        };
+        let Stmt::Match(ms) = &f.body[0] else {
+            panic!()
+        };
+        assert!(matches!(ms.cases[1].pattern, Pattern::Wildcard(_)));
+    }
+
+    #[test]
+    fn simple_suite_on_same_line() {
+        let m = parse_module("def f(self): return []\n").unwrap();
+        let Stmt::FuncDef(f) = &m.body[0] else {
+            panic!()
+        };
+        assert!(matches!(&f.body[0], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn imports_are_recorded() {
+        let m = parse_module("from machine import Pin\nimport time\n").unwrap();
+        let Stmt::Import(i1) = &m.body[0] else {
+            panic!()
+        };
+        assert_eq!(i1.names, vec!["machine.Pin"]);
+        let Stmt::Import(i2) = &m.body[1] else {
+            panic!()
+        };
+        assert_eq!(i2.names, vec!["time"]);
+    }
+
+    #[test]
+    fn augmented_assignment() {
+        let m = parse_module("x += 1\n").unwrap();
+        let Stmt::Assign(a) = &m.body[0] else {
+            panic!()
+        };
+        assert_eq!(a.aug_op.as_deref(), Some("+"));
+    }
+
+    #[test]
+    fn is_and_not_in_comparisons() {
+        let m = parse_module("a = x is None
+b = x is not None
+c = y not in items
+")
+            .unwrap();
+        let ops: Vec<String> = m
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Assign(a) => match &a.value.kind {
+                    ExprKind::BinOp { op, .. } => Some(op.clone()),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["is", "is not", "not in"]);
+    }
+
+    #[test]
+    fn dict_and_set_literals() {
+        let m = parse_module("d = {\"a\": 1, \"b\": 2}\ne = {}\ns = {1, 2, 3}\n")
+            .unwrap();
+        let Stmt::Assign(d) = &m.body[0] else { panic!() };
+        assert!(matches!(&d.value.kind, ExprKind::Dict(pairs) if pairs.len() == 2));
+        let Stmt::Assign(e) = &m.body[1] else { panic!() };
+        assert!(matches!(&e.value.kind, ExprKind::Dict(pairs) if pairs.is_empty()));
+        let Stmt::Assign(st) = &m.body[2] else { panic!() };
+        assert!(matches!(&st.value.kind, ExprKind::Set(items) if items.len() == 3));
+    }
+
+    #[test]
+    fn keyword_arguments_flattened() {
+        let m = parse_module("f(x, mode=3)\n").unwrap();
+        let Stmt::Expr(e) = &m.body[0] else {
+            panic!()
+        };
+        let ExprKind::Call { args, .. } = &e.expr.kind else {
+            panic!()
+        };
+        assert_eq!(args.len(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Source positions and diagnostic rendering.
+
+use std::fmt;
+
+/// A byte range within a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `offset`.
+    pub fn point(offset: usize) -> Self {
+        Span {
+            start: offset,
+            end: offset,
+        }
+    }
+
+    /// The smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A value with its source span.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where the value came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Attaches a span to `node`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+}
+
+/// A source file with precomputed line starts for position lookup.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    name: String,
+    text: String,
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Wraps source text under a display name.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let mut line_starts = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceFile {
+            name: name.into(),
+            text,
+            line_starts,
+        }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        };
+        let col = offset - self.line_starts[line];
+        (line + 1, col + 1)
+    }
+
+    /// The text of 1-based line `line` (without the newline).
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&e| e.saturating_sub(1));
+        &self.text[start..end.max(start)]
+    }
+
+    /// Renders a `file:line:col: message` diagnostic with a source snippet
+    /// and caret underline.
+    pub fn render_diagnostic(&self, span: Span, severity: &str, message: &str) -> String {
+        let (line, col) = self.line_col(span.start);
+        let line_str = self.line_text(line);
+        let width = span.end.saturating_sub(span.start).max(1);
+        let carets = "^".repeat(width.min(line_str.len().saturating_sub(col - 1).max(1)));
+        format!(
+            "{}:{}:{}: {}: {}\n    {}\n    {}{}",
+            self.name,
+            line,
+            col,
+            severity,
+            message,
+            line_str,
+            " ".repeat(col - 1),
+            carets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_lookup() {
+        let f = SourceFile::new("t.py", "ab\ncd\nef");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(1), (1, 2));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(7), (3, 2));
+    }
+
+    #[test]
+    fn line_text_extraction() {
+        let f = SourceFile::new("t.py", "first\nsecond\n");
+        assert_eq!(f.line_text(1), "first");
+        assert_eq!(f.line_text(2), "second");
+    }
+
+    #[test]
+    fn diagnostic_contains_caret() {
+        let f = SourceFile::new("t.py", "x = foo()\n");
+        let d = f.render_diagnostic(Span::new(4, 7), "error", "unknown name");
+        assert!(d.contains("t.py:1:5"));
+        assert!(d.contains("^^^"));
+        assert!(d.contains("unknown name"));
+    }
+
+    #[test]
+    fn span_union() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+    }
+}

@@ -1,0 +1,243 @@
+//! Tokens of the MicroPython subset.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or non-reserved name.
+    Ident(String),
+    /// Keyword (reserved identifier).
+    Keyword(Keyword),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (decoded contents).
+    Str(String),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of a logical line.
+    Newline,
+    /// Increase of indentation.
+    Indent,
+    /// Decrease of indentation.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Newline => write!(f, "end of line"),
+            TokenKind::Indent => write!(f, "indent"),
+            TokenKind::Dedent => write!(f, "dedent"),
+            TokenKind::Eof => write!(f, "end of file"),
+        }
+    }
+}
+
+/// Reserved words of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Def,
+    Class,
+    Return,
+    If,
+    Elif,
+    Else,
+    Match,
+    Case,
+    For,
+    While,
+    In,
+    Is,
+    Pass,
+    Break,
+    Continue,
+    Not,
+    And,
+    Or,
+    True,
+    False,
+    None,
+    Import,
+    From,
+    As,
+}
+
+impl Keyword {
+    /// Parses a reserved word.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "def" => Keyword::Def,
+            "class" => Keyword::Class,
+            "return" => Keyword::Return,
+            "if" => Keyword::If,
+            "elif" => Keyword::Elif,
+            "else" => Keyword::Else,
+            "match" => Keyword::Match,
+            "case" => Keyword::Case,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "in" => Keyword::In,
+            "is" => Keyword::Is,
+            "pass" => Keyword::Pass,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "not" => Keyword::Not,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "True" => Keyword::True,
+            "False" => Keyword::False,
+            "None" => Keyword::None,
+            "import" => Keyword::Import,
+            "from" => Keyword::From,
+            "as" => Keyword::As,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Keyword::Def => "def",
+            Keyword::Class => "class",
+            Keyword::Return => "return",
+            Keyword::If => "if",
+            Keyword::Elif => "elif",
+            Keyword::Else => "else",
+            Keyword::Match => "match",
+            Keyword::Case => "case",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::In => "in",
+            Keyword::Is => "is",
+            Keyword::Pass => "pass",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Not => "not",
+            Keyword::And => "and",
+            Keyword::Or => "or",
+            Keyword::True => "True",
+            Keyword::False => "False",
+            Keyword::None => "None",
+            Keyword::Import => "import",
+            Keyword::From => "from",
+            Keyword::As => "as",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Punctuation and operators of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Colon,
+    Comma,
+    Dot,
+    Semicolon,
+    At,
+    Arrow,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    DoubleSlash,
+    Percent,
+    Pipe,
+    Amp,
+    Caret,
+    Tilde,
+    LShift,
+    RShift,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::Colon => ":",
+            Punct::Comma => ",",
+            Punct::Dot => ".",
+            Punct::Semicolon => ";",
+            Punct::At => "@",
+            Punct::Arrow => "->",
+            Punct::Assign => "=",
+            Punct::Eq => "==",
+            Punct::Ne => "!=",
+            Punct::Lt => "<",
+            Punct::Gt => ">",
+            Punct::Le => "<=",
+            Punct::Ge => ">=",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::DoubleStar => "**",
+            Punct::Slash => "/",
+            Punct::DoubleSlash => "//",
+            Punct::Percent => "%",
+            Punct::Pipe => "|",
+            Punct::Amp => "&",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::LShift => "<<",
+            Punct::RShift => ">>",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::SlashAssign => "/=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Pairs a kind with its span.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}

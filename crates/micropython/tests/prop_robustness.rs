@@ -1,0 +1,60 @@
+//! Robustness: the lexer and parser must never panic — any byte soup
+//! either parses or returns a structured error.
+
+use micropython_parser::{parse_module, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII input never panics the lexer or parser.
+    #[test]
+    fn arbitrary_ascii_never_panics(input in "[ -~\n\t]{0,200}") {
+        let _ = tokenize(&input);
+        let _ = parse_module(&input);
+    }
+
+    /// Arbitrary Unicode input never panics either.
+    #[test]
+    fn arbitrary_unicode_never_panics(input in "\\PC{0,100}") {
+        let _ = tokenize(&input);
+        let _ = parse_module(&input);
+    }
+
+    /// Python-shaped fragments (keywords, colons, indentation) never panic
+    /// and produce positioned errors when they fail.
+    #[test]
+    fn python_shaped_inputs_error_cleanly(
+        fragments in proptest::collection::vec(
+            prop_oneof![
+                Just("def f(self):"),
+                Just("class C:"),
+                Just("    return [\"x\"]"),
+                Just("    pass"),
+                Just("if x:"),
+                Just("else:"),
+                Just("match y:"),
+                Just("    case _:"),
+                Just("@sys"),
+                Just("@op_initial"),
+                Just("        self.a.open()"),
+                Just("for i in r:"),
+                Just("while t:"),
+                Just("x = [1, 2"),
+                Just("\"unterminated"),
+                Just("    "),
+                Just(""),
+            ],
+            0..12
+        )
+    ) {
+        let input = fragments.join("\n");
+        match parse_module(&input) {
+            Ok(_) => {}
+            Err(e) => {
+                // Errors carry spans within the input.
+                prop_assert!(e.span.start <= input.len() + 1, "{e}");
+            }
+        }
+    }
+}

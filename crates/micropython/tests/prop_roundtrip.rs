@@ -1,0 +1,156 @@
+//! Property test: printing an AST and reparsing it reaches a fixpoint.
+//!
+//! Random ASTs are generated structurally (not from random text), printed
+//! with `printer::print_module`, reparsed, and printed again — the two
+//! printed forms must be identical. This exercises the printer/parser pair
+//! on shapes far beyond the hand-written tests.
+
+use micropython_parser::ast::*;
+use micropython_parser::printer::print_module;
+use micropython_parser::{parse_module, Span, Spanned};
+use proptest::prelude::*;
+
+fn sp<T>(node: T) -> Spanned<T> {
+    Spanned::new(node, Span::default())
+}
+
+fn expr(kind: ExprKind) -> Expr {
+    Expr::new(kind, Span::default())
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        micropython_parser::Keyword::from_str(s).is_none() && s != "_"
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_name().prop_map(|n| expr(ExprKind::Name(n))),
+        (-1000i64..1000).prop_map(|v| expr(ExprKind::Int(v))),
+        Just(expr(ExprKind::Bool(true))),
+        Just(expr(ExprKind::Bool(false))),
+        Just(expr(ExprKind::NoneLit)),
+        "[a-zA-Z0-9 _.!?]{0,10}".prop_map(|s| expr(ExprKind::Str(s))),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_name()).prop_map(|(value, attr)| expr(
+                ExprKind::Attribute {
+                    value: Box::new(value),
+                    attr: sp(attr),
+                }
+            )),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(func, args)| expr(ExprKind::Call {
+                    func: Box::new(func),
+                    args,
+                })),
+            proptest::collection::vec(inner.clone(), 0..3)
+                .prop_map(|items| expr(ExprKind::List(items))),
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("=="),
+                    Just("<"),
+                    Just("and"),
+                    Just("or")
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| expr(ExprKind::BinOp {
+                    op: op.to_owned(),
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })),
+            (inner.clone(), inner.clone()).prop_map(|(v, i)| expr(
+                ExprKind::Subscript {
+                    value: Box::new(v),
+                    index: Box::new(i),
+                }
+            )),
+            inner.clone().prop_map(|o| expr(ExprKind::UnaryOp {
+                op: "not".into(),
+                operand: Box::new(o),
+            })),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::Pass(Span::default())),
+        arb_expr().prop_map(|e| Stmt::Expr(ExprStmt {
+            expr: e,
+            span: Span::default(),
+        })),
+        (arb_expr()).prop_map(|v| Stmt::Return(ReturnStmt {
+            value: Some(v),
+            span: Span::default(),
+        })),
+        Just(Stmt::Return(ReturnStmt {
+            value: None,
+            span: Span::default(),
+        })),
+        (arb_name(), arb_expr()).prop_map(|(n, v)| Stmt::Assign(AssignStmt {
+            target: expr(ExprKind::Name(n)),
+            value: v,
+            aug_op: None,
+            span: Span::default(),
+        })),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        let body = proptest::collection::vec(inner.clone(), 1..3);
+        prop_oneof![
+            (arb_expr(), body.clone(), proptest::option::of(body.clone())).prop_map(
+                |(cond, then, orelse)| Stmt::If(IfStmt {
+                    branches: vec![(cond, then)],
+                    orelse,
+                    span: Span::default(),
+                })
+            ),
+            (arb_expr(), body.clone()).prop_map(|(cond, b)| Stmt::While(WhileStmt {
+                cond,
+                body: b,
+                span: Span::default(),
+            })),
+            (arb_name(), arb_expr(), body.clone()).prop_map(|(v, iter, b)| {
+                Stmt::For(ForStmt {
+                    target: expr(ExprKind::Name(v)),
+                    iter,
+                    body: b,
+                    span: Span::default(),
+                })
+            }),
+        ]
+    })
+}
+
+fn arb_module() -> impl Strategy<Value = Module> {
+    proptest::collection::vec(arb_stmt(), 1..6).prop_map(|body| Module { body })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse → print is a fixpoint.
+    #[test]
+    fn print_parse_print_fixpoint(module in arb_module()) {
+        let printed = print_module(&module);
+        let reparsed = parse_module(&printed).map_err(|e| {
+            TestCaseError::fail(format!("reparse failed: {e}\n{printed}"))
+        })?;
+        let printed_again = print_module(&reparsed);
+        prop_assert_eq!(printed, printed_again);
+    }
+
+    /// Every printed module lexes and parses without error.
+    #[test]
+    fn printed_modules_parse(module in arb_module()) {
+        let printed = print_module(&module);
+        prop_assert!(parse_module(&printed).is_ok(), "{}", printed);
+    }
+}

@@ -1,0 +1,130 @@
+//! Brzozowski derivatives and word membership for [`Regex`].
+//!
+//! The derivative `∂ₐ r` of a regular expression `r` with respect to a
+//! symbol `a` is the expression whose language is
+//! `{ w | a·w ∈ L(r) }`. Iterating derivatives over a word and testing
+//! nullability decides membership without constructing an automaton — this
+//! is the reference membership procedure used by the Theorem 1/2 property
+//! suites (the automaton pipeline is cross-checked against it).
+
+use crate::regex::Regex;
+use crate::symbol::Symbol;
+
+impl Regex {
+    /// The Brzozowski derivative `∂ₛ r`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shelley_regular::{Alphabet, Regex};
+    /// let mut ab = Alphabet::new();
+    /// let a = ab.intern("a");
+    /// let b = ab.intern("b");
+    /// let r = Regex::concat(Regex::sym(a), Regex::sym(b));
+    /// assert_eq!(r.derivative(a), Regex::sym(b));
+    /// assert_eq!(r.derivative(b), Regex::empty());
+    /// ```
+    pub fn derivative(&self, s: Symbol) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Empty,
+            Regex::Sym(t) => {
+                if *t == s {
+                    Regex::Epsilon
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Concat(a, b) => {
+                let head = Regex::concat(a.derivative(s), (**b).clone());
+                if a.nullable() {
+                    Regex::union(head, b.derivative(s))
+                } else {
+                    head
+                }
+            }
+            Regex::Union(a, b) => Regex::union(a.derivative(s), b.derivative(s)),
+            Regex::Star(a) => {
+                Regex::concat(a.derivative(s), Regex::star((**a).clone()))
+            }
+        }
+    }
+
+    /// Decides `word ∈ L(self)` by iterated derivatives.
+    pub fn matches(&self, word: &[Symbol]) -> bool {
+        let mut cur = self.clone();
+        for &s in word {
+            cur = cur.derivative(s);
+            if cur.is_empty_language() {
+                return false;
+            }
+        }
+        cur.nullable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Alphabet;
+
+    fn setup() -> (Alphabet, Symbol, Symbol, Symbol) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let c = ab.intern("c");
+        (ab, a, b, c)
+    }
+
+    #[test]
+    fn matches_simple_languages() {
+        let (_, a, b, _) = setup();
+        let r = Regex::union(
+            Regex::concat(Regex::sym(a), Regex::sym(b)),
+            Regex::star(Regex::sym(a)),
+        );
+        assert!(r.matches(&[]));
+        assert!(r.matches(&[a]));
+        assert!(r.matches(&[a, a, a]));
+        assert!(r.matches(&[a, b]));
+        assert!(!r.matches(&[b]));
+        assert!(!r.matches(&[a, b, a]));
+    }
+
+    #[test]
+    fn matches_example3_behavior() {
+        // infer of Example 3: (a·(b·∅ + c))* + (a·(b·∅ + c))*·a·b
+        let (_, a, b, c) = setup();
+        let loop_body = Regex::concat(
+            Regex::sym(a),
+            Regex::union(Regex::concat(Regex::sym(b), Regex::empty()), Regex::sym(c)),
+        );
+        let ongoing = Regex::star(loop_body);
+        let returned = Regex::concat(
+            ongoing.clone(),
+            Regex::concat(Regex::sym(a), Regex::sym(b)),
+        );
+        let inferred = Regex::union(ongoing, returned);
+        // Example 1: [a,c,a,c] ongoing.
+        assert!(inferred.matches(&[a, c, a, c]));
+        // Example 2: [a,c,a,b] returned.
+        assert!(inferred.matches(&[a, c, a, b]));
+        // b with no preceding a is not a behavior.
+        assert!(!inferred.matches(&[b]));
+        // After a return no trace may continue.
+        assert!(!inferred.matches(&[a, b, a]));
+    }
+
+    #[test]
+    fn derivative_of_star_unrolls() {
+        let (_, a, _, _) = setup();
+        let r = Regex::star(Regex::sym(a));
+        assert_eq!(r.derivative(a), Regex::star(Regex::sym(a)));
+    }
+
+    #[test]
+    fn empty_language_never_matches() {
+        let (_, a, _, _) = setup();
+        assert!(!Regex::empty().matches(&[]));
+        assert!(!Regex::empty().matches(&[a]));
+    }
+}

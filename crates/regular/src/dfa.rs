@@ -1,0 +1,450 @@
+//! Deterministic finite automata (complete by construction).
+//!
+//! DFAs are obtained from [`Nfa`]s by subset construction and support the
+//! boolean algebra needed for verification: complement, product
+//! (intersection/union), emptiness with shortest witnesses, inclusion, and
+//! equivalence.
+
+use crate::nfa::{Label, Nfa, StateId};
+use crate::symbol::{Alphabet, Symbol, Word};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+
+/// A complete deterministic finite automaton.
+///
+/// Every state has exactly one successor per alphabet symbol (a rejecting
+/// sink completes partial transition functions).
+///
+/// # Examples
+///
+/// ```
+/// use shelley_regular::{Alphabet, Regex, Nfa, Dfa};
+/// use std::rc::Rc;
+///
+/// let mut ab = Alphabet::new();
+/// let a = ab.intern("a");
+/// let b = ab.intern("b");
+/// let nfa = Nfa::from_regex(&Regex::word(&[a, b]), Rc::new(ab));
+/// let dfa = Dfa::from_nfa(&nfa);
+/// assert!(dfa.accepts(&[a, b]));
+/// assert!(!dfa.accepts(&[b, a]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    alphabet: Rc<Alphabet>,
+    /// `table[q][s]` is the successor of state `q` on symbol index `s`.
+    table: Vec<Vec<StateId>>,
+    start: StateId,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Determinizes `nfa` by subset construction.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let alphabet = nfa.alphabet().clone();
+        let nsyms = alphabet.len();
+        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+
+        let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
+        let mut table: Vec<Vec<StateId>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut sets: Vec<BTreeSet<StateId>> = Vec::new();
+
+        let intern = |set: BTreeSet<StateId>,
+                          table: &mut Vec<Vec<StateId>>,
+                          accepting: &mut Vec<bool>,
+                          sets: &mut Vec<BTreeSet<StateId>>,
+                          index: &mut HashMap<BTreeSet<StateId>, StateId>|
+         -> StateId {
+            if let Some(&q) = index.get(&set) {
+                return q;
+            }
+            let q = table.len();
+            table.push(vec![usize::MAX; nsyms]);
+            accepting.push(set.iter().any(|&s| nfa.is_accepting(s)));
+            index.insert(set.clone(), q);
+            sets.push(set);
+            q
+        };
+
+        let start = intern(
+            start_set,
+            &mut table,
+            &mut accepting,
+            &mut sets,
+            &mut index,
+        );
+        let mut queue = VecDeque::from([start]);
+        let mut done = vec![false; 1];
+        while let Some(q) = queue.pop_front() {
+            if done[q] {
+                continue;
+            }
+            done[q] = true;
+            let current = sets[q].clone();
+            for sym_idx in 0..nsyms {
+                let sym = Symbol::from_index(sym_idx);
+                let mut next = BTreeSet::new();
+                for &s in &current {
+                    for &(label, dst) in nfa.edges_from(s) {
+                        if label == Label::Sym(sym) {
+                            next.insert(dst);
+                        }
+                    }
+                }
+                let closed = nfa.epsilon_closure(&next);
+                let dst = intern(
+                    closed,
+                    &mut table,
+                    &mut accepting,
+                    &mut sets,
+                    &mut index,
+                );
+                table[q][sym_idx] = dst;
+                if dst >= done.len() {
+                    done.resize(dst + 1, false);
+                }
+                if !done[dst] {
+                    queue.push_back(dst);
+                }
+            }
+        }
+        Dfa {
+            alphabet,
+            table,
+            start,
+            accepting,
+        }
+    }
+
+    /// Builds a DFA directly from parts (used by the minimizer and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is ragged, references out-of-range states, or the
+    /// accepting vector length mismatches.
+    pub fn from_parts(
+        alphabet: Rc<Alphabet>,
+        table: Vec<Vec<StateId>>,
+        start: StateId,
+        accepting: Vec<bool>,
+    ) -> Dfa {
+        let n = table.len();
+        assert_eq!(accepting.len(), n, "accepting vector length mismatch");
+        assert!(start < n, "start state out of range");
+        for row in &table {
+            assert_eq!(row.len(), alphabet.len(), "ragged transition table");
+            for &dst in row {
+                assert!(dst < n, "transition target out of range");
+            }
+        }
+        Dfa {
+            alphabet,
+            table,
+            start,
+            accepting,
+        }
+    }
+
+    /// The automaton's alphabet.
+    pub fn alphabet(&self) -> &Rc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `state` accepts.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state]
+    }
+
+    /// The successor of `state` on `symbol`.
+    pub fn step(&self, state: StateId, symbol: Symbol) -> StateId {
+        self.table[state][symbol.index()]
+    }
+
+    /// Runs the automaton on `word` from the start state.
+    pub fn run(&self, word: &[Symbol]) -> StateId {
+        word.iter().fold(self.start, |q, &s| self.step(q, s))
+    }
+
+    /// Decides `word ∈ L(self)`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        self.accepting[self.run(word)]
+    }
+
+    /// The complement automaton (accepting exactly the rejected words).
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for acc in &mut out.accepting {
+            *acc = !*acc;
+        }
+        out
+    }
+
+    /// Product automaton accepting the intersection of both languages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Product automaton accepting the union of both languages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Product automaton accepting `L(self) \ L(other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && !b)
+    }
+
+    fn product(&self, other: &Dfa, combine: impl Fn(bool, bool) -> bool) -> Dfa {
+        assert_eq!(
+            **self.alphabet(),
+            **other.alphabet(),
+            "product of DFAs over different alphabets"
+        );
+        let nsyms = self.alphabet.len();
+        let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+        let mut table: Vec<Vec<StateId>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+
+        let intern = |pair: (StateId, StateId),
+                          table: &mut Vec<Vec<StateId>>,
+                          accepting: &mut Vec<bool>,
+                          pairs: &mut Vec<(StateId, StateId)>,
+                          index: &mut HashMap<(StateId, StateId), StateId>|
+         -> StateId {
+            if let Some(&q) = index.get(&pair) {
+                return q;
+            }
+            let q = table.len();
+            table.push(vec![usize::MAX; nsyms]);
+            accepting.push(combine(
+                self.accepting[pair.0],
+                other.accepting[pair.1],
+            ));
+            index.insert(pair, q);
+            pairs.push(pair);
+            q
+        };
+
+        let start = intern(
+            (self.start, other.start),
+            &mut table,
+            &mut accepting,
+            &mut pairs,
+            &mut index,
+        );
+        let mut queue = VecDeque::from([start]);
+        let mut seen_len = 1usize;
+        while let Some(q) = queue.pop_front() {
+            let (qa, qb) = pairs[q];
+            for sym_idx in 0..nsyms {
+                let dst_pair = (self.table[qa][sym_idx], other.table[qb][sym_idx]);
+                let dst = intern(
+                    dst_pair,
+                    &mut table,
+                    &mut accepting,
+                    &mut pairs,
+                    &mut index,
+                );
+                table[q][sym_idx] = dst;
+                if dst >= seen_len {
+                    seen_len = dst + 1;
+                    queue.push_back(dst);
+                }
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            table,
+            start,
+            accepting,
+        }
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// Finds a shortest accepted word, if any.
+    pub fn shortest_accepted(&self) -> Option<Word> {
+        let mut parent: Vec<Option<(StateId, Symbol)>> = vec![None; self.table.len()];
+        let mut visited = vec![false; self.table.len()];
+        let mut queue = VecDeque::from([self.start]);
+        visited[self.start] = true;
+        while let Some(q) = queue.pop_front() {
+            if self.accepting[q] {
+                let mut word = Vec::new();
+                let mut cur = q;
+                while let Some((prev, sym)) = parent[cur] {
+                    word.push(sym);
+                    cur = prev;
+                }
+                word.reverse();
+                return Some(word);
+            }
+            for sym_idx in 0..self.alphabet.len() {
+                let dst = self.table[q][sym_idx];
+                if !visited[dst] {
+                    visited[dst] = true;
+                    parent[dst] = Some((q, Symbol::from_index(sym_idx)));
+                    queue.push_back(dst);
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks `L(self) ⊆ L(other)`; on failure returns a shortest word in
+    /// the difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn subset_of(&self, other: &Dfa) -> Result<(), Word> {
+        match self.difference(other).shortest_accepted() {
+            None => Ok(()),
+            Some(w) => Err(w),
+        }
+    }
+
+    /// Checks language equivalence; on failure returns a shortest
+    /// distinguishing word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn equivalent(&self, other: &Dfa) -> Result<(), Word> {
+        self.subset_of(other)?;
+        other.subset_of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn ab2() -> (Rc<Alphabet>, Symbol, Symbol) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        (Rc::new(ab), a, b)
+    }
+
+    fn dfa_of(r: &Regex, ab: Rc<Alphabet>) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_regex(r, ab))
+    }
+
+    #[test]
+    fn subset_construction_preserves_language() {
+        let (ab, a, b) = ab2();
+        let r = Regex::union(
+            Regex::star(Regex::concat(Regex::sym(a), Regex::sym(b))),
+            Regex::sym(b),
+        );
+        let dfa = dfa_of(&r, ab);
+        for w in [
+            vec![],
+            vec![a],
+            vec![b],
+            vec![a, b],
+            vec![a, b, a, b],
+            vec![b, b],
+            vec![a, a],
+        ] {
+            assert_eq!(dfa.accepts(&w), r.matches(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let (ab, a, b) = ab2();
+        let r = Regex::star(Regex::sym(a));
+        let dfa = dfa_of(&r, ab);
+        let comp = dfa.complement();
+        assert!(dfa.accepts(&[a, a]));
+        assert!(!comp.accepts(&[a, a]));
+        assert!(!dfa.accepts(&[b]));
+        assert!(comp.accepts(&[b]));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let (ab, a, b) = ab2();
+        // L1 = words starting with a; L2 = words ending with b.
+        let sigma_star = Regex::star(Regex::union(Regex::sym(a), Regex::sym(b)));
+        let l1 = dfa_of(&Regex::concat(Regex::sym(a), sigma_star.clone()), ab.clone());
+        let l2 = dfa_of(&Regex::concat(sigma_star, Regex::sym(b)), ab.clone());
+        let both = l1.intersect(&l2);
+        assert!(both.accepts(&[a, b]));
+        assert!(both.accepts(&[a, a, b]));
+        assert!(!both.accepts(&[a]));
+        assert!(!both.accepts(&[b, b]));
+        let either = l1.union(&l2);
+        assert!(either.accepts(&[a]));
+        assert!(either.accepts(&[b, b]));
+        assert!(!either.accepts(&[b, a]));
+    }
+
+    #[test]
+    fn emptiness_and_shortest_witness() {
+        let (ab, a, b) = ab2();
+        let r = Regex::union(Regex::word(&[a, b, a]), Regex::word(&[b, b]));
+        let dfa = dfa_of(&r, ab.clone());
+        assert!(!dfa.is_empty());
+        assert_eq!(dfa.shortest_accepted(), Some(vec![b, b]));
+        let nothing = dfa_of(&Regex::empty(), ab);
+        assert!(nothing.is_empty());
+    }
+
+    #[test]
+    fn subset_and_equivalence() {
+        let (ab, a, _) = ab2();
+        // a ⊆ a* but not conversely.
+        let small = dfa_of(&Regex::sym(a), ab.clone());
+        let big = dfa_of(&Regex::star(Regex::sym(a)), ab.clone());
+        assert!(small.subset_of(&big).is_ok());
+        let counter = big.subset_of(&small).unwrap_err();
+        assert!(counter.is_empty() || counter.len() >= 2);
+        // (a·a)* + a·(a·a)* ≡ a*.
+        let even = Regex::star(Regex::word(&[a, a]));
+        let odd = Regex::concat(Regex::sym(a), even.clone());
+        let all = dfa_of(&Regex::union(even, odd), ab.clone());
+        assert!(all.equivalent(&big).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "different alphabets")]
+    fn product_requires_same_alphabet() {
+        let (ab1, a, _) = ab2();
+        let mut other = Alphabet::new();
+        other.intern("x");
+        let d1 = dfa_of(&Regex::sym(a), ab1);
+        let d2 = dfa_of(&Regex::empty(), Rc::new(other));
+        let _ = d1.intersect(&d2);
+    }
+}

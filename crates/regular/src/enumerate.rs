@@ -1,0 +1,147 @@
+//! Bounded shortlex enumeration of accepted words.
+//!
+//! Used heavily by the property-test suites: enumerating the words of an
+//! inferred behavior lets us replay each one through the paper's trace
+//! semantics (Theorem 2 direction), and vice versa.
+
+use crate::dfa::Dfa;
+use crate::symbol::{Symbol, Word};
+use std::collections::VecDeque;
+
+impl Dfa {
+    /// Enumerates accepted words in shortlex order, up to `max_len` symbols
+    /// and at most `max_count` results.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use shelley_regular::{Alphabet, Regex, Nfa, Dfa};
+    /// use std::rc::Rc;
+    ///
+    /// let mut ab = Alphabet::new();
+    /// let a = ab.intern("a");
+    /// let dfa = Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::sym(a)), Rc::new(ab)));
+    /// let words = dfa.enumerate_words(3, 10);
+    /// assert_eq!(words.len(), 4); // ε, a, aa, aaa
+    /// ```
+    pub fn enumerate_words(&self, max_len: usize, max_count: usize) -> Vec<Word> {
+        let mut out = Vec::new();
+        if max_count == 0 {
+            return out;
+        }
+        // Prune paths through dead states (no accepting state reachable):
+        // without this the search tree is |Σ|^max_len even for tiny
+        // languages.
+        let dead = self.dead_states();
+        if dead[self.start()] {
+            return out;
+        }
+        let mut queue: VecDeque<(usize, Word)> = VecDeque::new();
+        queue.push_back((self.start(), Vec::new()));
+        while let Some((q, word)) = queue.pop_front() {
+            if self.is_accepting(q) {
+                out.push(word.clone());
+                if out.len() >= max_count {
+                    return out;
+                }
+            }
+            if word.len() == max_len {
+                continue;
+            }
+            for s in 0..self.alphabet().len() {
+                let sym = Symbol::from_index(s);
+                let dst = self.step(q, sym);
+                if dead[dst] {
+                    continue;
+                }
+                let mut next = word.clone();
+                next.push(sym);
+                queue.push_back((dst, next));
+            }
+        }
+        out
+    }
+
+    /// Counts accepted words of each length `0..=max_len` by dynamic
+    /// programming (no enumeration).
+    pub fn count_words_by_length(&self, max_len: usize) -> Vec<u64> {
+        let n = self.num_states();
+        let mut counts = vec![0u64; n];
+        counts[self.start()] = 1;
+        let mut out = Vec::with_capacity(max_len + 1);
+        let accepted = |counts: &[u64]| -> u64 {
+            (0..n)
+                .filter(|&q| self.is_accepting(q))
+                .map(|q| counts[q])
+                .fold(0u64, u64::saturating_add)
+        };
+        out.push(accepted(&counts));
+        for _ in 0..max_len {
+            let mut next = vec![0u64; n];
+            for q in 0..n {
+                if counts[q] == 0 {
+                    continue;
+                }
+                for s in 0..self.alphabet().len() {
+                    let dst = self.step(q, Symbol::from_index(s));
+                    next[dst] = next[dst].saturating_add(counts[q]);
+                }
+            }
+            counts = next;
+            out.push(accepted(&counts));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+    use crate::symbol::Alphabet;
+    use std::rc::Rc;
+
+    #[test]
+    fn enumerate_is_shortlex_and_complete() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let r = Regex::star(Regex::union(Regex::sym(a), Regex::sym(b)));
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, Rc::new(ab)));
+        let words = dfa.enumerate_words(2, 100);
+        // ε, a, b, aa, ab, ba, bb
+        assert_eq!(words.len(), 7);
+        assert_eq!(words[0], Vec::<Symbol>::new());
+        assert!(words.windows(2).all(|w| w[0].len() <= w[1].len()));
+    }
+
+    #[test]
+    fn enumerate_respects_count_cap() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(
+            &Regex::star(Regex::sym(a)),
+            Rc::new(ab),
+        ));
+        assert_eq!(dfa.enumerate_words(50, 5).len(), 5);
+    }
+
+    #[test]
+    fn count_words_matches_enumeration() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let r = Regex::concat(
+            Regex::star(Regex::sym(a)),
+            Regex::union(Regex::sym(b), Regex::epsilon()),
+        );
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, Rc::new(ab)));
+        let counts = dfa.count_words_by_length(4);
+        let words = dfa.enumerate_words(4, 10_000);
+        for len in 0..=4usize {
+            let enumerated = words.iter().filter(|w| w.len() == len).count() as u64;
+            assert_eq!(counts[len], enumerated, "length {len}");
+        }
+    }
+}

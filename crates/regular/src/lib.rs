@@ -1,0 +1,69 @@
+//! # shelley-regular
+//!
+//! Regular-expression and finite-automata toolkit underlying the Shelley
+//! model-inference pipeline from *Formalizing Model Inference of
+//! MicroPython* (DSN-W 2023).
+//!
+//! The paper's central result (Corollary 1) is that the behavior of a
+//! method body is a **regular language**: behavior inference produces a
+//! regular expression (`r ::= ε | ∅ | f | r·r | r+r | r*`), and all
+//! downstream verification — subsystem-usage checking and LTLf temporal
+//! claims — reduces to automata-theoretic operations on that language. This
+//! crate provides those foundations:
+//!
+//! * [`Symbol`] / [`Alphabet`] — interned event names (`a.open`, `test`).
+//! * [`Regex`] — the paper's regular expressions with smart constructors,
+//!   [Brzozowski derivatives](Regex::derivative) and
+//!   [membership](Regex::matches).
+//! * [`Nfa`] — ε-NFAs with Thompson compilation, a builder for
+//!   specification graphs, projection by symbol erasure, shortest-word
+//!   search.
+//! * [`Dfa`] — complete DFAs with subset construction, boolean algebra,
+//!   inclusion/equivalence with shortest counterexamples,
+//!   [Hopcroft minimization](Dfa::minimize), shortlex
+//!   [word enumeration](Dfa::enumerate_words).
+//! * [`ops`] — marker-aware product searches used to produce the paper's
+//!   annotated counterexamples (`open_a, a.test, a.open`).
+//! * DOT rendering for the behavior diagrams of Figures 1–3.
+//!
+//! # Example
+//!
+//! Check that every behavior of a client is a valid usage of a
+//! specification:
+//!
+//! ```
+//! use shelley_regular::{Alphabet, Regex, Nfa, Dfa, parse_regex};
+//! use std::rc::Rc;
+//!
+//! let mut ab = Alphabet::new();
+//! // Valve usage specification: test then (open·close | clean), repeatedly.
+//! let spec = parse_regex("(test ; (open ; close + clean))*", &mut ab)?;
+//! // A client that tests then opens then closes once.
+//! let client = parse_regex("test ; open ; close", &mut ab)?;
+//! let ab = Rc::new(ab);
+//! let spec_dfa = Dfa::from_nfa(&Nfa::from_regex(&spec, ab.clone()));
+//! let client_dfa = Dfa::from_nfa(&Nfa::from_regex(&client, ab));
+//! assert!(client_dfa.subset_of(&spec_dfa).is_ok());
+//! # Ok::<(), shelley_regular::ParseRegexError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod derivative;
+mod dfa;
+mod dot;
+mod enumerate;
+mod minimize;
+mod nfa;
+pub mod ops;
+mod parser;
+mod regex;
+mod symbol;
+mod to_regex;
+
+pub use dfa::Dfa;
+pub use nfa::{Label, Nfa, NfaBuilder, StateId};
+pub use parser::{parse_regex, ParseRegexError};
+pub use regex::{DisplayRegex, Regex};
+pub use symbol::{Alphabet, Symbol, Word};

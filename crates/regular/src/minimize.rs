@@ -1,0 +1,286 @@
+//! DFA minimization (Hopcroft's algorithm) and a naive baseline.
+//!
+//! The naive O(n²·|Σ|) Moore refinement is kept as an ablation baseline for
+//! the benchmark suite and as a differential-testing oracle for Hopcroft.
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+use crate::symbol::Symbol;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+impl Dfa {
+    /// Returns the unique (up to isomorphism) minimal DFA for this language,
+    /// computed with Hopcroft's partition-refinement algorithm.
+    pub fn minimize(&self) -> Dfa {
+        let reachable = self.reachable_states();
+        let n = reachable.len();
+        if n == 0 {
+            // Degenerate: unreachable start cannot happen (start is always
+            // reachable), so n >= 1 in practice.
+            return self.clone();
+        }
+        // Renumber reachable states densely.
+        let mut dense: HashMap<StateId, usize> = HashMap::new();
+        for (i, &q) in reachable.iter().enumerate() {
+            dense.insert(q, i);
+        }
+        let nsyms = self.alphabet().len();
+        // delta[q][s] in dense ids; inverse[s][q] = predecessors of q on s.
+        let mut delta = vec![vec![0usize; nsyms]; n];
+        let mut inverse: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; nsyms];
+        for (i, &q) in reachable.iter().enumerate() {
+            for s in 0..nsyms {
+                let dst = dense[&self.step(q, Symbol::from_index(s))];
+                delta[i][s] = dst;
+                inverse[s][dst].push(i);
+            }
+        }
+        let accepting: Vec<bool> = reachable
+            .iter()
+            .map(|&q| self.is_accepting(q))
+            .collect();
+
+        // Hopcroft partition refinement.
+        let mut partition: Vec<usize> = vec![0; n]; // state -> block id
+        let mut blocks: Vec<Vec<usize>> = Vec::new();
+        let acc: Vec<usize> = (0..n).filter(|&q| accepting[q]).collect();
+        let rej: Vec<usize> = (0..n).filter(|&q| !accepting[q]).collect();
+        for set in [acc, rej] {
+            if !set.is_empty() {
+                let id = blocks.len();
+                for &q in &set {
+                    partition[q] = id;
+                }
+                blocks.push(set);
+            }
+        }
+        let mut worklist: VecDeque<(usize, usize)> = VecDeque::new();
+        let mut in_worklist: HashSet<(usize, usize)> = HashSet::new();
+        for s in 0..nsyms {
+            // Push the smaller of the two initial blocks (or the only one).
+            let idx = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() {
+                1
+            } else {
+                0
+            };
+            worklist.push_back((idx, s));
+            in_worklist.insert((idx, s));
+        }
+
+        while let Some((block_id, sym)) = worklist.pop_front() {
+            in_worklist.remove(&(block_id, sym));
+            // X = states with a transition on sym into block_id.
+            let splitter: Vec<usize> = blocks[block_id].clone();
+            let mut x: HashSet<usize> = HashSet::new();
+            for &q in &splitter {
+                for &p in &inverse[sym][q] {
+                    x.insert(p);
+                }
+            }
+            if x.is_empty() {
+                continue;
+            }
+            // Split every block B into B∩X and B\X.
+            let affected: HashSet<usize> = x.iter().map(|&q| partition[q]).collect();
+            for b in affected {
+                let inside: Vec<usize> = blocks[b]
+                    .iter()
+                    .copied()
+                    .filter(|q| x.contains(q))
+                    .collect();
+                if inside.len() == blocks[b].len() || inside.is_empty() {
+                    continue;
+                }
+                let outside: Vec<usize> = blocks[b]
+                    .iter()
+                    .copied()
+                    .filter(|q| !x.contains(q))
+                    .collect();
+                // Replace b with the larger part, create new block for the
+                // smaller part.
+                let (keep, split) = if inside.len() <= outside.len() {
+                    (outside, inside)
+                } else {
+                    (inside, outside)
+                };
+                let new_id = blocks.len();
+                for &q in &split {
+                    partition[q] = new_id;
+                }
+                blocks[b] = keep;
+                blocks.push(split);
+                for s in 0..nsyms {
+                    if in_worklist.contains(&(b, s)) {
+                        worklist.push_back((new_id, s));
+                        in_worklist.insert((new_id, s));
+                    } else {
+                        // Push the smaller of the two.
+                        let idx = if blocks[new_id].len() < blocks[b].len() {
+                            new_id
+                        } else {
+                            b
+                        };
+                        worklist.push_back((idx, s));
+                        in_worklist.insert((idx, s));
+                    }
+                }
+            }
+        }
+
+        self.quotient(&reachable, &partition, blocks.len())
+    }
+
+    /// Naive Moore-style minimization: iterated pairwise refinement.
+    ///
+    /// Quadratic; exists as a benchmark baseline and a differential oracle
+    /// for [`Dfa::minimize`].
+    pub fn minimize_naive(&self) -> Dfa {
+        let reachable = self.reachable_states();
+        let n = reachable.len();
+        let mut dense: HashMap<StateId, usize> = HashMap::new();
+        for (i, &q) in reachable.iter().enumerate() {
+            dense.insert(q, i);
+        }
+        let nsyms = self.alphabet().len();
+        let mut class: Vec<usize> = reachable
+            .iter()
+            .map(|&q| usize::from(self.is_accepting(q)))
+            .collect();
+        loop {
+            let mut signature: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+            let mut next: Vec<usize> = vec![0; n];
+            for i in 0..n {
+                let row: Vec<usize> = (0..nsyms)
+                    .map(|s| {
+                        class[dense[&self.step(reachable[i], Symbol::from_index(s))]]
+                    })
+                    .collect();
+                let key = (class[i], row);
+                let len = signature.len();
+                let id = *signature.entry(key).or_insert(len);
+                next[i] = id;
+            }
+            if next == class {
+                break;
+            }
+            class = next;
+        }
+        let nblocks = class.iter().copied().max().map_or(0, |m| m + 1);
+        self.quotient(&reachable, &class, nblocks)
+    }
+
+    fn reachable_states(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.num_states()];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::from([self.start()]);
+        seen[self.start()] = true;
+        while let Some(q) = queue.pop_front() {
+            order.push(q);
+            for s in 0..self.alphabet().len() {
+                let dst = self.step(q, Symbol::from_index(s));
+                if !seen[dst] {
+                    seen[dst] = true;
+                    queue.push_back(dst);
+                }
+            }
+        }
+        order
+    }
+
+    fn quotient(
+        &self,
+        reachable: &[StateId],
+        class_of_dense: &[usize],
+        nblocks: usize,
+    ) -> Dfa {
+        let nsyms = self.alphabet().len();
+        let mut dense: HashMap<StateId, usize> = HashMap::new();
+        for (i, &q) in reachable.iter().enumerate() {
+            dense.insert(q, i);
+        }
+        let mut table = vec![vec![usize::MAX; nsyms]; nblocks];
+        let mut accepting = vec![false; nblocks];
+        for (i, &q) in reachable.iter().enumerate() {
+            let b = class_of_dense[i];
+            accepting[b] = accepting[b] || self.is_accepting(q);
+            for s in 0..nsyms {
+                let dst = dense[&self.step(q, Symbol::from_index(s))];
+                table[b][s] = class_of_dense[dst];
+            }
+        }
+        let start = class_of_dense[dense[&self.start()]];
+        Dfa::from_parts(self.alphabet().clone(), table, start, accepting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+    use crate::symbol::Alphabet;
+    use std::rc::Rc;
+
+    fn ab2() -> (Rc<Alphabet>, Symbol, Symbol) {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        (Rc::new(ab), a, b)
+    }
+
+    fn dfa_of(r: &Regex, ab: Rc<Alphabet>) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_regex(r, ab))
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let (ab, a, b) = ab2();
+        let r = Regex::union(
+            Regex::star(Regex::concat(Regex::sym(a), Regex::sym(b))),
+            Regex::concat(Regex::sym(a), Regex::star(Regex::sym(b))),
+        );
+        let dfa = dfa_of(&r, ab);
+        let min = dfa.minimize();
+        assert!(min.num_states() <= dfa.num_states());
+        assert!(min.equivalent(&dfa).is_ok());
+    }
+
+    #[test]
+    fn hopcroft_agrees_with_naive() {
+        let (ab, a, b) = ab2();
+        let exprs = [
+            Regex::star(Regex::sym(a)),
+            Regex::union(Regex::word(&[a, b]), Regex::word(&[b, a])),
+            Regex::concat(
+                Regex::star(Regex::union(Regex::sym(a), Regex::sym(b))),
+                Regex::word(&[a, b, a]),
+            ),
+            Regex::epsilon(),
+            Regex::empty(),
+        ];
+        for r in &exprs {
+            let dfa = dfa_of(r, ab.clone());
+            let h = dfa.minimize();
+            let m = dfa.minimize_naive();
+            assert_eq!(h.num_states(), m.num_states(), "expr {:?}", r);
+            assert!(h.equivalent(&m).is_ok());
+        }
+    }
+
+    #[test]
+    fn minimal_dfa_for_even_as_has_expected_size() {
+        let (ab, a, _) = ab2();
+        // (a·a)* over {a,b}: 2 live states + sink = 3.
+        let r = Regex::star(Regex::word(&[a, a]));
+        let min = dfa_of(&r, ab).minimize();
+        assert_eq!(min.num_states(), 3);
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_single_state() {
+        let (ab, _, _) = ab2();
+        let min = dfa_of(&Regex::empty(), ab).minimize();
+        assert_eq!(min.num_states(), 1);
+        assert!(min.is_empty());
+    }
+}

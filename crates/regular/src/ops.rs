@@ -1,0 +1,179 @@
+//! Cross-representation language operations.
+//!
+//! The verification passes of `shelley-core` need one operation the plain
+//! DFA algebra does not provide: searching an NFA whose words *interleave
+//! marker symbols* (operation names in an integration automaton) against a
+//! monitor DFA that only observes the non-marker symbols. Keeping the
+//! markers in the witness lets error messages print traces exactly as the
+//! paper does (`open_a, a.test, a.open`).
+
+use crate::dfa::Dfa;
+use crate::nfa::{Label, Nfa, StateId};
+use crate::symbol::{Symbol, Word};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Searches for a shortest word accepted by both `nfa` and `monitor`, where
+/// symbols in `ignored` advance only the NFA (the monitor does not observe
+/// them).
+///
+/// The returned word *includes* the ignored marker symbols in the positions
+/// where the NFA consumed them. Returns `None` when the (marker-erased)
+/// intersection is empty.
+///
+/// # Panics
+///
+/// Panics if the automata have different alphabets.
+pub fn shortest_joint_word(
+    nfa: &Nfa,
+    monitor: &Dfa,
+    ignored: &BTreeSet<Symbol>,
+) -> Option<Word> {
+    assert_eq!(
+        **nfa.alphabet(),
+        **monitor.alphabet(),
+        "joint search over different alphabets"
+    );
+    type Node = (StateId, StateId);
+    let mut parent: HashMap<Node, (Node, Option<Symbol>)> = HashMap::new();
+    let start = (nfa.start(), monitor.start());
+    let mut deque: VecDeque<Node> = VecDeque::from([start]);
+    let mut visited: BTreeSet<Node> = BTreeSet::from([start]);
+    while let Some(node) = deque.pop_front() {
+        let (qn, qd) = node;
+        if nfa.is_accepting(qn) && monitor.is_accepting(qd) {
+            let mut word = Vec::new();
+            let mut cur = node;
+            while let Some(&(prev, sym)) = parent.get(&cur) {
+                if let Some(s) = sym {
+                    word.push(s);
+                }
+                cur = prev;
+            }
+            word.reverse();
+            return Some(word);
+        }
+        for &(label, dst) in nfa.edges_from(qn) {
+            let (next, consumed, cost_free) = match label {
+                Label::Eps => ((dst, qd), None, true),
+                Label::Sym(s) if ignored.contains(&s) => ((dst, qd), Some(s), false),
+                Label::Sym(s) => ((dst, monitor.step(qd, s)), Some(s), false),
+            };
+            if visited.insert(next) {
+                parent.insert(next, (node, consumed));
+                // 0-1 BFS: ε-edges keep path length; symbol edges extend it.
+                if cost_free {
+                    deque.push_front(next);
+                } else {
+                    deque.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Checks whether the marker-erased language of `nfa` is included in
+/// `spec`'s language; on failure returns a shortest violating word *with*
+/// markers preserved.
+///
+/// Formally: let `π` erase the symbols in `markers`; this checks
+/// `π(L(nfa)) ⊆ L(spec)` and, on failure, yields `w ∈ L(nfa)` with
+/// `π(w) ∉ L(spec)`.
+///
+/// # Panics
+///
+/// Panics if the automata have different alphabets.
+pub fn projected_subset(
+    nfa: &Nfa,
+    spec: &Dfa,
+    markers: &BTreeSet<Symbol>,
+) -> Result<(), Word> {
+    let bad = spec.complement();
+    match shortest_joint_word(nfa, &bad, markers) {
+        None => Ok(()),
+        Some(w) => Err(w),
+    }
+}
+
+/// Removes every symbol in `markers` from `word`.
+pub fn strip_markers(word: &[Symbol], markers: &BTreeSet<Symbol>) -> Word {
+    word.iter()
+        .copied()
+        .filter(|s| !markers.contains(s))
+        .collect()
+}
+
+/// Keeps only the symbols in `keep` (projection onto a sub-alphabet).
+pub fn project(word: &[Symbol], keep: &BTreeSet<Symbol>) -> Word {
+    word.iter().copied().filter(|s| keep.contains(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::symbol::Alphabet;
+    use std::rc::Rc;
+
+    #[test]
+    fn joint_search_respects_markers() {
+        // NFA language: m·a·m·b (markers m interleaved).
+        // Monitor accepts exactly a·b. Joint word must be m,a,m,b.
+        let mut ab = Alphabet::new();
+        let m = ab.intern("m");
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let ab = Rc::new(ab);
+        let nfa = Nfa::from_regex(&Regex::word(&[m, a, m, b]), ab.clone());
+        let monitor = Dfa::from_nfa(&Nfa::from_regex(&Regex::word(&[a, b]), ab));
+        let markers = BTreeSet::from([m]);
+        let w = shortest_joint_word(&nfa, &monitor, &markers).unwrap();
+        assert_eq!(w, vec![m, a, m, b]);
+        assert_eq!(strip_markers(&w, &markers), vec![a, b]);
+    }
+
+    #[test]
+    fn projected_subset_detects_violation() {
+        let mut ab = Alphabet::new();
+        let m = ab.intern("m");
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let ab = Rc::new(ab);
+        let markers = BTreeSet::from([m]);
+        // Behavior: m·a (marker then a). Spec: must be a·b.
+        let nfa = Nfa::from_regex(&Regex::word(&[m, a]), ab.clone());
+        let spec = Dfa::from_nfa(&Nfa::from_regex(&Regex::word(&[a, b]), ab.clone()));
+        let witness = projected_subset(&nfa, &spec, &markers).unwrap_err();
+        assert_eq!(strip_markers(&witness, &markers), vec![a]);
+        // Conforming behavior passes.
+        let good = Nfa::from_regex(&Regex::word(&[m, a, b]), ab);
+        assert!(projected_subset(&good, &spec, &markers).is_ok());
+    }
+
+    #[test]
+    fn joint_search_finds_shortest() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let ab = Rc::new(ab);
+        // NFA: a·a·a + b; monitor: everything.
+        let nfa = Nfa::from_regex(
+            &Regex::union(Regex::word(&[a, a, a]), Regex::sym(b)),
+            ab.clone(),
+        );
+        let sigma = Regex::star(Regex::union(Regex::sym(a), Regex::sym(b)));
+        let monitor = Dfa::from_nfa(&Nfa::from_regex(&sigma, ab));
+        let w = shortest_joint_word(&nfa, &monitor, &BTreeSet::new()).unwrap();
+        assert_eq!(w, vec![b]);
+    }
+
+    #[test]
+    fn project_keeps_only_requested_symbols() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let c = ab.intern("c");
+        let keep = BTreeSet::from([a, c]);
+        assert_eq!(project(&[a, b, c, b, a], &keep), vec![a, c, a]);
+    }
+}

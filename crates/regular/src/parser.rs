@@ -1,0 +1,308 @@
+//! A small concrete syntax for regular expressions.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! union  ::= concat (('+' | '|') concat)*
+//! concat ::= starred (('·' | ';') starred | starred)*   -- juxtaposition allowed
+//! starred ::= atom '*'*
+//! atom   ::= 'eps' | 'ε' | 'void' | '∅' | IDENT | '(' union ')'
+//! IDENT  ::= [A-Za-z_][A-Za-z0-9_.]*
+//! ```
+//!
+//! Identifiers intern into the supplied [`Alphabet`]; dotted names like
+//! `a.open` are single symbols (matching Shelley's event naming).
+
+use crate::regex::Regex;
+use crate::symbol::Alphabet;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_regex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseRegexError {}
+
+/// Parses `input` into a [`Regex`], interning event names into `alphabet`.
+///
+/// # Errors
+///
+/// Returns [`ParseRegexError`] on malformed syntax.
+///
+/// # Examples
+///
+/// ```
+/// use shelley_regular::{Alphabet, parse_regex};
+/// let mut ab = Alphabet::new();
+/// let r = parse_regex("(a.test ; (a.open + a.clean))*", &mut ab)?;
+/// let test = ab.lookup("a.test").unwrap();
+/// let open = ab.lookup("a.open").unwrap();
+/// assert!(r.matches(&[test, open]));
+/// # Ok::<(), shelley_regular::ParseRegexError>(())
+/// ```
+pub fn parse_regex(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseRegexError> {
+    let mut p = Parser {
+        input,
+        chars: input.char_indices().collect(),
+        pos: 0,
+        alphabet,
+    };
+    p.skip_ws();
+    let r = p.union()?;
+    p.skip_ws();
+    if p.pos < p.chars.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map_or(self.input.len(), |&(o, _)| o)
+    }
+
+    fn error(&self, message: &str) -> ParseRegexError {
+        ParseRegexError {
+            offset: self.offset(),
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn union(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut r = self.concat()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('+') | Some('|') => {
+                    self.bump();
+                    self.skip_ws();
+                    let rhs = self.concat()?;
+                    r = Regex::union(r, rhs);
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut r = self.starred()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(';') | Some('·') => {
+                    self.bump();
+                    self.skip_ws();
+                    let rhs = self.starred()?;
+                    r = Regex::concat(r, rhs);
+                }
+                // Juxtaposition: the next token starts an atom.
+                Some('(') => {
+                    let rhs = self.starred()?;
+                    r = Regex::concat(r, rhs);
+                }
+                Some(c) if is_ident_start(c) => {
+                    let rhs = self.starred()?;
+                    r = Regex::concat(r, rhs);
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    fn starred(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut r = self.atom()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('*') {
+                self.bump();
+                r = Regex::star(r);
+            } else {
+                return Ok(r);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseRegexError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let r = self.union()?;
+                self.skip_ws();
+                if self.peek() != Some(')') {
+                    return Err(self.error("expected ')'"));
+                }
+                self.bump();
+                Ok(r)
+            }
+            Some('ε') => {
+                self.bump();
+                Ok(Regex::epsilon())
+            }
+            Some('∅') => {
+                self.bump();
+                Ok(Regex::empty())
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut name = String::new();
+                while matches!(self.peek(), Some(c) if is_ident_continue(c)) {
+                    name.push(self.bump().unwrap());
+                }
+                match name.as_str() {
+                    "eps" => Ok(Regex::epsilon()),
+                    "void" => Ok(Regex::empty()),
+                    _ => Ok(Regex::sym(self.alphabet.intern(&name))),
+                }
+            }
+            Some(_) => Err(self.error("expected an atom")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example3() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("(a ; (b ; ∅ + c))* + (a ; (b ; ∅ + c))* ; a ; b", &mut ab)
+            .unwrap();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        assert!(r.matches(&[a, c, a, c]));
+        assert!(r.matches(&[a, c, a, b]));
+        assert!(!r.matches(&[b]));
+    }
+
+    #[test]
+    fn juxtaposition_concatenates() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("a b c", &mut ab).unwrap();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        let c = ab.lookup("c").unwrap();
+        assert!(r.matches(&[a, b, c]));
+        assert!(!r.matches(&[a, b]));
+    }
+
+    #[test]
+    fn eps_and_void_keywords() {
+        let mut ab = Alphabet::new();
+        assert_eq!(parse_regex("eps", &mut ab).unwrap(), Regex::epsilon());
+        assert_eq!(parse_regex("void", &mut ab).unwrap(), Regex::empty());
+        assert_eq!(parse_regex("ε", &mut ab).unwrap(), Regex::epsilon());
+        assert_eq!(parse_regex("∅", &mut ab).unwrap(), Regex::empty());
+    }
+
+    #[test]
+    fn dotted_event_names_are_single_symbols() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("a.test ; a.open", &mut ab).unwrap();
+        assert_eq!(ab.len(), 2);
+        let t = ab.lookup("a.test").unwrap();
+        let o = ab.lookup("a.open").unwrap();
+        assert!(r.matches(&[t, o]));
+    }
+
+    #[test]
+    fn reports_errors_with_offsets() {
+        let mut ab = Alphabet::new();
+        let err = parse_regex("(a + ", &mut ab).unwrap_err();
+        assert!(err.message.contains("unexpected end"));
+        let err = parse_regex("a )", &mut ab).unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn star_binds_tightest() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("a b*", &mut ab).unwrap();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.lookup("b").unwrap();
+        assert!(r.matches(&[a]));
+        assert!(r.matches(&[a, b, b]));
+        assert!(!r.matches(&[a, b, a, b]));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let mut ab = Alphabet::new();
+        let original =
+            parse_regex("(x ; y + z*) ; (w + eps)", &mut ab).unwrap();
+        let shown = original.display(&ab).to_string();
+        let mut ab2 = ab.clone();
+        let reparsed = parse_regex(&shown, &mut ab2).unwrap();
+        // Languages agree on a sample of words.
+        let x = ab.lookup("x").unwrap();
+        let y = ab.lookup("y").unwrap();
+        let z = ab.lookup("z").unwrap();
+        let w = ab.lookup("w").unwrap();
+        for word in [
+            vec![],
+            vec![x, y],
+            vec![x, y, w],
+            vec![z, z, w],
+            vec![z],
+            vec![w],
+            vec![x],
+        ] {
+            assert_eq!(
+                original.matches(&word),
+                reparsed.matches(&word),
+                "word {:?} in {}",
+                word,
+                shown
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the regular-language toolkit.
+//!
+//! The key invariant: every representation of a language (regex via
+//! derivatives, Thompson NFA, subset-construction DFA, minimized DFA) must
+//! agree on membership, and the boolean algebra must satisfy its laws.
+
+use proptest::prelude::*;
+use shelley_regular::{Alphabet, Dfa, Nfa, Regex, Symbol};
+use std::rc::Rc;
+
+const NSYMS: usize = 3;
+
+fn alphabet() -> Rc<Alphabet> {
+    Rc::new(Alphabet::from_names(["a", "b", "c"]))
+}
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::empty()),
+        Just(Regex::epsilon()),
+        (0..NSYMS).prop_map(|i| Regex::sym(Symbol::from_index(i))),
+    ];
+    leaf.prop_recursive(5, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::union(a, b)),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec((0..NSYMS).prop_map(Symbol::from_index), 0..8)
+}
+
+proptest! {
+    /// Derivative-based membership agrees with the NFA and DFA pipelines.
+    #[test]
+    fn representations_agree(r in arb_regex(), w in arb_word()) {
+        let ab = alphabet();
+        let expected = r.matches(&w);
+        let nfa = Nfa::from_regex(&r, ab.clone());
+        prop_assert_eq!(nfa.accepts(&w), expected);
+        let dfa = Dfa::from_nfa(&nfa);
+        prop_assert_eq!(dfa.accepts(&w), expected);
+        let min = dfa.minimize();
+        prop_assert_eq!(min.accepts(&w), expected);
+    }
+
+    /// Hopcroft and naive minimization build equivalent automata of equal size.
+    #[test]
+    fn minimizers_agree(r in arb_regex()) {
+        let ab = alphabet();
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, ab));
+        let h = dfa.minimize();
+        let n = dfa.minimize_naive();
+        prop_assert_eq!(h.num_states(), n.num_states());
+        prop_assert!(h.equivalent(&n).is_ok());
+        prop_assert!(h.equivalent(&dfa).is_ok());
+    }
+
+    /// Minimizing twice is a fixpoint (state count stabilizes).
+    #[test]
+    fn minimize_is_idempotent(r in arb_regex()) {
+        let ab = alphabet();
+        let m1 = Dfa::from_nfa(&Nfa::from_regex(&r, ab)).minimize();
+        let m2 = m1.minimize();
+        prop_assert_eq!(m1.num_states(), m2.num_states());
+    }
+
+    /// De Morgan over the DFA boolean algebra.
+    #[test]
+    fn de_morgan(r1 in arb_regex(), r2 in arb_regex(), w in arb_word()) {
+        let ab = alphabet();
+        let d1 = Dfa::from_nfa(&Nfa::from_regex(&r1, ab.clone()));
+        let d2 = Dfa::from_nfa(&Nfa::from_regex(&r2, ab));
+        let lhs = d1.intersect(&d2).complement();
+        let rhs = d1.complement().union(&d2.complement());
+        prop_assert_eq!(lhs.accepts(&w), rhs.accepts(&w));
+    }
+
+    /// Concatenation of languages corresponds to splitting the word.
+    #[test]
+    fn concat_splits(r1 in arb_regex(), r2 in arb_regex(), w in arb_word()) {
+        let cat = Regex::concat(r1.clone(), r2.clone());
+        let direct = cat.matches(&w);
+        let split = (0..=w.len())
+            .any(|i| r1.matches(&w[..i]) && r2.matches(&w[i..]));
+        prop_assert_eq!(direct, split);
+    }
+
+    /// Union behaves pointwise.
+    #[test]
+    fn union_pointwise(r1 in arb_regex(), r2 in arb_regex(), w in arb_word()) {
+        let u = Regex::union(r1.clone(), r2.clone());
+        prop_assert_eq!(u.matches(&w), r1.matches(&w) || r2.matches(&w));
+    }
+
+    /// Star absorbs repetition: if w ∈ L(r*) and v ∈ L(r*) then wv ∈ L(r*).
+    #[test]
+    fn star_is_closed_under_concat(
+        r in arb_regex(),
+        w in arb_word(),
+        v in arb_word()
+    ) {
+        let star = Regex::star(r);
+        if star.matches(&w) && star.matches(&v) {
+            let mut wv = w.clone();
+            wv.extend_from_slice(&v);
+            prop_assert!(star.matches(&wv));
+        }
+    }
+
+    /// Enumerated words are all members; membership of enumerated words is
+    /// complete up to the bound.
+    #[test]
+    fn enumeration_sound_and_complete(r in arb_regex()) {
+        let ab = alphabet();
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, ab));
+        let words = dfa.enumerate_words(4, 2000);
+        for w in &words {
+            prop_assert!(r.matches(w), "enumerated non-member {:?}", w);
+        }
+        // Cross-check counts (only when the enumeration wasn't truncated).
+        if words.len() < 2000 {
+            let counts = dfa.count_words_by_length(4);
+            let total: u64 = counts.iter().sum();
+            prop_assert_eq!(total, words.len() as u64);
+        }
+    }
+
+    /// `subset_of` counterexamples are genuine.
+    #[test]
+    fn subset_counterexamples_are_real(r1 in arb_regex(), r2 in arb_regex()) {
+        let ab = alphabet();
+        let d1 = Dfa::from_nfa(&Nfa::from_regex(&r1, ab.clone()));
+        let d2 = Dfa::from_nfa(&Nfa::from_regex(&r2, ab));
+        match d1.subset_of(&d2) {
+            Ok(()) => {
+                // Spot-check on enumerated words of d1.
+                for w in d1.enumerate_words(3, 50) {
+                    prop_assert!(d2.accepts(&w));
+                }
+            }
+            Err(w) => {
+                prop_assert!(d1.accepts(&w));
+                prop_assert!(!d2.accepts(&w));
+            }
+        }
+    }
+
+    /// Shortest accepted word from the NFA matches the DFA's.
+    #[test]
+    fn shortest_words_agree(r in arb_regex()) {
+        let ab = alphabet();
+        let nfa = Nfa::from_regex(&r, ab);
+        let dfa = Dfa::from_nfa(&nfa);
+        match (nfa.shortest_accepted(), dfa.shortest_accepted()) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                prop_assert!(r.matches(&a));
+                prop_assert!(r.matches(&b));
+            }
+            (a, b) => prop_assert!(false, "disagree: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// Erasing all symbols of a word-regex leaves only ε.
+    #[test]
+    fn erase_everything_gives_epsilon(w in arb_word()) {
+        let ab = alphabet();
+        let r = Regex::word(&w);
+        let nfa = Nfa::from_regex(&r, ab.clone());
+        let all: std::collections::BTreeSet<Symbol> = ab.symbols().collect();
+        let erased = nfa.erase_symbols(&all);
+        prop_assert!(erased.accepts(&[]));
+    }
+}
+
+proptest! {
+    /// State elimination recovers the same language.
+    #[test]
+    fn to_regex_roundtrip(r in arb_regex()) {
+        let ab = alphabet();
+        let nfa = Nfa::from_regex(&r, ab.clone());
+        let recovered = nfa.to_regex();
+        let d1 = Dfa::from_nfa(&nfa);
+        let d2 = Dfa::from_nfa(&Nfa::from_regex(&recovered, ab));
+        prop_assert!(d1.equivalent(&d2).is_ok());
+    }
+
+    /// DFA-to-regex after minimization also recovers the language.
+    #[test]
+    fn dfa_to_regex_roundtrip(r in arb_regex()) {
+        let ab = alphabet();
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, ab.clone())).minimize();
+        let back = dfa.to_regex();
+        let d2 = Dfa::from_nfa(&Nfa::from_regex(&back, ab));
+        prop_assert!(dfa.equivalent(&d2).is_ok());
+    }
+}

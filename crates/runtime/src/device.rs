@@ -1,0 +1,216 @@
+//! A monitored device: spec enforcement wired to simulated hardware.
+//!
+//! [`MonitoredValve`] is the runtime realization of the paper's `Valve`:
+//! the [`SpecMonitor`](crate::SpecMonitor) guards call ordering while the
+//! [`PinBank`](crate::PinBank) plays the physical side, exactly as
+//! Listing 2.1 wires `test`/`open`/`close`/`clean` to GPIO pins.
+
+use crate::monitor::{MonitorError, SpecMonitor};
+use crate::pins::{PinBank, PinError, PinMode};
+use shelley_core::spec::ClassSpec;
+use std::fmt;
+
+/// An error from a monitored device: either a protocol violation or a
+/// hardware-access fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Call-ordering violation caught by the monitor.
+    Protocol(MonitorError),
+    /// Pin-access fault.
+    Hardware(PinError),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            DeviceError::Hardware(e) => write!(f, "hardware fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<MonitorError> for DeviceError {
+    fn from(e: MonitorError) -> Self {
+        DeviceError::Protocol(e)
+    }
+}
+
+impl From<PinError> for DeviceError {
+    fn from(e: PinError) -> Self {
+        DeviceError::Hardware(e)
+    }
+}
+
+/// Pin assignment of Listing 2.1.
+const CONTROL_PIN: u8 = 27;
+const CLEAN_PIN: u8 = 28;
+const STATUS_PIN: u8 = 29;
+
+/// The runtime `Valve` of Listing 2.1, guarded by its extracted model.
+#[derive(Debug, Clone)]
+pub struct MonitoredValve {
+    monitor: SpecMonitor,
+    pins: PinBank,
+}
+
+impl MonitoredValve {
+    /// Builds the valve from the (verified) `Valve` specification.
+    pub fn new(spec: &ClassSpec) -> MonitoredValve {
+        let mut pins = PinBank::new();
+        pins.configure(CONTROL_PIN, PinMode::Out);
+        pins.configure(CLEAN_PIN, PinMode::Out);
+        pins.configure(STATUS_PIN, PinMode::In);
+        MonitoredValve {
+            monitor: SpecMonitor::new(spec),
+            pins,
+        }
+    }
+
+    /// The physical world reports whether the valve is unobstructed.
+    pub fn set_status(&mut self, clear: bool) {
+        self.pins.sense(STATUS_PIN, clear).expect("configured");
+    }
+
+    /// `test`: returns `true` when the valve may be opened, `false` when it
+    /// needs cleaning (mirroring the `["open"]` / `["clean"]` exits).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Protocol`] when invoked out of order.
+    pub fn test(&mut self) -> Result<bool, DeviceError> {
+        self.monitor.invoke("test")?;
+        Ok(self.pins.value(STATUS_PIN)?)
+    }
+
+    /// `open`: drives the control pin high.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`] on protocol or pin faults.
+    pub fn open(&mut self) -> Result<(), DeviceError> {
+        self.monitor.invoke("open")?;
+        self.pins.on(CONTROL_PIN)?;
+        Ok(())
+    }
+
+    /// `close`: drives the control pin low.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`] on protocol or pin faults.
+    pub fn close(&mut self) -> Result<(), DeviceError> {
+        self.monitor.invoke("close")?;
+        self.pins.off(CONTROL_PIN)?;
+        Ok(())
+    }
+
+    /// `clean`: pulses the cleaning pin.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`] on protocol or pin faults.
+    pub fn clean(&mut self) -> Result<(), DeviceError> {
+        self.monitor.invoke("clean")?;
+        self.pins.on(CLEAN_PIN)?;
+        self.pins.off(CLEAN_PIN)?;
+        Ok(())
+    }
+
+    /// Whether the object may be dropped here without violating the model.
+    pub fn can_finish(&self) -> bool {
+        self.monitor.can_finish()
+    }
+
+    /// Whether the physical valve is safely closed.
+    pub fn is_safe(&self) -> bool {
+        self.pins.all_outputs_low()
+    }
+
+    /// The operation history.
+    pub fn history(&self) -> &[String] {
+        self.monitor.history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_core::check_source;
+
+    fn valve_spec() -> ClassSpec {
+        check_source(
+            r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+"#,
+        )
+        .unwrap()
+        .systems
+        .get("Valve")
+        .unwrap()
+        .spec
+        .clone()
+    }
+
+    #[test]
+    fn happy_path_keeps_valve_safe() {
+        let mut v = MonitoredValve::new(&valve_spec());
+        v.set_status(true);
+        assert!(v.test().unwrap());
+        v.open().unwrap();
+        assert!(!v.is_safe()); // physically open mid-protocol
+        v.close().unwrap();
+        assert!(v.is_safe());
+        assert!(v.can_finish());
+    }
+
+    #[test]
+    fn dirty_valve_takes_clean_branch() {
+        let mut v = MonitoredValve::new(&valve_spec());
+        v.set_status(false);
+        assert!(!v.test().unwrap());
+        v.clean().unwrap();
+        assert!(v.can_finish());
+        assert!(v.is_safe());
+    }
+
+    #[test]
+    fn protocol_violation_blocks_hardware_access() {
+        let mut v = MonitoredValve::new(&valve_spec());
+        // The BadSector bug at runtime: open without test.
+        let err = v.open().unwrap_err();
+        assert!(matches!(err, DeviceError::Protocol(_)));
+        // The control pin was never driven.
+        assert!(v.is_safe());
+    }
+
+    #[test]
+    fn cannot_abandon_open_valve() {
+        let mut v = MonitoredValve::new(&valve_spec());
+        v.set_status(true);
+        v.test().unwrap();
+        v.open().unwrap();
+        assert!(!v.can_finish());
+        assert_eq!(v.history(), ["test", "open"]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # shelley-runtime
+//!
+//! Runtime enforcement of Shelley operation models — the dynamic
+//! counterpart of the static verification in `shelley-core`.
+//!
+//! The same [`ClassSpec`](shelley_core::spec::ClassSpec) that Shelley
+//! checks statically can guard an object at run time:
+//!
+//! * [`SpecMonitor`] tracks the spec automaton's possible states across
+//!   invocations and rejects out-of-order calls, with the operations that
+//!   *would* have been allowed in the error;
+//! * [`PinBank`] simulates the GPIO pins that the paper's MicroPython
+//!   classes drive (`Pin(27, OUT)`, `.on()`, `.off()`, `.value()`);
+//! * [`MonitoredValve`] wires both together into the runtime realization
+//!   of Listing 2.1's `Valve`.
+//!
+//! The property suite checks that the monitor accepts **exactly** the
+//! prefixes of the static specification language — the two analyses are
+//! two views of one model.
+//!
+//! # Example
+//!
+//! ```
+//! use shelley_core::check_source;
+//! use shelley_runtime::{MonitoredValve, DeviceError};
+//!
+//! let checked = check_source(include_str!("../tests/valve.py"))?;
+//! let spec = &checked.systems.get("Valve").unwrap().spec;
+//! let mut valve = MonitoredValve::new(spec);
+//! valve.set_status(true);
+//! assert!(valve.test()?);
+//! valve.open()?;
+//! valve.close()?;
+//! assert!(valve.is_safe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod monitor;
+mod pins;
+
+pub use device::{DeviceError, MonitoredValve};
+pub use monitor::{MonitorError, SpecMonitor};
+pub use pins::{PinBank, PinError, PinEvent, PinMode};

@@ -1,0 +1,363 @@
+//! Runtime enforcement of a class specification.
+//!
+//! Shelley verifies call ordering *statically*; a [`SpecMonitor`] enforces
+//! the same operation model *dynamically*, by tracking the set of states
+//! the spec automaton could be in and rejecting any invocation that leaves
+//! no state alive. This is the typestate-flavored companion the paper's
+//! related-work section alludes to: the model drives both analyses.
+
+use shelley_core::spec::{intern_spec_events, spec_automaton, ClassSpec, SpecAutomaton};
+use shelley_regular::{Alphabet, Label, StateId, Symbol};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// An error raised by the monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The invoked name is not an operation of the class.
+    UnknownOperation {
+        /// The offending name.
+        operation: String,
+    },
+    /// The operation is not allowed in the current protocol state.
+    NotAllowed {
+        /// The offending operation.
+        operation: String,
+        /// Operations that would have been allowed instead.
+        allowed: Vec<String>,
+    },
+    /// `finish` was called while the object is mid-protocol.
+    NotFinal {
+        /// Operations that could still make progress.
+        allowed: Vec<String>,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::UnknownOperation { operation } => {
+                write!(f, "unknown operation `{operation}`")
+            }
+            MonitorError::NotAllowed { operation, allowed } => write!(
+                f,
+                "operation `{operation}` not allowed here (allowed: {})",
+                allowed.join(", ")
+            ),
+            MonitorError::NotFinal { allowed } => write!(
+                f,
+                "object is mid-protocol; cannot finish (allowed next: {})",
+                allowed.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// A runtime monitor for one object of a `@sys` class.
+///
+/// # Examples
+///
+/// ```
+/// use shelley_core::check_source;
+/// use shelley_runtime::SpecMonitor;
+///
+/// let checked = check_source(r#"
+/// @sys
+/// class Led:
+///     @op_initial
+///     def on(self):
+///         return ["off"]
+///
+///     @op_final
+///     def off(self):
+///         return ["on"]
+/// "#)?;
+/// let led = checked.systems.get("Led").unwrap();
+/// let mut monitor = SpecMonitor::new(&led.spec);
+/// monitor.invoke("on")?;
+/// monitor.invoke("off")?;
+/// monitor.finish()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecMonitor {
+    alphabet: Rc<Alphabet>,
+    automaton: SpecAutomaton,
+    /// States from which some accepting state is reachable. The monitor
+    /// refuses transitions into dead states: an invocation that could never
+    /// be completed to a legal full usage (e.g. one that would strand a
+    /// valve open forever) is rejected up front.
+    live: Vec<bool>,
+    current: BTreeSet<StateId>,
+    history: Vec<String>,
+}
+
+impl SpecMonitor {
+    /// Builds a monitor from a class specification.
+    pub fn new(spec: &ClassSpec) -> SpecMonitor {
+        let mut ab = Alphabet::new();
+        intern_spec_events(spec, None, &mut ab);
+        let ab = Rc::new(ab);
+        let automaton = spec_automaton(spec, None, ab.clone());
+        let live = live_states(&automaton);
+        let current = BTreeSet::from([automaton.start()]);
+        SpecMonitor {
+            alphabet: ab,
+            automaton,
+            live,
+            current,
+            history: Vec::new(),
+        }
+    }
+
+    /// The operations allowed right now (those whose invocation would
+    /// succeed — in particular, operations leading only to dead ends are
+    /// excluded).
+    pub fn allowed(&self) -> Vec<String> {
+        let mut out: BTreeSet<&str> = BTreeSet::new();
+        for &q in &self.current {
+            for &(label, dst) in self.automaton.nfa().edges_from(q) {
+                if let Label::Sym(s) = label {
+                    if self.live[dst] {
+                        out.insert(self.alphabet.name(s));
+                    }
+                }
+            }
+        }
+        out.into_iter().map(str::to_owned).collect()
+    }
+
+    /// Whether the object may stop here (a final operation was last, or it
+    /// was never used).
+    pub fn can_finish(&self) -> bool {
+        self.current
+            .iter()
+            .any(|&q| self.automaton.nfa().is_accepting(q))
+    }
+
+    /// Records an operation invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::UnknownOperation`] for names outside the model;
+    /// [`MonitorError::NotAllowed`] for protocol violations. On error the
+    /// monitor state is unchanged.
+    pub fn invoke(&mut self, operation: &str) -> Result<(), MonitorError> {
+        let Some(sym) = self.alphabet.lookup(operation) else {
+            return Err(MonitorError::UnknownOperation {
+                operation: operation.to_owned(),
+            });
+        };
+        let next = self.step(sym);
+        if next.is_empty() {
+            return Err(MonitorError::NotAllowed {
+                operation: operation.to_owned(),
+                allowed: self.allowed(),
+            });
+        }
+        self.current = next;
+        self.history.push(operation.to_owned());
+        Ok(())
+    }
+
+    fn step(&self, sym: Symbol) -> BTreeSet<StateId> {
+        let mut next = BTreeSet::new();
+        for &q in &self.current {
+            for &(label, dst) in self.automaton.nfa().edges_from(q) {
+                if label == Label::Sym(sym) && self.live[dst] {
+                    next.insert(dst);
+                }
+            }
+        }
+        next
+    }
+
+    /// Declares the object's lifetime over.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::NotFinal`] if the protocol is mid-flight.
+    pub fn finish(&self) -> Result<(), MonitorError> {
+        if self.can_finish() {
+            Ok(())
+        } else {
+            Err(MonitorError::NotFinal {
+                allowed: self.allowed(),
+            })
+        }
+    }
+
+    /// The invocations seen so far.
+    pub fn history(&self) -> &[String] {
+        &self.history
+    }
+
+    /// Resets to the initial state, clearing history.
+    pub fn reset(&mut self) {
+        self.current = BTreeSet::from([self.automaton.start()]);
+        self.history.clear();
+    }
+
+    /// Replays a full trace and requires it to be a complete usage.
+    ///
+    /// # Errors
+    ///
+    /// The first [`MonitorError`] encountered.
+    pub fn replay<'a, I: IntoIterator<Item = &'a str>>(
+        spec: &ClassSpec,
+        trace: I,
+    ) -> Result<(), MonitorError> {
+        let mut m = SpecMonitor::new(spec);
+        for op in trace {
+            m.invoke(op)?;
+        }
+        m.finish()
+    }
+}
+
+/// Backward reachability from the accepting states.
+fn live_states(automaton: &SpecAutomaton) -> Vec<bool> {
+    let nfa = automaton.nfa();
+    let n = nfa.num_states();
+    let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for q in 0..n {
+        for &(_, dst) in nfa.edges_from(q) {
+            preds[dst].push(q);
+        }
+    }
+    let mut live = vec![false; n];
+    let mut stack: Vec<StateId> = (0..n).filter(|&q| nfa.is_accepting(q)).collect();
+    for &q in &stack {
+        live[q] = true;
+    }
+    while let Some(q) = stack.pop() {
+        for &p in &preds[q] {
+            if !live[p] {
+                live[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_core::check_source;
+
+    const VALVE: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+"#;
+
+    fn valve_spec() -> ClassSpec {
+        check_source(VALVE)
+            .unwrap()
+            .systems
+            .get("Valve")
+            .unwrap()
+            .spec
+            .clone()
+    }
+
+    #[test]
+    fn accepts_protocol_conforming_usage() {
+        let spec = valve_spec();
+        let mut m = SpecMonitor::new(&spec);
+        assert!(m.can_finish()); // zero usage legal
+        m.invoke("test").unwrap();
+        assert!(!m.can_finish());
+        m.invoke("open").unwrap();
+        m.invoke("close").unwrap();
+        assert!(m.can_finish());
+        m.invoke("test").unwrap();
+        m.invoke("clean").unwrap();
+        m.finish().unwrap();
+        assert_eq!(m.history().len(), 5);
+    }
+
+    #[test]
+    fn rejects_open_without_test() {
+        let spec = valve_spec();
+        let mut m = SpecMonitor::new(&spec);
+        let err = m.invoke("open").unwrap_err();
+        match err {
+            MonitorError::NotAllowed { operation, allowed } => {
+                assert_eq!(operation, "open");
+                assert_eq!(allowed, vec!["test"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // State unchanged: test still works.
+        m.invoke("test").unwrap();
+    }
+
+    #[test]
+    fn rejects_finish_mid_protocol() {
+        let spec = valve_spec();
+        let mut m = SpecMonitor::new(&spec);
+        m.invoke("test").unwrap();
+        m.invoke("open").unwrap();
+        let err = m.finish().unwrap_err();
+        assert!(matches!(err, MonitorError::NotFinal { .. }));
+    }
+
+    #[test]
+    fn unknown_operations_rejected() {
+        let spec = valve_spec();
+        let mut m = SpecMonitor::new(&spec);
+        assert!(matches!(
+            m.invoke("explode"),
+            Err(MonitorError::UnknownOperation { .. })
+        ));
+    }
+
+    #[test]
+    fn allowed_reflects_branching() {
+        let spec = valve_spec();
+        let mut m = SpecMonitor::new(&spec);
+        m.invoke("test").unwrap();
+        // After test, either open or clean (depending on the exit taken —
+        // the monitor tracks both possibilities).
+        assert_eq!(m.allowed(), vec!["clean", "open"]);
+    }
+
+    #[test]
+    fn replay_helper() {
+        let spec = valve_spec();
+        SpecMonitor::replay(&spec, ["test", "clean"]).unwrap();
+        assert!(SpecMonitor::replay(&spec, ["test", "open"]).is_err());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let spec = valve_spec();
+        let mut m = SpecMonitor::new(&spec);
+        m.invoke("test").unwrap();
+        m.reset();
+        assert!(m.history().is_empty());
+        assert_eq!(m.allowed(), vec!["test"]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulated GPIO pins.
+//!
+//! The paper's classes drive `machine.Pin` objects (`Pin(27, OUT)`,
+//! `self.control.on()`); this module provides the pure-Rust stand-in used
+//! by the examples to execute verified models against "hardware": pins
+//! with modes, levels, an event log, and mode-violation errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Pin direction, mirroring MicroPython's `Pin.IN` / `Pin.OUT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinMode {
+    /// Input pin: may be read, not driven.
+    In,
+    /// Output pin: may be driven, reads return the driven level.
+    Out,
+}
+
+/// A pin-access error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PinError {
+    /// The pin id was never configured.
+    Unconfigured {
+        /// The offending id.
+        id: u8,
+    },
+    /// A write to an input pin.
+    WroteToInput {
+        /// The offending id.
+        id: u8,
+    },
+}
+
+impl fmt::Display for PinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinError::Unconfigured { id } => write!(f, "pin {id} is not configured"),
+            PinError::WroteToInput { id } => {
+                write!(f, "pin {id} is an input and cannot be driven")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
+
+/// One recorded pin event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinEvent {
+    /// Logical timestamp (event counter).
+    pub at: u64,
+    /// Which pin.
+    pub id: u8,
+    /// The level after the event.
+    pub level: bool,
+}
+
+/// A bank of simulated pins with an event log.
+#[derive(Debug, Clone, Default)]
+pub struct PinBank {
+    pins: BTreeMap<u8, (PinMode, bool)>,
+    log: Vec<PinEvent>,
+    clock: u64,
+}
+
+impl PinBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configures a pin, like `Pin(27, OUT)`. Reconfiguring resets the
+    /// level to low.
+    pub fn configure(&mut self, id: u8, mode: PinMode) {
+        self.pins.insert(id, (mode, false));
+    }
+
+    /// Drives an output pin high (`pin.on()`).
+    ///
+    /// # Errors
+    ///
+    /// [`PinError`] on unconfigured or input pins.
+    pub fn on(&mut self, id: u8) -> Result<(), PinError> {
+        self.write(id, true)
+    }
+
+    /// Drives an output pin low (`pin.off()`).
+    ///
+    /// # Errors
+    ///
+    /// [`PinError`] on unconfigured or input pins.
+    pub fn off(&mut self, id: u8) -> Result<(), PinError> {
+        self.write(id, false)
+    }
+
+    fn write(&mut self, id: u8, level: bool) -> Result<(), PinError> {
+        match self.pins.get_mut(&id) {
+            None => Err(PinError::Unconfigured { id }),
+            Some((PinMode::In, _)) => Err(PinError::WroteToInput { id }),
+            Some((PinMode::Out, current)) => {
+                *current = level;
+                self.clock += 1;
+                self.log.push(PinEvent {
+                    at: self.clock,
+                    id,
+                    level,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a pin's level (`pin.value()`).
+    ///
+    /// # Errors
+    ///
+    /// [`PinError::Unconfigured`] for unknown pins.
+    pub fn value(&self, id: u8) -> Result<bool, PinError> {
+        self.pins
+            .get(&id)
+            .map(|(_, level)| *level)
+            .ok_or(PinError::Unconfigured { id })
+    }
+
+    /// Forces an input pin's level (the "physical world" side).
+    ///
+    /// # Errors
+    ///
+    /// [`PinError::Unconfigured`] for unknown pins.
+    pub fn sense(&mut self, id: u8, level: bool) -> Result<(), PinError> {
+        match self.pins.get_mut(&id) {
+            None => Err(PinError::Unconfigured { id }),
+            Some((_, current)) => {
+                *current = level;
+                Ok(())
+            }
+        }
+    }
+
+    /// The full event log.
+    pub fn log(&self) -> &[PinEvent] {
+        &self.log
+    }
+
+    /// Whether every *output* pin is currently low (safe at rest).
+    pub fn all_outputs_low(&self) -> bool {
+        self.pins
+            .values()
+            .all(|(mode, level)| *mode == PinMode::In || !level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_and_read() {
+        let mut bank = PinBank::new();
+        bank.configure(27, PinMode::Out);
+        bank.configure(29, PinMode::In);
+        bank.on(27).unwrap();
+        assert!(bank.value(27).unwrap());
+        bank.off(27).unwrap();
+        assert!(!bank.value(27).unwrap());
+        assert_eq!(bank.log().len(), 2);
+    }
+
+    #[test]
+    fn input_pins_cannot_be_driven() {
+        let mut bank = PinBank::new();
+        bank.configure(29, PinMode::In);
+        assert_eq!(bank.on(29), Err(PinError::WroteToInput { id: 29 }));
+        bank.sense(29, true).unwrap();
+        assert!(bank.value(29).unwrap());
+    }
+
+    #[test]
+    fn unconfigured_pins_error() {
+        let mut bank = PinBank::new();
+        assert_eq!(bank.on(3), Err(PinError::Unconfigured { id: 3 }));
+        assert_eq!(bank.value(3), Err(PinError::Unconfigured { id: 3 }));
+    }
+
+    #[test]
+    fn safety_predicate() {
+        let mut bank = PinBank::new();
+        bank.configure(1, PinMode::Out);
+        bank.configure(2, PinMode::In);
+        bank.sense(2, true).unwrap();
+        assert!(bank.all_outputs_low());
+        bank.on(1).unwrap();
+        assert!(!bank.all_outputs_low());
+        bank.off(1).unwrap();
+        assert!(bank.all_outputs_low());
+    }
+}

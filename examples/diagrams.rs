@@ -1,0 +1,119 @@
+//! Regenerates the paper's figures as Graphviz DOT files under
+//! `target/diagrams/`.
+//!
+//! * `fig1_valve.dot` — the Valve operation diagram (Figure 1);
+//! * `fig2_badsector.dot` — the BadSector integration automaton whose
+//!   accepting run `open_a, a.test, a.open` is the invalid usage shown in
+//!   Figure 2;
+//! * `fig3_sector.dot` — the Sector method-dependency graph (Figure 3).
+//!
+//! Run with `cargo run --example diagrams`, then e.g.
+//! `dot -Tpng target/diagrams/fig1_valve.dot -o fig1.png`.
+
+use shelley::core::extract::dependency::DependencyGraph;
+use shelley::core::{build_integration, check_source, integration_diagram, spec_diagram};
+use std::fs;
+use std::path::Path;
+
+const PAPER: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+
+@sys
+class Sector:
+    @op_initial
+    def open_a(self):
+        if which:
+            return ["close_a", "open_b"]
+        else:
+            return ["clean_a"]
+
+    @op
+    def clean_a(self):
+        return ["open_a"]
+
+    @op
+    def close_a(self):
+        return ["open_a"]
+
+    @op_final
+    def open_b(self):
+        if which:
+            return []
+        else:
+            return []
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let checked = check_source(PAPER)?;
+    let out_dir = Path::new("target/diagrams");
+    fs::create_dir_all(out_dir)?;
+
+    let valve = checked.systems.get("Valve").unwrap();
+    fs::write(out_dir.join("fig1_valve.dot"), spec_diagram(&valve.spec))?;
+
+    let badsector = checked.systems.get("BadSector").unwrap();
+    let integration = build_integration(badsector);
+    fs::write(
+        out_dir.join("fig2_badsector.dot"),
+        integration_diagram("BadSector", &integration),
+    )?;
+
+    let sector = checked.systems.get("Sector").unwrap();
+    fs::write(
+        out_dir.join("fig3_sector.dot"),
+        DependencyGraph::from_spec(&sector.spec).to_dot(),
+    )?;
+
+    for f in ["fig1_valve.dot", "fig2_badsector.dot", "fig3_sector.dot"] {
+        println!("wrote target/diagrams/{f}");
+    }
+    Ok(())
+}

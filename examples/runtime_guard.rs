@@ -1,0 +1,91 @@
+//! Static + dynamic enforcement from one model.
+//!
+//! Shelley's extracted model serves twice: `check_source` verifies code
+//! *statically*, and `shelley-runtime`'s monitor enforces the same protocol
+//! *dynamically*. This example runs a correct controller and a buggy
+//! controller against a monitored valve: the correct one completes its
+//! cycles, the buggy one (the `BadSector` pattern — opening and walking
+//! away) is stopped at run time before the hardware is stranded.
+//!
+//! Run with `cargo run --example runtime_guard`.
+
+use shelley::check_source;
+use shelley::runtime::{DeviceError, MonitoredValve};
+
+const VALVE: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+"#;
+
+fn correct_controller(valve: &mut MonitoredValve) -> Result<u32, DeviceError> {
+    let mut watering_cycles = 0;
+    for day in 0..3 {
+        // The physical world: the valve silts up on day 1.
+        valve.set_status(day != 1);
+        if valve.test()? {
+            valve.open()?;
+            valve.close()?;
+            watering_cycles += 1;
+        } else {
+            valve.clean()?;
+        }
+    }
+    Ok(watering_cycles)
+}
+
+fn buggy_controller(valve: &mut MonitoredValve) -> Result<(), DeviceError> {
+    valve.set_status(true);
+    valve.test()?;
+    valve.open()?;
+    // ... forgets to close — then tries to test again next day:
+    valve.test()?;
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let checked = check_source(VALVE)?;
+    assert!(checked.report.passed());
+    let spec = &checked.systems.get("Valve").unwrap().spec;
+
+    println!("== correct controller ==");
+    let mut valve = MonitoredValve::new(spec);
+    let cycles = correct_controller(&mut valve)?;
+    assert!(valve.can_finish() && valve.is_safe());
+    println!(
+        "completed {cycles} watering cycles; history: {}",
+        valve.history().join(" → ")
+    );
+
+    println!();
+    println!("== buggy controller (the BadSector pattern) ==");
+    let mut valve = MonitoredValve::new(spec);
+    match buggy_controller(&mut valve) {
+        Err(DeviceError::Protocol(e)) => {
+            println!("stopped at run time: {e}");
+            println!("history up to the violation: {}", valve.history().join(" → "));
+            // The monitor refused before the hardware was touched again;
+            // the valve is still mid-protocol but not silently abandoned.
+            assert!(!valve.can_finish());
+        }
+        other => return Err(format!("expected a protocol violation, got {other:?}").into()),
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! A second CPS domain: a battery-powered smart door lock.
+//!
+//! The lock's motor must never be driven while the latch sensor is
+//! uncalibrated, and every alarm must eventually be acknowledged. This
+//! example first verifies a *buggy* controller — Shelley finds both an
+//! invalid subsystem usage and a violated temporal claim, with
+//! counterexamples — then verifies the fixed controller.
+//!
+//! Run with `cargo run --example smart_lock`.
+
+use shelley::core::check_source;
+
+const HARDWARE: &str = r#"
+@sys
+class Motor:
+    @op_initial
+    def calibrate(self):
+        return ["drive_open", "drive_closed"]
+
+    @op
+    def drive_open(self):
+        return ["drive_closed"]
+
+    @op_final
+    def drive_closed(self):
+        return ["drive_open", "calibrate"]
+
+@sys
+class Siren:
+    @op_initial
+    def arm(self):
+        return ["sound", "disarm"]
+
+    @op
+    def sound(self):
+        return ["ack"]
+
+    @op
+    def ack(self):
+        return ["disarm", "sound"]
+
+    @op_final
+    def disarm(self):
+        return ["arm"]
+"#;
+
+const BUGGY: &str = r#"
+@claim("G (!siren.sound | F siren.ack)")
+@sys(["motor", "siren"])
+class BuggyLock:
+    def __init__(self):
+        self.motor = Motor()
+        self.siren = Siren()
+
+    @op_initial_final
+    def unlock(self):
+        self.motor.drive_open()
+        self.motor.drive_closed()
+        return ["panic"]
+
+    @op_final
+    def panic(self):
+        self.siren.arm()
+        self.siren.sound()
+        return []
+"#;
+
+const FIXED: &str = r#"
+@claim("G (!siren.sound | F siren.ack)")
+@claim("(!motor.drive_open) W motor.calibrate")
+@sys(["motor", "siren"])
+class SafeLock:
+    def __init__(self):
+        self.motor = Motor()
+        self.siren = Siren()
+
+    @op_initial_final
+    def unlock(self):
+        self.motor.calibrate()
+        self.motor.drive_open()
+        self.motor.drive_closed()
+        return ["panic", "unlock"]
+
+    @op_final
+    def panic(self):
+        self.siren.arm()
+        self.siren.sound()
+        self.siren.ack()
+        self.siren.disarm()
+        return ["unlock"]
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== the buggy controller ==");
+    let buggy = check_source(&format!("{HARDWARE}{BUGGY}"))?;
+    assert!(!buggy.report.passed());
+    for (class, v) in &buggy.report.usage_violations {
+        println!("[{class}]");
+        print!("{}", v.render());
+        println!();
+    }
+    for (class, v) in &buggy.report.claim_violations {
+        println!("[{class}]");
+        print!("{}", v.render());
+        println!();
+    }
+
+    println!("== the fixed controller ==");
+    let fixed = check_source(&format!("{HARDWARE}{FIXED}"))?;
+    if fixed.report.passed() {
+        println!(
+            "OK: {} systems verified ({} warnings)",
+            fixed.systems.len(),
+            fixed.report.diagnostics.warnings().count()
+        );
+    } else {
+        println!("{}", fixed.report.render(None));
+        return Err("expected the fixed lock to verify".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,97 @@
+# A realistic greenhouse controller: three hardware protocols, two
+# mid-level composites, one top-level scheduler. Verifies clean.
+
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(5, OUT)
+        self.status = Pin(6, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["flush"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def flush(self):
+        return ["test"]
+
+@sys
+class Fan:
+    @op_initial
+    def spin_up(self):
+        return ["spin_down"]
+
+    @op_final
+    def spin_down(self):
+        return ["spin_up"]
+
+@sys
+class MoistureSensor:
+    @op_initial_final
+    def sample(self):
+        return ["sample"]
+
+@claim("(!w.open) W w.test")
+@sys(["w", "m"])
+class Bed:
+    def __init__(self):
+        self.w = Valve()
+        self.m = MoistureSensor()
+
+    @op_initial_final
+    def water_if_dry(self):
+        self.m.sample()
+        match self.w.test():
+            case ["open"]:
+                self.w.open()
+                self.w.close()
+                return ["water_if_dry"]
+            case ["flush"]:
+                self.w.flush()
+                return ["water_if_dry"]
+
+@claim("G (!f.spin_up | F f.spin_down)")
+@sys(["f"])
+class Vent:
+    def __init__(self):
+        self.f = Fan()
+
+    @op_initial_final
+    def cycle(self):
+        self.f.spin_up()
+        self.f.spin_down()
+        return ["cycle"]
+
+@sys(["b1", "b2", "v"])
+class Greenhouse:
+    def __init__(self):
+        self.b1 = Bed()
+        self.b2 = Bed()
+        self.v = Vent()
+
+    @op_initial_final
+    def morning(self):
+        for i in range(2):
+            self.b1.water_if_dry()
+            self.b2.water_if_dry()
+        self.v.cycle()
+        return ["evening"]
+
+    @op_final
+    def evening(self):
+        while hot:
+            self.v.cycle()
+        return ["morning"]

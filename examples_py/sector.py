@@ -1,0 +1,23 @@
+@sys
+class Sector:
+    @op_initial
+    def open_a(self):
+        if which:
+            return ["close_a", "open_b"]
+        else:
+            return ["clean_a"]
+
+    @op
+    def clean_a(self):
+        return ["open_a"]
+
+    @op
+    def close_a(self):
+        return ["open_a"]
+
+    @op_final
+    def open_b(self):
+        if which:
+            return []
+        else:
+            return []

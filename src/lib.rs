@@ -1,0 +1,65 @@
+//! # shelley
+//!
+//! A complete Rust reproduction of *Formalizing Model Inference of
+//! MicroPython* (Mão de Ferro, Cogumbreiro, Martins — DSN-W 2023): the
+//! **Shelley** framework for model checking call ordering on hierarchical
+//! MicroPython systems.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`regular`] | regular expressions, Brzozowski derivatives, NFAs/DFAs, Hopcroft minimization, language algebra, DOT |
+//! | [`ir`] | the paper's imperative calculus: trace semantics `s ⊢ l ∈ p`, behavior inference `⟦p⟧`, Theorems 1–2 executably |
+//! | [`micropython`] | indentation-aware lexer + parser for the analyzed MicroPython subset |
+//! | [`ltlf`] | linear temporal logic on finite traces: claims, progression, monitor DFAs, model checking |
+//! | [`core`] | Shelley proper: annotations (Table 1), specs, dependency graphs (§3.1), behavior extraction (§3.2), invocation analysis, subsystem-usage + claim verification with the paper's error messages, diagrams (Figs. 1–3) |
+//! | [`smv`] | the NFA → NuSMV translation of §5, with an explicit-state validation checker |
+//! | [`runtime`] | runtime enforcement of the same models: spec monitors and simulated GPIO |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shelley::check_source;
+//!
+//! let verdict = check_source(r#"
+//! @sys
+//! class Valve:
+//!     @op_initial
+//!     def test(self):
+//!         if self.ok():
+//!             return ["open"]
+//!         else:
+//!             return ["clean"]
+//!
+//!     @op
+//!     def open(self):
+//!         return ["close"]
+//!
+//!     @op_final
+//!     def close(self):
+//!         return ["test"]
+//!
+//!     @op_final
+//!     def clean(self):
+//!         return ["test"]
+//! "#)?;
+//! assert!(verdict.report.passed());
+//! # Ok::<(), shelley::micropython::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use micropython_parser as micropython;
+pub use shelley_core as core;
+pub use shelley_ir as ir;
+pub use shelley_ltlf as ltlf;
+pub use shelley_regular as regular;
+pub use shelley_runtime as runtime;
+pub use shelley_smv as smv;
+
+pub use shelley_core::{
+    build_integration, build_systems, check_source, CheckReport, Checked,
+    ClaimViolation, System, SystemSet, UsageViolation,
+};

@@ -1,0 +1,104 @@
+//! Corpus tests: the shipped `.py` files verify with the expected results,
+//! and the whole pipeline is panic-free on hostile input.
+
+use proptest::prelude::*;
+use shelley::core::check_source;
+
+#[test]
+fn paper_corpus_fails_as_published() {
+    let source = include_str!("../examples_py/paper.py");
+    let checked = check_source(source).unwrap();
+    assert!(!checked.report.passed());
+    assert_eq!(checked.report.usage_violations.len(), 1);
+    assert_eq!(checked.report.claim_violations.len(), 1);
+}
+
+#[test]
+fn sector_corpus_passes() {
+    let source = include_str!("../examples_py/sector.py");
+    let checked = check_source(source).unwrap();
+    assert!(checked.report.passed(), "{}", checked.report.render(None));
+}
+
+#[test]
+fn greenhouse_corpus_passes_with_six_systems() {
+    let source = include_str!("../examples_py/greenhouse.py");
+    let checked = check_source(source).unwrap();
+    assert!(checked.report.passed(), "{}", checked.report.render(None));
+    assert_eq!(checked.systems.len(), 6);
+    // Three composites at two hierarchy levels.
+    let composites: Vec<&str> = checked
+        .systems
+        .iter()
+        .filter(|s| s.is_composite())
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(composites, vec!["Bed", "Vent", "Greenhouse"]);
+    // The top level sees only interface operations of the mid level.
+    let greenhouse = checked.systems.get("Greenhouse").unwrap();
+    let info = greenhouse.composite().unwrap();
+    assert!(info.alphabet.lookup("b1.water_if_dry").is_some());
+    assert!(info.alphabet.lookup("w.open").is_none());
+}
+
+#[test]
+fn greenhouse_mutations_are_caught() {
+    let source = include_str!("../examples_py/greenhouse.py");
+    // Drop the close after open in Bed: valve left open.
+    let broken = source.replacen("                self.w.close()\n", "", 1);
+    assert_ne!(source, broken);
+    let checked = check_source(&broken).unwrap();
+    assert!(!checked.report.passed());
+    assert!(checked
+        .report
+        .usage_violations
+        .iter()
+        .any(|(class, _)| class == "Bed"));
+
+    // Spin the fan up without down in Vent: both usage and claim break.
+    let broken = source.replacen("        self.f.spin_down()\n", "", 1);
+    let checked = check_source(&broken).unwrap();
+    assert!(!checked.report.passed());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The full pipeline never panics, whatever the (parseable or not)
+    /// input: it returns a parse error or a report.
+    #[test]
+    fn pipeline_never_panics(
+        fragments in proptest::collection::vec(
+            prop_oneof![
+                Just("@sys".to_string()),
+                Just("@sys([\"a\"])".to_string()),
+                Just("@sys([\"a\", \"a\"])".to_string()),
+                Just("@claim(\"(!a.x) W b.y\")".to_string()),
+                Just("@claim(\"not a formula ((\")".to_string()),
+                Just("class C:".to_string()),
+                Just("class C(Base):".to_string()),
+                Just("    def __init__(self):".to_string()),
+                Just("        self.a = Valve()".to_string()),
+                Just("    @op_initial".to_string()),
+                Just("    @op_final".to_string()),
+                Just("    @op".to_string()),
+                Just("    def m(self):".to_string()),
+                Just("        return [\"m\"]".to_string()),
+                Just("        return [\"nonexistent\"]".to_string()),
+                Just("        return []".to_string()),
+                Just("        return 42".to_string()),
+                Just("        self.a.anything()".to_string()),
+                Just("        match self.a.m():".to_string()),
+                Just("            case [\"m\"]:".to_string()),
+                Just("                pass".to_string()),
+                Just("        while x:".to_string()),
+                Just("            break".to_string()),
+                Just("        pass".to_string()),
+            ],
+            0..16
+        )
+    ) {
+        let input = fragments.join("\n");
+        let _ = check_source(&input);
+    }
+}

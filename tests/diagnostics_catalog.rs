@@ -1,0 +1,172 @@
+//! One end-to-end witness per diagnostic code: every error and warning the
+//! pipeline can produce is triggered from real source through
+//! `check_source`, so the catalog in `diagnostics::codes` never rots.
+
+use shelley::core::codes;
+use shelley::core::check_source;
+
+const VALVE: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+"#;
+
+fn count(src: &str, code: &str) -> usize {
+    let checked = check_source(src).unwrap();
+    checked.report.diagnostics.by_code(code).count()
+}
+
+#[test]
+fn e001_undefined_operation() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        self.a.warp()\n        return []\n"
+    );
+    assert_eq!(count(&src, codes::UNDEFINED_OPERATION), 1);
+}
+
+#[test]
+fn e002_undefined_next_operation() {
+    let src = "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return [\"teleport\"]\n";
+    assert_eq!(count(src, codes::UNDEFINED_NEXT_OPERATION), 1);
+}
+
+#[test]
+fn e003_non_exhaustive_match() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                self.a.close()\n                return []\n"
+    );
+    assert_eq!(count(&src, codes::NON_EXHAUSTIVE_MATCH), 1);
+}
+
+#[test]
+fn e004_bad_annotation() {
+    assert_eq!(
+        count("@sys(42)\nclass V:\n    pass\n", codes::BAD_ANNOTATION),
+        1
+    );
+    assert_eq!(
+        count(
+            "@claim(42)\n@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return []\n",
+            codes::BAD_ANNOTATION
+        ),
+        1
+    );
+}
+
+#[test]
+fn e005_unknown_subsystem() {
+    let src = "@sys([\"ghost\"])\nclass U:\n    def __init__(self):\n        pass\n\n    @op_initial_final\n    def go(self):\n        return []\n";
+    assert_eq!(count(src, codes::UNKNOWN_SUBSYSTEM), 1);
+}
+
+#[test]
+fn e006_no_initial_operation() {
+    let src = "@sys\nclass V:\n    @op_final\n    def stop(self):\n        return []\n";
+    assert_eq!(count(src, codes::NO_INITIAL_OPERATION), 1);
+}
+
+#[test]
+fn e007_bad_claim() {
+    let src = format!(
+        "{}",
+        VALVE.replace("@sys\nclass Valve:", "@claim(\"(!open W\")\n@sys\nclass Valve:")
+    );
+    assert_eq!(count(&src, codes::BAD_CLAIM), 1);
+}
+
+#[test]
+fn e100_invalid_subsystem_usage() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                return []\n            case [\"clean\"]:\n                self.a.clean()\n                return []\n"
+    );
+    assert_eq!(count(&src, codes::INVALID_SUBSYSTEM_USAGE), 1);
+}
+
+#[test]
+fn e101_fail_to_meet_requirement() {
+    let src = format!(
+        "{VALVE}\n@claim(\"G !a.clean\")\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                self.a.close()\n                return []\n            case [\"clean\"]:\n                self.a.clean()\n                return []\n"
+    );
+    assert_eq!(count(&src, codes::FAIL_TO_MEET_REQUIREMENT), 1);
+}
+
+#[test]
+fn w001_unreachable_case() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                self.a.close()\n                return []\n            case [\"clean\"]:\n                self.a.clean()\n                return []\n            case [\"levitate\"]:\n                return []\n"
+    );
+    assert_eq!(count(&src, codes::UNREACHABLE_CASE), 1);
+}
+
+#[test]
+fn w002_unreachable_operation() {
+    let src = "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return []\n\n    @op_final\n    def island(self):\n        return []\n";
+    assert_eq!(count(src, codes::UNREACHABLE_OPERATION), 1);
+}
+
+#[test]
+fn w003_implicit_return() {
+    let src = "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        if x:\n            return []\n";
+    assert_eq!(count(src, codes::IMPLICIT_RETURN), 1);
+}
+
+#[test]
+fn w004_no_final_reachable() {
+    let src = "@sys\nclass V:\n    @op_initial\n    def a(self):\n        return [\"b\"]\n\n    @op\n    def b(self):\n        return []\n";
+    assert!(count(src, codes::NO_FINAL_REACHABLE) >= 1);
+}
+
+#[test]
+fn w005_unknown_decorator() {
+    let src = "@sparkle\n@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return []\n";
+    assert_eq!(count(src, codes::UNKNOWN_DECORATOR), 1);
+}
+
+#[test]
+fn w006_unscrutinized_exits() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        self.a.clean()\n        return []\n"
+    );
+    assert_eq!(count(&src, codes::UNSCRUTINIZED_EXITS), 1);
+}
+
+#[test]
+fn w007_loop_jump_approximated() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        while running:\n            if stop:\n                break\n            match self.a.test():\n                case [\"open\"]:\n                    self.a.open()\n                    self.a.close()\n                case [\"clean\"]:\n                    self.a.clean()\n        return []\n"
+    );
+    assert_eq!(count(&src, codes::LOOP_JUMP_APPROXIMATED), 1);
+}
+
+/// A clean file produces no diagnostics at all.
+#[test]
+fn clean_source_is_silent() {
+    let checked = check_source(VALVE).unwrap();
+    assert!(checked.report.diagnostics.is_empty());
+    assert!(checked.report.passed());
+}
+
+#[test]
+fn w008_field_reassigned() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        self.a = Valve()\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                self.a.close()\n                return []\n            case [\"clean\"]:\n                self.a.clean()\n                return []\n"
+    );
+    assert_eq!(count(&src, codes::FIELD_REASSIGNED), 1);
+}

@@ -1,0 +1,306 @@
+//! Scalability and failure-injection tests over *generated* families of
+//! systems: protocol chains of arbitrary length, composites with many
+//! subsystems, and systematic fault seeding (dropped closes, reordered
+//! calls, missing cases, undefined operations).
+
+use shelley::core::{build_integration, check_source};
+use std::fmt::Write as _;
+
+/// A base class whose protocol is a chain `s0 → s1 → … → s{n-1}` with the
+/// last step final and looping back to s0.
+fn chain_class(name: &str, n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "@sys\nclass {name}:");
+    for i in 0..n {
+        let decorator = if n == 1 {
+            "@op_initial_final"
+        } else if i == 0 {
+            "@op_initial"
+        } else if i == n - 1 {
+            "@op_final"
+        } else {
+            "@op"
+        };
+        let next = if i == n - 1 {
+            "[\"s0\"]".to_string()
+        } else {
+            format!("[\"s{}\"]", i + 1)
+        };
+        let _ = writeln!(out, "    {decorator}");
+        let _ = writeln!(out, "    def s{i}(self):");
+        let _ = writeln!(out, "        return {next}");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// A composite that drives `k` chain instances through one full protocol
+/// round each.
+fn driver_class(k: usize, n: usize) -> String {
+    let fields: Vec<String> = (0..k).map(|i| format!("c{i}")).collect();
+    let quoted: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "@sys([{}])", quoted.join(", "));
+    let _ = writeln!(out, "class Driver:");
+    let _ = writeln!(out, "    def __init__(self):");
+    for f in &fields {
+        let _ = writeln!(out, "        self.{f} = Chain()");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "    @op_initial_final");
+    let _ = writeln!(out, "    def run(self):");
+    for f in &fields {
+        for i in 0..n {
+            let _ = writeln!(out, "        self.{f}.s{i}()");
+        }
+    }
+    let _ = writeln!(out, "        return []");
+    out
+}
+
+fn chain_system(k: usize, n: usize) -> String {
+    format!("{}\n{}", chain_class("Chain", n), driver_class(k, n))
+}
+
+#[test]
+fn chains_of_many_lengths_verify() {
+    for n in [1, 2, 3, 5, 10, 25] {
+        let src = chain_system(1, n);
+        let checked = check_source(&src).unwrap();
+        assert!(
+            checked.report.passed(),
+            "chain n={n}: {}",
+            checked.report.render(None)
+        );
+    }
+}
+
+#[test]
+fn many_subsystems_verify() {
+    for k in [1, 2, 4, 8] {
+        let src = chain_system(k, 3);
+        let checked = check_source(&src).unwrap();
+        assert!(
+            checked.report.passed(),
+            "k={k}: {}",
+            checked.report.render(None)
+        );
+        let driver = checked.systems.get("Driver").unwrap();
+        assert_eq!(driver.composite().unwrap().subsystems.len(), k);
+    }
+}
+
+#[test]
+fn fault_dropped_final_step_detected() {
+    // Drop the final step of the first chain: its projection never reaches
+    // a final operation.
+    let good = chain_system(2, 3);
+    let faulty = good.replacen("        self.c0.s2()\n", "", 1);
+    assert_ne!(good, faulty);
+    let checked = check_source(&faulty).unwrap();
+    assert_eq!(checked.report.usage_violations.len(), 1);
+    let (_, v) = &checked.report.usage_violations[0];
+    assert!(v.subsystem_errors.iter().any(|e| e.field == "c0"));
+    assert!(v
+        .subsystem_errors
+        .iter()
+        .all(|e| e.render().contains("not final")));
+}
+
+#[test]
+fn fault_reordered_calls_detected() {
+    let good = chain_system(1, 3);
+    // Swap s0 and s1 on the only chain.
+    let faulty = good.replacen(
+        "        self.c0.s0()\n        self.c0.s1()\n",
+        "        self.c0.s1()\n        self.c0.s0()\n",
+        1,
+    );
+    assert_ne!(good, faulty);
+    let checked = check_source(&faulty).unwrap();
+    assert_eq!(checked.report.usage_violations.len(), 1);
+    let (_, v) = &checked.report.usage_violations[0];
+    assert!(v.subsystem_errors[0].render().contains("not initial"));
+}
+
+#[test]
+fn fault_undefined_operation_detected() {
+    let good = chain_system(1, 2);
+    let faulty = good.replacen("self.c0.s0()", "self.c0.warp()", 1);
+    let checked = check_source(&faulty).unwrap();
+    assert!(checked
+        .report
+        .diagnostics
+        .by_code(shelley::core::codes::UNDEFINED_OPERATION)
+        .next()
+        .is_some());
+}
+
+#[test]
+fn fault_bad_claim_detected() {
+    let good = chain_system(1, 2);
+    let with_claim = good.replace(
+        "@sys([\"c0\"])",
+        "@claim(\"G !c0.s1\")\n@sys([\"c0\"])",
+    );
+    let checked = check_source(&with_claim).unwrap();
+    assert_eq!(checked.report.claim_violations.len(), 1);
+    let (_, v) = &checked.report.claim_violations[0];
+    assert!(v.counterexample_text.contains("c0.s1"));
+}
+
+#[test]
+fn hierarchy_of_three_levels_verifies() {
+    let src = r#"
+@sys
+class Pump:
+    @op_initial
+    def prime(self):
+        return ["start"]
+
+    @op
+    def start(self):
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        return ["prime"]
+
+@sys(["p"])
+class Station:
+    def __init__(self):
+        self.p = Pump()
+
+    @op_initial_final
+    def cycle(self):
+        self.p.prime()
+        self.p.start()
+        self.p.stop()
+        return ["cycle"]
+
+@sys(["s1", "s2"])
+class Plant:
+    def __init__(self):
+        self.s1 = Station()
+        self.s2 = Station()
+
+    @op_initial_final
+    def shift(self):
+        self.s1.cycle()
+        self.s2.cycle()
+        self.s1.cycle()
+        return []
+"#;
+    let checked = check_source(src).unwrap();
+    assert!(checked.report.passed(), "{}", checked.report.render(None));
+    // Plant's integration speaks Station's interface operations.
+    let plant = checked.systems.get("Plant").unwrap();
+    let integration = build_integration(plant);
+    let ab = integration.nfa.alphabet();
+    assert!(ab.lookup("s1.cycle").is_some());
+    assert!(ab.lookup("s2.cycle").is_some());
+    let s = |n: &str| ab.lookup(n).unwrap();
+    assert!(integration.nfa.accepts(&[
+        s("shift"),
+        s("s1.cycle"),
+        s("s2.cycle"),
+        s("s1.cycle"),
+    ]));
+}
+
+#[test]
+fn hierarchy_violation_at_middle_level_detected() {
+    // Station misuses Pump (start without prime) — detected at Station,
+    // while Plant's use of Station's *interface* stays correct.
+    let src = r#"
+@sys
+class Pump:
+    @op_initial
+    def prime(self):
+        return ["start"]
+
+    @op
+    def start(self):
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        return ["prime"]
+
+@sys(["p"])
+class Station:
+    def __init__(self):
+        self.p = Pump()
+
+    @op_initial_final
+    def cycle(self):
+        self.p.start()
+        self.p.stop()
+        return ["cycle"]
+
+@sys(["s1"])
+class Plant:
+    def __init__(self):
+        self.s1 = Station()
+
+    @op_initial_final
+    def shift(self):
+        self.s1.cycle()
+        return []
+"#;
+    let checked = check_source(src).unwrap();
+    let violating: Vec<&str> = checked
+        .report
+        .usage_violations
+        .iter()
+        .map(|(c, _)| c.as_str())
+        .collect();
+    assert_eq!(violating, vec!["Station"]);
+}
+
+#[test]
+fn loops_in_composites_verify() {
+    let src = r#"
+@sys
+class Sensor:
+    @op_initial_final
+    def read(self):
+        return ["read"]
+
+@sys(["s"])
+class Sampler:
+    def __init__(self):
+        self.s = Sensor()
+
+    @op_initial_final
+    def sample(self):
+        for i in range(100):
+            self.s.read()
+        while self.more():
+            self.s.read()
+        return []
+"#;
+    let checked = check_source(src).unwrap();
+    assert!(checked.report.passed(), "{}", checked.report.render(None));
+    let sampler = checked.systems.get("Sampler").unwrap();
+    let integration = build_integration(sampler);
+    let ab = integration.nfa.alphabet();
+    let s = |n: &str| ab.lookup(n).unwrap();
+    // Any number of reads is fine, including zero.
+    assert!(integration.nfa.accepts(&[s("sample")]));
+    assert!(integration.nfa.accepts(&[
+        s("sample"),
+        s("s.read"),
+        s("s.read"),
+        s("s.read")
+    ]));
+}
+
+#[test]
+fn scales_to_a_fifty_operation_chain() {
+    let src = chain_system(1, 50);
+    let checked = check_source(&src).unwrap();
+    assert!(checked.report.passed());
+    let chain = checked.systems.get("Chain").unwrap();
+    assert_eq!(chain.spec.operations.len(), 50);
+}
