@@ -10,7 +10,12 @@ use shelley_core::{build_systems, spec_diagram};
 
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1/parse_listing_2_1", |b| {
-        b.iter(|| parse_module(PAPER_SOURCE).expect("parses").classes().count())
+        b.iter(|| {
+            parse_module(PAPER_SOURCE)
+                .expect("parses")
+                .classes()
+                .count()
+        })
     });
 
     let module = parse_module(PAPER_SOURCE).unwrap();

@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use micropython_parser::parse_module;
 use shelley_bench::{chain_class, SECTOR_SOURCE};
-use shelley_core::extract::dependency::DependencyGraph;
 use shelley_core::build_systems;
+use shelley_core::extract::dependency::DependencyGraph;
 
 fn bench_fig3(c: &mut Criterion) {
     let module = parse_module(SECTOR_SOURCE).unwrap();

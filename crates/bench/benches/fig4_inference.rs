@@ -55,11 +55,9 @@ fn bench_inference_scaling(c: &mut Criterion) {
                 ..GenConfig::default()
             },
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(p.size()),
-            &p,
-            |bch, p| bch.iter(|| infer(p).size()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(p.size()), &p, |bch, p| {
+            bch.iter(|| infer(p).size())
+        });
     }
     group.finish();
 }
@@ -77,11 +75,17 @@ fn bench_semantics_vs_inference(c: &mut Criterion) {
         },
     );
     // A workload of traces to classify.
-    let traces: Vec<Vec<shelley_regular::Symbol>> =
-        enumerate_traces(&p, EnumConfig { max_len: 5, max_iters: 2, max_traces: 64 })
-            .into_iter()
-            .map(|(_, t)| t)
-            .collect();
+    let traces: Vec<Vec<shelley_regular::Symbol>> = enumerate_traces(
+        &p,
+        EnumConfig {
+            max_len: 5,
+            max_iters: 2,
+            max_traces: 64,
+        },
+    )
+    .into_iter()
+    .map(|(_, t)| t)
+    .collect();
     assert!(!traces.is_empty());
 
     let mut group = c.benchmark_group("fig4/membership_mode");

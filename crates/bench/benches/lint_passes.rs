@@ -1,0 +1,53 @@
+//! Cost of the flow-sensitive lint layer.
+//!
+//! The lint passes (CFG construction, definite-assignment dataflow,
+//! sibling-call scan) run on every `check`, so their cost rides on top of
+//! the paper's verification pipeline. These benches measure the passes in
+//! isolation on the paper example and the full pipeline with lints on
+//! vs. all-allowed (which skips the passes entirely).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use micropython_parser::parse_module;
+use shelley_bench::PAPER_SOURCE;
+use shelley_core::lint::{run_lints, LintConfig, LintLevel};
+use shelley_core::{build_systems, check_source_with, codes, Diagnostics};
+
+fn bench_lints(c: &mut Criterion) {
+    let module = parse_module(PAPER_SOURCE).unwrap();
+    let (systems, _) = build_systems(&module);
+    let defaults = LintConfig::new();
+
+    c.bench_function("lint/passes_on_paper_example", |b| {
+        b.iter(|| {
+            let mut out = Diagnostics::new();
+            run_lints(&module, &systems, &defaults, &mut out);
+            out.len()
+        })
+    });
+
+    c.bench_function("lint/pipeline_with_default_lints", |b| {
+        b.iter(|| {
+            let checked = check_source_with(black_box(PAPER_SOURCE), &defaults).unwrap();
+            checked.report.diagnostics.len()
+        })
+    });
+
+    let mut allow_all = LintConfig::new();
+    for code in [
+        codes::UNREACHABLE_STATEMENT,
+        codes::USE_BEFORE_INIT,
+        codes::MAYBE_UNINIT_SUBSYSTEM,
+        codes::SIBLING_OPERATION_CALL,
+    ] {
+        allow_all.set(code, LintLevel::Allow).unwrap();
+    }
+    c.bench_function("lint/pipeline_with_lints_allowed_off", |b| {
+        b.iter(|| {
+            let checked = check_source_with(black_box(PAPER_SOURCE), &allow_all).unwrap();
+            checked.report.diagnostics.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_lints);
+criterion_main!(benches);

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use micropython_parser::parse_module;
 use shelley_bench::{chain_class, PAPER_SOURCE};
-use shelley_core::spec::{intern_spec_events, spec_automaton};
 use shelley_core::build_systems;
+use shelley_core::spec::{intern_spec_events, spec_automaton};
 use shelley_regular::{Alphabet, Dfa};
 use shelley_smv::{nfa_to_smv, validate_model};
 use std::rc::Rc;

@@ -19,7 +19,7 @@
 
 use shelley_core::extract::dependency::DependencyGraph;
 use shelley_core::{
-    build_integration, check_source, integration_diagram, spec_diagram,
+    build_integration, check_source_with, integration_diagram, spec_diagram, LintConfig, LintLevel,
 };
 use shelley_smv::nfa_to_smv;
 use std::process::ExitCode;
@@ -46,6 +46,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   shelleyc check <file.py> [more.py ...]
+      [-A <code>] [-W <code>] [-D <code>|-D warnings] [--deny-warnings]
+      [--format text|json|sarif]
   shelleyc diagram <file.py> <Class>
   shelleyc deps <file.py> <Class>
   shelleyc integration <file.py> <Class>
@@ -60,7 +62,76 @@ enum CliError {
     Verification(String),
 }
 
-fn run(args: &[String]) -> Result<String, CliError> {
+/// The `--format` of `check` output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+fn parse_format(name: &str) -> Result<Format, CliError> {
+    match name {
+        "text" => Ok(Format::Text),
+        "json" => Ok(Format::Json),
+        "sarif" => Ok(Format::Sarif),
+        other => Err(CliError::Usage(format!(
+            "unknown format `{other}` (expected text, json, or sarif)"
+        ))),
+    }
+}
+
+/// Splits `args` into positionals and the lint/format flags, which may
+/// appear anywhere on the command line.
+fn parse_args(args: &[String]) -> Result<(Vec<String>, LintConfig, Format), CliError> {
+    let mut positionals = Vec::new();
+    let mut config = LintConfig::new();
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "-A" | "-W" | "-D" => {
+                let code = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{arg} requires a diagnostic code")))?;
+                i += 1;
+                if arg == "-D" && code == "warnings" {
+                    config.deny_warnings = true;
+                } else {
+                    let level = match arg {
+                        "-A" => LintLevel::Allow,
+                        "-W" => LintLevel::Warn,
+                        _ => LintLevel::Deny,
+                    };
+                    config
+                        .set(code, level)
+                        .map_err(|e| CliError::Usage(e.to_string()))?;
+                }
+            }
+            "--deny-warnings" => config.deny_warnings = true,
+            "--format" => {
+                let name = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--format requires a value".into()))?;
+                i += 1;
+                format = parse_format(name)?;
+            }
+            _ if arg.starts_with("--format=") => {
+                format = parse_format(&arg["--format=".len()..])?;
+            }
+            _ if arg.starts_with('-') && arg.len() > 1 => {
+                return Err(CliError::Usage(format!("unknown flag `{arg}`")));
+            }
+            _ => positionals.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    Ok((positionals, config, format))
+}
+
+fn run(raw_args: &[String]) -> Result<String, CliError> {
+    let (args, config, format) = parse_args(raw_args)?;
     let cmd = args
         .first()
         .ok_or_else(|| CliError::Usage("missing command".into()))?;
@@ -70,7 +141,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let source = std::fs::read_to_string(path)
         .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
     let file = micropython_parser::SourceFile::new(path.clone(), source.clone());
-    let checked = check_source(&source).map_err(|e| {
+    let checked = check_source_with(&source, &config).map_err(|e| {
         let (line, col) = file.line_col(e.span.start);
         CliError::Verification(format!("{path}:{line}:{col}: {e}\n"))
     })?;
@@ -88,26 +159,37 @@ fn run(args: &[String]) -> Result<String, CliError> {
     match cmd.as_str() {
         "check" => {
             // Additional files form a multi-file project.
-            let checked = if args.len() > 2 {
-                let mut files =
-                    vec![shelley_core::ProjectFile::new(path.clone(), source.clone())];
+            let multi_file = args.len() > 2;
+            let checked = if multi_file {
+                let mut files = vec![shelley_core::ProjectFile::new(path.clone(), source.clone())];
                 for extra in &args[2..] {
-                    let text = std::fs::read_to_string(extra).map_err(|e| {
-                        CliError::Usage(format!("cannot read {extra}: {e}"))
-                    })?;
+                    let text = std::fs::read_to_string(extra)
+                        .map_err(|e| CliError::Usage(format!("cannot read {extra}: {e}")))?;
                     files.push(shelley_core::ProjectFile::new(extra.clone(), text));
                 }
-                shelley_core::check_project(&files)
+                shelley_core::check_project_with(&files, &config)
                     .map_err(|e| CliError::Verification(format!("{e}\n")))?
             } else {
                 checked
             };
-            let mut out = checked.report.render(Some(&file));
+            // Machine formats cannot attribute merged-project spans to
+            // their files, so positions are only emitted for single files.
+            let position_source = (!multi_file).then_some(&file);
+            let out = match format {
+                Format::Text => {
+                    let mut out = checked.report.render(position_source);
+                    if checked.report.passed() {
+                        out.push_str(&format!(
+                            "OK: {} system(s) verified\n",
+                            checked.systems.len()
+                        ));
+                    }
+                    out
+                }
+                Format::Json => checked.report.diagnostics.render_json(position_source),
+                Format::Sarif => checked.report.diagnostics.render_sarif(position_source),
+            };
             if checked.report.passed() {
-                out.push_str(&format!(
-                    "OK: {} system(s) verified\n",
-                    checked.systems.len()
-                ));
                 Ok(out)
             } else {
                 Err(CliError::Verification(out))
@@ -139,26 +221,20 @@ fn run(args: &[String]) -> Result<String, CliError> {
             } else {
                 let mut ab = shelley_regular::Alphabet::new();
                 shelley_core::spec::intern_spec_events(&system.spec, None, &mut ab);
-                shelley_core::spec::spec_automaton(
-                    &system.spec,
-                    None,
-                    std::rc::Rc::new(ab),
-                )
-                .nfa()
-                .clone()
+                shelley_core::spec::spec_automaton(&system.spec, None, std::rc::Rc::new(ab))
+                    .nfa()
+                    .clone()
             };
             // Claims become LTLSPECs in the emitted model; atoms must be
             // interned in the model alphabet, so parse against a copy.
             let mut scratch = (**nfa.alphabet()).clone();
             let mut claims = Vec::new();
             for claim in &system.claims {
-                if let Ok(f) = shelley_ltlf::parse_formula(&claim.formula, &mut scratch)
-                {
+                if let Ok(f) = shelley_ltlf::parse_formula(&claim.formula, &mut scratch) {
                     claims.push(f);
                 }
             }
-            let model =
-                nfa_to_smv(&nfa, &format!("Shelley model of {}", system.name), &claims);
+            let model = nfa_to_smv(&nfa, &format!("Shelley model of {}", system.name), &claims);
             Ok(model.to_smv())
         }
         "infer" => {
@@ -183,9 +259,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let trace_path = args
                 .get(3)
                 .ok_or_else(|| CliError::Usage("missing trace file".into()))?;
-            let trace_text = std::fs::read_to_string(trace_path).map_err(|e| {
-                CliError::Usage(format!("cannot read {trace_path}: {e}"))
-            })?;
+            let trace_text = std::fs::read_to_string(trace_path)
+                .map_err(|e| CliError::Usage(format!("cannot read {trace_path}: {e}")))?;
             let ops: Vec<&str> = trace_text
                 .lines()
                 .map(str::trim)
@@ -201,9 +276,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             monitor.finish().map_err(|e| {
-                CliError::Verification(format!(
-                    "{trace_path}: trace is incomplete: {e}\n"
-                ))
+                CliError::Verification(format!("{trace_path}: trace is incomplete: {e}\n"))
             })?;
             Ok(format!(
                 "OK: {} operation(s) form a complete usage of `{}`\n",
@@ -222,8 +295,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 let mut ab = shelley_regular::Alphabet::new();
                 shelley_core::spec::intern_spec_events(&system.spec, None, &mut ab);
                 let ab = std::rc::Rc::new(ab);
-                let auto =
-                    shelley_core::spec::spec_automaton(&system.spec, None, ab.clone());
+                let auto = shelley_core::spec::spec_automaton(&system.spec, None, ab.clone());
                 let dfa = shelley_regular::Dfa::from_nfa(auto.nfa()).minimize();
                 Ok(format!("{}\n", dfa.to_regex().display(&ab)))
             }

@@ -132,8 +132,7 @@ fn integration_requires_composite() {
     let (_, stderr, code) = shelleyc(&["integration", path.to_str().unwrap(), "Valve"]);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("base class"));
-    let (stdout, _, code) =
-        shelleyc(&["integration", path.to_str().unwrap(), "BadSector"]);
+    let (stdout, _, code) = shelleyc(&["integration", path.to_str().unwrap(), "BadSector"]);
     assert_eq!(code, Some(0));
     assert!(stdout.contains("a.test"));
 }
@@ -150,8 +149,7 @@ fn smv_outputs_module() {
 #[test]
 fn infer_prints_behavior_regex() {
     let path = write_temp("paper6.py", PAPER);
-    let (stdout, _, code) =
-        shelleyc(&["infer", path.to_str().unwrap(), "BadSector", "open_a"]);
+    let (stdout, _, code) = shelleyc(&["infer", path.to_str().unwrap(), "BadSector", "open_a"]);
     assert_eq!(code, Some(0));
     assert!(stdout.contains("a.test"));
     assert!(stdout.contains("a.open"));
@@ -194,8 +192,7 @@ fn language_prints_a_regex() {
     assert!(stdout.contains("test"));
     assert!(stdout.contains("·") || stdout.contains("+") || stdout.contains("ε"));
     // Composite languages include markers and qualified events.
-    let (stdout, _, code) =
-        shelleyc(&["language", path.to_str().unwrap(), "BadSector"]);
+    let (stdout, _, code) = shelleyc(&["language", path.to_str().unwrap(), "BadSector"]);
     assert_eq!(code, Some(0));
     assert!(stdout.contains("open_a"));
     assert!(stdout.contains("a.test"));
@@ -222,19 +219,106 @@ class Blinker:
         return []
 "#,
     );
-    let (stdout, _, code) = shelleyc(&[
-        "check",
-        user.to_str().unwrap(),
-        valve.to_str().unwrap(),
-    ]);
+    let (stdout, _, code) = shelleyc(&["check", user.to_str().unwrap(), valve.to_str().unwrap()]);
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("OK: 2 system(s) verified"));
+}
+
+const IMPLICIT_RETURN: &str = r#"
+@sys
+class V:
+    @op_initial_final
+    def a(self):
+        if x:
+            return []
+"#;
+
+#[test]
+fn allow_flag_suppresses_a_warning() {
+    let path = write_temp("lint_allow.py", IMPLICIT_RETURN);
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("warning [W003]"), "{stdout}");
+
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "-A", "W003"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(!stdout.contains("W003"), "{stdout}");
+}
+
+#[test]
+fn deny_flag_turns_a_warning_into_a_failure() {
+    let path = write_temp("lint_deny.py", IMPLICIT_RETURN);
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "-D", "W003"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("error [W003]"), "{stdout}");
+}
+
+#[test]
+fn deny_warnings_promotes_everything_except_forced_warn() {
+    let path = write_temp("lint_dw.py", IMPLICIT_RETURN);
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "--deny-warnings"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    let (stdout, _, code) = shelleyc(&[
+        "check",
+        path.to_str().unwrap(),
+        "-D",
+        "warnings",
+        "-W",
+        "W003",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("warning [W003]"), "{stdout}");
+}
+
+#[test]
+fn unknown_lint_code_is_a_usage_error() {
+    let path = write_temp("lint_unknown.py", GOOD);
+    let (_, stderr, code) = shelleyc(&["check", path.to_str().unwrap(), "-A", "E999"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown diagnostic code"), "{stderr}");
+}
+
+#[test]
+fn json_format_reports_positions() {
+    let path = write_temp("fmt_json.py", IMPLICIT_RETURN);
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"tool\": \"shelleyc\""));
+    assert!(stdout.contains("\"code\": \"W003\""));
+    assert!(stdout.contains("\"line\": 5"), "{stdout}");
+}
+
+#[test]
+fn sarif_format_carries_the_paper_counterexample() {
+    let path = write_temp("fmt_sarif.py", PAPER);
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "--format=sarif"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("\"version\": \"2.1.0\""));
+    assert!(stdout.contains("sarif-2.1.0.json"));
+    assert!(stdout.contains("\"ruleId\": \"E100\""));
+    assert!(
+        stdout.contains("Counter example: open_a, a.test, a.open"),
+        "{stdout}"
+    );
+    // The rule catalog rides along.
+    assert!(stdout.contains("\"id\": \"W009\""));
+}
+
+#[test]
+fn unknown_format_is_a_usage_error() {
+    let path = write_temp("fmt_bad.py", GOOD);
+    let (_, stderr, code) = shelleyc(&["check", path.to_str().unwrap(), "--format", "yaml"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown format"), "{stderr}");
 }
 
 #[test]
 fn replay_validates_traces() {
     let program = write_temp("paper9.py", PAPER);
-    let good = write_temp("trace_good.txt", "test\nopen\nclose\n# comment\ntest\nclean\n");
+    let good = write_temp(
+        "trace_good.txt",
+        "test\nopen\nclose\n# comment\ntest\nclean\n",
+    );
     let bad = write_temp("trace_bad.txt", "open\n");
     let incomplete = write_temp("trace_incomplete.txt", "test\nopen\n");
 

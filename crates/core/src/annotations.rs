@@ -75,10 +75,7 @@ impl OpKind {
 /// Unknown decorators produce `W005` warnings; malformed `@sys`/`@claim`
 /// arguments produce `E004` errors (the class is then treated as
 /// unconstrained).
-pub fn class_annotations(
-    class_def: &ClassDef,
-    diagnostics: &mut Diagnostics,
-) -> ClassAnnotations {
+pub fn class_annotations(class_def: &ClassDef, diagnostics: &mut Diagnostics) -> ClassAnnotations {
     let mut kind = ClassKind::Unconstrained;
     let mut claims = Vec::new();
     for dec in &class_def.decorators {
@@ -90,8 +87,7 @@ pub fn class_annotations(
                 } else if args.len() == 1 {
                     match args[0].as_string_list() {
                         Some(names) if !names.is_empty() => {
-                            let owned: Vec<String> =
-                                names.iter().map(|s| s.to_string()).collect();
+                            let owned: Vec<String> = names.iter().map(|s| s.to_string()).collect();
                             let mut sorted = owned.clone();
                             sorted.sort();
                             sorted.dedup();
@@ -175,10 +171,7 @@ pub fn class_annotations(
 ///
 /// Methods without an `@op*` decorator (such as `__init__`) are not part of
 /// the model and return `None`.
-pub fn op_annotation(
-    func: &FuncDef,
-    diagnostics: &mut Diagnostics,
-) -> Option<(OpKind, Span)> {
+pub fn op_annotation(func: &FuncDef, diagnostics: &mut Diagnostics) -> Option<(OpKind, Span)> {
     let mut found: Option<(OpKind, Span)> = None;
     for dec in &func.decorators {
         let kind = match dec.name() {
@@ -240,10 +233,7 @@ mod tests {
         let (ann, diags) = first_class(
             "@claim(\"(!a.open) W b.open\")\n@sys([\"a\", \"b\"])\nclass S:\n    pass\n",
         );
-        assert_eq!(
-            ann.kind,
-            ClassKind::Composite(vec!["a".into(), "b".into()])
-        );
+        assert_eq!(ann.kind, ClassKind::Composite(vec!["a".into(), "b".into()]));
         assert_eq!(ann.claims.len(), 1);
         assert_eq!(ann.claims[0].formula, "(!a.open) W b.open");
         assert!(diags.is_empty());

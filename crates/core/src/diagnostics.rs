@@ -42,6 +42,9 @@ pub mod codes {
     pub const NO_INITIAL_OPERATION: &str = "E006";
     /// A claim formula failed to parse.
     pub const BAD_CLAIM: &str = "E007";
+    /// A subsystem field is used in `__init__` before it is assigned on
+    /// every path reaching the use.
+    pub const USE_BEFORE_INIT: &str = "E008";
     /// The paper's "INVALID SUBSYSTEM USAGE" specification error.
     pub const INVALID_SUBSYSTEM_USAGE: &str = "E100";
     /// The paper's "FAIL TO MEET REQUIREMENT" specification error.
@@ -66,6 +69,163 @@ pub mod codes {
     /// A subsystem field is reassigned outside `__init__` — the analysis
     /// ignores aliasing, so the model may not reflect the new object.
     pub const FIELD_REASSIGNED: &str = "W008";
+    /// A statement can never execute: every path before it returns (or
+    /// jumps out of the enclosing loop).
+    pub const UNREACHABLE_STATEMENT: &str = "W009";
+    /// A subsystem field is assigned on some but not all paths of
+    /// `__init__`, so operations using it may see it uninitialized.
+    pub const MAYBE_UNINIT_SUBSYSTEM: &str = "W010";
+    /// An operation calls a sibling operation directly (`self.op()`),
+    /// bypassing the protocol that the environment drives.
+    pub const SIBLING_OPERATION_CALL: &str = "W011";
+}
+
+/// Metadata for one stable diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The stable code (`"E001"`, `"W009"`, …).
+    pub code: &'static str,
+    /// A kebab-case rule name (used as the SARIF rule name).
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// The severity the code carries unless reconfigured.
+    pub default_severity: Severity,
+}
+
+/// Every diagnostic code the checker can emit, in code order.
+pub const REGISTRY: &[CodeInfo] = &[
+    CodeInfo {
+        code: codes::UNDEFINED_OPERATION,
+        name: "undefined-operation",
+        summary: "a method invokes an operation its subsystem's class does not define",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::UNDEFINED_NEXT_OPERATION,
+        name: "undefined-next-operation",
+        summary: "a `return` names a next-operation the class does not define",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::NON_EXHAUSTIVE_MATCH,
+        name: "non-exhaustive-match",
+        summary: "a `match` over a constrained call does not handle every exit point",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::BAD_ANNOTATION,
+        name: "bad-annotation",
+        summary: "a class annotation is malformed",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::UNKNOWN_SUBSYSTEM,
+        name: "unknown-subsystem",
+        summary: "a `@sys([...])` field is never assigned in `__init__` or has an unknown class",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::NO_INITIAL_OPERATION,
+        name: "no-initial-operation",
+        summary: "a class has no `@op_initial` operation",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::BAD_CLAIM,
+        name: "bad-claim",
+        summary: "a claim formula failed to parse",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::USE_BEFORE_INIT,
+        name: "use-before-init",
+        summary: "a subsystem field is used in `__init__` before any assignment reaches the use",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::INVALID_SUBSYSTEM_USAGE,
+        name: "invalid-subsystem-usage",
+        summary: "the paper's INVALID SUBSYSTEM USAGE specification error",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::FAIL_TO_MEET_REQUIREMENT,
+        name: "fail-to-meet-requirement",
+        summary: "the paper's FAIL TO MEET REQUIREMENT specification error",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::UNREACHABLE_CASE,
+        name: "unreachable-case",
+        summary: "a case pattern can never match any exit point of the callee",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::UNREACHABLE_OPERATION,
+        name: "unreachable-operation",
+        summary: "an operation is unreachable from the initial operations",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::IMPLICIT_RETURN,
+        name: "implicit-return",
+        summary: "a method body may finish without a `return` declaring next operations",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::NO_FINAL_REACHABLE,
+        name: "no-final-reachable",
+        summary: "no final operation is reachable from some reachable exit",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::UNKNOWN_DECORATOR,
+        name: "unknown-decorator",
+        summary: "an unknown decorator was ignored",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::UNSCRUTINIZED_EXITS,
+        name: "unscrutinized-exits",
+        summary: "a constrained call with several exit points is not scrutinized by a `match`",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::LOOP_JUMP_APPROXIMATED,
+        name: "loop-jump-approximated",
+        summary: "`break`/`continue` are over-approximated by the loop abstraction",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::FIELD_REASSIGNED,
+        name: "field-reassigned",
+        summary: "a subsystem field is reassigned outside `__init__`",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::UNREACHABLE_STATEMENT,
+        name: "unreachable-statement",
+        summary: "a statement can never execute because every path before it returns",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::MAYBE_UNINIT_SUBSYSTEM,
+        name: "maybe-uninit-subsystem",
+        summary: "a subsystem field is assigned on some but not all paths of `__init__`",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::SIBLING_OPERATION_CALL,
+        name: "sibling-operation-call",
+        summary: "an operation calls a sibling operation directly, bypassing the protocol",
+        default_severity: Severity::Warning,
+    },
+];
+
+/// Looks up the metadata of a stable code.
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    REGISTRY.iter().find(|info| info.code == code)
 }
 
 /// A single diagnostic.
@@ -75,6 +235,8 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// Stable code (see [`codes`]).
     pub code: &'static str,
+    /// The file the diagnostic belongs to, when known (project mode).
+    pub file: Option<String>,
     /// Primary source location, when known.
     pub span: Option<Span>,
     /// Main message.
@@ -89,6 +251,7 @@ impl Diagnostic {
         Diagnostic {
             severity: Severity::Error,
             code,
+            file: None,
             span: None,
             message: message.into(),
             notes: Vec::new(),
@@ -100,6 +263,7 @@ impl Diagnostic {
         Diagnostic {
             severity: Severity::Warning,
             code,
+            file: None,
             span: None,
             message: message.into(),
             notes: Vec::new(),
@@ -109,6 +273,12 @@ impl Diagnostic {
     /// Attaches a source span.
     pub fn with_span(mut self, span: Span) -> Self {
         self.span = Some(span);
+        self
+    }
+
+    /// Attaches a file name.
+    pub fn with_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
         self
     }
 
@@ -160,9 +330,7 @@ impl Diagnostics {
 
     /// Only the errors.
     pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.items
-            .iter()
-            .filter(|d| d.severity == Severity::Error)
+        self.items.iter().filter(|d| d.severity == Severity::Error)
     }
 
     /// Only the warnings.
@@ -193,11 +361,280 @@ impl Diagnostics {
     }
 
     /// Finds diagnostics by code.
-    pub fn by_code<'a>(
-        &'a self,
-        code: &'a str,
-    ) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+    pub fn by_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
         self.items.iter().filter(move |d| d.code == code)
+    }
+
+    /// Sorts diagnostics deterministically by `(file, span, code)` — ties
+    /// broken by severity, message, and notes — then removes exact
+    /// duplicates. Spanless diagnostics sort before positioned ones.
+    pub fn normalize(&mut self) {
+        type SortKey<'a> = (
+            Option<&'a str>,
+            Option<(usize, usize)>,
+            &'a str,
+            Severity,
+            &'a str,
+            &'a [String],
+        );
+        fn key(d: &Diagnostic) -> SortKey<'_> {
+            (
+                d.file.as_deref(),
+                d.span.map(|s| (s.start, s.end)),
+                d.code,
+                d.severity,
+                &d.message,
+                &d.notes,
+            )
+        }
+        self.items.sort_by(|a, b| key(a).cmp(&key(b)));
+        self.items.dedup();
+    }
+
+    /// Renders the collection as a JSON document.
+    ///
+    /// Shape: `{"tool": "shelleyc", "diagnostics": [{code, severity,
+    /// message, notes, file?, line?, column?}]}`. Positions are resolved
+    /// against `source` when given (and the diagnostic carries no file of
+    /// its own).
+    pub fn render_json(&self, source: Option<&SourceFile>) -> String {
+        let diags = self
+            .items
+            .iter()
+            .map(|d| Json::Obj(diagnostic_fields(d, source)))
+            .collect();
+        let doc = Json::Obj(vec![
+            ("tool", Json::str("shelleyc")),
+            ("diagnostics", Json::Arr(diags)),
+        ]);
+        let mut out = String::new();
+        doc.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Renders the collection as a SARIF 2.1.0 log.
+    ///
+    /// The run's rule table is generated from the full code [`REGISTRY`];
+    /// each diagnostic becomes one result whose message text includes the
+    /// notes (counterexamples, per-subsystem details).
+    pub fn render_sarif(&self, source: Option<&SourceFile>) -> String {
+        let rules = REGISTRY
+            .iter()
+            .map(|info| {
+                Json::Obj(vec![
+                    ("id", Json::str(info.code)),
+                    ("name", Json::str(info.name)),
+                    (
+                        "shortDescription",
+                        Json::Obj(vec![("text", Json::str(info.summary))]),
+                    ),
+                    (
+                        "defaultConfiguration",
+                        Json::Obj(vec![(
+                            "level",
+                            Json::str(sarif_level(info.default_severity)),
+                        )]),
+                    ),
+                ])
+            })
+            .collect();
+        let results = self
+            .items
+            .iter()
+            .map(|d| {
+                let mut text = d.message.clone();
+                for note in &d.notes {
+                    text.push('\n');
+                    text.push_str(note);
+                }
+                let mut fields = vec![
+                    ("ruleId", Json::str(d.code)),
+                    ("level", Json::str(sarif_level(d.severity))),
+                    ("message", Json::Obj(vec![("text", Json::Str(text))])),
+                ];
+                if let Some(location) = sarif_location(d, source) {
+                    fields.push(("locations", Json::Arr(vec![location])));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            (
+                "$schema",
+                Json::str("https://json.schemastore.org/sarif-2.1.0.json"),
+            ),
+            ("version", Json::str("2.1.0")),
+            (
+                "runs",
+                Json::Arr(vec![Json::Obj(vec![
+                    (
+                        "tool",
+                        Json::Obj(vec![(
+                            "driver",
+                            Json::Obj(vec![
+                                ("name", Json::str("shelleyc")),
+                                (
+                                    "informationUri",
+                                    Json::str("https://example.invalid/shelley-rs"),
+                                ),
+                                ("rules", Json::Arr(rules)),
+                            ]),
+                        )]),
+                    ),
+                    ("results", Json::Arr(results)),
+                ])]),
+            ),
+        ]);
+        let mut out = String::new();
+        doc.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// The JSON fields of one diagnostic (shared by the plain-JSON renderer).
+fn diagnostic_fields(d: &Diagnostic, source: Option<&SourceFile>) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![
+        ("code", Json::str(d.code)),
+        ("severity", Json::Str(d.severity.to_string())),
+        ("message", Json::Str(d.message.clone())),
+        (
+            "notes",
+            Json::Arr(d.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+        ),
+    ];
+    if let Some(file) = resolved_file(d, source) {
+        fields.push(("file", Json::Str(file)));
+    }
+    if let (Some(span), Some(file)) = (d.span, source) {
+        let (line, column) = file.line_col(span.start);
+        fields.push(("line", Json::Num(line as i64)));
+        fields.push(("column", Json::Num(column as i64)));
+    }
+    fields
+}
+
+/// The file a diagnostic belongs to: its own, else the rendered source's.
+fn resolved_file(d: &Diagnostic, source: Option<&SourceFile>) -> Option<String> {
+    d.file
+        .clone()
+        .or_else(|| source.map(|f| f.name().to_owned()))
+}
+
+/// A SARIF `location` object, when a position is known.
+fn sarif_location(d: &Diagnostic, source: Option<&SourceFile>) -> Option<Json> {
+    let uri = resolved_file(d, source)?;
+    let mut physical = vec![("artifactLocation", Json::Obj(vec![("uri", Json::Str(uri))]))];
+    if let (Some(span), Some(file)) = (d.span, source) {
+        let (start_line, start_column) = file.line_col(span.start);
+        let (end_line, end_column) = file.line_col(span.end);
+        physical.push((
+            "region",
+            Json::Obj(vec![
+                ("startLine", Json::Num(start_line as i64)),
+                ("startColumn", Json::Num(start_column as i64)),
+                ("endLine", Json::Num(end_line as i64)),
+                ("endColumn", Json::Num(end_column as i64)),
+            ]),
+        ));
+    }
+    Some(Json::Obj(vec![("physicalLocation", Json::Obj(physical))]))
+}
+
+/// A minimal JSON document tree with a deterministic pretty writer.
+///
+/// The workspace builds offline with no serialization dependency, so the
+/// two machine-readable renderers assemble documents through this enum.
+enum Json {
+    Str(String),
+    Num(i64),
+    Arr(Vec<Json>),
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    fn str(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                json_escape(s, out);
+                out.push('"');
+            }
+            Json::Num(n) => out.push_str(&n.to_string()),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    out.push('"');
+                    json_escape(k, out);
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
     }
 }
 
@@ -244,5 +681,117 @@ mod tests {
         assert_eq!(ds.warnings().count(), 1);
         assert_eq!(ds.by_code(codes::INVALID_SUBSYSTEM_USAGE).count(), 1);
         assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn registry_covers_every_code_in_order() {
+        let codes: Vec<&str> = REGISTRY.iter().map(|i| i.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E100", "E101",
+                "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009", "W010",
+                "W011",
+            ]
+        );
+        for info in REGISTRY {
+            let expected = if info.code.starts_with('E') {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            assert_eq!(info.default_severity, expected, "{}", info.code);
+            assert!(!info.name.is_empty() && !info.summary.is_empty());
+        }
+        assert_eq!(code_info("E100").unwrap().name, "invalid-subsystem-usage");
+        assert!(code_info("E999").is_none());
+    }
+
+    #[test]
+    fn normalize_sorts_by_file_span_code_and_dedupes() {
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::warning(codes::IMPLICIT_RETURN, "later span")
+                .with_file("b.py")
+                .with_span(Span::new(40, 44)),
+        );
+        ds.push(
+            Diagnostic::error(codes::UNDEFINED_OPERATION, "earlier span")
+                .with_file("b.py")
+                .with_span(Span::new(3, 7)),
+        );
+        ds.push(Diagnostic::error(codes::NO_INITIAL_OPERATION, "spanless"));
+        ds.push(
+            Diagnostic::warning(codes::UNREACHABLE_OPERATION, "first file")
+                .with_file("a.py")
+                .with_span(Span::new(99, 100)),
+        );
+        // An exact duplicate to be removed.
+        ds.push(
+            Diagnostic::error(codes::UNDEFINED_OPERATION, "earlier span")
+                .with_file("b.py")
+                .with_span(Span::new(3, 7)),
+        );
+        // Same position, different codes: code breaks the tie.
+        ds.push(
+            Diagnostic::warning(codes::FIELD_REASSIGNED, "tie")
+                .with_file("b.py")
+                .with_span(Span::new(3, 7)),
+        );
+        ds.normalize();
+        let order: Vec<(Option<&str>, &str)> =
+            ds.iter().map(|d| (d.file.as_deref(), d.code)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (None, "E006"),
+                (Some("a.py"), "W002"),
+                (Some("b.py"), "E001"),
+                (Some("b.py"), "W008"),
+                (Some("b.py"), "W003"),
+            ]
+        );
+        assert_eq!(ds.len(), 5, "duplicate must be removed");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_positions() {
+        let file = SourceFile::new("v.py", "self.a.pump()\n");
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::error(codes::UNDEFINED_OPERATION, "no op \"pump\"")
+                .with_span(Span::new(7, 11))
+                .with_note("line1\nline2"),
+        );
+        let json = ds.render_json(Some(&file));
+        assert!(json.contains(r#""code": "E001""#));
+        assert!(json.contains(r#""severity": "error""#));
+        assert!(json.contains(r#"no op \"pump\""#));
+        assert!(json.contains(r#""line": 1"#));
+        assert!(json.contains(r#""column": 8"#));
+        assert!(json.contains(r#""file": "v.py""#));
+        assert!(json.contains(r#"line1\nline2"#));
+    }
+
+    #[test]
+    fn sarif_rendering_has_rules_and_results() {
+        let file = SourceFile::new("v.py", "self.a.pump()\n");
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::error(codes::INVALID_SUBSYSTEM_USAGE, "bad usage")
+                .with_note("Counter example: open_a, a.test, a.open"),
+        );
+        ds.push(Diagnostic::warning(codes::IMPLICIT_RETURN, "implicit").with_span(Span::new(0, 4)));
+        let sarif = ds.render_sarif(Some(&file));
+        assert!(sarif.contains(r#""version": "2.1.0""#));
+        assert!(sarif.contains(r#""name": "shelleyc""#));
+        // Every registry code appears as a rule.
+        for info in REGISTRY {
+            assert!(sarif.contains(&format!(r#""id": "{}""#, info.code)));
+        }
+        assert!(sarif.contains(r#""ruleId": "E100""#));
+        assert!(sarif.contains(r#"Counter example: open_a, a.test, a.open"#));
+        assert!(sarif.contains(r#""startLine": 1"#));
+        assert!(sarif.contains(r#""uri": "v.py""#));
     }
 }

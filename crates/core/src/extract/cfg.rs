@@ -1,0 +1,619 @@
+//! A control-flow graph over MicroPython method bodies.
+//!
+//! The lowering of §3.2 erases control flow into regular expressions,
+//! which is what verification needs — but flow-sensitive *lints* need the
+//! statement-level graph back: which statements can execute at all
+//! (`W009`), and which subsystem fields are definitely assigned when a
+//! statement runs (`E008`/`W010`). This module builds that graph.
+//!
+//! Shape: one node per statement plus synthetic `Entry`/`Exit` nodes.
+//! `return` edges into `Exit`; `break` edges to the statement after the
+//! loop; `continue` edges back to the loop head; `if`/`match` fan out per
+//! arm; `while`/`for` have a back edge from the body end to the head and a
+//! zero-iteration edge past the loop. A `match` without a catch-all arm
+//! keeps a fall-through edge (Python falls through when no case matches).
+//!
+//! Each node also records which subsystem fields the statement *reads*
+//! (`self.f` anywhere but a plain assignment target) and *writes* (a plain
+//! `self.f = ...`), so definite-assignment dataflow runs directly on the
+//! graph.
+
+use micropython_parser::ast::{Expr, ExprKind, Stmt};
+use micropython_parser::Span;
+use std::collections::BTreeSet;
+
+/// Index of a node in a [`Cfg`].
+pub type NodeId = usize;
+
+/// What a node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The unique entry node.
+    Entry,
+    /// The unique exit node (targets of `return` and of falling off the
+    /// end of the body).
+    Exit,
+    /// One source statement.
+    Stmt,
+}
+
+/// One node of the graph.
+#[derive(Debug, Clone)]
+pub struct CfgNode {
+    /// Entry, exit, or statement.
+    pub kind: NodeKind,
+    /// The statement's span (`None` for entry/exit).
+    pub span: Option<Span>,
+    /// Constrained fields this statement reads, with the read's span, in
+    /// evaluation order. For `self.a = expr`, reads inside `expr` are
+    /// recorded but the target itself is not.
+    pub reads: Vec<(String, Span)>,
+    /// Constrained fields this statement writes (`self.a = ...`).
+    pub writes: Vec<String>,
+}
+
+/// A method body's control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    nodes: Vec<CfgNode>,
+    succs: Vec<Vec<NodeId>>,
+    entry: NodeId,
+    exit: NodeId,
+    dead: Vec<Span>,
+}
+
+impl Cfg {
+    /// Builds the graph of `body`, tracking reads/writes of `fields`.
+    /// Pass an empty set when only reachability matters.
+    pub fn of_body(body: &[Stmt], fields: &BTreeSet<String>) -> Cfg {
+        let mut b = Builder {
+            nodes: vec![
+                CfgNode {
+                    kind: NodeKind::Entry,
+                    span: None,
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                },
+                CfgNode {
+                    kind: NodeKind::Exit,
+                    span: None,
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                },
+            ],
+            succs: vec![Vec::new(), Vec::new()],
+            fields,
+            loops: Vec::new(),
+            dead: Vec::new(),
+        };
+        let ends = b.block(body, vec![ENTRY]);
+        for end in ends {
+            b.edge(end, EXIT);
+        }
+        Cfg {
+            nodes: b.nodes,
+            succs: b.succs,
+            entry: ENTRY,
+            exit: EXIT,
+            dead: b.dead,
+        }
+    }
+
+    /// The entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Number of nodes (statements + 2).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &CfgNode {
+        &self.nodes[id]
+    }
+
+    /// Successor edges of a node.
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id]
+    }
+
+    /// All nodes, in source order (entry first, exit second).
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &CfgNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Predecessor lists, indexed by node.
+    pub fn predecessors(&self) -> Vec<Vec<NodeId>> {
+        let mut preds = vec![Vec::new(); self.nodes.len()];
+        for (from, succs) in self.succs.iter().enumerate() {
+            for &to in succs {
+                preds[to].push(from);
+            }
+        }
+        preds
+    }
+
+    /// Which nodes can execute, by forward reachability from entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(q) = stack.pop() {
+            for &next in &self.succs[q] {
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Spans of dead statements: the *first* statement of every region that
+    /// can never execute (the rest of the region is suppressed to avoid
+    /// cascading reports), in source order.
+    pub fn dead_code(&self) -> &[Span] {
+        &self.dead
+    }
+}
+
+const ENTRY: NodeId = 0;
+const EXIT: NodeId = 1;
+
+struct Builder<'a> {
+    nodes: Vec<CfgNode>,
+    succs: Vec<Vec<NodeId>>,
+    fields: &'a BTreeSet<String>,
+    /// Stack of enclosing loops: `(head, collected break nodes)`.
+    loops: Vec<(NodeId, Vec<NodeId>)>,
+    dead: Vec<Span>,
+}
+
+impl Builder<'_> {
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+        }
+    }
+
+    fn stmt_node(&mut self, stmt: &Stmt, preds: &[NodeId]) -> NodeId {
+        let mut node = CfgNode {
+            kind: NodeKind::Stmt,
+            span: Some(stmt.span()),
+            reads: Vec::new(),
+            writes: Vec::new(),
+        };
+        record_accesses(stmt, self.fields, &mut node);
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.succs.push(Vec::new());
+        for &p in preds {
+            self.edge(p, id);
+        }
+        id
+    }
+
+    /// Threads a statement list: each statement's node gets edges from the
+    /// current predecessor frontier; the returned frontier is where control
+    /// can be after the whole block.
+    fn block(&mut self, stmts: &[Stmt], mut preds: Vec<NodeId>) -> Vec<NodeId> {
+        let mut live = true;
+        for stmt in stmts {
+            if preds.is_empty() && live {
+                // First statement of a dead region; descendants and later
+                // siblings stay unreported.
+                self.dead.push(stmt.span());
+                live = false;
+            }
+            let node = self.stmt_node(stmt, &preds);
+            preds = match stmt {
+                Stmt::Return(_) => {
+                    self.edge(node, EXIT);
+                    Vec::new()
+                }
+                Stmt::Break(_) => {
+                    if let Some((_, breaks)) = self.loops.last_mut() {
+                        breaks.push(node);
+                    }
+                    Vec::new()
+                }
+                Stmt::Continue(_) => {
+                    if let Some(&(head, _)) = self.loops.last() {
+                        self.edge(node, head);
+                    }
+                    Vec::new()
+                }
+                Stmt::If(ifs) => {
+                    let mut ends = Vec::new();
+                    for (_, body) in &ifs.branches {
+                        ends.extend(self.block(body, vec![node]));
+                    }
+                    match &ifs.orelse {
+                        Some(body) => ends.extend(self.block(body, vec![node])),
+                        // No else: the condition may be false.
+                        None => ends.push(node),
+                    }
+                    ends
+                }
+                Stmt::Match(ms) => {
+                    let mut ends = Vec::new();
+                    let mut has_catch_all = false;
+                    for case in &ms.cases {
+                        has_catch_all |= matches!(
+                            case.pattern,
+                            micropython_parser::ast::Pattern::Wildcard(_)
+                                | micropython_parser::ast::Pattern::Capture(_)
+                        );
+                        ends.extend(self.block(&case.body, vec![node]));
+                    }
+                    if !has_catch_all {
+                        // No case may match: Python falls through.
+                        ends.push(node);
+                    }
+                    ends
+                }
+                Stmt::While(ws) => {
+                    self.loops.push((node, Vec::new()));
+                    let body_ends = self.block(&ws.body, vec![node]);
+                    for end in body_ends {
+                        self.edge(end, node);
+                    }
+                    let (_, breaks) = self.loops.pop().expect("loop stack");
+                    // Past the loop: condition false at the head, or break.
+                    let mut ends = vec![node];
+                    ends.extend(breaks);
+                    ends
+                }
+                Stmt::For(fs) => {
+                    self.loops.push((node, Vec::new()));
+                    let body_ends = self.block(&fs.body, vec![node]);
+                    for end in body_ends {
+                        self.edge(end, node);
+                    }
+                    let (_, breaks) = self.loops.pop().expect("loop stack");
+                    let mut ends = vec![node];
+                    ends.extend(breaks);
+                    ends
+                }
+                // Straight-line statements (nested defs do not run here).
+                Stmt::Assign(_)
+                | Stmt::Expr(_)
+                | Stmt::Pass(_)
+                | Stmt::Import(_)
+                | Stmt::ClassDef(_)
+                | Stmt::FuncDef(_) => vec![node],
+            };
+        }
+        preds
+    }
+}
+
+/// Records reads and writes of constrained fields for one statement
+/// (without descending into nested blocks — those get their own nodes).
+fn record_accesses(stmt: &Stmt, fields: &BTreeSet<String>, node: &mut CfgNode) {
+    match stmt {
+        Stmt::Assign(a) => {
+            // Value evaluates first.
+            collect_reads(&a.value, fields, &mut node.reads);
+            if let Some(field) = plain_field_target(&a.target, fields) {
+                if a.aug_op.is_some() {
+                    // `self.a += x` reads before it writes.
+                    node.reads.push((field.to_owned(), a.target.span));
+                }
+                node.writes.push(field.to_owned());
+            } else {
+                collect_reads(&a.target, fields, &mut node.reads);
+            }
+        }
+        Stmt::Expr(e) => collect_reads(&e.expr, fields, &mut node.reads),
+        Stmt::Return(r) => {
+            if let Some(value) = &r.value {
+                collect_reads(value, fields, &mut node.reads);
+            }
+        }
+        // For compound statements the node covers only the head: the
+        // condition / subject / iterable, evaluated before branching.
+        Stmt::If(ifs) => {
+            for (cond, _) in &ifs.branches {
+                collect_reads(cond, fields, &mut node.reads);
+            }
+        }
+        Stmt::Match(ms) => collect_reads(&ms.subject, fields, &mut node.reads),
+        Stmt::While(ws) => collect_reads(&ws.cond, fields, &mut node.reads),
+        Stmt::For(fs) => collect_reads(&fs.iter, fields, &mut node.reads),
+        Stmt::Pass(_)
+        | Stmt::Break(_)
+        | Stmt::Continue(_)
+        | Stmt::Import(_)
+        | Stmt::ClassDef(_)
+        | Stmt::FuncDef(_) => {}
+    }
+}
+
+/// `self.f` when `f` is a constrained field and the expression is exactly
+/// that attribute (a plain-assignment target, i.e. a write).
+fn plain_field_target<'e>(target: &'e Expr, fields: &BTreeSet<String>) -> Option<&'e str> {
+    let ExprKind::Attribute { value, attr } = &target.kind else {
+        return None;
+    };
+    let is_self = matches!(&value.kind, ExprKind::Name(n) if n == "self");
+    (is_self && fields.contains(&attr.node)).then_some(attr.node.as_str())
+}
+
+/// Collects `self.f` reads (for constrained `f`) inside an expression, in
+/// evaluation order.
+fn collect_reads(expr: &Expr, fields: &BTreeSet<String>, out: &mut Vec<(String, Span)>) {
+    if let ExprKind::Attribute { value, attr } = &expr.kind {
+        if matches!(&value.kind, ExprKind::Name(n) if n == "self") && fields.contains(&attr.node) {
+            out.push((attr.node.clone(), expr.span));
+            return;
+        }
+    }
+    match &expr.kind {
+        ExprKind::Attribute { value, .. } => collect_reads(value, fields, out),
+        ExprKind::Call { func, args } => {
+            for a in args {
+                collect_reads(a, fields, out);
+            }
+            collect_reads(func, fields, out);
+        }
+        ExprKind::Subscript { value, index } => {
+            collect_reads(value, fields, out);
+            collect_reads(index, fields, out);
+        }
+        ExprKind::List(items) | ExprKind::Tuple(items) | ExprKind::Set(items) => {
+            for i in items {
+                collect_reads(i, fields, out);
+            }
+        }
+        ExprKind::Dict(pairs) => {
+            for (k, v) in pairs {
+                collect_reads(k, fields, out);
+                collect_reads(v, fields, out);
+            }
+        }
+        ExprKind::BinOp { left, right, .. } => {
+            collect_reads(left, fields, out);
+            collect_reads(right, fields, out);
+        }
+        ExprKind::UnaryOp { operand, .. } => collect_reads(operand, fields, out),
+        ExprKind::Name(_)
+        | ExprKind::Str(_)
+        | ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Bool(_)
+        | ExprKind::NoneLit => {}
+    }
+}
+
+/// The definite/possible assignment facts computed by [`assignment_flow`].
+#[derive(Debug, Clone)]
+pub struct AssignmentFlow {
+    /// Per node: fields assigned on *every* path reaching the node.
+    pub must_in: Vec<BTreeSet<String>>,
+    /// Per node: fields assigned on *some* path reaching the node.
+    pub may_in: Vec<BTreeSet<String>>,
+    /// Forward reachability (unreachable nodes carry no meaningful facts).
+    pub reachable: Vec<bool>,
+}
+
+impl AssignmentFlow {
+    /// Facts at the exit node: fields definitely / possibly assigned when
+    /// the body finishes.
+    pub fn at_exit(&self, cfg: &Cfg) -> (&BTreeSet<String>, &BTreeSet<String>) {
+        (&self.must_in[cfg.exit()], &self.may_in[cfg.exit()])
+    }
+}
+
+/// Forward definite-assignment dataflow over `cfg`.
+///
+/// `universe` is the set of all tracked fields. Must-facts start at the
+/// full universe (top) and intersect over predecessors; may-facts start
+/// empty and union. Both are monotone, so the worklist terminates.
+pub fn assignment_flow(cfg: &Cfg, universe: &BTreeSet<String>) -> AssignmentFlow {
+    let n = cfg.num_nodes();
+    let preds = cfg.predecessors();
+    let reachable = cfg.reachable();
+    let mut must_in: Vec<BTreeSet<String>> = vec![universe.clone(); n];
+    let mut may_in: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    must_in[cfg.entry()] = BTreeSet::new();
+
+    let out_of = |id: NodeId, inset: &BTreeSet<String>, cfg: &Cfg| {
+        let mut out = inset.clone();
+        out.extend(cfg.node(id).writes.iter().cloned());
+        out
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..n {
+            if id == cfg.entry() || !reachable[id] {
+                continue;
+            }
+            let mut new_must: Option<BTreeSet<String>> = None;
+            let mut new_may = BTreeSet::new();
+            for &p in &preds[id] {
+                if !reachable[p] {
+                    continue;
+                }
+                let p_must = out_of(p, &must_in[p], cfg);
+                new_must = Some(match new_must {
+                    None => p_must,
+                    Some(acc) => acc.intersection(&p_must).cloned().collect(),
+                });
+                new_may.extend(out_of(p, &may_in[p], cfg));
+            }
+            let new_must = new_must.unwrap_or_default();
+            if new_must != must_in[id] {
+                must_in[id] = new_must;
+                changed = true;
+            }
+            if new_may != may_in[id] {
+                may_in[id] = new_may;
+                changed = true;
+            }
+        }
+    }
+
+    AssignmentFlow {
+        must_in,
+        may_in,
+        reachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micropython_parser::parse_module;
+
+    fn body_of(src: &str) -> Vec<Stmt> {
+        let m = parse_module(src).unwrap();
+        let class = m.classes().next().unwrap();
+        let body = class.methods().next().unwrap().body.clone();
+        body
+    }
+
+    fn fields(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn straight_line_has_no_dead_code() {
+        let body = body_of("class C:\n    def m(self):\n        x = 1\n        return []\n");
+        let cfg = Cfg::of_body(&body, &BTreeSet::new());
+        assert!(cfg.dead_code().is_empty());
+        // entry, x=1, return, exit all reachable.
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn statement_after_return_is_dead() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        return []\n        x = 1\n        y = 2\n",
+        );
+        let cfg = Cfg::of_body(&body, &BTreeSet::new());
+        // Only the first statement of the dead region is reported.
+        assert_eq!(cfg.dead_code().len(), 1);
+        let reach = cfg.reachable();
+        let dead_nodes: Vec<_> = cfg
+            .nodes()
+            .filter(|(id, n)| n.kind == NodeKind::Stmt && !reach[*id])
+            .collect();
+        assert_eq!(dead_nodes.len(), 2);
+    }
+
+    #[test]
+    fn all_branches_returning_kills_the_tail() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        if x:\n            return [\"a\"]\n        else:\n            return [\"b\"]\n        done()\n",
+        );
+        let cfg = Cfg::of_body(&body, &BTreeSet::new());
+        assert_eq!(cfg.dead_code().len(), 1);
+    }
+
+    #[test]
+    fn else_less_if_keeps_the_tail_alive() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        if x:\n            return []\n        done()\n",
+        );
+        let cfg = Cfg::of_body(&body, &BTreeSet::new());
+        assert!(cfg.dead_code().is_empty());
+    }
+
+    #[test]
+    fn code_after_break_is_dead_but_loop_exit_lives() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        while x:\n            break\n            dead()\n        alive()\n        return []\n",
+        );
+        let cfg = Cfg::of_body(&body, &BTreeSet::new());
+        assert_eq!(cfg.dead_code().len(), 1);
+        // alive() and return remain reachable via the break edge.
+        let reach = cfg.reachable();
+        assert!(reach[cfg.exit()]);
+    }
+
+    #[test]
+    fn match_without_catch_all_falls_through() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        match v:\n            case [\"a\"]:\n                return []\n        after()\n",
+        );
+        let cfg = Cfg::of_body(&body, &BTreeSet::new());
+        assert!(cfg.dead_code().is_empty());
+    }
+
+    #[test]
+    fn match_with_catch_all_seals_the_tail() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        match v:\n            case [\"a\"]:\n                return []\n            case _:\n                return []\n        after()\n",
+        );
+        let cfg = Cfg::of_body(&body, &BTreeSet::new());
+        assert_eq!(cfg.dead_code().len(), 1);
+    }
+
+    #[test]
+    fn assignment_flow_straight_line() {
+        let body = body_of(
+            "class C:\n    def __init__(self):\n        self.a = Valve()\n        self.b = Valve()\n",
+        );
+        let universe = fields(&["a", "b"]);
+        let cfg = Cfg::of_body(&body, &universe);
+        let flow = assignment_flow(&cfg, &universe);
+        let (must, may) = flow.at_exit(&cfg);
+        assert_eq!(must, &universe);
+        assert_eq!(may, &universe);
+    }
+
+    #[test]
+    fn assignment_flow_branch_only_may() {
+        let body = body_of(
+            "class C:\n    def __init__(self):\n        self.a = Valve()\n        if ok:\n            self.b = Valve()\n",
+        );
+        let universe = fields(&["a", "b"]);
+        let cfg = Cfg::of_body(&body, &universe);
+        let flow = assignment_flow(&cfg, &universe);
+        let (must, may) = flow.at_exit(&cfg);
+        assert!(must.contains("a") && !must.contains("b"));
+        assert!(may.contains("b"));
+    }
+
+    #[test]
+    fn assignment_flow_loop_body_is_not_definite() {
+        let body = body_of(
+            "class C:\n    def __init__(self):\n        for v in vs:\n            self.a = Valve()\n",
+        );
+        let universe = fields(&["a"]);
+        let cfg = Cfg::of_body(&body, &universe);
+        let flow = assignment_flow(&cfg, &universe);
+        let (must, may) = flow.at_exit(&cfg);
+        assert!(!must.contains("a"), "loop may run zero times");
+        assert!(may.contains("a"));
+    }
+
+    #[test]
+    fn reads_and_writes_are_recorded() {
+        let body = body_of(
+            "class C:\n    def __init__(self):\n        self.a = Valve()\n        self.a.reset()\n        self.b = wrap(self.a)\n",
+        );
+        let universe = fields(&["a", "b"]);
+        let cfg = Cfg::of_body(&body, &universe);
+        let stmts: Vec<&CfgNode> = cfg
+            .nodes()
+            .filter(|(_, n)| n.kind == NodeKind::Stmt)
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(stmts[0].writes, vec!["a"]);
+        assert!(stmts[0].reads.is_empty());
+        assert_eq!(stmts[1].reads[0].0, "a");
+        assert_eq!(stmts[2].writes, vec!["b"]);
+        assert_eq!(stmts[2].reads[0].0, "a");
+    }
+}

@@ -103,16 +103,10 @@ impl DependencyGraph {
         for (i, node) in self.nodes.iter().enumerate() {
             match node {
                 DepNode::Entry(name) => {
-                    let _ = writeln!(
-                        out,
-                        "  n{i} [label=\"{name}\", shape=box, style=rounded];"
-                    );
+                    let _ = writeln!(out, "  n{i} [label=\"{name}\", shape=box, style=rounded];");
                 }
                 DepNode::Exit(name, ei) => {
-                    let _ = writeln!(
-                        out,
-                        "  n{i} [label=\"{name}/exit{ei}\", shape=ellipse];"
-                    );
+                    let _ = writeln!(out, "  n{i} [label=\"{name}/exit{ei}\", shape=ellipse];");
                 }
             }
         }

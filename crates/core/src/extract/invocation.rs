@@ -32,11 +32,7 @@ pub fn check_invocations(
             continue; // unknown fields are reported by the system builder
         };
         if spec.operation(&call.method).is_none() {
-            let defined: Vec<&str> = spec
-                .operations
-                .iter()
-                .map(|o| o.name.as_str())
-                .collect();
+            let defined: Vec<&str> = spec.operations.iter().map(|o| o.name.as_str()).collect();
             diagnostics.push(
                 Diagnostic::error(
                     codes::UNDEFINED_OPERATION,
@@ -68,8 +64,8 @@ pub fn check_invocations(
         if !has_catch_all {
             let missing: Vec<String> = exit_sets
                 .iter()
-                .filter(|set| !covered.iter().any(|c| *c == *set))
-                .map(|set| render_set(set))
+                .filter(|set| !covered.contains(set))
+                .map(render_set)
                 .collect();
             if !missing.is_empty() {
                 diagnostics.push(
@@ -225,8 +221,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let lowered = lower_method(func, &fields, &mut ab);
         let spec = valve_spec();
-        let subsystems: BTreeMap<String, &ClassSpec> =
-            BTreeMap::from([("a".to_string(), &spec)]);
+        let subsystems: BTreeMap<String, &ClassSpec> = BTreeMap::from([("a".to_string(), &spec)]);
         let mut diags = Diagnostics::new();
         check_invocations(&func.name.node, &lowered, &subsystems, &mut diags);
         diags
@@ -234,9 +229,7 @@ mod tests {
 
     #[test]
     fn undefined_operation_reported() {
-        let d = check(
-            "class C:\n    def m(self):\n        self.a.pump()\n        return []\n",
-        );
+        let d = check("class C:\n    def m(self):\n        self.a.pump()\n        return []\n");
         assert_eq!(d.by_code(codes::UNDEFINED_OPERATION).count(), 1);
         let diag = d.by_code(codes::UNDEFINED_OPERATION).next().unwrap();
         assert!(diag.message.contains("a.pump"));
@@ -315,17 +308,13 @@ class C:
 
     #[test]
     fn unscrutinized_multi_exit_call_warned() {
-        let d = check(
-            "class C:\n    def m(self):\n        self.a.test()\n        return []\n",
-        );
+        let d = check("class C:\n    def m(self):\n        self.a.test()\n        return []\n");
         assert_eq!(d.by_code(codes::UNSCRUTINIZED_EXITS).count(), 1);
     }
 
     #[test]
     fn single_exit_call_needs_no_match() {
-        let d = check(
-            "class C:\n    def m(self):\n        self.a.close()\n        return []\n",
-        );
+        let d = check("class C:\n    def m(self):\n        self.a.close()\n        return []\n");
         assert_eq!(d.by_code(codes::UNSCRUTINIZED_EXITS).count(), 0);
         assert!(!d.has_errors());
     }

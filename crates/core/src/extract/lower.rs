@@ -219,8 +219,7 @@ impl LowerCtx<'_> {
                 for (cond, body) in &ifs.branches {
                     let cond_calls = self.lower_expr(cond, false);
                     cond_prefix.push(cond_calls);
-                    let mut arm =
-                        Program::seq_all(cond_prefix.iter().cloned());
+                    let mut arm = Program::seq_all(cond_prefix.iter().cloned());
                     arm = Program::seq(arm, self.lower_stmts(body));
                     arms.push(arm);
                 }
@@ -263,11 +262,8 @@ impl LowerCtx<'_> {
                         }
                     }
                 }
-                let arms: Vec<Program> = ms
-                    .cases
-                    .iter()
-                    .map(|c| self.lower_stmts(&c.body))
-                    .collect();
+                let arms: Vec<Program> =
+                    ms.cases.iter().map(|c| self.lower_stmts(&c.body)).collect();
                 Program::seq(subject, Program::choice(arms))
             }
             Stmt::While(ws) => {
@@ -275,10 +271,7 @@ impl LowerCtx<'_> {
                 // iteration and once more on exit.
                 let cond = self.lower_expr(&ws.cond, false);
                 let body = self.lower_stmts(&ws.body);
-                Program::seq(
-                    cond.clone(),
-                    Program::loop_(Program::seq(body, cond)),
-                )
+                Program::seq(cond.clone(), Program::loop_(Program::seq(body, cond)))
             }
             Stmt::For(fs) => {
                 // The iterable is evaluated once; the body loops.
@@ -355,9 +348,7 @@ impl LowerCtx<'_> {
                 self.collect_calls(left, false, out);
                 self.collect_calls(right, false, out);
             }
-            ExprKind::UnaryOp { operand, .. } => {
-                self.collect_calls(operand, false, out)
-            }
+            ExprKind::UnaryOp { operand, .. } => self.collect_calls(operand, false, out),
             ExprKind::Name(_)
             | ExprKind::Str(_)
             | ExprKind::Int(_)
@@ -459,10 +450,7 @@ mod tests {
     use micropython_parser::parse_module;
     use shelley_ir::{denote_exits, infer};
 
-    fn lower_first_method(
-        src: &str,
-        fields: &[&str],
-    ) -> (Alphabet, LoweredMethod) {
+    fn lower_first_method(src: &str, fields: &[&str]) -> (Alphabet, LoweredMethod) {
         let m = parse_module(src).unwrap();
         let class = m.classes().next().unwrap();
         let func = class.methods().next().unwrap();

@@ -10,6 +10,7 @@
 //! 3. **Method invocation analysis** ([`invocation`]) — defined-operation
 //!    checks and exhaustive `match` over exit points (§3, step 3).
 
+pub mod cfg;
 pub mod dependency;
 pub mod invocation;
 pub mod lower;

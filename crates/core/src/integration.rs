@@ -93,10 +93,7 @@ pub fn build_integration(system: &System) -> Integration {
         let entry = b.add_state();
         b.add_edge(from, Label::Sym(marker), entry);
         for ei in 0..op.exits.len() {
-            let behavior = behaviors
-                .get(&(oi, ei))
-                .cloned()
-                .unwrap_or(Regex::Epsilon);
+            let behavior = behaviors.get(&(oi, ei)).cloned().unwrap_or(Regex::Epsilon);
             let tail = b.add_regex(entry, &behavior);
             b.add_edge(tail, Label::Eps, exit_state[&(oi, ei)]);
         }
@@ -200,17 +197,13 @@ class BadSector:
         // The paper's counterexample: open_a, a.test, a.open — a complete
         // usage of BadSector (open_a is final) whose a-projection is the
         // incomplete Valve run test·open.
-        assert!(integration.nfa.accepts(&[
-            s("open_a"),
-            s("a.test"),
-            s("a.open")
-        ]));
+        assert!(integration
+            .nfa
+            .accepts(&[s("open_a"), s("a.test"), s("a.open")]));
         // The clean branch: open_a, a.test, a.clean.
-        assert!(integration.nfa.accepts(&[
-            s("open_a"),
-            s("a.test"),
-            s("a.clean")
-        ]));
+        assert!(integration
+            .nfa
+            .accepts(&[s("open_a"), s("a.test"), s("a.clean")]));
         // The full run through open_b.
         assert!(integration.nfa.accepts(&[
             s("open_a"),
@@ -225,7 +218,9 @@ class BadSector:
         // Empty usage.
         assert!(integration.nfa.accepts(&[]));
         // open_b cannot come first (not initial).
-        assert!(!integration.nfa.accepts(&[s("open_b"), s("b.test"), s("b.clean")]));
+        assert!(!integration
+            .nfa
+            .accepts(&[s("open_b"), s("b.test"), s("b.clean")]));
         // Events cannot appear without their operation marker.
         assert!(!integration.nfa.accepts(&[s("a.test"), s("a.open")]));
     }

@@ -71,6 +71,7 @@ pub mod diagnostics;
 pub mod diagram;
 pub mod extract;
 pub mod integration;
+pub mod lint;
 pub mod pipeline;
 pub mod project;
 pub mod spec;
@@ -79,11 +80,16 @@ pub mod system;
 pub mod verify;
 
 pub use annotations::{Claim, ClassAnnotations, ClassKind, OpKind};
-pub use diagnostics::{codes, Diagnostic, Diagnostics, Severity};
+pub use diagnostics::{code_info, codes, CodeInfo, Diagnostic, Diagnostics, Severity, REGISTRY};
 pub use diagram::{integration_diagram, spec_diagram};
 pub use integration::{build_integration, Integration};
-pub use pipeline::{check_module, check_source, CheckReport, Checked};
-pub use project::{check_project, ProjectFile, ProjectParseError};
+pub use lint::{
+    default_passes, run_lints, LintConfig, LintContext, LintLevel, LintPass, UnknownCode,
+};
+pub use pipeline::{
+    check_module, check_module_with, check_source, check_source_with, CheckReport, Checked,
+};
+pub use project::{check_project, check_project_with, ProjectFile, ProjectParseError};
 pub use spec::{ClassSpec, ExitSpec, OperationSpec, SpecAutomaton};
 pub use stats::{system_stats, SystemStats};
 pub use system::{build_systems, System, SystemKind, SystemSet};

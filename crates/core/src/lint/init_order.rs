@@ -1,0 +1,210 @@
+//! `E008`/`W010`: subsystem fields used before (or without definite)
+//! initialization.
+//!
+//! For every composite class the pass runs the forward definite-assignment
+//! dataflow of [`crate::extract::cfg`] over `__init__`:
+//!
+//! * a read of a declared subsystem field at a point where **no** path has
+//!   assigned it is `E008` (the call would raise `AttributeError`);
+//! * a read where only **some** paths have assigned it is `W010`;
+//! * a field only *possibly* assigned when `__init__` finishes is `W010`
+//!   at every method call site that uses it (the lowered methods'
+//!   [`CallSite`](crate::extract::lower::CallSite)s).
+//!
+//! Fields never assigned at all are `E005` (subsystem resolution) and are
+//! not re-reported here.
+
+use super::{LintContext, LintPass};
+use crate::diagnostics::{codes, Diagnostic, Diagnostics};
+use crate::extract::cfg::{assignment_flow, Cfg, NodeKind};
+use std::collections::BTreeSet;
+
+/// See the module docs.
+pub struct InitOrder;
+
+impl LintPass for InitOrder {
+    fn name(&self) -> &'static str {
+        "init-order"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &[codes::USE_BEFORE_INIT, codes::MAYBE_UNINIT_SUBSYSTEM]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Diagnostics) {
+        for system in ctx.systems.iter() {
+            let Some(info) = system.composite() else {
+                continue;
+            };
+            let fields: BTreeSet<String> =
+                info.subsystems.iter().map(|s| s.field.clone()).collect();
+            if fields.is_empty() {
+                continue;
+            }
+            let Some(class) = ctx.module.class(&system.name) else {
+                continue;
+            };
+            let Some(init) = class.method("__init__") else {
+                // No __init__ at all: resolution already reported E005.
+                continue;
+            };
+
+            let cfg = Cfg::of_body(&init.body, &fields);
+            let flow = assignment_flow(&cfg, &fields);
+
+            // Reads inside __init__, against the facts at each statement.
+            for (id, node) in cfg.nodes() {
+                if node.kind != NodeKind::Stmt || !flow.reachable[id] {
+                    continue;
+                }
+                // Within one statement, earlier writes of the same
+                // statement do not cover its reads (value evaluates
+                // first), so reads check the IN sets directly.
+                let must = &flow.must_in[id];
+                let may = &flow.may_in[id];
+                for (field, span) in &node.reads {
+                    if !may.contains(field) {
+                        out.push(
+                            Diagnostic::error(
+                                codes::USE_BEFORE_INIT,
+                                format!(
+                                    "subsystem field `{field}` of `{}` is used \
+                                     in `__init__` before any assignment \
+                                     reaches this point",
+                                    system.name
+                                ),
+                            )
+                            .with_span(*span),
+                        );
+                    } else if !must.contains(field) {
+                        out.push(
+                            Diagnostic::warning(
+                                codes::MAYBE_UNINIT_SUBSYSTEM,
+                                format!(
+                                    "subsystem field `{field}` of `{}` may be \
+                                     uninitialized here: it is assigned on \
+                                     some but not all paths of `__init__`",
+                                    system.name
+                                ),
+                            )
+                            .with_span(*span),
+                        );
+                    }
+                }
+            }
+
+            // Fields not definitely assigned when __init__ finishes, used
+            // by operations.
+            let (must_exit, may_exit) = flow.at_exit(&cfg);
+            for field in &fields {
+                if must_exit.contains(field) || !may_exit.contains(field) {
+                    // Definitely assigned, or never assigned (E005).
+                    continue;
+                }
+                for (op_name, lowered) in &info.methods {
+                    if let Some(call) = lowered.calls.iter().find(|c| &c.field == field) {
+                        out.push(
+                            Diagnostic::warning(
+                                codes::MAYBE_UNINIT_SUBSYSTEM,
+                                format!(
+                                    "operation `{op_name}` of `{}` uses \
+                                     subsystem `{field}`, which `__init__` \
+                                     assigns only on some paths",
+                                    system.name
+                                ),
+                            )
+                            .with_span(call.span),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::diagnostics::codes;
+    use crate::pipeline::check_source;
+
+    const VALVE: &str =
+        "@sys\nclass Valve:\n    @op_initial_final\n    def test(self):\n        return []\n";
+
+    #[test]
+    fn use_before_assignment_is_an_error() {
+        let src = format!(
+            "{VALVE}\n@sys([\"a\"])\nclass S:\n    def __init__(self):\n        self.a.reset()\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        return []\n"
+        );
+        let checked = check_source(&src).unwrap();
+        assert_eq!(
+            checked
+                .report
+                .diagnostics
+                .by_code(codes::USE_BEFORE_INIT)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn branch_only_assignment_warns_at_init_read_and_op_use() {
+        let src = format!(
+            "{VALVE}\n@sys([\"a\"])\nclass S:\n    def __init__(self):\n        if flag:\n            self.a = Valve()\n        self.a.prime()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        return []\n"
+        );
+        let checked = check_source(&src).unwrap();
+        // One W010 at the read in __init__, one at the op's call site.
+        assert_eq!(
+            checked
+                .report
+                .diagnostics
+                .by_code(codes::MAYBE_UNINIT_SUBSYSTEM)
+                .count(),
+            2
+        );
+        assert_eq!(
+            checked
+                .report
+                .diagnostics
+                .by_code(codes::USE_BEFORE_INIT)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn straight_line_init_is_silent() {
+        let src = format!(
+            "{VALVE}\n@sys([\"a\"])\nclass S:\n    def __init__(self):\n        self.a = Valve()\n        self.a.prime()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        return []\n"
+        );
+        let checked = check_source(&src).unwrap();
+        assert_eq!(
+            checked
+                .report
+                .diagnostics
+                .by_code(codes::USE_BEFORE_INIT)
+                .count()
+                + checked
+                    .report
+                    .diagnostics
+                    .by_code(codes::MAYBE_UNINIT_SUBSYSTEM)
+                    .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn both_branches_assigning_is_definite() {
+        let src = format!(
+            "{VALVE}\n@sys([\"a\"])\nclass S:\n    def __init__(self):\n        if flag:\n            self.a = Valve()\n        else:\n            self.a = Valve()\n        self.a.prime()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        return []\n"
+        );
+        let checked = check_source(&src).unwrap();
+        assert_eq!(
+            checked
+                .report
+                .diagnostics
+                .by_code(codes::MAYBE_UNINIT_SUBSYSTEM)
+                .count(),
+            0
+        );
+    }
+}

@@ -7,7 +7,8 @@
 //! name-based and order-independent), and runs the full pipeline.
 
 use crate::diagnostics::{codes, Diagnostic};
-use crate::pipeline::{check_module, Checked};
+use crate::lint::LintConfig;
+use crate::pipeline::{check_module_with, Checked};
 use micropython_parser::ast::Module;
 use micropython_parser::{parse_module, ParseError};
 
@@ -59,6 +60,18 @@ impl std::error::Error for ProjectParseError {}
 /// Returns the first [`ProjectParseError`]; verification findings are in
 /// the returned [`Checked`]'s report.
 pub fn check_project(files: &[ProjectFile]) -> Result<Checked, ProjectParseError> {
+    check_project_with(files, &LintConfig::default())
+}
+
+/// [`check_project`] with an explicit lint configuration.
+///
+/// # Errors
+///
+/// Returns the first [`ProjectParseError`].
+pub fn check_project_with(
+    files: &[ProjectFile],
+    config: &LintConfig,
+) -> Result<Checked, ProjectParseError> {
     let mut merged = Module { body: Vec::new() };
     let mut parsed: Vec<(String, Module)> = Vec::new();
     for file in files {
@@ -70,8 +83,7 @@ pub fn check_project(files: &[ProjectFile]) -> Result<Checked, ProjectParseError
     }
 
     // Detect duplicate class names across files.
-    let mut seen: std::collections::BTreeMap<String, String> =
-        std::collections::BTreeMap::new();
+    let mut seen: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
     let mut duplicates = Vec::new();
     for (name, module) in &parsed {
         for class in module.classes() {
@@ -94,10 +106,13 @@ pub fn check_project(files: &[ProjectFile]) -> Result<Checked, ProjectParseError
         merged.body.extend(module.body);
     }
 
-    let mut checked = check_module(&merged);
+    let mut checked = check_module_with(&merged, config);
     for d in duplicates {
         checked.report.diagnostics.push(d);
     }
+    // Re-apply so the duplicate-class findings obey the configuration too
+    // (apply is idempotent, so the first pass's results are unchanged).
+    config.apply(&mut checked.report.diagnostics);
     Ok(checked)
 }
 

@@ -287,13 +287,7 @@ mod tests {
         // test → clean.
         assert!(nfa.accepts(&[s("test"), s("clean")]));
         // Repeat cycles: close returns ["test"].
-        assert!(nfa.accepts(&[
-            s("test"),
-            s("open"),
-            s("close"),
-            s("test"),
-            s("clean")
-        ]));
+        assert!(nfa.accepts(&[s("test"), s("open"), s("close"), s("test"), s("clean")]));
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl fmt::Display for SystemStats {
                 "  subsystems: {}, integration NFA: {} states, alphabet: {}",
                 self.subsystems, self.integration_states, self.alphabet_size
             )?;
-            writeln!(f, "  inferred behavior size: {} regex nodes", self.behavior_nodes)?;
+            writeln!(
+                f,
+                "  inferred behavior size: {} regex nodes",
+                self.behavior_nodes
+            )?;
         }
         write!(f, "  claims: {}", self.claims)
     }
@@ -83,29 +87,29 @@ pub fn system_stats(system: &System) -> SystemStats {
     let spec_states = auto.nfa().num_states();
     let spec_min_dfa_states = Dfa::from_nfa(auto.nfa()).minimize().num_states();
 
-    let (composite, subsystems, integration_states, alphabet_size, behavior_nodes) =
-        match system.composite() {
-            None => (false, 0, 0, 0, 0),
-            Some(info) => {
-                let integration = build_integration(system);
-                let behavior_nodes = info
-                    .methods
-                    .values()
-                    .map(|m| {
-                        let (_, exits) = denote_exits(&m.program);
-                        exits.iter().map(|(_, r)| r.size()).sum::<usize>()
-                            + infer(&m.program).size()
-                    })
-                    .sum();
-                (
-                    true,
-                    info.subsystems.len(),
-                    integration.nfa.num_states(),
-                    info.alphabet.len(),
-                    behavior_nodes,
-                )
-            }
-        };
+    let (composite, subsystems, integration_states, alphabet_size, behavior_nodes) = match system
+        .composite()
+    {
+        None => (false, 0, 0, 0, 0),
+        Some(info) => {
+            let integration = build_integration(system);
+            let behavior_nodes = info
+                .methods
+                .values()
+                .map(|m| {
+                    let (_, exits) = denote_exits(&m.program);
+                    exits.iter().map(|(_, r)| r.size()).sum::<usize>() + infer(&m.program).size()
+                })
+                .sum();
+            (
+                true,
+                info.subsystems.len(),
+                integration.nfa.num_states(),
+                info.alphabet.len(),
+                behavior_nodes,
+            )
+        }
+    };
 
     SystemStats {
         name: system.name.clone(),
@@ -117,11 +121,7 @@ pub fn system_stats(system: &System) -> SystemStats {
             .iter()
             .filter(|o| o.kind.is_initial())
             .count(),
-        final_ops: spec
-            .operations
-            .iter()
-            .filter(|o| o.kind.is_final())
-            .count(),
+        final_ops: spec.operations.iter().filter(|o| o.kind.is_final()).count(),
         spec_states,
         spec_min_dfa_states,
         subsystems,

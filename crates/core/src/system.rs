@@ -10,14 +10,12 @@
 use crate::annotations::{class_annotations, op_annotation, Claim, ClassKind};
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::extract::invocation::check_invocations;
-use crate::extract::lower::{
-    lower_method, subsystem_classes, LoweredMethod, ReturnForm,
-};
+use crate::extract::lower::{lower_method, subsystem_classes, LoweredMethod, ReturnForm};
 use crate::spec::{intern_spec_events, spec_automaton, ClassSpec, ExitSpec, OperationSpec};
 use micropython_parser::ast::Module;
 use shelley_ir::denote_exits;
-use shelley_regular::{Alphabet, Label};
-use std::collections::{BTreeMap, BTreeSet};
+use shelley_regular::{Alphabet, Label, Nfa, StateId, Symbol};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 /// A subsystem instance of a composite class.
@@ -361,7 +359,8 @@ pub fn validate_spec(spec: &ClassSpec, diagnostics: &mut Diagnostics) {
     // Reachability over the spec automaton.
     let mut alphabet = Alphabet::new();
     intern_spec_events(spec, None, &mut alphabet);
-    let auto = spec_automaton(spec, None, Rc::new(alphabet));
+    let alphabet = Rc::new(alphabet);
+    let auto = spec_automaton(spec, None, Rc::clone(&alphabet));
     let nfa = auto.nfa();
     // Forward reachability from start.
     let mut fwd = vec![false; nfa.num_states()];
@@ -376,15 +375,21 @@ pub fn validate_spec(spec: &ClassSpec, diagnostics: &mut Diagnostics) {
         }
     }
     let mut reachable_ops: BTreeSet<usize> = BTreeSet::new();
-    for q in 0..nfa.num_states() {
-        if fwd[q] {
-            if let Some((oi, _)) = auto.exit_at(q) {
-                reachable_ops.insert(oi);
-            }
+    for (q, _) in fwd.iter().enumerate().filter(|(_, &r)| r) {
+        if let Some((oi, _)) = auto.exit_at(q) {
+            reachable_ops.insert(oi);
         }
     }
     for (oi, op) in spec.operations.iter().enumerate() {
         if !reachable_ops.contains(&oi) && !op.exits.is_empty() {
+            let initial: Vec<&str> = spec.initial_ops().map(|o| o.name.as_str()).collect();
+            let reachable: Vec<&str> = spec
+                .operations
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| reachable_ops.contains(i))
+                .map(|(_, o)| o.name.as_str())
+                .collect();
             diagnostics.push(
                 Diagnostic::warning(
                     codes::UNREACHABLE_OPERATION,
@@ -394,6 +399,13 @@ pub fn validate_spec(spec: &ClassSpec, diagnostics: &mut Diagnostics) {
                         op.name, spec.name
                     ),
                 )
+                .with_note(format!(
+                    "initial operations: {}; operations reachable from them: \
+                     {} — no next-operation chain names `{}`",
+                    render_list(&initial),
+                    render_list(&reachable),
+                    op.name
+                ))
                 .with_span(op.span.unwrap_or_default()),
             );
         }
@@ -426,21 +438,89 @@ pub fn validate_spec(spec: &ClassSpec, diagnostics: &mut Diagnostics) {
         if fwd[q] && !live[q] {
             if let Some((oi, ei)) = auto.exit_at(q) {
                 let op = &spec.operations[oi];
-                diagnostics.push(
-                    Diagnostic::warning(
-                        codes::NO_FINAL_REACHABLE,
-                        format!(
-                            "after exit {ei} of operation `{}` of `{}`, no \
-                             final operation is reachable (the object gets \
-                             stuck)",
-                            op.name, spec.name
-                        ),
-                    )
-                    .with_span(op.exits[ei].span.unwrap_or_default()),
-                );
+                let mut d = Diagnostic::warning(
+                    codes::NO_FINAL_REACHABLE,
+                    format!(
+                        "after exit {ei} of operation `{}` of `{}`, no \
+                         final operation is reachable (the object gets \
+                         stuck)",
+                        op.name, spec.name
+                    ),
+                )
+                .with_span(op.exits[ei].span.unwrap_or_default());
+                if let Some(witness) = shortest_trace(nfa, &alphabet, auto.start(), q) {
+                    let trace = if witness.is_empty() {
+                        "<empty>".to_owned()
+                    } else {
+                        witness.join(", ")
+                    };
+                    d = d.with_note(format!("shortest trace to the stuck state: {trace}"));
+                }
+                diagnostics.push(d);
             }
         }
     }
+}
+
+/// Renders a name list for a note (`` `a`, `b` `` or `<none>`).
+fn render_list(names: &[&str]) -> String {
+    if names.is_empty() {
+        return "<none>".to_owned();
+    }
+    names
+        .iter()
+        .map(|n| format!("`{n}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The shortest event sequence leading `from → to` in `nfa` (0–1 BFS:
+/// ε-edges are free, symbol edges cost one event), or `None` if
+/// unreachable. Used to decorate reachability warnings with a concrete
+/// witness the user can replay against the spec.
+fn shortest_trace(
+    nfa: &Nfa,
+    alphabet: &Alphabet,
+    from: StateId,
+    to: StateId,
+) -> Option<Vec<String>> {
+    let n = nfa.num_states();
+    let mut dist = vec![usize::MAX; n];
+    let mut parent: Vec<Option<(StateId, Option<Symbol>)>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[from] = 0;
+    queue.push_back(from);
+    while let Some(q) = queue.pop_front() {
+        for &(label, dst) in nfa.edges_from(q) {
+            let (weight, sym) = match label {
+                Label::Eps => (0, None),
+                Label::Sym(s) => (1, Some(s)),
+            };
+            if dist[q].saturating_add(weight) < dist[dst] {
+                dist[dst] = dist[q] + weight;
+                parent[dst] = Some((q, sym));
+                if weight == 0 {
+                    queue.push_front(dst);
+                } else {
+                    queue.push_back(dst);
+                }
+            }
+        }
+    }
+    if dist[to] == usize::MAX {
+        return None;
+    }
+    let mut events = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (prev, sym) = parent[cur]?;
+        if let Some(s) = sym {
+            events.push(alphabet.name(s).to_owned());
+        }
+        cur = prev;
+    }
+    events.reverse();
+    Some(events)
 }
 
 #[cfg(test)]
@@ -551,6 +631,14 @@ class Valve:
         let m = parse_module(src).unwrap();
         let (_, diags) = build_systems(&m);
         assert_eq!(diags.by_code(codes::UNREACHABLE_OPERATION).count(), 1);
+        let d = diags.by_code(codes::UNREACHABLE_OPERATION).next().unwrap();
+        assert!(
+            d.notes
+                .iter()
+                .any(|n| n.contains("initial operations: `a`")),
+            "{:?}",
+            d.notes
+        );
     }
 
     #[test]
@@ -560,6 +648,24 @@ class Valve:
         let m = parse_module(src).unwrap();
         let (_, diags) = build_systems(&m);
         assert!(diags.by_code(codes::NO_FINAL_REACHABLE).count() >= 1);
+        // Every stuck-state warning carries a concrete replayable witness,
+        // and the one for `b`'s exit walks `a` then `b`.
+        let notes: Vec<&String> = diags
+            .by_code(codes::NO_FINAL_REACHABLE)
+            .flat_map(|d| d.notes.iter())
+            .collect();
+        assert!(
+            notes
+                .iter()
+                .all(|n| n.contains("shortest trace to the stuck state:")),
+            "{notes:?}"
+        );
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("shortest trace to the stuck state: a, b")),
+            "{notes:?}"
+        );
     }
 
     #[test]

@@ -100,10 +100,7 @@ fn check_one_claim(
             diagnostics.push(
                 Diagnostic::error(
                     codes::BAD_CLAIM,
-                    format!(
-                        "claim on `{}` failed to parse: {e}",
-                        system.name
-                    ),
+                    format!("claim on `{}` failed to parse: {e}", system.name),
                 )
                 .with_span(claim.span),
             );

@@ -131,8 +131,7 @@ pub fn check_usage(
             .symbols()
             .filter(|s| !sub_events.contains(s))
             .collect();
-        if let Err(word) = ops::projected_subset(&integration.nfa, &spec_dfa, &invisible)
-        {
+        if let Err(word) = ops::projected_subset(&integration.nfa, &spec_dfa, &invisible) {
             let better = match &best {
                 None => true,
                 Some((w, _, _)) => word.len() < w.len(),
@@ -426,9 +425,6 @@ class Mixed:
         );
         let violation = verify(&src, "Mixed").unwrap_err();
         // Only b is misused (left open); the error mentions b, not a.
-        assert!(violation
-            .subsystem_errors
-            .iter()
-            .all(|e| e.field == "b"));
+        assert!(violation.subsystem_errors.iter().all(|e| e.field == "b"));
     }
 }

@@ -19,10 +19,7 @@ use std::rc::Rc;
 fn arb_spec() -> impl Strategy<Value = ClassSpec> {
     (2usize..6)
         .prop_flat_map(|n| {
-            let exits = proptest::collection::vec(
-                proptest::collection::vec(0..n, 0..3),
-                n,
-            );
+            let exits = proptest::collection::vec(proptest::collection::vec(0..n, 0..3), n);
             (Just(n), exits)
         })
         .prop_map(|(n, exit_targets)| {
@@ -37,10 +34,8 @@ fn arb_spec() -> impl Strategy<Value = ClassSpec> {
                     } else {
                         OpKind::Middle
                     };
-                    let next: Vec<String> = exit_targets[i]
-                        .iter()
-                        .map(|&t| format!("op{t}"))
-                        .collect();
+                    let next: Vec<String> =
+                        exit_targets[i].iter().map(|&t| format!("op{t}")).collect();
                     OperationSpec {
                         name: format!("op{i}"),
                         kind,
@@ -239,8 +234,7 @@ fn render_spec_class(spec: &ClassSpec) -> String {
         let _ = writeln!(out, "    {dec}");
         let _ = writeln!(out, "    def {}(self):", op.name);
         for exit in &op.exits {
-            let items: Vec<String> =
-                exit.next.iter().map(|n| format!("\"{n}\"")).collect();
+            let items: Vec<String> = exit.next.iter().map(|n| format!("\"{n}\"")).collect();
             let _ = writeln!(out, "        return [{}]", items.join(", "));
         }
         let _ = writeln!(out);

@@ -116,12 +116,7 @@ fn gen_node(
     }
 }
 
-fn gen_leaf(
-    rng: &mut SplitMix,
-    syms: &[Symbol],
-    cfg: GenConfig,
-    exits: &mut usize,
-) -> Program {
+fn gen_leaf(rng: &mut SplitMix, syms: &[Symbol], cfg: GenConfig, exits: &mut usize) -> Program {
     let roll = rng.below(1000);
     if roll < cfg.return_weight {
         let e = *exits;

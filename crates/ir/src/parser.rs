@@ -54,10 +54,7 @@ impl Error for ParseProgramError {}
 /// # Errors
 ///
 /// Returns [`ParseProgramError`] on malformed syntax.
-pub fn parse_program(
-    input: &str,
-    alphabet: &mut Alphabet,
-) -> Result<Program, ParseProgramError> {
+pub fn parse_program(input: &str, alphabet: &mut Alphabet) -> Result<Program, ParseProgramError> {
     let mut p = Parser {
         input,
         chars: input.char_indices().collect(),

@@ -189,11 +189,7 @@ impl fmt::Display for DisplayProgram<'_> {
     }
 }
 
-fn write_program(
-    f: &mut fmt::Formatter<'_>,
-    p: &Program,
-    ab: &Alphabet,
-) -> fmt::Result {
+fn write_program(f: &mut fmt::Formatter<'_>, p: &Program, ab: &Alphabet) -> fmt::Result {
     match p {
         Program::Call(s) => write!(f, "{}()", ab.name(*s)),
         Program::Skip => write!(f, "skip"),
@@ -237,11 +233,7 @@ mod tests {
     #[test]
     fn choice_builds_nested_ifs() {
         let (_, a, b) = ab();
-        let c = Program::choice([
-            Program::call(a),
-            Program::call(b),
-            Program::skip(),
-        ]);
+        let c = Program::choice([Program::call(a), Program::call(b), Program::skip()]);
         assert_eq!(
             c,
             Program::if_(

@@ -84,8 +84,7 @@ impl<'p> TraceChecker<'p> {
 
     /// Decides `trace ∈ L(p)` (Definition 1: some status derives it).
     pub fn in_language(&self, trace: &[Symbol]) -> bool {
-        self.derivable(Status::Ongoing, trace)
-            || self.derivable(Status::Returned, trace)
+        self.derivable(Status::Ongoing, trace) || self.derivable(Status::Returned, trace)
     }
 }
 
@@ -134,9 +133,7 @@ impl CheckCtx<'_, '_> {
     fn check_uncached(&mut self, id: usize, status: Status, i: usize, j: usize) -> bool {
         match self.nodes[id] {
             // Rule CALL: 0 ⊢ [f] ∈ f().
-            Program::Call(f) => {
-                status == Status::Ongoing && j == i + 1 && self.word[i] == *f
-            }
+            Program::Call(f) => status == Status::Ongoing && j == i + 1 && self.word[i] == *f,
             // Rule SKIP: 0 ⊢ [] ∈ skip.
             Program::Skip => status == Status::Ongoing && i == j,
             // Rule RETURN: R ⊢ [] ∈ return.
@@ -144,15 +141,12 @@ impl CheckCtx<'_, '_> {
             Program::Seq(..) => {
                 let (p1, p2) = child_ids(self.nodes, id);
                 // Rule SEQ-1: R ⊢ l ∈ p1 ⟹ R ⊢ l ∈ p1;p2.
-                if status == Status::Returned && self.check(p1, Status::Returned, i, j)
-                {
+                if status == Status::Returned && self.check(p1, Status::Returned, i, j) {
                     return true;
                 }
                 // Rule SEQ-2: 0 ⊢ l1 ∈ p1 ∧ s ⊢ l2 ∈ p2 ⟹ s ⊢ l1·l2.
-                (i..=j).any(|k| {
-                    self.check(p1, Status::Ongoing, i, k)
-                        && self.check(p2, status, k, j)
-                })
+                (i..=j)
+                    .any(|k| self.check(p1, Status::Ongoing, i, k) && self.check(p2, status, k, j))
             }
             Program::If(..) => {
                 let (p1, p2) = child_ids(self.nodes, id);
@@ -186,7 +180,9 @@ impl CheckCtx<'_, '_> {
         let mut stack = vec![i];
         while let Some(k) = stack.pop() {
             // Strictly-progressing segments only: an empty ongoing segment
-            // never reaches a new position.
+            // never reaches a new position. (Indexing, not iterating:
+            // `reachable` is also written inside the loop.)
+            #[allow(clippy::needless_range_loop)]
             for k2 in (k + 1)..=n {
                 if !reachable[k2] && self.check(body, Status::Ongoing, k, k2) {
                     reachable[k2] = true;
@@ -265,8 +261,7 @@ pub fn enumerate_traces(program: &Program, cfg: EnumConfig) -> BTreeSet<(Status,
         }
         Program::Loop(body) => {
             let t = enumerate_traces(body, cfg);
-            let mut out: BTreeSet<(Status, Word)> =
-                BTreeSet::from([(Status::Ongoing, Vec::new())]);
+            let mut out: BTreeSet<(Status, Word)> = BTreeSet::from([(Status::Ongoing, Vec::new())]);
             let mut ongoing: BTreeSet<Word> = BTreeSet::from([Vec::new()]);
             for _ in 0..cfg.max_iters {
                 let mut next_ongoing = BTreeSet::new();

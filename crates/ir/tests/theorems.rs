@@ -13,8 +13,7 @@
 
 use proptest::prelude::*;
 use shelley_ir::{
-    denote, denote_exits, enumerate_traces, infer, EnumConfig, Program, Status,
-    TraceChecker,
+    denote, denote_exits, enumerate_traces, infer, EnumConfig, Program, Status, TraceChecker,
 };
 use shelley_regular::{Alphabet, Dfa, Nfa, Regex, Symbol};
 use std::rc::Rc;

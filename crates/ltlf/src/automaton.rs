@@ -55,8 +55,7 @@ fn dnf(f: &Formula) -> BTreeSet<BTreeSet<Formula>> {
     match f {
         Formula::Or(items) => items.iter().flat_map(dnf).collect(),
         Formula::And(items) => {
-            let mut acc: BTreeSet<BTreeSet<Formula>> =
-                BTreeSet::from([BTreeSet::new()]);
+            let mut acc: BTreeSet<BTreeSet<Formula>> = BTreeSet::from([BTreeSet::new()]);
             for item in items {
                 let item_dnf = dnf(item);
                 let mut next = BTreeSet::new();
@@ -91,15 +90,11 @@ fn clause_consistent(clause: &BTreeSet<Formula>) -> bool {
                 }
                 atom = Some(*s);
             }
-            Formula::NotAtom(s) => {
-                if clause.contains(&Formula::Atom(*s)) {
-                    return false;
-                }
+            Formula::NotAtom(s) if clause.contains(&Formula::Atom(*s)) => {
+                return false;
             }
-            Formula::Empty => {
-                if clause.contains(&Formula::Nonempty) {
-                    return false;
-                }
+            Formula::Empty if clause.contains(&Formula::Nonempty) => {
+                return false;
             }
             _ => {}
         }
@@ -144,10 +139,10 @@ pub fn to_dfa(formula: &Formula, alphabet: Rc<Alphabet>) -> Dfa {
     let nsyms = alphabet.len();
 
     let intern = |f: Formula,
-                      states: &mut Vec<Formula>,
-                      table: &mut Vec<Vec<usize>>,
-                      accepting: &mut Vec<bool>,
-                      index: &mut HashMap<Formula, usize>|
+                  states: &mut Vec<Formula>,
+                  table: &mut Vec<Vec<usize>>,
+                  accepting: &mut Vec<bool>,
+                  index: &mut HashMap<Formula, usize>|
      -> usize {
         if let Some(&q) = index.get(&f) {
             return q;
@@ -175,13 +170,7 @@ pub fn to_dfa(formula: &Formula, alphabet: Rc<Alphabet>) -> Dfa {
             }
             let next = canonicalize(progress(&states[q], Symbol::from_index(s)));
             let was = states.len();
-            let dst = intern(
-                next,
-                &mut states,
-                &mut table,
-                &mut accepting,
-                &mut index,
-            );
+            let dst = intern(next, &mut states, &mut table, &mut accepting, &mut index);
             table[q][s] = dst;
             if dst == was {
                 queue.push(dst);

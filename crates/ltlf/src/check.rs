@@ -38,11 +38,7 @@ impl ClaimOutcome {
 ///
 /// Panics if `model`'s alphabet differs from the alphabet the claim monitor
 /// is built over (they must share one `Alphabet`).
-pub fn check_claim(
-    model: &Nfa,
-    claim: &Formula,
-    markers: &BTreeSet<Symbol>,
-) -> ClaimOutcome {
+pub fn check_claim(model: &Nfa, claim: &Formula, markers: &BTreeSet<Symbol>) -> ClaimOutcome {
     let bad = to_dfa(&claim.negate(), model.alphabet().clone());
     match ops::shortest_joint_word(model, &bad, markers) {
         None => ClaimOutcome::Holds,
@@ -83,8 +79,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let claim = parse_formula("(!a.open) W b.open", &mut ab).unwrap();
         // Model: either the long conforming trace or a short violating one.
-        let model_re =
-            parse_regex("(b.open ; a.open) + (a.test ; a.open)", &mut ab).unwrap();
+        let model_re = parse_regex("(b.open ; a.open) + (a.test ; a.open)", &mut ab).unwrap();
         let ab = Rc::new(ab);
         let model = Nfa::from_regex(&model_re, ab.clone());
         match check_claim(&model, &claim, &BTreeSet::new()) {
@@ -108,12 +103,7 @@ mod tests {
         let fail = ab.lookup("fail").unwrap();
         let ab = Rc::new(ab);
         let markers = BTreeSet::from([op]);
-        assert!(check_claim(
-            &Nfa::from_regex(&ok_model, ab.clone()),
-            &claim,
-            &markers
-        )
-        .holds());
+        assert!(check_claim(&Nfa::from_regex(&ok_model, ab.clone()), &claim, &markers).holds());
         match check_claim(&Nfa::from_regex(&bad_model, ab), &claim, &markers) {
             ClaimOutcome::Violated { counterexample } => {
                 // Marker preserved in the reported trace.

@@ -64,10 +64,7 @@ impl Error for ParseFormulaError {}
 /// assert!(eval(&f, &[b_open, a_open]));
 /// # Ok::<(), shelley_ltlf::ParseFormulaError>(())
 /// ```
-pub fn parse_formula(
-    input: &str,
-    alphabet: &mut Alphabet,
-) -> Result<Formula, ParseFormulaError> {
+pub fn parse_formula(input: &str, alphabet: &mut Alphabet) -> Result<Formula, ParseFormulaError> {
     let mut p = Parser {
         input,
         chars: input.char_indices().collect(),
@@ -153,8 +150,7 @@ impl Parser<'_> {
     fn formula(&mut self) -> Result<Formula, ParseFormulaError> {
         let left = self.or()?;
         self.skip_ws();
-        if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) == Some('>')
-        {
+        if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) == Some('>') {
             self.pos += 2;
             self.skip_ws();
             let right = self.formula()?;

@@ -56,12 +56,8 @@ pub fn progress(f: &Formula, event: Symbol) -> Formula {
                 Formula::True
             }
         }
-        Formula::And(items) => {
-            Formula::and_all(items.iter().map(|g| progress(g, event)))
-        }
-        Formula::Or(items) => {
-            Formula::or_all(items.iter().map(|g| progress(g, event)))
-        }
+        Formula::And(items) => Formula::and_all(items.iter().map(|g| progress(g, event))),
+        Formula::Or(items) => Formula::or_all(items.iter().map(|g| progress(g, event))),
         // After consuming one event, the "next position" of the original
         // trace is the first position of the remainder — which must exist
         // for strong next and may be absent for weak next.
@@ -118,12 +114,12 @@ fn eval_at(f: &Formula, trace: &[Symbol], i: usize) -> bool {
         Formula::Or(items) => items.iter().any(|g| eval_at(g, trace, i)),
         Formula::Next(g) => i + 1 < n && eval_at(g, trace, i + 1),
         Formula::WeakNext(g) => i + 1 >= n || eval_at(g, trace, i + 1),
-        Formula::Until(a, b) => (i..n).any(|k| {
-            eval_at(b, trace, k) && (i..k).all(|j| eval_at(a, trace, j))
-        }),
-        Formula::Release(a, b) => (i..n).all(|k| {
-            eval_at(b, trace, k) || (i..k).any(|j| eval_at(a, trace, j))
-        }),
+        Formula::Until(a, b) => {
+            (i..n).any(|k| eval_at(b, trace, k) && (i..k).all(|j| eval_at(a, trace, j)))
+        }
+        Formula::Release(a, b) => {
+            (i..n).all(|k| eval_at(b, trace, k) || (i..k).any(|j| eval_at(a, trace, j)))
+        }
     }
 }
 
@@ -225,11 +221,7 @@ mod tests {
         ];
         for f in &formulas {
             for w in &words {
-                assert_eq!(
-                    eval(f, w),
-                    eval_direct(f, w),
-                    "formula {f:?} word {w:?}"
-                );
+                assert_eq!(eval(f, w), eval_direct(f, w), "formula {f:?} word {w:?}");
             }
         }
     }

@@ -55,8 +55,7 @@ fn pass(f: &Formula) -> Formula {
                         return Formula::False;
                     }
                 }
-                if *item == Formula::Empty && simplified.contains(&Formula::Nonempty)
-                {
+                if *item == Formula::Empty && simplified.contains(&Formula::Nonempty) {
                     return Formula::False;
                 }
             }
@@ -82,8 +81,7 @@ fn pass(f: &Formula) -> Formula {
                         return Formula::True;
                     }
                 }
-                if *item == Formula::Empty && simplified.contains(&Formula::Nonempty)
-                {
+                if *item == Formula::Empty && simplified.contains(&Formula::Nonempty) {
                     return Formula::True;
                 }
             }
@@ -101,16 +99,12 @@ fn pass(f: &Formula) -> Formula {
         }
         Formula::Next(g) => match pass(g) {
             // X (φ ∧ ψ) ≡ X φ ∧ X ψ.
-            Formula::And(items) => {
-                Formula::and_all(items.into_iter().map(Formula::next))
-            }
+            Formula::And(items) => Formula::and_all(items.into_iter().map(Formula::next)),
             g => Formula::next(g),
         },
         Formula::WeakNext(g) => match pass(g) {
             // X[!] (φ ∨ ψ) ≡ X[!] φ ∨ X[!] ψ.
-            Formula::Or(items) => {
-                Formula::or_all(items.into_iter().map(Formula::weak_next))
-            }
+            Formula::Or(items) => Formula::or_all(items.into_iter().map(Formula::weak_next)),
             g => Formula::weak_next(g),
         },
         Formula::Until(a, b) => {
@@ -125,15 +119,13 @@ fn pass(f: &Formula) -> Formula {
             if a == Formula::True {
                 return match b {
                     // F F ψ ≡ F ψ.
-                    Formula::Until(inner_a, inner_b)
-                        if *inner_a == Formula::True =>
-                    {
+                    Formula::Until(inner_a, inner_b) if *inner_a == Formula::True => {
                         Formula::until(Formula::True, *inner_b)
                     }
                     // F (φ ∨ ψ) ≡ F φ ∨ F ψ.
-                    Formula::Or(items) => Formula::or_all(
-                        items.into_iter().map(Formula::eventually),
-                    ),
+                    Formula::Or(items) => {
+                        Formula::or_all(items.into_iter().map(Formula::eventually))
+                    }
                     b => Formula::eventually(b),
                 };
             }
@@ -156,15 +148,13 @@ fn pass(f: &Formula) -> Formula {
             if a == Formula::False {
                 return match b {
                     // G G ψ ≡ G ψ.
-                    Formula::Release(inner_a, inner_b)
-                        if *inner_a == Formula::False =>
-                    {
+                    Formula::Release(inner_a, inner_b) if *inner_a == Formula::False => {
                         Formula::release(Formula::False, *inner_b)
                     }
                     // G (φ ∧ ψ) ≡ G φ ∧ G ψ.
-                    Formula::And(items) => Formula::and_all(
-                        items.into_iter().map(Formula::globally),
-                    ),
+                    Formula::And(items) => {
+                        Formula::and_all(items.into_iter().map(Formula::globally))
+                    }
                     b => Formula::globally(b),
                 };
             }

@@ -177,10 +177,7 @@ impl Formula {
 
     /// Weak until, the paper's `φ₁ W φ₂ = (φ₁ U φ₂) ∨ G φ₁`.
     pub fn weak_until(a: Formula, b: Formula) -> Formula {
-        Formula::or(
-            Formula::until(a.clone(), b),
-            Formula::globally(a),
-        )
+        Formula::or(Formula::until(a.clone(), b), Formula::globally(a))
     }
 
     /// The negation, pushed to NNF (every operator has a dual).
@@ -192,12 +189,8 @@ impl Formula {
             Formula::Nonempty => Formula::Empty,
             Formula::Atom(s) => Formula::NotAtom(*s),
             Formula::NotAtom(s) => Formula::Atom(*s),
-            Formula::And(items) => {
-                Formula::or_all(items.iter().map(Formula::negate))
-            }
-            Formula::Or(items) => {
-                Formula::and_all(items.iter().map(Formula::negate))
-            }
+            Formula::And(items) => Formula::or_all(items.iter().map(Formula::negate)),
+            Formula::Or(items) => Formula::and_all(items.iter().map(Formula::negate)),
             Formula::Next(f) => Formula::weak_next(f.negate()),
             Formula::WeakNext(f) => Formula::next(f.negate()),
             Formula::Until(a, b) => Formula::release(a.negate(), b.negate()),
@@ -372,7 +365,10 @@ mod tests {
         let f1 = Formula::and(Formula::atom(a), Formula::atom(b));
         let f2 = Formula::and(Formula::atom(b), Formula::atom(a));
         assert_eq!(f1, f2);
-        assert_eq!(Formula::and(Formula::tt(), Formula::atom(a)), Formula::atom(a));
+        assert_eq!(
+            Formula::and(Formula::tt(), Formula::atom(a)),
+            Formula::atom(a)
+        );
         assert_eq!(Formula::and(Formula::ff(), Formula::atom(a)), Formula::ff());
         // Flattening: (a & (a & b)) == (a & b).
         let nested = Formula::and(Formula::atom(a), f1.clone());
@@ -382,7 +378,10 @@ mod tests {
     #[test]
     fn or_normalizes() {
         let (_, a, _) = ab2();
-        assert_eq!(Formula::or(Formula::ff(), Formula::atom(a)), Formula::atom(a));
+        assert_eq!(
+            Formula::or(Formula::ff(), Formula::atom(a)),
+            Formula::atom(a)
+        );
         assert_eq!(Formula::or(Formula::tt(), Formula::atom(a)), Formula::tt());
         assert_eq!(
             Formula::or(Formula::atom(a), Formula::atom(a)),
@@ -393,10 +392,7 @@ mod tests {
     #[test]
     fn negation_is_involutive() {
         let (_, a, b) = ab2();
-        let f = Formula::weak_until(
-            Formula::atom(a).negate(),
-            Formula::atom(b),
-        );
+        let f = Formula::weak_until(Formula::atom(a).negate(), Formula::atom(b));
         assert_eq!(f.negate().negate(), f);
     }
 
@@ -405,10 +401,7 @@ mod tests {
         let (_, a, _) = ab2();
         let f = Formula::globally(Formula::atom(a));
         // ¬G a = F ¬a.
-        assert_eq!(
-            f.negate(),
-            Formula::eventually(Formula::NotAtom(a))
-        );
+        assert_eq!(f.negate(), Formula::eventually(Formula::NotAtom(a)));
         let x = Formula::next(Formula::atom(a));
         assert_eq!(x.negate(), Formula::weak_next(Formula::NotAtom(a)));
     }

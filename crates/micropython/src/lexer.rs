@@ -83,7 +83,8 @@ impl<'s> Lexer<'s> {
     }
 
     fn push(&mut self, kind: TokenKind, start: usize) {
-        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+        self.tokens
+            .push(Token::new(kind, Span::new(start, self.pos)));
     }
 
     fn run(mut self) -> Result<Vec<Token>, LexError> {
@@ -204,8 +205,10 @@ impl<'s> Lexer<'s> {
             let current = *self.indents.last().expect("indent stack nonempty");
             if width > current {
                 self.indents.push(width);
-                self.tokens
-                    .push(Token::new(TokenKind::Indent, Span::new(line_start, self.pos)));
+                self.tokens.push(Token::new(
+                    TokenKind::Indent,
+                    Span::new(line_start, self.pos),
+                ));
             } else if width < current {
                 while *self.indents.last().expect("indent stack nonempty") > width {
                     self.indents.pop();
@@ -239,14 +242,10 @@ impl<'s> Lexer<'s> {
         loop {
             match self.peek() {
                 None => {
-                    return Err(
-                        self.err(Span::new(start, self.pos), "unterminated string literal")
-                    )
+                    return Err(self.err(Span::new(start, self.pos), "unterminated string literal"))
                 }
                 Some(b'\n') if !triple => {
-                    return Err(
-                        self.err(Span::new(start, self.pos), "unterminated string literal")
-                    )
+                    return Err(self.err(Span::new(start, self.pos), "unterminated string literal"))
                 }
                 Some(b'\\') => {
                     self.bump();
@@ -272,8 +271,7 @@ impl<'s> Lexer<'s> {
                 }
                 Some(c) if c == quote => {
                     if triple {
-                        if self.peek2() == Some(quote)
-                            && self.src.get(self.pos + 2) == Some(&quote)
+                        if self.peek2() == Some(quote) && self.src.get(self.pos + 2) == Some(&quote)
                         {
                             self.bump();
                             self.bump();
@@ -318,24 +316,21 @@ impl<'s> Lexer<'s> {
                 _ => 8,
             };
             let digits_start = self.pos;
-            while matches!(self.peek(), Some(c) if (c as char).is_digit(radix) || c == b'_')
-            {
+            while matches!(self.peek(), Some(c) if (c as char).is_digit(radix) || c == b'_') {
                 self.bump();
             }
             let text: String = std::str::from_utf8(&self.src[digits_start..self.pos])
                 .expect("ascii digits")
                 .replace('_', "");
-            let value = i64::from_str_radix(&text, radix).map_err(|_| {
-                self.err(Span::new(start, self.pos), "invalid integer literal")
-            })?;
+            let value = i64::from_str_radix(&text, radix)
+                .map_err(|_| self.err(Span::new(start, self.pos), "invalid integer literal"))?;
             self.push(TokenKind::Int(value), start);
             return Ok(());
         }
         while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'_') {
             self.bump();
         }
-        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit())
-        {
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
             is_float = true;
             self.bump();
             while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'_') {
@@ -358,14 +353,14 @@ impl<'s> Lexer<'s> {
             .expect("ascii number")
             .replace('_', "");
         if is_float {
-            let v: f64 = text.parse().map_err(|_| {
-                self.err(Span::new(start, self.pos), "invalid float literal")
-            })?;
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(Span::new(start, self.pos), "invalid float literal"))?;
             self.push(TokenKind::Float(v), start);
         } else {
-            let v: i64 = text.parse().map_err(|_| {
-                self.err(Span::new(start, self.pos), "invalid integer literal")
-            })?;
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(Span::new(start, self.pos), "invalid integer literal"))?;
             self.push(TokenKind::Int(v), start);
         }
         Ok(())
@@ -556,14 +551,8 @@ mod tests {
     fn nested_dedents_unwind() {
         let src = "class C:\n    def m(self):\n        pass\n";
         let k = kinds(src);
-        assert_eq!(
-            k.iter().filter(|t| **t == TokenKind::Indent).count(),
-            2
-        );
-        assert_eq!(
-            k.iter().filter(|t| **t == TokenKind::Dedent).count(),
-            2
-        );
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Indent).count(), 2);
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Dedent).count(), 2);
     }
 
     #[test]
@@ -586,8 +575,10 @@ mod tests {
 
     #[test]
     fn string_literals_with_escapes() {
-        let k = kinds(r#"s = "a\nb"
-"#);
+        let k = kinds(
+            r#"s = "a\nb"
+"#,
+        );
         assert!(k.contains(&TokenKind::Str("a\nb".into())));
         let k = kinds("s = 'it'\n");
         assert!(k.contains(&TokenKind::Str("it".into())));

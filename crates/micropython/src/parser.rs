@@ -124,10 +124,7 @@ impl Parser {
         } else if self.at(&TokenKind::Eof) {
             Ok(())
         } else {
-            Err(self.error(format!(
-                "expected end of line, found {}",
-                self.peek_kind()
-            )))
+            Err(self.error(format!("expected end of line, found {}", self.peek_kind())))
         }
     }
 
@@ -167,12 +164,8 @@ impl Parser {
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
         match self.peek_kind() {
             TokenKind::Punct(Punct::At) => self.parse_decorated(),
-            TokenKind::Keyword(Keyword::Class) => {
-                self.parse_class(Vec::new()).map(Stmt::ClassDef)
-            }
-            TokenKind::Keyword(Keyword::Def) => {
-                self.parse_def(Vec::new()).map(Stmt::FuncDef)
-            }
+            TokenKind::Keyword(Keyword::Class) => self.parse_class(Vec::new()).map(Stmt::ClassDef),
+            TokenKind::Keyword(Keyword::Def) => self.parse_def(Vec::new()).map(Stmt::FuncDef),
             TokenKind::Keyword(Keyword::If) => self.parse_if(),
             TokenKind::Keyword(Keyword::Match) => self.parse_match(),
             TokenKind::Keyword(Keyword::While) => self.parse_while(),
@@ -193,9 +186,7 @@ impl Parser {
                         // synthetic If-free structure is overkill; instead
                         // we disallow multiple statements per line beyond
                         // the first to keep the AST simple.
-                        return Err(self.error(
-                            "multiple statements on one line are not supported",
-                        ));
+                        return Err(self.error("multiple statements on one line are not supported"));
                     }
                 }
                 self.expect_newline()?;
@@ -341,9 +332,7 @@ impl Parser {
             }
             TokenKind::Keyword(Keyword::Pass) => Ok(Stmt::Pass(self.bump().span)),
             TokenKind::Keyword(Keyword::Break) => Ok(Stmt::Break(self.bump().span)),
-            TokenKind::Keyword(Keyword::Continue) => {
-                Ok(Stmt::Continue(self.bump().span))
-            }
+            TokenKind::Keyword(Keyword::Continue) => Ok(Stmt::Continue(self.bump().span)),
             TokenKind::Keyword(Keyword::Import) => {
                 let kw = self.bump();
                 let mut names = vec![self.parse_dotted_name()?];
@@ -967,10 +956,7 @@ impl Parser {
                     }
                 }
                 let close = self.expect_punct(Punct::RBracket)?;
-                Ok(Expr::new(
-                    ExprKind::List(items),
-                    open.span.to(close.span),
-                ))
+                Ok(Expr::new(ExprKind::List(items), open.span.to(close.span)))
             }
             TokenKind::Punct(Punct::LBrace) => {
                 let open = self.bump();
@@ -996,10 +982,7 @@ impl Parser {
                         pairs.push((k, v));
                     }
                     let close = self.expect_punct(Punct::RBrace)?;
-                    Ok(Expr::new(
-                        ExprKind::Dict(pairs),
-                        open.span.to(close.span),
-                    ))
+                    Ok(Expr::new(ExprKind::Dict(pairs), open.span.to(close.span)))
                 } else {
                     let mut items = vec![first];
                     while self.eat_punct(Punct::Comma) {
@@ -1009,10 +992,7 @@ impl Parser {
                         items.push(self.parse_expr()?);
                     }
                     let close = self.expect_punct(Punct::RBrace)?;
-                    Ok(Expr::new(
-                        ExprKind::Set(items),
-                        open.span.to(close.span),
-                    ))
+                    Ok(Expr::new(ExprKind::Set(items), open.span.to(close.span)))
                 }
             }
             TokenKind::Punct(Punct::LParen) => {
@@ -1034,10 +1014,7 @@ impl Parser {
                         items.push(self.parse_expr()?);
                     }
                     let close = self.expect_punct(Punct::RParen)?;
-                    Ok(Expr::new(
-                        ExprKind::Tuple(items),
-                        open.span.to(close.span),
-                    ))
+                    Ok(Expr::new(ExprKind::Tuple(items), open.span.to(close.span)))
                 } else {
                     self.expect_punct(Punct::RParen)?;
                     Ok(first)
@@ -1148,10 +1125,7 @@ class BadSector:
         // @sys(["a","b"]) argument list.
         let sys_args = bs.decorators[1].args();
         assert_eq!(sys_args.len(), 1);
-        assert_eq!(
-            sys_args[0].as_string_list().unwrap(),
-            vec!["a", "b"]
-        );
+        assert_eq!(sys_args[0].as_string_list().unwrap(), vec!["a", "b"]);
         let open_a = bs.method("open_a").unwrap();
         match &open_a.body[0] {
             Stmt::Match(m) => {
@@ -1239,9 +1213,7 @@ def f(self):
         let Stmt::FuncDef(f) = &m.body[0] else {
             panic!()
         };
-        let Stmt::If(ifs) = &f.body[0] else {
-            panic!()
-        };
+        let Stmt::If(ifs) = &f.body[0] else { panic!() };
         assert_eq!(ifs.branches.len(), 3);
         assert!(ifs.orelse.is_some());
     }
@@ -1318,11 +1290,13 @@ def f(self):
 
     #[test]
     fn is_and_not_in_comparisons() {
-        let m = parse_module("a = x is None
+        let m = parse_module(
+            "a = x is None
 b = x is not None
 c = y not in items
-")
-            .unwrap();
+",
+        )
+        .unwrap();
         let ops: Vec<String> = m
             .body
             .iter()
@@ -1339,22 +1313,25 @@ c = y not in items
 
     #[test]
     fn dict_and_set_literals() {
-        let m = parse_module("d = {\"a\": 1, \"b\": 2}\ne = {}\ns = {1, 2, 3}\n")
-            .unwrap();
-        let Stmt::Assign(d) = &m.body[0] else { panic!() };
+        let m = parse_module("d = {\"a\": 1, \"b\": 2}\ne = {}\ns = {1, 2, 3}\n").unwrap();
+        let Stmt::Assign(d) = &m.body[0] else {
+            panic!()
+        };
         assert!(matches!(&d.value.kind, ExprKind::Dict(pairs) if pairs.len() == 2));
-        let Stmt::Assign(e) = &m.body[1] else { panic!() };
+        let Stmt::Assign(e) = &m.body[1] else {
+            panic!()
+        };
         assert!(matches!(&e.value.kind, ExprKind::Dict(pairs) if pairs.is_empty()));
-        let Stmt::Assign(st) = &m.body[2] else { panic!() };
+        let Stmt::Assign(st) = &m.body[2] else {
+            panic!()
+        };
         assert!(matches!(&st.value.kind, ExprKind::Set(items) if items.len() == 3));
     }
 
     #[test]
     fn keyword_arguments_flattened() {
         let m = parse_module("f(x, mode=3)\n").unwrap();
-        let Stmt::Expr(e) = &m.body[0] else {
-            panic!()
-        };
+        let Stmt::Expr(e) = &m.body[0] else { panic!() };
         let ExprKind::Call { args, .. } = &e.expr.kind else {
             panic!()
         };

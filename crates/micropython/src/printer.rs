@@ -71,8 +71,7 @@ impl Printer {
                     let text = print_expr(&d.expr);
                     self.line(&format!("@{text}"));
                 }
-                let params: Vec<&str> =
-                    f.params.iter().map(|p| p.node.as_str()).collect();
+                let params: Vec<&str> = f.params.iter().map(|p| p.node.as_str()).collect();
                 self.line(&format!("def {}({}):", f.name.node, params.join(", ")));
                 self.block(&f.body);
             }
@@ -82,8 +81,7 @@ impl Printer {
                     // Top-level tuples print without parens (Table 2 style).
                     let text = match &v.kind {
                         ExprKind::Tuple(items) if !items.is_empty() => {
-                            let parts: Vec<String> =
-                                items.iter().map(print_expr).collect();
+                            let parts: Vec<String> = items.iter().map(print_expr).collect();
                             parts.join(", ")
                         }
                         _ => print_expr(v),
@@ -184,8 +182,7 @@ fn binop_prec(op: &str) -> u8 {
         "or" => 1,
         "and" => 2,
         // `not` is 3 (see render_expr).
-        "==" | "!=" | "<" | ">" | "<=" | ">=" | "in" | "is" | "is not"
-        | "not in" => 4,
+        "==" | "!=" | "<" | ">" | "<=" | ">=" | "in" | "is" | "is not" | "not in" => 4,
         "|" | "&" | "^" | "<<" | ">>" => 5,
         "+" | "-" => 6,
         "*" | "/" | "//" | "%" | "**" => 7,
@@ -218,8 +215,7 @@ fn render_expr(expr: &Expr, prec: u8) -> String {
         ExprKind::Int(v) => v.to_string(),
         ExprKind::Float(v) => {
             let s = v.to_string();
-            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN")
-            {
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
                 s
             } else {
                 format!("{s}.0")
@@ -240,8 +236,7 @@ fn render_expr(expr: &Expr, prec: u8) -> String {
             format!("{{{}}}", parts.join(", "))
         }
         ExprKind::Set(items) => {
-            let parts: Vec<String> =
-                items.iter().map(|a| render_expr(a, 0)).collect();
+            let parts: Vec<String> = items.iter().map(|a| render_expr(a, 0)).collect();
             format!("{{{}}}", parts.join(", "))
         }
         ExprKind::Tuple(items) => {
@@ -250,8 +245,7 @@ fn render_expr(expr: &Expr, prec: u8) -> String {
             } else if items.len() == 1 {
                 format!("({},)", render_expr(&items[0], 0))
             } else {
-                let parts: Vec<String> =
-                    items.iter().map(|a| render_expr(a, 0)).collect();
+                let parts: Vec<String> = items.iter().map(|a| render_expr(a, 0)).collect();
                 format!("({})", parts.join(", "))
             }
         }
@@ -360,9 +354,7 @@ def f(self):
 
     #[test]
     fn roundtrips_literals() {
-        roundtrip(
-            "x = [1, 2.5, \"s\", True, False, None, (1, 2), []]\ny = \"a\\nb\"\n",
-        );
+        roundtrip("x = [1, 2.5, \"s\", True, False, None, (1, 2), []]\ny = \"a\\nb\"\n");
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub enum Keyword {
 }
 
 impl Keyword {
-    /// Parses a reserved word.
+    /// Parses a reserved word. (Not `std::str::FromStr`: that trait's
+    /// error type would be noise for a lookup that is simply `None`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "def" => Keyword::Def,

@@ -179,7 +179,7 @@ pub fn walk_pattern<V: Visitor + ?Sized>(v: &mut V, pattern: &Pattern) {
 ///
 /// (The [`Visitor`] trait passes anonymous-lifetime references, so
 /// reference-collecting analyses use this direct recursion instead.)
-pub fn collect_exprs<'m>(module: &'m Module, pred: impl Fn(&Expr) -> bool) -> Vec<&'m Expr> {
+pub fn collect_exprs(module: &Module, pred: impl Fn(&Expr) -> bool) -> Vec<&Expr> {
     fn rec<'m>(expr: &'m Expr, pred: &impl Fn(&Expr) -> bool, out: &mut Vec<&'m Expr>) {
         if pred(expr) {
             out.push(expr);
@@ -215,11 +215,7 @@ pub fn collect_exprs<'m>(module: &'m Module, pred: impl Fn(&Expr) -> bool) -> Ve
             _ => {}
         }
     }
-    fn stmt_rec<'m>(
-        stmt: &'m Stmt,
-        pred: &impl Fn(&Expr) -> bool,
-        out: &mut Vec<&'m Expr>,
-    ) {
+    fn stmt_rec<'m>(stmt: &'m Stmt, pred: &impl Fn(&Expr) -> bool, out: &mut Vec<&'m Expr>) {
         match stmt {
             Stmt::ClassDef(c) => {
                 for d in &c.decorators {

@@ -35,13 +35,14 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 20, 3, |inner| {
         prop_oneof![
-            (inner.clone(), arb_name()).prop_map(|(value, attr)| expr(
-                ExprKind::Attribute {
-                    value: Box::new(value),
-                    attr: sp(attr),
-                }
-            )),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
+            (inner.clone(), arb_name()).prop_map(|(value, attr)| expr(ExprKind::Attribute {
+                value: Box::new(value),
+                attr: sp(attr),
+            })),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(func, args)| expr(ExprKind::Call {
                     func: Box::new(func),
                     args,
@@ -66,12 +67,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     left: Box::new(l),
                     right: Box::new(r),
                 })),
-            (inner.clone(), inner.clone()).prop_map(|(v, i)| expr(
-                ExprKind::Subscript {
-                    value: Box::new(v),
-                    index: Box::new(i),
-                }
-            )),
+            (inner.clone(), inner.clone()).prop_map(|(v, i)| expr(ExprKind::Subscript {
+                value: Box::new(v),
+                index: Box::new(i),
+            })),
             inner.clone().prop_map(|o| expr(ExprKind::UnaryOp {
                 op: "not".into(),
                 operand: Box::new(o),

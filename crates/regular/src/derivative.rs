@@ -43,9 +43,7 @@ impl Regex {
                 }
             }
             Regex::Union(a, b) => Regex::union(a.derivative(s), b.derivative(s)),
-            Regex::Star(a) => {
-                Regex::concat(a.derivative(s), Regex::star((**a).clone()))
-            }
+            Regex::Star(a) => Regex::concat(a.derivative(s), Regex::star((**a).clone())),
         }
     }
 
@@ -99,10 +97,7 @@ mod tests {
             Regex::union(Regex::concat(Regex::sym(b), Regex::empty()), Regex::sym(c)),
         );
         let ongoing = Regex::star(loop_body);
-        let returned = Regex::concat(
-            ongoing.clone(),
-            Regex::concat(Regex::sym(a), Regex::sym(b)),
-        );
+        let returned = Regex::concat(ongoing.clone(), Regex::concat(Regex::sym(a), Regex::sym(b)));
         let inferred = Regex::union(ongoing, returned);
         // Example 1: [a,c,a,c] ongoing.
         assert!(inferred.matches(&[a, c, a, c]));

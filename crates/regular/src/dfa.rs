@@ -51,10 +51,10 @@ impl Dfa {
         let mut sets: Vec<BTreeSet<StateId>> = Vec::new();
 
         let intern = |set: BTreeSet<StateId>,
-                          table: &mut Vec<Vec<StateId>>,
-                          accepting: &mut Vec<bool>,
-                          sets: &mut Vec<BTreeSet<StateId>>,
-                          index: &mut HashMap<BTreeSet<StateId>, StateId>|
+                      table: &mut Vec<Vec<StateId>>,
+                      accepting: &mut Vec<bool>,
+                      sets: &mut Vec<BTreeSet<StateId>>,
+                      index: &mut HashMap<BTreeSet<StateId>, StateId>|
          -> StateId {
             if let Some(&q) = index.get(&set) {
                 return q;
@@ -67,13 +67,7 @@ impl Dfa {
             q
         };
 
-        let start = intern(
-            start_set,
-            &mut table,
-            &mut accepting,
-            &mut sets,
-            &mut index,
-        );
+        let start = intern(start_set, &mut table, &mut accepting, &mut sets, &mut index);
         let mut queue = VecDeque::from([start]);
         let mut done = vec![false; 1];
         while let Some(q) = queue.pop_front() {
@@ -93,13 +87,7 @@ impl Dfa {
                     }
                 }
                 let closed = nfa.epsilon_closure(&next);
-                let dst = intern(
-                    closed,
-                    &mut table,
-                    &mut accepting,
-                    &mut sets,
-                    &mut index,
-                );
+                let dst = intern(closed, &mut table, &mut accepting, &mut sets, &mut index);
                 table[q][sym_idx] = dst;
                 if dst >= done.len() {
                     done.resize(dst + 1, false);
@@ -230,20 +218,17 @@ impl Dfa {
         let mut pairs: Vec<(StateId, StateId)> = Vec::new();
 
         let intern = |pair: (StateId, StateId),
-                          table: &mut Vec<Vec<StateId>>,
-                          accepting: &mut Vec<bool>,
-                          pairs: &mut Vec<(StateId, StateId)>,
-                          index: &mut HashMap<(StateId, StateId), StateId>|
+                      table: &mut Vec<Vec<StateId>>,
+                      accepting: &mut Vec<bool>,
+                      pairs: &mut Vec<(StateId, StateId)>,
+                      index: &mut HashMap<(StateId, StateId), StateId>|
          -> StateId {
             if let Some(&q) = index.get(&pair) {
                 return q;
             }
             let q = table.len();
             table.push(vec![usize::MAX; nsyms]);
-            accepting.push(combine(
-                self.accepting[pair.0],
-                other.accepting[pair.1],
-            ));
+            accepting.push(combine(self.accepting[pair.0], other.accepting[pair.1]));
             index.insert(pair, q);
             pairs.push(pair);
             q
@@ -262,13 +247,7 @@ impl Dfa {
             let (qa, qb) = pairs[q];
             for sym_idx in 0..nsyms {
                 let dst_pair = (self.table[qa][sym_idx], other.table[qb][sym_idx]);
-                let dst = intern(
-                    dst_pair,
-                    &mut table,
-                    &mut accepting,
-                    &mut pairs,
-                    &mut index,
-                );
+                let dst = intern(dst_pair, &mut table, &mut accepting, &mut pairs, &mut index);
                 table[q][sym_idx] = dst;
                 if dst >= seen_len {
                     seen_len = dst + 1;
@@ -397,7 +376,10 @@ mod tests {
         let (ab, a, b) = ab2();
         // L1 = words starting with a; L2 = words ending with b.
         let sigma_star = Regex::star(Regex::union(Regex::sym(a), Regex::sym(b)));
-        let l1 = dfa_of(&Regex::concat(Regex::sym(a), sigma_star.clone()), ab.clone());
+        let l1 = dfa_of(
+            &Regex::concat(Regex::sym(a), sigma_star.clone()),
+            ab.clone(),
+        );
         let l2 = dfa_of(&Regex::concat(sigma_star, Regex::sym(b)), ab.clone());
         let both = l1.intersect(&l2);
         assert!(both.accepts(&[a, b]));

@@ -51,10 +51,7 @@ impl Dfa {
         let _ = writeln!(out, "  node [shape=circle];");
         let _ = writeln!(out, "  __start [shape=point];");
         let _ = writeln!(out, "  __start -> q{};", self.start());
-        for q in 0..self.num_states() {
-            if dead[q] {
-                continue;
-            }
+        for (q, _) in dead.iter().enumerate().filter(|(_, &d)| !d) {
             if self.is_accepting(q) {
                 let _ = writeln!(out, "  q{q} [shape=doublecircle];");
             }
@@ -68,11 +65,7 @@ impl Dfa {
                 if dead[dst] {
                     continue;
                 }
-                let _ = writeln!(
-                    out,
-                    "  q{q} -> q{dst} [label=\"{}\"];",
-                    escape(name)
-                );
+                let _ = writeln!(out, "  q{q} -> q{dst} [label=\"{}\"];", escape(name));
             }
         }
         out.push_str("}\n");
@@ -90,8 +83,7 @@ impl Dfa {
             }
         }
         let mut live = vec![false; n];
-        let mut stack: Vec<usize> =
-            (0..n).filter(|&q| self.is_accepting(q)).collect();
+        let mut stack: Vec<usize> = (0..n).filter(|&q| self.is_accepting(q)).collect();
         for &q in &stack {
             live[q] = true;
         }

@@ -78,13 +78,13 @@ impl Dfa {
         out.push(accepted(&counts));
         for _ in 0..max_len {
             let mut next = vec![0u64; n];
-            for q in 0..n {
-                if counts[q] == 0 {
+            for (q, &count) in counts.iter().enumerate() {
+                if count == 0 {
                     continue;
                 }
                 for s in 0..self.alphabet().len() {
                     let dst = self.step(q, Symbol::from_index(s));
-                    next[dst] = next[dst].saturating_add(counts[q]);
+                    next[dst] = next[dst].saturating_add(count);
                 }
             }
             counts = next;
@@ -120,10 +120,7 @@ mod tests {
     fn enumerate_respects_count_cap() {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
-        let dfa = Dfa::from_nfa(&Nfa::from_regex(
-            &Regex::star(Regex::sym(a)),
-            Rc::new(ab),
-        ));
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::sym(a)), Rc::new(ab)));
         assert_eq!(dfa.enumerate_words(50, 5).len(), 5);
     }
 
@@ -139,9 +136,9 @@ mod tests {
         let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, Rc::new(ab)));
         let counts = dfa.count_words_by_length(4);
         let words = dfa.enumerate_words(4, 10_000);
-        for len in 0..=4usize {
+        for (len, &count) in counts.iter().enumerate() {
             let enumerated = words.iter().filter(|w| w.len() == len).count() as u64;
-            assert_eq!(counts[len], enumerated, "length {len}");
+            assert_eq!(count, enumerated, "length {len}");
         }
     }
 }

@@ -35,10 +35,7 @@ impl Dfa {
                 inverse[s][dst].push(i);
             }
         }
-        let accepting: Vec<bool> = reachable
-            .iter()
-            .map(|&q| self.is_accepting(q))
-            .collect();
+        let accepting: Vec<bool> = reachable.iter().map(|&q| self.is_accepting(q)).collect();
 
         // Hopcroft partition refinement.
         let mut partition: Vec<usize> = vec![0; n]; // state -> block id
@@ -151,9 +148,7 @@ impl Dfa {
             let mut next: Vec<usize> = vec![0; n];
             for i in 0..n {
                 let row: Vec<usize> = (0..nsyms)
-                    .map(|s| {
-                        class[dense[&self.step(reachable[i], Symbol::from_index(s))]]
-                    })
+                    .map(|s| class[dense[&self.step(reachable[i], Symbol::from_index(s))]])
                     .collect();
                 let key = (class[i], row);
                 let len = signature.len();
@@ -187,12 +182,7 @@ impl Dfa {
         order
     }
 
-    fn quotient(
-        &self,
-        reachable: &[StateId],
-        class_of_dense: &[usize],
-        nblocks: usize,
-    ) -> Dfa {
+    fn quotient(&self, reachable: &[StateId], class_of_dense: &[usize], nblocks: usize) -> Dfa {
         let nsyms = self.alphabet().len();
         let mut dense: HashMap<StateId, usize> = HashMap::new();
         for (i, &q) in reachable.iter().enumerate() {

@@ -155,8 +155,7 @@ impl Nfa {
     pub fn shortest_accepted(&self) -> Option<Word> {
         // BFS over states; ε-edges cost nothing but BFS on (state) with
         // per-state best word works since all symbol edges cost 1.
-        let mut parent: Vec<Option<(StateId, Option<Symbol>)>> =
-            vec![None; self.edges.len()];
+        let mut parent: Vec<Option<(StateId, Option<Symbol>)>> = vec![None; self.edges.len()];
         let mut visited = vec![false; self.edges.len()];
         let mut queue = VecDeque::new();
         visited[self.start] = true;

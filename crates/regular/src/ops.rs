@@ -23,11 +23,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 /// # Panics
 ///
 /// Panics if the automata have different alphabets.
-pub fn shortest_joint_word(
-    nfa: &Nfa,
-    monitor: &Dfa,
-    ignored: &BTreeSet<Symbol>,
-) -> Option<Word> {
+pub fn shortest_joint_word(nfa: &Nfa, monitor: &Dfa, ignored: &BTreeSet<Symbol>) -> Option<Word> {
     assert_eq!(
         **nfa.alphabet(),
         **monitor.alphabet(),
@@ -83,11 +79,7 @@ pub fn shortest_joint_word(
 /// # Panics
 ///
 /// Panics if the automata have different alphabets.
-pub fn projected_subset(
-    nfa: &Nfa,
-    spec: &Dfa,
-    markers: &BTreeSet<Symbol>,
-) -> Result<(), Word> {
+pub fn projected_subset(nfa: &Nfa, spec: &Dfa, markers: &BTreeSet<Symbol>) -> Result<(), Word> {
     let bad = spec.complement();
     match shortest_joint_word(nfa, &bad, markers) {
         None => Ok(()),

@@ -29,7 +29,11 @@ pub struct ParseRegexError {
 
 impl fmt::Display for ParseRegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -214,8 +218,7 @@ mod tests {
     #[test]
     fn parses_paper_example3() {
         let mut ab = Alphabet::new();
-        let r = parse_regex("(a ; (b ; ∅ + c))* + (a ; (b ; ∅ + c))* ; a ; b", &mut ab)
-            .unwrap();
+        let r = parse_regex("(a ; (b ; ∅ + c))* + (a ; (b ; ∅ + c))* ; a ; b", &mut ab).unwrap();
         let a = ab.lookup("a").unwrap();
         let b = ab.lookup("b").unwrap();
         let c = ab.lookup("c").unwrap();
@@ -277,8 +280,7 @@ mod tests {
     #[test]
     fn roundtrip_display_parse() {
         let mut ab = Alphabet::new();
-        let original =
-            parse_regex("(x ; y + z*) ; (w + eps)", &mut ab).unwrap();
+        let original = parse_regex("(x ; y + z*) ; (w + eps)", &mut ab).unwrap();
         let shown = original.display(&ab).to_string();
         let mut ab2 = ab.clone();
         let reparsed = parse_regex(&shown, &mut ab2).unwrap();

@@ -92,16 +92,12 @@ impl Regex {
 
     /// Concatenates all expressions in order (`ε` for an empty sequence).
     pub fn concat_all<I: IntoIterator<Item = Regex>>(items: I) -> Self {
-        items
-            .into_iter()
-            .fold(Regex::Epsilon, |acc, r| Regex::concat(acc, r))
+        items.into_iter().fold(Regex::Epsilon, Regex::concat)
     }
 
     /// Unions all expressions (`∅` for an empty sequence).
     pub fn union_all<I: IntoIterator<Item = Regex>>(items: I) -> Self {
-        items
-            .into_iter()
-            .fold(Regex::Empty, |acc, r| Regex::union(acc, r))
+        items.into_iter().fold(Regex::Empty, Regex::union)
     }
 
     /// The expression matching exactly the given word.
@@ -185,12 +181,7 @@ impl fmt::Display for DisplayRegex<'_> {
 }
 
 /// Precedence levels: union = 0, concat = 1, star/atom = 2.
-fn write_regex(
-    f: &mut fmt::Formatter<'_>,
-    r: &Regex,
-    ab: &Alphabet,
-    prec: u8,
-) -> fmt::Result {
+fn write_regex(f: &mut fmt::Formatter<'_>, r: &Regex, ab: &Alphabet, prec: u8) -> fmt::Result {
     match r {
         Regex::Empty => write!(f, "∅"),
         Regex::Epsilon => write!(f, "ε"),
@@ -241,10 +232,7 @@ mod tests {
     #[test]
     fn smart_concat_simplifies() {
         let (_, a, _, _) = abc();
-        assert_eq!(
-            Regex::concat(Regex::empty(), Regex::sym(a)),
-            Regex::Empty
-        );
+        assert_eq!(Regex::concat(Regex::empty(), Regex::sym(a)), Regex::Empty);
         assert_eq!(
             Regex::concat(Regex::epsilon(), Regex::sym(a)),
             Regex::sym(a)
@@ -297,10 +285,7 @@ mod tests {
         let (ab, a, b, c) = abc();
         // (a·((b·∅)+c))* from Example 3, built without simplification of b·∅.
         let inner = Regex::Union(
-            Rc::new(Regex::Concat(
-                Rc::new(Regex::Sym(b)),
-                Rc::new(Regex::Empty),
-            )),
+            Rc::new(Regex::Concat(Rc::new(Regex::Sym(b)), Rc::new(Regex::Empty))),
             Rc::new(Regex::Sym(c)),
         );
         let r = Regex::Star(Rc::new(Regex::Concat(

@@ -22,10 +22,7 @@ impl Nfa {
         let start = n;
         let accept = n + 1;
         let mut edges: HashMap<(usize, usize), Regex> = HashMap::new();
-        let add = |edges: &mut HashMap<(usize, usize), Regex>,
-                       from: usize,
-                       to: usize,
-                       r: Regex| {
+        let add = |edges: &mut HashMap<(usize, usize), Regex>, from: usize, to: usize, r: Regex| {
             let entry = edges.entry((from, to)).or_insert(Regex::Empty);
             *entry = Regex::union(entry.clone(), r);
         };
@@ -62,20 +59,15 @@ impl Nfa {
                 .collect();
             for (f, rin) in &incoming {
                 for (t, rout) in &outgoing {
-                    let path = Regex::concat(
-                        rin.clone(),
-                        Regex::concat(loop_star.clone(), rout.clone()),
-                    );
+                    let path =
+                        Regex::concat(rin.clone(), Regex::concat(loop_star.clone(), rout.clone()));
                     add(&mut edges, *f, *t, path);
                 }
             }
             edges.retain(|(f, t), _| *f != victim && *t != victim);
         }
 
-        edges
-            .get(&(start, accept))
-            .cloned()
-            .unwrap_or(Regex::Empty)
+        edges.get(&(start, accept)).cloned().unwrap_or(Regex::Empty)
     }
 }
 

@@ -22,8 +22,7 @@ fn arb_regex() -> impl Strategy<Value = Regex> {
     ];
     leaf.prop_recursive(5, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::concat(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::union(a, b)),
             inner.prop_map(Regex::star),
         ]

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use shelley_core::annotations::OpKind;
-use shelley_core::spec::{
-    intern_spec_events, spec_automaton, ClassSpec, ExitSpec, OperationSpec,
-};
+use shelley_core::spec::{intern_spec_events, spec_automaton, ClassSpec, ExitSpec, OperationSpec};
 use shelley_regular::{Alphabet, Dfa};
 use shelley_runtime::SpecMonitor;
 use std::rc::Rc;
@@ -14,10 +12,7 @@ use std::rc::Rc;
 fn arb_spec() -> impl Strategy<Value = ClassSpec> {
     (2usize..5)
         .prop_flat_map(|n| {
-            let exits = proptest::collection::vec(
-                proptest::collection::vec(0..n, 0..3),
-                n,
-            );
+            let exits = proptest::collection::vec(proptest::collection::vec(0..n, 0..3), n);
             (Just(n), exits)
         })
         .prop_map(|(n, targets)| ClassSpec {

@@ -144,12 +144,10 @@ fn eval_at(f: &Ltl, events: &[&str], i: usize) -> bool {
         Ltl::Until(a, b) => {
             // b at some k ≥ i with a holding in between; fall back to the
             // suffix fixpoint past the prefix.
-            eval_at(b, events, i)
-                || (eval_at(a, events, i) && eval_at(f, events, i + 1))
+            eval_at(b, events, i) || (eval_at(a, events, i) && eval_at(f, events, i + 1))
         }
         Ltl::Release(a, b) => {
-            eval_at(b, events, i)
-                && (eval_at(a, events, i) || eval_at(f, events, i + 1))
+            eval_at(b, events, i) && (eval_at(a, events, i) || eval_at(f, events, i + 1))
         }
     }
 }
@@ -185,10 +183,7 @@ mod tests {
         let ltl = translate_formula(&f, &ab);
         for trace in traces {
             let word: Vec<_> = trace.iter().map(|n| ab.intern(n)).collect();
-            let sanitized: Vec<String> = trace
-                .iter()
-                .map(|n| crate::model::sanitize(n))
-                .collect();
+            let sanitized: Vec<String> = trace.iter().map(|n| crate::model::sanitize(n)).collect();
             let refs: Vec<&str> = sanitized.iter().map(String::as_str).collect();
             assert_eq!(
                 eval_ltlf(&f, &word),
@@ -227,7 +222,13 @@ mod tests {
         check_agreement("F done", &[vec![], vec!["x"], vec!["x", "done"]]);
         check_agreement(
             "a U b",
-            &[vec![], vec!["a"], vec!["b"], vec!["a", "a", "b"], vec!["a", "c"]],
+            &[
+                vec![],
+                vec!["a"],
+                vec!["b"],
+                vec!["a", "a", "b"],
+                vec!["a", "c"],
+            ],
         );
     }
 

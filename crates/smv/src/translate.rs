@@ -36,8 +36,7 @@ pub fn nfa_to_smv(nfa: &Nfa, comment: &str, claims: &[Formula]) -> SmvModel {
 pub fn dfa_to_smv(dfa: &Dfa, comment: &str, claims: &[Formula]) -> SmvModel {
     let alphabet = dfa.alphabet();
     let state_name = |q: usize| format!("s{q}");
-    let mut event_values: Vec<String> =
-        alphabet.iter().map(|(_, n)| sanitize(n)).collect();
+    let mut event_values: Vec<String> = alphabet.iter().map(|(_, n)| sanitize(n)).collect();
     event_values.push(STOP_EVENT.to_owned());
 
     let mut trans = Vec::new();
@@ -140,26 +139,19 @@ mod tests {
         let dfa = Dfa::from_nfa(&nfa);
         // Cross-validate simulation vs the DFA on enumerated words.
         for word in dfa.enumerate_words(5, 200) {
-            let names: Vec<String> = word
-                .iter()
-                .map(|&s| sanitize(ab.name(s)))
-                .collect();
+            let names: Vec<String> = word.iter().map(|&s| sanitize(ab.name(s))).collect();
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
             let end = model.simulate(&refs).expect("valid word must simulate");
             // The reached state must be accepting per the `accepted` DEFINE.
             let accepted = model.define("accepted").unwrap();
             assert!(
-                accepted.contains(&format!("st = {end}"))
-                    || accepted == "FALSE" && false,
+                accepted.contains(&format!("st = {end}")),
                 "word {names:?} reached non-accepting {end}"
             );
         }
         // A rejected word reaches a non-accepting state (or the sink).
         let bad = ["open"];
-        if let Some(end) = model.simulate(&bad) {
-            let accepted = model.define("accepted").unwrap();
-            assert!(!accepted.contains(&format!("st = {end} ")) || true);
-            // Precise check: run DFA.
+        if model.simulate(&bad).is_some() {
             let open = ab.lookup("open").unwrap();
             assert!(!dfa.accepts(&[open]));
         }
@@ -182,8 +174,7 @@ mod tests {
     #[test]
     fn ltlf_claims_translate() {
         let mut ab = Alphabet::new();
-        let claim =
-            shelley_ltlf::parse_formula("(!a.open) W b.open", &mut ab).unwrap();
+        let claim = shelley_ltlf::parse_formula("(!a.open) W b.open", &mut ab).unwrap();
         let nfa = Nfa::from_regex(&Regex::epsilon(), Rc::new(ab));
         let model = nfa_to_smv(&nfa, "claims", &[claim]);
         let spec = &model.ltlspecs[1];

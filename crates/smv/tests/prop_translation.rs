@@ -28,8 +28,7 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
             inner.clone().prop_map(Formula::eventually),
             inner.clone().prop_map(Formula::globally),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::until(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::release(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::release(a, b)),
             (inner.clone(), inner).prop_map(|(a, b)| Formula::weak_until(a, b)),
         ]
     })

@@ -1,0 +1,245 @@
+//! An offline, dependency-free subset of the [criterion] API.
+//!
+//! The bench harness of this workspace was written against the real
+//! `criterion` crate, which is unavailable in the sealed build environment.
+//! This shim keeps every bench compiling and *running* — each benchmark is
+//! timed with [`std::time::Instant`] over a modest number of iterations and
+//! a single line is printed per benchmark:
+//!
+//! ```text
+//! bench fig2/full_pipeline ... 1.23 ms/iter (30 samples)
+//! ```
+//!
+//! There is no statistical analysis, plotting, or HTML report; the point is
+//! that `cargo bench` exercises the same code paths and yields comparable
+//! relative numbers between revisions on the same machine.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching criterion's API.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One warm-up call, then timed samples.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iterations = self.samples as u64;
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: sample_size,
+        ..Bencher::default()
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("bench {name} ... (no iterations)");
+        return;
+    }
+    let per_iter = bencher.total.as_secs_f64() / bencher.iterations as f64;
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!(
+        "bench {name} ... {value:.2} {unit}/iter ({} samples)",
+        bencher.iterations
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_work() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0usize;
+        c.bench_function("shim/smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| b.iter(|| n * 2));
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

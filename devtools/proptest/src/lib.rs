@@ -1,0 +1,184 @@
+//! An offline, dependency-free subset of the [proptest] API.
+//!
+//! The workspace's property tests were written against the real `proptest`
+//! crate, but the build environment has no network access to crates.io.
+//! This crate re-implements the *interface* those tests use — `proptest!`,
+//! `prop_assert*!`, `prop_oneof!`, the [`Strategy`] combinators,
+//! `collection::vec`, `option::of`, integer-range and string-pattern
+//! strategies — on top of a small deterministic PRNG.
+//!
+//! Differences from the real crate (acceptable for the test-suites here):
+//!
+//! * **No shrinking.** A failing case reports its seed and message only.
+//! * **Deterministic.** Case `i` of test `t` always sees the same inputs,
+//!   across runs and machines, so failures are trivially reproducible.
+//! * **Tiny regex subset** for `&str` strategies: sequences of literal
+//!   characters, `[...]` classes (with ranges and `\n`/`\t`/`\\` escapes),
+//!   `\PC` (any printable char), with `{m}`, `{m,n}`, `*`, `+`, `?`
+//!   quantifiers.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod option;
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// A deterministic test RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The per-case generator: mixes the test name hash with the case index.
+    pub fn for_case(name_hash: u64, case: u32) -> Self {
+        let mut rng = TestRng::new(
+            name_hash
+                .wrapping_add(0x2545_f491_4f6c_dd1d)
+                .wrapping_mul(u64::from(case) + 1),
+        );
+        // Warm up so nearby seeds diverge.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded generation; the bias is negligible for
+        // test-data sizes.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform value in the half-open i128 range `[lo, hi)`.
+    pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo < hi);
+        let width = (hi - lo) as u128;
+        let sample = if width > u128::from(u64::MAX) {
+            (u128::from(self.next_u64()) << 64 | u128::from(self.next_u64())) % width
+        } else {
+            u128::from(self.below(width as u64))
+        };
+        lo + sample as i128
+    }
+
+    /// A coin flip with probability `num/denom` of `true`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+}
+
+/// FNV-1a hash of a string, for per-test seeds.
+pub fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_case(hash_name("t"), 3);
+        let mut b = TestRng::for_case(hash_name("t"), 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case(hash_name("t"), 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = rng.in_range(-5, 9);
+            assert!((-5..9).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(x in 0usize..10, v in crate::collection::vec(0i64..100, 0..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 5);
+            for item in &v {
+                prop_assert!((0..100).contains(item));
+            }
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-z][a-z0-9_]{0,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 7);
+            let first = s.chars().next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+        }
+
+        #[test]
+        fn oneof_and_recursive_terminate(n in arb_nested()) {
+            prop_assert!(depth(&n) <= 6);
+            prop_assert!(leaves_ok(&n));
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Nested {
+        Leaf(usize),
+        Pair(Box<Nested>, Box<Nested>),
+    }
+
+    fn depth(n: &Nested) -> usize {
+        match n {
+            Nested::Leaf(_) => 0,
+            Nested::Pair(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn leaves_ok(n: &Nested) -> bool {
+        match n {
+            Nested::Leaf(v) => *v < 4 || *v == 99,
+            Nested::Pair(a, b) => leaves_ok(a) && leaves_ok(b),
+        }
+    }
+
+    fn arb_nested() -> impl Strategy<Value = Nested> {
+        let leaf = prop_oneof![(0usize..4).prop_map(Nested::Leaf), Just(Nested::Leaf(99)),];
+        leaf.prop_recursive(5, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Nested::Pair(Box::new(a), Box::new(b)))
+        })
+    }
+}

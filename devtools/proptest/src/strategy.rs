@@ -1,0 +1,482 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of test values.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// simply produces a value from a deterministic RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then a value from the strategy `f`
+    /// builds from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Retries generation until `f` accepts the value (up to a bounded
+    /// number of attempts; the last candidate is returned regardless so the
+    /// harness never spins forever).
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps an inner strategy into branches, up to `depth` levels.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(strat).boxed();
+            strat = LeafOrBranch {
+                leaf: leaf.clone(),
+                branch,
+            }
+            .boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// Object-safe shim so [`BoxedStrategy`] can hold any strategy.
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A reference-counted, type-erased strategy (cloneable, like proptest's).
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut candidate = self.inner.generate(rng);
+        for _ in 0..64 {
+            if (self.f)(&candidate) {
+                break;
+            }
+            candidate = self.inner.generate(rng);
+        }
+        candidate
+    }
+}
+
+/// A weighted union of boxed strategies — the engine behind `prop_oneof!`.
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; at least one branch with nonzero weight is required.
+    pub fn new(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs a nonzero total weight");
+        Union { branches, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.branches {
+            if pick < u64::from(*w) {
+                return s.generate(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        self.branches.last().unwrap().1.generate(rng)
+    }
+}
+
+/// Recursion helper: picks the leaf or one more level of branching.
+struct LeafOrBranch<T> {
+    leaf: BoxedStrategy<T>,
+    branch: BoxedStrategy<T>,
+}
+
+impl<T> Strategy for LeafOrBranch<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Favor branches so recursive structures actually nest; termination
+        // is guaranteed because the innermost level is the leaf itself.
+        if rng.chance(2, 3) {
+            self.branch.generate(rng)
+        } else {
+            self.leaf.generate(rng)
+        }
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.in_range(self.start as i128, self.end as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.in_range(*self.start() as i128, *self.end() as i128 + 1) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        assert!(lo < hi, "empty char range strategy");
+        loop {
+            let v = rng.in_range(i128::from(lo), i128::from(hi)) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+);)+) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategies! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+// ---------------------------------------------------------------------------
+// String pattern strategies: `"[a-z][a-z0-9_]{0,6}"` and friends.
+// ---------------------------------------------------------------------------
+
+/// One atom of the tiny regex subset.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of inclusive char ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the supported pattern subset; panics on anything else so misuse
+/// is loud at test-authoring time.
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut items: Vec<char> = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => items.push('\n'),
+                            Some('t') => items.push('\t'),
+                            Some(other) => items.push(other),
+                            None => panic!("unterminated escape in pattern `{pattern}`"),
+                        },
+                        Some('-')
+                            if !items.is_empty() && chars.peek().is_some_and(|c| *c != ']') =>
+                        {
+                            let lo = items.pop().unwrap();
+                            let hi = chars.next().unwrap();
+                            ranges.push((lo, hi));
+                        }
+                        Some(other) => items.push(other),
+                        None => panic!("unterminated class in pattern `{pattern}`"),
+                    }
+                }
+                for c in items {
+                    ranges.push((c, c));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => match chars.next() {
+                // `\PC`: any printable (non-control) character. A spread of
+                // ASCII plus a few non-ASCII blocks is plenty for fuzzing.
+                Some('P') => {
+                    match chars.next() {
+                        Some('C') => {}
+                        other => panic!("unsupported escape \\P{other:?} in `{pattern}`"),
+                    }
+                    Atom::Class(vec![
+                        (' ', '~'),
+                        ('\u{a1}', '\u{ff}'),
+                        ('\u{100}', '\u{17f}'),
+                        ('\u{391}', '\u{3a1}'),
+                        ('\u{4e00}', '\u{4e2f}'),
+                    ])
+                }
+                Some('n') => Atom::Literal('\n'),
+                Some('t') => Atom::Literal('\t'),
+                Some(other) => Atom::Literal(other),
+                None => panic!("unterminated escape in pattern `{pattern}`"),
+            },
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("pattern bound"),
+                        hi.trim().parse().expect("pattern bound"),
+                    ),
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("pattern bound");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi as u32) - u64::from(*lo as u32) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for (lo, hi) in ranges {
+                let width = u64::from(*hi as u32) - u64::from(*lo as u32) + 1;
+                if pick < width {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                }
+                pick -= width;
+            }
+            ranges.first().map_or('?', |(lo, _)| *lo)
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for q in &atoms {
+            let count = if q.max > q.min {
+                q.min + rng.below(u64::from(q.max - q.min + 1)) as u32
+            } else {
+                q.min
+            };
+            for _ in 0..count {
+                out.push(generate_atom(&q.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}

@@ -1,0 +1,201 @@
+//! Test-harness types and the `proptest!`/`prop_assert*` macros.
+
+use std::fmt;
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the full workspace suite
+        // fast while still exercising the properties broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Whether this is a `prop_assume!` rejection.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject(_))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(96))]
+///
+///     #[test]
+///     fn holds(x in 0usize..10, s in "[a-z]{1,3}") {
+///         prop_assert!(x < 10, "got {}", x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn name(bindings) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            // Bind each strategy once, shadowing the argument name.
+            $(let $arg = $strat;)+
+            let seed = $crate::hash_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(seed, case);
+                // Shadow again with the generated values.
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                match result {
+                    Ok(()) => {}
+                    Err(e) if e.is_rejection() => {}
+                    Err(e) => panic!(
+                        "proptest case {case} of `{}` failed: {e}",
+                        stringify!($name)
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks among strategies, optionally weighted (`w => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -183,7 +183,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .all(|w| checker.in_language(w));
     println!("Theorem 2 (completeness) on enumerated words … {complete}");
-    println!("Corollary 1: the behavior compiles to a DFA with {} states", dfa.num_states());
+    println!(
+        "Corollary 1: the behavior compiles to a DFA with {} states",
+        dfa.num_states()
+    );
 
     Ok(())
 }

@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match buggy_controller(&mut valve) {
         Err(DeviceError::Protocol(e)) => {
             println!("stopped at run time: {e}");
-            println!("history up to the violation: {}", valve.history().join(" → "));
+            println!(
+                "history up to the violation: {}",
+                valve.history().join(" → ")
+            );
             // The monitor refused before the hardware was touched again;
             // the valve is still mid-protocol but not silently abandoned.
             assert!(!valve.can_finish());

@@ -60,6 +60,6 @@ pub use shelley_runtime as runtime;
 pub use shelley_smv as smv;
 
 pub use shelley_core::{
-    build_integration, build_systems, check_source, CheckReport, Checked,
-    ClaimViolation, System, SystemSet, UsageViolation,
+    build_integration, build_systems, check_source, CheckReport, Checked, ClaimViolation, System,
+    SystemSet, UsageViolation,
 };

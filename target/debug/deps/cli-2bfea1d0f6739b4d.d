@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-2bfea1d0f6739b4d.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2bfea1d0f6739b4d: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_shelleyc=/root/repo/target/debug/shelleyc

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/corpus-02d468a0e1401e13.d: tests/corpus.rs tests/../examples_py/paper.py tests/../examples_py/sector.py tests/../examples_py/greenhouse.py Cargo.toml
+
+/root/repo/target/debug/deps/libcorpus-02d468a0e1401e13.rmeta: tests/corpus.rs tests/../examples_py/paper.py tests/../examples_py/sector.py tests/../examples_py/greenhouse.py Cargo.toml
+
+tests/corpus.rs:
+tests/../examples_py/paper.py:
+tests/../examples_py/sector.py:
+tests/../examples_py/greenhouse.py:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

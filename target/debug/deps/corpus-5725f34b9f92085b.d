@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/corpus-5725f34b9f92085b.d: tests/corpus.rs tests/../examples_py/paper.py tests/../examples_py/sector.py tests/../examples_py/greenhouse.py
+
+/root/repo/target/debug/deps/corpus-5725f34b9f92085b: tests/corpus.rs tests/../examples_py/paper.py tests/../examples_py/sector.py tests/../examples_py/greenhouse.py
+
+tests/corpus.rs:
+tests/../examples_py/paper.py:
+tests/../examples_py/sector.py:
+tests/../examples_py/greenhouse.py:

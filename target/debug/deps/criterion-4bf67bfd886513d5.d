@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-4bf67bfd886513d5.d: devtools/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-4bf67bfd886513d5: devtools/criterion/src/lib.rs
+
+devtools/criterion/src/lib.rs:

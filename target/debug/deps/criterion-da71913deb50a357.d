@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-da71913deb50a357.d: devtools/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-da71913deb50a357.rmeta: devtools/criterion/src/lib.rs Cargo.toml
+
+devtools/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

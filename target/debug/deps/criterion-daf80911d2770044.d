@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-daf80911d2770044.d: devtools/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-daf80911d2770044.rlib: devtools/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-daf80911d2770044.rmeta: devtools/criterion/src/lib.rs
+
+devtools/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnostics_catalog-80ab29d2b9ba5da6.d: tests/diagnostics_catalog.rs
+
+/root/repo/target/debug/deps/diagnostics_catalog-80ab29d2b9ba5da6: tests/diagnostics_catalog.rs
+
+tests/diagnostics_catalog.rs:

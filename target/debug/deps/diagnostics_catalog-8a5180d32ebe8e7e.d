@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnostics_catalog-8a5180d32ebe8e7e.d: tests/diagnostics_catalog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnostics_catalog-8a5180d32ebe8e7e.rmeta: tests/diagnostics_catalog.rs Cargo.toml
+
+tests/diagnostics_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_valve-e274f47ba2352b15.d: crates/bench/benches/fig1_valve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_valve-e274f47ba2352b15.rmeta: crates/bench/benches/fig1_valve.rs Cargo.toml
+
+crates/bench/benches/fig1_valve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_badsector-c9613f5ce67082d9.d: crates/bench/benches/fig2_badsector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_badsector-c9613f5ce67082d9.rmeta: crates/bench/benches/fig2_badsector.rs Cargo.toml
+
+crates/bench/benches/fig2_badsector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_sector-b2eba2eaa6afa776.d: crates/bench/benches/fig3_sector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_sector-b2eba2eaa6afa776.rmeta: crates/bench/benches/fig3_sector.rs Cargo.toml
+
+crates/bench/benches/fig3_sector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

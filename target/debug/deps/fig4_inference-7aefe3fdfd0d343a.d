@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_inference-7aefe3fdfd0d343a.d: crates/bench/benches/fig4_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_inference-7aefe3fdfd0d343a.rmeta: crates/bench/benches/fig4_inference.rs Cargo.toml
+
+crates/bench/benches/fig4_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generated_systems-484dbdfe1a52d75e.d: tests/generated_systems.rs
+
+/root/repo/target/debug/deps/generated_systems-484dbdfe1a52d75e: tests/generated_systems.rs
+
+tests/generated_systems.rs:

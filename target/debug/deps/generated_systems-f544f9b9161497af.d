@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generated_systems-f544f9b9161497af.d: tests/generated_systems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerated_systems-f544f9b9161497af.rmeta: tests/generated_systems.rs Cargo.toml
+
+tests/generated_systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint_passes-e2e6535394935e49.d: crates/bench/benches/lint_passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_passes-e2e6535394935e49.rmeta: crates/bench/benches/lint_passes.rs Cargo.toml
+
+crates/bench/benches/lint_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/micropython_parser-116296cf3c00ab5f.d: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicropython_parser-116296cf3c00ab5f.rmeta: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs Cargo.toml
+
+crates/micropython/src/lib.rs:
+crates/micropython/src/ast.rs:
+crates/micropython/src/lexer.rs:
+crates/micropython/src/parser.rs:
+crates/micropython/src/printer.rs:
+crates/micropython/src/span.rs:
+crates/micropython/src/token.rs:
+crates/micropython/src/visit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

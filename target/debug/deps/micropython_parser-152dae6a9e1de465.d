@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/micropython_parser-152dae6a9e1de465.d: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+/root/repo/target/debug/deps/libmicropython_parser-152dae6a9e1de465.rlib: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+/root/repo/target/debug/deps/libmicropython_parser-152dae6a9e1de465.rmeta: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+crates/micropython/src/lib.rs:
+crates/micropython/src/ast.rs:
+crates/micropython/src/lexer.rs:
+crates/micropython/src/parser.rs:
+crates/micropython/src/printer.rs:
+crates/micropython/src/span.rs:
+crates/micropython/src/token.rs:
+crates/micropython/src/visit.rs:

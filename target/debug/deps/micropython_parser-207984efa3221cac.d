@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/micropython_parser-207984efa3221cac.d: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+/root/repo/target/debug/deps/micropython_parser-207984efa3221cac: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+crates/micropython/src/lib.rs:
+crates/micropython/src/ast.rs:
+crates/micropython/src/lexer.rs:
+crates/micropython/src/parser.rs:
+crates/micropython/src/printer.rs:
+crates/micropython/src/span.rs:
+crates/micropython/src/token.rs:
+crates/micropython/src/visit.rs:

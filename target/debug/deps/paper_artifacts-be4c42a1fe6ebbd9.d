@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_artifacts-be4c42a1fe6ebbd9.d: tests/paper_artifacts.rs
+
+/root/repo/target/debug/deps/paper_artifacts-be4c42a1fe6ebbd9: tests/paper_artifacts.rs
+
+tests/paper_artifacts.rs:

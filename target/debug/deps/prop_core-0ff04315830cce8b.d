@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_core-0ff04315830cce8b.d: crates/core/tests/prop_core.rs
+
+/root/repo/target/debug/deps/prop_core-0ff04315830cce8b: crates/core/tests/prop_core.rs
+
+crates/core/tests/prop_core.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_core-2a395c65253f5b8f.d: crates/core/tests/prop_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_core-2a395c65253f5b8f.rmeta: crates/core/tests/prop_core.rs Cargo.toml
+
+crates/core/tests/prop_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_ltlf-da08ce8878da0e3b.d: crates/ltlf/tests/prop_ltlf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_ltlf-da08ce8878da0e3b.rmeta: crates/ltlf/tests/prop_ltlf.rs Cargo.toml
+
+crates/ltlf/tests/prop_ltlf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

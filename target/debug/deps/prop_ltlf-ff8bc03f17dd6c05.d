@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_ltlf-ff8bc03f17dd6c05.d: crates/ltlf/tests/prop_ltlf.rs
+
+/root/repo/target/debug/deps/prop_ltlf-ff8bc03f17dd6c05: crates/ltlf/tests/prop_ltlf.rs
+
+crates/ltlf/tests/prop_ltlf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_monitor-5829ab5a376197fc.d: crates/runtime/tests/prop_monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_monitor-5829ab5a376197fc.rmeta: crates/runtime/tests/prop_monitor.rs Cargo.toml
+
+crates/runtime/tests/prop_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

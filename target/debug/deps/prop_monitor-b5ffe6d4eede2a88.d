@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_monitor-b5ffe6d4eede2a88.d: crates/runtime/tests/prop_monitor.rs
+
+/root/repo/target/debug/deps/prop_monitor-b5ffe6d4eede2a88: crates/runtime/tests/prop_monitor.rs
+
+crates/runtime/tests/prop_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_regular-e5dbb3c1f572f99c.d: crates/regular/tests/prop_regular.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_regular-e5dbb3c1f572f99c.rmeta: crates/regular/tests/prop_regular.rs Cargo.toml
+
+crates/regular/tests/prop_regular.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

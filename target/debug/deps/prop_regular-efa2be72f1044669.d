@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_regular-efa2be72f1044669.d: crates/regular/tests/prop_regular.rs
+
+/root/repo/target/debug/deps/prop_regular-efa2be72f1044669: crates/regular/tests/prop_regular.rs
+
+crates/regular/tests/prop_regular.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_robustness-5cb8e7c25d84752d.d: crates/micropython/tests/prop_robustness.rs
+
+/root/repo/target/debug/deps/prop_robustness-5cb8e7c25d84752d: crates/micropython/tests/prop_robustness.rs
+
+crates/micropython/tests/prop_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_robustness-8116bc22b731f73a.d: crates/micropython/tests/prop_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_robustness-8116bc22b731f73a.rmeta: crates/micropython/tests/prop_robustness.rs Cargo.toml
+
+crates/micropython/tests/prop_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

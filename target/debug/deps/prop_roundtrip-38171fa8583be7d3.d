@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-38171fa8583be7d3.d: crates/micropython/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-38171fa8583be7d3.rmeta: crates/micropython/tests/prop_roundtrip.rs Cargo.toml
+
+crates/micropython/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-90a14039a6ceac24.d: crates/micropython/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-90a14039a6ceac24: crates/micropython/tests/prop_roundtrip.rs
+
+crates/micropython/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_translation-cba8711a77b95371.d: crates/smv/tests/prop_translation.rs
+
+/root/repo/target/debug/deps/prop_translation-cba8711a77b95371: crates/smv/tests/prop_translation.rs
+
+crates/smv/tests/prop_translation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_translation-ce5942909853edc4.d: crates/smv/tests/prop_translation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_translation-ce5942909853edc4.rmeta: crates/smv/tests/prop_translation.rs Cargo.toml
+
+crates/smv/tests/prop_translation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-b38450f50fff4844.d: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+/root/repo/target/debug/deps/libproptest-b38450f50fff4844.rlib: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+/root/repo/target/debug/deps/libproptest-b38450f50fff4844.rmeta: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+devtools/proptest/src/lib.rs:
+devtools/proptest/src/strategy.rs:
+devtools/proptest/src/test_runner.rs:
+devtools/proptest/src/collection.rs:
+devtools/proptest/src/option.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-c4aa16ec0794b40f.d: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+/root/repo/target/debug/deps/proptest-c4aa16ec0794b40f: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+devtools/proptest/src/lib.rs:
+devtools/proptest/src/strategy.rs:
+devtools/proptest/src/test_runner.rs:
+devtools/proptest/src/collection.rs:
+devtools/proptest/src/option.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-cfe6c3f9b4393488.d: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-cfe6c3f9b4393488.rmeta: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs Cargo.toml
+
+devtools/proptest/src/lib.rs:
+devtools/proptest/src/strategy.rs:
+devtools/proptest/src/test_runner.rs:
+devtools/proptest/src/collection.rs:
+devtools/proptest/src/option.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

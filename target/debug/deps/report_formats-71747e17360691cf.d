@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/report_formats-71747e17360691cf.d: tests/report_formats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_formats-71747e17360691cf.rmeta: tests/report_formats.rs Cargo.toml
+
+tests/report_formats.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/report_formats-f545c1b796a15e74.d: tests/report_formats.rs
+
+/root/repo/target/debug/deps/report_formats-f545c1b796a15e74: tests/report_formats.rs
+
+tests/report_formats.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_monitor-a1de9e05ede93292.d: crates/bench/benches/runtime_monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_monitor-a1de9e05ede93292.rmeta: crates/bench/benches/runtime_monitor.rs Cargo.toml
+
+crates/bench/benches/runtime_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics_edges-e6b2e6fd52b30895.d: tests/semantics_edges.rs
+
+/root/repo/target/debug/deps/semantics_edges-e6b2e6fd52b30895: tests/semantics_edges.rs
+
+tests/semantics_edges.rs:

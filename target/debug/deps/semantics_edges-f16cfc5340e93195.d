@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics_edges-f16cfc5340e93195.d: tests/semantics_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics_edges-f16cfc5340e93195.rmeta: tests/semantics_edges.rs Cargo.toml
+
+tests/semantics_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shelley-2b9e41944eaa9cc2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshelley-2b9e41944eaa9cc2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshelley-2b9e41944eaa9cc2.rmeta: src/lib.rs
+
+src/lib.rs:

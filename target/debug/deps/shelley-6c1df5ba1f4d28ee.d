@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shelley-6c1df5ba1f4d28ee.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshelley-6c1df5ba1f4d28ee.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shelley-fc4600fd0c041d1c.d: src/lib.rs
+
+/root/repo/target/debug/deps/shelley-fc4600fd0c041d1c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shelley_bench-468f20c2b53b6de5.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshelley_bench-468f20c2b53b6de5.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

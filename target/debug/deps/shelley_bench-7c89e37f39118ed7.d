@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shelley_bench-7c89e37f39118ed7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshelley_bench-7c89e37f39118ed7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshelley_bench-7c89e37f39118ed7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shelley_bench-9cd723c623d1b136.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shelley_bench-9cd723c623d1b136: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/shelley_core-062d430ada853603.d: crates/core/src/lib.rs crates/core/src/annotations.rs crates/core/src/diagnostics.rs crates/core/src/diagram.rs crates/core/src/extract/mod.rs crates/core/src/extract/cfg.rs crates/core/src/extract/dependency.rs crates/core/src/extract/invocation.rs crates/core/src/extract/lower.rs crates/core/src/integration.rs crates/core/src/lint/mod.rs crates/core/src/lint/init_order.rs crates/core/src/lint/self_calls.rs crates/core/src/lint/unreachable.rs crates/core/src/pipeline.rs crates/core/src/project.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/verify/mod.rs crates/core/src/verify/claims.rs crates/core/src/verify/usage.rs
+
+/root/repo/target/debug/deps/libshelley_core-062d430ada853603.rlib: crates/core/src/lib.rs crates/core/src/annotations.rs crates/core/src/diagnostics.rs crates/core/src/diagram.rs crates/core/src/extract/mod.rs crates/core/src/extract/cfg.rs crates/core/src/extract/dependency.rs crates/core/src/extract/invocation.rs crates/core/src/extract/lower.rs crates/core/src/integration.rs crates/core/src/lint/mod.rs crates/core/src/lint/init_order.rs crates/core/src/lint/self_calls.rs crates/core/src/lint/unreachable.rs crates/core/src/pipeline.rs crates/core/src/project.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/verify/mod.rs crates/core/src/verify/claims.rs crates/core/src/verify/usage.rs
+
+/root/repo/target/debug/deps/libshelley_core-062d430ada853603.rmeta: crates/core/src/lib.rs crates/core/src/annotations.rs crates/core/src/diagnostics.rs crates/core/src/diagram.rs crates/core/src/extract/mod.rs crates/core/src/extract/cfg.rs crates/core/src/extract/dependency.rs crates/core/src/extract/invocation.rs crates/core/src/extract/lower.rs crates/core/src/integration.rs crates/core/src/lint/mod.rs crates/core/src/lint/init_order.rs crates/core/src/lint/self_calls.rs crates/core/src/lint/unreachable.rs crates/core/src/pipeline.rs crates/core/src/project.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/verify/mod.rs crates/core/src/verify/claims.rs crates/core/src/verify/usage.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotations.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/diagram.rs:
+crates/core/src/extract/mod.rs:
+crates/core/src/extract/cfg.rs:
+crates/core/src/extract/dependency.rs:
+crates/core/src/extract/invocation.rs:
+crates/core/src/extract/lower.rs:
+crates/core/src/integration.rs:
+crates/core/src/lint/mod.rs:
+crates/core/src/lint/init_order.rs:
+crates/core/src/lint/self_calls.rs:
+crates/core/src/lint/unreachable.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/project.rs:
+crates/core/src/spec.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/verify/mod.rs:
+crates/core/src/verify/claims.rs:
+crates/core/src/verify/usage.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shelley_ir-02fb48dff1221c52.d: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+/root/repo/target/debug/deps/shelley_ir-02fb48dff1221c52: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/generate.rs:
+crates/ir/src/infer.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/program.rs:
+crates/ir/src/semantics.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shelley_ir-86c8099da8ba1b49.d: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshelley_ir-86c8099da8ba1b49.rmeta: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/generate.rs:
+crates/ir/src/infer.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/program.rs:
+crates/ir/src/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

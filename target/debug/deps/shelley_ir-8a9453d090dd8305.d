@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shelley_ir-8a9453d090dd8305.d: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+/root/repo/target/debug/deps/libshelley_ir-8a9453d090dd8305.rlib: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+/root/repo/target/debug/deps/libshelley_ir-8a9453d090dd8305.rmeta: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/generate.rs:
+crates/ir/src/infer.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/program.rs:
+crates/ir/src/semantics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shelley_ltlf-8396bda5d629636c.d: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+/root/repo/target/debug/deps/shelley_ltlf-8396bda5d629636c: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+crates/ltlf/src/lib.rs:
+crates/ltlf/src/automaton.rs:
+crates/ltlf/src/check.rs:
+crates/ltlf/src/parser.rs:
+crates/ltlf/src/semantics.rs:
+crates/ltlf/src/simplify.rs:
+crates/ltlf/src/syntax.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shelley_ltlf-cf8b202912e496eb.d: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshelley_ltlf-cf8b202912e496eb.rmeta: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs Cargo.toml
+
+crates/ltlf/src/lib.rs:
+crates/ltlf/src/automaton.rs:
+crates/ltlf/src/check.rs:
+crates/ltlf/src/parser.rs:
+crates/ltlf/src/semantics.rs:
+crates/ltlf/src/simplify.rs:
+crates/ltlf/src/syntax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shelley_ltlf-dc3563057e076370.d: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+/root/repo/target/debug/deps/libshelley_ltlf-dc3563057e076370.rlib: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+/root/repo/target/debug/deps/libshelley_ltlf-dc3563057e076370.rmeta: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+crates/ltlf/src/lib.rs:
+crates/ltlf/src/automaton.rs:
+crates/ltlf/src/check.rs:
+crates/ltlf/src/parser.rs:
+crates/ltlf/src/semantics.rs:
+crates/ltlf/src/simplify.rs:
+crates/ltlf/src/syntax.rs:

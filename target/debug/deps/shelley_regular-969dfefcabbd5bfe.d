@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/shelley_regular-969dfefcabbd5bfe.d: crates/regular/src/lib.rs crates/regular/src/derivative.rs crates/regular/src/dfa.rs crates/regular/src/dot.rs crates/regular/src/enumerate.rs crates/regular/src/minimize.rs crates/regular/src/nfa.rs crates/regular/src/ops.rs crates/regular/src/parser.rs crates/regular/src/regex.rs crates/regular/src/symbol.rs crates/regular/src/to_regex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshelley_regular-969dfefcabbd5bfe.rmeta: crates/regular/src/lib.rs crates/regular/src/derivative.rs crates/regular/src/dfa.rs crates/regular/src/dot.rs crates/regular/src/enumerate.rs crates/regular/src/minimize.rs crates/regular/src/nfa.rs crates/regular/src/ops.rs crates/regular/src/parser.rs crates/regular/src/regex.rs crates/regular/src/symbol.rs crates/regular/src/to_regex.rs Cargo.toml
+
+crates/regular/src/lib.rs:
+crates/regular/src/derivative.rs:
+crates/regular/src/dfa.rs:
+crates/regular/src/dot.rs:
+crates/regular/src/enumerate.rs:
+crates/regular/src/minimize.rs:
+crates/regular/src/nfa.rs:
+crates/regular/src/ops.rs:
+crates/regular/src/parser.rs:
+crates/regular/src/regex.rs:
+crates/regular/src/symbol.rs:
+crates/regular/src/to_regex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

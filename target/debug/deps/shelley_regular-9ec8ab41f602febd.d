@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shelley_regular-9ec8ab41f602febd.d: crates/regular/src/lib.rs crates/regular/src/derivative.rs crates/regular/src/dfa.rs crates/regular/src/dot.rs crates/regular/src/enumerate.rs crates/regular/src/minimize.rs crates/regular/src/nfa.rs crates/regular/src/ops.rs crates/regular/src/parser.rs crates/regular/src/regex.rs crates/regular/src/symbol.rs crates/regular/src/to_regex.rs
+
+/root/repo/target/debug/deps/libshelley_regular-9ec8ab41f602febd.rlib: crates/regular/src/lib.rs crates/regular/src/derivative.rs crates/regular/src/dfa.rs crates/regular/src/dot.rs crates/regular/src/enumerate.rs crates/regular/src/minimize.rs crates/regular/src/nfa.rs crates/regular/src/ops.rs crates/regular/src/parser.rs crates/regular/src/regex.rs crates/regular/src/symbol.rs crates/regular/src/to_regex.rs
+
+/root/repo/target/debug/deps/libshelley_regular-9ec8ab41f602febd.rmeta: crates/regular/src/lib.rs crates/regular/src/derivative.rs crates/regular/src/dfa.rs crates/regular/src/dot.rs crates/regular/src/enumerate.rs crates/regular/src/minimize.rs crates/regular/src/nfa.rs crates/regular/src/ops.rs crates/regular/src/parser.rs crates/regular/src/regex.rs crates/regular/src/symbol.rs crates/regular/src/to_regex.rs
+
+crates/regular/src/lib.rs:
+crates/regular/src/derivative.rs:
+crates/regular/src/dfa.rs:
+crates/regular/src/dot.rs:
+crates/regular/src/enumerate.rs:
+crates/regular/src/minimize.rs:
+crates/regular/src/nfa.rs:
+crates/regular/src/ops.rs:
+crates/regular/src/parser.rs:
+crates/regular/src/regex.rs:
+crates/regular/src/symbol.rs:
+crates/regular/src/to_regex.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shelley_runtime-22a316019bd01e60.d: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshelley_runtime-22a316019bd01e60.rmeta: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/device.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/pins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/shelley_runtime-3912a22abf536e92.d: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+/root/repo/target/debug/deps/shelley_runtime-3912a22abf536e92: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/device.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/pins.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shelley_runtime-e46689f4d48836c1.d: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+/root/repo/target/debug/deps/libshelley_runtime-e46689f4d48836c1.rlib: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+/root/repo/target/debug/deps/libshelley_runtime-e46689f4d48836c1.rmeta: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/device.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/pins.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shelley_smv-3708f0fe71b7f78e.d: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+/root/repo/target/debug/deps/libshelley_smv-3708f0fe71b7f78e.rlib: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+/root/repo/target/debug/deps/libshelley_smv-3708f0fe71b7f78e.rmeta: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+crates/smv/src/lib.rs:
+crates/smv/src/ltl.rs:
+crates/smv/src/model.rs:
+crates/smv/src/translate.rs:
+crates/smv/src/validate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shelley_smv-74d866b420c6f6f3.d: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshelley_smv-74d866b420c6f6f3.rmeta: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs Cargo.toml
+
+crates/smv/src/lib.rs:
+crates/smv/src/ltl.rs:
+crates/smv/src/model.rs:
+crates/smv/src/translate.rs:
+crates/smv/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

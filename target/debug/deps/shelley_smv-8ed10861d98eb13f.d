@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shelley_smv-8ed10861d98eb13f.d: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+/root/repo/target/debug/deps/shelley_smv-8ed10861d98eb13f: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+crates/smv/src/lib.rs:
+crates/smv/src/ltl.rs:
+crates/smv/src/model.rs:
+crates/smv/src/translate.rs:
+crates/smv/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shelleyc-327e56ac3ef19437.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shelleyc-327e56ac3ef19437: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shelleyc-c2e54bfca6f88117.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shelleyc-c2e54bfca6f88117: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

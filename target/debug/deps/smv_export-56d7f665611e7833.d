@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smv_export-56d7f665611e7833.d: crates/bench/benches/smv_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmv_export-56d7f665611e7833.rmeta: crates/bench/benches/smv_export.rs Cargo.toml
+
+crates/bench/benches/smv_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_annotations-e89f9dfe306abe05.d: crates/bench/benches/table1_annotations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_annotations-e89f9dfe306abe05.rmeta: crates/bench/benches/table1_annotations.rs Cargo.toml
+
+crates/bench/benches/table1_annotations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

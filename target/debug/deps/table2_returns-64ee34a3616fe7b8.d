@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_returns-64ee34a3616fe7b8.d: crates/bench/benches/table2_returns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_returns-64ee34a3616fe7b8.rmeta: crates/bench/benches/table2_returns.rs Cargo.toml
+
+crates/bench/benches/table2_returns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

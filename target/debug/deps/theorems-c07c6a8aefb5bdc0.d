@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-c07c6a8aefb5bdc0.d: crates/ir/tests/theorems.rs
+
+/root/repo/target/debug/deps/theorems-c07c6a8aefb5bdc0: crates/ir/tests/theorems.rs
+
+crates/ir/tests/theorems.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorems-eaf17848a03a1288.d: crates/ir/tests/theorems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorems-eaf17848a03a1288.rmeta: crates/ir/tests/theorems.rs Cargo.toml
+
+crates/ir/tests/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

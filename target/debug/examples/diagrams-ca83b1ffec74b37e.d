@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagrams-ca83b1ffec74b37e.d: examples/diagrams.rs
+
+/root/repo/target/debug/examples/diagrams-ca83b1ffec74b37e: examples/diagrams.rs
+
+examples/diagrams.rs:

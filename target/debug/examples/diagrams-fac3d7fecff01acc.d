@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagrams-fac3d7fecff01acc.d: examples/diagrams.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagrams-fac3d7fecff01acc.rmeta: examples/diagrams.rs Cargo.toml
+
+examples/diagrams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/irrigation-4138ce57b80bdc35.d: examples/irrigation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libirrigation-4138ce57b80bdc35.rmeta: examples/irrigation.rs Cargo.toml
+
+examples/irrigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

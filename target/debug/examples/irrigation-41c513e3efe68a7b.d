@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/irrigation-41c513e3efe68a7b.d: examples/irrigation.rs
+
+/root/repo/target/debug/examples/irrigation-41c513e3efe68a7b: examples/irrigation.rs
+
+examples/irrigation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_walkthrough-152a333b5780caaa.d: examples/paper_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_walkthrough-152a333b5780caaa.rmeta: examples/paper_walkthrough.rs Cargo.toml
+
+examples/paper_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

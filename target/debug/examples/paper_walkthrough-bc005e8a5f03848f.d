@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_walkthrough-bc005e8a5f03848f.d: examples/paper_walkthrough.rs
+
+/root/repo/target/debug/examples/paper_walkthrough-bc005e8a5f03848f: examples/paper_walkthrough.rs
+
+examples/paper_walkthrough.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4815a1a5ae8cd92c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4815a1a5ae8cd92c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-c7e1c61a760cf8ca.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-c7e1c61a760cf8ca.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/runtime_guard-73a8f68812af5d97.d: examples/runtime_guard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libruntime_guard-73a8f68812af5d97.rmeta: examples/runtime_guard.rs Cargo.toml
+
+examples/runtime_guard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/runtime_guard-8ab91055d0e5a982.d: examples/runtime_guard.rs
+
+/root/repo/target/debug/examples/runtime_guard-8ab91055d0e5a982: examples/runtime_guard.rs
+
+examples/runtime_guard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_lock-a9b353042909113b.d: examples/smart_lock.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_lock-a9b353042909113b.rmeta: examples/smart_lock.rs Cargo.toml
+
+examples/smart_lock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

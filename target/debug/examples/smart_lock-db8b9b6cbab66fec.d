@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_lock-db8b9b6cbab66fec.d: examples/smart_lock.rs
+
+/root/repo/target/debug/examples/smart_lock-db8b9b6cbab66fec: examples/smart_lock.rs
+
+examples/smart_lock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-ffe14cdf6a31908b.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-ffe14cdf6a31908b: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-42f740cc6a3e3d21.d: devtools/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-42f740cc6a3e3d21: devtools/criterion/src/lib.rs
+
+devtools/criterion/src/lib.rs:

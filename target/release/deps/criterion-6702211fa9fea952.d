@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-6702211fa9fea952.d: devtools/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6702211fa9fea952.rlib: devtools/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6702211fa9fea952.rmeta: devtools/criterion/src/lib.rs
+
+devtools/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_valve-69802aba43fb93ed.d: crates/bench/benches/fig1_valve.rs
+
+/root/repo/target/release/deps/fig1_valve-69802aba43fb93ed: crates/bench/benches/fig1_valve.rs
+
+crates/bench/benches/fig1_valve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_badsector-e886a8f39ea215a9.d: crates/bench/benches/fig2_badsector.rs
+
+/root/repo/target/release/deps/fig2_badsector-e886a8f39ea215a9: crates/bench/benches/fig2_badsector.rs
+
+crates/bench/benches/fig2_badsector.rs:

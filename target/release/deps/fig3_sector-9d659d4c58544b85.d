@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_sector-9d659d4c58544b85.d: crates/bench/benches/fig3_sector.rs
+
+/root/repo/target/release/deps/fig3_sector-9d659d4c58544b85: crates/bench/benches/fig3_sector.rs
+
+crates/bench/benches/fig3_sector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_inference-900030ac55f6bbb5.d: crates/bench/benches/fig4_inference.rs
+
+/root/repo/target/release/deps/fig4_inference-900030ac55f6bbb5: crates/bench/benches/fig4_inference.rs
+
+crates/bench/benches/fig4_inference.rs:

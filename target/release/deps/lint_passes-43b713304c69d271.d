@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lint_passes-43b713304c69d271.d: crates/bench/benches/lint_passes.rs
+
+/root/repo/target/release/deps/lint_passes-43b713304c69d271: crates/bench/benches/lint_passes.rs
+
+crates/bench/benches/lint_passes.rs:

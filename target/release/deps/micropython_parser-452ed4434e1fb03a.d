@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/micropython_parser-452ed4434e1fb03a.d: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+/root/repo/target/release/deps/micropython_parser-452ed4434e1fb03a: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+crates/micropython/src/lib.rs:
+crates/micropython/src/ast.rs:
+crates/micropython/src/lexer.rs:
+crates/micropython/src/parser.rs:
+crates/micropython/src/printer.rs:
+crates/micropython/src/span.rs:
+crates/micropython/src/token.rs:
+crates/micropython/src/visit.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/micropython_parser-e59765cc3cf7f105.d: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+/root/repo/target/release/deps/libmicropython_parser-e59765cc3cf7f105.rlib: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+/root/repo/target/release/deps/libmicropython_parser-e59765cc3cf7f105.rmeta: crates/micropython/src/lib.rs crates/micropython/src/ast.rs crates/micropython/src/lexer.rs crates/micropython/src/parser.rs crates/micropython/src/printer.rs crates/micropython/src/span.rs crates/micropython/src/token.rs crates/micropython/src/visit.rs
+
+crates/micropython/src/lib.rs:
+crates/micropython/src/ast.rs:
+crates/micropython/src/lexer.rs:
+crates/micropython/src/parser.rs:
+crates/micropython/src/printer.rs:
+crates/micropython/src/span.rs:
+crates/micropython/src/token.rs:
+crates/micropython/src/visit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-bb907f6ce1b28da3.d: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+/root/repo/target/release/deps/proptest-bb907f6ce1b28da3: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+devtools/proptest/src/lib.rs:
+devtools/proptest/src/strategy.rs:
+devtools/proptest/src/test_runner.rs:
+devtools/proptest/src/collection.rs:
+devtools/proptest/src/option.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-e1969ec4090ad8ca.d: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+/root/repo/target/release/deps/libproptest-e1969ec4090ad8ca.rlib: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+/root/repo/target/release/deps/libproptest-e1969ec4090ad8ca.rmeta: devtools/proptest/src/lib.rs devtools/proptest/src/strategy.rs devtools/proptest/src/test_runner.rs devtools/proptest/src/collection.rs devtools/proptest/src/option.rs
+
+devtools/proptest/src/lib.rs:
+devtools/proptest/src/strategy.rs:
+devtools/proptest/src/test_runner.rs:
+devtools/proptest/src/collection.rs:
+devtools/proptest/src/option.rs:

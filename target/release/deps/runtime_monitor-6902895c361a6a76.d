@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_monitor-6902895c361a6a76.d: crates/bench/benches/runtime_monitor.rs
+
+/root/repo/target/release/deps/runtime_monitor-6902895c361a6a76: crates/bench/benches/runtime_monitor.rs
+
+crates/bench/benches/runtime_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-a29306bc5be19948.d: crates/bench/benches/scalability.rs
+
+/root/repo/target/release/deps/scalability-a29306bc5be19948: crates/bench/benches/scalability.rs
+
+crates/bench/benches/scalability.rs:

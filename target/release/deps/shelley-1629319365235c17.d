@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shelley-1629319365235c17.d: src/lib.rs
+
+/root/repo/target/release/deps/shelley-1629319365235c17: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shelley-b5192aaf2c30a36e.d: src/lib.rs
+
+/root/repo/target/release/deps/libshelley-b5192aaf2c30a36e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libshelley-b5192aaf2c30a36e.rmeta: src/lib.rs
+
+src/lib.rs:

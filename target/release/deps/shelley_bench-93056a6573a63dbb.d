@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shelley_bench-93056a6573a63dbb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/shelley_bench-93056a6573a63dbb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shelley_bench-ccadb2a99f3a6d21.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshelley_bench-ccadb2a99f3a6d21.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshelley_bench-ccadb2a99f3a6d21.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

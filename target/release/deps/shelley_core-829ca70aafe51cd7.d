@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/shelley_core-829ca70aafe51cd7.d: crates/core/src/lib.rs crates/core/src/annotations.rs crates/core/src/diagnostics.rs crates/core/src/diagram.rs crates/core/src/extract/mod.rs crates/core/src/extract/cfg.rs crates/core/src/extract/dependency.rs crates/core/src/extract/invocation.rs crates/core/src/extract/lower.rs crates/core/src/integration.rs crates/core/src/lint/mod.rs crates/core/src/lint/init_order.rs crates/core/src/lint/self_calls.rs crates/core/src/lint/unreachable.rs crates/core/src/pipeline.rs crates/core/src/project.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/verify/mod.rs crates/core/src/verify/claims.rs crates/core/src/verify/usage.rs
+
+/root/repo/target/release/deps/shelley_core-829ca70aafe51cd7: crates/core/src/lib.rs crates/core/src/annotations.rs crates/core/src/diagnostics.rs crates/core/src/diagram.rs crates/core/src/extract/mod.rs crates/core/src/extract/cfg.rs crates/core/src/extract/dependency.rs crates/core/src/extract/invocation.rs crates/core/src/extract/lower.rs crates/core/src/integration.rs crates/core/src/lint/mod.rs crates/core/src/lint/init_order.rs crates/core/src/lint/self_calls.rs crates/core/src/lint/unreachable.rs crates/core/src/pipeline.rs crates/core/src/project.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/verify/mod.rs crates/core/src/verify/claims.rs crates/core/src/verify/usage.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotations.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/diagram.rs:
+crates/core/src/extract/mod.rs:
+crates/core/src/extract/cfg.rs:
+crates/core/src/extract/dependency.rs:
+crates/core/src/extract/invocation.rs:
+crates/core/src/extract/lower.rs:
+crates/core/src/integration.rs:
+crates/core/src/lint/mod.rs:
+crates/core/src/lint/init_order.rs:
+crates/core/src/lint/self_calls.rs:
+crates/core/src/lint/unreachable.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/project.rs:
+crates/core/src/spec.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/verify/mod.rs:
+crates/core/src/verify/claims.rs:
+crates/core/src/verify/usage.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/shelley_core-c15c9e937545451f.d: crates/core/src/lib.rs crates/core/src/annotations.rs crates/core/src/diagnostics.rs crates/core/src/diagram.rs crates/core/src/extract/mod.rs crates/core/src/extract/cfg.rs crates/core/src/extract/dependency.rs crates/core/src/extract/invocation.rs crates/core/src/extract/lower.rs crates/core/src/integration.rs crates/core/src/lint/mod.rs crates/core/src/lint/init_order.rs crates/core/src/lint/self_calls.rs crates/core/src/lint/unreachable.rs crates/core/src/pipeline.rs crates/core/src/project.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/verify/mod.rs crates/core/src/verify/claims.rs crates/core/src/verify/usage.rs
+
+/root/repo/target/release/deps/libshelley_core-c15c9e937545451f.rlib: crates/core/src/lib.rs crates/core/src/annotations.rs crates/core/src/diagnostics.rs crates/core/src/diagram.rs crates/core/src/extract/mod.rs crates/core/src/extract/cfg.rs crates/core/src/extract/dependency.rs crates/core/src/extract/invocation.rs crates/core/src/extract/lower.rs crates/core/src/integration.rs crates/core/src/lint/mod.rs crates/core/src/lint/init_order.rs crates/core/src/lint/self_calls.rs crates/core/src/lint/unreachable.rs crates/core/src/pipeline.rs crates/core/src/project.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/verify/mod.rs crates/core/src/verify/claims.rs crates/core/src/verify/usage.rs
+
+/root/repo/target/release/deps/libshelley_core-c15c9e937545451f.rmeta: crates/core/src/lib.rs crates/core/src/annotations.rs crates/core/src/diagnostics.rs crates/core/src/diagram.rs crates/core/src/extract/mod.rs crates/core/src/extract/cfg.rs crates/core/src/extract/dependency.rs crates/core/src/extract/invocation.rs crates/core/src/extract/lower.rs crates/core/src/integration.rs crates/core/src/lint/mod.rs crates/core/src/lint/init_order.rs crates/core/src/lint/self_calls.rs crates/core/src/lint/unreachable.rs crates/core/src/pipeline.rs crates/core/src/project.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/verify/mod.rs crates/core/src/verify/claims.rs crates/core/src/verify/usage.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotations.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/diagram.rs:
+crates/core/src/extract/mod.rs:
+crates/core/src/extract/cfg.rs:
+crates/core/src/extract/dependency.rs:
+crates/core/src/extract/invocation.rs:
+crates/core/src/extract/lower.rs:
+crates/core/src/integration.rs:
+crates/core/src/lint/mod.rs:
+crates/core/src/lint/init_order.rs:
+crates/core/src/lint/self_calls.rs:
+crates/core/src/lint/unreachable.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/project.rs:
+crates/core/src/spec.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/verify/mod.rs:
+crates/core/src/verify/claims.rs:
+crates/core/src/verify/usage.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shelley_ir-c176f5d0a542ceda.d: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+/root/repo/target/release/deps/shelley_ir-c176f5d0a542ceda: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/generate.rs:
+crates/ir/src/infer.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/program.rs:
+crates/ir/src/semantics.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/shelley_ir-f5981c516092abef.d: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+/root/repo/target/release/deps/libshelley_ir-f5981c516092abef.rlib: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+/root/repo/target/release/deps/libshelley_ir-f5981c516092abef.rmeta: crates/ir/src/lib.rs crates/ir/src/generate.rs crates/ir/src/infer.rs crates/ir/src/parser.rs crates/ir/src/program.rs crates/ir/src/semantics.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/generate.rs:
+crates/ir/src/infer.rs:
+crates/ir/src/parser.rs:
+crates/ir/src/program.rs:
+crates/ir/src/semantics.rs:

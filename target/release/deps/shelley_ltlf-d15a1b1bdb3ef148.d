@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shelley_ltlf-d15a1b1bdb3ef148.d: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+/root/repo/target/release/deps/shelley_ltlf-d15a1b1bdb3ef148: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+crates/ltlf/src/lib.rs:
+crates/ltlf/src/automaton.rs:
+crates/ltlf/src/check.rs:
+crates/ltlf/src/parser.rs:
+crates/ltlf/src/semantics.rs:
+crates/ltlf/src/simplify.rs:
+crates/ltlf/src/syntax.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/shelley_ltlf-e5fe2d309c3b9a02.d: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+/root/repo/target/release/deps/libshelley_ltlf-e5fe2d309c3b9a02.rlib: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+/root/repo/target/release/deps/libshelley_ltlf-e5fe2d309c3b9a02.rmeta: crates/ltlf/src/lib.rs crates/ltlf/src/automaton.rs crates/ltlf/src/check.rs crates/ltlf/src/parser.rs crates/ltlf/src/semantics.rs crates/ltlf/src/simplify.rs crates/ltlf/src/syntax.rs
+
+crates/ltlf/src/lib.rs:
+crates/ltlf/src/automaton.rs:
+crates/ltlf/src/check.rs:
+crates/ltlf/src/parser.rs:
+crates/ltlf/src/semantics.rs:
+crates/ltlf/src/simplify.rs:
+crates/ltlf/src/syntax.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/shelley_regular-2e6f18bf98e61dc1.d: crates/regular/src/lib.rs crates/regular/src/derivative.rs crates/regular/src/dfa.rs crates/regular/src/dot.rs crates/regular/src/enumerate.rs crates/regular/src/minimize.rs crates/regular/src/nfa.rs crates/regular/src/ops.rs crates/regular/src/parser.rs crates/regular/src/regex.rs crates/regular/src/symbol.rs crates/regular/src/to_regex.rs
+
+/root/repo/target/release/deps/shelley_regular-2e6f18bf98e61dc1: crates/regular/src/lib.rs crates/regular/src/derivative.rs crates/regular/src/dfa.rs crates/regular/src/dot.rs crates/regular/src/enumerate.rs crates/regular/src/minimize.rs crates/regular/src/nfa.rs crates/regular/src/ops.rs crates/regular/src/parser.rs crates/regular/src/regex.rs crates/regular/src/symbol.rs crates/regular/src/to_regex.rs
+
+crates/regular/src/lib.rs:
+crates/regular/src/derivative.rs:
+crates/regular/src/dfa.rs:
+crates/regular/src/dot.rs:
+crates/regular/src/enumerate.rs:
+crates/regular/src/minimize.rs:
+crates/regular/src/nfa.rs:
+crates/regular/src/ops.rs:
+crates/regular/src/parser.rs:
+crates/regular/src/regex.rs:
+crates/regular/src/symbol.rs:
+crates/regular/src/to_regex.rs:

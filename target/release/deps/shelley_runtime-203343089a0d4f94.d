@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/shelley_runtime-203343089a0d4f94.d: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+/root/repo/target/release/deps/shelley_runtime-203343089a0d4f94: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/device.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/pins.rs:

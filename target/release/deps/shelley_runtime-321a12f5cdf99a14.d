@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/shelley_runtime-321a12f5cdf99a14.d: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+/root/repo/target/release/deps/libshelley_runtime-321a12f5cdf99a14.rlib: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+/root/repo/target/release/deps/libshelley_runtime-321a12f5cdf99a14.rmeta: crates/runtime/src/lib.rs crates/runtime/src/device.rs crates/runtime/src/monitor.rs crates/runtime/src/pins.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/device.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/pins.rs:

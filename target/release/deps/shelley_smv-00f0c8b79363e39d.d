@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/shelley_smv-00f0c8b79363e39d.d: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+/root/repo/target/release/deps/shelley_smv-00f0c8b79363e39d: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+crates/smv/src/lib.rs:
+crates/smv/src/ltl.rs:
+crates/smv/src/model.rs:
+crates/smv/src/translate.rs:
+crates/smv/src/validate.rs:

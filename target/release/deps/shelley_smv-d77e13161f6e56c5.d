@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/shelley_smv-d77e13161f6e56c5.d: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+/root/repo/target/release/deps/libshelley_smv-d77e13161f6e56c5.rlib: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+/root/repo/target/release/deps/libshelley_smv-d77e13161f6e56c5.rmeta: crates/smv/src/lib.rs crates/smv/src/ltl.rs crates/smv/src/model.rs crates/smv/src/translate.rs crates/smv/src/validate.rs
+
+crates/smv/src/lib.rs:
+crates/smv/src/ltl.rs:
+crates/smv/src/model.rs:
+crates/smv/src/translate.rs:
+crates/smv/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shelleyc-e04e46a277f31ce3.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/shelleyc-e04e46a277f31ce3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shelleyc-fd3c7bb6adf35b15.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/shelleyc-fd3c7bb6adf35b15: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smv_export-7cfbe1cc922b03b3.d: crates/bench/benches/smv_export.rs
+
+/root/repo/target/release/deps/smv_export-7cfbe1cc922b03b3: crates/bench/benches/smv_export.rs
+
+crates/bench/benches/smv_export.rs:

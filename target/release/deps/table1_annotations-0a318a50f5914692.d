@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_annotations-0a318a50f5914692.d: crates/bench/benches/table1_annotations.rs
+
+/root/repo/target/release/deps/table1_annotations-0a318a50f5914692: crates/bench/benches/table1_annotations.rs
+
+crates/bench/benches/table1_annotations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_returns-143604280268e530.d: crates/bench/benches/table2_returns.rs
+
+/root/repo/target/release/deps/table2_returns-143604280268e530: crates/bench/benches/table2_returns.rs
+
+crates/bench/benches/table2_returns.rs:

@@ -2,8 +2,8 @@
 //! pipeline can produce is triggered from real source through
 //! `check_source`, so the catalog in `diagnostics::codes` never rots.
 
-use shelley::core::codes;
 use shelley::core::check_source;
+use shelley::core::codes;
 
 const VALVE: &str = r#"
 @sys
@@ -43,7 +43,8 @@ fn e001_undefined_operation() {
 
 #[test]
 fn e002_undefined_next_operation() {
-    let src = "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return [\"teleport\"]\n";
+    let src =
+        "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return [\"teleport\"]\n";
     assert_eq!(count(src, codes::UNDEFINED_NEXT_OPERATION), 1);
 }
 
@@ -84,10 +85,12 @@ fn e006_no_initial_operation() {
 
 #[test]
 fn e007_bad_claim() {
-    let src = format!(
-        "{}",
-        VALVE.replace("@sys\nclass Valve:", "@claim(\"(!open W\")\n@sys\nclass Valve:")
-    );
+    let src = VALVE
+        .replace(
+            "@sys\nclass Valve:",
+            "@claim(\"(!open W\")\n@sys\nclass Valve:",
+        )
+        .to_string();
     assert_eq!(count(&src, codes::BAD_CLAIM), 1);
 }
 
@@ -135,7 +138,8 @@ fn w004_no_final_reachable() {
 
 #[test]
 fn w005_unknown_decorator() {
-    let src = "@sparkle\n@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return []\n";
+    let src =
+        "@sparkle\n@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        return []\n";
     assert_eq!(count(src, codes::UNKNOWN_DECORATOR), 1);
 }
 
@@ -169,4 +173,44 @@ fn w008_field_reassigned() {
         "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        self.a = Valve()\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                self.a.close()\n                return []\n            case [\"clean\"]:\n                self.a.clean()\n                return []\n"
     );
     assert_eq!(count(&src, codes::FIELD_REASSIGNED), 1);
+}
+
+#[test]
+fn e008_use_before_init() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        self.a.warmup()\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                self.a.close()\n                return []\n            case [\"clean\"]:\n                self.a.clean()\n                return []\n"
+    );
+    assert_eq!(count(&src, codes::USE_BEFORE_INIT), 1);
+}
+
+#[test]
+fn w009_unreachable_statement() {
+    let src = "@sys\nclass V:\n    @op_initial_final\n    def go(self):\n        return []\n        self.cleanup()\n";
+    assert_eq!(count(src, codes::UNREACHABLE_STATEMENT), 1);
+}
+
+#[test]
+fn w010_maybe_uninit_subsystem() {
+    let src = format!(
+        "{VALVE}\n@sys([\"a\"])\nclass U:\n    def __init__(self):\n        if flag:\n            self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n                self.a.close()\n                return []\n            case [\"clean\"]:\n                self.a.clean()\n                return []\n"
+    );
+    assert!(count(&src, codes::MAYBE_UNINIT_SUBSYSTEM) >= 1);
+}
+
+#[test]
+fn w011_sibling_operation_call() {
+    let src = "@sys\nclass V:\n    @op_initial\n    def a(self):\n        self.b()\n        return [\"b\"]\n\n    @op_final\n    def b(self):\n        return []\n";
+    assert_eq!(count(src, codes::SIBLING_OPERATION_CALL), 1);
+}
+
+#[test]
+fn registry_has_a_witness_for_every_default_level() {
+    // Guards the catalog's premise: every code in the registry is a real,
+    // stable identifier the config layer accepts.
+    let mut config = shelley::core::LintConfig::new();
+    for info in shelley::core::REGISTRY {
+        config
+            .set(info.code, shelley::core::LintLevel::Warn)
+            .unwrap();
+    }
 }

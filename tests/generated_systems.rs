@@ -139,10 +139,7 @@ fn fault_undefined_operation_detected() {
 #[test]
 fn fault_bad_claim_detected() {
     let good = chain_system(1, 2);
-    let with_claim = good.replace(
-        "@sys([\"c0\"])",
-        "@claim(\"G !c0.s1\")\n@sys([\"c0\"])",
-    );
+    let with_claim = good.replace("@sys([\"c0\"])", "@claim(\"G !c0.s1\")\n@sys([\"c0\"])");
     let checked = check_source(&with_claim).unwrap();
     assert_eq!(checked.report.claim_violations.len(), 1);
     let (_, v) = &checked.report.claim_violations[0];
@@ -200,12 +197,9 @@ class Plant:
     assert!(ab.lookup("s1.cycle").is_some());
     assert!(ab.lookup("s2.cycle").is_some());
     let s = |n: &str| ab.lookup(n).unwrap();
-    assert!(integration.nfa.accepts(&[
-        s("shift"),
-        s("s1.cycle"),
-        s("s2.cycle"),
-        s("s1.cycle"),
-    ]));
+    assert!(integration
+        .nfa
+        .accepts(&[s("shift"), s("s1.cycle"), s("s2.cycle"), s("s1.cycle"),]));
 }
 
 #[test]
@@ -288,12 +282,9 @@ class Sampler:
     let s = |n: &str| ab.lookup(n).unwrap();
     // Any number of reads is fine, including zero.
     assert!(integration.nfa.accepts(&[s("sample")]));
-    assert!(integration.nfa.accepts(&[
-        s("sample"),
-        s("s.read"),
-        s("s.read"),
-        s("s.read")
-    ]));
+    assert!(integration
+        .nfa
+        .accepts(&[s("sample"), s("s.read"), s("s.read"), s("s.read")]));
 }
 
 #[test]

@@ -159,7 +159,10 @@ class Forms:
         checked.report.render(None)
     );
     let spec = &checked.systems.get("Forms").unwrap().spec;
-    assert_eq!(spec.operation("single").unwrap().exits[0].next, vec!["multi"]);
+    assert_eq!(
+        spec.operation("single").unwrap().exits[0].next,
+        vec!["multi"]
+    );
     assert_eq!(
         spec.operation("multi").unwrap().exits[0].next,
         vec!["single", "valued_int"]
@@ -251,10 +254,7 @@ fn claim_error_message_exact_shape() {
         s("b.close"),
     ];
     assert!(integration.nfa.accepts(&full));
-    let events: Vec<_> = shelley::regular::ops::strip_markers(
-        &full.to_vec(),
-        &integration.markers,
-    );
+    let events: Vec<_> = shelley::regular::ops::strip_markers(full.as_ref(), &integration.markers);
     let mut ab2 = (**integration.nfa.alphabet()).clone();
     let f2 = shelley::ltlf::parse_formula("(!a.open) W b.open", &mut ab2).unwrap();
     assert!(!shelley::ltlf::eval(&f2, &events));
@@ -354,8 +354,7 @@ fn theorems_on_the_extracted_badsector_behaviors() {
             assert!(checker.in_language(&w), "{name}: {w:?}");
         }
         // And conversely on the semantic enumeration.
-        let traces =
-            shelley::ir::enumerate_traces(&lowered.program, Default::default());
+        let traces = shelley::ir::enumerate_traces(&lowered.program, Default::default());
         for (_, l) in traces {
             assert!(behavior.matches(&l), "{name}: {l:?}");
         }

@@ -1,0 +1,135 @@
+//! Snapshot tests of the user-facing report formats: the paper's two
+//! error texts byte-for-byte, and golden files for the JSON and SARIF
+//! renderers.
+//!
+//! Regenerate the goldens after an intentional format change with
+//! `UPDATE_GOLDEN=1 cargo test --test report_formats`.
+
+use shelley::core::check_source;
+use shelley::micropython::SourceFile;
+use std::path::Path;
+
+/// Listings 2.1 + 2.2 of the paper (the `clean` pin renamed `clean_pin`).
+const PAPER: &str = r#"@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean_pin = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean_pin.on()
+        return ["test"]
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+"#;
+
+#[test]
+fn invalid_subsystem_usage_text_matches_the_paper() {
+    let checked = check_source(PAPER).unwrap();
+    let (_, v) = &checked.report.usage_violations[0];
+    assert_eq!(
+        v.render(),
+        "Error in specification: INVALID SUBSYSTEM USAGE\n\
+         Counter example: open_a, a.test, a.open\n\
+         Subsystems errors:\n\
+         \x20 * Valve 'a': test, >open< (not final)\n"
+    );
+}
+
+#[test]
+fn fail_to_meet_requirement_text_matches_the_paper() {
+    let checked = check_source(PAPER).unwrap();
+    let (_, v) = &checked.report.claim_violations[0];
+    assert_eq!(v.formula, "(!a.open) W b.open");
+    assert!(v.render().starts_with(
+        "Error in specification: FAIL TO MEET REQUIREMENT\n\
+         Formula: (!a.open) W b.open\n\
+         Counter example: "
+    ));
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "{} drifted; rerun with UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn json_report_matches_golden() {
+    let file = SourceFile::new("paper.py".to_owned(), PAPER.to_owned());
+    let checked = check_source(PAPER).unwrap();
+    let json = checked.report.diagnostics.render_json(Some(&file));
+    check_golden("paper.json", &json);
+}
+
+#[test]
+fn sarif_report_matches_golden() {
+    let file = SourceFile::new("paper.py".to_owned(), PAPER.to_owned());
+    let checked = check_source(PAPER).unwrap();
+    let sarif = checked.report.diagnostics.render_sarif(Some(&file));
+    // The acceptance shape: an E100 result whose message carries the
+    // paper's counterexample.
+    assert!(sarif.contains("\"ruleId\": \"E100\""));
+    assert!(sarif.contains("open_a, a.test, a.open"));
+    check_golden("paper.sarif", &sarif);
+}

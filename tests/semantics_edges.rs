@@ -226,8 +226,7 @@ class V:
     let v = checked.systems.get("V").unwrap();
     let mut ab = shelley::regular::Alphabet::new();
     shelley::core::spec::intern_spec_events(&v.spec, None, &mut ab);
-    let auto =
-        shelley::core::spec::spec_automaton(&v.spec, None, std::rc::Rc::new(ab.clone()));
+    let auto = shelley::core::spec::spec_automaton(&v.spec, None, std::rc::Rc::new(ab.clone()));
     let s = |n: &str| ab.lookup(n).unwrap();
     assert!(auto.nfa().accepts(&[s("a"), s("b")]));
     assert!(!auto.nfa().accepts(&[s("a"), s("b"), s("b")]));
