@@ -9,9 +9,9 @@ use shelley_ir::generate::{generate_program, GenConfig};
 use shelley_ir::infer;
 use shelley_ltlf::{parse_formula, to_dfa};
 use shelley_regular::{Alphabet, Dfa, Nfa, Regex};
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn workload(size: usize) -> (Rc<Alphabet>, Regex) {
+fn workload(size: usize) -> (Arc<Alphabet>, Regex) {
     let (ab, p) = generate_program(
         13,
         GenConfig {
@@ -19,7 +19,7 @@ fn workload(size: usize) -> (Rc<Alphabet>, Regex) {
             ..GenConfig::default()
         },
     );
-    (Rc::new(ab), infer(&p))
+    (Arc::new(ab), infer(&p))
 }
 
 fn bench_minimization(c: &mut Criterion) {
@@ -68,7 +68,7 @@ fn bench_monitor_minimization(c: &mut Criterion) {
     for extra in ["a.test", "a.close", "b.test", "b.close", "open_a", "open_b"] {
         ab.intern(extra);
     }
-    let ab = Rc::new(ab);
+    let ab = Arc::new(ab);
     let mut group = c.benchmark_group("ablation/claim_monitor");
     group.bench_function("monitor_construction", |b| {
         b.iter(|| to_dfa(&claim.negate(), ab.clone()).num_states())

@@ -11,7 +11,7 @@ use micropython_parser::parse_module;
 use shelley_bench::PAPER_SOURCE;
 use shelley_core::verify::claims::check_claims;
 use shelley_core::verify::usage::check_usage;
-use shelley_core::{build_integration, build_systems, check_source};
+use shelley_core::{build_integration, build_systems, Checker};
 
 fn bench_fig2(c: &mut Criterion) {
     let module = parse_module(PAPER_SOURCE).unwrap();
@@ -43,7 +43,7 @@ fn bench_fig2(c: &mut Criterion) {
 
     c.bench_function("fig2/full_pipeline", |b| {
         b.iter(|| {
-            let checked = check_source(PAPER_SOURCE).expect("parses");
+            let checked = Checker::new().check_source(PAPER_SOURCE).expect("parses");
             assert!(!checked.report.passed());
             checked.report.usage_violations.len() + checked.report.claim_violations.len()
         })

@@ -10,7 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use micropython_parser::parse_module;
 use shelley_bench::PAPER_SOURCE;
 use shelley_core::lint::{run_lints, LintConfig, LintLevel};
-use shelley_core::{build_systems, check_source_with, codes, Diagnostics};
+use shelley_core::{build_systems, codes, Checker, Diagnostics};
 
 fn bench_lints(c: &mut Criterion) {
     let module = parse_module(PAPER_SOURCE).unwrap();
@@ -25,9 +25,12 @@ fn bench_lints(c: &mut Criterion) {
         })
     });
 
+    let default_checker = Checker::new().lints(defaults.clone()).jobs(1);
     c.bench_function("lint/pipeline_with_default_lints", |b| {
         b.iter(|| {
-            let checked = check_source_with(black_box(PAPER_SOURCE), &defaults).unwrap();
+            let checked = default_checker
+                .check_source(black_box(PAPER_SOURCE))
+                .unwrap();
             checked.report.diagnostics.len()
         })
     });
@@ -41,9 +44,10 @@ fn bench_lints(c: &mut Criterion) {
     ] {
         allow_all.set(code, LintLevel::Allow).unwrap();
     }
+    let allow_checker = Checker::new().lints(allow_all.clone()).jobs(1);
     c.bench_function("lint/pipeline_with_lints_allowed_off", |b| {
         b.iter(|| {
-            let checked = check_source_with(black_box(PAPER_SOURCE), &allow_all).unwrap();
+            let checked = allow_checker.check_source(black_box(PAPER_SOURCE)).unwrap();
             checked.report.diagnostics.len()
         })
     });

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shelley_bench::chain_system;
-use shelley_core::{build_integration, check_source};
+use shelley_core::{build_integration, Checker};
 
 fn bench_protocol_length(c: &mut Criterion) {
     let mut group = c.benchmark_group("scalability/protocol_length");
@@ -15,7 +15,7 @@ fn bench_protocol_length(c: &mut Criterion) {
         let src = chain_system(1, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
             b.iter(|| {
-                let checked = check_source(src).expect("parses");
+                let checked = Checker::new().check_source(src).expect("parses");
                 assert!(checked.report.passed());
                 checked.systems.len()
             })
@@ -30,7 +30,7 @@ fn bench_subsystem_count(c: &mut Criterion) {
         let src = chain_system(k, 4);
         group.bench_with_input(BenchmarkId::from_parameter(k), &src, |b, src| {
             b.iter(|| {
-                let checked = check_source(src).expect("parses");
+                let checked = Checker::new().check_source(src).expect("parses");
                 assert!(checked.report.passed());
                 checked.systems.len()
             })
@@ -42,7 +42,7 @@ fn bench_subsystem_count(c: &mut Criterion) {
     // EXPERIMENTS.md).
     for k in [1usize, 4, 8, 12] {
         let src = chain_system(k, 4);
-        let checked = check_source(&src).unwrap();
+        let checked = Checker::new().check_source(&src).unwrap();
         let driver = checked.systems.get("Driver").unwrap();
         let integration = build_integration(driver);
         eprintln!(

@@ -10,7 +10,7 @@ use shelley_core::build_systems;
 use shelley_core::spec::{intern_spec_events, spec_automaton};
 use shelley_regular::{Alphabet, Dfa};
 use shelley_smv::{nfa_to_smv, validate_model};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn spec_nfa(src: &str, class: &str) -> shelley_regular::Nfa {
     let module = parse_module(src).unwrap();
@@ -18,7 +18,7 @@ fn spec_nfa(src: &str, class: &str) -> shelley_regular::Nfa {
     let spec = &systems.get(class).unwrap().spec;
     let mut ab = Alphabet::new();
     intern_spec_events(spec, None, &mut ab);
-    spec_automaton(spec, None, Rc::new(ab)).nfa().clone()
+    spec_automaton(spec, None, Arc::new(ab)).nfa().clone()
 }
 
 fn bench_smv(c: &mut Criterion) {

@@ -1,0 +1,65 @@
+//! Cold vs. incremental verification on a generated 100-class project.
+//!
+//! The workspace's reason to exist: after a 1-file edit, only the edited
+//! class and its dependent composite re-run the pipeline, so the re-check
+//! should cost a small, project-size-independent fraction of the cold
+//! check. The two benches regenerate exactly that pair of numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shelley_bench::generated_project;
+use shelley_core::{Checker, Workspace};
+
+const CLASSES: usize = 100;
+
+fn load(workspace: &mut Workspace, files: &[(String, String)]) {
+    for (name, source) in files {
+        workspace.set_file(name.clone(), source.clone());
+    }
+}
+
+fn bench_cold(c: &mut Criterion) {
+    let files = generated_project(CLASSES);
+    c.bench_function("workspace/cold_check_100_classes", |b| {
+        b.iter(|| {
+            let mut workspace = Checker::new().jobs(1).into_workspace();
+            load(&mut workspace, &files);
+            let checked = workspace.check().unwrap();
+            assert!(checked.report.passed());
+            checked.systems.len()
+        })
+    });
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let files = generated_project(CLASSES);
+    let mut workspace = Checker::new().jobs(1).into_workspace();
+    load(&mut workspace, &files);
+    workspace.check().unwrap();
+
+    // Alternate between two variants of one base class so every iteration
+    // is a genuine fingerprint miss (editing base0.py invalidates Base0
+    // and its composite Comp1 — 2 of the 100 classes).
+    let (edit_name, original) = files[0].clone();
+    let edited = original.replacen(
+        "        return [\"s1\"]",
+        "        x = 1\n        return [\"s1\"]",
+        1,
+    );
+    assert_ne!(original, edited);
+    let mut flip = false;
+    c.bench_function("workspace/recheck_after_1_file_edit_100_classes", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let text = if flip { &edited } else { &original };
+            workspace.set_file(edit_name.clone(), text.clone());
+            let checked = workspace.check().unwrap();
+            assert!(checked.report.passed());
+            checked.systems.len()
+        })
+    });
+    assert_eq!(workspace.last_round().verified, 2);
+    assert_eq!(workspace.last_round().verify_cache_hits, CLASSES as u64 - 2);
+}
+
+criterion_group!(benches, bench_cold, bench_incremental);
+criterion_main!(benches);

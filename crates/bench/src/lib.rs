@@ -196,26 +196,67 @@ pub fn return_forms_module(reps: usize) -> String {
     out
 }
 
+/// A file-per-class project of `classes` classes: even indices are base
+/// chain classes (`Base{i}`), odd indices are composites (`Comp{i}`)
+/// driving the preceding base class through one full protocol round. The
+/// shape exercises the workspace's dependency fingerprints: editing
+/// `base{i}.py` invalidates exactly `Base{i}` and `Comp{i+1}`.
+pub fn generated_project(classes: usize) -> Vec<(String, String)> {
+    (0..classes)
+        .map(|i| {
+            if i % 2 == 0 {
+                (format!("base{i}.py"), chain_class(&format!("Base{i}"), 3))
+            } else {
+                let dep = format!("Base{}", i - 1);
+                let mut out = String::new();
+                let _ = writeln!(out, "@sys([\"c\"])");
+                let _ = writeln!(out, "class Comp{i}:");
+                let _ = writeln!(out, "    def __init__(self):");
+                let _ = writeln!(out, "        self.c = {dep}()");
+                let _ = writeln!(out);
+                let _ = writeln!(out, "    @op_initial_final");
+                let _ = writeln!(out, "    def run(self):");
+                for op in 0..3 {
+                    let _ = writeln!(out, "        self.c.s{op}()");
+                }
+                let _ = writeln!(out, "        return []");
+                (format!("comp{i}.py"), out)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shelley_core::check_source;
+    use shelley_core::Checker;
 
     #[test]
     fn generated_sources_verify() {
         for (k, n) in [(1, 1), (2, 3), (4, 5)] {
-            let checked = check_source(&chain_system(k, n)).unwrap();
+            let checked = Checker::new().check_source(&chain_system(k, n)).unwrap();
             assert!(checked.report.passed(), "k={k} n={n}");
         }
-        let checked = check_source(PAPER_SOURCE).unwrap();
+        let checked = Checker::new().check_source(PAPER_SOURCE).unwrap();
         assert!(!checked.report.passed());
-        let checked = check_source(SECTOR_SOURCE).unwrap();
+        let checked = Checker::new().check_source(SECTOR_SOURCE).unwrap();
         assert!(checked.report.passed());
     }
 
     #[test]
+    fn generated_project_verifies() {
+        let files: Vec<_> = generated_project(10)
+            .into_iter()
+            .map(|(name, source)| shelley_core::ProjectFile::new(name, source))
+            .collect();
+        let checked = Checker::new().check_files(&files).unwrap();
+        assert!(checked.report.passed(), "{}", checked.report.render(None));
+        assert_eq!(checked.systems.len(), 10);
+    }
+
+    #[test]
     fn annotation_module_parses() {
-        let checked = check_source(&annotation_module(8)).unwrap();
+        let checked = Checker::new().check_source(&annotation_module(8)).unwrap();
         assert!(!checked.report.diagnostics.has_errors());
     }
 

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! shelleyc check <file.py> [more.py ...]  verify all @sys classes
+//! shelleyc watch <file.py> [more.py ...]  re-check on demand (reads stdin)
 //! shelleyc diagram <file.py> <Class>      DOT operation diagram (Fig. 1)
 //! shelleyc deps <file.py> <Class>         DOT dependency graph (Fig. 3)
 //! shelleyc integration <file.py> <Class>  DOT integration automaton (Fig. 2)
@@ -13,15 +14,22 @@
 //! shelleyc replay <file.py> <Class> <trace> validate a recorded trace
 //! ```
 //!
+//! `check` and `watch` accept `--jobs N` (`-j N`) to size the worker pool
+//! that verification fans out over (`0`, the default, uses the available
+//! parallelism). `watch` keeps a [`shelley_core::Workspace`] alive and
+//! reads commands from stdin — `check` re-reads the files and re-verifies
+//! only what changed, printing a cache-stats line per round; `quit` exits.
+//!
 //! `replay` reads a trace file with one operation name per line (blank
 //! lines and `#` comments ignored) and checks it against the class's
 //! model — offline runtime verification of an execution log.
 
 use shelley_core::extract::dependency::DependencyGraph;
 use shelley_core::{
-    build_integration, check_source_with, integration_diagram, spec_diagram, LintConfig, LintLevel,
+    build_integration, integration_diagram, spec_diagram, Checker, LintConfig, LintLevel,
 };
 use shelley_smv::nfa_to_smv;
+use std::io::BufRead;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -47,7 +55,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   shelleyc check <file.py> [more.py ...]
       [-A <code>] [-W <code>] [-D <code>|-D warnings] [--deny-warnings]
-      [--format text|json|sarif]
+      [--format text|json|sarif] [--jobs N]
+  shelleyc watch <file.py> [more.py ...] [--jobs N]
+      (then `check` or `quit` on stdin)
   shelleyc diagram <file.py> <Class>
   shelleyc deps <file.py> <Class>
   shelleyc integration <file.py> <Class>
@@ -81,12 +91,19 @@ fn parse_format(name: &str) -> Result<Format, CliError> {
     }
 }
 
-/// Splits `args` into positionals and the lint/format flags, which may
-/// appear anywhere on the command line.
-fn parse_args(args: &[String]) -> Result<(Vec<String>, LintConfig, Format), CliError> {
+fn parse_jobs(value: &str) -> Result<usize, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid --jobs value `{value}`")))
+}
+
+/// Splits `args` into positionals and the lint/format/jobs flags, which
+/// may appear anywhere on the command line.
+fn parse_args(args: &[String]) -> Result<(Vec<String>, LintConfig, Format, usize), CliError> {
     let mut positionals = Vec::new();
     let mut config = LintConfig::new();
     let mut format = Format::Text;
+    let mut jobs = 0;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -120,6 +137,16 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, LintConfig, Format), CliE
             _ if arg.starts_with("--format=") => {
                 format = parse_format(&arg["--format=".len()..])?;
             }
+            "--jobs" | "-j" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{arg} requires a number")))?;
+                i += 1;
+                jobs = parse_jobs(value)?;
+            }
+            _ if arg.starts_with("--jobs=") => {
+                jobs = parse_jobs(&arg["--jobs=".len()..])?;
+            }
             _ if arg.starts_with('-') && arg.len() > 1 => {
                 return Err(CliError::Usage(format!("unknown flag `{arg}`")));
             }
@@ -127,23 +154,27 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, LintConfig, Format), CliE
         }
         i += 1;
     }
-    Ok((positionals, config, format))
+    Ok((positionals, config, format, jobs))
 }
 
 fn run(raw_args: &[String]) -> Result<String, CliError> {
-    let (args, config, format) = parse_args(raw_args)?;
+    let (args, config, format, jobs) = parse_args(raw_args)?;
     let cmd = args
         .first()
         .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    let checker = Checker::new().lints(config.clone()).jobs(jobs);
+    if cmd == "watch" {
+        return run_watch(&args[1..], checker);
+    }
     let path = args
         .get(1)
         .ok_or_else(|| CliError::Usage("missing input file".into()))?;
     let source = std::fs::read_to_string(path)
         .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
     let file = micropython_parser::SourceFile::new(path.clone(), source.clone());
-    let checked = check_source_with(&source, &config).map_err(|e| {
-        let (line, col) = file.line_col(e.span.start);
-        CliError::Verification(format!("{path}:{line}:{col}: {e}\n"))
+    let checked = checker.check_source(&source).map_err(|e| {
+        let (line, col) = file.line_col(e.error.span.start);
+        CliError::Verification(format!("{path}:{line}:{col}: {}\n", e.error))
     })?;
 
     let class_arg = |i: usize| -> Result<&shelley_core::System, CliError> {
@@ -167,7 +198,8 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
                         .map_err(|e| CliError::Usage(format!("cannot read {extra}: {e}")))?;
                     files.push(shelley_core::ProjectFile::new(extra.clone(), text));
                 }
-                shelley_core::check_project_with(&files, &config)
+                checker
+                    .check_files(&files)
                     .map_err(|e| CliError::Verification(format!("{e}\n")))?
             } else {
                 checked
@@ -221,7 +253,7 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
             } else {
                 let mut ab = shelley_regular::Alphabet::new();
                 shelley_core::spec::intern_spec_events(&system.spec, None, &mut ab);
-                shelley_core::spec::spec_automaton(&system.spec, None, std::rc::Rc::new(ab))
+                shelley_core::spec::spec_automaton(&system.spec, None, std::sync::Arc::new(ab))
                     .nfa()
                     .clone()
             };
@@ -294,7 +326,7 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
             } else {
                 let mut ab = shelley_regular::Alphabet::new();
                 shelley_core::spec::intern_spec_events(&system.spec, None, &mut ab);
-                let ab = std::rc::Rc::new(ab);
+                let ab = std::sync::Arc::new(ab);
                 let auto = shelley_core::spec::spec_automaton(&system.spec, None, ab.clone());
                 let dfa = shelley_regular::Dfa::from_nfa(auto.nfa()).minimize();
                 Ok(format!("{}\n", dfa.to_regex().display(&ab)))
@@ -313,4 +345,64 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// The multi-round mode: keeps a workspace alive and re-checks the same
+/// file set on every `check` line read from stdin, re-reading the files
+/// from disk so edits between rounds are picked up. Streams the report of
+/// each round followed by a `# round N:` cache-stats line, and exits on
+/// `quit` or end of input.
+fn run_watch(paths: &[String], checker: Checker) -> Result<String, CliError> {
+    use std::io::Write as _;
+
+    if paths.is_empty() {
+        return Err(CliError::Usage("missing input file".into()));
+    }
+    let mut workspace = checker.into_workspace();
+    let mut round = 0u64;
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| CliError::Usage(format!("cannot read stdin: {e}")))?;
+        let mut out = String::new();
+        match line.trim() {
+            "" => continue,
+            "quit" | "exit" => break,
+            "check" => {
+                round += 1;
+                for path in paths {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+                    workspace.set_file(path.clone(), text);
+                }
+                match workspace.check() {
+                    Ok(checked) => {
+                        out.push_str(&checked.report.render(None));
+                        if checked.report.passed() {
+                            out.push_str(&format!(
+                                "OK: {} system(s) verified\n",
+                                checked.systems.len()
+                            ));
+                        }
+                    }
+                    Err(e) => out.push_str(&format!("{e}\n")),
+                }
+                out.push_str(&format!(
+                    "# round {round}: {}\n",
+                    workspace.last_round().render()
+                ));
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown watch command `{other}` (expected `check` or `quit`)"
+                )))
+            }
+        }
+        // Each round is flushed before the next stdin read so editors and
+        // tests can synchronize on the `# round` marker.
+        let mut stdout = std::io::stdout().lock();
+        stdout
+            .write_all(out.as_bytes())
+            .and_then(|()| stdout.flush())
+            .map_err(|e| CliError::Usage(format!("cannot write stdout: {e}")))?;
+    }
+    Ok(String::new())
 }

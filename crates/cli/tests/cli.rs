@@ -110,6 +110,75 @@ fn check_passes_on_a_correct_file() {
 }
 
 #[test]
+fn check_jobs_output_is_identical_to_sequential() {
+    let path = write_temp("paper_jobs.py", PAPER);
+    let sequential = shelleyc(&["check", path.to_str().unwrap(), "--jobs", "1"]);
+    let parallel = shelleyc(&["check", path.to_str().unwrap(), "--jobs", "4"]);
+    let auto = shelleyc(&["check", path.to_str().unwrap()]);
+    assert_eq!(sequential, parallel);
+    assert_eq!(sequential, auto);
+    assert_eq!(sequential.2, Some(1));
+    assert!(sequential.0.contains("INVALID SUBSYSTEM USAGE"));
+}
+
+#[test]
+fn check_rejects_bad_jobs_value() {
+    let path = write_temp("good_jobs.py", GOOD);
+    let (_, stderr, code) = shelleyc(&["check", path.to_str().unwrap(), "--jobs", "many"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("invalid --jobs value"));
+}
+
+#[test]
+fn watch_recheck_hits_the_cache_and_sees_edits() {
+    use std::io::{BufRead as _, BufReader};
+    use std::process::Stdio;
+
+    let path = write_temp("watched.py", GOOD);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_shelleyc"))
+        .args(["watch", path.to_str().unwrap(), "--jobs", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    // Each round streams its output ending in a `# round N:` marker, so
+    // reading up to the marker synchronizes with the child between edits.
+    let mut read_round = |marker: &str| -> String {
+        let mut round = String::new();
+        loop {
+            let mut line = String::new();
+            assert_ne!(reader.read_line(&mut line).unwrap(), 0, "stdout closed");
+            round.push_str(&line);
+            if line.starts_with(marker) {
+                return round;
+            }
+        }
+    };
+
+    // Round 1: cold. Round 2: unchanged — everything cached.
+    stdin.write_all(b"check\n").unwrap();
+    let round1 = read_round("# round 1:");
+    stdin.write_all(b"check\n").unwrap();
+    let round2 = read_round("# round 2:");
+    // Round 3: the protocol breaks (`on` is no longer initial).
+    std::fs::write(&path, GOOD.replace("@op_initial", "@op")).unwrap();
+    stdin.write_all(b"check\nquit\n").unwrap();
+    let round3 = read_round("# round 3:");
+    let status = child.wait().unwrap();
+
+    assert_eq!(status.code(), Some(0));
+    assert!(round1.contains("# round 1: parsed 1/1 files, extracted 1/1 classes, verified 1/1"));
+    assert!(round1.contains("OK: 1 system(s) verified"), "{round1}");
+    assert!(round2.contains("# round 2: parsed 0/1 files, extracted 0/1 classes, verified 0/1"));
+    assert!(round2.contains("OK: 1 system(s) verified"), "{round2}");
+    assert!(round3.contains("# round 3: parsed 1/1 files, extracted 1/1 classes, verified 1/1"));
+    assert!(round3.contains("error"), "{round3}");
+}
+
+#[test]
 fn diagram_outputs_dot() {
     let path = write_temp("paper2.py", PAPER);
     let (stdout, _, code) = shelleyc(&["diagram", path.to_str().unwrap(), "Valve"]);

@@ -34,7 +34,7 @@
 //! # Example
 //!
 //! ```
-//! use shelley_core::check_source;
+//! use shelley_core::Checker;
 //!
 //! let source = r#"
 //! @sys
@@ -58,15 +58,21 @@
 //!         self.led.off()
 //!         return []
 //! "#;
-//! let checked = check_source(source)?;
+//! let checked = Checker::new().check_source(source)?;
 //! assert!(checked.report.passed());
-//! # Ok::<(), micropython_parser::ParseError>(())
+//! # Ok::<(), shelley_core::CheckError>(())
 //! ```
+//!
+//! For repeated checks of an evolving project — the editor/CI loop — keep
+//! a [`workspace::Workspace`] alive instead: it caches per-class artifacts
+//! under content fingerprints and re-verifies only what an edit
+//! invalidated, fanning the work out over a thread pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod annotations;
+pub mod checker;
 pub mod diagnostics;
 pub mod diagram;
 pub mod extract;
@@ -78,20 +84,28 @@ pub mod spec;
 pub mod stats;
 pub mod system;
 pub mod verify;
+pub mod workspace;
 
 pub use annotations::{Claim, ClassAnnotations, ClassKind, OpKind};
+pub use checker::{CheckError, Checker, INPUT_NAME};
 pub use diagnostics::{code_info, codes, CodeInfo, Diagnostic, Diagnostics, Severity, REGISTRY};
 pub use diagram::{integration_diagram, spec_diagram};
 pub use integration::{build_integration, Integration};
 pub use lint::{
     default_passes, run_lints, LintConfig, LintContext, LintLevel, LintPass, UnknownCode,
 };
-pub use pipeline::{
-    check_module, check_module_with, check_source, check_source_with, CheckReport, Checked,
-};
-pub use project::{check_project, check_project_with, ProjectFile, ProjectParseError};
+#[allow(deprecated)]
+pub use pipeline::{check_module, check_module_with, check_source, check_source_with};
+pub use pipeline::{verify_system, CheckReport, Checked, SystemVerdict};
+pub use project::ProjectFile;
+#[allow(deprecated)]
+pub use project::{check_project, check_project_with, ProjectParseError};
 pub use spec::{ClassSpec, ExitSpec, OperationSpec, SpecAutomaton};
 pub use stats::{system_stats, SystemStats};
-pub use system::{build_systems, System, SystemKind, SystemSet};
+pub use system::{
+    build_systems, extract_class, resolve_class, validate_spec, ClassExtraction, System,
+    SystemKind, SystemSet,
+};
 pub use verify::claims::{check_claims, ClaimViolation};
 pub use verify::usage::{check_usage, FailureReason, SubsystemError, UsageViolation};
+pub use workspace::{Workspace, WorkspaceStats};

@@ -124,8 +124,8 @@ impl LintPass for InitOrder {
 
 #[cfg(test)]
 mod tests {
+    use crate::checker::Checker;
     use crate::diagnostics::codes;
-    use crate::pipeline::check_source;
 
     const VALVE: &str =
         "@sys\nclass Valve:\n    @op_initial_final\n    def test(self):\n        return []\n";
@@ -135,7 +135,7 @@ mod tests {
         let src = format!(
             "{VALVE}\n@sys([\"a\"])\nclass S:\n    def __init__(self):\n        self.a.reset()\n        self.a = Valve()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        return []\n"
         );
-        let checked = check_source(&src).unwrap();
+        let checked = Checker::new().check_source(&src).unwrap();
         assert_eq!(
             checked
                 .report
@@ -151,7 +151,7 @@ mod tests {
         let src = format!(
             "{VALVE}\n@sys([\"a\"])\nclass S:\n    def __init__(self):\n        if flag:\n            self.a = Valve()\n        self.a.prime()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        return []\n"
         );
-        let checked = check_source(&src).unwrap();
+        let checked = Checker::new().check_source(&src).unwrap();
         // One W010 at the read in __init__, one at the op's call site.
         assert_eq!(
             checked
@@ -176,7 +176,7 @@ mod tests {
         let src = format!(
             "{VALVE}\n@sys([\"a\"])\nclass S:\n    def __init__(self):\n        self.a = Valve()\n        self.a.prime()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        return []\n"
         );
-        let checked = check_source(&src).unwrap();
+        let checked = Checker::new().check_source(&src).unwrap();
         assert_eq!(
             checked
                 .report
@@ -197,7 +197,7 @@ mod tests {
         let src = format!(
             "{VALVE}\n@sys([\"a\"])\nclass S:\n    def __init__(self):\n        if flag:\n            self.a = Valve()\n        else:\n            self.a = Valve()\n        self.a.prime()\n\n    @op_initial_final\n    def go(self):\n        self.a.test()\n        return []\n"
         );
-        let checked = check_source(&src).unwrap();
+        let checked = Checker::new().check_source(&src).unwrap();
         assert_eq!(
             checked
                 .report

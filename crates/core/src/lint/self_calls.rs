@@ -175,13 +175,13 @@ fn expr_self_calls(expr: &Expr, out: &mut Vec<(String, micropython_parser::Span)
 
 #[cfg(test)]
 mod tests {
+    use crate::checker::Checker;
     use crate::diagnostics::codes;
-    use crate::pipeline::check_source;
 
     #[test]
     fn sibling_call_is_flagged() {
         let src = "@sys\nclass V:\n    @op_initial\n    def a(self):\n        self.b()\n        return [\"b\"]\n\n    @op_final\n    def b(self):\n        return []\n";
-        let checked = check_source(src).unwrap();
+        let checked = Checker::new().check_source(src).unwrap();
         let d = checked
             .report
             .diagnostics
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn self_recursion_is_flagged() {
         let src = "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        self.a()\n        return []\n";
-        let checked = check_source(src).unwrap();
+        let checked = Checker::new().check_source(src).unwrap();
         let d = checked
             .report
             .diagnostics
@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn helper_calls_are_fine() {
         let src = "@sys\nclass V:\n    @op_initial_final\n    def a(self):\n        self.log()\n        return []\n\n    def log(self):\n        pass\n";
-        let checked = check_source(src).unwrap();
+        let checked = Checker::new().check_source(src).unwrap();
         assert_eq!(
             checked
                 .report
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn init_may_call_operations() {
         let src = "@sys\nclass V:\n    def __init__(self):\n        self.a()\n\n    @op_initial_final\n    def a(self):\n        return []\n";
-        let checked = check_source(src).unwrap();
+        let checked = Checker::new().check_source(src).unwrap();
         assert_eq!(
             checked
                 .report

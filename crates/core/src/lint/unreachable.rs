@@ -50,13 +50,13 @@ impl LintPass for UnreachableCode {
 
 #[cfg(test)]
 mod tests {
+    use crate::checker::Checker;
     use crate::diagnostics::codes;
-    use crate::pipeline::check_source;
 
     #[test]
     fn flags_code_after_return() {
         let src = "@sys\nclass V:\n    @op_initial_final\n    def go(self):\n        return []\n        self.cleanup()\n";
-        let checked = check_source(src).unwrap();
+        let checked = Checker::new().check_source(src).unwrap();
         assert_eq!(
             checked
                 .report
@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn flags_tail_after_exhaustive_if() {
         let src = "@sys\nclass V:\n    @op_initial_final\n    def go(self):\n        if ready:\n            return []\n        else:\n            return []\n        log()\n";
-        let checked = check_source(src).unwrap();
+        let checked = Checker::new().check_source(src).unwrap();
         assert_eq!(
             checked
                 .report
@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn silent_on_live_code() {
         let src = "@sys\nclass V:\n    @op_initial_final\n    def go(self):\n        if ready:\n            return []\n        self.cleanup()\n        return []\n";
-        let checked = check_source(src).unwrap();
+        let checked = Checker::new().check_source(src).unwrap();
         assert_eq!(
             checked
                 .report
@@ -98,7 +98,7 @@ mod tests {
     #[test]
     fn ignores_classes_without_sys() {
         let src = "class Helper:\n    def go(self):\n        return 1\n        dead()\n";
-        let checked = check_source(src).unwrap();
+        let checked = Checker::new().check_source(src).unwrap();
         assert!(checked.report.diagnostics.is_empty());
     }
 }

@@ -4,13 +4,14 @@
 //! subsystem usage → temporal claims`, producing a [`CheckReport`] with all
 //! structural diagnostics and the paper's two specification errors.
 
+use crate::checker::Checker;
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::integration::{build_integration, Integration};
 use crate::lint::{run_lints, LintConfig, LintLevel};
-use crate::system::{build_systems, SystemSet};
+use crate::system::{build_systems, System, SystemSet};
 use crate::verify::claims::{check_claims, ClaimViolation};
 use crate::verify::usage::{check_usage, UsageViolation};
-use micropython_parser::{parse_module, ParseError, SourceFile};
+use micropython_parser::{ParseError, SourceFile};
 
 /// The result of verifying one source file.
 #[derive(Debug, Clone, Default)]
@@ -72,8 +73,9 @@ pub struct Checked {
 /// Returns the parse error if the source is not in the supported
 /// MicroPython subset; all verification findings are reported through the
 /// returned [`CheckReport`] instead.
+#[deprecated(note = "use `Checker::new().check_source(source)` instead")]
 pub fn check_source(source: &str) -> Result<Checked, ParseError> {
-    check_source_with(source, &LintConfig::default())
+    Checker::new().check_source(source).map_err(|e| e.error)
 }
 
 /// [`check_source`] with an explicit lint configuration.
@@ -81,22 +83,41 @@ pub fn check_source(source: &str) -> Result<Checked, ParseError> {
 /// # Errors
 ///
 /// Returns the parse error if the source is not in the supported subset.
+#[deprecated(note = "use `Checker::new().lints(config).check_source(source)` instead")]
 pub fn check_source_with(source: &str, config: &LintConfig) -> Result<Checked, ParseError> {
-    let module = parse_module(source)?;
-    Ok(check_module_with(&module, config))
+    Checker::new()
+        .lints(config.clone())
+        .check_source(source)
+        .map_err(|e| e.error)
 }
 
-/// Verifies an already-parsed module (used by multi-file projects).
+/// Verifies an already-parsed module.
+#[deprecated(note = "use `Checker::new().check_module(module)` instead")]
 pub fn check_module(module: &micropython_parser::ast::Module) -> Checked {
-    check_module_with(module, &LintConfig::default())
+    Checker::new().check_module(module)
 }
 
-/// [`check_module`] with an explicit lint configuration: lint passes run
-/// after system building, and `config` reshapes the final diagnostics
-/// (`Allow` drops, `Warn` demotes — including the paper's `E100`/`E101`,
-/// whose violation lists are then cleared so [`CheckReport::passed`] stays
-/// consistent with the diagnostics).
+/// [`check_module`] with an explicit lint configuration.
+#[deprecated(note = "use `Checker::new().lints(config).check_module(module)` instead")]
 pub fn check_module_with(module: &micropython_parser::ast::Module, config: &LintConfig) -> Checked {
+    Checker::new().lints(config.clone()).check_module(module)
+}
+
+/// The reference implementation: sequential, from scratch, single module,
+/// no caching — one [`build_systems`] pass, module-level lints, then
+/// [`verify_system`] per class in declaration order.
+///
+/// [`crate::workspace::Workspace`] must produce byte-identical reports to
+/// this function on any single-module input; the equivalence suite holds
+/// the two against each other. Lint passes run after system building, and
+/// `config` reshapes the final diagnostics (`Allow` drops, `Warn` demotes —
+/// including the paper's `E100`/`E101`, whose violation lists are then
+/// cleared so [`CheckReport::passed`] stays consistent with the
+/// diagnostics).
+pub fn check_module_direct(
+    module: &micropython_parser::ast::Module,
+    config: &LintConfig,
+) -> Checked {
     let (systems, mut diagnostics) = build_systems(module);
     run_lints(module, &systems, config, &mut diagnostics);
     let mut usage_violations = Vec::new();
@@ -104,36 +125,15 @@ pub fn check_module_with(module: &micropython_parser::ast::Module, config: &Lint
     let mut integrations = Vec::new();
 
     for system in systems.iter() {
-        let integration = system.is_composite().then(|| build_integration(system));
-        if let Some(ref integ) = integration {
-            if let Err(v) = check_usage(system, &systems, integ) {
-                diagnostics.push(
-                    Diagnostic::error(
-                        codes::INVALID_SUBSYSTEM_USAGE,
-                        format!(
-                            "class `{}`: invalid subsystem usage (counterexample: {})",
-                            system.name, v.counterexample_text
-                        ),
-                    )
-                    .with_note(v.render().trim_end().to_owned()),
-                );
-                usage_violations.push((system.name.clone(), v));
-            }
+        let verdict = verify_system(system, &systems);
+        diagnostics.extend(verdict.diagnostics);
+        for v in verdict.usage_violations {
+            usage_violations.push((system.name.clone(), v));
         }
-        for v in check_claims(system, integration.as_ref(), &mut diagnostics) {
-            diagnostics.push(
-                Diagnostic::error(
-                    codes::FAIL_TO_MEET_REQUIREMENT,
-                    format!(
-                        "class `{}`: fails requirement `{}` (counterexample: {})",
-                        system.name, v.formula, v.counterexample_text
-                    ),
-                )
-                .with_note(v.render().trim_end().to_owned()),
-            );
+        for v in verdict.claim_violations {
             claim_violations.push((system.name.clone(), v));
         }
-        if let Some(integ) = integration {
+        if let Some(integ) = verdict.integration {
             integrations.push((system.name.clone(), integ));
         }
     }
@@ -155,6 +155,62 @@ pub fn check_module_with(module: &micropython_parser::ast::Module, config: &Lint
             claim_violations,
         },
     }
+}
+
+/// The per-class verification products: what checking one system against
+/// the specs of its subsystems yields.
+///
+/// Produced by [`verify_system`]. The verdict of a class depends only on
+/// the class's own extraction and its direct subsystems' specs, which is
+/// the caching seam [`crate::workspace::Workspace`] exploits.
+#[derive(Debug, Clone, Default)]
+pub struct SystemVerdict {
+    /// The integration automaton, for composite systems.
+    pub integration: Option<Integration>,
+    /// `E100`/`E101` findings plus claim-parse diagnostics.
+    pub diagnostics: Diagnostics,
+    /// `INVALID SUBSYSTEM USAGE` failures of this class.
+    pub usage_violations: Vec<UsageViolation>,
+    /// `FAIL TO MEET REQUIREMENT` failures of this class.
+    pub claim_violations: Vec<ClaimViolation>,
+}
+
+/// Verifies one system against the others: builds the integration
+/// automaton (for composites), checks subsystem usage inclusion, and
+/// checks every temporal claim.
+pub fn verify_system(system: &System, systems: &SystemSet) -> SystemVerdict {
+    let mut verdict = SystemVerdict::default();
+    let integration = system.is_composite().then(|| build_integration(system));
+    if let Some(ref integ) = integration {
+        if let Err(v) = check_usage(system, systems, integ) {
+            verdict.diagnostics.push(
+                Diagnostic::error(
+                    codes::INVALID_SUBSYSTEM_USAGE,
+                    format!(
+                        "class `{}`: invalid subsystem usage (counterexample: {})",
+                        system.name, v.counterexample_text
+                    ),
+                )
+                .with_note(v.render().trim_end().to_owned()),
+            );
+            verdict.usage_violations.push(v);
+        }
+    }
+    for v in check_claims(system, integration.as_ref(), &mut verdict.diagnostics) {
+        verdict.diagnostics.push(
+            Diagnostic::error(
+                codes::FAIL_TO_MEET_REQUIREMENT,
+                format!(
+                    "class `{}`: fails requirement `{}` (counterexample: {})",
+                    system.name, v.formula, v.counterexample_text
+                ),
+            )
+            .with_note(v.render().trim_end().to_owned()),
+        );
+        verdict.claim_violations.push(v);
+    }
+    verdict.integration = integration;
+    verdict
 }
 
 #[cfg(test)]
@@ -227,7 +283,7 @@ class BadSector:
 
     #[test]
     fn paper_example_end_to_end() {
-        let checked = check_source(PAPER_SOURCE).unwrap();
+        let checked = Checker::new().check_source(PAPER_SOURCE).unwrap();
         assert!(!checked.report.passed());
         // Exactly one usage violation (BadSector) with the paper's text.
         assert_eq!(checked.report.usage_violations.len(), 1);
@@ -278,18 +334,18 @@ class GoodSector:
                 return []
 "#;
         let valve_only: String = src.split("@claim").next().unwrap().to_owned() + good;
-        let checked = check_source(&valve_only).unwrap();
+        let checked = Checker::new().check_source(&valve_only).unwrap();
         assert!(checked.report.passed(), "{}", checked.report.render(None));
     }
 
     #[test]
     fn parse_errors_propagate() {
-        assert!(check_source("def broken(:\n").is_err());
+        assert!(Checker::new().check_source("def broken(:\n").is_err());
     }
 
     #[test]
     fn empty_module_passes_vacuously() {
-        let checked = check_source("x = 1\n").unwrap();
+        let checked = Checker::new().check_source("x = 1\n").unwrap();
         assert!(checked.report.passed());
         assert!(checked.systems.is_empty());
     }

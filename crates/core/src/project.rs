@@ -2,15 +2,15 @@
 //!
 //! Real controllers split classes across files (`valve.py`, `sector.py`,
 //! `controller.py`); subsystem resolution must see all of them at once.
-//! [`check_project`] parses every file, merges the modules (later files
-//! may reference classes from earlier ones and vice versa — resolution is
-//! name-based and order-independent), and runs the full pipeline.
+//! [`Checker::check_files`](crate::checker::Checker::check_files) parses
+//! every file and runs the full pipeline with global, name-based,
+//! order-independent class resolution (later files may reference classes
+//! from earlier ones and vice versa). This module keeps the input type
+//! ([`ProjectFile`]) and the deprecated free-function entry points.
 
-use crate::diagnostics::{codes, Diagnostic};
+use crate::checker::{CheckError, Checker};
 use crate::lint::LintConfig;
-use crate::pipeline::{check_module_with, Checked};
-use micropython_parser::ast::Module;
-use micropython_parser::{parse_module, ParseError};
+use crate::pipeline::Checked;
 
 /// One source file of a project.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,21 +32,8 @@ impl ProjectFile {
 }
 
 /// A parse failure attributed to its file.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ProjectParseError {
-    /// The failing file's display name.
-    pub file: String,
-    /// The underlying error.
-    pub error: ParseError,
-}
-
-impl std::fmt::Display for ProjectParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.file, self.error)
-    }
-}
-
-impl std::error::Error for ProjectParseError {}
+#[deprecated(note = "use `CheckError` instead — the two types are now one")]
+pub type ProjectParseError = CheckError;
 
 /// Parses and verifies a whole project (any number of files).
 ///
@@ -57,68 +44,34 @@ impl std::error::Error for ProjectParseError {}
 ///
 /// # Errors
 ///
-/// Returns the first [`ProjectParseError`]; verification findings are in
-/// the returned [`Checked`]'s report.
-pub fn check_project(files: &[ProjectFile]) -> Result<Checked, ProjectParseError> {
-    check_project_with(files, &LintConfig::default())
+/// Returns the first [`CheckError`] in file order; verification findings
+/// are in the returned [`Checked`]'s report.
+#[deprecated(note = "use `Checker::new().check_files(files)` instead")]
+pub fn check_project(files: &[ProjectFile]) -> Result<Checked, CheckError> {
+    Checker::new().check_files(files)
 }
 
 /// [`check_project`] with an explicit lint configuration.
 ///
 /// # Errors
 ///
-/// Returns the first [`ProjectParseError`].
+/// Returns the first [`CheckError`] in file order.
+#[deprecated(note = "use `Checker::new().lints(config).check_files(files)` instead")]
 pub fn check_project_with(
     files: &[ProjectFile],
     config: &LintConfig,
-) -> Result<Checked, ProjectParseError> {
-    let mut merged = Module { body: Vec::new() };
-    let mut parsed: Vec<(String, Module)> = Vec::new();
-    for file in files {
-        let module = parse_module(&file.source).map_err(|error| ProjectParseError {
-            file: file.name.clone(),
-            error,
-        })?;
-        parsed.push((file.name.clone(), module));
-    }
-
-    // Detect duplicate class names across files.
-    let mut seen: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
-    let mut duplicates = Vec::new();
-    for (name, module) in &parsed {
-        for class in module.classes() {
-            if let Some(first) = seen.get(&class.name.node) {
-                duplicates.push(Diagnostic::error(
-                    codes::BAD_ANNOTATION,
-                    format!(
-                        "class `{}` defined in both {first} and {name}; the \
-                         later definition is used",
-                        class.name.node
-                    ),
-                ));
-            } else {
-                seen.insert(class.name.node.clone(), name.clone());
-            }
-        }
-    }
-
-    for (_, module) in parsed {
-        merged.body.extend(module.body);
-    }
-
-    let mut checked = check_module_with(&merged, config);
-    for d in duplicates {
-        checked.report.diagnostics.push(d);
-    }
-    // Re-apply so the duplicate-class findings obey the configuration too
-    // (apply is idempotent, so the first pass's results are unchanged).
-    config.apply(&mut checked.report.diagnostics);
-    Ok(checked)
+) -> Result<Checked, CheckError> {
+    Checker::new().lints(config.clone()).check_files(files)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diagnostics::codes;
+
+    fn check_files(files: &[ProjectFile]) -> Result<Checked, CheckError> {
+        Checker::new().check_files(files)
+    }
 
     const VALVE_PY: &str = r#"
 @sys
@@ -167,7 +120,7 @@ class Sector:
             ProjectFile::new("valve.py", VALVE_PY),
             ProjectFile::new("sector.py", SECTOR_PY),
         ];
-        let checked = check_project(&files).unwrap();
+        let checked = check_files(&files).unwrap();
         assert!(checked.report.passed(), "{}", checked.report.render(None));
         assert_eq!(checked.systems.len(), 2);
         assert!(checked.systems.get("Sector").unwrap().is_composite());
@@ -180,7 +133,7 @@ class Sector:
             ProjectFile::new("sector.py", SECTOR_PY),
             ProjectFile::new("valve.py", VALVE_PY),
         ];
-        let checked = check_project(&files).unwrap();
+        let checked = check_files(&files).unwrap();
         assert!(checked.report.passed(), "{}", checked.report.render(None));
     }
 
@@ -190,7 +143,7 @@ class Sector:
             ProjectFile::new("good.py", VALVE_PY),
             ProjectFile::new("bad.py", "def broken(:\n"),
         ];
-        let err = check_project(&files).unwrap_err();
+        let err = check_files(&files).unwrap_err();
         assert_eq!(err.file, "bad.py");
     }
 
@@ -200,12 +153,85 @@ class Sector:
             ProjectFile::new("v1.py", VALVE_PY),
             ProjectFile::new("v2.py", VALVE_PY),
         ];
-        let checked = check_project(&files).unwrap();
+        let checked = check_files(&files).unwrap();
         assert!(checked
             .report
             .diagnostics
             .by_code(codes::BAD_ANNOTATION)
             .any(|d| d.message.contains("defined in both")));
+    }
+
+    #[test]
+    fn duplicate_class_later_definition_wins() {
+        // Two different protocols under one name: the later file's
+        // definition must win, deterministically, and the diagnostic must
+        // name the winner.
+        const BLINK_VALVE: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def on(self):
+        return ["off"]
+
+    @op_final
+    def off(self):
+        return ["on"]
+"#;
+        let files = [
+            ProjectFile::new("v1.py", VALVE_PY),
+            ProjectFile::new("v2.py", BLINK_VALVE),
+        ];
+        let checked = check_files(&files).unwrap();
+        let valve = checked.systems.get("Valve").unwrap();
+        assert!(valve.spec.operation("on").is_some());
+        assert!(valve.spec.operation("test").is_none());
+        assert!(checked
+            .report
+            .diagnostics
+            .by_code(codes::BAD_ANNOTATION)
+            .any(|d| d.message
+                == "class `Valve` defined in both v1.py and v2.py; \
+                    the definition in v2.py is used"));
+
+        // Swapping file order swaps the winner.
+        let files = [
+            ProjectFile::new("v2.py", BLINK_VALVE),
+            ProjectFile::new("v1.py", VALVE_PY),
+        ];
+        let checked = check_files(&files).unwrap();
+        let valve = checked.systems.get("Valve").unwrap();
+        assert!(valve.spec.operation("test").is_some());
+        assert!(valve.spec.operation("on").is_none());
+    }
+
+    #[test]
+    fn duplicate_class_within_one_file() {
+        let doubled = format!("{VALVE_PY}\n{VALVE_PY}");
+        let files = [ProjectFile::new("v.py", doubled)];
+        let checked = check_files(&files).unwrap();
+        assert_eq!(checked.systems.len(), 1);
+        assert!(checked
+            .report
+            .diagnostics
+            .by_code(codes::BAD_ANNOTATION)
+            .any(|d| d.message
+                == "class `Valve` defined more than once in v.py; \
+                    the later definition is used"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let files = [
+            ProjectFile::new("valve.py", VALVE_PY),
+            ProjectFile::new("sector.py", SECTOR_PY),
+        ];
+        let checked = check_project(&files).unwrap();
+        assert!(checked.report.passed());
+
+        let err: ProjectParseError =
+            check_project(&[ProjectFile::new("bad.py", "def broken(:\n")]).unwrap_err();
+        assert_eq!(err.file, "bad.py");
     }
 
     #[test]
@@ -215,7 +241,7 @@ class Sector:
             ProjectFile::new("valve.py", VALVE_PY),
             ProjectFile::new("sector.py", &bad_sector),
         ];
-        let checked = check_project(&files).unwrap();
+        let checked = check_files(&files).unwrap();
         assert_eq!(checked.report.usage_violations.len(), 1);
     }
 }

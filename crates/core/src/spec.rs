@@ -11,7 +11,7 @@ use crate::annotations::OpKind;
 use micropython_parser::Span;
 use shelley_regular::{Alphabet, Label, Nfa, StateId};
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One exit point (return site) of an operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,7 +119,7 @@ impl SpecAutomaton {
 pub fn spec_automaton(
     spec: &ClassSpec,
     prefix: Option<&str>,
-    alphabet: Rc<Alphabet>,
+    alphabet: Arc<Alphabet>,
 ) -> SpecAutomaton {
     let sym_of = |name: &str| {
         let full = qualify(prefix, name);
@@ -266,11 +266,11 @@ mod tests {
         }
     }
 
-    fn valve_automaton(prefix: Option<&str>) -> (Rc<Alphabet>, SpecAutomaton) {
+    fn valve_automaton(prefix: Option<&str>) -> (Arc<Alphabet>, SpecAutomaton) {
         let spec = valve_spec();
         let mut ab = Alphabet::new();
         intern_spec_events(&spec, prefix, &mut ab);
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let auto = spec_automaton(&spec, prefix, ab.clone());
         (ab, auto)
     }

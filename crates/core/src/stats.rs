@@ -11,7 +11,7 @@ use crate::system::System;
 use shelley_ir::{denote_exits, infer};
 use shelley_regular::{Alphabet, Dfa};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Quantitative summary of one system.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,7 +83,7 @@ pub fn system_stats(system: &System) -> SystemStats {
     let spec: &ClassSpec = &system.spec;
     let mut ab = Alphabet::new();
     intern_spec_events(spec, None, &mut ab);
-    let auto = spec_automaton(spec, None, Rc::new(ab));
+    let auto = spec_automaton(spec, None, Arc::new(ab));
     let spec_states = auto.nfa().num_states();
     let spec_min_dfa_states = Dfa::from_nfa(auto.nfa()).minimize().num_states();
 
@@ -135,7 +135,7 @@ pub fn system_stats(system: &System) -> SystemStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::check_source;
+    use crate::checker::Checker;
 
     const SRC: &str = r#"
 @sys
@@ -179,7 +179,7 @@ class Sector:
 
     #[test]
     fn valve_stats() {
-        let checked = check_source(SRC).unwrap();
+        let checked = Checker::new().check_source(SRC).unwrap();
         let stats = system_stats(checked.systems.get("Valve").unwrap());
         assert!(!stats.composite);
         assert_eq!(stats.operations, 4);
@@ -193,7 +193,7 @@ class Sector:
 
     #[test]
     fn sector_stats() {
-        let checked = check_source(SRC).unwrap();
+        let checked = Checker::new().check_source(SRC).unwrap();
         let stats = system_stats(checked.systems.get("Sector").unwrap());
         assert!(stats.composite);
         assert_eq!(stats.operations, 1);
@@ -208,7 +208,7 @@ class Sector:
 
     #[test]
     fn display_is_readable() {
-        let checked = check_source(SRC).unwrap();
+        let checked = Checker::new().check_source(SRC).unwrap();
         let stats = system_stats(checked.systems.get("Sector").unwrap());
         let text = stats.to_string();
         assert!(text.contains("Sector (composite)"));

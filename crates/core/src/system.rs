@@ -16,7 +16,7 @@ use micropython_parser::ast::Module;
 use shelley_ir::denote_exits;
 use shelley_regular::{Alphabet, Label, Nfa, StateId, Symbol};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A subsystem instance of a composite class.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,7 +45,7 @@ pub struct CompositeInfo {
     pub methods: BTreeMap<String, LoweredMethod>,
     /// The composite's alphabet: its own operation names (markers) plus the
     /// qualified events of every subsystem, plus claim atoms.
-    pub alphabet: Rc<Alphabet>,
+    pub alphabet: Arc<Alphabet>,
     /// The marker symbols (the composite's own operation names).
     pub markers: BTreeSet<shelley_regular::Symbol>,
 }
@@ -106,212 +106,275 @@ impl SystemSet {
     }
 }
 
+impl FromIterator<System> for SystemSet {
+    fn from_iter<I: IntoIterator<Item = System>>(iter: I) -> Self {
+        SystemSet {
+            systems: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The pass-1 products of one `@sys` class: its specification, lowered
+/// method bodies, and the raw material subsystem resolution needs.
+///
+/// Produced by [`extract_class`]; consumed by [`resolve_class`]. The
+/// extraction of a class depends only on the class's own text, which is
+/// what makes it independently cacheable and parallelizable (see
+/// [`crate::workspace`]).
+#[derive(Debug, Clone)]
+pub struct ClassExtraction {
+    pub(crate) name: String,
+    pub(crate) kind: ClassKind,
+    pub(crate) claims: Vec<Claim>,
+    pub(crate) spec: ClassSpec,
+    pub(crate) methods: BTreeMap<String, LoweredMethod>,
+    pub(crate) alphabet: Alphabet,
+    pub(crate) declared_fields: Vec<String>,
+    pub(crate) init_classes: BTreeMap<String, String>,
+}
+
+impl ClassExtraction {
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The extracted operation model.
+    pub fn spec(&self) -> &ClassSpec {
+        &self.spec
+    }
+
+    /// The subsystem classes this class instantiates, by field: the names
+    /// [`resolve_class`] will look up in its spec index. The verification
+    /// outcome of the class depends only on its own text and the specs of
+    /// exactly these classes.
+    pub fn dependencies(&self) -> impl Iterator<Item = &str> {
+        self.declared_fields
+            .iter()
+            .filter_map(|f| self.init_classes.get(f).map(String::as_str))
+    }
+}
+
+/// Extraction (pass 1) of one class: annotations, the [`ClassSpec`] from
+/// `@op*` decorators and live return sites, and lowered method bodies.
+///
+/// Returns `None` for classes without a `@sys` decorator; structural
+/// findings go to `diagnostics`.
+pub fn extract_class(
+    class: &micropython_parser::ast::ClassDef,
+    diagnostics: &mut Diagnostics,
+) -> Option<ClassExtraction> {
+    let ann = class_annotations(class, diagnostics);
+    let (declared_fields, is_composite) = match &ann.kind {
+        ClassKind::Unconstrained => return None,
+        ClassKind::Base => (Vec::new(), false),
+        ClassKind::Composite(fields) => (fields.clone(), true),
+    };
+    let field_set: BTreeSet<String> = declared_fields.iter().cloned().collect();
+    let mut alphabet = Alphabet::new();
+    let mut operations = Vec::new();
+    let mut methods = BTreeMap::new();
+
+    for func in class.methods() {
+        let Some((op_kind, _)) = op_annotation(func, diagnostics) else {
+            continue;
+        };
+        let lowered = lower_method(func, &field_set, &mut alphabet);
+        // Live exits: a return site contributes an exit point iff some
+        // run actually reaches it.
+        let (_, tagged) = denote_exits(&lowered.program);
+        let live: BTreeSet<usize> = tagged
+            .iter()
+            .filter(|(_, r)| !r.is_empty_language())
+            .map(|(e, _)| *e)
+            .collect();
+        let mut exits = Vec::new();
+        for (id, exit) in lowered.exits.iter().enumerate() {
+            if !live.contains(&id) {
+                continue;
+            }
+            if exit.form == ReturnForm::Implicit {
+                diagnostics.push(
+                    Diagnostic::warning(
+                        codes::IMPLICIT_RETURN,
+                        format!(
+                            "operation `{}` of `{}` may finish without a \
+                             `return` declaring next operations; treated \
+                             as `return []`",
+                            func.name.node, class.name.node
+                        ),
+                    )
+                    .with_span(func.name.span),
+                );
+            }
+            if exit.form == ReturnForm::Other {
+                diagnostics.push(
+                    Diagnostic::warning(
+                        codes::IMPLICIT_RETURN,
+                        format!(
+                            "a `return` in operation `{}` of `{}` does not \
+                             declare next operations (see Table 2 forms); \
+                             treated as `return []`",
+                            func.name.node, class.name.node
+                        ),
+                    )
+                    .with_span(exit.span.unwrap_or(func.name.span)),
+                );
+            }
+            exits.push(ExitSpec {
+                next: exit.next.clone(),
+                span: exit.span,
+                implicit: exit.form == ReturnForm::Implicit,
+            });
+        }
+        operations.push(OperationSpec {
+            name: func.name.node.clone(),
+            kind: op_kind,
+            exits,
+            span: Some(func.name.span),
+        });
+        methods.insert(func.name.node.clone(), lowered);
+    }
+
+    let init_classes = class
+        .method("__init__")
+        .map(subsystem_classes)
+        .unwrap_or_default();
+
+    Some(ClassExtraction {
+        name: class.name.node.clone(),
+        kind: if is_composite {
+            ClassKind::Composite(declared_fields.clone())
+        } else {
+            ClassKind::Base
+        },
+        claims: ann.claims,
+        spec: ClassSpec {
+            name: class.name.node.clone(),
+            operations,
+        },
+        methods,
+        alphabet,
+        declared_fields,
+        init_classes,
+    })
+}
+
+/// Resolution (pass 2) of one extracted class against the specs of every
+/// class in scope: subsystem fields bind to their classes, invocation
+/// analysis runs, and the composite alphabet is completed.
+pub fn resolve_class(
+    extraction: ClassExtraction,
+    spec_index: &BTreeMap<String, ClassSpec>,
+    diagnostics: &mut Diagnostics,
+) -> System {
+    let ClassExtraction {
+        name,
+        kind,
+        claims,
+        spec,
+        methods,
+        mut alphabet,
+        declared_fields,
+        init_classes,
+    } = extraction;
+    let kind = match kind {
+        // Unconstrained classes were filtered out during extraction.
+        ClassKind::Base | ClassKind::Unconstrained => {
+            // Base classes speak their own (unqualified) operations.
+            SystemKind::Base
+        }
+        ClassKind::Composite(_) => {
+            let mut subsystems = Vec::new();
+            let mut sub_specs: BTreeMap<String, &ClassSpec> = BTreeMap::new();
+            for field in &declared_fields {
+                let Some(class_name) = init_classes.get(field) else {
+                    diagnostics.push(Diagnostic::error(
+                        codes::UNKNOWN_SUBSYSTEM,
+                        format!(
+                            "subsystem field `{field}` of `{name}` is never \
+                             assigned `self.{field} = SomeClass()` in \
+                             `__init__`"
+                        ),
+                    ));
+                    continue;
+                };
+                let Some(sub_spec) = spec_index.get(class_name) else {
+                    diagnostics.push(Diagnostic::error(
+                        codes::UNKNOWN_SUBSYSTEM,
+                        format!(
+                            "subsystem `{field}` of `{name}` is an instance \
+                             of `{class_name}`, which is not a `@sys` class \
+                             in this module"
+                        ),
+                    ));
+                    continue;
+                };
+                subsystems.push(Subsystem {
+                    field: field.clone(),
+                    class_name: class_name.clone(),
+                });
+                sub_specs.insert(field.clone(), sub_spec);
+            }
+
+            // Invocation analysis (step 3).
+            for (op_name, lowered) in &methods {
+                check_invocations(op_name, lowered, &sub_specs, diagnostics);
+            }
+
+            // Complete the alphabet: markers + all subsystem events.
+            let mut markers = BTreeSet::new();
+            for op in &spec.operations {
+                markers.insert(alphabet.intern(&op.name));
+            }
+            for sub in &subsystems {
+                if let Some(sub_spec) = spec_index.get(&sub.class_name) {
+                    intern_spec_events(sub_spec, Some(&sub.field), &mut alphabet);
+                }
+            }
+            SystemKind::Composite(CompositeInfo {
+                subsystems,
+                methods,
+                alphabet: Arc::new(alphabet),
+                markers,
+            })
+        }
+    };
+    System {
+        name,
+        kind,
+        spec,
+        claims,
+    }
+}
+
 /// Builds every `@sys` system of `module`, reporting structural problems.
+///
+/// Sequential composition of the per-class stages: [`extract_class`] for
+/// every class, [`validate_spec`] for every extracted spec, then
+/// [`resolve_class`] against the full spec index — the same stages
+/// [`crate::workspace::Workspace`] caches and runs in parallel.
 pub fn build_systems(module: &Module) -> (SystemSet, Diagnostics) {
     let mut diagnostics = Diagnostics::new();
-    let mut systems = Vec::new();
-
-    // Pass 1: specs and lowered methods for every @sys class.
-    struct Raw {
-        name: String,
-        kind: ClassKind,
-        claims: Vec<Claim>,
-        spec: ClassSpec,
-        methods: BTreeMap<String, LoweredMethod>,
-        alphabet: Alphabet,
-        declared_fields: Vec<String>,
-        init_classes: BTreeMap<String, String>,
-    }
-    let mut raws: Vec<Raw> = Vec::new();
-
+    let mut extractions: Vec<ClassExtraction> = Vec::new();
     for class in module.classes() {
-        let ann = class_annotations(class, &mut diagnostics);
-        let (declared_fields, is_composite) = match &ann.kind {
-            ClassKind::Unconstrained => continue,
-            ClassKind::Base => (Vec::new(), false),
-            ClassKind::Composite(fields) => (fields.clone(), true),
-        };
-        let field_set: BTreeSet<String> = declared_fields.iter().cloned().collect();
-        let mut alphabet = Alphabet::new();
-        let mut operations = Vec::new();
-        let mut methods = BTreeMap::new();
-
-        for func in class.methods() {
-            let Some((op_kind, _)) = op_annotation(func, &mut diagnostics) else {
-                continue;
-            };
-            let lowered = lower_method(func, &field_set, &mut alphabet);
-            // Live exits: a return site contributes an exit point iff some
-            // run actually reaches it.
-            let (_, tagged) = denote_exits(&lowered.program);
-            let live: BTreeSet<usize> = tagged
-                .iter()
-                .filter(|(_, r)| !r.is_empty_language())
-                .map(|(e, _)| *e)
-                .collect();
-            let mut exits = Vec::new();
-            for (id, exit) in lowered.exits.iter().enumerate() {
-                if !live.contains(&id) {
-                    continue;
-                }
-                if exit.form == ReturnForm::Implicit {
-                    diagnostics.push(
-                        Diagnostic::warning(
-                            codes::IMPLICIT_RETURN,
-                            format!(
-                                "operation `{}` of `{}` may finish without a \
-                                 `return` declaring next operations; treated \
-                                 as `return []`",
-                                func.name.node, class.name.node
-                            ),
-                        )
-                        .with_span(func.name.span),
-                    );
-                }
-                if exit.form == ReturnForm::Other {
-                    diagnostics.push(
-                        Diagnostic::warning(
-                            codes::IMPLICIT_RETURN,
-                            format!(
-                                "a `return` in operation `{}` of `{}` does not \
-                                 declare next operations (see Table 2 forms); \
-                                 treated as `return []`",
-                                func.name.node, class.name.node
-                            ),
-                        )
-                        .with_span(exit.span.unwrap_or(func.name.span)),
-                    );
-                }
-                exits.push(ExitSpec {
-                    next: exit.next.clone(),
-                    span: exit.span,
-                    implicit: exit.form == ReturnForm::Implicit,
-                });
-            }
-            operations.push(OperationSpec {
-                name: func.name.node.clone(),
-                kind: op_kind,
-                exits,
-                span: Some(func.name.span),
-            });
-            methods.insert(func.name.node.clone(), lowered);
+        if let Some(extraction) = extract_class(class, &mut diagnostics) {
+            extractions.push(extraction);
         }
-
-        let init_classes = class
-            .method("__init__")
-            .map(subsystem_classes)
-            .unwrap_or_default();
-
-        raws.push(Raw {
-            name: class.name.node.clone(),
-            kind: if is_composite {
-                ClassKind::Composite(declared_fields.clone())
-            } else {
-                ClassKind::Base
-            },
-            claims: ann.claims,
-            spec: ClassSpec {
-                name: class.name.node.clone(),
-                operations,
-            },
-            methods,
-            alphabet,
-            declared_fields,
-            init_classes,
-        });
     }
 
-    // Spec-level validation for every system.
-    let spec_index: BTreeMap<String, ClassSpec> = raws
+    let spec_index: BTreeMap<String, ClassSpec> = extractions
         .iter()
-        .map(|r| (r.name.clone(), r.spec.clone()))
+        .map(|e| (e.name.clone(), e.spec.clone()))
         .collect();
-    for raw in &raws {
-        validate_spec(&raw.spec, &mut diagnostics);
+    for extraction in &extractions {
+        validate_spec(&extraction.spec, &mut diagnostics);
     }
 
-    // Pass 2: resolve composites and run invocation analysis.
-    for raw in raws {
-        let Raw {
-            name,
-            kind,
-            claims,
-            spec,
-            methods,
-            mut alphabet,
-            declared_fields,
-            init_classes,
-        } = raw;
-        let kind = match kind {
-            // Unconstrained classes were filtered out in pass 1.
-            ClassKind::Base | ClassKind::Unconstrained => {
-                // Base classes speak their own (unqualified) operations.
-                SystemKind::Base
-            }
-            ClassKind::Composite(_) => {
-                let mut subsystems = Vec::new();
-                let mut sub_specs: BTreeMap<String, &ClassSpec> = BTreeMap::new();
-                for field in &declared_fields {
-                    let Some(class_name) = init_classes.get(field) else {
-                        diagnostics.push(Diagnostic::error(
-                            codes::UNKNOWN_SUBSYSTEM,
-                            format!(
-                                "subsystem field `{field}` of `{name}` is never \
-                                 assigned `self.{field} = SomeClass()` in \
-                                 `__init__`"
-                            ),
-                        ));
-                        continue;
-                    };
-                    let Some(sub_spec) = spec_index.get(class_name) else {
-                        diagnostics.push(Diagnostic::error(
-                            codes::UNKNOWN_SUBSYSTEM,
-                            format!(
-                                "subsystem `{field}` of `{name}` is an instance \
-                                 of `{class_name}`, which is not a `@sys` class \
-                                 in this module"
-                            ),
-                        ));
-                        continue;
-                    };
-                    subsystems.push(Subsystem {
-                        field: field.clone(),
-                        class_name: class_name.clone(),
-                    });
-                    sub_specs.insert(field.clone(), sub_spec);
-                }
-
-                // Invocation analysis (step 3).
-                for (op_name, lowered) in &methods {
-                    check_invocations(op_name, lowered, &sub_specs, &mut diagnostics);
-                }
-
-                // Complete the alphabet: markers + all subsystem events.
-                let mut markers = BTreeSet::new();
-                for op in &spec.operations {
-                    markers.insert(alphabet.intern(&op.name));
-                }
-                for sub in &subsystems {
-                    if let Some(sub_spec) = spec_index.get(&sub.class_name) {
-                        intern_spec_events(sub_spec, Some(&sub.field), &mut alphabet);
-                    }
-                }
-                SystemKind::Composite(CompositeInfo {
-                    subsystems,
-                    methods,
-                    alphabet: Rc::new(alphabet),
-                    markers,
-                })
-            }
-        };
-        systems.push(System {
-            name,
-            kind,
-            spec,
-            claims,
-        });
-    }
-
+    let systems = extractions
+        .into_iter()
+        .map(|e| resolve_class(e, &spec_index, &mut diagnostics))
+        .collect();
     (SystemSet { systems }, diagnostics)
 }
 
@@ -359,8 +422,8 @@ pub fn validate_spec(spec: &ClassSpec, diagnostics: &mut Diagnostics) {
     // Reachability over the spec automaton.
     let mut alphabet = Alphabet::new();
     intern_spec_events(spec, None, &mut alphabet);
-    let alphabet = Rc::new(alphabet);
-    let auto = spec_automaton(spec, None, Rc::clone(&alphabet));
+    let alphabet = Arc::new(alphabet);
+    let auto = spec_automaton(spec, None, Arc::clone(&alphabet));
     let nfa = auto.nfa();
     // Forward reachability from start.
     let mut fwd = vec![false; nfa.num_states()];

@@ -18,7 +18,7 @@ use shelley_ltlf::{check_claim, parse_formula, ClaimOutcome};
 use shelley_regular::ops::strip_markers;
 use shelley_regular::{Alphabet, Nfa, Word};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The paper's `FAIL TO MEET REQUIREMENT` verification failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,7 +72,7 @@ pub fn check_claims(
                 // reported in the main loop below.
                 let _ = parse_formula(&claim.formula, &mut ab);
             }
-            let auto = spec_automaton(&system.spec, None, Rc::new(ab));
+            let auto = spec_automaton(&system.spec, None, Arc::new(ab));
             (auto.nfa().clone(), BTreeSet::new())
         }
     };
@@ -130,7 +130,7 @@ fn check_one_claim(
     }
     // Rebuild the model over the (possibly extended) alphabet: symbol ids
     // are preserved because interning is append-only.
-    let scratch = Rc::new(scratch);
+    let scratch = Arc::new(scratch);
     let model = rebuild_over(model, scratch.clone());
     match check_claim(&model, &formula, markers) {
         ClaimOutcome::Holds => None,
@@ -148,7 +148,7 @@ fn check_one_claim(
 
 /// Copies an NFA onto a larger alphabet that extends the original (same
 /// symbol ids for existing names).
-fn rebuild_over(nfa: &Nfa, alphabet: Rc<Alphabet>) -> Nfa {
+fn rebuild_over(nfa: &Nfa, alphabet: Arc<Alphabet>) -> Nfa {
     let mut b = Nfa::builder(alphabet);
     for _ in 0..nfa.num_states() {
         b.add_state();

@@ -191,7 +191,7 @@ fn explain_projection(
     // Simulate the unqualified spec automaton step by step.
     let mut ab = shelley_regular::Alphabet::new();
     crate::spec::intern_spec_events(spec, None, &mut ab);
-    let auto = spec_automaton(spec, None, std::rc::Rc::new(ab.clone()));
+    let auto = spec_automaton(spec, None, std::sync::Arc::new(ab.clone()));
     let dfa = Dfa::from_nfa(auto.nfa());
     let dead = dfa.dead_states();
     let mut state = dfa.start();

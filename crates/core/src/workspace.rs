@@ -1,0 +1,704 @@
+//! The long-lived, parallel, incremental verification engine.
+//!
+//! A [`Workspace`] owns the parsed state of a project and re-verifies it
+//! round after round, recomputing only what an edit actually invalidated.
+//! Every entry point of [`Checker`](crate::checker::Checker) runs a
+//! one-round workspace under the hood, so the semantics here *are* the
+//! semantics of the whole crate.
+//!
+//! # Caching model
+//!
+//! The pipeline decomposes into per-class stages
+//! ([`extract_class`] → [`validate_spec`] → [`resolve_class`] → lints →
+//! [`verify_system`]), and each stage's
+//! products are cached under a **content fingerprint**:
+//!
+//! * a *file* fingerprint (hash of the source text) gates re-parsing;
+//! * a *class* fingerprint (hash of the class's printed AST, its position,
+//!   and its file) gates extraction and spec validation, which depend on
+//!   nothing but the class's own text;
+//! * a *dependency* fingerprint (the class fingerprint combined with the
+//!   fingerprints of every subsystem class it instantiates) gates
+//!   resolution, lints, and verification, which additionally read the
+//!   subsystems' specifications — and nothing else.
+//!
+//! Editing one class therefore re-runs extraction for that class only, and
+//! re-runs verification for that class plus the composites that use it.
+//! [`WorkspaceStats`] exposes hit/miss counters and per-phase timings so
+//! callers (and tests) can observe exactly that.
+//!
+//! # Parallelism and determinism
+//!
+//! Stages fan out over a [`std::thread::scope`] worker pool
+//! ([`Checker::jobs`](crate::checker::Checker::jobs), default: available
+//! parallelism). Workers claim classes from a shared queue, but results
+//! are merged back **in class order** and diagnostics are normalized, so
+//! reports are byte-identical across job counts and across
+//! incremental-vs-cold runs.
+//!
+//! # Example
+//!
+//! ```
+//! use shelley_core::{Checker, Workspace};
+//!
+//! let mut ws = Checker::new().jobs(2).into_workspace();
+//! ws.set_file("led.py", "@sys\nclass Led:\n    @op_initial_final\n    def blink(self):\n        return []\n");
+//! ws.set_file("main.py", "@sys([\"l\"])\nclass Panel:\n    def __init__(self):\n        self.l = Led()\n\n    @op_initial_final\n    def run(self):\n        self.l.blink()\n        return []\n");
+//! let first = ws.check()?;
+//! assert!(first.report.passed());
+//!
+//! // Re-checking without edits hits the cache for every class.
+//! ws.check()?;
+//! assert_eq!(ws.last_round().verified, 0);
+//! assert_eq!(ws.last_round().verify_cache_hits, 2);
+//!
+//! // Editing the Led protocol re-verifies Led *and* the Panel composite.
+//! ws.set_file("led.py", "@sys\nclass Led:\n    @op_initial_final\n    def blink(self):\n        return [\"blink\"]\n");
+//! ws.check()?;
+//! assert_eq!(ws.last_round().verified, 2);
+//! # Ok::<(), shelley_core::CheckError>(())
+//! ```
+
+use crate::checker::CheckError;
+use crate::diagnostics::{codes, Diagnostic, Diagnostics};
+use crate::lint::{run_lints, LintConfig, LintLevel};
+use crate::pipeline::{verify_system, CheckReport, Checked, SystemVerdict};
+use crate::spec::ClassSpec;
+use crate::system::{
+    extract_class, resolve_class, validate_spec, ClassExtraction, System, SystemKind, SystemSet,
+};
+use crate::verify::claims::ClaimViolation;
+use crate::verify::usage::UsageViolation;
+use micropython_parser::ast::{Module, Stmt};
+use micropython_parser::printer::print_module;
+use micropython_parser::{parse_module, ParseError};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cache-hit/miss counters and per-phase wall-clock timings of a
+/// [`Workspace`] — one value accumulated over the workspace's lifetime
+/// ([`Workspace::stats`]) and one reset every round
+/// ([`Workspace::last_round`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Number of completed [`Workspace::check`] rounds.
+    pub rounds: u64,
+    /// Files whose source changed and were re-parsed.
+    pub files_parsed: u64,
+    /// Files whose parse (or parse error) was reused.
+    pub parse_cache_hits: u64,
+    /// Classes that ran extraction + spec validation.
+    pub extracted: u64,
+    /// Classes whose extraction artifacts were reused.
+    pub extract_cache_hits: u64,
+    /// Classes that ran resolution, lints, and verification.
+    pub verified: u64,
+    /// Classes whose verification artifacts were reused.
+    pub verify_cache_hits: u64,
+    /// Time spent parsing changed files.
+    pub parse_time: Duration,
+    /// Time spent extracting changed classes.
+    pub extract_time: Duration,
+    /// Time spent resolving/linting/verifying invalidated classes.
+    pub verify_time: Duration,
+    /// Time spent merging cached artifacts into the final report.
+    pub assemble_time: Duration,
+}
+
+impl WorkspaceStats {
+    fn absorb(&mut self, round: &WorkspaceStats) {
+        self.rounds += round.rounds;
+        self.files_parsed += round.files_parsed;
+        self.parse_cache_hits += round.parse_cache_hits;
+        self.extracted += round.extracted;
+        self.extract_cache_hits += round.extract_cache_hits;
+        self.verified += round.verified;
+        self.verify_cache_hits += round.verify_cache_hits;
+        self.parse_time += round.parse_time;
+        self.extract_time += round.extract_time;
+        self.verify_time += round.verify_time;
+        self.assemble_time += round.assemble_time;
+    }
+
+    /// One-line human-readable summary
+    /// (`parsed 1/12 files, extracted 1/40 classes, verified 3/40`).
+    pub fn render(&self) -> String {
+        format!(
+            "parsed {}/{} files, extracted {}/{} classes, verified {}/{} in {:.1?}",
+            self.files_parsed,
+            self.files_parsed + self.parse_cache_hits,
+            self.extracted,
+            self.extracted + self.extract_cache_hits,
+            self.verified,
+            self.verified + self.verify_cache_hits,
+            self.parse_time + self.extract_time + self.verify_time + self.assemble_time,
+        )
+    }
+}
+
+/// One class of one file, ready for the per-class stages.
+#[derive(Debug, Clone)]
+struct ClassUnit {
+    name: String,
+    /// Content fingerprint: printed AST + position + file name.
+    fingerprint: u64,
+    /// A single-class module owning the class definition; shared with
+    /// worker threads and cache entries.
+    solo: Arc<Module>,
+}
+
+/// A registered source file and its parse cache.
+#[derive(Debug)]
+struct FileState {
+    name: String,
+    /// Fingerprint of the source text (or of the printed module for
+    /// [`Workspace::set_parsed_module`]).
+    fingerprint: u64,
+    source: Option<String>,
+    parsed: Option<Result<Vec<ClassUnit>, ParseError>>,
+}
+
+/// Extraction-stage products of one class (keyed by class fingerprint).
+#[derive(Debug)]
+struct ExtractEntry {
+    /// `None` for classes without a `@sys` decorator.
+    extraction: Option<ClassExtraction>,
+    extract_diags: Diagnostics,
+    validate_diags: Diagnostics,
+}
+
+/// Verification-stage products of one class (keyed by class fingerprint +
+/// dependency fingerprint).
+#[derive(Debug)]
+struct VerifyEntry {
+    system: System,
+    verdict: SystemVerdict,
+    resolve_diags: Diagnostics,
+    lint_diags: Diagnostics,
+}
+
+/// The long-lived verification engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct Workspace {
+    config: LintConfig,
+    jobs: usize,
+    files: Vec<FileState>,
+    extract_cache: HashMap<u64, Arc<ExtractEntry>>,
+    verify_cache: HashMap<(u64, u64), Arc<VerifyEntry>>,
+    totals: WorkspaceStats,
+    last: WorkspaceStats,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
+impl Workspace {
+    /// An empty workspace with default lints and automatic parallelism.
+    pub fn new() -> Self {
+        Workspace::with_config(LintConfig::default(), 0)
+    }
+
+    /// An empty workspace with an explicit lint configuration and worker
+    /// count (`0` = available parallelism). Usually reached through
+    /// [`Checker::into_workspace`](crate::checker::Checker::into_workspace).
+    pub fn with_config(config: LintConfig, jobs: usize) -> Self {
+        Workspace {
+            config,
+            jobs,
+            files: Vec::new(),
+            extract_cache: HashMap::new(),
+            verify_cache: HashMap::new(),
+            totals: WorkspaceStats::default(),
+            last: WorkspaceStats::default(),
+        }
+    }
+
+    /// Adds a file, or replaces its source if the name is already
+    /// registered (keeping its position in project order). Re-registering
+    /// identical source is free: the parse cache is kept.
+    pub fn set_file(&mut self, name: impl Into<String>, source: impl Into<String>) {
+        let name = name.into();
+        let source = source.into();
+        let fingerprint = fnv1a(&[name.as_bytes(), source.as_bytes()]);
+        match self.files.iter_mut().find(|f| f.name == name) {
+            Some(state) => {
+                if state.fingerprint != fingerprint {
+                    state.fingerprint = fingerprint;
+                    state.source = Some(source);
+                    state.parsed = None;
+                }
+            }
+            None => self.files.push(FileState {
+                name,
+                fingerprint,
+                source: Some(source),
+                parsed: None,
+            }),
+        }
+    }
+
+    /// Registers an already-parsed module under `name`, bypassing the
+    /// parser (used by
+    /// [`Checker::check_module`](crate::checker::Checker::check_module)).
+    /// The module's fingerprint is derived from its printed form.
+    pub fn set_parsed_module(&mut self, name: impl Into<String>, module: Module) {
+        let name = name.into();
+        let printed = print_module(&module);
+        let fingerprint = fnv1a(&[name.as_bytes(), printed.as_bytes()]);
+        if let Some(state) = self.files.iter_mut().find(|f| f.name == name) {
+            if state.fingerprint == fingerprint {
+                return;
+            }
+        }
+        let units = class_units(&name, &module);
+        let state = FileState {
+            name: name.clone(),
+            fingerprint,
+            source: None,
+            parsed: Some(Ok(units)),
+        };
+        match self.files.iter_mut().find(|f| f.name == name) {
+            Some(existing) => *existing = state,
+            None => self.files.push(state),
+        }
+    }
+
+    /// Removes a file from the project. Returns whether it was present.
+    pub fn remove_file(&mut self, name: &str) -> bool {
+        let before = self.files.len();
+        self.files.retain(|f| f.name != name);
+        before != self.files.len()
+    }
+
+    /// The registered file names, in project order.
+    pub fn file_names(&self) -> impl Iterator<Item = &str> {
+        self.files.iter().map(|f| f.name.as_str())
+    }
+
+    /// Counters and timings accumulated since the workspace was created.
+    pub fn stats(&self) -> &WorkspaceStats {
+        &self.totals
+    }
+
+    /// Counters and timings of the most recent [`check`](Self::check)
+    /// round only.
+    pub fn last_round(&self) -> &WorkspaceStats {
+        &self.last
+    }
+
+    /// Runs one verification round over the current file set, reusing
+    /// every cached artifact whose fingerprints still match.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse failure in project order. Parse results
+    /// (including failures) are cached, so an unchanged broken file fails
+    /// again without re-parsing.
+    pub fn check(&mut self) -> Result<Checked, CheckError> {
+        let mut round = WorkspaceStats {
+            rounds: 1,
+            ..WorkspaceStats::default()
+        };
+
+        // Phase 1: (re-)parse changed files.
+        let t = Instant::now();
+        for file in &mut self.files {
+            if file.parsed.is_some() {
+                round.parse_cache_hits += 1;
+                continue;
+            }
+            round.files_parsed += 1;
+            let source = file
+                .source
+                .as_deref()
+                .expect("files without source are registered pre-parsed");
+            file.parsed = Some(match parse_module(source) {
+                Ok(module) => Ok(class_units(&file.name, &module)),
+                Err(e) => Err(e),
+            });
+        }
+        round.parse_time = t.elapsed();
+        let first_failure = self.files.iter().find_map(|file| match &file.parsed {
+            Some(Err(error)) => Some(CheckError {
+                file: file.name.clone(),
+                error: error.clone(),
+            }),
+            _ => None,
+        });
+        if let Some(failure) = first_failure {
+            self.finish_round(round);
+            return Err(failure);
+        }
+
+        // Phase 2: the class list. Duplicate names resolve to the later
+        // definition (Python's last-definition semantics); each shadowed
+        // definition is reported and dropped before any stage runs, so
+        // the winner is deterministic and explicit.
+        let mut all: Vec<(&str, &ClassUnit)> = Vec::new();
+        for file in &self.files {
+            if let Some(Ok(units)) = &file.parsed {
+                for unit in units {
+                    all.push((&file.name, unit));
+                }
+            }
+        }
+        let mut last_index: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, (_, unit)) in all.iter().enumerate() {
+            last_index.insert(unit.name.as_str(), i);
+        }
+        let mut duplicate_diags = Diagnostics::new();
+        for (i, (file, unit)) in all.iter().enumerate() {
+            let winner = last_index[unit.name.as_str()];
+            if winner == i {
+                continue;
+            }
+            let (winner_file, _) = all[winner];
+            let message = if *file == winner_file {
+                format!(
+                    "class `{}` defined more than once in {file}; the later \
+                     definition is used",
+                    unit.name
+                )
+            } else {
+                format!(
+                    "class `{}` defined in both {file} and {winner_file}; the \
+                     definition in {winner_file} is used",
+                    unit.name
+                )
+            };
+            duplicate_diags.push(Diagnostic::error(codes::BAD_ANNOTATION, message));
+        }
+        let units: Vec<&ClassUnit> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, (_, unit))| last_index[unit.name.as_str()] == *i)
+            .map(|(_, (_, unit))| *unit)
+            .collect();
+
+        // Phase 3: extraction + spec validation for classes whose
+        // fingerprint is new.
+        let t = Instant::now();
+        let mut extract_entries: Vec<Option<Arc<ExtractEntry>>> = units
+            .iter()
+            .map(|u| self.extract_cache.get(&u.fingerprint).cloned())
+            .collect();
+        let missing: Vec<usize> = (0..units.len())
+            .filter(|&i| extract_entries[i].is_none())
+            .collect();
+        round.extracted = missing.len() as u64;
+        round.extract_cache_hits = (units.len() - missing.len()) as u64;
+        let fresh = par_map(self.effective_jobs(), &missing, |&i| {
+            Arc::new(run_extract(units[i]))
+        });
+        for (&i, entry) in missing.iter().zip(fresh) {
+            self.extract_cache
+                .insert(units[i].fingerprint, entry.clone());
+            extract_entries[i] = Some(entry);
+        }
+        let extract_entries: Vec<Arc<ExtractEntry>> =
+            extract_entries.into_iter().map(Option::unwrap).collect();
+        round.extract_time = t.elapsed();
+
+        // Phase 4: dependency fingerprints and the spec index.
+        let fp_of: BTreeMap<&str, u64> = units
+            .iter()
+            .map(|u| (u.name.as_str(), u.fingerprint))
+            .collect();
+        let spec_index: BTreeMap<String, ClassSpec> = extract_entries
+            .iter()
+            .filter_map(|e| e.extraction.as_ref())
+            .map(|x| (x.name.clone(), x.spec.clone()))
+            .collect();
+        let dep_fingerprints: Vec<u64> = extract_entries
+            .iter()
+            .zip(&units)
+            .map(|(entry, unit)| match &entry.extraction {
+                None => unit.fingerprint,
+                Some(x) => {
+                    let mut parts: Vec<Vec<u8>> = vec![unit.fingerprint.to_le_bytes().to_vec()];
+                    for dep in x.dependencies() {
+                        parts.push(dep.as_bytes().to_vec());
+                        let dep_fp = fp_of.get(dep).copied().unwrap_or(u64::MAX);
+                        parts.push(dep_fp.to_le_bytes().to_vec());
+                    }
+                    let slices: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+                    fnv1a(&slices)
+                }
+            })
+            .collect();
+
+        // Phase 5: resolution + lints + verification for invalidated
+        // classes.
+        let t = Instant::now();
+        let mut verify_entries: Vec<Option<Arc<VerifyEntry>>> = units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                extract_entries[i].extraction.as_ref()?;
+                self.verify_cache
+                    .get(&(u.fingerprint, dep_fingerprints[i]))
+                    .cloned()
+            })
+            .collect();
+        let missing: Vec<usize> = (0..units.len())
+            .filter(|&i| verify_entries[i].is_none() && extract_entries[i].extraction.is_some())
+            .collect();
+        round.verified = missing.len() as u64;
+        round.verify_cache_hits = units
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| extract_entries[*i].extraction.is_some())
+            .count() as u64
+            - round.verified;
+        let config = &self.config;
+        let fresh = par_map(self.effective_jobs(), &missing, |&i| {
+            let extraction = extract_entries[i]
+                .extraction
+                .clone()
+                .expect("verify stage only runs for @sys classes");
+            Arc::new(run_verify(extraction, units[i], &spec_index, config))
+        });
+        for (&i, entry) in missing.iter().zip(fresh) {
+            self.verify_cache
+                .insert((units[i].fingerprint, dep_fingerprints[i]), entry.clone());
+            verify_entries[i] = Some(entry);
+        }
+        round.verify_time = t.elapsed();
+
+        // Phase 6: assemble the report in class order — the same stage
+        // ordering as the sequential pipeline, normalized at the end, so
+        // cached, parallel, and cold runs are byte-identical.
+        let t = Instant::now();
+        let mut diagnostics = Diagnostics::new();
+        for entry in &extract_entries {
+            diagnostics.extend(entry.extract_diags.clone());
+        }
+        for entry in &extract_entries {
+            diagnostics.extend(entry.validate_diags.clone());
+        }
+        for entry in verify_entries.iter().flatten() {
+            diagnostics.extend(entry.resolve_diags.clone());
+        }
+        for entry in verify_entries.iter().flatten() {
+            diagnostics.extend(entry.lint_diags.clone());
+        }
+        let mut usage_violations: Vec<(String, UsageViolation)> = Vec::new();
+        let mut claim_violations: Vec<(String, ClaimViolation)> = Vec::new();
+        let mut integrations = Vec::new();
+        let mut systems: Vec<System> = Vec::new();
+        for entry in verify_entries.iter().flatten() {
+            diagnostics.extend(entry.verdict.diagnostics.clone());
+            for v in &entry.verdict.usage_violations {
+                usage_violations.push((entry.system.name.clone(), v.clone()));
+            }
+            for v in &entry.verdict.claim_violations {
+                claim_violations.push((entry.system.name.clone(), v.clone()));
+            }
+            if let Some(integ) = &entry.verdict.integration {
+                integrations.push((entry.system.name.clone(), integ.clone()));
+            }
+            systems.push(entry.system.clone());
+        }
+        diagnostics.extend(duplicate_diags);
+        self.config.apply(&mut diagnostics);
+        if self.config.level(codes::INVALID_SUBSYSTEM_USAGE) != LintLevel::Deny {
+            usage_violations.clear();
+        }
+        if self.config.level(codes::FAIL_TO_MEET_REQUIREMENT) != LintLevel::Deny {
+            claim_violations.clear();
+        }
+        let checked = Checked {
+            systems: systems.into_iter().collect::<SystemSet>(),
+            integrations,
+            report: CheckReport {
+                diagnostics,
+                usage_violations,
+                claim_violations,
+            },
+        };
+        round.assemble_time = t.elapsed();
+
+        // Drop cache entries the round did not touch: after an edit the
+        // superseded fingerprints can never hit again.
+        let live_extract: HashSet<u64> = units.iter().map(|u| u.fingerprint).collect();
+        self.extract_cache.retain(|fp, _| live_extract.contains(fp));
+        let live_verify: HashSet<(u64, u64)> = units
+            .iter()
+            .zip(&dep_fingerprints)
+            .map(|(u, &d)| (u.fingerprint, d))
+            .collect();
+        self.verify_cache.retain(|key, _| live_verify.contains(key));
+
+        self.finish_round(round);
+        Ok(checked)
+    }
+
+    fn finish_round(&mut self, round: WorkspaceStats) {
+        self.totals.absorb(&round);
+        self.last = round;
+    }
+
+    fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// Splits a module into per-class units, fingerprinting each class by its
+/// printed AST plus its position and file (so diagnostics spans stay exact
+/// under incremental reuse).
+fn class_units(file: &str, module: &Module) -> Vec<ClassUnit> {
+    let mut units = Vec::new();
+    for stmt in &module.body {
+        let Stmt::ClassDef(class) = stmt else {
+            continue;
+        };
+        let solo = Module {
+            body: vec![Stmt::ClassDef(class.clone())],
+        };
+        let printed = print_module(&solo);
+        let fingerprint = fnv1a(&[
+            file.as_bytes(),
+            &class.span.start.to_le_bytes(),
+            printed.as_bytes(),
+        ]);
+        units.push(ClassUnit {
+            name: class.name.node.clone(),
+            fingerprint,
+            solo: Arc::new(solo),
+        });
+    }
+    units
+}
+
+/// The extraction stage of one class: pass 1 plus spec validation.
+fn run_extract(unit: &ClassUnit) -> ExtractEntry {
+    let class = unit
+        .solo
+        .classes()
+        .next()
+        .expect("solo modules hold exactly one class");
+    let mut extract_diags = Diagnostics::new();
+    let extraction = extract_class(class, &mut extract_diags);
+    let mut validate_diags = Diagnostics::new();
+    if let Some(x) = &extraction {
+        validate_spec(&x.spec, &mut validate_diags);
+    }
+    ExtractEntry {
+        extraction,
+        extract_diags,
+        validate_diags,
+    }
+}
+
+/// The verification stage of one class: resolution against the subsystem
+/// specs, the per-class lint passes, and usage/claim verification.
+fn run_verify(
+    extraction: ClassExtraction,
+    unit: &ClassUnit,
+    spec_index: &BTreeMap<String, ClassSpec>,
+    config: &LintConfig,
+) -> VerifyEntry {
+    let mut resolve_diags = Diagnostics::new();
+    let system = resolve_class(extraction, spec_index, &mut resolve_diags);
+
+    // Lint passes only inspect the class under analysis and its own
+    // resolved system, so a single-class scope reproduces the module-level
+    // run exactly.
+    let mut lint_diags = Diagnostics::new();
+    let lint_scope: SystemSet = std::iter::once(system.clone()).collect();
+    run_lints(&unit.solo, &lint_scope, config, &mut lint_diags);
+
+    // Usage verification reads the *specs* of the subsystems, never their
+    // resolved systems, so spec-only stand-ins keep the stage independent
+    // of every other class's resolution.
+    let mut verify_scope: Vec<System> = vec![system.clone()];
+    if let SystemKind::Composite(info) = &system.kind {
+        for sub in &info.subsystems {
+            if sub.class_name == system.name {
+                continue;
+            }
+            if verify_scope.iter().any(|s| s.name == sub.class_name) {
+                continue;
+            }
+            if let Some(spec) = spec_index.get(&sub.class_name) {
+                verify_scope.push(System {
+                    name: sub.class_name.clone(),
+                    kind: SystemKind::Base,
+                    spec: spec.clone(),
+                    claims: Vec::new(),
+                });
+            }
+        }
+    }
+    let verify_scope: SystemSet = verify_scope.into_iter().collect();
+    let verdict = verify_system(&system, &verify_scope);
+
+    VerifyEntry {
+        system,
+        verdict,
+        resolve_diags,
+        lint_diags,
+    }
+}
+
+/// Maps `f` over `items` on a scoped worker pool of at most `jobs`
+/// threads, returning results in input order. `jobs <= 1` (or a single
+/// item) runs inline on the calling thread.
+fn par_map<T: Sync, R: Send>(jobs: usize, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("worker result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker result slot poisoned")
+                .expect("every index was claimed by exactly one worker")
+        })
+        .collect()
+}
+
+/// FNV-1a over a sequence of byte slices — a stable, dependency-free
+/// content fingerprint (collisions are astronomically unlikely at project
+/// scale and would only cause a stale-cache reuse within one process).
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        // Length-prefix each part so concatenation ambiguity cannot alias
+        // two different part sequences.
+        for b in (part.len() as u64).to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        for &b in *part {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    hash
+}

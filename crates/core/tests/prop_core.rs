@@ -8,10 +8,10 @@
 use proptest::prelude::*;
 use shelley_core::annotations::OpKind;
 use shelley_core::spec::{intern_spec_events, spec_automaton, ClassSpec, ExitSpec, OperationSpec};
-use shelley_core::{build_integration, check_source};
+use shelley_core::{build_integration, Checker};
 use shelley_regular::{Alphabet, Dfa};
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A random, *structurally sane* spec: `n` operations, each with 1–2 exits
 /// whose next-sets reference defined operations; op 0 is initial, the last
@@ -63,7 +63,7 @@ proptest! {
     fn spec_words_are_legal_usages(spec in arb_spec()) {
         let mut ab = Alphabet::new();
         intern_spec_events(&spec, None, &mut ab);
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let auto = spec_automaton(&spec, None, ab.clone());
         let dfa = Dfa::from_nfa(auto.nfa());
         for word in dfa.enumerate_words(5, 200) {
@@ -95,7 +95,7 @@ proptest! {
     fn conforming_composites_verify(spec in arb_spec()) {
         let mut ab = Alphabet::new();
         intern_spec_events(&spec, None, &mut ab);
-        let auto = spec_automaton(&spec, None, Rc::new(ab.clone()));
+        let auto = spec_automaton(&spec, None, Arc::new(ab.clone()));
         let dfa = Dfa::from_nfa(auto.nfa());
         // Pick a short nonempty accepted usage, if any.
         let Some(word) = dfa
@@ -124,7 +124,7 @@ proptest! {
         }
         let _ = writeln!(src, "        return []");
 
-        let checked = check_source(&src).expect("generated source parses");
+        let checked = Checker::new().check_source(&src).expect("generated source parses");
         prop_assert!(
             checked.report.usage_violations.is_empty(),
             "usage {:?} rejected:\n{}",
@@ -139,7 +139,7 @@ proptest! {
     fn truncated_usages_are_caught(spec in arb_spec()) {
         let mut ab = Alphabet::new();
         intern_spec_events(&spec, None, &mut ab);
-        let auto = spec_automaton(&spec, None, Rc::new(ab.clone()));
+        let auto = spec_automaton(&spec, None, Arc::new(ab.clone()));
         let dfa = Dfa::from_nfa(auto.nfa());
         // Find an accepted word with a strict prefix ending on a non-final
         // operation.
@@ -168,7 +168,7 @@ proptest! {
         }
         let _ = writeln!(src, "        return []");
 
-        let checked = check_source(&src).expect("generated source parses");
+        let checked = Checker::new().check_source(&src).expect("generated source parses");
         prop_assert!(
             !checked.report.usage_violations.is_empty(),
             "truncated usage {:?} was not caught",
@@ -182,7 +182,7 @@ proptest! {
     fn integration_words_start_with_markers(spec in arb_spec()) {
         let mut ab = Alphabet::new();
         intern_spec_events(&spec, None, &mut ab);
-        let auto = spec_automaton(&spec, None, Rc::new(ab.clone()));
+        let auto = spec_automaton(&spec, None, Arc::new(ab.clone()));
         let dfa = Dfa::from_nfa(auto.nfa());
         let Some(word) = dfa
             .enumerate_words(3, 50)
@@ -203,7 +203,7 @@ proptest! {
             let _ = writeln!(src, "        self.x.{}()", ab.name(s));
         }
         let _ = writeln!(src, "        return []");
-        let checked = check_source(&src).expect("parses");
+        let checked = Checker::new().check_source(&src).expect("parses");
         let user = checked.systems.get("User").expect("built");
         let integration = build_integration(user);
         let idfa = Dfa::from_nfa(&integration.nfa);

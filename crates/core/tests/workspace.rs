@@ -1,0 +1,440 @@
+//! The workspace engine's contract: incrementality you can observe in the
+//! stats counters, fingerprint invalidation that follows the subsystem
+//! graph, and byte-identical reports across cold/incremental/parallel
+//! runs.
+
+use proptest::prelude::*;
+use shelley_core::annotations::OpKind;
+use shelley_core::pipeline::check_module_direct;
+use shelley_core::spec::{ClassSpec, ExitSpec, OperationSpec};
+use shelley_core::{Checked, Checker, LintConfig, ProjectFile, INPUT_NAME};
+use std::fmt::Write as _;
+
+const VALVE_PY: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+"#;
+
+const LED_PY: &str = r#"
+@sys
+class Led:
+    @op_initial
+    def on(self):
+        return ["off"]
+
+    @op_final
+    def off(self):
+        return ["on"]
+"#;
+
+const SECTOR_A_PY: &str = r#"
+@sys(["a"])
+class SectorA:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def water(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+"#;
+
+const SECTOR_B_PY: &str = r#"
+@sys(["l"])
+class SectorB:
+    def __init__(self):
+        self.l = Led()
+
+    @op_initial_final
+    def blink(self):
+        self.l.on()
+        self.l.off()
+        return []
+"#;
+
+/// Listings 2.1 + 2.2 of the paper: one base system plus a composite that
+/// violates both the subsystem protocol and its temporal claim.
+const PAPER_SOURCE: &str = r#"
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+"#;
+
+/// Everything a report can say, rendered to one comparable string.
+fn fingerprint_report(checked: &Checked) -> String {
+    let mut out = checked.report.render(None);
+    out.push_str(&checked.report.diagnostics.render_json(None));
+    let names: Vec<&str> = checked.systems.iter().map(|s| s.name.as_str()).collect();
+    let _ = writeln!(out, "systems: {names:?}");
+    let integs: Vec<&str> = checked
+        .integrations
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let _ = writeln!(out, "integrations: {integs:?}");
+    out
+}
+
+#[test]
+fn counters_prove_incrementality_after_one_class_edit() {
+    let mut ws = Checker::new().jobs(1).into_workspace();
+    ws.set_file("valve.py", VALVE_PY);
+    ws.set_file("led.py", LED_PY);
+    ws.set_file("sector_a.py", SECTOR_A_PY);
+    ws.set_file("sector_b.py", SECTOR_B_PY);
+
+    // Cold round: everything is a miss.
+    let cold = ws.check().unwrap();
+    assert!(cold.report.passed(), "{}", cold.report.render(None));
+    assert_eq!(ws.last_round().files_parsed, 4);
+    assert_eq!(ws.last_round().extracted, 4);
+    assert_eq!(ws.last_round().verified, 4);
+    assert_eq!(ws.last_round().verify_cache_hits, 0);
+
+    // Unchanged round: everything is a hit.
+    ws.check().unwrap();
+    assert_eq!(ws.last_round().files_parsed, 0);
+    assert_eq!(ws.last_round().parse_cache_hits, 4);
+    assert_eq!(ws.last_round().extracted, 0);
+    assert_eq!(ws.last_round().extract_cache_hits, 4);
+    assert_eq!(ws.last_round().verified, 0);
+    assert_eq!(ws.last_round().verify_cache_hits, 4);
+
+    // Cosmetic edit to Valve: its fingerprint changes, so Valve re-runs
+    // every stage and SectorA (whose dependency fingerprint includes
+    // Valve's) re-verifies — but Led and SectorB stay cached.
+    ws.set_file("valve.py", VALVE_PY.replace("if ok:", "if ready:"));
+    let warm = ws.check().unwrap();
+    assert!(warm.report.passed());
+    assert_eq!(ws.last_round().files_parsed, 1);
+    assert_eq!(ws.last_round().parse_cache_hits, 3);
+    assert_eq!(ws.last_round().extracted, 1);
+    assert_eq!(ws.last_round().extract_cache_hits, 3);
+    assert_eq!(ws.last_round().verified, 2, "Valve + SectorA re-verified");
+    assert_eq!(ws.last_round().verify_cache_hits, 2, "Led + SectorB cached");
+
+    // Lifetime totals accumulate across rounds.
+    assert_eq!(ws.stats().rounds, 3);
+    assert_eq!(ws.stats().verified, 6);
+    assert_eq!(ws.stats().verify_cache_hits, 6);
+}
+
+#[test]
+fn editing_a_subsystem_invalidates_composites_but_not_grandparents() {
+    // a <- b <- c: editing `A` re-verifies A and B (B's dependency
+    // fingerprint includes A's class fingerprint), but C depends only on
+    // B's *spec*, which is a function of B's unchanged text — so C is a
+    // cache hit.
+    const A_PY: &str = r#"
+@sys
+class A:
+    @op_initial_final
+    def go(self):
+        return []
+"#;
+    const B_PY: &str = r#"
+@sys(["a"])
+class B:
+    def __init__(self):
+        self.a = A()
+
+    @op_initial_final
+    def run(self):
+        self.a.go()
+        return []
+"#;
+    const C_PY: &str = r#"
+@sys(["b"])
+class C:
+    def __init__(self):
+        self.b = B()
+
+    @op_initial_final
+    def drive(self):
+        self.b.run()
+        return []
+"#;
+    let mut ws = Checker::new().jobs(1).into_workspace();
+    ws.set_file("a.py", A_PY);
+    ws.set_file("b.py", B_PY);
+    ws.set_file("c.py", C_PY);
+    let checked = ws.check().unwrap();
+    assert!(checked.report.passed(), "{}", checked.report.render(None));
+
+    // A whitespace-only edit would not change the printed AST (the
+    // fingerprint ignores formatting), so add a harmless statement.
+    ws.set_file(
+        "a.py",
+        A_PY.replace("        return []", "        x = 1\n        return []"),
+    );
+    ws.check().unwrap();
+    assert_eq!(ws.last_round().extracted, 1, "only A re-extracted");
+    assert_eq!(ws.last_round().verified, 2, "A and B re-verified");
+    assert_eq!(ws.last_round().verify_cache_hits, 1, "C stays cached");
+}
+
+#[test]
+fn parallel_and_incremental_match_the_direct_pipeline_on_the_paper_example() {
+    let module = micropython_parser::parse_module(PAPER_SOURCE).unwrap();
+    let reference = fingerprint_report(&check_module_direct(&module, &LintConfig::default()));
+
+    // Sequential workspace, cold.
+    let sequential = Checker::new().jobs(1).check_source(PAPER_SOURCE).unwrap();
+    assert_eq!(fingerprint_report(&sequential), reference);
+
+    // Parallel workspace, cold.
+    let parallel = Checker::new().jobs(4).check_source(PAPER_SOURCE).unwrap();
+    assert_eq!(fingerprint_report(&parallel), reference);
+
+    // Incremental: detour through an edited file, then back.
+    let mut ws = Checker::new().jobs(2).into_workspace();
+    ws.set_file(INPUT_NAME, PAPER_SOURCE);
+    ws.check().unwrap();
+    ws.set_file(INPUT_NAME, PAPER_SOURCE.replace("W b.open", "W b.test"));
+    ws.check().unwrap();
+    ws.set_file(INPUT_NAME, PAPER_SOURCE);
+    let incremental = ws.check().unwrap();
+    assert_eq!(fingerprint_report(&incremental), reference);
+}
+
+#[test]
+fn check_source_errors_carry_the_synthetic_input_name() {
+    let err = Checker::new().check_source("def broken(:\n").unwrap_err();
+    assert_eq!(err.file, INPUT_NAME);
+    assert!(err.to_string().starts_with("<input>: "));
+}
+
+#[test]
+fn removing_a_file_drops_its_classes() {
+    let mut ws = Checker::new().into_workspace();
+    ws.set_file("valve.py", VALVE_PY);
+    ws.set_file("led.py", LED_PY);
+    assert_eq!(ws.check().unwrap().systems.len(), 2);
+    assert!(ws.remove_file("led.py"));
+    assert!(!ws.remove_file("led.py"));
+    let checked = ws.check().unwrap();
+    assert_eq!(checked.systems.len(), 1);
+    assert!(checked.systems.get("Valve").is_some());
+}
+
+#[test]
+fn check_files_matches_per_file_workspace_rounds() {
+    let files = [
+        ProjectFile::new("valve.py", VALVE_PY),
+        ProjectFile::new("sector_a.py", SECTOR_A_PY),
+    ];
+    let one_shot = Checker::new().jobs(1).check_files(&files).unwrap();
+    let mut ws = Checker::new().jobs(3).into_workspace();
+    for f in &files {
+        ws.set_file(f.name.clone(), f.source.clone());
+    }
+    let incremental = ws.check().unwrap();
+    assert_eq!(
+        fingerprint_report(&incremental),
+        fingerprint_report(&one_shot)
+    );
+}
+
+/// A random, structurally sane spec: `n` operations, each with one exit
+/// whose next-set references defined operations; op 0 is initial, the
+/// last op is final.
+fn arb_spec(class: &'static str) -> impl Strategy<Value = ClassSpec> {
+    (2usize..6)
+        .prop_flat_map(|n| {
+            let exits = proptest::collection::vec(proptest::collection::vec(0..n, 0..3), n);
+            (Just(n), exits)
+        })
+        .prop_map(move |(n, exit_targets)| {
+            let operations = (0..n)
+                .map(|i| {
+                    let kind = if i == 0 && i == n - 1 {
+                        OpKind::InitialFinal
+                    } else if i == 0 {
+                        OpKind::Initial
+                    } else if i == n - 1 {
+                        OpKind::Final
+                    } else {
+                        OpKind::Middle
+                    };
+                    let next: Vec<String> =
+                        exit_targets[i].iter().map(|&t| format!("op{t}")).collect();
+                    OperationSpec {
+                        name: format!("op{i}"),
+                        kind,
+                        exits: vec![ExitSpec {
+                            next,
+                            span: None,
+                            implicit: false,
+                        }],
+                        span: None,
+                    }
+                })
+                .collect();
+            ClassSpec {
+                name: class.into(),
+                operations,
+            }
+        })
+}
+
+/// Renders a [`ClassSpec`] back to annotated MicroPython source.
+fn render_spec_class(spec: &ClassSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "@sys");
+    let _ = writeln!(out, "class {}:", spec.name);
+    for op in &spec.operations {
+        let dec = match (op.kind.is_initial(), op.kind.is_final()) {
+            (true, true) => "@op_initial_final",
+            (true, false) => "@op_initial",
+            (false, true) => "@op_final",
+            (false, false) => "@op",
+        };
+        let _ = writeln!(out, "    {dec}");
+        let _ = writeln!(out, "    def {}(self):", op.name);
+        for exit in &op.exits {
+            let items: Vec<String> = exit.next.iter().map(|n| format!("\"{n}\"")).collect();
+            let _ = writeln!(out, "        return [{}]", items.join(", "));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// A composite exercising the first operation chain of `dep`.
+fn render_user_class(dep: &ClassSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "@sys([\"x\"])");
+    let _ = writeln!(out, "class User:");
+    let _ = writeln!(out, "    def __init__(self):");
+    let _ = writeln!(out, "        self.x = {}()", dep.name);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "    @op_initial_final");
+    let _ = writeln!(out, "    def run(self):");
+    let _ = writeln!(out, "        self.x.{}()", dep.operations[0].name);
+    let _ = writeln!(out, "        return []");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Editing one file of a two-file project and re-checking produces
+    /// byte-identical output to checking the edited project from scratch —
+    /// whatever the generated protocols are, and whether or not the edit
+    /// introduces violations.
+    #[test]
+    fn incremental_recheck_equals_from_scratch(
+        before in arb_spec("Gen"),
+        after in arb_spec("Gen"),
+    ) {
+        let user = render_user_class(&before);
+        let mut ws = Checker::new().jobs(1).into_workspace();
+        ws.set_file("gen.py", render_spec_class(&before));
+        ws.set_file("user.py", user.clone());
+        ws.check().unwrap();
+
+        // Edit the subsystem file, re-check incrementally.
+        ws.set_file("gen.py", render_spec_class(&after));
+        let incremental = ws.check().unwrap();
+
+        // From scratch, same final file set.
+        let scratch = Checker::new().jobs(1).check_files(&[
+            ProjectFile::new("gen.py", render_spec_class(&after)),
+            ProjectFile::new("user.py", user),
+        ]).unwrap();
+
+        prop_assert_eq!(
+            fingerprint_report(&incremental),
+            fingerprint_report(&scratch)
+        );
+    }
+
+    /// Job-count never changes the output: a parallel check of a random
+    /// single-module project is byte-identical to the sequential direct
+    /// pipeline on the same source.
+    #[test]
+    fn parallel_check_equals_direct_pipeline(spec in arb_spec("Gen")) {
+        let src = format!("{}\n{}", render_spec_class(&spec), render_user_class(&spec));
+        let module = micropython_parser::parse_module(&src).unwrap();
+        let reference = fingerprint_report(&check_module_direct(&module, &LintConfig::default()));
+        let parallel = Checker::new().jobs(4).check_source(&src).unwrap();
+        prop_assert_eq!(fingerprint_report(&parallel), reference);
+    }
+}

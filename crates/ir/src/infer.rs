@@ -224,10 +224,10 @@ mod tests {
     #[test]
     fn theorem2_on_enumerated_words() {
         use shelley_regular::{Dfa, Nfa};
-        use std::rc::Rc;
+        use std::sync::Arc;
         let (ab, _, _, _, p) = example_program();
         let behavior = infer(&p);
-        let dfa = Dfa::from_nfa(&Nfa::from_regex(&behavior, Rc::new(ab)));
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&behavior, Arc::new(ab)));
         let checker = TraceChecker::new(&p);
         for word in dfa.enumerate_words(6, 500) {
             assert!(checker.in_language(&word), "completeness fails on {word:?}");

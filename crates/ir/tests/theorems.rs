@@ -16,12 +16,12 @@ use shelley_ir::{
     denote, denote_exits, enumerate_traces, infer, EnumConfig, Program, Status, TraceChecker,
 };
 use shelley_regular::{Alphabet, Dfa, Nfa, Regex, Symbol};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const NSYMS: usize = 3;
 
-fn alphabet() -> Rc<Alphabet> {
-    Rc::new(Alphabet::from_names(["a", "b", "c"]))
+fn alphabet() -> Arc<Alphabet> {
+    Arc::new(Alphabet::from_names(["a", "b", "c"]))
 }
 
 fn arb_program() -> impl Strategy<Value = Program> {
@@ -216,17 +216,17 @@ fn example3_exact() {
     assert_eq!(s[0].display(&ab).to_string(), "(a · c)* · a · b");
 
     // Language equality with the unsimplified paper term.
-    let paper_ongoing = Regex::Star(std::rc::Rc::new(Regex::Concat(
-        std::rc::Rc::new(Regex::Sym(a)),
-        std::rc::Rc::new(Regex::Union(
-            std::rc::Rc::new(Regex::Concat(
-                std::rc::Rc::new(Regex::Sym(b)),
-                std::rc::Rc::new(Regex::Empty),
+    let paper_ongoing = Regex::Star(std::sync::Arc::new(Regex::Concat(
+        std::sync::Arc::new(Regex::Sym(a)),
+        std::sync::Arc::new(Regex::Union(
+            std::sync::Arc::new(Regex::Concat(
+                std::sync::Arc::new(Regex::Sym(b)),
+                std::sync::Arc::new(Regex::Empty),
             )),
-            std::rc::Rc::new(Regex::Sym(c)),
+            std::sync::Arc::new(Regex::Sym(c)),
         )),
     )));
-    let ab_rc = Rc::new(ab);
+    let ab_rc = Arc::new(ab);
     let ours = Dfa::from_nfa(&Nfa::from_regex(&r, ab_rc.clone()));
     let papers = Dfa::from_nfa(&Nfa::from_regex(&paper_ongoing, ab_rc));
     assert!(ours.equivalent(&papers).is_ok());

@@ -15,7 +15,7 @@ use crate::semantics::{accepts_empty, progress};
 use crate::syntax::Formula;
 use shelley_regular::{Alphabet, Dfa, Symbol};
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Canonicalizes a progression state.
 ///
@@ -119,19 +119,19 @@ fn clause_consistent(clause: &BTreeSet<Formula>) -> bool {
 /// ```
 /// use shelley_ltlf::{parse_formula, to_dfa};
 /// use shelley_regular::Alphabet;
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 ///
 /// let mut ab = Alphabet::new();
 /// let f = parse_formula("(!a.open) W b.open", &mut ab)?;
 /// let a_open = ab.lookup("a.open").unwrap();
 /// let b_open = ab.lookup("b.open").unwrap();
-/// let dfa = to_dfa(&f, Rc::new(ab));
+/// let dfa = to_dfa(&f, Arc::new(ab));
 /// assert!(dfa.accepts(&[]));
 /// assert!(dfa.accepts(&[b_open, a_open]));
 /// assert!(!dfa.accepts(&[a_open]));
 /// # Ok::<(), shelley_ltlf::ParseFormulaError>(())
 /// ```
-pub fn to_dfa(formula: &Formula, alphabet: Rc<Alphabet>) -> Dfa {
+pub fn to_dfa(formula: &Formula, alphabet: Arc<Alphabet>) -> Dfa {
     let mut index: HashMap<Formula, usize> = HashMap::new();
     let mut states: Vec<Formula> = Vec::new();
     let mut table: Vec<Vec<usize>> = Vec::new();
@@ -185,12 +185,12 @@ mod tests {
     use super::*;
     use crate::semantics::eval;
 
-    fn setup() -> (Rc<Alphabet>, Symbol, Symbol, Symbol) {
+    fn setup() -> (Arc<Alphabet>, Symbol, Symbol, Symbol) {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
         let b = ab.intern("b");
         let c = ab.intern("c");
-        (Rc::new(ab), a, b, c)
+        (Arc::new(ab), a, b, c)
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod tests {
     use crate::parser::parse_formula;
     use crate::semantics::eval;
     use shelley_regular::{parse_regex, Alphabet};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn claim_holds_on_conforming_model() {
@@ -69,7 +69,7 @@ mod tests {
         let claim = parse_formula("(!a.open) W b.open", &mut ab).unwrap();
         // Model: b.open then a.open (conforming).
         let model_re = parse_regex("b.open ; a.open", &mut ab).unwrap();
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let model = Nfa::from_regex(&model_re, ab);
         assert!(check_claim(&model, &claim, &BTreeSet::new()).holds());
     }
@@ -80,7 +80,7 @@ mod tests {
         let claim = parse_formula("(!a.open) W b.open", &mut ab).unwrap();
         // Model: either the long conforming trace or a short violating one.
         let model_re = parse_regex("(b.open ; a.open) + (a.test ; a.open)", &mut ab).unwrap();
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let model = Nfa::from_regex(&model_re, ab.clone());
         match check_claim(&model, &claim, &BTreeSet::new()) {
             ClaimOutcome::Violated { counterexample } => {
@@ -101,7 +101,7 @@ mod tests {
         let bad_model = parse_regex("op ; fail", &mut ab).unwrap();
         let op = ab.lookup("op").unwrap();
         let fail = ab.lookup("fail").unwrap();
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let markers = BTreeSet::from([op]);
         assert!(check_claim(&Nfa::from_regex(&ok_model, ab.clone()), &claim, &markers).holds());
         match check_claim(&Nfa::from_regex(&bad_model, ab), &claim, &markers) {
@@ -118,7 +118,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let claim = parse_formula("F done", &mut ab).unwrap();
         let empty = parse_regex("void", &mut ab).unwrap();
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let model = Nfa::from_regex(&empty, ab);
         assert!(check_claim(&model, &claim, &BTreeSet::new()).holds());
     }
@@ -128,7 +128,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let claim = parse_formula("F b", &mut ab).unwrap();
         let model_re = parse_regex("a ; a", &mut ab).unwrap();
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let nfa = Nfa::from_regex(&model_re, ab);
         let dfa = Dfa::from_nfa(&nfa);
         let r1 = check_claim(&nfa, &claim, &BTreeSet::new());

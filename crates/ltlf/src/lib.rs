@@ -24,12 +24,12 @@
 //! ```
 //! use shelley_ltlf::{parse_formula, check_claim, ClaimOutcome};
 //! use shelley_regular::{parse_regex, Alphabet, Nfa};
-//! use std::{collections::BTreeSet, rc::Rc};
+//! use std::{collections::BTreeSet, sync::Arc};
 //!
 //! let mut ab = Alphabet::new();
 //! let claim = parse_formula("(!a.open) W b.open", &mut ab)?;
 //! let model = parse_regex("a.test ; a.open ; b.open", &mut ab).unwrap();
-//! let nfa = Nfa::from_regex(&model, Rc::new(ab));
+//! let nfa = Nfa::from_regex(&model, Arc::new(ab));
 //! let outcome = check_claim(&nfa, &claim, &BTreeSet::new());
 //! assert!(!outcome.holds()); // a.open happens before b.open
 //! # Ok::<(), shelley_ltlf::ParseFormulaError>(())

@@ -4,12 +4,12 @@
 use proptest::prelude::*;
 use shelley_ltlf::{accepts_empty, eval, eval_direct, progress, to_dfa, Formula};
 use shelley_regular::{Alphabet, Symbol};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const NSYMS: usize = 3;
 
-fn alphabet() -> Rc<Alphabet> {
-    Rc::new(Alphabet::from_names(["a", "b", "c"]))
+fn alphabet() -> Arc<Alphabet> {
+    Arc::new(Alphabet::from_names(["a", "b", "c"]))
 }
 
 fn arb_formula() -> impl Strategy<Value = Formula> {

@@ -8,7 +8,7 @@
 use crate::nfa::{Label, Nfa, StateId};
 use crate::symbol::{Alphabet, Symbol, Word};
 use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A complete deterministic finite automaton.
 ///
@@ -19,19 +19,19 @@ use std::rc::Rc;
 ///
 /// ```
 /// use shelley_regular::{Alphabet, Regex, Nfa, Dfa};
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 ///
 /// let mut ab = Alphabet::new();
 /// let a = ab.intern("a");
 /// let b = ab.intern("b");
-/// let nfa = Nfa::from_regex(&Regex::word(&[a, b]), Rc::new(ab));
+/// let nfa = Nfa::from_regex(&Regex::word(&[a, b]), Arc::new(ab));
 /// let dfa = Dfa::from_nfa(&nfa);
 /// assert!(dfa.accepts(&[a, b]));
 /// assert!(!dfa.accepts(&[b, a]));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Dfa {
-    alphabet: Rc<Alphabet>,
+    alphabet: Arc<Alphabet>,
     /// `table[q][s]` is the successor of state `q` on symbol index `s`.
     table: Vec<Vec<StateId>>,
     start: StateId,
@@ -112,7 +112,7 @@ impl Dfa {
     /// Panics if the table is ragged, references out-of-range states, or the
     /// accepting vector length mismatches.
     pub fn from_parts(
-        alphabet: Rc<Alphabet>,
+        alphabet: Arc<Alphabet>,
         table: Vec<Vec<StateId>>,
         start: StateId,
         accepting: Vec<bool>,
@@ -135,7 +135,7 @@ impl Dfa {
     }
 
     /// The automaton's alphabet.
-    pub fn alphabet(&self) -> &Rc<Alphabet> {
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
         &self.alphabet
     }
 
@@ -327,14 +327,14 @@ mod tests {
     use super::*;
     use crate::regex::Regex;
 
-    fn ab2() -> (Rc<Alphabet>, Symbol, Symbol) {
+    fn ab2() -> (Arc<Alphabet>, Symbol, Symbol) {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
         let b = ab.intern("b");
-        (Rc::new(ab), a, b)
+        (Arc::new(ab), a, b)
     }
 
-    fn dfa_of(r: &Regex, ab: Rc<Alphabet>) -> Dfa {
+    fn dfa_of(r: &Regex, ab: Arc<Alphabet>) -> Dfa {
         Dfa::from_nfa(&Nfa::from_regex(r, ab))
     }
 
@@ -426,7 +426,7 @@ mod tests {
         let mut other = Alphabet::new();
         other.intern("x");
         let d1 = dfa_of(&Regex::sym(a), ab1);
-        let d2 = dfa_of(&Regex::empty(), Rc::new(other));
+        let d2 = dfa_of(&Regex::empty(), Arc::new(other));
         let _ = d1.intersect(&d2);
     }
 }

@@ -104,13 +104,13 @@ mod tests {
     use super::*;
     use crate::regex::Regex;
     use crate::symbol::Alphabet;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn nfa_dot_contains_states_and_labels() {
         let mut ab = Alphabet::new();
         let a = ab.intern("a.open");
-        let nfa = Nfa::from_regex(&Regex::sym(a), Rc::new(ab));
+        let nfa = Nfa::from_regex(&Regex::sym(a), Arc::new(ab));
         let dot = nfa.to_dot("valve");
         assert!(dot.starts_with("digraph \"valve\""));
         assert!(dot.contains("a.open"));
@@ -122,7 +122,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
         let b = ab.intern("b");
-        let nfa = Nfa::from_regex(&Regex::sym(a), Rc::new(ab));
+        let nfa = Nfa::from_regex(&Regex::sym(a), Arc::new(ab));
         let dfa = Dfa::from_nfa(&nfa);
         let dot = dfa.to_dot("d");
         // Only one real edge (on a); the b-edge into the sink is hidden.
@@ -134,7 +134,7 @@ mod tests {
     fn dead_states_detects_sink() {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
-        let nfa = Nfa::from_regex(&Regex::sym(a), Rc::new(ab));
+        let nfa = Nfa::from_regex(&Regex::sym(a), Arc::new(ab));
         let dfa = Dfa::from_nfa(&nfa);
         let dead = dfa.dead_states();
         assert_eq!(dead.iter().filter(|&&d| d).count(), 1);

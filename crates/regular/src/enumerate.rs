@@ -16,11 +16,11 @@ impl Dfa {
     ///
     /// ```
     /// use shelley_regular::{Alphabet, Regex, Nfa, Dfa};
-    /// use std::rc::Rc;
+    /// use std::sync::Arc;
     ///
     /// let mut ab = Alphabet::new();
     /// let a = ab.intern("a");
-    /// let dfa = Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::sym(a)), Rc::new(ab)));
+    /// let dfa = Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::sym(a)), Arc::new(ab)));
     /// let words = dfa.enumerate_words(3, 10);
     /// assert_eq!(words.len(), 4); // ε, a, aa, aaa
     /// ```
@@ -100,7 +100,7 @@ mod tests {
     use crate::nfa::Nfa;
     use crate::regex::Regex;
     use crate::symbol::Alphabet;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn enumerate_is_shortlex_and_complete() {
@@ -108,7 +108,7 @@ mod tests {
         let a = ab.intern("a");
         let b = ab.intern("b");
         let r = Regex::star(Regex::union(Regex::sym(a), Regex::sym(b)));
-        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, Rc::new(ab)));
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, Arc::new(ab)));
         let words = dfa.enumerate_words(2, 100);
         // ε, a, b, aa, ab, ba, bb
         assert_eq!(words.len(), 7);
@@ -120,7 +120,7 @@ mod tests {
     fn enumerate_respects_count_cap() {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
-        let dfa = Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::sym(a)), Rc::new(ab)));
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::sym(a)), Arc::new(ab)));
         assert_eq!(dfa.enumerate_words(50, 5).len(), 5);
     }
 
@@ -133,7 +133,7 @@ mod tests {
             Regex::star(Regex::sym(a)),
             Regex::union(Regex::sym(b), Regex::epsilon()),
         );
-        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, Rc::new(ab)));
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, Arc::new(ab)));
         let counts = dfa.count_words_by_length(4);
         let words = dfa.enumerate_words(4, 10_000);
         for (len, &count) in counts.iter().enumerate() {

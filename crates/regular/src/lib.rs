@@ -33,14 +33,14 @@
 //!
 //! ```
 //! use shelley_regular::{Alphabet, Regex, Nfa, Dfa, parse_regex};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let mut ab = Alphabet::new();
 //! // Valve usage specification: test then (open·close | clean), repeatedly.
 //! let spec = parse_regex("(test ; (open ; close + clean))*", &mut ab)?;
 //! // A client that tests then opens then closes once.
 //! let client = parse_regex("test ; open ; close", &mut ab)?;
-//! let ab = Rc::new(ab);
+//! let ab = Arc::new(ab);
 //! let spec_dfa = Dfa::from_nfa(&Nfa::from_regex(&spec, ab.clone()));
 //! let client_dfa = Dfa::from_nfa(&Nfa::from_regex(&client, ab));
 //! assert!(client_dfa.subset_of(&spec_dfa).is_ok());

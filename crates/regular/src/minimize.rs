@@ -209,16 +209,16 @@ mod tests {
     use crate::nfa::Nfa;
     use crate::regex::Regex;
     use crate::symbol::Alphabet;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn ab2() -> (Rc<Alphabet>, Symbol, Symbol) {
+    fn ab2() -> (Arc<Alphabet>, Symbol, Symbol) {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
         let b = ab.intern("b");
-        (Rc::new(ab), a, b)
+        (Arc::new(ab), a, b)
     }
 
-    fn dfa_of(r: &Regex, ab: Rc<Alphabet>) -> Dfa {
+    fn dfa_of(r: &Regex, ab: Arc<Alphabet>) -> Dfa {
         Dfa::from_nfa(&Nfa::from_regex(r, ab))
     }
 

@@ -9,7 +9,7 @@
 use crate::regex::Regex;
 use crate::symbol::{Alphabet, Symbol, Word};
 use std::collections::{BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of an automaton state.
 pub type StateId = usize;
@@ -29,18 +29,18 @@ pub enum Label {
 ///
 /// ```
 /// use shelley_regular::{Alphabet, Regex, Nfa};
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 ///
 /// let mut ab = Alphabet::new();
 /// let a = ab.intern("a");
 /// let r = Regex::star(Regex::sym(a));
-/// let nfa = Nfa::from_regex(&r, Rc::new(ab));
+/// let nfa = Nfa::from_regex(&r, Arc::new(ab));
 /// assert!(nfa.accepts(&[]));
 /// assert!(nfa.accepts(&[a, a]));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Nfa {
-    alphabet: Rc<Alphabet>,
+    alphabet: Arc<Alphabet>,
     edges: Vec<Vec<(Label, StateId)>>,
     start: StateId,
     accepting: Vec<bool>,
@@ -48,7 +48,7 @@ pub struct Nfa {
 
 impl Nfa {
     /// Starts building an NFA over `alphabet`.
-    pub fn builder(alphabet: Rc<Alphabet>) -> NfaBuilder {
+    pub fn builder(alphabet: Arc<Alphabet>) -> NfaBuilder {
         NfaBuilder {
             alphabet,
             edges: Vec::new(),
@@ -58,7 +58,7 @@ impl Nfa {
     }
 
     /// Compiles `regex` to an NFA with Thompson's construction.
-    pub fn from_regex(regex: &Regex, alphabet: Rc<Alphabet>) -> Nfa {
+    pub fn from_regex(regex: &Regex, alphabet: Arc<Alphabet>) -> Nfa {
         let mut b = Nfa::builder(alphabet);
         let entry = b.add_state();
         b.set_start(entry);
@@ -68,7 +68,7 @@ impl Nfa {
     }
 
     /// The automaton's alphabet.
-    pub fn alphabet(&self) -> &Rc<Alphabet> {
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
         &self.alphabet
     }
 
@@ -200,7 +200,7 @@ fn label_symbol(label: Label) -> Option<Symbol> {
 /// Incremental NFA constructor returned by [`Nfa::builder`].
 #[derive(Debug)]
 pub struct NfaBuilder {
-    alphabet: Rc<Alphabet>,
+    alphabet: Arc<Alphabet>,
     edges: Vec<Vec<(Label, StateId)>>,
     start: Option<StateId>,
     accepting: Vec<bool>,
@@ -288,12 +288,12 @@ impl NfaBuilder {
 mod tests {
     use super::*;
 
-    fn ab3() -> (Rc<Alphabet>, Symbol, Symbol, Symbol) {
+    fn ab3() -> (Arc<Alphabet>, Symbol, Symbol, Symbol) {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
         let b = ab.intern("b");
         let c = ab.intern("c");
-        (Rc::new(ab), a, b, c)
+        (Arc::new(ab), a, b, c)
     }
 
     #[test]

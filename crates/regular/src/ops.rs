@@ -105,7 +105,7 @@ mod tests {
     use super::*;
     use crate::regex::Regex;
     use crate::symbol::Alphabet;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn joint_search_respects_markers() {
@@ -115,7 +115,7 @@ mod tests {
         let m = ab.intern("m");
         let a = ab.intern("a");
         let b = ab.intern("b");
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let nfa = Nfa::from_regex(&Regex::word(&[m, a, m, b]), ab.clone());
         let monitor = Dfa::from_nfa(&Nfa::from_regex(&Regex::word(&[a, b]), ab));
         let markers = BTreeSet::from([m]);
@@ -130,7 +130,7 @@ mod tests {
         let m = ab.intern("m");
         let a = ab.intern("a");
         let b = ab.intern("b");
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let markers = BTreeSet::from([m]);
         // Behavior: m·a (marker then a). Spec: must be a·b.
         let nfa = Nfa::from_regex(&Regex::word(&[m, a]), ab.clone());
@@ -147,7 +147,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let a = ab.intern("a");
         let b = ab.intern("b");
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         // NFA: a·a·a + b; monitor: everything.
         let nfa = Nfa::from_regex(
             &Regex::union(Regex::word(&[a, a, a]), Regex::sym(b)),

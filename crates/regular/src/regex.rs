@@ -9,11 +9,11 @@
 use crate::symbol::{Alphabet, Symbol};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A regular expression over [`Symbol`]s.
 ///
-/// Values are immutable trees with shared (`Rc`) children, so cloning is
+/// Values are immutable trees with shared (`Arc`) children, so cloning is
 /// cheap. Use the associated constructor functions rather than building
 /// variants directly: they normalize away trivial redexes.
 ///
@@ -40,11 +40,11 @@ pub enum Regex {
     /// A single event symbol `f`.
     Sym(Symbol),
     /// Concatenation `r₁·r₂`.
-    Concat(Rc<Regex>, Rc<Regex>),
+    Concat(Arc<Regex>, Arc<Regex>),
     /// Union `r₁+r₂`.
-    Union(Rc<Regex>, Rc<Regex>),
+    Union(Arc<Regex>, Arc<Regex>),
     /// Kleene star `r*`.
-    Star(Rc<Regex>),
+    Star(Arc<Regex>),
 }
 
 impl Regex {
@@ -68,7 +68,7 @@ impl Regex {
         match (a, b) {
             (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
             (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
-            (a, b) => Regex::Concat(Rc::new(a), Rc::new(b)),
+            (a, b) => Regex::Concat(Arc::new(a), Arc::new(b)),
         }
     }
 
@@ -77,7 +77,7 @@ impl Regex {
         match (a, b) {
             (Regex::Empty, r) | (r, Regex::Empty) => r,
             (a, b) if a == b => a,
-            (a, b) => Regex::Union(Rc::new(a), Rc::new(b)),
+            (a, b) => Regex::Union(Arc::new(a), Arc::new(b)),
         }
     }
 
@@ -86,7 +86,7 @@ impl Regex {
         match a {
             Regex::Empty | Regex::Epsilon => Regex::Epsilon,
             s @ Regex::Star(_) => s,
-            a => Regex::Star(Rc::new(a)),
+            a => Regex::Star(Arc::new(a)),
         }
     }
 
@@ -275,7 +275,7 @@ mod tests {
         let (_, a, _, _) = abc();
         assert!(Regex::Empty.is_empty_language());
         // Manually-built (bypassing smart constructors) dead concatenation.
-        let dead = Regex::Concat(Rc::new(Regex::Sym(a)), Rc::new(Regex::Empty));
+        let dead = Regex::Concat(Arc::new(Regex::Sym(a)), Arc::new(Regex::Empty));
         assert!(dead.is_empty_language());
         assert!(!Regex::star(Regex::sym(a)).is_empty_language());
     }
@@ -285,12 +285,15 @@ mod tests {
         let (ab, a, b, c) = abc();
         // (a·((b·∅)+c))* from Example 3, built without simplification of b·∅.
         let inner = Regex::Union(
-            Rc::new(Regex::Concat(Rc::new(Regex::Sym(b)), Rc::new(Regex::Empty))),
-            Rc::new(Regex::Sym(c)),
+            Arc::new(Regex::Concat(
+                Arc::new(Regex::Sym(b)),
+                Arc::new(Regex::Empty),
+            )),
+            Arc::new(Regex::Sym(c)),
         );
-        let r = Regex::Star(Rc::new(Regex::Concat(
-            Rc::new(Regex::Sym(a)),
-            Rc::new(inner),
+        let r = Regex::Star(Arc::new(Regex::Concat(
+            Arc::new(Regex::Sym(a)),
+            Arc::new(inner),
         )));
         assert_eq!(r.display(&ab).to_string(), "(a · (b · ∅ + c))*");
     }

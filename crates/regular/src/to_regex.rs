@@ -107,12 +107,12 @@ mod tests {
     use super::*;
     use crate::parse_regex;
     use crate::symbol::Alphabet;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn roundtrip(pattern: &str) {
         let mut ab = Alphabet::new();
         let original = parse_regex(pattern, &mut ab).unwrap();
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let nfa = Nfa::from_regex(&original, ab.clone());
         let recovered = nfa.to_regex();
         // Language equivalence via DFA comparison.
@@ -146,7 +146,7 @@ mod tests {
     fn dfa_to_regex_agrees() {
         let mut ab = Alphabet::new();
         let r = parse_regex("(a ; b)* + c", &mut ab).unwrap();
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, ab.clone())).minimize();
         let back = dfa.to_regex();
         let d2 = Dfa::from_nfa(&Nfa::from_regex(&back, ab));
@@ -157,7 +157,7 @@ mod tests {
     fn empty_language_converts() {
         let mut ab = Alphabet::new();
         ab.intern("a");
-        let nfa = Nfa::from_regex(&Regex::Empty, Rc::new(ab));
+        let nfa = Nfa::from_regex(&Regex::Empty, Arc::new(ab));
         assert!(nfa.to_regex().is_empty_language());
     }
 }

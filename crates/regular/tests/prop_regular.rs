@@ -6,12 +6,12 @@
 
 use proptest::prelude::*;
 use shelley_regular::{Alphabet, Dfa, Nfa, Regex, Symbol};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const NSYMS: usize = 3;
 
-fn alphabet() -> Rc<Alphabet> {
-    Rc::new(Alphabet::from_names(["a", "b", "c"]))
+fn alphabet() -> Arc<Alphabet> {
+    Arc::new(Alphabet::from_names(["a", "b", "c"]))
 }
 
 fn arb_regex() -> impl Strategy<Value = Regex> {

@@ -137,11 +137,12 @@ impl MonitoredValve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shelley_core::check_source;
+    use shelley_core::Checker;
 
     fn valve_spec() -> ClassSpec {
-        check_source(
-            r#"
+        Checker::new()
+            .check_source(
+                r#"
 @sys
 class Valve:
     @op_initial
@@ -163,13 +164,13 @@ class Valve:
     def clean(self):
         return ["test"]
 "#,
-        )
-        .unwrap()
-        .systems
-        .get("Valve")
-        .unwrap()
-        .spec
-        .clone()
+            )
+            .unwrap()
+            .systems
+            .get("Valve")
+            .unwrap()
+            .spec
+            .clone()
     }
 
     #[test]

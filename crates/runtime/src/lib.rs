@@ -21,10 +21,10 @@
 //! # Example
 //!
 //! ```
-//! use shelley_core::check_source;
+//! use shelley_core::Checker;
 //! use shelley_runtime::{MonitoredValve, DeviceError};
 //!
-//! let checked = check_source(include_str!("../tests/valve.py"))?;
+//! let checked = Checker::new().check_source(include_str!("../tests/valve.py"))?;
 //! let spec = &checked.systems.get("Valve").unwrap().spec;
 //! let mut valve = MonitoredValve::new(spec);
 //! valve.set_status(true);

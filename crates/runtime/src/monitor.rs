@@ -10,7 +10,7 @@ use shelley_core::spec::{intern_spec_events, spec_automaton, ClassSpec, SpecAuto
 use shelley_regular::{Alphabet, Label, StateId, Symbol};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An error raised by the monitor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,10 +61,10 @@ impl std::error::Error for MonitorError {}
 /// # Examples
 ///
 /// ```
-/// use shelley_core::check_source;
+/// use shelley_core::Checker;
 /// use shelley_runtime::SpecMonitor;
 ///
-/// let checked = check_source(r#"
+/// let checked = Checker::new().check_source(r#"
 /// @sys
 /// class Led:
 ///     @op_initial
@@ -84,7 +84,7 @@ impl std::error::Error for MonitorError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct SpecMonitor {
-    alphabet: Rc<Alphabet>,
+    alphabet: Arc<Alphabet>,
     automaton: SpecAutomaton,
     /// States from which some accepting state is reachable. The monitor
     /// refuses transitions into dead states: an invocation that could never
@@ -100,7 +100,7 @@ impl SpecMonitor {
     pub fn new(spec: &ClassSpec) -> SpecMonitor {
         let mut ab = Alphabet::new();
         intern_spec_events(spec, None, &mut ab);
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let automaton = spec_automaton(spec, None, ab.clone());
         let live = live_states(&automaton);
         let current = BTreeSet::from([automaton.start()]);
@@ -247,7 +247,7 @@ fn live_states(automaton: &SpecAutomaton) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shelley_core::check_source;
+    use shelley_core::Checker;
 
     const VALVE: &str = r#"
 @sys
@@ -273,7 +273,8 @@ class Valve:
 "#;
 
     fn valve_spec() -> ClassSpec {
-        check_source(VALVE)
+        Checker::new()
+            .check_source(VALVE)
             .unwrap()
             .systems
             .get("Valve")

@@ -7,7 +7,7 @@ use shelley_core::annotations::OpKind;
 use shelley_core::spec::{intern_spec_events, spec_automaton, ClassSpec, ExitSpec, OperationSpec};
 use shelley_regular::{Alphabet, Dfa};
 use shelley_runtime::SpecMonitor;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn arb_spec() -> impl Strategy<Value = ClassSpec> {
     (2usize..5)
@@ -60,7 +60,7 @@ proptest! {
         // Static side: the spec automaton.
         let mut ab = Alphabet::new();
         intern_spec_events(&spec, None, &mut ab);
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let auto = spec_automaton(&spec, None, ab.clone());
         let dfa = Dfa::from_nfa(auto.nfa());
         let dead = dfa.dead_states();

@@ -24,11 +24,11 @@
 //! ```
 //! use shelley_smv::{nfa_to_smv, validate_model};
 //! use shelley_regular::{parse_regex, Alphabet, Dfa, Nfa};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let mut ab = Alphabet::new();
 //! let usage = parse_regex("(test ; (open ; close + clean))*", &mut ab)?;
-//! let nfa = Nfa::from_regex(&usage, Rc::new(ab));
+//! let nfa = Nfa::from_regex(&usage, Arc::new(ab));
 //! let model = nfa_to_smv(&nfa, "Valve usage", &[]);
 //! assert!(model.to_smv().contains("MODULE main"));
 //! let dfa = Dfa::from_nfa(&nfa).minimize();

@@ -122,12 +122,12 @@ pub fn ltlf_to_ltl(f: &Formula, dfa: &Dfa) -> String {
 mod tests {
     use super::*;
     use shelley_regular::{parse_regex, Alphabet, Regex};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn valve_usage_nfa() -> (Rc<Alphabet>, Nfa) {
+    fn valve_usage_nfa() -> (Arc<Alphabet>, Nfa) {
         let mut ab = Alphabet::new();
         let r = parse_regex("(test ; (open ; close + clean))*", &mut ab).unwrap();
-        let ab = Rc::new(ab);
+        let ab = Arc::new(ab);
         let nfa = Nfa::from_regex(&r, ab.clone());
         (ab, nfa)
     }
@@ -175,7 +175,7 @@ mod tests {
     fn ltlf_claims_translate() {
         let mut ab = Alphabet::new();
         let claim = shelley_ltlf::parse_formula("(!a.open) W b.open", &mut ab).unwrap();
-        let nfa = Nfa::from_regex(&Regex::epsilon(), Rc::new(ab));
+        let nfa = Nfa::from_regex(&Regex::epsilon(), Arc::new(ab));
         let model = nfa_to_smv(&nfa, "claims", &[claim]);
         let spec = &model.ltlspecs[1];
         assert!(spec.contains("a_open"), "{spec}");

@@ -90,13 +90,13 @@ mod tests {
     use super::*;
     use crate::translate::nfa_to_smv;
     use shelley_regular::{parse_regex, Alphabet, Nfa};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn valve_usage_encoding_validates() {
         let mut ab = Alphabet::new();
         let r = parse_regex("(test ; (open ; close + clean))*", &mut ab).unwrap();
-        let nfa = Nfa::from_regex(&r, Rc::new(ab));
+        let nfa = Nfa::from_regex(&r, Arc::new(ab));
         let dfa = Dfa::from_nfa(&nfa).minimize();
         let model = nfa_to_smv(&nfa, "valve", &[]);
         let report = validate_model(&model, &dfa, 5);
@@ -108,7 +108,7 @@ mod tests {
     fn validation_detects_a_broken_model() {
         let mut ab = Alphabet::new();
         let r = parse_regex("go", &mut ab).unwrap();
-        let nfa = Nfa::from_regex(&r, Rc::new(ab));
+        let nfa = Nfa::from_regex(&r, Arc::new(ab));
         let dfa = Dfa::from_nfa(&nfa).minimize();
         let mut model = nfa_to_smv(&nfa, "go", &[]);
         // Sabotage: flip acceptance.
@@ -126,7 +126,7 @@ mod tests {
         let mut ab = Alphabet::new();
         let r = parse_regex("void", &mut ab).unwrap();
         let _ = ab.intern("x");
-        let nfa = Nfa::from_regex(&r, Rc::new(ab));
+        let nfa = Nfa::from_regex(&r, Arc::new(ab));
         let dfa = Dfa::from_nfa(&nfa).minimize();
         let model = nfa_to_smv(&nfa, "void", &[]);
         let report = validate_model(&model, &dfa, 3);

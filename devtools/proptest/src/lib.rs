@@ -3,7 +3,7 @@
 //! The workspace's property tests were written against the real `proptest`
 //! crate, but the build environment has no network access to crates.io.
 //! This crate re-implements the *interface* those tests use — `proptest!`,
-//! `prop_assert*!`, `prop_oneof!`, the [`Strategy`] combinators,
+//! `prop_assert*!`, `prop_oneof!`, the `Strategy` combinators,
 //! `collection::vec`, `option::of`, integer-range and string-pattern
 //! strategies — on top of a small deterministic PRNG.
 //!

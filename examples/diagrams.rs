@@ -11,7 +11,7 @@
 //! `dot -Tpng target/diagrams/fig1_valve.dot -o fig1.png`.
 
 use shelley::core::extract::dependency::DependencyGraph;
-use shelley::core::{build_integration, check_source, integration_diagram, spec_diagram};
+use shelley::core::{build_integration, integration_diagram, spec_diagram, Checker};
 use std::fs;
 use std::path::Path;
 
@@ -92,7 +92,7 @@ class Sector:
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let checked = check_source(PAPER)?;
+    let checked = Checker::new().check_source(PAPER)?;
     let out_dir = Path::new("target/diagrams");
     fs::create_dir_all(out_dir)?;
 

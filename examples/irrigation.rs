@@ -11,7 +11,7 @@
 //!
 //! Run with `cargo run --example irrigation`.
 
-use shelley::core::check_source;
+use shelley::core::Checker;
 use shelley::regular::ops::strip_markers;
 use shelley::regular::Dfa;
 use std::collections::HashMap;
@@ -138,7 +138,7 @@ impl SimValve {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let checked = check_source(SOURCE)?;
+    let checked = Checker::new().check_source(SOURCE)?;
     println!("== verification ==");
     if !checked.report.passed() {
         println!("{}", checked.report.render(None));

@@ -5,7 +5,7 @@
 //! Run with `cargo run --example paper_walkthrough`.
 
 use shelley::core::extract::dependency::DependencyGraph;
-use shelley::core::{check_source, spec_diagram};
+use shelley::core::{spec_diagram, Checker};
 use shelley::ir::{denote, enumerate_traces, EnumConfig, Program, Status, TraceChecker};
 use shelley::regular::Alphabet;
 
@@ -103,7 +103,7 @@ class Sector:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("Section 2: model checking with Shelley");
-    let checked = check_source(LISTINGS_2_1_AND_2_2)?;
+    let checked = Checker::new().check_source(LISTINGS_2_1_AND_2_2)?;
 
     println!("-- Figure 1: Valve diagram (Graphviz DOT) --");
     let valve = checked.systems.get("Valve").unwrap();
@@ -121,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     banner("Section 3.1: method dependency extraction (Figure 3)");
-    let sector_checked = check_source(LISTING_3_1)?;
+    let sector_checked = Checker::new().check_source(LISTING_3_1)?;
     let sector = sector_checked.systems.get("Sector").unwrap();
     let graph = DependencyGraph::from_spec(&sector.spec);
     println!(
@@ -176,7 +176,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let dfa = shelley::regular::Dfa::from_nfa(&shelley::regular::Nfa::from_regex(
         &behavior,
-        std::rc::Rc::new(ab),
+        std::sync::Arc::new(ab),
     ));
     let complete = dfa
         .enumerate_words(6, 500)

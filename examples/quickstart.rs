@@ -2,8 +2,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use shelley::check_source;
 use shelley::core::spec_diagram;
+use shelley::Checker;
 
 const SOURCE: &str = r#"
 @sys
@@ -32,7 +32,7 @@ class Blinker:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One call runs the full pipeline: parse → extract → verify.
-    let checked = check_source(SOURCE)?;
+    let checked = Checker::new().check_source(SOURCE)?;
 
     println!("== verification ==");
     if checked.report.passed() {

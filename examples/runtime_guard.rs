@@ -9,8 +9,8 @@
 //!
 //! Run with `cargo run --example runtime_guard`.
 
-use shelley::check_source;
 use shelley::runtime::{DeviceError, MonitoredValve};
+use shelley::Checker;
 
 const VALVE: &str = r#"
 @sys
@@ -61,7 +61,7 @@ fn buggy_controller(valve: &mut MonitoredValve) -> Result<(), DeviceError> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let checked = check_source(VALVE)?;
+    let checked = Checker::new().check_source(VALVE)?;
     assert!(checked.report.passed());
     let spec = &checked.systems.get("Valve").unwrap().spec;
 

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --example smart_lock`.
 
-use shelley::core::check_source;
+use shelley::core::Checker;
 
 const HARDWARE: &str = r#"
 @sys
@@ -92,7 +92,7 @@ class SafeLock:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== the buggy controller ==");
-    let buggy = check_source(&format!("{HARDWARE}{BUGGY}"))?;
+    let buggy = Checker::new().check_source(&format!("{HARDWARE}{BUGGY}"))?;
     assert!(!buggy.report.passed());
     for (class, v) in &buggy.report.usage_violations {
         println!("[{class}]");
@@ -106,7 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("== the fixed controller ==");
-    let fixed = check_source(&format!("{HARDWARE}{FIXED}"))?;
+    let fixed = Checker::new().check_source(&format!("{HARDWARE}{FIXED}"))?;
     if fixed.report.passed() {
         println!(
             "OK: {} systems verified ({} warnings)",

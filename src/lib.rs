@@ -20,9 +20,9 @@
 //! # Quickstart
 //!
 //! ```
-//! use shelley::check_source;
+//! use shelley::Checker;
 //!
-//! let verdict = check_source(r#"
+//! let verdict = Checker::new().check_source(r#"
 //! @sys
 //! class Valve:
 //!     @op_initial
@@ -45,7 +45,7 @@
 //!         return ["test"]
 //! "#)?;
 //! assert!(verdict.report.passed());
-//! # Ok::<(), shelley::micropython::ParseError>(())
+//! # Ok::<(), shelley::CheckError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -59,7 +59,9 @@ pub use shelley_regular as regular;
 pub use shelley_runtime as runtime;
 pub use shelley_smv as smv;
 
+#[allow(deprecated)]
+pub use shelley_core::check_source;
 pub use shelley_core::{
-    build_integration, build_systems, check_source, CheckReport, Checked, ClaimViolation, System,
-    SystemSet, UsageViolation,
+    build_integration, build_systems, CheckError, CheckReport, Checked, Checker, ClaimViolation,
+    System, SystemSet, UsageViolation, Workspace, WorkspaceStats,
 };

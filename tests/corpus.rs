@@ -2,12 +2,12 @@
 //! and the whole pipeline is panic-free on hostile input.
 
 use proptest::prelude::*;
-use shelley::core::check_source;
+use shelley::core::Checker;
 
 #[test]
 fn paper_corpus_fails_as_published() {
     let source = include_str!("../examples_py/paper.py");
-    let checked = check_source(source).unwrap();
+    let checked = Checker::new().check_source(source).unwrap();
     assert!(!checked.report.passed());
     assert_eq!(checked.report.usage_violations.len(), 1);
     assert_eq!(checked.report.claim_violations.len(), 1);
@@ -16,14 +16,14 @@ fn paper_corpus_fails_as_published() {
 #[test]
 fn sector_corpus_passes() {
     let source = include_str!("../examples_py/sector.py");
-    let checked = check_source(source).unwrap();
+    let checked = Checker::new().check_source(source).unwrap();
     assert!(checked.report.passed(), "{}", checked.report.render(None));
 }
 
 #[test]
 fn greenhouse_corpus_passes_with_six_systems() {
     let source = include_str!("../examples_py/greenhouse.py");
-    let checked = check_source(source).unwrap();
+    let checked = Checker::new().check_source(source).unwrap();
     assert!(checked.report.passed(), "{}", checked.report.render(None));
     assert_eq!(checked.systems.len(), 6);
     // Three composites at two hierarchy levels.
@@ -47,7 +47,7 @@ fn greenhouse_mutations_are_caught() {
     // Drop the close after open in Bed: valve left open.
     let broken = source.replacen("                self.w.close()\n", "", 1);
     assert_ne!(source, broken);
-    let checked = check_source(&broken).unwrap();
+    let checked = Checker::new().check_source(&broken).unwrap();
     assert!(!checked.report.passed());
     assert!(checked
         .report
@@ -57,7 +57,7 @@ fn greenhouse_mutations_are_caught() {
 
     // Spin the fan up without down in Vent: both usage and claim break.
     let broken = source.replacen("        self.f.spin_down()\n", "", 1);
-    let checked = check_source(&broken).unwrap();
+    let checked = Checker::new().check_source(&broken).unwrap();
     assert!(!checked.report.passed());
 }
 
@@ -99,6 +99,6 @@ proptest! {
         )
     ) {
         let input = fragments.join("\n");
-        let _ = check_source(&input);
+        let _ = Checker::new().check_source(&input);
     }
 }

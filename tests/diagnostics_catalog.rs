@@ -2,8 +2,8 @@
 //! pipeline can produce is triggered from real source through
 //! `check_source`, so the catalog in `diagnostics::codes` never rots.
 
-use shelley::core::check_source;
 use shelley::core::codes;
+use shelley::core::Checker;
 
 const VALVE: &str = r#"
 @sys
@@ -29,7 +29,7 @@ class Valve:
 "#;
 
 fn count(src: &str, code: &str) -> usize {
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     checked.report.diagnostics.by_code(code).count()
 }
 
@@ -162,7 +162,7 @@ fn w007_loop_jump_approximated() {
 /// A clean file produces no diagnostics at all.
 #[test]
 fn clean_source_is_silent() {
-    let checked = check_source(VALVE).unwrap();
+    let checked = Checker::new().check_source(VALVE).unwrap();
     assert!(checked.report.diagnostics.is_empty());
     assert!(checked.report.passed());
 }

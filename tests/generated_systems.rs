@@ -3,7 +3,7 @@
 //! subsystems, and systematic fault seeding (dropped closes, reordered
 //! calls, missing cases, undefined operations).
 
-use shelley::core::{build_integration, check_source};
+use shelley::core::{build_integration, Checker};
 use std::fmt::Write as _;
 
 /// A base class whose protocol is a chain `s0 → s1 → … → s{n-1}` with the
@@ -66,7 +66,7 @@ fn chain_system(k: usize, n: usize) -> String {
 fn chains_of_many_lengths_verify() {
     for n in [1, 2, 3, 5, 10, 25] {
         let src = chain_system(1, n);
-        let checked = check_source(&src).unwrap();
+        let checked = Checker::new().check_source(&src).unwrap();
         assert!(
             checked.report.passed(),
             "chain n={n}: {}",
@@ -79,7 +79,7 @@ fn chains_of_many_lengths_verify() {
 fn many_subsystems_verify() {
     for k in [1, 2, 4, 8] {
         let src = chain_system(k, 3);
-        let checked = check_source(&src).unwrap();
+        let checked = Checker::new().check_source(&src).unwrap();
         assert!(
             checked.report.passed(),
             "k={k}: {}",
@@ -97,7 +97,7 @@ fn fault_dropped_final_step_detected() {
     let good = chain_system(2, 3);
     let faulty = good.replacen("        self.c0.s2()\n", "", 1);
     assert_ne!(good, faulty);
-    let checked = check_source(&faulty).unwrap();
+    let checked = Checker::new().check_source(&faulty).unwrap();
     assert_eq!(checked.report.usage_violations.len(), 1);
     let (_, v) = &checked.report.usage_violations[0];
     assert!(v.subsystem_errors.iter().any(|e| e.field == "c0"));
@@ -117,7 +117,7 @@ fn fault_reordered_calls_detected() {
         1,
     );
     assert_ne!(good, faulty);
-    let checked = check_source(&faulty).unwrap();
+    let checked = Checker::new().check_source(&faulty).unwrap();
     assert_eq!(checked.report.usage_violations.len(), 1);
     let (_, v) = &checked.report.usage_violations[0];
     assert!(v.subsystem_errors[0].render().contains("not initial"));
@@ -127,7 +127,7 @@ fn fault_reordered_calls_detected() {
 fn fault_undefined_operation_detected() {
     let good = chain_system(1, 2);
     let faulty = good.replacen("self.c0.s0()", "self.c0.warp()", 1);
-    let checked = check_source(&faulty).unwrap();
+    let checked = Checker::new().check_source(&faulty).unwrap();
     assert!(checked
         .report
         .diagnostics
@@ -140,7 +140,7 @@ fn fault_undefined_operation_detected() {
 fn fault_bad_claim_detected() {
     let good = chain_system(1, 2);
     let with_claim = good.replace("@sys([\"c0\"])", "@claim(\"G !c0.s1\")\n@sys([\"c0\"])");
-    let checked = check_source(&with_claim).unwrap();
+    let checked = Checker::new().check_source(&with_claim).unwrap();
     assert_eq!(checked.report.claim_violations.len(), 1);
     let (_, v) = &checked.report.claim_violations[0];
     assert!(v.counterexample_text.contains("c0.s1"));
@@ -188,7 +188,7 @@ class Plant:
         self.s1.cycle()
         return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     assert!(checked.report.passed(), "{}", checked.report.render(None));
     // Plant's integration speaks Station's interface operations.
     let plant = checked.systems.get("Plant").unwrap();
@@ -242,7 +242,7 @@ class Plant:
         self.s1.cycle()
         return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     let violating: Vec<&str> = checked
         .report
         .usage_violations
@@ -274,7 +274,7 @@ class Sampler:
             self.s.read()
         return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     assert!(checked.report.passed(), "{}", checked.report.render(None));
     let sampler = checked.systems.get("Sampler").unwrap();
     let integration = build_integration(sampler);
@@ -290,7 +290,7 @@ class Sampler:
 #[test]
 fn scales_to_a_fifty_operation_chain() {
     let src = chain_system(1, 50);
-    let checked = check_source(&src).unwrap();
+    let checked = Checker::new().check_source(&src).unwrap();
     assert!(checked.report.passed());
     let chain = checked.systems.get("Chain").unwrap();
     assert_eq!(chain.spec.operations.len(), 50);

@@ -2,10 +2,10 @@
 //! figures, tables, examples, theorems, and both error messages.
 
 use shelley::core::extract::dependency::{DepNode, DependencyGraph};
-use shelley::core::{build_integration, check_source, spec_diagram};
+use shelley::core::{build_integration, spec_diagram, Checker};
 use shelley::ir::{denote, infer, Program, Status, TraceChecker};
 use shelley::regular::{Alphabet, Dfa, Nfa};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Listings 2.1 and 2.2 verbatim (modulo the `clean` field/method name
 /// clash in the paper's Listing 2.1, renamed to `clean_pin` as any real
@@ -106,7 +106,7 @@ class Base:
     def go(self):
         return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     assert!(checked.report.passed(), "{}", checked.report.render(None));
     let composite = checked.systems.get("Composite").unwrap();
     assert!(composite.is_composite());
@@ -152,7 +152,7 @@ class Forms:
     def multi_valued(self):
         return ["single", "multi"], 2
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     assert!(
         !checked.report.diagnostics.has_errors(),
         "{}",
@@ -183,7 +183,7 @@ class Forms:
 
 #[test]
 fn figure1_valve_diagram_structure() {
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let dot = spec_diagram(&checked.systems.get("Valve").unwrap().spec);
     for needle in [
         "__start -> \"test\"",
@@ -203,7 +203,7 @@ fn figure1_valve_diagram_structure() {
 
 #[test]
 fn figure2_error_message_exact() {
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let (class, v) = &checked.report.usage_violations[0];
     assert_eq!(class, "BadSector");
     assert_eq!(
@@ -217,7 +217,7 @@ fn figure2_error_message_exact() {
 
 #[test]
 fn claim_error_message_exact_shape() {
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let (_, v) = &checked.report.claim_violations[0];
     let rendered = v.render();
     let mut lines = rendered.lines();
@@ -239,7 +239,7 @@ fn claim_error_message_exact_shape() {
     assert!(!shelley::ltlf::eval(&f, &trace));
     // The paper's own counterexample is also in the model: the full run
     // a.test, a.open, b.test, b.open, a.close, b.close violates the claim.
-    let checked2 = check_source(PAPER).unwrap();
+    let checked2 = Checker::new().check_source(PAPER).unwrap();
     let bs = checked2.systems.get("BadSector").unwrap();
     let integration = build_integration(bs);
     let s = |n: &str| integration.nfa.alphabet().lookup(n).unwrap();
@@ -287,7 +287,7 @@ class Sector:
         else:
             return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     let spec = &checked.systems.get("Sector").unwrap().spec;
     let g = DependencyGraph::from_spec(spec);
     // §3.1: "we have 4 methods ... so there are 4 entry nodes"; open_a has
@@ -340,7 +340,7 @@ fn theorems_on_the_extracted_badsector_behaviors() {
     // The theorems applied to behaviors extracted from real MicroPython:
     // for each operation of BadSector, the semantics and the inference
     // agree on every word up to length 6.
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let bs = checked.systems.get("BadSector").unwrap();
     let info = bs.composite().unwrap();
     for (name, lowered) in &info.methods {
@@ -348,7 +348,7 @@ fn theorems_on_the_extracted_badsector_behaviors() {
         let checker = TraceChecker::new(&lowered.program);
         let dfa = Dfa::from_nfa(&Nfa::from_regex(
             &behavior,
-            Rc::new((*info.alphabet).clone()),
+            Arc::new((*info.alphabet).clone()),
         ));
         for w in dfa.enumerate_words(6, 300) {
             assert!(checker.in_language(&w), "{name}: {w:?}");
@@ -372,7 +372,7 @@ fn matching_exit_points_check() {
                 return []"#,
         "",
     );
-    let checked = check_source(&partial).unwrap();
+    let checked = Checker::new().check_source(&partial).unwrap();
     assert!(checked
         .report
         .diagnostics
@@ -383,11 +383,11 @@ fn matching_exit_points_check() {
 
 #[test]
 fn smv_translation_of_the_valve_spec_validates() {
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let valve = checked.systems.get("Valve").unwrap();
     let mut ab = Alphabet::new();
     shelley::core::spec::intern_spec_events(&valve.spec, None, &mut ab);
-    let auto = shelley::core::spec::spec_automaton(&valve.spec, None, Rc::new(ab));
+    let auto = shelley::core::spec::spec_automaton(&valve.spec, None, Arc::new(ab));
     let dfa = Dfa::from_nfa(auto.nfa()).minimize();
     let model = shelley::smv::nfa_to_smv(auto.nfa(), "Valve", &[]);
     let report = shelley::smv::validate_model(&model, &dfa, 6);

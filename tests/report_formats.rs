@@ -5,7 +5,7 @@
 //! Regenerate the goldens after an intentional format change with
 //! `UPDATE_GOLDEN=1 cargo test --test report_formats`.
 
-use shelley::core::check_source;
+use shelley::core::Checker;
 use shelley::micropython::SourceFile;
 use std::path::Path;
 
@@ -72,7 +72,7 @@ class BadSector:
 
 #[test]
 fn invalid_subsystem_usage_text_matches_the_paper() {
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let (_, v) = &checked.report.usage_violations[0];
     assert_eq!(
         v.render(),
@@ -85,7 +85,7 @@ fn invalid_subsystem_usage_text_matches_the_paper() {
 
 #[test]
 fn fail_to_meet_requirement_text_matches_the_paper() {
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let (_, v) = &checked.report.claim_violations[0];
     assert_eq!(v.formula, "(!a.open) W b.open");
     assert!(v.render().starts_with(
@@ -117,7 +117,7 @@ fn check_golden(name: &str, actual: &str) {
 #[test]
 fn json_report_matches_golden() {
     let file = SourceFile::new("paper.py".to_owned(), PAPER.to_owned());
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let json = checked.report.diagnostics.render_json(Some(&file));
     check_golden("paper.json", &json);
 }
@@ -125,7 +125,7 @@ fn json_report_matches_golden() {
 #[test]
 fn sarif_report_matches_golden() {
     let file = SourceFile::new("paper.py".to_owned(), PAPER.to_owned());
-    let checked = check_source(PAPER).unwrap();
+    let checked = Checker::new().check_source(PAPER).unwrap();
     let sarif = checked.report.diagnostics.render_sarif(Some(&file));
     // The acceptance shape: an E100 result whose message carries the
     // paper's counterexample.

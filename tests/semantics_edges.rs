@@ -1,7 +1,7 @@
 //! Edge cases of the extraction/verification semantics that the main
 //! suites don't pin down directly.
 
-use shelley::core::{build_integration, check_source};
+use shelley::core::{build_integration, Checker};
 use shelley::regular::Dfa;
 
 /// A composite op that falls off the end (implicit `return []`) still
@@ -33,7 +33,7 @@ class Panel:
         self.led.pulse()
         return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     // W003 for the implicit return; no errors.
     assert!(!checked.report.diagnostics.has_errors());
     let panel = checked.systems.get("Panel").unwrap();
@@ -98,7 +98,7 @@ class Plant:
         self.s.cycle()
         return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     assert!(checked.report.passed(), "{}", checked.report.render(None));
     // The Plant integration speaks s.cycle, not p.run: internals are
     // hidden behind the Station interface.
@@ -151,7 +151,7 @@ class S:
                 self.a.clean()
                 return ["w"]
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     let sys = checked.systems.get("S").unwrap();
     let integration = build_integration(sys);
     let dfa = Dfa::from_nfa(&integration.nfa);
@@ -193,7 +193,7 @@ class B:
         self.lamp.blink()
         return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     assert!(checked.report.passed(), "{}", checked.report.render(None));
     let a = checked.systems.get("A").unwrap().composite().unwrap();
     let b = checked.systems.get("B").unwrap().composite().unwrap();
@@ -221,12 +221,12 @@ class V:
     def b(self):
         return []
 "#;
-    let checked = check_source(src).unwrap();
+    let checked = Checker::new().check_source(src).unwrap();
     assert!(!checked.report.diagnostics.has_errors());
     let v = checked.systems.get("V").unwrap();
     let mut ab = shelley::regular::Alphabet::new();
     shelley::core::spec::intern_spec_events(&v.spec, None, &mut ab);
-    let auto = shelley::core::spec::spec_automaton(&v.spec, None, std::rc::Rc::new(ab.clone()));
+    let auto = shelley::core::spec::spec_automaton(&v.spec, None, std::sync::Arc::new(ab.clone()));
     let s = |n: &str| ab.lookup(n).unwrap();
     assert!(auto.nfa().accepts(&[s("a"), s("b")]));
     assert!(!auto.nfa().accepts(&[s("a"), s("b"), s("b")]));
