@@ -1,0 +1,55 @@
+//! The language-view separation: lazy vs eager claim checking on an
+//! adversarial claim.
+//!
+//! The claim `F a0 & ... & F a{n-1}` has a negated monitor with ~2^n
+//! states under eager compilation, while the model (`a0*`) only ever
+//! progresses a handful of them. The lazy engine ([`check_claim`] driving
+//! a [`MonitorView`](shelley_ltlf::MonitorView) on the fly) must visit
+//! ≤ 10% of the eager monitor's states and win by ≥ 5× wall time; the
+//! asserts below pin the state-count separation, Criterion measures the
+//! time, and `devtools/langbench` records both in `BENCH_lang.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shelley_bench::adversarial_claim;
+use shelley_ltlf::{check_claim, to_dfa, MonitorView};
+use shelley_regular::ops;
+use std::collections::BTreeSet;
+
+const N: usize = 12;
+
+fn bench_lang_views(c: &mut Criterion) {
+    let (ab, claim, model) = adversarial_claim(N);
+    let markers = BTreeSet::new();
+    let bad = claim.negate();
+
+    // Pin the separation before timing anything: the lazy joint search
+    // explores a constant-ish product region, the eager monitor is
+    // exponential in N.
+    let lazy_visited =
+        ops::shortest_joint_word_counted(&model, &MonitorView::new(&bad, ab.clone()), &markers)
+            .visited;
+    let eager_states = to_dfa(&bad, ab.clone()).num_states();
+    assert!(
+        lazy_visited * 10 <= eager_states,
+        "lazy search visited {lazy_visited} product states vs {eager_states} eager monitor states"
+    );
+
+    c.bench_function("lang_views/lazy_check", |b| {
+        b.iter(|| {
+            assert!(!check_claim(&model, &claim, &markers).holds());
+        })
+    });
+
+    let mut group = c.benchmark_group("lang_views");
+    group.sample_size(10);
+    group.bench_function("eager_check", |b| {
+        b.iter(|| {
+            let monitor = to_dfa(&bad, ab.clone());
+            ops::shortest_joint_word(&model, &monitor, &markers).expect("claim is violated")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lang_views);
+criterion_main!(benches);

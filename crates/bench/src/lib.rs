@@ -226,6 +226,39 @@ pub fn generated_project(classes: usize) -> Vec<(String, String)> {
         .collect()
 }
 
+/// The adversarial workload for the `lang_views` bench: the claim
+/// `F a0 & F a1 & ... & F a{n-1}` paired with a tiny model that only ever
+/// emits `a0`.
+///
+/// The negated claim `G !a0 | ... | G !a{n-1}` has one reachable monitor
+/// state per subset of still-alive disjuncts — ~`2^n` states under eager
+/// compilation — while the model's traces progress only a handful of them.
+/// This is exactly the separation the lazy language views exploit: the
+/// joint search visits O(trace length) product states instead of paying
+/// for the full monitor up front.
+pub fn adversarial_claim(
+    n: usize,
+) -> (
+    std::sync::Arc<shelley_regular::Alphabet>,
+    shelley_ltlf::Formula,
+    shelley_regular::Nfa,
+) {
+    use shelley_ltlf::Formula;
+    use shelley_regular::{Alphabet, Nfa, Regex};
+    let mut ab = Alphabet::new();
+    let syms: Vec<_> = (0..n).map(|i| ab.intern(&format!("a{i}"))).collect();
+    let ab = std::sync::Arc::new(ab);
+    let claim = syms
+        .iter()
+        .map(|&s| Formula::eventually(Formula::atom(s)))
+        .reduce(Formula::and)
+        .expect("n >= 1");
+    // `a0*`: every model trace violates the claim (no trace contains a1),
+    // and progresses at most a couple of monitor states.
+    let model = Nfa::from_regex(&Regex::star(Regex::sym(syms[0])), ab.clone());
+    (ab, claim, model)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +297,23 @@ mod tests {
     fn return_forms_module_parses() {
         let m = micropython_parser::parse_module(&return_forms_module(3)).unwrap();
         assert_eq!(m.classes().count(), 1);
+    }
+
+    #[test]
+    fn adversarial_claim_separates_lazy_from_eager() {
+        let (ab, claim, model) = adversarial_claim(8);
+        let markers = std::collections::BTreeSet::new();
+        assert!(!shelley_ltlf::check_claim(&model, &claim, &markers).holds());
+        // The eager monitor of the negated claim is exponential (one state
+        // per subset of alive disjuncts), the lazy search region is not.
+        let eager = shelley_ltlf::to_dfa(&claim.negate(), ab.clone()).num_states();
+        assert!(eager >= 1 << 8, "eager monitor unexpectedly small: {eager}");
+        let lazy = shelley_regular::ops::shortest_joint_word_counted(
+            &model,
+            &shelley_ltlf::MonitorView::new(&claim.negate(), ab),
+            &markers,
+        )
+        .visited;
+        assert!(lazy * 10 <= eager, "lazy {lazy} vs eager {eager}");
     }
 }

@@ -7,7 +7,7 @@
 //! shelleyc diagram <file.py> <Class>      DOT operation diagram (Fig. 1)
 //! shelleyc deps <file.py> <Class>         DOT dependency graph (Fig. 3)
 //! shelleyc integration <file.py> <Class>  DOT integration automaton (Fig. 2)
-//! shelleyc smv <file.py> <Class>          NuSMV model (future work, §5)
+//! shelleyc smv <file.py> <Class>          NuSMV model (§5 translation)
 //! shelleyc infer <file.py> <Class> <op>   inferred behavior regex (Fig. 4)
 //! shelleyc stats <file.py>                 model-size summary per system
 //! shelleyc language <file.py> <Class>      whole-system language as a regex
@@ -318,9 +318,12 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
         }
         "language" => {
             let system = class_arg(2)?;
+            // Regex extraction needs the whole table: materialize the lazy
+            // view (export-grade escape hatch), then minimize.
+            use shelley_regular::lang::{self, NfaView};
             if let Some(_info) = system.composite() {
                 let integration = build_integration(system);
-                let dfa = shelley_regular::Dfa::from_nfa(&integration.nfa).minimize();
+                let dfa = lang::materialize(&NfaView::new(&integration.nfa)).minimize();
                 let regex = dfa.to_regex();
                 Ok(format!("{}\n", regex.display(integration.nfa.alphabet())))
             } else {
@@ -328,7 +331,7 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
                 shelley_core::spec::intern_spec_events(&system.spec, None, &mut ab);
                 let ab = std::sync::Arc::new(ab);
                 let auto = shelley_core::spec::spec_automaton(&system.spec, None, ab.clone());
-                let dfa = shelley_regular::Dfa::from_nfa(auto.nfa()).minimize();
+                let dfa = auto.materialize().minimize();
                 Ok(format!("{}\n", dfa.to_regex().display(&ab)))
             }
         }

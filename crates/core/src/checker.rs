@@ -2,8 +2,8 @@
 //!
 //! Earlier revisions exposed a free-function pair per input shape
 //! (`check_source`/`check_source_with`, `check_module`/…,
-//! `check_project`/…). They survive as deprecated wrappers; new code
-//! configures a `Checker` once and feeds it whichever input it has:
+//! `check_project`/…). Those wrappers are gone; code configures a
+//! `Checker` once and feeds it whichever input it has:
 //!
 //! ```
 //! use shelley_core::{Checker, LintConfig};

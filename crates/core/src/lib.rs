@@ -94,12 +94,8 @@ pub use integration::{build_integration, Integration};
 pub use lint::{
     default_passes, run_lints, LintConfig, LintContext, LintLevel, LintPass, UnknownCode,
 };
-#[allow(deprecated)]
-pub use pipeline::{check_module, check_module_with, check_source, check_source_with};
 pub use pipeline::{verify_system, CheckReport, Checked, SystemVerdict};
 pub use project::ProjectFile;
-#[allow(deprecated)]
-pub use project::{check_project, check_project_with, ProjectParseError};
 pub use spec::{ClassSpec, ExitSpec, OperationSpec, SpecAutomaton};
 pub use stats::{system_stats, SystemStats};
 pub use system::{

@@ -4,14 +4,13 @@
 //! subsystem usage → temporal claims`, producing a [`CheckReport`] with all
 //! structural diagnostics and the paper's two specification errors.
 
-use crate::checker::Checker;
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::integration::{build_integration, Integration};
 use crate::lint::{run_lints, LintConfig, LintLevel};
 use crate::system::{build_systems, System, SystemSet};
 use crate::verify::claims::{check_claims, ClaimViolation};
 use crate::verify::usage::{check_usage, UsageViolation};
-use micropython_parser::{ParseError, SourceFile};
+use micropython_parser::SourceFile;
 
 /// The result of verifying one source file.
 #[derive(Debug, Clone, Default)]
@@ -64,43 +63,6 @@ pub struct Checked {
     pub integrations: Vec<(String, Integration)>,
     /// The report.
     pub report: CheckReport,
-}
-
-/// Parses and fully verifies `source`.
-///
-/// # Errors
-///
-/// Returns the parse error if the source is not in the supported
-/// MicroPython subset; all verification findings are reported through the
-/// returned [`CheckReport`] instead.
-#[deprecated(note = "use `Checker::new().check_source(source)` instead")]
-pub fn check_source(source: &str) -> Result<Checked, ParseError> {
-    Checker::new().check_source(source).map_err(|e| e.error)
-}
-
-/// [`check_source`] with an explicit lint configuration.
-///
-/// # Errors
-///
-/// Returns the parse error if the source is not in the supported subset.
-#[deprecated(note = "use `Checker::new().lints(config).check_source(source)` instead")]
-pub fn check_source_with(source: &str, config: &LintConfig) -> Result<Checked, ParseError> {
-    Checker::new()
-        .lints(config.clone())
-        .check_source(source)
-        .map_err(|e| e.error)
-}
-
-/// Verifies an already-parsed module.
-#[deprecated(note = "use `Checker::new().check_module(module)` instead")]
-pub fn check_module(module: &micropython_parser::ast::Module) -> Checked {
-    Checker::new().check_module(module)
-}
-
-/// [`check_module`] with an explicit lint configuration.
-#[deprecated(note = "use `Checker::new().lints(config).check_module(module)` instead")]
-pub fn check_module_with(module: &micropython_parser::ast::Module, config: &LintConfig) -> Checked {
-    Checker::new().lints(config.clone()).check_module(module)
 }
 
 /// The reference implementation: sequential, from scratch, single module,
@@ -215,7 +177,7 @@ pub fn verify_system(system: &System, systems: &SystemSet) -> SystemVerdict {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::checker::Checker;
 
     /// Listings 2.1 + 2.2 of the paper, verbatim.
     pub(crate) const PAPER_SOURCE: &str = r#"

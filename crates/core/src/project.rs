@@ -6,11 +6,7 @@
 //! every file and runs the full pipeline with global, name-based,
 //! order-independent class resolution (later files may reference classes
 //! from earlier ones and vice versa). This module keeps the input type
-//! ([`ProjectFile`]) and the deprecated free-function entry points.
-
-use crate::checker::{CheckError, Checker};
-use crate::lint::LintConfig;
-use crate::pipeline::Checked;
+//! ([`ProjectFile`]).
 
 /// One source file of a project.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,43 +27,12 @@ impl ProjectFile {
     }
 }
 
-/// A parse failure attributed to its file.
-#[deprecated(note = "use `CheckError` instead — the two types are now one")]
-pub type ProjectParseError = CheckError;
-
-/// Parses and verifies a whole project (any number of files).
-///
-/// Class resolution is global: a composite in one file may use `@sys`
-/// classes declared in any other. Duplicate class names across files are
-/// reported as `E004` and the later definition wins (matching Python's
-/// last-definition semantics for re-imported names).
-///
-/// # Errors
-///
-/// Returns the first [`CheckError`] in file order; verification findings
-/// are in the returned [`Checked`]'s report.
-#[deprecated(note = "use `Checker::new().check_files(files)` instead")]
-pub fn check_project(files: &[ProjectFile]) -> Result<Checked, CheckError> {
-    Checker::new().check_files(files)
-}
-
-/// [`check_project`] with an explicit lint configuration.
-///
-/// # Errors
-///
-/// Returns the first [`CheckError`] in file order.
-#[deprecated(note = "use `Checker::new().lints(config).check_files(files)` instead")]
-pub fn check_project_with(
-    files: &[ProjectFile],
-    config: &LintConfig,
-) -> Result<Checked, CheckError> {
-    Checker::new().lints(config.clone()).check_files(files)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checker::{CheckError, Checker};
     use crate::diagnostics::codes;
+    use crate::pipeline::Checked;
 
     fn check_files(files: &[ProjectFile]) -> Result<Checked, CheckError> {
         Checker::new().check_files(files)
@@ -217,21 +182,6 @@ class Valve:
             .any(|d| d.message
                 == "class `Valve` defined more than once in v.py; \
                     the later definition is used"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        let files = [
-            ProjectFile::new("valve.py", VALVE_PY),
-            ProjectFile::new("sector.py", SECTOR_PY),
-        ];
-        let checked = check_project(&files).unwrap();
-        assert!(checked.report.passed());
-
-        let err: ProjectParseError =
-            check_project(&[ProjectFile::new("bad.py", "def broken(:\n")]).unwrap_err();
-        assert_eq!(err.file, "bad.py");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use crate::annotations::OpKind;
 use micropython_parser::Span;
-use shelley_regular::{Alphabet, Label, Nfa, StateId};
+use shelley_regular::lang::{self, NfaView};
+use shelley_regular::{Alphabet, Dfa, Label, Nfa, StateId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -101,6 +102,20 @@ impl SpecAutomaton {
     /// Which `(operation, exit)` a state represents, if it is an exit state.
     pub fn exit_at(&self, state: StateId) -> Option<(usize, usize)> {
         self.exit_info.get(&state).copied()
+    }
+
+    /// The spec language as a lazy [`Lang`](shelley_regular::lang::Lang)
+    /// view — what verification drives; no subset construction happens.
+    pub fn view(&self) -> NfaView<'_> {
+        NfaView::new(&self.nfa)
+    }
+
+    /// Determinizes the spec language for export (diagrams, NuSMV,
+    /// statistics) through the shared materialization helper.
+    ///
+    /// Checks never need this: they explore [`view`](Self::view) lazily.
+    pub fn materialize(&self) -> Dfa {
+        lang::materialize(&self.view())
     }
 }
 
@@ -339,11 +354,20 @@ mod tests {
     #[test]
     fn spec_language_is_regular_and_deterministic_after_compilation() {
         let (_, auto) = valve_automaton(None);
-        let dfa = Dfa::from_nfa(auto.nfa()).minimize();
+        let dfa = auto.materialize().minimize();
         assert!(dfa.num_states() >= 3);
         // Deterministic check agrees with the NFA on enumerated words.
         for w in dfa.enumerate_words(5, 200) {
             assert!(auto.nfa().accepts(&w));
         }
+    }
+
+    #[test]
+    fn materialize_matches_eager_subset_construction() {
+        let (_, auto) = valve_automaton(Some("a"));
+        let lazy = auto.materialize();
+        let eager = Dfa::from_nfa(auto.nfa());
+        assert_eq!(lazy.num_states(), eager.num_states());
+        assert!(lazy.equivalent(&eager).is_ok());
     }
 }

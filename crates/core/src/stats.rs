@@ -9,7 +9,7 @@ use crate::integration::build_integration;
 use crate::spec::{intern_spec_events, spec_automaton, ClassSpec};
 use crate::system::System;
 use shelley_ir::{denote_exits, infer};
-use shelley_regular::{Alphabet, Dfa};
+use shelley_regular::Alphabet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -79,13 +79,19 @@ impl fmt::Display for SystemStats {
 }
 
 /// Computes the statistics of a system.
+///
+/// Determinizing and minimizing the spec language is export-grade work, so
+/// it runs through [`SpecAutomaton::materialize`](crate::spec::SpecAutomaton::materialize);
+/// repeated callers should go through
+/// [`Workspace::class_stats`](crate::workspace::Workspace::class_stats),
+/// which caches the result per class fingerprint.
 pub fn system_stats(system: &System) -> SystemStats {
     let spec: &ClassSpec = &system.spec;
     let mut ab = Alphabet::new();
     intern_spec_events(spec, None, &mut ab);
     let auto = spec_automaton(spec, None, Arc::new(ab));
     let spec_states = auto.nfa().num_states();
-    let spec_min_dfa_states = Dfa::from_nfa(auto.nfa()).minimize().num_states();
+    let spec_min_dfa_states = auto.materialize().minimize().num_states();
 
     let (composite, subsystems, integration_states, alphabet_size, behavior_nodes) = match system
         .composite()

@@ -15,7 +15,7 @@
 use crate::integration::Integration;
 use crate::spec::{spec_automaton, ClassSpec};
 use crate::system::{Subsystem, System, SystemSet};
-use shelley_regular::{ops, Dfa, Symbol, Word};
+use shelley_regular::{ops, Symbol, Word};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One subsystem's explanation of why a trace is invalid.
@@ -118,9 +118,10 @@ pub fn check_usage(
             continue;
         };
         let spec = &sub_system.spec;
-        // The spec automaton of this instance over the global alphabet.
+        // The spec automaton of this instance over the global alphabet,
+        // driven as a lazy view: the inclusion check below determinizes
+        // only the spec subsets the integration language actually reaches.
         let auto = spec_automaton(spec, Some(&sub.field), alphabet.clone());
-        let spec_dfa = Dfa::from_nfa(auto.nfa());
         // Everything that is not an event of this subsystem is invisible.
         let sub_events: BTreeSet<Symbol> = spec
             .operations
@@ -131,7 +132,7 @@ pub fn check_usage(
             .symbols()
             .filter(|s| !sub_events.contains(s))
             .collect();
-        if let Err(word) = ops::projected_subset(&integration.nfa, &spec_dfa, &invisible) {
+        if let Err(word) = ops::projected_subset(&integration.nfa, &auto.view(), &invisible) {
             let better = match &best {
                 None => true,
                 Some((w, _, _)) => word.len() < w.len(),
@@ -188,11 +189,13 @@ fn explain_projection(
     }
     let trace: Vec<String> = projected.iter().map(|s| (*s).clone()).collect();
 
-    // Simulate the unqualified spec automaton step by step.
+    // Simulate the unqualified spec automaton step by step. Dead-state
+    // classification needs the whole (tiny, per-class) automaton, so this
+    // diagnostic-only path materializes the spec view.
     let mut ab = shelley_regular::Alphabet::new();
     crate::spec::intern_spec_events(spec, None, &mut ab);
     let auto = spec_automaton(spec, None, std::sync::Arc::new(ab.clone()));
-    let dfa = Dfa::from_nfa(auto.nfa());
+    let dfa = auto.materialize();
     let dead = dfa.dead_states();
     let mut state = dfa.start();
     for (i, op_name) in trace.iter().enumerate() {

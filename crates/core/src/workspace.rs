@@ -64,6 +64,7 @@ use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::lint::{run_lints, LintConfig, LintLevel};
 use crate::pipeline::{verify_system, CheckReport, Checked, SystemVerdict};
 use crate::spec::ClassSpec;
+use crate::stats::{system_stats, SystemStats};
 use crate::system::{
     extract_class, resolve_class, validate_spec, ClassExtraction, System, SystemKind, SystemSet,
 };
@@ -97,6 +98,10 @@ pub struct WorkspaceStats {
     pub verified: u64,
     /// Classes whose verification artifacts were reused.
     pub verify_cache_hits: u64,
+    /// [`Workspace::class_stats`] calls that computed statistics afresh.
+    pub stats_computed: u64,
+    /// [`Workspace::class_stats`] calls served from the stats cache.
+    pub stats_cache_hits: u64,
     /// Time spent parsing changed files.
     pub parse_time: Duration,
     /// Time spent extracting changed classes.
@@ -116,6 +121,8 @@ impl WorkspaceStats {
         self.extract_cache_hits += round.extract_cache_hits;
         self.verified += round.verified;
         self.verify_cache_hits += round.verify_cache_hits;
+        self.stats_computed += round.stats_computed;
+        self.stats_cache_hits += round.stats_cache_hits;
         self.parse_time += round.parse_time;
         self.extract_time += round.extract_time;
         self.verify_time += round.verify_time;
@@ -187,6 +194,13 @@ pub struct Workspace {
     files: Vec<FileState>,
     extract_cache: HashMap<u64, Arc<ExtractEntry>>,
     verify_cache: HashMap<(u64, u64), Arc<VerifyEntry>>,
+    /// Per-class [`SystemStats`], keyed like `verify_cache` (class
+    /// fingerprint + dependency fingerprint) because composite statistics
+    /// read the subsystem specs.
+    stats_cache: HashMap<(u64, u64), Arc<SystemStats>>,
+    /// `class name → (class fingerprint, dependency fingerprint)` as of the
+    /// last completed round; the lookup key for [`Self::class_stats`].
+    class_keys: BTreeMap<String, (u64, u64)>,
     totals: WorkspaceStats,
     last: WorkspaceStats,
 }
@@ -213,6 +227,8 @@ impl Workspace {
             files: Vec::new(),
             extract_cache: HashMap::new(),
             verify_cache: HashMap::new(),
+            stats_cache: HashMap::new(),
+            class_keys: BTreeMap::new(),
             totals: WorkspaceStats::default(),
             last: WorkspaceStats::default(),
         }
@@ -533,9 +549,42 @@ impl Workspace {
             .map(|(u, &d)| (u.fingerprint, d))
             .collect();
         self.verify_cache.retain(|key, _| live_verify.contains(key));
+        self.stats_cache.retain(|key, _| live_verify.contains(key));
+        self.class_keys = units
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| extract_entries[*i].extraction.is_some())
+            .map(|(i, u)| (u.name.clone(), (u.fingerprint, dep_fingerprints[i])))
+            .collect();
 
         self.finish_round(round);
         Ok(checked)
+    }
+
+    /// The statistics of a verified class, cached per class fingerprint.
+    ///
+    /// Statistics determinize and minimize the class's spec language —
+    /// export-grade work that used to be recomputed on every call. The
+    /// workspace computes them at most once per `(class, dependencies)`
+    /// fingerprint pair; unchanged classes hit the cache across rounds and
+    /// repeated queries. Returns `None` before the first
+    /// [`check`](Self::check) round, or for names that are not `@sys`
+    /// classes of the current file set.
+    ///
+    /// Hit/miss counts accumulate in [`stats`](Self::stats) as
+    /// [`WorkspaceStats::stats_cache_hits`] /
+    /// [`WorkspaceStats::stats_computed`].
+    pub fn class_stats(&mut self, class: &str) -> Option<Arc<SystemStats>> {
+        let key = *self.class_keys.get(class)?;
+        if let Some(stats) = self.stats_cache.get(&key) {
+            self.totals.stats_cache_hits += 1;
+            return Some(stats.clone());
+        }
+        let entry = self.verify_cache.get(&key)?;
+        let stats = Arc::new(system_stats(&entry.system));
+        self.totals.stats_computed += 1;
+        self.stats_cache.insert(key, stats.clone());
+        Some(stats)
     }
 
     fn finish_round(&mut self, round: WorkspaceStats) {

@@ -176,6 +176,72 @@ proptest! {
         );
     }
 
+    /// The lazy usage check (spec driven as an on-the-fly subset view) and
+    /// the eager oracle (spec determinized up front) give byte-identical
+    /// verdicts and counterexamples on generated composites — conforming
+    /// or not.
+    #[test]
+    fn lazy_usage_check_matches_eager_oracle(
+        spec in arb_spec(),
+        calls in proptest::collection::vec(0usize..6, 0..5)
+    ) {
+        use shelley_core::spec::spec_automaton as build_auto;
+        use shelley_regular::ops;
+        use std::collections::BTreeSet;
+        // An arbitrary call sequence over the spec's operations: it may be
+        // a legal usage, an ordering violation, or an incomplete trace.
+        let n = spec.operations.len();
+        let mut src = String::new();
+        let _ = writeln!(src, "{}", render_spec_class(&spec));
+        let _ = writeln!(src, "@sys([\"x\"])");
+        let _ = writeln!(src, "class User:");
+        let _ = writeln!(src, "    def __init__(self):");
+        let _ = writeln!(src, "        self.x = Gen()");
+        let _ = writeln!(src, "    @op_initial_final");
+        let _ = writeln!(src, "    def run(self):");
+        for &c in &calls {
+            let _ = writeln!(src, "        self.x.op{}()", c % n);
+        }
+        let _ = writeln!(src, "        return []");
+
+        let checked = Checker::new().check_source(&src).expect("parses");
+        let user = checked.systems.get("User").expect("built");
+        let integration = build_integration(user);
+        let alphabet = integration.nfa.alphabet().clone();
+        let gen = checked.systems.get("Gen").expect("built");
+        let auto = build_auto(&gen.spec, Some("x"), alphabet.clone());
+        let sub_events: BTreeSet<_> = gen
+            .spec
+            .operations
+            .iter()
+            .filter_map(|op| alphabet.lookup(&format!("x.{}", op.name)))
+            .collect();
+        let invisible: BTreeSet<_> = alphabet
+            .symbols()
+            .filter(|s| !sub_events.contains(s))
+            .collect();
+
+        let lazy = ops::projected_subset(&integration.nfa, &auto.view(), &invisible);
+        let eager = ops::projected_subset(
+            &integration.nfa,
+            &Dfa::from_nfa(auto.nfa()),
+            &invisible,
+        );
+        prop_assert_eq!(&lazy, &eager, "engines disagree on:\n{}", src);
+        // The pipeline's own verdict matches the dual-engine result.
+        prop_assert_eq!(
+            checked.report.usage_violations.is_empty(),
+            lazy.is_ok(),
+            "report disagrees with direct check on:\n{}",
+            src
+        );
+        if let (Err(w), Some((_, v))) =
+            (&lazy, checked.report.usage_violations.first())
+        {
+            prop_assert_eq!(w, &v.counterexample);
+        }
+    }
+
     /// The integration automaton of a conforming single-call composite
     /// accepts exactly marker-then-events words.
     #[test]

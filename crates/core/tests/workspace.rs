@@ -295,6 +295,43 @@ fn removing_a_file_drops_its_classes() {
 }
 
 #[test]
+fn class_stats_are_cached_per_fingerprint() {
+    let mut ws = Checker::new().jobs(1).into_workspace();
+    ws.set_file("valve.py", VALVE_PY);
+    ws.set_file("sector_a.py", SECTOR_A_PY);
+    assert!(ws.class_stats("Valve").is_none(), "no round has run yet");
+    ws.check().unwrap();
+
+    let first = ws.class_stats("SectorA").unwrap();
+    assert!(first.composite);
+    assert_eq!(ws.stats().stats_computed, 1);
+    assert_eq!(ws.stats().stats_cache_hits, 0);
+
+    // Repeat queries and an unchanged re-check hit the cache.
+    let again = ws.class_stats("SectorA").unwrap();
+    assert_eq!(*first, *again);
+    ws.check().unwrap();
+    ws.class_stats("SectorA").unwrap();
+    assert_eq!(ws.stats().stats_computed, 1);
+    assert_eq!(ws.stats().stats_cache_hits, 2);
+
+    // Editing the subsystem changes SectorA's dependency fingerprint, so
+    // its stats are recomputed; unknown names stay None.
+    ws.set_file(
+        "valve.py",
+        VALVE_PY.replace("\"close\"", "\"close\", \"clean\""),
+    );
+    ws.check().unwrap();
+    ws.class_stats("SectorA").unwrap();
+    assert_eq!(ws.stats().stats_computed, 2);
+    assert!(ws.class_stats("NoSuchClass").is_none());
+
+    // The cached value matches a fresh computation.
+    let direct = shelley_core::system_stats(ws.check().unwrap().systems.get("Valve").unwrap());
+    assert_eq!(*ws.class_stats("Valve").unwrap(), direct);
+}
+
+#[test]
 fn check_files_matches_per_file_workspace_rounds() {
     let files = [
         ProjectFile::new("valve.py", VALVE_PY),

@@ -1,20 +1,27 @@
-//! LTLf-to-DFA compilation via progression quotienting.
+//! LTLf monitors via progression quotienting.
 //!
 //! States are normalized formulas; the transition on event `e` is
 //! [`progress`](crate::progress); a state accepts iff
 //! [`accepts_empty`](crate::accepts_empty). ACI normalization of `∧`/`∨`
 //! (see [`Formula`]) keeps the reachable state space finite.
 //!
-//! The resulting automaton is a *monitor*: it accepts exactly the finite
-//! traces satisfying the formula, so model checking `L(M) ⊆ L(φ)` reduces
-//! to emptiness of `L(M) ∩ L(¬φ)` — the paper's future-work observation
-//! that Shelley can work directly with regular languages instead of
-//! encoding into ω-regular NuSMV models.
+//! The monitor accepts exactly the finite traces satisfying the formula, so
+//! model checking `L(M) ⊆ L(φ)` reduces to emptiness of `L(M) ∩ L(¬φ)` —
+//! the paper's future-work observation that Shelley can work directly with
+//! regular languages instead of encoding into ω-regular NuSMV models.
+//!
+//! Since the language-view refactor the monitor is primarily a *lazy* view:
+//! [`MonitorView`] implements [`Lang`] directly by progression, so checks
+//! explore only the formula states their model actually reaches. Compiling
+//! the full DFA up front ([`to_dfa`], worst-case exponential in the
+//! alphabet) survives as the [`materialize`](MonitorView::materialize)
+//! escape hatch for export and as the oracle in differential tests.
 
 use crate::semantics::{accepts_empty, progress};
 use crate::syntax::Formula;
+use shelley_regular::lang::{self, Lang};
 use shelley_regular::{Alphabet, Dfa, Symbol};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Canonicalizes a progression state.
@@ -107,12 +114,86 @@ fn clause_consistent(clause: &BTreeSet<Formula>) -> bool {
     true
 }
 
+/// A lazy LTLf monitor: the formula's language as a [`Lang`] view.
+///
+/// States *are* canonicalized formulas; stepping progresses the formula by
+/// one event and re-canonicalizes. Nothing is compiled up front — a check
+/// that only drives the monitor along its model's reachable traces touches
+/// only those formula states, while the full monitor DFA can be exponential
+/// in the alphabet.
+///
+/// [`materialize`](Self::materialize) (or the [`to_dfa`] wrapper) builds
+/// the complete DFA when an export actually needs it.
+///
+/// # Examples
+///
+/// ```
+/// use shelley_ltlf::{parse_formula, MonitorView};
+/// use shelley_regular::lang::Lang;
+/// use shelley_regular::Alphabet;
+/// use std::sync::Arc;
+///
+/// let mut ab = Alphabet::new();
+/// let f = parse_formula("G !fail", &mut ab)?;
+/// let fail = ab.lookup("fail").unwrap();
+/// let view = MonitorView::new(&f, Arc::new(ab));
+/// let mut state = view.start();
+/// assert!(view.is_accepting(&state));
+/// state = view.step(&state, fail);
+/// assert!(!view.is_accepting(&state));
+/// # Ok::<(), shelley_ltlf::ParseFormulaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonitorView {
+    start: Formula,
+    alphabet: Arc<Alphabet>,
+}
+
+impl MonitorView {
+    /// A lazy monitor for `formula` over `alphabet`.
+    ///
+    /// Events mentioned by the formula but absent from `alphabet` are
+    /// impossible; callers should intern the formula's atoms into the
+    /// alphabet first (the claim parser does this automatically).
+    pub fn new(formula: &Formula, alphabet: Arc<Alphabet>) -> Self {
+        MonitorView {
+            start: canonicalize(formula.clone()),
+            alphabet,
+        }
+    }
+
+    /// Compiles the complete monitor DFA (the eager escape hatch).
+    pub fn materialize(&self) -> Dfa {
+        lang::materialize(self)
+    }
+}
+
+impl Lang for MonitorView {
+    type State = Formula;
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    fn start(&self) -> Formula {
+        self.start.clone()
+    }
+
+    fn step(&self, state: &Formula, symbol: Symbol) -> Formula {
+        canonicalize(progress(state, symbol))
+    }
+
+    fn is_accepting(&self, state: &Formula) -> bool {
+        accepts_empty(state)
+    }
+}
+
 /// Compiles `formula` into a complete DFA over `alphabet` accepting exactly
 /// the satisfying traces.
 ///
-/// Events mentioned by the formula but absent from `alphabet` are
-/// impossible; callers should intern the formula's atoms into the alphabet
-/// first (the claim parser does this automatically).
+/// This is [`MonitorView::materialize`] — worst-case exponential in the
+/// alphabet. Checks should drive the [`MonitorView`] lazily instead; the
+/// DFA form exists for export (diagrams, NuSMV) and differential testing.
 ///
 /// # Examples
 ///
@@ -132,52 +213,7 @@ fn clause_consistent(clause: &BTreeSet<Formula>) -> bool {
 /// # Ok::<(), shelley_ltlf::ParseFormulaError>(())
 /// ```
 pub fn to_dfa(formula: &Formula, alphabet: Arc<Alphabet>) -> Dfa {
-    let mut index: HashMap<Formula, usize> = HashMap::new();
-    let mut states: Vec<Formula> = Vec::new();
-    let mut table: Vec<Vec<usize>> = Vec::new();
-    let mut accepting: Vec<bool> = Vec::new();
-    let nsyms = alphabet.len();
-
-    let intern = |f: Formula,
-                  states: &mut Vec<Formula>,
-                  table: &mut Vec<Vec<usize>>,
-                  accepting: &mut Vec<bool>,
-                  index: &mut HashMap<Formula, usize>|
-     -> usize {
-        if let Some(&q) = index.get(&f) {
-            return q;
-        }
-        let q = states.len();
-        accepting.push(accepts_empty(&f));
-        table.push(vec![usize::MAX; nsyms]);
-        index.insert(f.clone(), q);
-        states.push(f);
-        q
-    };
-
-    let start = intern(
-        canonicalize(formula.clone()),
-        &mut states,
-        &mut table,
-        &mut accepting,
-        &mut index,
-    );
-    let mut queue = vec![start];
-    while let Some(q) = queue.pop() {
-        for s in 0..nsyms {
-            if table[q][s] != usize::MAX {
-                continue;
-            }
-            let next = canonicalize(progress(&states[q], Symbol::from_index(s)));
-            let was = states.len();
-            let dst = intern(next, &mut states, &mut table, &mut accepting, &mut index);
-            table[q][s] = dst;
-            if dst == was {
-                queue.push(dst);
-            }
-        }
-    }
-    Dfa::from_parts(alphabet, table, start, accepting)
+    MonitorView::new(formula, alphabet).materialize()
 }
 
 #[cfg(test)]
@@ -245,6 +281,31 @@ mod tests {
         let dfa = to_dfa(&f, ab).minimize();
         // !a W b has a 3-state minimal monitor (waiting / satisfied / failed).
         assert!(dfa.num_states() <= 3, "{} states", dfa.num_states());
+    }
+
+    #[test]
+    fn view_agrees_with_materialized_dfa() {
+        let (ab, a, b, c) = setup();
+        let f = Formula::until(
+            Formula::or(Formula::atom(a), Formula::atom(c)),
+            Formula::atom(b),
+        );
+        let view = MonitorView::new(&f, ab.clone());
+        let dfa = view.materialize();
+        for w in [
+            vec![],
+            vec![a],
+            vec![a, b],
+            vec![c, b],
+            vec![b, a],
+            vec![a, c, b],
+        ] {
+            let mut state = view.start();
+            for &s in &w {
+                state = view.step(&state, s);
+            }
+            assert_eq!(view.is_accepting(&state), dfa.accepts(&w), "word {w:?}");
+        }
     }
 
     #[test]

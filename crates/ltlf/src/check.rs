@@ -5,9 +5,17 @@
 //! composite class). A claim `φ` holds iff every model trace satisfies it:
 //! `L(M) ⊆ L(φ)`, decided via emptiness of `L(M) ∩ L(¬φ)` with a shortest
 //! violating trace as counterexample.
+//!
+//! The `¬φ` monitor is driven **lazily** through its
+//! [`MonitorView`]: only the formula states reachable along the model's
+//! traces are ever progressed, so an adversarial claim with an exponential
+//! monitor DFA costs nothing beyond what the model can reach. The eager
+//! compile-then-search pipeline ([`to_dfa`](crate::to_dfa) +
+//! [`ops::shortest_joint_word`]) remains the differential-testing oracle.
 
-use crate::automaton::to_dfa;
+use crate::automaton::MonitorView;
 use crate::syntax::Formula;
+use shelley_regular::lang::{self, Product};
 use shelley_regular::{ops, Dfa, Nfa, Symbol, Word};
 use std::collections::BTreeSet;
 
@@ -39,7 +47,7 @@ impl ClaimOutcome {
 /// Panics if `model`'s alphabet differs from the alphabet the claim monitor
 /// is built over (they must share one `Alphabet`).
 pub fn check_claim(model: &Nfa, claim: &Formula, markers: &BTreeSet<Symbol>) -> ClaimOutcome {
-    let bad = to_dfa(&claim.negate(), model.alphabet().clone());
+    let bad = MonitorView::new(&claim.negate(), model.alphabet().clone());
     match ops::shortest_joint_word(model, &bad, markers) {
         None => ClaimOutcome::Holds,
         Some(counterexample) => ClaimOutcome::Violated { counterexample },
@@ -48,8 +56,8 @@ pub fn check_claim(model: &Nfa, claim: &Formula, markers: &BTreeSet<Symbol>) -> 
 
 /// Checks a claim against a DFA model with no markers.
 pub fn check_claim_dfa(model: &Dfa, claim: &Formula) -> ClaimOutcome {
-    let bad = to_dfa(&claim.negate(), model.alphabet().clone());
-    match model.intersect(&bad).shortest_accepted() {
+    let bad = MonitorView::new(&claim.negate(), model.alphabet().clone());
+    match lang::shortest_accepted(&Product::intersection(model, &bad)) {
         None => ClaimOutcome::Holds,
         Some(counterexample) => ClaimOutcome::Violated { counterexample },
     }
@@ -121,6 +129,32 @@ mod tests {
         let ab = Arc::new(ab);
         let model = Nfa::from_regex(&empty, ab);
         assert!(check_claim(&model, &claim, &BTreeSet::new()).holds());
+    }
+
+    #[test]
+    fn lazy_check_matches_eager_oracle() {
+        // The eager oracle: compile the ¬φ monitor DFA up front, then run
+        // the same searches. Counterexamples must be byte-identical.
+        let mut ab = Alphabet::new();
+        let claim = parse_formula("(!a.open) W b.open", &mut ab).unwrap();
+        let model_re =
+            parse_regex("(b.open ; a.open) + (a.test ; a.open) + a.open", &mut ab).unwrap();
+        let ab = Arc::new(ab);
+        let model = Nfa::from_regex(&model_re, ab.clone());
+        let eager_bad = crate::automaton::to_dfa(&claim.negate(), ab.clone());
+        let eager =
+            match shelley_regular::ops::shortest_joint_word(&model, &eager_bad, &BTreeSet::new()) {
+                None => ClaimOutcome::Holds,
+                Some(counterexample) => ClaimOutcome::Violated { counterexample },
+            };
+        assert_eq!(check_claim(&model, &claim, &BTreeSet::new()), eager);
+
+        let dfa_model = Dfa::from_nfa(&model);
+        let eager_dfa = match dfa_model.intersect(&eager_bad).shortest_accepted() {
+            None => ClaimOutcome::Holds,
+            Some(counterexample) => ClaimOutcome::Violated { counterexample },
+        };
+        assert_eq!(check_claim_dfa(&dfa_model, &claim), eager_dfa);
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! * [`parse_formula`] — the claim syntax;
 //! * [`eval`] / [`progress`] / [`accepts_empty`] — finite-trace semantics
 //!   by direct evaluation and by formula progression;
-//! * [`to_dfa`] — monitor construction by progression quotienting;
+//! * [`MonitorView`] — the formula's monitor as a *lazy*
+//!   [`Lang`](shelley_regular::lang::Lang) view driven by progression, with
+//!   [`to_dfa`] (= [`MonitorView::materialize`]) as the eager escape hatch;
 //! * [`check_claim`] — language-inclusion model checking with shortest
 //!   counterexamples, marker-aware so Shelley's annotated traces
-//!   (`open_a, a.test, a.open`) survive into error messages.
+//!   (`open_a, a.test, a.open`) survive into error messages; the monitor is
+//!   never compiled up front.
 //!
 //! # Example
 //!
@@ -45,7 +48,7 @@ mod semantics;
 mod simplify;
 mod syntax;
 
-pub use automaton::to_dfa;
+pub use automaton::{to_dfa, MonitorView};
 pub use check::{check_claim, check_claim_dfa, ClaimOutcome};
 pub use parser::{parse_formula, ParseFormulaError};
 pub use semantics::{accepts_empty, eval, eval_direct, progress};

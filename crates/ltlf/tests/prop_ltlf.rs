@@ -135,6 +135,67 @@ proptest! {
 }
 
 proptest! {
+    /// Stepping the lazy [`MonitorView`] by progression agrees with direct
+    /// evaluation at every prefix of the word.
+    #[test]
+    fn monitor_view_tracks_eval(f in arb_formula(), w in arb_word()) {
+        use shelley_ltlf::MonitorView;
+        use shelley_regular::lang::Lang;
+        let view = MonitorView::new(&f, alphabet());
+        let mut state = view.start();
+        let mut prefix = Vec::new();
+        prop_assert_eq!(view.is_accepting(&state), eval(&f, &prefix));
+        for &e in &w {
+            state = view.step(&state, e);
+            prefix.push(e);
+            prop_assert_eq!(view.is_accepting(&state), eval(&f, &prefix));
+        }
+    }
+
+    /// Materializing the lazy monitor view reproduces the eager monitor
+    /// DFA exactly (same construction, same numbering).
+    #[test]
+    fn monitor_view_materializes_to_the_eager_dfa(f in arb_formula(), w in arb_word()) {
+        use shelley_ltlf::MonitorView;
+        let dfa = MonitorView::new(&f, alphabet()).materialize();
+        let eager = to_dfa(&f, alphabet());
+        prop_assert_eq!(dfa.num_states(), eager.num_states());
+        prop_assert_eq!(dfa.accepts(&w), eager.accepts(&w));
+    }
+
+    /// The lazy claim check and the eager compile-then-search oracle
+    /// return byte-identical outcomes (including the counterexample
+    /// trace) on generated formulas and regular models.
+    #[test]
+    fn lazy_claim_check_matches_eager_oracle(
+        f in arb_formula(),
+        w1 in arb_word(),
+        w2 in arb_word()
+    ) {
+        use shelley_ltlf::{check_claim, check_claim_dfa, ClaimOutcome};
+        use shelley_regular::{ops, Dfa, Nfa, Regex};
+        use std::collections::BTreeSet;
+        let ab = alphabet();
+        // A small model: the union of two concrete traces.
+        let model_re = Regex::union(Regex::word(&w1), Regex::word(&w2));
+        let model = Nfa::from_regex(&model_re, ab.clone());
+        let markers = BTreeSet::new();
+
+        let eager_bad = to_dfa(&f.negate(), ab.clone());
+        let eager = match ops::shortest_joint_word(&model, &eager_bad, &markers) {
+            None => ClaimOutcome::Holds,
+            Some(counterexample) => ClaimOutcome::Violated { counterexample },
+        };
+        prop_assert_eq!(check_claim(&model, &f, &markers), eager);
+
+        let dfa_model = Dfa::from_nfa(&model);
+        let eager_dfa = match dfa_model.intersect(&eager_bad).shortest_accepted() {
+            None => ClaimOutcome::Holds,
+            Some(counterexample) => ClaimOutcome::Violated { counterexample },
+        };
+        prop_assert_eq!(check_claim_dfa(&dfa_model, &f), eager_dfa);
+    }
+
     /// Simplification preserves the language exactly.
     #[test]
     fn simplify_preserves_semantics(f in arb_formula(), w in arb_word()) {

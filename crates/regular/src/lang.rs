@@ -1,0 +1,613 @@
+//! Lazy language views: on-the-fly automata combinators.
+//!
+//! Every check in the verification stack reduces to a reachability search
+//! over some product automaton, yet the eager [`Dfa`] algebra forces the
+//! *whole* automaton into existence first — subset construction and monitor
+//! compilation are exponential in the worst case even when the reachable
+//! product is tiny. This module provides the lazy counterpart: a [`Lang`]
+//! trait describing a complete deterministic transition system by
+//! `start`/`step`/`is_accepting` over a hashable state type, combinators
+//! that compose views without materializing them ([`Product`],
+//! [`Complement`], [`EraseMarkers`]), and generic algorithms
+//! ([`shortest_accepted`], [`is_empty`], [`subset_of`], [`materialize`])
+//! that explore **only the reachable states**, memoizing them by hash.
+//!
+//! The eager algebra stays available as the slow-but-obviously-correct
+//! oracle; property tests assert the two engines agree byte-for-byte. The
+//! algorithms here deliberately mirror the eager traversal order (FIFO
+//! queue, symbols in dense index order, acceptance tested at dequeue) so
+//! shortest witnesses are *identical* to the eager ones — the shortlex-least
+//! shortest word — not merely equal in length.
+//!
+//! Use [`materialize`] only at export boundaries (diagrams, NuSMV models,
+//! statistics): it is the single escape hatch back into the eager [`Dfa`]
+//! world and costs the full reachable state space.
+//!
+//! # Examples
+//!
+//! ```
+//! use shelley_regular::lang::{self, Complement, NfaView, Product};
+//! use shelley_regular::{Alphabet, Nfa, Regex};
+//! use std::sync::Arc;
+//!
+//! let mut ab = Alphabet::new();
+//! let a = ab.intern("a");
+//! let b = ab.intern("b");
+//! let ab = Arc::new(ab);
+//! let spec = Nfa::from_regex(&Regex::word(&[a, b]), ab.clone());
+//! let behavior = Nfa::from_regex(&Regex::word(&[a]), ab);
+//! // Is L(behavior) ⊆ L(spec)? Searched lazily — no subset construction.
+//! let witness = lang::subset_of(&NfaView::new(&behavior), &NfaView::new(&spec));
+//! assert_eq!(witness.unwrap_err(), vec![a]);
+//! # let _ = (Complement::new(NfaView::new(&spec)), Product::intersection(NfaView::new(&spec), NfaView::new(&spec)));
+//! ```
+
+use crate::dfa::Dfa;
+use crate::nfa::{Label, Nfa, StateId};
+use crate::symbol::{Alphabet, Symbol, Word};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A complete deterministic language view.
+///
+/// Implementors describe a transition system *lazily*: states are produced
+/// on demand by [`step`](Lang::step) and are never enumerated up front. The
+/// view must be **complete** (every state has a successor on every alphabet
+/// symbol — use a rejecting sink for partial functions) and
+/// **deterministic**; both properties make [`Complement`] a sound
+/// combinator, exactly as for [`Dfa`].
+///
+/// States must be hashable so the generic algorithms can memoize visited
+/// states without materializing the automaton.
+pub trait Lang {
+    /// The state representation (interned DFA ids, NFA subsets, formulas…).
+    type State: Clone + Eq + Hash;
+
+    /// The alphabet the language is over.
+    fn alphabet(&self) -> &Arc<Alphabet>;
+
+    /// The initial state.
+    fn start(&self) -> Self::State;
+
+    /// The unique successor of `state` on `symbol`.
+    fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State;
+
+    /// Whether `state` accepts.
+    fn is_accepting(&self, state: &Self::State) -> bool;
+}
+
+/// A reference to a view is itself a view (lets combinators borrow).
+impl<L: Lang + ?Sized> Lang for &L {
+    type State = L::State;
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        (**self).alphabet()
+    }
+
+    fn start(&self) -> Self::State {
+        (**self).start()
+    }
+
+    fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
+        (**self).step(state, symbol)
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        (**self).is_accepting(state)
+    }
+}
+
+/// An eager DFA is trivially a view: states are its interned ids.
+impl Lang for Dfa {
+    type State = StateId;
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        Dfa::alphabet(self)
+    }
+
+    fn start(&self) -> StateId {
+        Dfa::start(self)
+    }
+
+    fn step(&self, state: &StateId, symbol: Symbol) -> StateId {
+        Dfa::step(self, *state, symbol)
+    }
+
+    fn is_accepting(&self, state: &StateId) -> bool {
+        Dfa::is_accepting(self, *state)
+    }
+}
+
+/// On-the-fly determinization of an [`Nfa`].
+///
+/// States are ε-closed subsets of NFA states; [`step`](Lang::step) performs
+/// one symbol move plus ε-closure. No subset construction happens up front:
+/// only the subsets actually reached by a search are ever built, which is
+/// the whole point — [`Dfa::from_nfa`] enumerates all of them eagerly.
+///
+/// [`materialize`]d, this view yields a [`Dfa`] identical (states and
+/// numbering included) to `Dfa::from_nfa` on the same NFA.
+#[derive(Debug, Clone, Copy)]
+pub struct NfaView<'a> {
+    nfa: &'a Nfa,
+}
+
+impl<'a> NfaView<'a> {
+    /// Wraps `nfa` without determinizing it.
+    pub fn new(nfa: &'a Nfa) -> Self {
+        NfaView { nfa }
+    }
+}
+
+impl Lang for NfaView<'_> {
+    type State = BTreeSet<StateId>;
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        self.nfa.alphabet()
+    }
+
+    fn start(&self) -> Self::State {
+        self.nfa
+            .epsilon_closure(&BTreeSet::from([self.nfa.start()]))
+    }
+
+    fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
+        let mut next = BTreeSet::new();
+        for &q in state {
+            for &(label, dst) in self.nfa.edges_from(q) {
+                if label == Label::Sym(symbol) {
+                    next.insert(dst);
+                }
+            }
+        }
+        self.nfa.epsilon_closure(&next)
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        state.iter().any(|&q| self.nfa.is_accepting(q))
+    }
+}
+
+/// How a [`Product`] combines the acceptance of its two factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoolOp {
+    And,
+    Or,
+    Diff,
+}
+
+/// The lazy product of two views; states are pairs explored on demand.
+///
+/// Mirrors the eager [`Dfa::intersect`]/[`Dfa::union`]/[`Dfa::difference`]
+/// triple without building the pair table.
+#[derive(Debug, Clone)]
+pub struct Product<A, B> {
+    a: A,
+    b: B,
+    op: BoolOp,
+}
+
+impl<A: Lang, B: Lang> Product<A, B> {
+    fn new(a: A, b: B, op: BoolOp) -> Self {
+        assert_eq!(
+            **a.alphabet(),
+            **b.alphabet(),
+            "product of language views over different alphabets"
+        );
+        Product { a, b, op }
+    }
+
+    /// `L(a) ∩ L(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn intersection(a: A, b: B) -> Self {
+        Product::new(a, b, BoolOp::And)
+    }
+
+    /// `L(a) ∪ L(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn union(a: A, b: B) -> Self {
+        Product::new(a, b, BoolOp::Or)
+    }
+
+    /// `L(a) \ L(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn difference(a: A, b: B) -> Self {
+        Product::new(a, b, BoolOp::Diff)
+    }
+}
+
+impl<A: Lang, B: Lang> Lang for Product<A, B> {
+    type State = (A::State, B::State);
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        self.a.alphabet()
+    }
+
+    fn start(&self) -> Self::State {
+        (self.a.start(), self.b.start())
+    }
+
+    fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
+        (self.a.step(&state.0, symbol), self.b.step(&state.1, symbol))
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        let (qa, qb) = (self.a.is_accepting(&state.0), self.b.is_accepting(&state.1));
+        match self.op {
+            BoolOp::And => qa && qb,
+            BoolOp::Or => qa || qb,
+            BoolOp::Diff => qa && !qb,
+        }
+    }
+}
+
+/// The complement view: flips acceptance.
+///
+/// Sound because every [`Lang`] is complete and deterministic by contract —
+/// the same argument that makes [`Dfa::complement`] a one-liner.
+#[derive(Debug, Clone)]
+pub struct Complement<L> {
+    inner: L,
+}
+
+impl<L: Lang> Complement<L> {
+    /// Wraps `inner`, accepting exactly the words it rejects.
+    pub fn new(inner: L) -> Self {
+        Complement { inner }
+    }
+}
+
+impl<L: Lang> Lang for Complement<L> {
+    type State = L::State;
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        self.inner.alphabet()
+    }
+
+    fn start(&self) -> Self::State {
+        self.inner.start()
+    }
+
+    fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
+        self.inner.step(state, symbol)
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        !self.inner.is_accepting(state)
+    }
+}
+
+/// A view that is blind to a set of marker symbols.
+///
+/// Stepping on a marker stays in place, so the wrapped language observes
+/// only the marker-erased projection of each word. This is how a claim
+/// monitor tracks an integration automaton whose words interleave operation
+/// markers with subsystem events: the markers advance the model, not the
+/// monitor.
+#[derive(Debug, Clone)]
+pub struct EraseMarkers<L> {
+    inner: L,
+    markers: BTreeSet<Symbol>,
+}
+
+impl<L: Lang> EraseMarkers<L> {
+    /// Wraps `inner`; symbols in `markers` become invisible self-loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any marker is not a symbol of `inner`'s alphabet.
+    pub fn new(inner: L, markers: BTreeSet<Symbol>) -> Self {
+        assert_markers_in_alphabet(&markers, inner.alphabet());
+        EraseMarkers { inner, markers }
+    }
+}
+
+impl<L: Lang> Lang for EraseMarkers<L> {
+    type State = L::State;
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        self.inner.alphabet()
+    }
+
+    fn start(&self) -> Self::State {
+        self.inner.start()
+    }
+
+    fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
+        if self.markers.contains(&symbol) {
+            state.clone()
+        } else {
+            self.inner.step(state, symbol)
+        }
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        self.inner.is_accepting(state)
+    }
+}
+
+/// Panics unless every symbol in `markers` belongs to `alphabet`.
+///
+/// Shared contract between [`EraseMarkers`] and the marker-aware searches in
+/// [`crate::ops`]: out-of-alphabet markers are always a caller bug (a symbol
+/// interned into a *different* alphabet), never a soft condition.
+pub(crate) fn assert_markers_in_alphabet(markers: &BTreeSet<Symbol>, alphabet: &Alphabet) {
+    for &m in markers {
+        assert!(
+            m.index() < alphabet.len(),
+            "marker symbol #{} is outside the shared alphabet ({} symbols)",
+            m.index(),
+            alphabet.len()
+        );
+    }
+}
+
+/// Finds a shortest accepted word by lazy BFS, if the language is nonempty.
+///
+/// Explores only reachable states, memoized by hash. The traversal mirrors
+/// [`Dfa::shortest_accepted`] exactly — FIFO queue, successors expanded in
+/// dense symbol order, acceptance tested at dequeue — so the witness is the
+/// shortlex-least shortest word, byte-identical to the eager engine's.
+pub fn shortest_accepted<L: Lang>(lang: &L) -> Option<Word> {
+    shortest_accepted_counted(lang).0
+}
+
+/// [`shortest_accepted`] plus the number of distinct states visited.
+///
+/// The count is the size of the explored region (all states *discovered*,
+/// whether or not dequeued), which is what the lazy-vs-eager benchmarks
+/// compare against the materialized automaton's size.
+pub fn shortest_accepted_counted<L: Lang>(lang: &L) -> (Option<Word>, usize) {
+    let nsyms = lang.alphabet().len();
+    let mut index: HashMap<L::State, usize> = HashMap::new();
+    let mut states: Vec<L::State> = Vec::new();
+    let mut parent: Vec<Option<(usize, Symbol)>> = Vec::new();
+    let start = lang.start();
+    index.insert(start.clone(), 0);
+    states.push(start);
+    parent.push(None);
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    while let Some(q) = queue.pop_front() {
+        if lang.is_accepting(&states[q]) {
+            let mut word = Vec::new();
+            let mut cur = q;
+            while let Some((prev, sym)) = parent[cur] {
+                word.push(sym);
+                cur = prev;
+            }
+            word.reverse();
+            return (Some(word), states.len());
+        }
+        for sym_idx in 0..nsyms {
+            let sym = Symbol::from_index(sym_idx);
+            let next = lang.step(&states[q], sym);
+            if !index.contains_key(&next) {
+                let id = states.len();
+                index.insert(next.clone(), id);
+                states.push(next);
+                parent.push(Some((q, sym)));
+                queue.push_back(id);
+            }
+        }
+    }
+    (None, states.len())
+}
+
+/// Whether the language is empty, by lazy reachability.
+pub fn is_empty<L: Lang>(lang: &L) -> bool {
+    shortest_accepted(lang).is_none()
+}
+
+/// Checks `L(a) ⊆ L(b)` lazily; on failure returns a shortest word in the
+/// difference (byte-identical to [`Dfa::subset_of`]'s witness).
+///
+/// # Panics
+///
+/// Panics if the alphabets differ.
+pub fn subset_of<A: Lang, B: Lang>(a: &A, b: &B) -> Result<(), Word> {
+    match shortest_accepted(&Product::difference(a, b)) {
+        None => Ok(()),
+        Some(w) => Err(w),
+    }
+}
+
+/// Materializes a view into an eager [`Dfa`] — the escape hatch back into
+/// the eager world for diagram, NuSMV, and statistics export.
+///
+/// States are numbered in BFS discovery order with symbols scanned in dense
+/// index order — the same order as [`Dfa::from_nfa`] — so materializing an
+/// [`NfaView`] reproduces subset construction exactly, golden outputs
+/// included.
+///
+/// The reachable state space must be finite (true for every view in this
+/// workspace: NFA subsets, DFA ids, product pairs, and canonicalized LTLf
+/// progression formulas are all finitely many).
+pub fn materialize<L: Lang>(lang: &L) -> Dfa {
+    let alphabet = lang.alphabet().clone();
+    let nsyms = alphabet.len();
+    let mut index: HashMap<L::State, usize> = HashMap::new();
+    let mut states: Vec<L::State> = Vec::new();
+    let mut table: Vec<Vec<StateId>> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+
+    let start = lang.start();
+    index.insert(start.clone(), 0);
+    accepting.push(lang.is_accepting(&start));
+    states.push(start);
+    table.push(vec![usize::MAX; nsyms]);
+
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    while let Some(q) = queue.pop_front() {
+        for sym_idx in 0..nsyms {
+            let sym = Symbol::from_index(sym_idx);
+            let next = lang.step(&states[q], sym);
+            let dst = match index.get(&next) {
+                Some(&d) => d,
+                None => {
+                    let d = states.len();
+                    index.insert(next.clone(), d);
+                    accepting.push(lang.is_accepting(&next));
+                    states.push(next);
+                    table.push(vec![usize::MAX; nsyms]);
+                    queue.push_back(d);
+                    d
+                }
+            };
+            table[q][sym_idx] = dst;
+        }
+    }
+    Dfa::from_parts(alphabet, table, 0, accepting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+    use std::sync::Arc;
+
+    fn compile(pattern: &str) -> (Nfa, Arc<Alphabet>) {
+        let mut ab = Alphabet::new();
+        let re = parse_regex(pattern, &mut ab).unwrap();
+        let ab = Arc::new(ab);
+        (Nfa::from_regex(&re, ab.clone()), ab)
+    }
+
+    #[test]
+    fn nfa_view_agrees_with_subset_construction() {
+        let (nfa, _) = compile("(a ; b)* + (a ; c)");
+        let eager = Dfa::from_nfa(&nfa);
+        let lazy = materialize(&NfaView::new(&nfa));
+        assert_eq!(lazy.num_states(), eager.num_states());
+        assert_eq!(lazy.start(), eager.start());
+        for q in 0..eager.num_states() {
+            assert_eq!(lazy.is_accepting(q), eager.is_accepting(q));
+            for (sym, _) in eager.alphabet().iter() {
+                assert_eq!(lazy.step(q, sym), eager.step(q, sym), "state {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_witnesses_match_eager_witnesses() {
+        let (nfa, _) = compile("(a ; a ; a) + (b ; c) + c");
+        let eager = Dfa::from_nfa(&nfa);
+        assert_eq!(
+            shortest_accepted(&NfaView::new(&nfa)),
+            eager.shortest_accepted()
+        );
+        assert_eq!(is_empty(&NfaView::new(&nfa)), eager.is_empty());
+    }
+
+    #[test]
+    fn product_and_complement_agree_with_dfa_algebra() {
+        let mut ab = Alphabet::new();
+        let re1 = parse_regex("(a + b)*", &mut ab).unwrap();
+        let re2 = parse_regex("a ; (a + b)*", &mut ab).unwrap();
+        let ab = Arc::new(ab);
+        let n1 = Nfa::from_regex(&re1, ab.clone());
+        let n2 = Nfa::from_regex(&re2, ab);
+        let (d1, d2) = (Dfa::from_nfa(&n1), Dfa::from_nfa(&n2));
+        let (v1, v2) = (NfaView::new(&n1), NfaView::new(&n2));
+
+        // Difference witness identical to the eager engine.
+        assert_eq!(
+            shortest_accepted(&Product::difference(&v1, &v2)),
+            d1.difference(&d2).shortest_accepted()
+        );
+        // Intersection / union emptiness agree.
+        assert_eq!(
+            is_empty(&Product::intersection(&v1, &v2)),
+            d1.intersect(&d2).is_empty()
+        );
+        assert_eq!(
+            is_empty(&Product::union(&v1, &v2)),
+            d1.union(&d2).is_empty()
+        );
+        // Complement round-trips.
+        assert_eq!(
+            shortest_accepted(&Complement::new(&v2)),
+            d2.complement().shortest_accepted()
+        );
+    }
+
+    #[test]
+    fn subset_of_matches_dfa_subset_of() {
+        let mut ab = Alphabet::new();
+        let small = parse_regex("a ; b", &mut ab).unwrap();
+        let big = parse_regex("(a ; b) + (a ; c)", &mut ab).unwrap();
+        let ab = Arc::new(ab);
+        let ns = Nfa::from_regex(&small, ab.clone());
+        let nb = Nfa::from_regex(&big, ab);
+        let (ds, db) = (Dfa::from_nfa(&ns), Dfa::from_nfa(&nb));
+        assert_eq!(subset_of(&NfaView::new(&ns), &NfaView::new(&nb)), Ok(()));
+        assert_eq!(
+            subset_of(&NfaView::new(&nb), &NfaView::new(&ns)),
+            db.subset_of(&ds)
+        );
+    }
+
+    #[test]
+    fn erase_markers_makes_symbols_invisible() {
+        let mut ab = Alphabet::new();
+        let m = ab.intern("m");
+        let a = ab.intern("a");
+        let spec = parse_regex("a", &mut ab).unwrap();
+        let ab = Arc::new(ab);
+        let spec = Nfa::from_regex(&spec, ab);
+        // The blind view accepts m·a·m because it only sees `a`.
+        let view = EraseMarkers::new(NfaView::new(&spec), BTreeSet::from([m]));
+        let mut state = view.start();
+        for s in [m, a, m] {
+            state = view.step(&state, s);
+        }
+        assert!(view.is_accepting(&state));
+        assert!(!view.is_accepting(&view.start()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the shared alphabet")]
+    fn erase_markers_rejects_foreign_symbols() {
+        let (nfa, _) = compile("a");
+        let foreign = Symbol::from_index(99);
+        let _ = EraseMarkers::new(NfaView::new(&nfa), BTreeSet::from([foreign]));
+    }
+
+    #[test]
+    #[should_panic(expected = "different alphabets")]
+    fn product_rejects_mismatched_alphabets() {
+        let (n1, _) = compile("a");
+        let (n2, _) = compile("a ; b");
+        let _ = Product::intersection(NfaView::new(&n1), NfaView::new(&n2));
+    }
+
+    #[test]
+    fn counted_search_reports_explored_region() {
+        let (nfa, _) = compile("a ; b ; c");
+        let (word, visited) = shortest_accepted_counted(&NfaView::new(&nfa));
+        assert!(word.is_some());
+        // The search cannot have explored more than the full subset space.
+        assert!(visited <= Dfa::from_nfa(&nfa).num_states());
+        assert!(visited >= 1);
+    }
+
+    #[test]
+    fn empty_alphabet_views_work() {
+        let ab = Arc::new(Alphabet::new());
+        let nfa = Nfa::from_regex(&crate::regex::Regex::Epsilon, ab);
+        let view = NfaView::new(&nfa);
+        assert_eq!(shortest_accepted(&view), Some(vec![]));
+        let dfa = materialize(&view);
+        assert!(dfa.accepts(&[]));
+        assert!(is_empty(&Complement::new(&view)));
+    }
+}

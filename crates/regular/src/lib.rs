@@ -22,6 +22,10 @@
 //!   inclusion/equivalence with shortest counterexamples,
 //!   [Hopcroft minimization](Dfa::minimize), shortlex
 //!   [word enumeration](Dfa::enumerate_words).
+//! * [`lang`] — lazy language views: a [`lang::Lang`] trait with on-the-fly
+//!   combinators (product, complement, marker erasure) and generic searches
+//!   that explore only reachable states, with
+//!   [`lang::materialize`] as the eager escape hatch for export.
 //! * [`ops`] — marker-aware product searches used to produce the paper's
 //!   annotated counterexamples (`open_a, a.test, a.open`).
 //! * DOT rendering for the behavior diagrams of Figures 1–3.
@@ -54,6 +58,7 @@ mod derivative;
 mod dfa;
 mod dot;
 mod enumerate;
+pub mod lang;
 mod minimize;
 mod nfa;
 pub mod ops;

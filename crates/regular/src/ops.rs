@@ -3,14 +3,39 @@
 //! The verification passes of `shelley-core` need one operation the plain
 //! DFA algebra does not provide: searching an NFA whose words *interleave
 //! marker symbols* (operation names in an integration automaton) against a
-//! monitor DFA that only observes the non-marker symbols. Keeping the
-//! markers in the witness lets error messages print traces exactly as the
-//! paper does (`open_a, a.test, a.open`).
+//! monitor that only observes the non-marker symbols. Keeping the markers
+//! in the witness lets error messages print traces exactly as the paper
+//! does (`open_a, a.test, a.open`).
+//!
+//! Since the language-view refactor, the monitor side is any [`Lang`] — an
+//! eager [`Dfa`](crate::Dfa), an on-the-fly
+//! [`NfaView`](crate::lang::NfaView), or an
+//! LTLf progression monitor — so no caller has to determinize or compile a
+//! monitor automaton before searching. The NFA side keeps its explicit
+//! edge-order 0-1 BFS: ε-edges cost nothing, symbol edges cost one, which
+//! both guarantees shortest witnesses and preserves the exact tie-breaking
+//! the eager engine produced (the monitor is deterministic, so lazily
+//! stepping it visits the same product graph in the same order).
 
-use crate::dfa::Dfa;
+use crate::lang::{self, Complement, Lang};
 use crate::nfa::{Label, Nfa, StateId};
 use crate::symbol::{Symbol, Word};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// The outcome of a counted joint search: the witness (if any) plus the
+/// number of distinct product states discovered.
+///
+/// The state count is what the lazy-vs-eager benchmarks compare against the
+/// size of the materialized monitor: an adversarial claim can have an
+/// exponential monitor DFA while the reachable product stays linear in the
+/// model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JointSearch {
+    /// A shortest joint word, `None` when the intersection is empty.
+    pub witness: Option<Word>,
+    /// Distinct `(NFA state, monitor state)` pairs discovered.
+    pub visited: usize,
+}
 
 /// Searches for a shortest word accepted by both `nfa` and `monitor`, where
 /// symbols in `ignored` advance only the NFA (the monitor does not observe
@@ -20,42 +45,71 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 /// where the NFA consumed them. Returns `None` when the (marker-erased)
 /// intersection is empty.
 ///
+/// The monitor is stepped lazily through its [`Lang`] interface; passing an
+/// eager [`Dfa`](crate::Dfa) reproduces the pre-refactor behavior (and
+/// witness) exactly.
+///
 /// # Panics
 ///
-/// Panics if the automata have different alphabets.
-pub fn shortest_joint_word(nfa: &Nfa, monitor: &Dfa, ignored: &BTreeSet<Symbol>) -> Option<Word> {
+/// Panics if the automata are over different alphabets, or if `ignored`
+/// contains a symbol outside the shared alphabet (a symbol interned into
+/// some other alphabet) — marker sets must always come from the same
+/// [`Alphabet`](crate::Alphabet) as the automata.
+pub fn shortest_joint_word<L: Lang>(
+    nfa: &Nfa,
+    monitor: &L,
+    ignored: &BTreeSet<Symbol>,
+) -> Option<Word> {
+    shortest_joint_word_counted(nfa, monitor, ignored).witness
+}
+
+/// [`shortest_joint_word`] plus the number of product states discovered.
+///
+/// # Panics
+///
+/// Same contract as [`shortest_joint_word`].
+pub fn shortest_joint_word_counted<L: Lang>(
+    nfa: &Nfa,
+    monitor: &L,
+    ignored: &BTreeSet<Symbol>,
+) -> JointSearch {
     assert_eq!(
         **nfa.alphabet(),
         **monitor.alphabet(),
         "joint search over different alphabets"
     );
-    type Node = (StateId, StateId);
-    let mut parent: HashMap<Node, (Node, Option<Symbol>)> = HashMap::new();
+    lang::assert_markers_in_alphabet(ignored, nfa.alphabet());
+    type Node<S> = (StateId, S);
+    type Parents<S> = HashMap<Node<S>, (Node<S>, Option<Symbol>)>;
+    let mut parent: Parents<L::State> = HashMap::new();
     let start = (nfa.start(), monitor.start());
-    let mut deque: VecDeque<Node> = VecDeque::from([start]);
-    let mut visited: BTreeSet<Node> = BTreeSet::from([start]);
+    let mut deque: VecDeque<Node<L::State>> = VecDeque::from([start.clone()]);
+    let mut visited: HashSet<Node<L::State>> = HashSet::from([start]);
     while let Some(node) = deque.pop_front() {
-        let (qn, qd) = node;
-        if nfa.is_accepting(qn) && monitor.is_accepting(qd) {
+        let (qn, ref qm) = node;
+        if nfa.is_accepting(qn) && monitor.is_accepting(qm) {
             let mut word = Vec::new();
             let mut cur = node;
-            while let Some(&(prev, sym)) = parent.get(&cur) {
+            while let Some((prev, sym)) = parent.get(&cur) {
                 if let Some(s) = sym {
-                    word.push(s);
+                    word.push(*s);
                 }
-                cur = prev;
+                cur = prev.clone();
             }
             word.reverse();
-            return Some(word);
+            return JointSearch {
+                witness: Some(word),
+                visited: visited.len(),
+            };
         }
         for &(label, dst) in nfa.edges_from(qn) {
             let (next, consumed, cost_free) = match label {
-                Label::Eps => ((dst, qd), None, true),
-                Label::Sym(s) if ignored.contains(&s) => ((dst, qd), Some(s), false),
-                Label::Sym(s) => ((dst, monitor.step(qd, s)), Some(s), false),
+                Label::Eps => ((dst, qm.clone()), None, true),
+                Label::Sym(s) if ignored.contains(&s) => ((dst, qm.clone()), Some(s), false),
+                Label::Sym(s) => ((dst, monitor.step(qm, s)), Some(s), false),
             };
-            if visited.insert(next) {
-                parent.insert(next, (node, consumed));
+            if visited.insert(next.clone()) {
+                parent.insert(next.clone(), (node.clone(), consumed));
                 // 0-1 BFS: ε-edges keep path length; symbol edges extend it.
                 if cost_free {
                     deque.push_front(next);
@@ -65,7 +119,10 @@ pub fn shortest_joint_word(nfa: &Nfa, monitor: &Dfa, ignored: &BTreeSet<Symbol>)
             }
         }
     }
-    None
+    JointSearch {
+        witness: None,
+        visited: visited.len(),
+    }
 }
 
 /// Checks whether the marker-erased language of `nfa` is included in
@@ -76,12 +133,20 @@ pub fn shortest_joint_word(nfa: &Nfa, monitor: &Dfa, ignored: &BTreeSet<Symbol>)
 /// `π(L(nfa)) ⊆ L(spec)` and, on failure, yields `w ∈ L(nfa)` with
 /// `π(w) ∉ L(spec)`.
 ///
+/// The spec is complemented lazily (acceptance flip on its [`Lang`] view),
+/// so passing an [`NfaView`](crate::lang::NfaView) of the spec automaton
+/// performs the whole check without any subset construction.
+///
 /// # Panics
 ///
-/// Panics if the automata have different alphabets.
-pub fn projected_subset(nfa: &Nfa, spec: &Dfa, markers: &BTreeSet<Symbol>) -> Result<(), Word> {
-    let bad = spec.complement();
-    match shortest_joint_word(nfa, &bad, markers) {
+/// Same contract as [`shortest_joint_word`]: the automata must share one
+/// alphabet and every marker must belong to it.
+pub fn projected_subset<L: Lang>(
+    nfa: &Nfa,
+    spec: &L,
+    markers: &BTreeSet<Symbol>,
+) -> Result<(), Word> {
+    match shortest_joint_word(nfa, &Complement::new(spec), markers) {
         None => Ok(()),
         Some(w) => Err(w),
     }
@@ -103,6 +168,8 @@ pub fn project(word: &[Symbol], keep: &BTreeSet<Symbol>) -> Word {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dfa::Dfa;
+    use crate::lang::NfaView;
     use crate::regex::Regex;
     use crate::symbol::Alphabet;
     use std::sync::Arc;
@@ -167,5 +234,110 @@ mod tests {
         let c = ab.intern("c");
         let keep = BTreeSet::from([a, c]);
         assert_eq!(project(&[a, b, c, b, a], &keep), vec![a, c, a]);
+    }
+
+    #[test]
+    fn lazy_monitor_matches_eager_monitor() {
+        // Same search, one eager Dfa monitor, one lazy NfaView monitor:
+        // identical witnesses, and the lazy side visits no *more* states.
+        let mut ab = Alphabet::new();
+        let m = ab.intern("m");
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let ab = Arc::new(ab);
+        let markers = BTreeSet::from([m]);
+        let model = Nfa::from_regex(
+            &Regex::union(Regex::word(&[m, a, b]), Regex::word(&[m, b, a])),
+            ab.clone(),
+        );
+        let spec_nfa = Nfa::from_regex(&Regex::word(&[a, b]), ab);
+        let spec_dfa = Dfa::from_nfa(&spec_nfa);
+        let eager = projected_subset(&model, &spec_dfa, &markers);
+        let lazy = projected_subset(&model, &NfaView::new(&spec_nfa), &markers);
+        assert_eq!(eager, lazy);
+        assert_eq!(eager.unwrap_err(), vec![m, b, a]);
+    }
+
+    #[test]
+    fn marker_only_traces_need_an_empty_accepting_monitor() {
+        // The model's only word is pure markers: m·m. Its projection is ε,
+        // so inclusion holds iff the spec accepts ε.
+        let mut ab = Alphabet::new();
+        let m = ab.intern("m");
+        let a = ab.intern("a");
+        let ab = Arc::new(ab);
+        let markers = BTreeSet::from([m]);
+        let model = Nfa::from_regex(&Regex::word(&[m, m]), ab.clone());
+
+        // Spec requiring at least one `a`: the marker-only trace violates
+        // it, and the witness preserves the markers.
+        let strict = Dfa::from_nfa(&Nfa::from_regex(&Regex::sym(a), ab.clone()));
+        let witness = projected_subset(&model, &strict, &markers).unwrap_err();
+        assert_eq!(witness, vec![m, m]);
+        assert!(strip_markers(&witness, &markers).is_empty());
+
+        // Spec accepting ε (a*): the same trace conforms.
+        let lenient = Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::sym(a)), ab));
+        assert!(projected_subset(&model, &lenient, &markers).is_ok());
+    }
+
+    #[test]
+    fn empty_alphabet_joint_search() {
+        // Over an empty alphabet the only word is ε; the joint search
+        // reduces to "do both start states accept".
+        let ab = Arc::new(Alphabet::new());
+        let eps = Nfa::from_regex(&Regex::Epsilon, ab.clone());
+        let void = Nfa::from_regex(&Regex::Empty, ab);
+        let accept_eps = Dfa::from_nfa(&eps);
+        assert_eq!(
+            shortest_joint_word(&eps, &accept_eps, &BTreeSet::new()),
+            Some(vec![])
+        );
+        assert_eq!(
+            shortest_joint_word(&void, &accept_eps, &BTreeSet::new()),
+            None
+        );
+        assert!(projected_subset(&void, &accept_eps, &BTreeSet::new()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the shared alphabet")]
+    fn ignored_symbols_must_belong_to_the_alphabet() {
+        // A marker interned into a *different* alphabet is a caller bug:
+        // the search panics instead of silently never matching it.
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let ab = Arc::new(ab);
+        let nfa = Nfa::from_regex(&Regex::sym(a), ab.clone());
+        let monitor = Dfa::from_nfa(&nfa);
+        let mut other = Alphabet::new();
+        other.intern("x");
+        let foreign = other.intern("y"); // index 1, outside `ab` (len 1).
+        let _ = shortest_joint_word(&nfa, &monitor, &BTreeSet::from([foreign]));
+    }
+
+    #[test]
+    #[should_panic(expected = "different alphabets")]
+    fn joint_search_rejects_mismatched_alphabets() {
+        let mut ab1 = Alphabet::new();
+        let a = ab1.intern("a");
+        let nfa = Nfa::from_regex(&Regex::sym(a), Arc::new(ab1));
+        let mut ab2 = Alphabet::new();
+        let b = ab2.intern("b");
+        let monitor = Dfa::from_nfa(&Nfa::from_regex(&Regex::sym(b), Arc::new(ab2)));
+        let _ = shortest_joint_word(&nfa, &monitor, &BTreeSet::new());
+    }
+
+    #[test]
+    fn counted_search_reports_product_states() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let b = ab.intern("b");
+        let ab = Arc::new(ab);
+        let nfa = Nfa::from_regex(&Regex::word(&[a, b]), ab.clone());
+        let monitor = Dfa::from_nfa(&Nfa::from_regex(&Regex::word(&[a, b]), ab));
+        let search = shortest_joint_word_counted(&nfa, &monitor, &BTreeSet::new());
+        assert_eq!(search.witness, Some(vec![a, b]));
+        assert!(search.visited >= 3, "visited {}", search.visited);
     }
 }

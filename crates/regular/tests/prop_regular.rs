@@ -179,6 +179,82 @@ proptest! {
 }
 
 proptest! {
+    /// The lazy language-view engine and the eager DFA algebra produce
+    /// byte-identical answers: same subset verdicts, same witnesses, same
+    /// shortest words, on every generated pair of regexes.
+    #[test]
+    fn lazy_engine_matches_eager_engine(r1 in arb_regex(), r2 in arb_regex()) {
+        use shelley_regular::lang::{self, Complement, NfaView, Product};
+        let ab = alphabet();
+        let n1 = Nfa::from_regex(&r1, ab.clone());
+        let n2 = Nfa::from_regex(&r2, ab.clone());
+        let d1 = Dfa::from_nfa(&n1);
+        let d2 = Dfa::from_nfa(&n2);
+
+        // Subset checks: verdict AND witness must be byte-identical.
+        prop_assert_eq!(
+            lang::subset_of(&NfaView::new(&n1), &NfaView::new(&n2)),
+            d1.subset_of(&d2)
+        );
+
+        // Boolean combinators: shortest accepted word must be identical to
+        // the eager product construction's (both are shortlex-minimal).
+        prop_assert_eq!(
+            lang::shortest_accepted(&Product::intersection(NfaView::new(&n1), NfaView::new(&n2))),
+            d1.intersect(&d2).shortest_accepted()
+        );
+        prop_assert_eq!(
+            lang::shortest_accepted(&Product::union(NfaView::new(&n1), NfaView::new(&n2))),
+            d1.union(&d2).shortest_accepted()
+        );
+        prop_assert_eq!(
+            lang::shortest_accepted(&Product::difference(NfaView::new(&n1), NfaView::new(&n2))),
+            d1.difference(&d2).shortest_accepted()
+        );
+        prop_assert_eq!(
+            lang::shortest_accepted(&Complement::new(NfaView::new(&n1))),
+            d1.complement().shortest_accepted()
+        );
+    }
+
+    /// Materializing the lazy subset view reproduces eager subset
+    /// construction exactly: same state numbering, same table, same
+    /// acceptance — not merely an equivalent automaton.
+    #[test]
+    fn materialize_is_identical_to_subset_construction(r in arb_regex(), w in arb_word()) {
+        use shelley_regular::lang::{self, NfaView};
+        let ab = alphabet();
+        let nfa = Nfa::from_regex(&r, ab.clone());
+        let lazy = lang::materialize(&NfaView::new(&nfa));
+        let eager = Dfa::from_nfa(&nfa);
+        prop_assert_eq!(lazy.num_states(), eager.num_states());
+        prop_assert_eq!(lazy.start(), eager.start());
+        for q in 0..lazy.num_states() {
+            prop_assert_eq!(lazy.is_accepting(q), eager.is_accepting(q));
+            for s in ab.symbols() {
+                prop_assert_eq!(lazy.step(q, s), eager.step(q, s));
+            }
+        }
+        prop_assert_eq!(lazy.accepts(&w), r.matches(&w));
+    }
+
+    /// The lazy shortest-word search on a DFA view returns exactly what
+    /// the DFA's own search returns (both shortlex-minimal, same
+    /// tie-breaking).
+    #[test]
+    fn lazy_shortest_accepted_matches_dfa_search(r in arb_regex()) {
+        use shelley_regular::lang;
+        let ab = alphabet();
+        let nfa = Nfa::from_regex(&r, ab.clone());
+        let dfa = Dfa::from_nfa(&nfa);
+        prop_assert_eq!(lang::shortest_accepted(&dfa), dfa.shortest_accepted());
+        prop_assert_eq!(
+            lang::shortest_accepted(&lang::NfaView::new(&nfa)),
+            dfa.shortest_accepted()
+        );
+        prop_assert_eq!(lang::is_empty(&dfa), dfa.shortest_accepted().is_none());
+    }
+
     /// State elimination recovers the same language.
     #[test]
     fn to_regex_roundtrip(r in arb_regex()) {

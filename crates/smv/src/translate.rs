@@ -14,6 +14,7 @@
 
 use crate::model::{sanitize, EnumVar, SmvModel, TransCase};
 use shelley_ltlf::Formula;
+use shelley_regular::lang::{self, NfaView};
 use shelley_regular::{Dfa, Nfa};
 
 /// The reserved padding event.
@@ -28,7 +29,10 @@ pub const STOP_EVENT: &str = "_stop";
 /// failing witnesses a rejected word, mirroring the regular → ω-regular
 /// encoding.
 pub fn nfa_to_smv(nfa: &Nfa, comment: &str, claims: &[Formula]) -> SmvModel {
-    let dfa = Dfa::from_nfa(nfa).minimize();
+    // Export-grade path: the whole table is needed, so materializing the
+    // lazy subset view (identical state numbering to eager subset
+    // construction) is the intended escape hatch.
+    let dfa = lang::materialize(&NfaView::new(nfa)).minimize();
     dfa_to_smv(&dfa, comment, claims)
 }
 

@@ -1,0 +1,122 @@
+//! `langbench` — machine-readable summary of the lazy-vs-eager language
+//! engine separation.
+//!
+//! Runs the `lang_views` adversarial workload (claim `F a0 & ... & F a{n-1}`
+//! against the model `a0*`, negated monitor ~2^n states) at a sweep of
+//! sizes, measures both engines, and writes `BENCH_lang.json` next to the
+//! workspace root (or to the path given as the first argument). The JSON is
+//! hand-rolled — the workspace is offline and carries no serde.
+//!
+//! Run with `cargo run -p langbench --release`.
+
+use shelley_bench::adversarial_claim;
+use shelley_ltlf::{check_claim, to_dfa, MonitorView};
+use shelley_regular::ops;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured size of the adversarial workload.
+struct Row {
+    n: usize,
+    lazy_visited: usize,
+    eager_states: usize,
+    lazy_ns: u128,
+    eager_ns: u128,
+}
+
+/// Median-of-`reps` wall time of `f`, in nanoseconds.
+fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn measure(n: usize) -> Row {
+    let (ab, claim, model) = adversarial_claim(n);
+    let markers = BTreeSet::new();
+    let bad = claim.negate();
+
+    let lazy_visited =
+        ops::shortest_joint_word_counted(&model, &MonitorView::new(&bad, ab.clone()), &markers)
+            .visited;
+    let eager_states = to_dfa(&bad, ab.clone()).num_states();
+
+    let reps = if n >= 12 { 5 } else { 20 };
+    let lazy_ns = time(reps, || {
+        assert!(!check_claim(&model, &claim, &markers).holds());
+    });
+    let eager_ns = time(reps, || {
+        let monitor = to_dfa(&bad, ab.clone());
+        ops::shortest_joint_word(&model, &monitor, &markers).expect("claim is violated")
+    });
+
+    Row {
+        n,
+        lazy_visited,
+        eager_states,
+        lazy_ns,
+        eager_ns,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_lang.json".to_owned());
+
+    let rows: Vec<Row> = [4, 6, 8, 10, 12].into_iter().map(measure).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"lang_views\",\n");
+    json.push_str(
+        "  \"workload\": \"claim F a0 & ... & F a{n-1} vs model a0* (negated monitor ~2^n states)\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.eager_ns as f64 / r.lazy_ns.max(1) as f64;
+        let ratio = r.lazy_visited as f64 / r.eager_states.max(1) as f64;
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"lazy_visited_states\": {}, \"eager_monitor_states\": {}, \
+             \"state_ratio\": {:.4}, \"lazy_ns\": {}, \"eager_ns\": {}, \"speedup\": {:.1}}}",
+            r.n, r.lazy_visited, r.eager_states, ratio, r.lazy_ns, r.eager_ns, speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    // The acceptance gate, checked at the largest size: the lazy engine
+    // visits ≤ 10% of the eager monitor's states and is ≥ 5× faster.
+    let last = rows.last().expect("nonempty sweep");
+    let gate_states = last.lazy_visited * 10 <= last.eager_states;
+    let gate_time = last.eager_ns >= 5 * last.lazy_ns;
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"n\": {}, \"lazy_visits_at_most_10pct\": {}, \"lazy_at_least_5x_faster\": {}}}",
+        last.n, gate_states, gate_time
+    );
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    assert!(
+        gate_states && gate_time,
+        "separation gate failed at n={}: visited {}/{} states, {} ns lazy vs {} ns eager",
+        last.n,
+        last.lazy_visited,
+        last.eager_states,
+        last.lazy_ns,
+        last.eager_ns
+    );
+}

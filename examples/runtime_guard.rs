@@ -1,6 +1,6 @@
 //! Static + dynamic enforcement from one model.
 //!
-//! Shelley's extracted model serves twice: `check_source` verifies code
+//! Shelley's extracted model serves twice: `Checker::check_source` verifies code
 //! *statically*, and `shelley-runtime`'s monitor enforces the same protocol
 //! *dynamically*. This example runs a correct controller and a buggy
 //! controller against a monitored valve: the correct one completes its

@@ -59,8 +59,6 @@ pub use shelley_regular as regular;
 pub use shelley_runtime as runtime;
 pub use shelley_smv as smv;
 
-#[allow(deprecated)]
-pub use shelley_core::check_source;
 pub use shelley_core::{
     build_integration, build_systems, CheckError, CheckReport, Checked, Checker, ClaimViolation,
     System, SystemSet, UsageViolation, Workspace, WorkspaceStats,
