@@ -19,4 +19,7 @@ cargo test --workspace -q
 echo "==> benches compile"
 cargo bench --workspace --no-run -q
 
+echo "==> langbench builds (release)"
+cargo build -p langbench --release -q
+
 echo "CI OK"

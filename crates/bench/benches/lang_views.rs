@@ -12,10 +12,29 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use shelley_bench::adversarial_claim;
 use shelley_ltlf::{check_claim, to_dfa, MonitorView};
-use shelley_regular::ops;
+use shelley_regular::lang::{self, NfaView, NfaViewRef};
+use shelley_regular::{ops, Alphabet, Dfa, Nfa, Regex, Symbol};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 const N: usize = 12;
+
+/// `(a+b)* ; a ; (a+b)^(n-1)`: minimal DFA has 2^n states, so subset
+/// construction and exhaustive inclusion searches pay the full exponential
+/// subset space — the stress test for the per-subset constant factor that
+/// the `StateSet`/`CompiledNfa` bitset engine attacks.
+fn exponential_nfa(n: usize) -> (Arc<Alphabet>, Nfa) {
+    let mut ab = Alphabet::new();
+    let a = ab.intern("a");
+    let b = ab.intern("b");
+    let ab = Arc::new(ab);
+    let sigma = Regex::union(Regex::sym(a), Regex::sym(b));
+    let mut re = Regex::concat(Regex::star(sigma.clone()), Regex::sym(a));
+    for _ in 1..n {
+        re = Regex::concat(re, sigma.clone());
+    }
+    (ab.clone(), Nfa::from_regex(&re, ab))
+}
 
 fn bench_lang_views(c: &mut Criterion) {
     let (ab, claim, model) = adversarial_claim(N);
@@ -51,5 +70,50 @@ fn bench_lang_views(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lang_views);
+/// The bitset state engine vs the retained `BTreeSet` reference engine on
+/// the two hot paths it exists for: subset construction and the exhaustive
+/// joint 0-1 BFS. `devtools/langbench` runs the same workloads across a
+/// sweep of `n` and gates ≥ 2× at n ≥ 10 into `BENCH_perf.json`; here we
+/// pin equivalence once and let Criterion time the n = 10 point.
+fn bench_state_engine(c: &mut Criterion) {
+    const EXP_N: usize = 10;
+    let (ab, spec) = exponential_nfa(EXP_N);
+
+    // The engines must be indistinguishable before they are comparable:
+    // identical DFA tables under identical state numbering.
+    let bitset_dfa = Dfa::from_nfa(&spec);
+    let reference_dfa = lang::materialize(&NfaViewRef::new(&spec));
+    assert_eq!(bitset_dfa.num_states(), reference_dfa.num_states());
+
+    // Model `a ; (a+b)^(n-1)` is included in the spec, so the inclusion
+    // search exhausts the reachable product on both engines.
+    let a = Symbol::from_index(0);
+    let b = Symbol::from_index(1);
+    let sigma = Regex::union(Regex::sym(a), Regex::sym(b));
+    let mut model_re = Regex::sym(a);
+    for _ in 1..EXP_N {
+        model_re = Regex::concat(model_re, sigma.clone());
+    }
+    let model = Nfa::from_regex(&model_re, ab);
+    let markers = BTreeSet::new();
+    assert!(ops::projected_subset(&model, &NfaView::new(&spec), &markers).is_ok());
+
+    let mut group = c.benchmark_group("state_engine");
+    group.sample_size(10);
+    group.bench_function("subset_construction/bitset", |bench| {
+        bench.iter(|| Dfa::from_nfa(&spec).num_states())
+    });
+    group.bench_function("subset_construction/reference", |bench| {
+        bench.iter(|| lang::materialize(&NfaViewRef::new(&spec)).num_states())
+    });
+    group.bench_function("joint_bfs/bitset", |bench| {
+        bench.iter(|| ops::projected_subset(&model, &NfaView::new(&spec), &markers).is_ok())
+    });
+    group.bench_function("joint_bfs/reference", |bench| {
+        bench.iter(|| ops::projected_subset(&model, &NfaViewRef::new(&spec), &markers).is_ok())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lang_views, bench_state_engine);
 criterion_main!(benches);

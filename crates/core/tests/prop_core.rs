@@ -228,6 +228,15 @@ proptest! {
             &invisible,
         );
         prop_assert_eq!(&lazy, &eager, "engines disagree on:\n{}", src);
+        // Third engine: the retained `BTreeSet` reference view. The lazy
+        // path above runs on the bitset `StateSet` engine; both must
+        // produce byte-identical verdicts and counterexamples.
+        let reference = ops::projected_subset(
+            &integration.nfa,
+            &shelley_regular::lang::NfaViewRef::new(auto.nfa()),
+            &invisible,
+        );
+        prop_assert_eq!(&lazy, &reference, "bitset vs reference on:\n{}", src);
         // The pipeline's own verdict matches the dual-engine result.
         prop_assert_eq!(
             checked.report.usage_violations.is_empty(),

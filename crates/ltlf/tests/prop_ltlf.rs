@@ -196,6 +196,33 @@ proptest! {
         prop_assert_eq!(check_claim_dfa(&dfa_model, &f), eager_dfa);
     }
 
+    /// The bitset engine underneath the ltlf pipeline is invisible: claim
+    /// checks against a model determinized on the bitset subset
+    /// construction and against the same model determinized on the
+    /// `BTreeSet` reference engine return byte-identical outcomes,
+    /// counterexample traces included.
+    #[test]
+    fn claim_checks_agree_across_state_engines(
+        f in arb_formula(),
+        w1 in arb_word(),
+        w2 in arb_word()
+    ) {
+        use shelley_ltlf::check_claim_dfa;
+        use shelley_regular::lang::{self, NfaViewRef};
+        use shelley_regular::{Dfa, Nfa, Regex};
+        let ab = alphabet();
+        let model_re = Regex::union(Regex::word(&w1), Regex::word(&w2));
+        let model = Nfa::from_regex(&model_re, ab);
+        // Bitset subset construction vs the reference `BTreeSet` engine:
+        // identical numbering makes downstream products step identically.
+        let bitset_model = Dfa::from_nfa(&model);
+        let reference_model = lang::materialize(&NfaViewRef::new(&model));
+        prop_assert_eq!(
+            check_claim_dfa(&bitset_model, &f),
+            check_claim_dfa(&reference_model, &f)
+        );
+    }
+
     /// Simplification preserves the language exactly.
     #[test]
     fn simplify_preserves_semantics(f in arb_formula(), w in arb_word()) {

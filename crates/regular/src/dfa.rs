@@ -5,9 +5,11 @@
 //! (intersection/union), emptiness with shortest witnesses, inclusion, and
 //! equivalence.
 
-use crate::nfa::{Label, Nfa, StateId};
+use crate::compiled::CompiledNfa;
+use crate::nfa::{Nfa, StateId};
+use crate::stateset::StateSet;
 use crate::symbol::{Alphabet, Symbol, Word};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// A complete deterministic finite automaton.
@@ -40,67 +42,67 @@ pub struct Dfa {
 
 impl Dfa {
     /// Determinizes `nfa` by subset construction.
+    ///
+    /// Compiles the NFA's ε-closures and successor tables once, then runs
+    /// the construction on [`StateSet`] bitset subsets (see
+    /// [`Dfa::from_compiled`]). State numbering is BFS discovery order with
+    /// symbols scanned in dense index order — identical to the historical
+    /// `BTreeSet`-based construction and to materializing an
+    /// [`NfaView`](crate::lang::NfaView); the differential property suite
+    /// pins all three byte-for-byte.
     pub fn from_nfa(nfa: &Nfa) -> Dfa {
-        let alphabet = nfa.alphabet().clone();
-        let nsyms = alphabet.len();
-        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+        Dfa::from_compiled(&CompiledNfa::compile(nfa))
+    }
 
-        let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
+    /// Subset construction over an already-[compiled](CompiledNfa::compile)
+    /// NFA.
+    ///
+    /// The interning index is keyed by [`StateSet`] (hash over raw bitset
+    /// blocks); each step unions precomputed ε-closures into a scratch set,
+    /// so the hot loop allocates only when a genuinely new subset is
+    /// discovered and needs to be retained as a key.
+    pub fn from_compiled(compiled: &CompiledNfa) -> Dfa {
+        let alphabet = compiled.alphabet().clone();
+        let nsyms = alphabet.len();
+
+        let mut index: HashMap<StateSet, StateId> = HashMap::new();
         let mut table: Vec<Vec<StateId>> = Vec::new();
         let mut accepting: Vec<bool> = Vec::new();
-        let mut sets: Vec<BTreeSet<StateId>> = Vec::new();
+        let mut sets: Vec<StateSet> = Vec::new();
 
-        let intern = |set: BTreeSet<StateId>,
-                      table: &mut Vec<Vec<StateId>>,
-                      accepting: &mut Vec<bool>,
-                      sets: &mut Vec<BTreeSet<StateId>>,
-                      index: &mut HashMap<BTreeSet<StateId>, StateId>|
-         -> StateId {
-            if let Some(&q) = index.get(&set) {
-                return q;
-            }
-            let q = table.len();
-            table.push(vec![usize::MAX; nsyms]);
-            accepting.push(set.iter().any(|&s| nfa.is_accepting(s)));
-            index.insert(set.clone(), q);
-            sets.push(set);
-            q
-        };
+        let start_set = compiled.start_set();
+        index.insert(start_set.clone(), 0);
+        table.push(vec![usize::MAX; nsyms]);
+        accepting.push(compiled.is_accepting(&start_set));
+        sets.push(start_set);
 
-        let start = intern(start_set, &mut table, &mut accepting, &mut sets, &mut index);
-        let mut queue = VecDeque::from([start]);
-        let mut done = vec![false; 1];
+        let mut scratch = compiled.empty_set();
+        let mut queue = VecDeque::from([0usize]);
         while let Some(q) = queue.pop_front() {
-            if done[q] {
-                continue;
-            }
-            done[q] = true;
-            let current = sets[q].clone();
             for sym_idx in 0..nsyms {
                 let sym = Symbol::from_index(sym_idx);
-                let mut next = BTreeSet::new();
-                for &s in &current {
-                    for &(label, dst) in nfa.edges_from(s) {
-                        if label == Label::Sym(sym) {
-                            next.insert(dst);
-                        }
+                // `sets` only grows, so the clone-free borrow dance: step
+                // from the stored subset into the scratch set, then intern.
+                compiled.step_into(&sets[q], sym, &mut scratch);
+                let dst = match index.get(&scratch) {
+                    Some(&d) => d,
+                    None => {
+                        let d = table.len();
+                        table.push(vec![usize::MAX; nsyms]);
+                        accepting.push(compiled.is_accepting(&scratch));
+                        index.insert(scratch.clone(), d);
+                        sets.push(scratch.clone());
+                        queue.push_back(d);
+                        d
                     }
-                }
-                let closed = nfa.epsilon_closure(&next);
-                let dst = intern(closed, &mut table, &mut accepting, &mut sets, &mut index);
+                };
                 table[q][sym_idx] = dst;
-                if dst >= done.len() {
-                    done.resize(dst + 1, false);
-                }
-                if !done[dst] {
-                    queue.push_back(dst);
-                }
             }
         }
         Dfa {
             alphabet,
             table,
-            start,
+            start: 0,
             accepting,
         }
     }

@@ -42,8 +42,10 @@
 //! # let _ = (Complement::new(NfaView::new(&spec)), Product::intersection(NfaView::new(&spec), NfaView::new(&spec)));
 //! ```
 
+use crate::compiled::CompiledNfa;
 use crate::dfa::Dfa;
 use crate::nfa::{Label, Nfa, StateId};
+use crate::stateset::StateSet;
 use crate::symbol::{Alphabet, Symbol, Word};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::hash::Hash;
@@ -119,28 +121,90 @@ impl Lang for Dfa {
     }
 }
 
-/// On-the-fly determinization of an [`Nfa`].
+/// On-the-fly determinization of an [`Nfa`], on the bitset engine.
 ///
-/// States are ε-closed subsets of NFA states; [`step`](Lang::step) performs
-/// one symbol move plus ε-closure. No subset construction happens up front:
+/// States are ε-closed subsets of NFA states as [`StateSet`] bitsets;
+/// [`step`](Lang::step) performs one symbol move plus ε-closure by unioning
+/// the [`CompiledNfa`]'s precomputed per-state closures — no `BTreeSet`
+/// allocation, no ε-edge walk. No subset construction happens up front:
 /// only the subsets actually reached by a search are ever built, which is
 /// the whole point — [`Dfa::from_nfa`] enumerates all of them eagerly.
 ///
-/// [`materialize`]d, this view yields a [`Dfa`] identical (states and
-/// numbering included) to `Dfa::from_nfa` on the same NFA.
-#[derive(Debug, Clone, Copy)]
+/// Construction compiles the NFA once (ε-closures + CSR successor table);
+/// the view is cheap to clone afterwards. [`materialize`]d, this view
+/// yields a [`Dfa`] identical (states and numbering included) to
+/// `Dfa::from_nfa` on the same NFA. The retired `BTreeSet` representation
+/// survives as [`NfaViewRef`], the reference engine differential tests pin
+/// this one against.
+#[derive(Debug, Clone)]
 pub struct NfaView<'a> {
     nfa: &'a Nfa,
+    compiled: Arc<CompiledNfa>,
 }
 
 impl<'a> NfaView<'a> {
-    /// Wraps `nfa` without determinizing it.
+    /// Wraps `nfa`, compiling its ε-closure and successor tables once.
     pub fn new(nfa: &'a Nfa) -> Self {
-        NfaView { nfa }
+        NfaView {
+            nfa,
+            compiled: Arc::new(CompiledNfa::compile(nfa)),
+        }
+    }
+
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &'a Nfa {
+        self.nfa
+    }
+
+    /// The compiled tables the view steps over.
+    pub fn compiled(&self) -> &CompiledNfa {
+        &self.compiled
     }
 }
 
 impl Lang for NfaView<'_> {
+    type State = StateSet;
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        self.nfa.alphabet()
+    }
+
+    fn start(&self) -> Self::State {
+        self.compiled.start_set()
+    }
+
+    fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
+        self.compiled.step(state, symbol)
+    }
+
+    fn is_accepting(&self, state: &Self::State) -> bool {
+        self.compiled.is_accepting(state)
+    }
+}
+
+/// The retired `BTreeSet`-based determinization view, kept as the slow
+/// reference engine.
+///
+/// Semantics are identical to [`NfaView`]: states are ε-closed subsets,
+/// stepping is one symbol move plus [`Nfa::epsilon_closure`]. The only
+/// difference is the representation — one heap node per set element and a
+/// fresh ε-edge walk per step — which is exactly why it exists: the
+/// differential property suites materialize and search both engines and
+/// assert byte-identical automata, witnesses, and state numbering. Use
+/// [`NfaView`] everywhere else.
+#[derive(Debug, Clone, Copy)]
+pub struct NfaViewRef<'a> {
+    nfa: &'a Nfa,
+}
+
+impl<'a> NfaViewRef<'a> {
+    /// Wraps `nfa` without determinizing or compiling it.
+    pub fn new(nfa: &'a Nfa) -> Self {
+        NfaViewRef { nfa }
+    }
+}
+
+impl Lang for NfaViewRef<'_> {
     type State = BTreeSet<StateId>;
 
     fn alphabet(&self) -> &Arc<Alphabet> {

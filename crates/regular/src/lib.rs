@@ -18,6 +18,10 @@
 //! * [`Nfa`] — ε-NFAs with Thompson compilation, a builder for
 //!   specification graphs, projection by symbol erasure, shortest-word
 //!   search.
+//! * [`StateSet`] / [`CompiledNfa`] — the bitset state engine: dense
+//!   `u64`-block subsets plus once-per-NFA compiled ε-closures and CSR
+//!   successor tables, powering allocation-free determinized stepping in
+//!   every hot path below.
 //! * [`Dfa`] — complete DFAs with subset construction, boolean algebra,
 //!   inclusion/equivalence with shortest counterexamples,
 //!   [Hopcroft minimization](Dfa::minimize), shortlex
@@ -54,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod derivative;
 mod dfa;
 mod dot;
@@ -64,11 +69,14 @@ mod nfa;
 pub mod ops;
 mod parser;
 mod regex;
+mod stateset;
 mod symbol;
 mod to_regex;
 
+pub use compiled::CompiledNfa;
 pub use dfa::Dfa;
 pub use nfa::{Label, Nfa, NfaBuilder, StateId};
 pub use parser::{parse_regex, ParseRegexError};
 pub use regex::{DisplayRegex, Regex};
+pub use stateset::StateSet;
 pub use symbol::{Alphabet, Symbol, Word};

@@ -6,7 +6,7 @@
 use crate::dfa::Dfa;
 use crate::nfa::StateId;
 use crate::symbol::Symbol;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 impl Dfa {
     /// Returns the unique (up to isomorphism) minimal DFA for this language,
@@ -77,8 +77,11 @@ impl Dfa {
             if x.is_empty() {
                 continue;
             }
-            // Split every block B into B∩X and B\X.
-            let affected: HashSet<usize> = x.iter().map(|&q| partition[q]).collect();
+            // Split every block B into B∩X and B\X. Iterate the affected
+            // blocks in sorted order: new block ids are assigned during this
+            // loop, so an unordered (HashSet) iteration made minimized-DFA
+            // state numbering vary run to run.
+            let affected: BTreeSet<usize> = x.iter().map(|&q| partition[q]).collect();
             for b in affected {
                 let inside: Vec<usize> = blocks[b]
                     .iter()
@@ -264,6 +267,41 @@ mod tests {
         let r = Regex::star(Regex::word(&[a, a]));
         let min = dfa_of(&r, ab).minimize();
         assert_eq!(min.num_states(), 3);
+    }
+
+    #[test]
+    fn minimization_is_deterministic_run_to_run() {
+        // Regression: Hopcroft used to iterate affected blocks through a
+        // HashSet, so the minimized DFA's state numbering depended on hash
+        // iteration order. Two HashSets with equal contents hash-iterate
+        // differently even within one process, so minimizing the same DFA
+        // repeatedly genuinely exercises the old bug.
+        let (ab, a, b) = ab2();
+        // Enough states to produce several refinement splits.
+        let r = Regex::union(
+            Regex::concat(
+                Regex::star(Regex::union(Regex::sym(a), Regex::sym(b))),
+                Regex::word(&[a, b, a, a]),
+            ),
+            Regex::star(Regex::word(&[b, b, a])),
+        );
+        let dfa = dfa_of(&r, ab.clone());
+        let first = dfa.minimize();
+        for round in 0..8 {
+            let again = dfa.minimize();
+            assert_eq!(again.num_states(), first.num_states(), "round {round}");
+            assert_eq!(again.start(), first.start(), "round {round}");
+            for q in 0..first.num_states() {
+                assert_eq!(again.is_accepting(q), first.is_accepting(q));
+                for s in ab.symbols() {
+                    assert_eq!(
+                        again.step(q, s),
+                        first.step(q, s),
+                        "state {q} round {round}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

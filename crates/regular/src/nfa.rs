@@ -98,6 +98,17 @@ impl Nfa {
     }
 
     /// ε-closure of a set of states (returned sorted and deduplicated).
+    ///
+    /// This is the **slow reference path**: it re-walks ε-edges on every
+    /// call and allocates a fresh `BTreeSet`. The hot paths — subset
+    /// construction, [`NfaView`](crate::lang::NfaView) stepping, the joint
+    /// searches — all run on [`CompiledNfa`](crate::CompiledNfa)'s
+    /// precomputed per-state closures instead. It is kept (rather than
+    /// removed in the bitset migration) as the obviously-correct oracle
+    /// behind [`NfaViewRef`](crate::lang::NfaViewRef) and the differential
+    /// property suites, and for one-shot membership tests like
+    /// [`accepts`](Self::accepts) where compiling first would cost more
+    /// than it saves.
     pub fn epsilon_closure(&self, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
         let mut closure = states.clone();
         let mut queue: VecDeque<StateId> = states.iter().copied().collect();

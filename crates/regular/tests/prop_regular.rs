@@ -178,6 +178,164 @@ proptest! {
     }
 }
 
+/// One mutation of a [`shelley_regular::StateSet`] under test against its
+/// `BTreeSet<usize>` model.
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(usize),
+    UnionPrepared(Vec<usize>),
+    Clear,
+}
+
+fn arb_set_op(capacity: usize) -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        4 => (0..capacity).prop_map(SetOp::Insert),
+        2 => proptest::collection::vec(0..capacity, 0..8).prop_map(SetOp::UnionPrepared),
+        1 => Just(SetOp::Clear),
+    ]
+}
+
+fn hash_of(value: &impl std::hash::Hash) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// `StateSet` agrees with a `BTreeSet<usize>` model under every
+    /// interleaving of insert/union/clear: same membership, same ascending
+    /// iteration order, same emptiness and length, and Eq/Hash consistent
+    /// with set equality.
+    #[test]
+    fn stateset_matches_btreeset_model(
+        capacity in 1usize..200,
+        ops in proptest::collection::vec(arb_set_op(199), 0..40)
+    ) {
+        use shelley_regular::StateSet;
+        use std::collections::BTreeSet;
+        let mut set = StateSet::new(capacity);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(q) => {
+                    let q = q % capacity;
+                    prop_assert_eq!(set.insert(q), model.insert(q));
+                }
+                SetOp::UnionPrepared(items) => {
+                    let mut other = StateSet::new(capacity);
+                    for q in items {
+                        let q = q % capacity;
+                        other.insert(q);
+                        model.insert(q);
+                    }
+                    prop_assert_eq!(
+                        set.intersects(&other),
+                        other.iter().any(|q| set.contains(q))
+                    );
+                    set.union_with(&other);
+                }
+                SetOp::Clear => {
+                    set.clear();
+                    model.clear();
+                }
+            }
+            // Iteration order, length, membership, emptiness.
+            let elements: Vec<usize> = set.iter().collect();
+            let expected: Vec<usize> = model.iter().copied().collect();
+            prop_assert_eq!(&elements, &expected);
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+            for q in 0..capacity {
+                prop_assert_eq!(set.contains(q), model.contains(&q));
+            }
+            // Eq/Hash consistency: rebuilding the same contents in a
+            // different order yields an equal set with an equal hash.
+            let mut rebuilt = StateSet::new(capacity);
+            for &q in model.iter().rev() {
+                rebuilt.insert(q);
+            }
+            prop_assert_eq!(&rebuilt, &set);
+            prop_assert_eq!(hash_of(&rebuilt), hash_of(&set));
+        }
+    }
+
+    /// The bitset engine ([`NfaView`] over `CompiledNfa`) and the retained
+    /// `BTreeSet` reference engine ([`NfaViewRef`]) are byte-identical:
+    /// same subset verdicts and witnesses, same shortest words, and the
+    /// same materialized automaton — state numbering included — which also
+    /// pins `Dfa::from_nfa`'s bitset subset construction to the historical
+    /// numbering.
+    #[test]
+    fn bitset_engine_matches_reference_engine(r1 in arb_regex(), r2 in arb_regex()) {
+        use shelley_regular::lang::{self, NfaView, NfaViewRef, Product};
+        let ab = alphabet();
+        let n1 = Nfa::from_regex(&r1, ab.clone());
+        let n2 = Nfa::from_regex(&r2, ab.clone());
+
+        // Verdicts and witnesses.
+        prop_assert_eq!(
+            lang::subset_of(&NfaView::new(&n1), &NfaView::new(&n2)),
+            lang::subset_of(&NfaViewRef::new(&n1), &NfaViewRef::new(&n2))
+        );
+        prop_assert_eq!(
+            lang::shortest_accepted(&NfaView::new(&n1)),
+            lang::shortest_accepted(&NfaViewRef::new(&n1))
+        );
+        prop_assert_eq!(
+            lang::shortest_accepted(&Product::difference(NfaView::new(&n1), NfaView::new(&n2))),
+            lang::shortest_accepted(&Product::difference(
+                NfaViewRef::new(&n1),
+                NfaViewRef::new(&n2)
+            ))
+        );
+
+        // Materialization: identical tables, numbering, acceptance; and
+        // `from_nfa` (bitset construction) matches both.
+        let bitset = lang::materialize(&NfaView::new(&n1));
+        let reference = lang::materialize(&NfaViewRef::new(&n1));
+        let direct = Dfa::from_nfa(&n1);
+        prop_assert_eq!(bitset.num_states(), reference.num_states());
+        prop_assert_eq!(bitset.start(), reference.start());
+        prop_assert_eq!(direct.num_states(), reference.num_states());
+        prop_assert_eq!(direct.start(), reference.start());
+        for q in 0..reference.num_states() {
+            prop_assert_eq!(bitset.is_accepting(q), reference.is_accepting(q));
+            prop_assert_eq!(direct.is_accepting(q), reference.is_accepting(q));
+            for s in ab.symbols() {
+                prop_assert_eq!(bitset.step(q, s), reference.step(q, s));
+                prop_assert_eq!(direct.step(q, s), reference.step(q, s));
+            }
+        }
+    }
+
+    /// Marker-aware joint search (the generic 0-1 BFS of `ops`) returns
+    /// identical witnesses whether the monitor runs on the bitset engine or
+    /// the `BTreeSet` reference engine.
+    #[test]
+    fn joint_search_agrees_across_engines(
+        r1 in arb_regex(),
+        r2 in arb_regex(),
+        marker in 0..NSYMS
+    ) {
+        use shelley_regular::lang::{NfaView, NfaViewRef};
+        use shelley_regular::ops;
+        use std::collections::BTreeSet;
+        let ab = alphabet();
+        let model = Nfa::from_regex(&r1, ab.clone());
+        let spec = Nfa::from_regex(&r2, ab);
+        let markers = BTreeSet::from([Symbol::from_index(marker)]);
+        prop_assert_eq!(
+            ops::shortest_joint_word(&model, &NfaView::new(&spec), &markers),
+            ops::shortest_joint_word(&model, &NfaViewRef::new(&spec), &markers)
+        );
+        prop_assert_eq!(
+            ops::projected_subset(&model, &NfaView::new(&spec), &markers),
+            ops::projected_subset(&model, &NfaViewRef::new(&spec), &markers)
+        );
+    }
+}
+
 proptest! {
     /// The lazy language-view engine and the eager DFA algebra produce
     /// byte-identical answers: same subset verdicts, same witnesses, same

@@ -1,29 +1,31 @@
-//! `langbench` — machine-readable summary of the lazy-vs-eager language
-//! engine separation.
+//! `langbench` — machine-readable summaries of the language-engine
+//! performance story.
 //!
-//! Runs the `lang_views` adversarial workload (claim `F a0 & ... & F a{n-1}`
-//! against the model `a0*`, negated monitor ~2^n states) at a sweep of
-//! sizes, measures both engines, and writes `BENCH_lang.json` next to the
-//! workspace root (or to the path given as the first argument). The JSON is
-//! hand-rolled — the workspace is offline and carries no serde.
+//! Two artifacts, written next to the workspace root:
 //!
-//! Run with `cargo run -p langbench --release`.
+//! * `BENCH_lang.json` — the lazy-vs-eager separation: the `lang_views`
+//!   adversarial workload (claim `F a0 & ... & F a{n-1}` against the model
+//!   `a0*`, negated monitor ~2^n states) at a sweep of sizes, measured on
+//!   both engines.
+//! * `BENCH_perf.json` — the bitset-vs-`BTreeSet` state-engine trajectory:
+//!   subset construction and exhaustive joint BFS on an exponential-DFA
+//!   family, each timed on the `StateSet`/`CompiledNfa` engine and the
+//!   retained reference engine, plus Hopcroft-vs-Moore minimization. Each
+//!   row records size, wall-ns, states visited, and peak subset size so
+//!   later PRs can prove regressions or improvements against it.
+//!
+//! The JSON is hand-rolled — the workspace is offline and carries no serde.
+//!
+//! Run with `cargo run -p langbench --release [LANG_OUT [PERF_OUT]]`.
 
 use shelley_bench::adversarial_claim;
 use shelley_ltlf::{check_claim, to_dfa, MonitorView};
-use shelley_regular::ops;
-use std::collections::BTreeSet;
+use shelley_regular::lang::{self, Complement, Lang, NfaView, NfaViewRef};
+use shelley_regular::{ops, Alphabet, Dfa, Nfa, Regex, Symbol};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
-
-/// One measured size of the adversarial workload.
-struct Row {
-    n: usize,
-    lazy_visited: usize,
-    eager_states: usize,
-    lazy_ns: u128,
-    eager_ns: u128,
-}
 
 /// Median-of-`reps` wall time of `f`, in nanoseconds.
 fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> u128 {
@@ -38,7 +40,19 @@ fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> u128 {
     samples[samples.len() / 2]
 }
 
-fn measure(n: usize) -> Row {
+// ---------------------------------------------------------------------------
+// BENCH_lang.json: lazy vs eager claim checking (unchanged workload).
+
+/// One measured size of the adversarial claim workload.
+struct LangRow {
+    n: usize,
+    lazy_visited: usize,
+    eager_states: usize,
+    lazy_ns: u128,
+    eager_ns: u128,
+}
+
+fn measure_lang(n: usize) -> LangRow {
     let (ab, claim, model) = adversarial_claim(n);
     let markers = BTreeSet::new();
     let bad = claim.negate();
@@ -57,7 +71,7 @@ fn measure(n: usize) -> Row {
         ops::shortest_joint_word(&model, &monitor, &markers).expect("claim is violated")
     });
 
-    Row {
+    LangRow {
         n,
         lazy_visited,
         eager_states,
@@ -66,12 +80,8 @@ fn measure(n: usize) -> Row {
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_lang.json".to_owned());
-
-    let rows: Vec<Row> = [4, 6, 8, 10, 12].into_iter().map(measure).collect();
+fn lang_report() -> (String, bool) {
+    let rows: Vec<LangRow> = [4, 6, 8, 10, 12].into_iter().map(measure_lang).collect();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -104,19 +114,278 @@ fn main() {
         last.n, gate_states, gate_time
     );
     json.push_str("}\n");
+    (json, gate_states && gate_time)
+}
 
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {e}");
+// ---------------------------------------------------------------------------
+// BENCH_perf.json: bitset state engine vs BTreeSet reference engine.
+
+/// `(a+b)* ; a ; (a+b)^(n-1)` — the classic family whose minimal DFA has
+/// 2^n states ("the n-th symbol from the end is `a`"). Subset construction
+/// pays the full exponential price, which is exactly what makes it the
+/// right stress test for the per-subset constant factor.
+fn exponential_nfa(n: usize) -> (Arc<Alphabet>, Nfa) {
+    let mut ab = Alphabet::new();
+    let a = ab.intern("a");
+    let b = ab.intern("b");
+    let ab = Arc::new(ab);
+    let sigma = Regex::union(Regex::sym(a), Regex::sym(b));
+    let mut re = Regex::concat(Regex::star(sigma.clone()), Regex::sym(a));
+    for _ in 1..n {
+        re = Regex::concat(re, sigma.clone());
+    }
+    (ab.clone(), Nfa::from_regex(&re, ab))
+}
+
+/// A model whose language (`a ; (a+b)^(n-1)`) is included in the
+/// exponential spec, so the joint inclusion search must exhaust the whole
+/// reachable product instead of stopping at an early witness.
+fn included_model(n: usize, ab: Arc<Alphabet>) -> Nfa {
+    let a = Symbol::from_index(0);
+    let b = Symbol::from_index(1);
+    let sigma = Regex::union(Regex::sym(a), Regex::sym(b));
+    let mut re = Regex::sym(a);
+    for _ in 1..n {
+        re = Regex::concat(re, sigma.clone());
+    }
+    Nfa::from_regex(&re, ab)
+}
+
+/// Explores every reachable state of `view` (BFS, dense symbol order) and
+/// returns `(states discovered, peak subset size)`.
+fn explore_subsets(view: &NfaView<'_>) -> (usize, usize) {
+    let nsyms = view.alphabet().len();
+    let start = view.start();
+    let mut peak = start.len();
+    let mut seen: HashSet<<NfaView<'_> as Lang>::State> = HashSet::from([start.clone()]);
+    let mut queue = VecDeque::from([start]);
+    while let Some(state) = queue.pop_front() {
+        for s in 0..nsyms {
+            let next = view.step(&state, Symbol::from_index(s));
+            peak = peak.max(next.len());
+            if !seen.contains(&next) {
+                seen.insert(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    (seen.len(), peak)
+}
+
+struct PerfRow {
+    n: usize,
+    /// States visited by the measured traversal (DFA states for subset
+    /// construction, product states for the joint BFS, input states for
+    /// minimization).
+    visited: usize,
+    /// Largest NFA-subset cardinality the traversal ever held.
+    peak_subset: usize,
+    fast_ns: u128,
+    slow_ns: u128,
+}
+
+impl PerfRow {
+    fn speedup(&self) -> f64 {
+        self.slow_ns as f64 / self.fast_ns.max(1) as f64
+    }
+}
+
+fn reps_for(n: usize) -> usize {
+    if n >= 12 {
+        5
+    } else if n >= 10 {
+        10
+    } else {
+        20
+    }
+}
+
+/// Subset construction: bitset `Dfa::from_nfa` vs the reference engine
+/// materialized through `NfaViewRef` (the historical `BTreeSet` path).
+fn measure_subset(n: usize) -> PerfRow {
+    let (_, nfa) = exponential_nfa(n);
+    let view = NfaView::new(&nfa);
+    let (visited, peak_subset) = explore_subsets(&view);
+    let reps = reps_for(n);
+    let fast_ns = time(reps, || Dfa::from_nfa(&nfa).num_states());
+    let slow_ns = time(reps, || {
+        lang::materialize(&NfaViewRef::new(&nfa)).num_states()
+    });
+    PerfRow {
+        n,
+        visited,
+        peak_subset,
+        fast_ns,
+        slow_ns,
+    }
+}
+
+/// Exhaustive joint 0-1 BFS (the usage-verification hot path): model NFA
+/// against the spec's complemented subset view. Inclusion holds, so the
+/// search drains the entire reachable product on both engines.
+fn measure_joint(n: usize) -> PerfRow {
+    let (ab, spec) = exponential_nfa(n);
+    let model = included_model(n, ab);
+    let markers = BTreeSet::new();
+    let search =
+        ops::shortest_joint_word_counted(&model, &Complement::new(NfaView::new(&spec)), &markers);
+    assert!(search.witness.is_none(), "model must be included in spec");
+    let (_, peak_subset) = explore_subsets(&NfaView::new(&spec));
+    let reps = reps_for(n);
+    let fast_ns = time(reps, || {
+        ops::projected_subset(&model, &NfaView::new(&spec), &markers).is_ok()
+    });
+    let slow_ns = time(reps, || {
+        ops::projected_subset(&model, &NfaViewRef::new(&spec), &markers).is_ok()
+    });
+    PerfRow {
+        n,
+        visited: search.visited,
+        peak_subset,
+        fast_ns,
+        slow_ns,
+    }
+}
+
+/// Hopcroft vs the naive Moore baseline on the 2^n-state DFA.
+fn measure_minimize(n: usize) -> PerfRow {
+    let (_, nfa) = exponential_nfa(n);
+    let dfa = Dfa::from_nfa(&nfa);
+    let minimal = dfa.minimize().num_states();
+    let reps = if n >= 10 { 3 } else { 10 };
+    let fast_ns = time(reps, || dfa.minimize().num_states());
+    let slow_ns = time(reps, || dfa.minimize_naive().num_states());
+    PerfRow {
+        n,
+        visited: dfa.num_states(),
+        peak_subset: minimal,
+        fast_ns,
+        slow_ns,
+    }
+}
+
+fn write_rows(
+    json: &mut String,
+    rows: &[PerfRow],
+    visited_key: &str,
+    peak_key: &str,
+    fast_key: &str,
+    slow_key: &str,
+) {
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"n\": {}, \"{}\": {}, \"{}\": {}, \"{}\": {}, \"{}\": {}, \"speedup\": {:.2}}}",
+            r.n,
+            visited_key,
+            r.visited,
+            peak_key,
+            r.peak_subset,
+            fast_key,
+            r.fast_ns,
+            slow_key,
+            r.slow_ns,
+            r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+}
+
+fn perf_report() -> (String, bool) {
+    let sweep = [4usize, 6, 8, 10, 12];
+    let subset: Vec<PerfRow> = sweep.iter().map(|&n| measure_subset(n)).collect();
+    let joint: Vec<PerfRow> = sweep.iter().map(|&n| measure_joint(n)).collect();
+    let minimize: Vec<PerfRow> = [4usize, 6, 8, 10]
+        .iter()
+        .map(|&n| measure_minimize(n))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"state_engine_perf\",\n");
+    json.push_str(
+        "  \"workload\": \"(a+b)*;a;(a+b)^(n-1): 2^n-state subset space; bitset StateSet/CompiledNfa engine vs BTreeSet reference engine\",\n",
+    );
+    json.push_str("  \"subset_construction\": {\n");
+    json.push_str("    \"rows\": [\n");
+    write_rows(
+        &mut json,
+        &subset,
+        "dfa_states",
+        "peak_subset",
+        "bitset_ns",
+        "reference_ns",
+    );
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"joint_bfs\": {\n");
+    json.push_str("    \"rows\": [\n");
+    write_rows(
+        &mut json,
+        &joint,
+        "product_states_visited",
+        "peak_subset",
+        "bitset_ns",
+        "reference_ns",
+    );
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"minimization\": {\n");
+    json.push_str("    \"rows\": [\n");
+    write_rows(
+        &mut json,
+        &minimize,
+        "input_states",
+        "minimal_states",
+        "hopcroft_ns",
+        "moore_ns",
+    );
+    json.push_str("    ]\n  },\n");
+
+    // The acceptance gate: at n ≥ 10 the bitset engine wins subset
+    // construction and the exhaustive joint BFS by ≥ 2×.
+    let gate_rows = |rows: &[PerfRow]| {
+        rows.iter()
+            .filter(|r| r.n >= 10)
+            .all(|r| r.speedup() >= 2.0)
+    };
+    let gate_subset = gate_rows(&subset);
+    let gate_joint = gate_rows(&joint);
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"n\": 10, \"subset_bitset_at_least_2x\": {gate_subset}, \"joint_bitset_at_least_2x\": {gate_joint}}}"
+    );
+    json.push_str("}\n");
+    (json, gate_subset && gate_joint)
+}
+
+fn write_or_die(path: &str, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     }
-    print!("{json}");
+}
+
+fn main() {
+    let lang_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_lang.json".to_owned());
+    let perf_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_perf.json".to_owned());
+
+    let (lang_json, lang_gate) = lang_report();
+    write_or_die(&lang_path, &lang_json);
+    print!("{lang_json}");
+
+    let (perf_json, perf_gate) = perf_report();
+    write_or_die(&perf_path, &perf_json);
+    print!("{perf_json}");
+
     assert!(
-        gate_states && gate_time,
-        "separation gate failed at n={}: visited {}/{} states, {} ns lazy vs {} ns eager",
-        last.n,
-        last.lazy_visited,
-        last.eager_states,
-        last.lazy_ns,
-        last.eager_ns
+        lang_gate,
+        "lazy-vs-eager separation gate failed (see {lang_path})"
+    );
+    assert!(
+        perf_gate,
+        "bitset-vs-reference 2x gate failed (see {perf_path})"
     );
 }
