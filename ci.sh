@@ -22,4 +22,11 @@ cargo bench --workspace --no-run -q
 echo "==> langbench builds (release)"
 cargo build -p langbench --release -q
 
+echo "==> langbench gates (lazy-vs-eager, bitset 2x, hopcroft >= moore, dataflow skip rate)"
+# Writes BENCH_lang.json / BENCH_perf.json and asserts every gate in them:
+# the lazy engine separation, the bitset >= 2x wins at n >= 10, Hopcroft
+# never losing to the Moore baseline at n >= 10, and the typestate fast
+# path proving a positive share of the synthetic 100-class workspace.
+cargo run -p langbench --release -q -- BENCH_lang.json BENCH_perf.json > /dev/null
+
 echo "CI OK"

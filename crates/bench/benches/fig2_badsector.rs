@@ -25,7 +25,7 @@ fn bench_fig2(c: &mut Criterion) {
     let integration = build_integration(badsector);
     c.bench_function("fig2/usage_check_with_counterexample", |b| {
         b.iter(|| {
-            let violation = check_usage(badsector, &systems, &integration)
+            let violation = check_usage(badsector, &systems, &integration, &Default::default())
                 .expect_err("BadSector misuses valve a");
             assert_eq!(violation.counterexample_text, "open_a, a.test, a.open");
             violation.subsystem_errors.len()

@@ -45,6 +45,10 @@ pub mod codes {
     /// A subsystem field is used in `__init__` before it is assigned on
     /// every path reaching the use.
     pub const USE_BEFORE_INIT: &str = "E008";
+    /// The typestate analysis proves a subsystem call violates the
+    /// dependency's protocol on every tracked path that can still
+    /// complete an accepted usage.
+    pub const DEFINITE_PROTOCOL_VIOLATION: &str = "E009";
     /// The paper's "INVALID SUBSYSTEM USAGE" specification error.
     pub const INVALID_SUBSYSTEM_USAGE: &str = "E100";
     /// The paper's "FAIL TO MEET REQUIREMENT" specification error.
@@ -78,6 +82,11 @@ pub mod codes {
     /// An operation calls a sibling operation directly (`self.op()`),
     /// bypassing the protocol that the environment drives.
     pub const SIBLING_OPERATION_CALL: &str = "W011";
+    /// The typestate analysis finds a path on which a subsystem call
+    /// leaves the dependency's protocol (other paths may be fine).
+    pub const POSSIBLE_PROTOCOL_VIOLATION: &str = "W012";
+    /// A dependency operation no reachable statement ever invokes.
+    pub const DEAD_SUBSYSTEM_OPERATION: &str = "W013";
 }
 
 /// Metadata for one stable diagnostic code.
@@ -141,6 +150,12 @@ pub const REGISTRY: &[CodeInfo] = &[
         code: codes::USE_BEFORE_INIT,
         name: "use-before-init",
         summary: "a subsystem field is used in `__init__` before any assignment reaches the use",
+        default_severity: Severity::Error,
+    },
+    CodeInfo {
+        code: codes::DEFINITE_PROTOCOL_VIOLATION,
+        name: "definite-protocol-violation",
+        summary: "a subsystem call violates the dependency's protocol on every tracked path",
         default_severity: Severity::Error,
     },
     CodeInfo {
@@ -219,6 +234,18 @@ pub const REGISTRY: &[CodeInfo] = &[
         code: codes::SIBLING_OPERATION_CALL,
         name: "sibling-operation-call",
         summary: "an operation calls a sibling operation directly, bypassing the protocol",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::POSSIBLE_PROTOCOL_VIOLATION,
+        name: "possible-protocol-violation",
+        summary: "a subsystem call leaves the dependency's protocol on some path",
+        default_severity: Severity::Warning,
+    },
+    CodeInfo {
+        code: codes::DEAD_SUBSYSTEM_OPERATION,
+        name: "dead-subsystem-operation",
+        summary: "a dependency operation no reachable statement ever invokes",
         default_severity: Severity::Warning,
     },
 ];
@@ -689,9 +716,9 @@ mod tests {
         assert_eq!(
             codes,
             vec![
-                "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E100", "E101",
-                "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009", "W010",
-                "W011",
+                "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E009", "E100",
+                "E101", "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009",
+                "W010", "W011", "W012", "W013",
             ]
         );
         for info in REGISTRY {

@@ -20,7 +20,7 @@
 
 use micropython_parser::ast::{Expr, ExprKind, Stmt};
 use micropython_parser::Span;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Index of a node in a [`Cfg`].
 pub type NodeId = usize;
@@ -50,6 +50,45 @@ pub struct CfgNode {
     pub reads: Vec<(String, Span)>,
     /// Constrained fields this statement writes (`self.a = ...`).
     pub writes: Vec<String>,
+    /// Method calls this statement performs, in evaluation order
+    /// (arguments before the call itself, mirroring the lowering). Only
+    /// calls the analyses can interpret are recorded: `self.f.m()` on a
+    /// constrained field `f` and sibling `self.m()` calls.
+    pub calls: Vec<CallEvent>,
+    /// Whether `calls` diverges from the lowering of §3.2 at this node: an
+    /// `if` head carries calls from conditions past the first (the lowering
+    /// evaluates only a prefix of the conditions per arm), or a `for` head
+    /// carries calls in its iterable (the lowering evaluates it once while
+    /// the graph's back edge re-executes the head). Trace-sensitive
+    /// analyses must treat such a node as unknown rather than replay
+    /// `calls`.
+    pub calls_inexact: bool,
+}
+
+/// One interpreted call inside a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallEvent {
+    /// What is being called.
+    pub target: CallTarget,
+    /// The call expression's span.
+    pub span: Span,
+}
+
+/// The callee of a [`CallEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `self.field.method()` where `field` is constrained.
+    Subsystem {
+        /// The subsystem field.
+        field: String,
+        /// The method invoked on it.
+        method: String,
+    },
+    /// `self.method()` — a sibling method of the same class.
+    SelfMethod {
+        /// The method invoked on `self`.
+        method: String,
+    },
 }
 
 /// A method body's control-flow graph.
@@ -60,6 +99,11 @@ pub struct Cfg {
     entry: NodeId,
     exit: NodeId,
     dead: Vec<Span>,
+    /// Per `match` head without a catch-all arm: the successor index at
+    /// which its fall-through edges begin (everything before it enters a
+    /// case arm). The lowering of §3.2 has no fall-through arm, so these
+    /// edges are *phantom* with respect to the verified model.
+    phantom_from: BTreeMap<NodeId, usize>,
 }
 
 impl Cfg {
@@ -73,18 +117,23 @@ impl Cfg {
                     span: None,
                     reads: Vec::new(),
                     writes: Vec::new(),
+                    calls: Vec::new(),
+                    calls_inexact: false,
                 },
                 CfgNode {
                     kind: NodeKind::Exit,
                     span: None,
                     reads: Vec::new(),
                     writes: Vec::new(),
+                    calls: Vec::new(),
+                    calls_inexact: false,
                 },
             ],
             succs: vec![Vec::new(), Vec::new()],
             fields,
             loops: Vec::new(),
             dead: Vec::new(),
+            phantom_from: BTreeMap::new(),
         };
         let ends = b.block(body, vec![ENTRY]);
         for end in ends {
@@ -96,6 +145,7 @@ impl Cfg {
             entry: ENTRY,
             exit: EXIT,
             dead: b.dead,
+            phantom_from: b.phantom_from,
         }
     }
 
@@ -122,6 +172,14 @@ impl Cfg {
     /// Successor edges of a node.
     pub fn successors(&self, id: NodeId) -> &[NodeId] {
         &self.succs[id]
+    }
+
+    /// Whether the `index`-th successor edge of `from` is a `match`
+    /// fall-through edge absent from the lowering of §3.2 (which has no
+    /// fall-through arm). Reachability lints keep these edges; analyses
+    /// aligned with the verified model must not propagate along them.
+    pub fn edge_is_phantom(&self, from: NodeId, index: usize) -> bool {
+        self.phantom_from.get(&from).is_some_and(|&k| index >= k)
     }
 
     /// All nodes, in source order (entry first, exit second).
@@ -174,6 +232,7 @@ struct Builder<'a> {
     /// Stack of enclosing loops: `(head, collected break nodes)`.
     loops: Vec<(NodeId, Vec<NodeId>)>,
     dead: Vec<Span>,
+    phantom_from: BTreeMap<NodeId, usize>,
 }
 
 impl Builder<'_> {
@@ -189,8 +248,11 @@ impl Builder<'_> {
             span: Some(stmt.span()),
             reads: Vec::new(),
             writes: Vec::new(),
+            calls: Vec::new(),
+            calls_inexact: false,
         };
         record_accesses(stmt, self.fields, &mut node);
+        record_calls(stmt, self.fields, &mut node);
         let id = self.nodes.len();
         self.nodes.push(node);
         self.succs.push(Vec::new());
@@ -254,7 +316,10 @@ impl Builder<'_> {
                         ends.extend(self.block(&case.body, vec![node]));
                     }
                     if !has_catch_all {
-                        // No case may match: Python falls through.
+                        // No case may match: Python falls through. Edges the
+                        // frontier adds from here on bypass every arm, which
+                        // the lowering cannot do — mark where they start.
+                        self.phantom_from.insert(node, self.succs[node].len());
                         ends.push(node);
                     }
                     ends
@@ -384,6 +449,112 @@ fn collect_reads(expr: &Expr, fields: &BTreeSet<String>, out: &mut Vec<(String, 
             collect_reads(right, fields, out);
         }
         ExprKind::UnaryOp { operand, .. } => collect_reads(operand, fields, out),
+        ExprKind::Name(_)
+        | ExprKind::Str(_)
+        | ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Bool(_)
+        | ExprKind::NoneLit => {}
+    }
+}
+
+/// Records interpreted calls for one statement, in evaluation order
+/// (without descending into nested blocks — those get their own nodes).
+fn record_calls(stmt: &Stmt, fields: &BTreeSet<String>, node: &mut CfgNode) {
+    match stmt {
+        Stmt::Assign(a) => {
+            collect_calls(&a.value, fields, &mut node.calls);
+            collect_calls(&a.target, fields, &mut node.calls);
+        }
+        Stmt::Expr(e) => collect_calls(&e.expr, fields, &mut node.calls),
+        Stmt::Return(r) => {
+            if let Some(value) = &r.value {
+                collect_calls(value, fields, &mut node.calls);
+            }
+        }
+        // Compound statement nodes cover only the head, evaluated before
+        // branching.
+        Stmt::If(ifs) => {
+            for (i, (cond, _)) in ifs.branches.iter().enumerate() {
+                let before = node.calls.len();
+                collect_calls(cond, fields, &mut node.calls);
+                // The lowering gives arm k only the first k conditions; the
+                // graph runs all of them on every arm.
+                if i > 0 && node.calls.len() > before {
+                    node.calls_inexact = true;
+                }
+            }
+        }
+        Stmt::Match(ms) => collect_calls(&ms.subject, fields, &mut node.calls),
+        Stmt::While(ws) => collect_calls(&ws.cond, fields, &mut node.calls),
+        Stmt::For(fs) => {
+            collect_calls(&fs.iter, fields, &mut node.calls);
+            // The lowering evaluates the iterable once; the back edge
+            // through this head would replay it every iteration.
+            node.calls_inexact = !node.calls.is_empty();
+        }
+        Stmt::Pass(_)
+        | Stmt::Break(_)
+        | Stmt::Continue(_)
+        | Stmt::Import(_)
+        | Stmt::ClassDef(_)
+        | Stmt::FuncDef(_) => {}
+    }
+}
+
+/// Collects interpreted calls inside an expression, in evaluation order
+/// (arguments before the call itself — the same order the lowering uses).
+fn collect_calls(expr: &Expr, fields: &BTreeSet<String>, out: &mut Vec<CallEvent>) {
+    match &expr.kind {
+        ExprKind::Call { func, args } => {
+            if let Some((path, method)) = expr.as_self_method_call() {
+                let target = match path.as_slice() {
+                    [field] if fields.contains(*field) => Some(CallTarget::Subsystem {
+                        field: (*field).to_owned(),
+                        method: method.to_owned(),
+                    }),
+                    [] => Some(CallTarget::SelfMethod {
+                        method: method.to_owned(),
+                    }),
+                    _ => None,
+                };
+                if let Some(target) = target {
+                    for a in args {
+                        collect_calls(a, fields, out);
+                    }
+                    out.push(CallEvent {
+                        target,
+                        span: expr.span,
+                    });
+                    return;
+                }
+            }
+            collect_calls(func, fields, out);
+            for a in args {
+                collect_calls(a, fields, out);
+            }
+        }
+        ExprKind::Attribute { value, .. } => collect_calls(value, fields, out),
+        ExprKind::Subscript { value, index } => {
+            collect_calls(value, fields, out);
+            collect_calls(index, fields, out);
+        }
+        ExprKind::List(items) | ExprKind::Tuple(items) | ExprKind::Set(items) => {
+            for i in items {
+                collect_calls(i, fields, out);
+            }
+        }
+        ExprKind::Dict(pairs) => {
+            for (k, v) in pairs {
+                collect_calls(k, fields, out);
+                collect_calls(v, fields, out);
+            }
+        }
+        ExprKind::BinOp { left, right, .. } => {
+            collect_calls(left, fields, out);
+            collect_calls(right, fields, out);
+        }
+        ExprKind::UnaryOp { operand, .. } => collect_calls(operand, fields, out),
         ExprKind::Name(_)
         | ExprKind::Str(_)
         | ExprKind::Int(_)
@@ -596,6 +767,92 @@ mod tests {
         let (must, may) = flow.at_exit(&cfg);
         assert!(!must.contains("a"), "loop may run zero times");
         assert!(may.contains("a"));
+    }
+
+    #[test]
+    fn call_events_are_recorded_in_evaluation_order() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        self.a.open(self.b.prep())\n        self.helper()\n        if self.a.probe():\n            pass\n        return []\n",
+        );
+        let universe = fields(&["a", "b"]);
+        let cfg = Cfg::of_body(&body, &universe);
+        let stmts: Vec<&CfgNode> = cfg
+            .nodes()
+            .filter(|(_, n)| n.kind == NodeKind::Stmt)
+            .map(|(_, n)| n)
+            .collect();
+        // Argument call fires before the enclosing call.
+        assert_eq!(
+            stmts[0].calls.iter().map(|c| &c.target).collect::<Vec<_>>(),
+            vec![
+                &CallTarget::Subsystem {
+                    field: "b".into(),
+                    method: "prep".into()
+                },
+                &CallTarget::Subsystem {
+                    field: "a".into(),
+                    method: "open".into()
+                },
+            ]
+        );
+        assert_eq!(
+            stmts[1].calls[0].target,
+            CallTarget::SelfMethod {
+                method: "helper".into()
+            }
+        );
+        // The `if` head records the condition's call.
+        assert_eq!(
+            stmts[2].calls[0].target,
+            CallTarget::Subsystem {
+                field: "a".into(),
+                method: "probe".into()
+            }
+        );
+    }
+
+    #[test]
+    fn match_fall_through_edges_are_phantom() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        match self.a.test():\n            case [\"open\"]:\n                self.a.open()\n        after()\n        return []\n",
+        );
+        let universe = fields(&["a"]);
+        let cfg = Cfg::of_body(&body, &universe);
+        let (match_id, _) = cfg
+            .nodes()
+            .find(|(_, n)| !n.calls.is_empty())
+            .expect("match head");
+        let succs = cfg.successors(match_id);
+        assert_eq!(succs.len(), 2, "arm entry + fall-through");
+        assert!(!cfg.edge_is_phantom(match_id, 0));
+        assert!(cfg.edge_is_phantom(match_id, 1));
+        // Every other node has only real edges.
+        for (id, _) in cfg.nodes() {
+            if id != match_id {
+                for i in 0..cfg.successors(id).len() {
+                    assert!(!cfg.edge_is_phantom(id, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_heads_are_marked_inexact() {
+        let body = body_of(
+            "class C:\n    def m(self):\n        if self.a.first():\n            pass\n        elif self.a.second():\n            pass\n        if self.a.only():\n            pass\n        for v in self.a.iter():\n            pass\n        while self.a.poll():\n            pass\n        return []\n",
+        );
+        let universe = fields(&["a"]);
+        let cfg = Cfg::of_body(&body, &universe);
+        let heads: Vec<&CfgNode> = cfg
+            .nodes()
+            .filter(|(_, n)| !n.calls.is_empty())
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(heads.len(), 4);
+        assert!(heads[0].calls_inexact, "elif condition call diverges");
+        assert!(!heads[1].calls_inexact, "single condition is exact");
+        assert!(heads[2].calls_inexact, "for iterable replays on back edge");
+        assert!(!heads[3].calls_inexact, "while re-evaluates in both");
     }
 
     #[test]

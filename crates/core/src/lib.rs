@@ -73,6 +73,7 @@
 
 pub mod annotations;
 pub mod checker;
+pub mod dataflow;
 pub mod diagnostics;
 pub mod diagram;
 pub mod extract;
@@ -88,6 +89,8 @@ pub mod workspace;
 
 pub use annotations::{Claim, ClassAnnotations, ClassKind, OpKind};
 pub use checker::{CheckError, Checker, INPUT_NAME};
+pub use dataflow::typestate::{analyze_class, TypestateFinding, TypestateReport};
+pub use dataflow::{solve, Analysis, Direction, Solution};
 pub use diagnostics::{code_info, codes, CodeInfo, Diagnostic, Diagnostics, Severity, REGISTRY};
 pub use diagram::{integration_diagram, spec_diagram};
 pub use integration::{build_integration, Integration};

@@ -19,13 +19,15 @@
 
 mod init_order;
 mod self_calls;
+mod typestate;
 mod unreachable;
 
 pub use init_order::InitOrder;
 pub use self_calls::SelfCalls;
+pub use typestate::Typestate;
 pub use unreachable::UnreachableCode;
 
-use crate::diagnostics::{code_info, Diagnostics, Severity};
+use crate::diagnostics::{code_info, Diagnostics, Severity, REGISTRY};
 use crate::system::SystemSet;
 use micropython_parser::ast::Module;
 use std::collections::BTreeMap;
@@ -49,7 +51,14 @@ pub struct UnknownCode(pub String);
 
 impl fmt::Display for UnknownCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown diagnostic code `{}`", self.0)
+        let mut known: Vec<&str> = REGISTRY.iter().map(|info| info.code).collect();
+        known.sort_unstable();
+        write!(
+            f,
+            "unknown diagnostic code `{}` (known codes: {})",
+            self.0,
+            known.join(", ")
+        )
     }
 }
 
@@ -149,6 +158,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(UnreachableCode),
         Box::new(InitOrder),
         Box::new(SelfCalls),
+        Box::new(Typestate),
     ]
 }
 

@@ -4,13 +4,16 @@
 //! subsystem usage → temporal claims`, producing a [`CheckReport`] with all
 //! structural diagnostics and the paper's two specification errors.
 
+use crate::dataflow::typestate::analyze_class;
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::integration::{build_integration, Integration};
 use crate::lint::{run_lints, LintConfig, LintLevel};
 use crate::system::{build_systems, System, SystemSet};
 use crate::verify::claims::{check_claims, ClaimViolation};
 use crate::verify::usage::{check_usage, UsageViolation};
+use micropython_parser::ast::{ClassDef, Module};
 use micropython_parser::SourceFile;
+use std::collections::BTreeSet;
 
 /// The result of verifying one source file.
 #[derive(Debug, Clone, Default)]
@@ -76,10 +79,7 @@ pub struct Checked {
 /// including the paper's `E100`/`E101`, whose violation lists are then
 /// cleared so [`CheckReport::passed`] stays consistent with the
 /// diagnostics).
-pub fn check_module_direct(
-    module: &micropython_parser::ast::Module,
-    config: &LintConfig,
-) -> Checked {
+pub fn check_module_direct(module: &Module, config: &LintConfig) -> Checked {
     let (systems, mut diagnostics) = build_systems(module);
     run_lints(module, &systems, config, &mut diagnostics);
     let mut usage_violations = Vec::new();
@@ -87,7 +87,8 @@ pub fn check_module_direct(
     let mut integrations = Vec::new();
 
     for system in systems.iter() {
-        let verdict = verify_system(system, &systems);
+        let proven = proven_fields(module.class(&system.name), system, &systems);
+        let verdict = verify_system(system, &systems, &proven);
         diagnostics.extend(verdict.diagnostics);
         for v in verdict.usage_violations {
             usage_violations.push((system.name.clone(), v));
@@ -135,16 +136,50 @@ pub struct SystemVerdict {
     pub usage_violations: Vec<UsageViolation>,
     /// `FAIL TO MEET REQUIREMENT` failures of this class.
     pub claim_violations: Vec<ClaimViolation>,
+    /// Subsystem fields whose inclusion check was skipped because the
+    /// typestate analysis already proved it passes (the fast path).
+    pub fast_path_skips: usize,
+}
+
+/// The subsystem fields of `system` the typestate analysis proves
+/// protocol-conforming — [`check_usage`] may skip them.
+///
+/// `class` is the system's source definition (`None` short-circuits to an
+/// empty set, disabling the fast path).
+pub fn proven_fields(
+    class: Option<&ClassDef>,
+    system: &System,
+    systems: &SystemSet,
+) -> BTreeSet<String> {
+    class
+        .and_then(|class| analyze_class(class, system, systems))
+        .map(|report| report.proven)
+        .unwrap_or_default()
 }
 
 /// Verifies one system against the others: builds the integration
 /// automaton (for composites), checks subsystem usage inclusion, and
 /// checks every temporal claim.
-pub fn verify_system(system: &System, systems: &SystemSet) -> SystemVerdict {
+///
+/// `proven` lists subsystem fields whose usage inclusion is already
+/// established (see [`proven_fields`]); their checks are skipped and
+/// counted in [`SystemVerdict::fast_path_skips`].
+pub fn verify_system(
+    system: &System,
+    systems: &SystemSet,
+    proven: &BTreeSet<String>,
+) -> SystemVerdict {
     let mut verdict = SystemVerdict::default();
+    if let Some(info) = system.composite() {
+        verdict.fast_path_skips = info
+            .subsystems
+            .iter()
+            .filter(|sub| proven.contains(&sub.field))
+            .count();
+    }
     let integration = system.is_composite().then(|| build_integration(system));
     if let Some(ref integ) = integration {
-        if let Err(v) = check_usage(system, systems, integ) {
+        if let Err(v) = check_usage(system, systems, integ, proven) {
             verdict.diagnostics.push(
                 Diagnostic::error(
                     codes::INVALID_SUBSYSTEM_USAGE,
@@ -298,6 +333,51 @@ class GoodSector:
         let valve_only: String = src.split("@claim").next().unwrap().to_owned() + good;
         let checked = Checker::new().check_source(&valve_only).unwrap();
         assert!(checked.report.passed(), "{}", checked.report.render(None));
+    }
+
+    #[test]
+    fn typestate_fast_path_skips_proven_subsystems() {
+        use super::{check_module_direct, proven_fields, verify_system};
+        use crate::lint::LintConfig;
+
+        let src = PAPER_SOURCE.split("@claim").next().unwrap().to_owned()
+            + r#"
+@sys(["a"])
+class GoodSector:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def water(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+"#;
+        let module = micropython_parser::parse_module(&src).unwrap();
+        let (systems, _) = crate::system::build_systems(&module);
+        let good = systems.get("GoodSector").unwrap();
+        let proven = proven_fields(module.class("GoodSector"), good, &systems);
+        assert_eq!(proven.iter().collect::<Vec<_>>(), ["a"]);
+        let verdict = verify_system(good, &systems, &proven);
+        assert_eq!(verdict.fast_path_skips, 1);
+        assert!(verdict.usage_violations.is_empty());
+        // The full pipeline agrees with the skipped check.
+        let checked = check_module_direct(&module, &LintConfig::default());
+        assert!(checked.report.passed(), "{}", checked.report.render(None));
+
+        // BadSector's misuse of `a` is *not* proven away: the analysis
+        // refuses the fast path, leaving the real check to find the
+        // violation.
+        let paper = micropython_parser::parse_module(PAPER_SOURCE).unwrap();
+        let (systems, _) = crate::system::build_systems(&paper);
+        let bad = systems.get("BadSector").unwrap();
+        let proven = proven_fields(paper.class("BadSector"), bad, &systems);
+        assert!(!proven.contains("a"));
     }
 
     #[test]

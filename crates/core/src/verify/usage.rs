@@ -102,10 +102,16 @@ impl UsageViolation {
 ///
 /// Returns `Ok(())` when all projections are included, otherwise the first
 /// (shortest) violation found, checking subsystems in declaration order.
+///
+/// Fields in `proven` were established protocol-conforming by the
+/// typestate analysis ([`crate::dataflow::typestate`]): their inclusion
+/// check is guaranteed to pass and is skipped — the verification fast
+/// path. Pass an empty set to check everything.
 pub fn check_usage(
     system: &System,
     systems: &SystemSet,
     integration: &Integration,
+    proven: &BTreeSet<String>,
 ) -> Result<(), UsageViolation> {
     let Some(info) = system.composite() else {
         return Ok(());
@@ -114,6 +120,9 @@ pub fn check_usage(
 
     let mut best: Option<(Word, &Subsystem, &ClassSpec)> = None;
     for sub in &info.subsystems {
+        if proven.contains(&sub.field) {
+            continue;
+        }
         let Some(sub_system) = systems.get(&sub.class_name) else {
             continue;
         };
@@ -266,7 +275,7 @@ class Valve:
         assert!(!diags.has_errors(), "{:?}", diags);
         let sys = systems.get(class).unwrap();
         let integration = build_integration(sys);
-        check_usage(sys, &systems, &integration)
+        check_usage(sys, &systems, &integration, &BTreeSet::new())
     }
 
     #[test]

@@ -62,7 +62,7 @@
 use crate::checker::CheckError;
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::lint::{run_lints, LintConfig, LintLevel};
-use crate::pipeline::{verify_system, CheckReport, Checked, SystemVerdict};
+use crate::pipeline::{proven_fields, verify_system, CheckReport, Checked, SystemVerdict};
 use crate::spec::ClassSpec;
 use crate::stats::{system_stats, SystemStats};
 use crate::system::{
@@ -98,6 +98,9 @@ pub struct WorkspaceStats {
     pub verified: u64,
     /// Classes whose verification artifacts were reused.
     pub verify_cache_hits: u64,
+    /// Subsystem inclusion checks skipped because the typestate analysis
+    /// proved them (fast path), across freshly verified classes.
+    pub fast_path_proven: u64,
     /// [`Workspace::class_stats`] calls that computed statistics afresh.
     pub stats_computed: u64,
     /// [`Workspace::class_stats`] calls served from the stats cache.
@@ -121,6 +124,7 @@ impl WorkspaceStats {
         self.extract_cache_hits += round.extract_cache_hits;
         self.verified += round.verified;
         self.verify_cache_hits += round.verify_cache_hits;
+        self.fast_path_proven += round.fast_path_proven;
         self.stats_computed += round.stats_computed;
         self.stats_cache_hits += round.stats_cache_hits;
         self.parse_time += round.parse_time;
@@ -133,13 +137,15 @@ impl WorkspaceStats {
     /// (`parsed 1/12 files, extracted 1/40 classes, verified 3/40`).
     pub fn render(&self) -> String {
         format!(
-            "parsed {}/{} files, extracted {}/{} classes, verified {}/{} in {:.1?}",
+            "parsed {}/{} files, extracted {}/{} classes, verified {}/{} \
+             ({} fast-path) in {:.1?}",
             self.files_parsed,
             self.files_parsed + self.parse_cache_hits,
             self.extracted,
             self.extracted + self.extract_cache_hits,
             self.verified,
             self.verified + self.verify_cache_hits,
+            self.fast_path_proven,
             self.parse_time + self.extract_time + self.verify_time + self.assemble_time,
         )
     }
@@ -480,6 +486,7 @@ impl Workspace {
             Arc::new(run_verify(extraction, units[i], &spec_index, config))
         });
         for (&i, entry) in missing.iter().zip(fresh) {
+            round.fast_path_proven += entry.verdict.fast_path_skips as u64;
             self.verify_cache
                 .insert((units[i].fingerprint, dep_fingerprints[i]), entry.clone());
             verify_entries[i] = Some(entry);
@@ -661,16 +668,12 @@ fn run_verify(
     let mut resolve_diags = Diagnostics::new();
     let system = resolve_class(extraction, spec_index, &mut resolve_diags);
 
-    // Lint passes only inspect the class under analysis and its own
-    // resolved system, so a single-class scope reproduces the module-level
-    // run exactly.
-    let mut lint_diags = Diagnostics::new();
-    let lint_scope: SystemSet = std::iter::once(system.clone()).collect();
-    run_lints(&unit.solo, &lint_scope, config, &mut lint_diags);
-
-    // Usage verification reads the *specs* of the subsystems, never their
-    // resolved systems, so spec-only stand-ins keep the stage independent
-    // of every other class's resolution.
+    // Usage verification and the typestate lints read the *specs* of the
+    // subsystems, never their resolved systems, so spec-only stand-ins
+    // keep the stage independent of every other class's resolution. The
+    // other lint passes only inspect the class under analysis (the scope's
+    // one class present in `unit.solo`), so the widened scope still
+    // reproduces the module-level run exactly.
     let mut verify_scope: Vec<System> = vec![system.clone()];
     if let SystemKind::Composite(info) = &system.kind {
         for sub in &info.subsystems {
@@ -691,7 +694,12 @@ fn run_verify(
         }
     }
     let verify_scope: SystemSet = verify_scope.into_iter().collect();
-    let verdict = verify_system(&system, &verify_scope);
+
+    let mut lint_diags = Diagnostics::new();
+    run_lints(&unit.solo, &verify_scope, config, &mut lint_diags);
+
+    let proven = proven_fields(unit.solo.class(&system.name), &system, &verify_scope);
+    let verdict = verify_system(&system, &verify_scope, &proven);
 
     VerifyEntry {
         system,

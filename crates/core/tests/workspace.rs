@@ -275,6 +275,34 @@ fn parallel_and_incremental_match_the_direct_pipeline_on_the_paper_example() {
 }
 
 #[test]
+fn fast_path_counter_tracks_typestate_proven_subsystems() {
+    let mut ws = Checker::new().jobs(1).into_workspace();
+    ws.set_file("valve.py", VALVE_PY);
+    ws.set_file("sector_a.py", SECTOR_A_PY);
+    let checked = ws.check().unwrap();
+    assert!(checked.report.passed(), "{}", checked.report.render(None));
+    assert_eq!(
+        ws.last_round().fast_path_proven,
+        1,
+        "SectorA's `a` is proven conforming by the typestate analysis"
+    );
+    assert!(ws.last_round().render().contains("(1 fast-path)"));
+
+    // Cached rounds don't re-verify, so they report no fresh skips; the
+    // lifetime total keeps the cold round's count.
+    ws.check().unwrap();
+    assert_eq!(ws.last_round().fast_path_proven, 0);
+    assert_eq!(ws.stats().fast_path_proven, 1);
+
+    // The paper's BadSector must never ride the fast path: its violation
+    // still surfaces through the full check.
+    ws.set_file(INPUT_NAME, PAPER_SOURCE);
+    let checked = ws.check().unwrap();
+    assert!(!checked.report.passed());
+    assert_eq!(checked.report.usage_violations.len(), 1);
+}
+
+#[test]
 fn check_source_errors_carry_the_synthetic_input_name() {
     let err = Checker::new().check_source("def broken(:\n").unwrap_err();
     assert_eq!(err.file, INPUT_NAME);

@@ -161,6 +161,30 @@ impl Dfa {
         self.table[state][symbol.index()]
     }
 
+    /// The accepting states as a [`StateSet`] sized to this automaton.
+    pub fn accepting_set(&self) -> StateSet {
+        let mut set = StateSet::new(self.num_states());
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                set.insert(q);
+            }
+        }
+        set
+    }
+
+    /// The image of a state *set* under `symbol`: `{ δ(q, symbol) | q ∈ set }`.
+    ///
+    /// This is the transfer function of automaton-valued dataflow analyses,
+    /// where the abstract value at a program point is the set of DFA states
+    /// reachable along some path.
+    pub fn step_set(&self, set: &StateSet, symbol: Symbol) -> StateSet {
+        let mut out = StateSet::new(self.num_states());
+        for q in set {
+            out.insert(self.step(q, symbol));
+        }
+        out
+    }
+
     /// Runs the automaton on `word` from the start state.
     pub fn run(&self, word: &[Symbol]) -> StateId {
         word.iter().fold(self.start, |q, &s| self.step(q, s))
@@ -299,6 +323,36 @@ impl Dfa {
         None
     }
 
+    /// Finds a shortest word driving the start state to `target`, if any
+    /// (breadth-first in symbol order, so the witness is deterministic).
+    pub fn shortest_word_to(&self, target: StateId) -> Option<Word> {
+        let mut parent: Vec<Option<(StateId, Symbol)>> = vec![None; self.table.len()];
+        let mut visited = vec![false; self.table.len()];
+        let mut queue = VecDeque::from([self.start]);
+        visited[self.start] = true;
+        while let Some(q) = queue.pop_front() {
+            if q == target {
+                let mut word = Vec::new();
+                let mut cur = q;
+                while let Some((prev, sym)) = parent[cur] {
+                    word.push(sym);
+                    cur = prev;
+                }
+                word.reverse();
+                return Some(word);
+            }
+            for sym_idx in 0..self.alphabet.len() {
+                let dst = self.table[q][sym_idx];
+                if !visited[dst] {
+                    visited[dst] = true;
+                    parent[dst] = Some((q, Symbol::from_index(sym_idx)));
+                    queue.push_back(dst);
+                }
+            }
+        }
+        None
+    }
+
     /// Checks `L(self) ⊆ L(other)`; on failure returns a shortest word in
     /// the difference.
     ///
@@ -359,6 +413,45 @@ mod tests {
         ] {
             assert_eq!(dfa.accepts(&w), r.matches(&w), "word {:?}", w);
         }
+    }
+
+    #[test]
+    fn accepting_set_and_step_set() {
+        let (ab, a, b) = ab2();
+        // (a·b)*: accepting states are exactly where a word of even ab-pairs
+        // ends; stepping the full reachable set on `a` lands where `a` leads.
+        let r = Regex::star(Regex::concat(Regex::sym(a), Regex::sym(b)));
+        let dfa = dfa_of(&r, ab);
+        let acc = dfa.accepting_set();
+        assert!(acc.contains(dfa.start()));
+        let mut all = StateSet::new(dfa.num_states());
+        for q in 0..dfa.num_states() {
+            all.insert(q);
+        }
+        let on_a = dfa.step_set(&all, a);
+        for q in &on_a {
+            assert!((0..dfa.num_states()).any(|p| dfa.step(p, a) == q));
+        }
+        // Stepping the start set along the accepted word a·b returns to an
+        // accepting state.
+        let mut start = StateSet::new(dfa.num_states());
+        start.insert(dfa.start());
+        let after = dfa.step_set(&dfa.step_set(&start, a), b);
+        assert!(after.is_subset_of(&acc));
+    }
+
+    #[test]
+    fn shortest_word_to_reaches_every_state() {
+        let (ab, a, b) = ab2();
+        let r = Regex::star(Regex::concat(Regex::sym(a), Regex::sym(b)));
+        let dfa = dfa_of(&r, ab);
+        for q in 0..dfa.num_states() {
+            let word = dfa
+                .shortest_word_to(q)
+                .expect("complete DFA: all reachable");
+            assert_eq!(dfa.run(&word), q);
+        }
+        assert_eq!(dfa.shortest_word_to(dfa.start()), Some(vec![]));
     }
 
     #[test]

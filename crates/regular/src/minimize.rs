@@ -6,11 +6,110 @@
 use crate::dfa::Dfa;
 use crate::nfa::StateId;
 use crate::symbol::Symbol;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+
+/// A refinable partition of `0..n` in the style of Valmari/Knuutila: the
+/// elements live in one permutation array, each block is a contiguous
+/// slice of it, and splitting a block moves only the *marked* elements to
+/// its front. Marking and splitting are O(1) array swaps, so one Hopcroft
+/// splitter round costs O(|predecessors|) instead of a scan over every
+/// affected block's elements.
+///
+/// All state is plain arrays and the `touched` stack is filled in mark
+/// order, so refinement — and hence minimized-DFA state numbering — is
+/// deterministic run to run.
+struct RefinablePartition {
+    /// Permutation of `0..n`; each block is `elems[begin[b]..end[b]]`.
+    elems: Vec<usize>,
+    /// Position of each element inside `elems`.
+    loc: Vec<usize>,
+    /// Block id of each element.
+    block_of: Vec<usize>,
+    begin: Vec<usize>,
+    end: Vec<usize>,
+    /// Marked elements sit at `elems[begin[b]..begin[b] + marked[b]]`.
+    marked: Vec<usize>,
+    /// Blocks with at least one marked element, in first-mark order.
+    touched: Vec<usize>,
+}
+
+impl RefinablePartition {
+    fn new(n: usize) -> Self {
+        RefinablePartition {
+            elems: (0..n).collect(),
+            loc: (0..n).collect(),
+            block_of: vec![0; n],
+            begin: vec![0],
+            end: vec![n],
+            marked: vec![0],
+            touched: Vec::new(),
+        }
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.begin.len()
+    }
+
+    fn size(&self, b: usize) -> usize {
+        self.end[b] - self.begin[b]
+    }
+
+    /// Marks one element of its block (idempotent).
+    fn mark(&mut self, q: usize) {
+        let b = self.block_of[q];
+        let i = self.loc[q];
+        let m = self.begin[b] + self.marked[b];
+        if i < m {
+            return; // already marked
+        }
+        if self.marked[b] == 0 {
+            self.touched.push(b);
+        }
+        self.elems.swap(i, m);
+        self.loc[self.elems[i]] = i;
+        self.loc[self.elems[m]] = m;
+        self.marked[b] += 1;
+    }
+
+    /// Splits every touched block into its marked and unmarked halves,
+    /// clearing all marks. The *smaller* half becomes the new block
+    /// (Hopcroft's invariant); `on_split(old, new)` fires per real split.
+    fn split_marked(&mut self, mut on_split: impl FnMut(&Self, usize, usize)) {
+        // LIFO over a deterministic stack: order only affects block-id
+        // assignment, which stays reproducible because `touched` is built
+        // in mark order.
+        while let Some(b) = self.touched.pop() {
+            let m = std::mem::take(&mut self.marked[b]);
+            if m == self.size(b) {
+                continue; // fully marked: nothing splits off
+            }
+            let new_id = self.begin.len();
+            if m <= self.size(b) - m {
+                // Marked prefix becomes the new block.
+                self.begin.push(self.begin[b]);
+                self.end.push(self.begin[b] + m);
+                self.begin[b] += m;
+            } else {
+                // Unmarked suffix becomes the new block.
+                self.begin.push(self.begin[b] + m);
+                self.end.push(self.end[b]);
+                self.end[b] = self.begin[b] + m;
+            }
+            self.marked.push(0);
+            for i in self.begin[new_id]..self.end[new_id] {
+                self.block_of[self.elems[i]] = new_id;
+            }
+            on_split(self, b, new_id);
+        }
+    }
+}
 
 impl Dfa {
     /// Returns the unique (up to isomorphism) minimal DFA for this language,
-    /// computed with Hopcroft's partition-refinement algorithm.
+    /// computed with Hopcroft's partition-refinement algorithm over a
+    /// refinable partition (constant-time marking and splitting; the
+    /// splitter queue holds `(block, symbol)` pairs and always re-enqueues
+    /// the smaller half of a split).
     pub fn minimize(&self) -> Dfa {
         let reachable = self.reachable_states();
         let n = reachable.len();
@@ -25,109 +124,67 @@ impl Dfa {
             dense.insert(q, i);
         }
         let nsyms = self.alphabet().len();
-        // delta[q][s] in dense ids; inverse[s][q] = predecessors of q on s.
-        let mut delta = vec![vec![0usize; nsyms]; n];
+        // inverse[s][q] = predecessors of q on s, flattened CSR-style.
         let mut inverse: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; nsyms];
         for (i, &q) in reachable.iter().enumerate() {
             for s in 0..nsyms {
                 let dst = dense[&self.step(q, Symbol::from_index(s))];
-                delta[i][s] = dst;
                 inverse[s][dst].push(i);
             }
         }
-        let accepting: Vec<bool> = reachable.iter().map(|&q| self.is_accepting(q)).collect();
 
-        // Hopcroft partition refinement.
-        let mut partition: Vec<usize> = vec![0; n]; // state -> block id
-        let mut blocks: Vec<Vec<usize>> = Vec::new();
-        let acc: Vec<usize> = (0..n).filter(|&q| accepting[q]).collect();
-        let rej: Vec<usize> = (0..n).filter(|&q| !accepting[q]).collect();
-        for set in [acc, rej] {
-            if !set.is_empty() {
-                let id = blocks.len();
-                for &q in &set {
-                    partition[q] = id;
-                }
-                blocks.push(set);
+        // Initial partition: accepting vs rejecting.
+        let mut partition = RefinablePartition::new(n);
+        for (i, &q) in reachable.iter().enumerate() {
+            if self.is_accepting(q) {
+                partition.mark(i);
             }
         }
+        partition.split_marked(|_, _, _| {});
+
+        // Splitter queue: seed the smaller initial block on every symbol.
+        // Worst case n blocks, so `scheduled` can be sized up front.
         let mut worklist: VecDeque<(usize, usize)> = VecDeque::new();
-        let mut in_worklist: HashSet<(usize, usize)> = HashSet::new();
+        let mut scheduled = vec![false; n * nsyms.max(1)];
+        let seed = if partition.num_blocks() == 2 && partition.size(1) < partition.size(0) {
+            1
+        } else {
+            0
+        };
         for s in 0..nsyms {
-            // Push the smaller of the two initial blocks (or the only one).
-            let idx = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() {
-                1
-            } else {
-                0
-            };
-            worklist.push_back((idx, s));
-            in_worklist.insert((idx, s));
+            worklist.push_back((seed, s));
+            scheduled[seed * nsyms + s] = true;
         }
 
         while let Some((block_id, sym)) = worklist.pop_front() {
-            in_worklist.remove(&(block_id, sym));
-            // X = states with a transition on sym into block_id.
-            let splitter: Vec<usize> = blocks[block_id].clone();
-            let mut x: HashSet<usize> = HashSet::new();
+            scheduled[block_id * nsyms + sym] = false;
+            // Snapshot the splitter: marking below permutes `elems`,
+            // including possibly this very block's slice.
+            let splitter: Vec<usize> =
+                partition.elems[partition.begin[block_id]..partition.end[block_id]].to_vec();
             for &q in &splitter {
                 for &p in &inverse[sym][q] {
-                    x.insert(p);
+                    partition.mark(p);
                 }
             }
-            if x.is_empty() {
-                continue;
-            }
-            // Split every block B into B∩X and B\X. Iterate the affected
-            // blocks in sorted order: new block ids are assigned during this
-            // loop, so an unordered (HashSet) iteration made minimized-DFA
-            // state numbering vary run to run.
-            let affected: BTreeSet<usize> = x.iter().map(|&q| partition[q]).collect();
-            for b in affected {
-                let inside: Vec<usize> = blocks[b]
-                    .iter()
-                    .copied()
-                    .filter(|q| x.contains(q))
-                    .collect();
-                if inside.len() == blocks[b].len() || inside.is_empty() {
-                    continue;
-                }
-                let outside: Vec<usize> = blocks[b]
-                    .iter()
-                    .copied()
-                    .filter(|q| !x.contains(q))
-                    .collect();
-                // Replace b with the larger part, create new block for the
-                // smaller part.
-                let (keep, split) = if inside.len() <= outside.len() {
-                    (outside, inside)
-                } else {
-                    (inside, outside)
-                };
-                let new_id = blocks.len();
-                for &q in &split {
-                    partition[q] = new_id;
-                }
-                blocks[b] = keep;
-                blocks.push(split);
+            partition.split_marked(|p, old, new| {
                 for s in 0..nsyms {
-                    if in_worklist.contains(&(b, s)) {
-                        worklist.push_back((new_id, s));
-                        in_worklist.insert((new_id, s));
+                    if scheduled[old * nsyms + s] {
+                        // Old block already pending: both halves must be
+                        // processed.
+                        worklist.push_back((new, s));
+                        scheduled[new * nsyms + s] = true;
                     } else {
-                        // Push the smaller of the two.
-                        let idx = if blocks[new_id].len() < blocks[b].len() {
-                            new_id
-                        } else {
-                            b
-                        };
+                        let idx = if p.size(new) < p.size(old) { new } else { old };
                         worklist.push_back((idx, s));
-                        in_worklist.insert((idx, s));
+                        scheduled[idx * nsyms + s] = true;
                     }
                 }
-            }
+            });
         }
 
-        self.quotient(&reachable, &partition, blocks.len())
+        let class: Vec<usize> = partition.block_of.clone();
+        self.quotient(&reachable, &class, partition.num_blocks())
     }
 
     /// Naive Moore-style minimization: iterated pairwise refinement.

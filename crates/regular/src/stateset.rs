@@ -93,6 +93,23 @@ impl StateSet {
         }
     }
 
+    /// Whether every state of `self` is also in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ (sets from different automata).
+    pub fn is_subset_of(&self, other: &StateSet) -> bool {
+        assert_eq!(
+            self.blocks.len(),
+            other.blocks.len(),
+            "subset test of state sets with different capacities"
+        );
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
     /// Whether the sets share at least one state.
     ///
     /// # Panics
@@ -220,6 +237,21 @@ mod tests {
         assert_eq!(hash(&a), hash(&b));
         b.insert(0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let mut a = StateSet::new(100);
+        let mut b = StateSet::new(100);
+        assert!(a.is_subset_of(&b)); // empty ⊆ empty
+        b.insert(3);
+        b.insert(70);
+        assert!(a.is_subset_of(&b));
+        a.insert(70);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        a.insert(4);
+        assert!(!a.is_subset_of(&b));
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! Run with `cargo run -p langbench --release [LANG_OUT [PERF_OUT]]`.
 
 use shelley_bench::adversarial_claim;
+use shelley_core::system::build_systems;
+use shelley_core::{analyze_class, Checker};
 use shelley_ltlf::{check_claim, to_dfa, MonitorView};
 use shelley_regular::lang::{self, Complement, Lang, NfaView, NfaViewRef};
 use shelley_regular::{ops, Alphabet, Dfa, Nfa, Regex, Symbol};
@@ -291,14 +293,131 @@ fn write_rows(
     }
 }
 
+// ---------------------------------------------------------------------------
+// The dataflow/typestate row: a synthetic 100-class workspace.
+
+/// Measured facts of the typestate analysis on the synthetic workspace.
+struct DataflowRow {
+    classes: usize,
+    composites: usize,
+    fast_path_proven: u64,
+    analysis_ns: u128,
+    check_ns: u128,
+}
+
+impl DataflowRow {
+    fn skip_rate(&self) -> f64 {
+        self.fast_path_proven as f64 / self.composites.max(1) as f64
+    }
+}
+
+/// Builds the synthetic workspace: 10 three-operation device protocols and
+/// 90 composite apps, each driving one device through `boot · work · stop`.
+/// Every third app detours through a `while`/`break` loop, whose jump makes
+/// the typestate analysis bail to ⊤ — so the fast-path skip rate lands
+/// strictly between 0 and 1 and both verification paths stay exercised.
+fn synthetic_workspace() -> Vec<(String, String)> {
+    const BASES: usize = 10;
+    const APPS: usize = 90;
+    let mut files = Vec::with_capacity(BASES + APPS);
+    for k in 0..BASES {
+        files.push((
+            format!("dev{k}.py"),
+            format!(
+                "@sys\nclass Dev{k}:\n    @op_initial\n    def boot(self):\n        \
+                 return [\"work\"]\n\n    @op\n    def work(self):\n        \
+                 return [\"stop\"]\n\n    @op_final\n    def stop(self):\n        \
+                 return []\n"
+            ),
+        ));
+    }
+    for i in 0..APPS {
+        let k = i % BASES;
+        let body = if i % 3 == 2 {
+            "        self.d.boot()\n        self.d.work()\n        \
+             while retry:\n            break\n        self.d.stop()\n        return []\n"
+        } else {
+            "        self.d.boot()\n        self.d.work()\n        \
+             self.d.stop()\n        return []\n"
+        };
+        files.push((
+            format!("app{i}.py"),
+            format!(
+                "@sys([\"d\"])\nclass App{i}:\n    def __init__(self):\n        \
+                 self.d = Dev{k}()\n\n    @op_initial_final\n    def run(self):\n{body}"
+            ),
+        ));
+    }
+    files
+}
+
+fn measure_dataflow() -> DataflowRow {
+    let files = synthetic_workspace();
+
+    // Counters from one cold workspace round.
+    let mut ws = Checker::new().jobs(1).into_workspace();
+    for (name, src) in &files {
+        ws.set_file(name.clone(), src.clone());
+    }
+    let checked = ws.check().expect("synthetic workspace parses");
+    assert!(
+        checked.report.passed(),
+        "synthetic workspace must verify:\n{}",
+        checked.report.render(None)
+    );
+    let classes = checked.systems.len();
+    let composites = checked.integrations.len();
+    let fast_path_proven = ws.last_round().fast_path_proven;
+
+    // Timed: the typestate analysis alone, over every class of the
+    // concatenated module.
+    let src: String = files
+        .iter()
+        .map(|(_, s)| s.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let module = micropython_parser::parse_module(&src).expect("parses");
+    let (systems, _) = build_systems(&module);
+    let analysis_ns = time(5, || {
+        let mut proven = 0usize;
+        for system in systems.iter() {
+            if let Some(class) = module.class(&system.name) {
+                if let Some(report) = analyze_class(class, system, &systems) {
+                    proven += report.proven.len();
+                }
+            }
+        }
+        proven
+    });
+
+    // Timed: a full cold workspace check (parse → extract → verify with
+    // the fast path active).
+    let check_ns = time(5, || {
+        let mut ws = Checker::new().jobs(1).into_workspace();
+        for (name, src) in &files {
+            ws.set_file(name.clone(), src.clone());
+        }
+        ws.check().expect("parses").report.passed()
+    });
+
+    DataflowRow {
+        classes,
+        composites,
+        fast_path_proven,
+        analysis_ns,
+        check_ns,
+    }
+}
+
 fn perf_report() -> (String, bool) {
     let sweep = [4usize, 6, 8, 10, 12];
     let subset: Vec<PerfRow> = sweep.iter().map(|&n| measure_subset(n)).collect();
     let joint: Vec<PerfRow> = sweep.iter().map(|&n| measure_joint(n)).collect();
-    let minimize: Vec<PerfRow> = [4usize, 6, 8, 10]
+    let minimize: Vec<PerfRow> = [4usize, 6, 8, 10, 12]
         .iter()
         .map(|&n| measure_minimize(n))
         .collect();
+    let dataflow = measure_dataflow();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -339,9 +458,28 @@ fn perf_report() -> (String, bool) {
         "moore_ns",
     );
     json.push_str("    ]\n  },\n");
+    json.push_str("  \"dataflow\": {\n");
+    json.push_str(
+        "    \"workload\": \"synthetic workspace: 10 three-op device protocols + 90 composite apps (every third loop-imprecise)\",\n",
+    );
+    json.push_str("    \"rows\": [\n");
+    let _ = writeln!(
+        json,
+        "      {{\"classes\": {}, \"composites\": {}, \"fast_path_proven\": {}, \
+         \"skip_rate\": {:.2}, \"analysis_ns\": {}, \"workspace_check_ns\": {}}}",
+        dataflow.classes,
+        dataflow.composites,
+        dataflow.fast_path_proven,
+        dataflow.skip_rate(),
+        dataflow.analysis_ns,
+        dataflow.check_ns
+    );
+    json.push_str("    ]\n  },\n");
 
-    // The acceptance gate: at n ≥ 10 the bitset engine wins subset
-    // construction and the exhaustive joint BFS by ≥ 2×.
+    // The acceptance gates: at n ≥ 10 the bitset engine wins subset
+    // construction and the exhaustive joint BFS by ≥ 2×, Hopcroft never
+    // loses to the Moore baseline, and the typestate fast path proves a
+    // positive share of the synthetic workspace.
     let gate_rows = |rows: &[PerfRow]| {
         rows.iter()
             .filter(|r| r.n >= 10)
@@ -349,12 +487,23 @@ fn perf_report() -> (String, bool) {
     };
     let gate_subset = gate_rows(&subset);
     let gate_joint = gate_rows(&joint);
+    let gate_hopcroft = minimize
+        .iter()
+        .filter(|r| r.n >= 10)
+        .all(|r| r.speedup() >= 1.0);
+    let gate_dataflow = dataflow.fast_path_proven > 0;
     let _ = writeln!(
         json,
-        "  \"gate\": {{\"n\": 10, \"subset_bitset_at_least_2x\": {gate_subset}, \"joint_bitset_at_least_2x\": {gate_joint}}}"
+        "  \"gate\": {{\"n\": 10, \"subset_bitset_at_least_2x\": {gate_subset}, \
+         \"joint_bitset_at_least_2x\": {gate_joint}, \
+         \"hopcroft_at_least_moore\": {gate_hopcroft}, \
+         \"dataflow_skip_rate_positive\": {gate_dataflow}}}"
     );
     json.push_str("}\n");
-    (json, gate_subset && gate_joint)
+    (
+        json,
+        gate_subset && gate_joint && gate_hopcroft && gate_dataflow,
+    )
 }
 
 fn write_or_die(path: &str, json: &str) {

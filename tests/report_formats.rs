@@ -133,3 +133,90 @@ fn sarif_report_matches_golden() {
     assert!(sarif.contains("open_a, a.test, a.open"));
     check_golden("paper.sarif", &sarif);
 }
+
+/// A fixture exercising the typestate-analysis codes: `DoubleOpen` opens
+/// its valve twice (`E009` definite violation with a shortest trace),
+/// `Flicker` only tests the valve on some paths (`W012` possible
+/// violation), and neither ever runs `clean` (`W013` dead operation).
+const TYPESTATE: &str = r#"@sys
+class Valve:
+    @op_initial
+    def test(self):
+        return ["open", "clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+
+@sys(["a"])
+class DoubleOpen:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def run(self):
+        self.a.test()
+        self.a.open()
+        self.a.open()
+        self.a.close()
+        return []
+
+@sys(["v"])
+class Flicker:
+    def __init__(self):
+        self.v = Valve()
+
+    @op_initial_final
+    def blink(self):
+        if day:
+            self.v.test()
+        self.v.open()
+        self.v.close()
+        return []
+"#;
+
+#[test]
+fn typestate_text_report_matches_golden() {
+    let file = SourceFile::new("typestate.py".to_owned(), TYPESTATE.to_owned());
+    let checked = Checker::new().check_source(TYPESTATE).unwrap();
+    let text = checked.report.render(Some(&file));
+    for code in ["E009", "W012", "W013"] {
+        assert!(text.contains(code), "missing {code} in:\n{text}");
+    }
+    assert!(text.contains("shortest violating trace: test, open, open"));
+    check_golden("typestate.txt", &text);
+}
+
+#[test]
+fn typestate_json_report_matches_golden() {
+    let file = SourceFile::new("typestate.py".to_owned(), TYPESTATE.to_owned());
+    let checked = Checker::new().check_source(TYPESTATE).unwrap();
+    let json = checked.report.diagnostics.render_json(Some(&file));
+    for code in ["E009", "W012", "W013"] {
+        assert!(json.contains(code), "missing {code} in:\n{json}");
+    }
+    check_golden("typestate.json", &json);
+}
+
+#[test]
+fn typestate_sarif_report_matches_golden() {
+    let file = SourceFile::new("typestate.py".to_owned(), TYPESTATE.to_owned());
+    let checked = Checker::new().check_source(TYPESTATE).unwrap();
+    let sarif = checked.report.diagnostics.render_sarif(Some(&file));
+    for rule in [
+        "\"ruleId\": \"E009\"",
+        "\"ruleId\": \"W012\"",
+        "\"ruleId\": \"W013\"",
+    ] {
+        assert!(sarif.contains(rule), "missing {rule} in:\n{sarif}");
+    }
+    check_golden("typestate.sarif", &sarif);
+}
