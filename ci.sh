@@ -29,4 +29,35 @@ echo "==> langbench gates (lazy-vs-eager, bitset 2x, hopcroft >= moore, dataflow
 # path proving a positive share of the synthetic 100-class workspace.
 cargo run -p langbench --release -q -- BENCH_lang.json BENCH_perf.json > /dev/null
 
+echo "==> servebench gate (warm restart >= 2x cold on the 1k-class workspace)"
+# Writes BENCH_serve.json and asserts the persistent verify cache pays
+# for itself: a warm daemon restart must beat a cold start by >= 2x.
+cargo run -p servebench --release -q -- BENCH_serve.json
+
+echo "==> daemon smoke test (serve over a socket, check, shutdown)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/led.py" <<'EOF'
+@sys
+class Led:
+    @op_initial
+    def on(self):
+        return ["off"]
+
+    @op_final
+    def off(self):
+        return ["on"]
+EOF
+cargo build -p shelley-cli --release -q
+SHELLEYC=target/release/shelleyc
+"$SHELLEYC" serve --socket "$SMOKE_DIR/daemon.sock" --cache "$SMOKE_DIR/cache.ndjson" &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -S "$SMOKE_DIR/daemon.sock" ] && break; sleep 0.1; done
+[ -S "$SMOKE_DIR/daemon.sock" ] || { echo "daemon socket never appeared"; exit 1; }
+"$SHELLEYC" connect "$SMOKE_DIR/daemon.sock" "$SMOKE_DIR/led.py" \
+    | grep -q "OK: 1 system(s) verified"
+"$SHELLEYC" connect "$SMOKE_DIR/daemon.sock" --shutdown
+wait "$SERVE_PID"
+[ -f "$SMOKE_DIR/cache.ndjson" ] || { echo "daemon did not persist its cache"; exit 1; }
+
 echo "CI OK"

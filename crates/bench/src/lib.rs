@@ -226,6 +226,53 @@ pub fn generated_project(classes: usize) -> Vec<(String, String)> {
         .collect()
 }
 
+/// The serve-bench workspace: a file-per-class project of `classes`
+/// classes dominated by verification cost, the workload the persistent
+/// cache is designed for.
+///
+/// One device protocol (`boot → work → stop`) per twenty classes; the
+/// rest are single-operation apps, each driving one device through a
+/// full round and carrying an LTLf claim. Every second app detours
+/// through a `while`/`break` loop whose jump makes the typestate
+/// analysis bail to ⊤, forcing the full language-inclusion check — so a
+/// fresh verify pays lints + typestate + inclusion + claim checking, all
+/// of which a warm restart restores from disk.
+pub fn serve_project(classes: usize) -> Vec<(String, String)> {
+    let bases = (classes / 20).max(1);
+    let apps = classes.saturating_sub(bases);
+    let mut files = Vec::with_capacity(classes);
+    for k in 0..bases {
+        files.push((
+            format!("dev{k}.py"),
+            format!(
+                "@sys\nclass Dev{k}:\n    @op_initial\n    def boot(self):\n        \
+                 return [\"work\"]\n\n    @op\n    def work(self):\n        \
+                 return [\"stop\"]\n\n    @op_final\n    def stop(self):\n        \
+                 return []\n"
+            ),
+        ));
+    }
+    for i in 0..apps {
+        let k = i % bases;
+        let body = if i % 2 == 1 {
+            "        self.d.boot()\n        self.d.work()\n        \
+             while retry:\n            break\n        self.d.stop()\n        return []\n"
+        } else {
+            "        self.d.boot()\n        self.d.work()\n        \
+             self.d.stop()\n        return []\n"
+        };
+        files.push((
+            format!("app{i}.py"),
+            format!(
+                "@claim(\"(!d.stop) W d.boot\")\n@sys([\"d\"])\nclass App{i}:\n    \
+                 def __init__(self):\n        self.d = Dev{k}()\n\n    \
+                 @op_initial_final\n    def run(self):\n{body}"
+            ),
+        ));
+    }
+    files
+}
+
 /// The adversarial workload for the `lang_views` bench: the claim
 /// `F a0 & F a1 & ... & F a{n-1}` paired with a tiny model that only ever
 /// emits `a0`.
@@ -285,6 +332,26 @@ mod tests {
         let checked = Checker::new().check_files(&files).unwrap();
         assert!(checked.report.passed(), "{}", checked.report.render(None));
         assert_eq!(checked.systems.len(), 10);
+    }
+
+    #[test]
+    fn serve_project_verifies_with_a_mixed_fast_path() {
+        let files: Vec<_> = serve_project(40)
+            .into_iter()
+            .map(|(name, source)| shelley_core::ProjectFile::new(name, source))
+            .collect();
+        let mut ws = Checker::new().jobs(1).into_workspace();
+        for f in &files {
+            ws.set_file(f.name.clone(), f.source.clone());
+        }
+        let checked = ws.check().unwrap();
+        assert!(checked.report.passed(), "{}", checked.report.render(None));
+        assert_eq!(checked.systems.len(), 40);
+        let proven = ws.last_round().fast_path_proven;
+        assert!(
+            proven > 0 && proven < 38,
+            "both verify paths must stay exercised (proven {proven}/38 composites)"
+        );
     }
 
     #[test]

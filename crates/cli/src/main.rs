@@ -4,6 +4,8 @@
 //! ```text
 //! shelleyc check <file.py> [more.py ...]  verify all @sys classes
 //! shelleyc watch <file.py> [more.py ...]  re-check on demand (reads stdin)
+//! shelleyc serve [--socket p] [--cache p] persistent verification daemon
+//! shelleyc connect <socket> [file.py ...] one-shot client of a daemon
 //! shelleyc diagram <file.py> <Class>      DOT operation diagram (Fig. 1)
 //! shelleyc deps <file.py> <Class>         DOT dependency graph (Fig. 3)
 //! shelleyc integration <file.py> <Class>  DOT integration automaton (Fig. 2)
@@ -28,6 +30,7 @@ use shelley_core::extract::dependency::DependencyGraph;
 use shelley_core::{
     build_integration, integration_diagram, spec_diagram, Checker, LintConfig, LintLevel,
 };
+use shelley_daemon::{Client, Engine};
 use shelley_smv::nfa_to_smv;
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -58,6 +61,9 @@ const USAGE: &str = "usage:
       [--format text|json|sarif] [--jobs N]
   shelleyc watch <file.py> [more.py ...] [--jobs N]
       (then `check` or `quit` on stdin)
+  shelleyc serve [--socket <path>] [--cache <path>] [--jobs N]
+      (JSON protocol on stdin/stdout, or many clients on the socket)
+  shelleyc connect <socket> [file.py ...] [--shutdown]
   shelleyc diagram <file.py> <Class>
   shelleyc deps <file.py> <Class>
   shelleyc integration <file.py> <Class>
@@ -80,91 +86,194 @@ enum Format {
     Sarif,
 }
 
-fn parse_format(name: &str) -> Result<Format, CliError> {
-    match name {
-        "text" => Ok(Format::Text),
-        "json" => Ok(Format::Json),
-        "sarif" => Ok(Format::Sarif),
-        other => Err(CliError::Usage(format!(
-            "unknown format `{other}` (expected text, json, or sarif)"
-        ))),
+/// Every option a `shelleyc` command can take, collected by the one
+/// flag-table parser below. Commands read the fields they care about and
+/// ignore the rest.
+struct Options {
+    config: LintConfig,
+    format: Format,
+    jobs: usize,
+    socket: Option<String>,
+    cache: Option<String>,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            config: LintConfig::new(),
+            format: Format::Text,
+            jobs: 0,
+            socket: None,
+            cache: None,
+            shutdown: false,
+        }
     }
 }
 
-fn parse_jobs(value: &str) -> Result<usize, CliError> {
-    value
-        .parse()
-        .map_err(|_| CliError::Usage(format!("invalid --jobs value `{value}`")))
+/// One command-line flag: its spellings, whether it takes a value (and
+/// what to call it in errors), and how it lands in [`Options`].
+struct Flag {
+    /// Accepted spellings, e.g. `&["--jobs", "-j"]`.
+    names: &'static [&'static str],
+    /// `Some(noun)` when the flag takes a value; the noun names it in
+    /// `--flag requires a <noun>` errors.
+    value: Option<&'static str>,
+    /// Folds the parsed occurrence into the options. `value` is `""`
+    /// for flags that take none.
+    apply: fn(&mut Options, flag: &str, value: &str) -> Result<(), CliError>,
 }
 
-/// Splits `args` into positionals and the lint/format/jobs flags, which
-/// may appear anywhere on the command line.
-fn parse_args(args: &[String]) -> Result<(Vec<String>, LintConfig, Format, usize), CliError> {
+fn set_lint(opts: &mut Options, flag: &str, code: &str) -> Result<(), CliError> {
+    if flag == "-D" && code == "warnings" {
+        opts.config.deny_warnings = true;
+        return Ok(());
+    }
+    let level = match flag {
+        "-A" => LintLevel::Allow,
+        "-W" => LintLevel::Warn,
+        _ => LintLevel::Deny,
+    };
+    opts.config
+        .set(code, level)
+        .map_err(|e| CliError::Usage(e.to_string()))
+}
+
+/// The single flag table every command parses against. `--flag value`
+/// and `--flag=value` are both accepted for every value-taking flag.
+const FLAGS: &[Flag] = &[
+    Flag {
+        names: &["-A"],
+        value: Some("diagnostic code"),
+        apply: set_lint,
+    },
+    Flag {
+        names: &["-W"],
+        value: Some("diagnostic code"),
+        apply: set_lint,
+    },
+    Flag {
+        names: &["-D"],
+        value: Some("diagnostic code"),
+        apply: set_lint,
+    },
+    Flag {
+        names: &["--deny-warnings"],
+        value: None,
+        apply: |opts, _, _| {
+            opts.config.deny_warnings = true;
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--format"],
+        value: Some("value"),
+        apply: |opts, _, value| {
+            opts.format = match value {
+                "text" => Format::Text,
+                "json" => Format::Json,
+                "sarif" => Format::Sarif,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown format `{other}` (expected text, json, or sarif)"
+                    )))
+                }
+            };
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--jobs", "-j"],
+        value: Some("number"),
+        apply: |opts, _, value| {
+            opts.jobs = value
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid --jobs value `{value}`")))?;
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--socket"],
+        value: Some("path"),
+        apply: |opts, _, value| {
+            opts.socket = Some(value.to_string());
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--cache"],
+        value: Some("path"),
+        apply: |opts, _, value| {
+            opts.cache = Some(value.to_string());
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--shutdown"],
+        value: None,
+        apply: |opts, _, _| {
+            opts.shutdown = true;
+            Ok(())
+        },
+    },
+];
+
+/// Splits `args` into positionals and flags (which may appear anywhere),
+/// driving every flag through the declarative [`FLAGS`] table.
+fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), CliError> {
     let mut positionals = Vec::new();
-    let mut config = LintConfig::new();
-    let mut format = Format::Text;
-    let mut jobs = 0;
+    let mut opts = Options::default();
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
-        match arg {
-            "-A" | "-W" | "-D" => {
-                let code = args
-                    .get(i + 1)
-                    .ok_or_else(|| CliError::Usage(format!("{arg} requires a diagnostic code")))?;
-                i += 1;
-                if arg == "-D" && code == "warnings" {
-                    config.deny_warnings = true;
-                } else {
-                    let level = match arg {
-                        "-A" => LintLevel::Allow,
-                        "-W" => LintLevel::Warn,
-                        _ => LintLevel::Deny,
-                    };
-                    config
-                        .set(code, level)
-                        .map_err(|e| CliError::Usage(e.to_string()))?;
-                }
+        // `--flag=value` splits in place; `--flag value` consumes the
+        // next argument.
+        let (name, inline_value) = match arg.split_once('=') {
+            Some((name, value)) if name.starts_with("--") => (name, Some(value)),
+            _ => (arg, None),
+        };
+        match FLAGS.iter().find(|f| f.names.contains(&name)) {
+            Some(flag) => {
+                let value = match (flag.value, inline_value) {
+                    (Some(_), Some(value)) => value,
+                    (Some(noun), None) => {
+                        i += 1;
+                        args.get(i)
+                            .map(String::as_str)
+                            .ok_or_else(|| CliError::Usage(format!("{name} requires a {noun}")))?
+                    }
+                    (None, Some(_)) => {
+                        return Err(CliError::Usage(format!("{name} does not take a value")))
+                    }
+                    (None, None) => "",
+                };
+                (flag.apply)(&mut opts, name, value)?;
             }
-            "--deny-warnings" => config.deny_warnings = true,
-            "--format" => {
-                let name = args
-                    .get(i + 1)
-                    .ok_or_else(|| CliError::Usage("--format requires a value".into()))?;
-                i += 1;
-                format = parse_format(name)?;
-            }
-            _ if arg.starts_with("--format=") => {
-                format = parse_format(&arg["--format=".len()..])?;
-            }
-            "--jobs" | "-j" => {
-                let value = args
-                    .get(i + 1)
-                    .ok_or_else(|| CliError::Usage(format!("{arg} requires a number")))?;
-                i += 1;
-                jobs = parse_jobs(value)?;
-            }
-            _ if arg.starts_with("--jobs=") => {
-                jobs = parse_jobs(&arg["--jobs=".len()..])?;
-            }
-            _ if arg.starts_with('-') && arg.len() > 1 => {
+            None if arg.starts_with('-') && arg.len() > 1 => {
                 return Err(CliError::Usage(format!("unknown flag `{arg}`")));
             }
-            _ => positionals.push(args[i].clone()),
+            None => positionals.push(args[i].clone()),
         }
         i += 1;
     }
-    Ok((positionals, config, format, jobs))
+    Ok((positionals, opts))
 }
 
 fn run(raw_args: &[String]) -> Result<String, CliError> {
-    let (args, config, format, jobs) = parse_args(raw_args)?;
+    let (args, opts) = parse_args(raw_args)?;
+    let format = opts.format;
     let cmd = args
         .first()
         .ok_or_else(|| CliError::Usage("missing command".into()))?;
-    let checker = Checker::new().lints(config.clone()).jobs(jobs);
+    let checker = Checker::new().lints(opts.config.clone()).jobs(opts.jobs);
     if cmd == "watch" {
         return run_watch(&args[1..], checker);
+    }
+    if cmd == "serve" {
+        return run_serve(&opts, checker);
+    }
+    if cmd == "connect" {
+        return run_connect(&args[1..], &opts);
     }
     let path = args
         .get(1)
@@ -350,19 +459,30 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// The multi-round mode: keeps a workspace alive and re-checks the same
-/// file set on every `check` line read from stdin, re-reading the files
-/// from disk so edits between rounds are picked up. Streams the report of
-/// each round followed by a `# round N:` cache-stats line, and exits on
-/// `quit` or end of input.
+/// The multi-round mode: a thin client over the daemon wire types. Each
+/// `check` line read from stdin re-reads the watched files from disk,
+/// sends them through the protocol [`Engine`], and renders the returned
+/// [`shelley_core::api::CheckSummary`] — the exact bytes an in-process
+/// check would print —
+/// followed by a `# round N:` cache-stats line. Exits on `quit` or end
+/// of input.
 fn run_watch(paths: &[String], checker: Checker) -> Result<String, CliError> {
+    use shelley_core::{Method, ReplyBody, Request};
     use std::io::Write as _;
 
     if paths.is_empty() {
         return Err(CliError::Usage("missing input file".into()));
     }
-    let mut workspace = checker.into_workspace();
+    let mut engine = Engine::new(checker);
     let mut round = 0u64;
+    let mut next_id = 1u64;
+    let mut send = move |engine: &mut Engine, method| {
+        let id = next_id;
+        next_id += 1;
+        let mut last = None;
+        engine.handle(Request { id, method }, &mut |reply| last = Some(reply.body));
+        last
+    };
     for line in std::io::stdin().lock().lines() {
         let line = line.map_err(|e| CliError::Usage(format!("cannot read stdin: {e}")))?;
         let mut out = String::new();
@@ -374,24 +494,25 @@ fn run_watch(paths: &[String], checker: Checker) -> Result<String, CliError> {
                 for path in paths {
                     let text = std::fs::read_to_string(path)
                         .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
-                    workspace.set_file(path.clone(), text);
+                    send(
+                        &mut engine,
+                        Method::Open {
+                            path: path.clone(),
+                            text,
+                        },
+                    );
                 }
-                match workspace.check() {
-                    Ok(checked) => {
-                        out.push_str(&checked.report.render(None));
-                        if checked.report.passed() {
-                            out.push_str(&format!(
-                                "OK: {} system(s) verified\n",
-                                checked.systems.len()
-                            ));
-                        }
+                match send(&mut engine, Method::Check) {
+                    Some(ReplyBody::Check { summary }) => {
+                        out.push_str(&summary.render_text());
+                        out.push_str(&format!("# round {round}: {}\n", summary.stats.render()));
                     }
-                    Err(e) => out.push_str(&format!("{e}\n")),
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "protocol error: expected a check reply, got {other:?}"
+                        )))
+                    }
                 }
-                out.push_str(&format!(
-                    "# round {round}: {}\n",
-                    workspace.last_round().render()
-                ));
             }
             other => {
                 return Err(CliError::Usage(format!(
@@ -408,4 +529,98 @@ fn run_watch(paths: &[String], checker: Checker) -> Result<String, CliError> {
             .map_err(|e| CliError::Usage(format!("cannot write stdout: {e}")))?;
     }
     Ok(String::new())
+}
+
+/// `shelleyc serve`: hosts the shared workspace behind the JSON protocol,
+/// on stdin/stdout by default or on a Unix socket for concurrent clients.
+/// `--cache` attaches the persistent verify cache (loaded now, saved on
+/// shutdown); what the load recovered is reported on stderr so stdout
+/// stays protocol-clean.
+fn run_serve(opts: &Options, checker: Checker) -> Result<String, CliError> {
+    let mut engine = Engine::new(checker);
+    if let Some(cache) = &opts.cache {
+        let (loaded, outcome) = engine.with_cache(cache);
+        engine = loaded;
+        match (&outcome.rejected, outcome.entries.len()) {
+            (Some(_), _) if !std::path::Path::new(cache).exists() => {
+                eprintln!("# cache: none yet, starting cold")
+            }
+            (Some(reason), _) => eprintln!("# cache: starting cold ({reason})"),
+            (None, n) => eprintln!(
+                "# cache: restored {n} entr{} ({} line(s) skipped)",
+                if n == 1 { "y" } else { "ies" },
+                outcome.skipped_lines
+            ),
+        }
+    }
+    let served = match &opts.socket {
+        Some(socket) => shelley_daemon::serve_socket(engine, std::path::Path::new(socket)),
+        None => shelley_daemon::serve_stdio(engine),
+    };
+    served.map_err(|e| CliError::Usage(format!("serve failed: {e}")))?;
+    Ok(String::new())
+}
+
+/// `shelleyc connect`: a one-shot client for a running daemon. Opens the
+/// given files in the daemon's workspace, runs a check, and prints the
+/// summary exactly as `shelleyc check` would; `--shutdown` then asks the
+/// daemon to persist its cache and stop.
+fn run_connect(args: &[String], opts: &Options) -> Result<String, CliError> {
+    let socket = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing socket path".into()))?;
+    let mut client = Client::connect(std::path::Path::new(socket))
+        .map_err(|e| CliError::Usage(format!("cannot connect to {socket}: {e}")))?;
+    let fail = |e: std::io::Error| CliError::Usage(format!("daemon request failed: {e}"));
+    client.hello().map_err(fail)?;
+    let mut files = Vec::new();
+    for path in &args[1..] {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+        client.open(path.clone(), text.clone()).map_err(fail)?;
+        files.push((path.clone(), text));
+    }
+    let mut out = String::new();
+    let passed = if files.is_empty() {
+        true
+    } else {
+        let summary = client.check().map_err(fail)?;
+        if let Some(failure) = &summary.parse_error {
+            // The same shape a one-shot check prints for parse errors.
+            match (failure.line, failure.column) {
+                (Some(line), Some(col)) => {
+                    out.push_str(&format!(
+                        "{}:{line}:{col}: {}\n",
+                        failure.file, failure.message
+                    ));
+                }
+                _ => out.push_str(&format!("{}\n", failure.render_text())),
+            }
+        } else {
+            // Positions resolve only for single files, exactly as `check`.
+            let source = match files.as_slice() {
+                [(path, text)] => Some(micropython_parser::SourceFile::new(
+                    path.clone(),
+                    text.clone(),
+                )),
+                _ => None,
+            };
+            out.push_str(&summary.report().render(source.as_ref()));
+            if summary.passed {
+                out.push_str(&format!(
+                    "OK: {} system(s) verified\n",
+                    summary.systems.len()
+                ));
+            }
+        }
+        summary.passed
+    };
+    if opts.shutdown {
+        client.shutdown().map_err(fail)?;
+    }
+    if passed {
+        Ok(out)
+    } else {
+        Err(CliError::Verification(out))
+    }
 }

@@ -178,6 +178,84 @@ fn watch_recheck_hits_the_cache_and_sees_edits() {
     assert!(round3.contains("error"), "{round3}");
 }
 
+/// The golden byte-identity contract of the thin-client rewrite: one
+/// `watch` round prints exactly what a one-shot `check` prints, plus the
+/// `# round` marker line.
+#[test]
+fn watch_round_is_byte_identical_to_one_shot_check() {
+    use std::io::{Read as _, Write as _};
+    use std::process::Stdio;
+
+    for (name, content) in [("golden_ok.py", GOOD), ("golden_bad.py", PAPER)] {
+        let path = write_temp(name, content);
+        let (check_stdout, _, _) = shelleyc(&["check", path.to_str().unwrap()]);
+
+        let mut child = Command::new(env!("CARGO_BIN_EXE_shelleyc"))
+            .args(["watch", path.to_str().unwrap()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("binary runs");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(b"check\nquit\n")
+            .unwrap();
+        let mut watch_stdout = String::new();
+        child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut watch_stdout)
+            .unwrap();
+        assert!(child.wait().unwrap().success());
+
+        let (body, marker) = watch_stdout
+            .split_once("# round 1:")
+            .expect("round marker printed");
+        assert_eq!(body, check_stdout, "watch round != check output for {name}");
+        assert!(marker.contains("verified"));
+    }
+}
+
+/// End-to-end daemon smoke over a real socket: `serve` + `connect`
+/// prints exactly what a one-shot `check` prints, and `--shutdown`
+/// stops the daemon and persists the cache.
+#[test]
+fn serve_and_connect_match_check_and_shut_down_cleanly() {
+    let dir = std::env::temp_dir().join(format!("shelleyc-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("daemon.sock");
+    let cache = dir.join("cache.ndjson");
+    let path = write_temp("served.py", PAPER);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_shelleyc"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("binary runs");
+    while !socket.exists() {
+        std::thread::yield_now();
+    }
+
+    let (check_stdout, _, check_code) = shelleyc(&["check", path.to_str().unwrap()]);
+    let (connect_stdout, _, connect_code) =
+        shelleyc(&["connect", socket.to_str().unwrap(), path.to_str().unwrap()]);
+    assert_eq!(connect_stdout, check_stdout);
+    assert_eq!(connect_code, check_code);
+
+    let (_, _, code) = shelleyc(&["connect", socket.to_str().unwrap(), "--shutdown"]);
+    assert_eq!(code, Some(0));
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+    assert!(cache.exists(), "shutdown persisted the verify cache");
+}
+
 #[test]
 fn diagram_outputs_dot() {
     let path = write_temp("paper2.py", PAPER);

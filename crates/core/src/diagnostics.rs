@@ -1,10 +1,17 @@
 //! Diagnostics: structured errors and warnings with source locations.
 
 use micropython_parser::{SourceFile, Span};
+use serde::Value;
 use std::fmt;
 
 /// Severity of a diagnostic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Serializes as the lowercase word the text renderer prints (`"warning"`
+/// / `"error"`), so the JSON and SARIF surfaces agree with [`fmt::Display`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[serde(rename_all = "snake_case")]
 pub enum Severity {
     /// Non-fatal advice; verification continues.
     Warning,
@@ -333,6 +340,54 @@ impl Diagnostic {
     }
 }
 
+/// Diagnostics serialize with full fidelity — byte spans rather than
+/// resolved line/column — so a persisted diagnostic re-renders exactly
+/// (the daemon's disk cache depends on this). The editor-facing resolved
+/// form is [`crate::api::WireDiagnostic`].
+impl serde::Serialize for Diagnostic {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            (
+                "severity".to_string(),
+                serde::Serialize::serialize(&self.severity),
+            ),
+            ("code".to_string(), Value::Str(self.code.to_string())),
+            ("message".to_string(), Value::Str(self.message.clone())),
+            (
+                "notes".to_string(),
+                serde::Serialize::serialize(&self.notes),
+            ),
+        ];
+        if let Some(file) = &self.file {
+            fields.push(("file".to_string(), Value::Str(file.clone())));
+        }
+        if let Some(span) = &self.span {
+            fields.push(("span".to_string(), serde::Serialize::serialize(span)));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl serde::Deserialize for Diagnostic {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let map = serde::__as_map(value, "Diagnostic")?;
+        // The in-memory code is `&'static str`; recover it through the
+        // registry so unknown codes fail loudly instead of aliasing.
+        let code: String = serde::__field(map, "code", "Diagnostic")?;
+        let code = code_info(&code)
+            .ok_or_else(|| serde::Error::new(format!("unknown diagnostic code `{code}`")))?
+            .code;
+        Ok(Diagnostic {
+            severity: serde::__field(map, "severity", "Diagnostic")?,
+            code,
+            file: serde::__opt_field(map, "file", "Diagnostic")?,
+            span: serde::__opt_field(map, "span", "Diagnostic")?,
+            message: serde::__field(map, "message", "Diagnostic")?,
+            notes: serde::__field(map, "notes", "Diagnostic")?,
+        })
+    }
+}
+
 /// An ordered collection of diagnostics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Diagnostics {
@@ -428,14 +483,13 @@ impl Diagnostics {
         let diags = self
             .items
             .iter()
-            .map(|d| Json::Obj(diagnostic_fields(d, source)))
+            .map(|d| serde::Serialize::serialize(&crate::api::WireDiagnostic::new(d, source)))
             .collect();
-        let doc = Json::Obj(vec![
-            ("tool", Json::str("shelleyc")),
-            ("diagnostics", Json::Arr(diags)),
+        let doc = obj(vec![
+            ("tool", s("shelleyc")),
+            ("diagnostics", Value::Seq(diags)),
         ]);
-        let mut out = String::new();
-        doc.write(&mut out, 0);
+        let mut out = serde::json::to_string_pretty(&doc);
         out.push('\n');
         out
     }
@@ -449,19 +503,13 @@ impl Diagnostics {
         let rules = REGISTRY
             .iter()
             .map(|info| {
-                Json::Obj(vec![
-                    ("id", Json::str(info.code)),
-                    ("name", Json::str(info.name)),
-                    (
-                        "shortDescription",
-                        Json::Obj(vec![("text", Json::str(info.summary))]),
-                    ),
+                obj(vec![
+                    ("id", s(info.code)),
+                    ("name", s(info.name)),
+                    ("shortDescription", obj(vec![("text", s(info.summary))])),
                     (
                         "defaultConfiguration",
-                        Json::Obj(vec![(
-                            "level",
-                            Json::str(sarif_level(info.default_severity)),
-                        )]),
+                        obj(vec![("level", s(sarif_level(info.default_severity)))]),
                     ),
                 ])
             })
@@ -476,45 +524,41 @@ impl Diagnostics {
                     text.push_str(note);
                 }
                 let mut fields = vec![
-                    ("ruleId", Json::str(d.code)),
-                    ("level", Json::str(sarif_level(d.severity))),
-                    ("message", Json::Obj(vec![("text", Json::Str(text))])),
+                    ("ruleId", s(d.code)),
+                    ("level", s(sarif_level(d.severity))),
+                    ("message", obj(vec![("text", Value::Str(text))])),
                 ];
                 if let Some(location) = sarif_location(d, source) {
-                    fields.push(("locations", Json::Arr(vec![location])));
+                    fields.push(("locations", Value::Seq(vec![location])));
                 }
-                Json::Obj(fields)
+                obj(fields)
             })
             .collect();
-        let doc = Json::Obj(vec![
+        let doc = obj(vec![
             (
                 "$schema",
-                Json::str("https://json.schemastore.org/sarif-2.1.0.json"),
+                s("https://json.schemastore.org/sarif-2.1.0.json"),
             ),
-            ("version", Json::str("2.1.0")),
+            ("version", s("2.1.0")),
             (
                 "runs",
-                Json::Arr(vec![Json::Obj(vec![
+                Value::Seq(vec![obj(vec![
                     (
                         "tool",
-                        Json::Obj(vec![(
+                        obj(vec![(
                             "driver",
-                            Json::Obj(vec![
-                                ("name", Json::str("shelleyc")),
-                                (
-                                    "informationUri",
-                                    Json::str("https://example.invalid/shelley-rs"),
-                                ),
-                                ("rules", Json::Arr(rules)),
+                            obj(vec![
+                                ("name", s("shelleyc")),
+                                ("informationUri", s("https://example.invalid/shelley-rs")),
+                                ("rules", Value::Seq(rules)),
                             ]),
                         )]),
                     ),
-                    ("results", Json::Arr(results)),
+                    ("results", Value::Seq(results)),
                 ])]),
             ),
         ]);
-        let mut out = String::new();
-        doc.write(&mut out, 0);
+        let mut out = serde::json::to_string_pretty(&doc);
         out.push('\n');
         out
     }
@@ -527,142 +571,46 @@ fn sarif_level(severity: Severity) -> &'static str {
     }
 }
 
-/// The JSON fields of one diagnostic (shared by the plain-JSON renderer).
-fn diagnostic_fields(d: &Diagnostic, source: Option<&SourceFile>) -> Vec<(&'static str, Json)> {
-    let mut fields = vec![
-        ("code", Json::str(d.code)),
-        ("severity", Json::Str(d.severity.to_string())),
-        ("message", Json::Str(d.message.clone())),
-        (
-            "notes",
-            Json::Arr(d.notes.iter().map(|n| Json::Str(n.clone())).collect()),
-        ),
-    ];
-    if let Some(file) = resolved_file(d, source) {
-        fields.push(("file", Json::Str(file)));
-    }
-    if let (Some(span), Some(file)) = (d.span, source) {
-        let (line, column) = file.line_col(span.start);
-        fields.push(("line", Json::Num(line as i64)));
-        fields.push(("column", Json::Num(column as i64)));
-    }
-    fields
+/// An object literal with `&str` keys (the renderers' shorthand).
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A string literal value.
+fn s(text: &str) -> Value {
+    Value::Str(text.to_owned())
 }
 
 /// The file a diagnostic belongs to: its own, else the rendered source's.
-fn resolved_file(d: &Diagnostic, source: Option<&SourceFile>) -> Option<String> {
+pub(crate) fn resolved_file(d: &Diagnostic, source: Option<&SourceFile>) -> Option<String> {
     d.file
         .clone()
         .or_else(|| source.map(|f| f.name().to_owned()))
 }
 
 /// A SARIF `location` object, when a position is known.
-fn sarif_location(d: &Diagnostic, source: Option<&SourceFile>) -> Option<Json> {
+fn sarif_location(d: &Diagnostic, source: Option<&SourceFile>) -> Option<Value> {
     let uri = resolved_file(d, source)?;
-    let mut physical = vec![("artifactLocation", Json::Obj(vec![("uri", Json::Str(uri))]))];
+    let mut physical = vec![("artifactLocation", obj(vec![("uri", Value::Str(uri))]))];
     if let (Some(span), Some(file)) = (d.span, source) {
         let (start_line, start_column) = file.line_col(span.start);
         let (end_line, end_column) = file.line_col(span.end);
         physical.push((
             "region",
-            Json::Obj(vec![
-                ("startLine", Json::Num(start_line as i64)),
-                ("startColumn", Json::Num(start_column as i64)),
-                ("endLine", Json::Num(end_line as i64)),
-                ("endColumn", Json::Num(end_column as i64)),
+            obj(vec![
+                ("startLine", Value::UInt(start_line as u64)),
+                ("startColumn", Value::UInt(start_column as u64)),
+                ("endLine", Value::UInt(end_line as u64)),
+                ("endColumn", Value::UInt(end_column as u64)),
             ]),
         ));
     }
-    Some(Json::Obj(vec![("physicalLocation", Json::Obj(physical))]))
-}
-
-/// A minimal JSON document tree with a deterministic pretty writer.
-///
-/// The workspace builds offline with no serialization dependency, so the
-/// two machine-readable renderers assemble documents through this enum.
-enum Json {
-    Str(String),
-    Num(i64),
-    Arr(Vec<Json>),
-    Obj(Vec<(&'static str, Json)>),
-}
-
-impl Json {
-    fn str(s: &str) -> Json {
-        Json::Str(s.to_owned())
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Str(s) => {
-                out.push('"');
-                json_escape(s, out);
-                out.push('"');
-            }
-            Json::Num(n) => out.push_str(&n.to_string()),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    out.push('"');
-                    json_escape(k, out);
-                    out.push_str("\": ");
-                    v.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn push_indent(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn json_escape(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
+    Some(obj(vec![("physicalLocation", obj(physical))]))
 }
 
 impl IntoIterator for Diagnostics {
@@ -671,6 +619,21 @@ impl IntoIterator for Diagnostics {
 
     fn into_iter(self) -> Self::IntoIter {
         self.items.into_iter()
+    }
+}
+
+/// A collection serializes as a bare array of its diagnostics.
+impl serde::Serialize for Diagnostics {
+    fn serialize(&self) -> Value {
+        serde::Serialize::serialize(&self.items)
+    }
+}
+
+impl serde::Deserialize for Diagnostics {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        Ok(Diagnostics {
+            items: serde::Deserialize::deserialize(value)?,
+        })
     }
 }
 

@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod annotations;
+pub mod api;
 pub mod checker;
 pub mod dataflow;
 pub mod diagnostics;
@@ -79,6 +80,7 @@ pub mod diagram;
 pub mod extract;
 pub mod integration;
 pub mod lint;
+pub mod persist;
 pub mod pipeline;
 pub mod project;
 pub mod spec;
@@ -88,6 +90,7 @@ pub mod verify;
 pub mod workspace;
 
 pub use annotations::{Claim, ClassAnnotations, ClassKind, OpKind};
+pub use api::{CheckSummary, Method, Reply, ReplyBody, Request, WireDiagnostic, PROTOCOL_VERSION};
 pub use checker::{CheckError, Checker, INPUT_NAME};
 pub use dataflow::typestate::{analyze_class, TypestateFinding, TypestateReport};
 pub use dataflow::{solve, Analysis, Direction, Solution};

@@ -1,0 +1,288 @@
+//! The persistent on-disk verification cache.
+//!
+//! A long-lived [`Workspace`](crate::workspace::Workspace) already reuses
+//! verify-stage products across rounds through in-memory fingerprint
+//! caches; this module carries those products across *process restarts*.
+//! `shelleyc serve` loads the cache on startup and saves it on shutdown,
+//! so a restarted daemon re-verifies only classes whose content (or whose
+//! dependencies' content) actually changed.
+//!
+//! # What is persisted
+//!
+//! One [`SavedVerify`] per `(class fingerprint, dependency fingerprint)`
+//! pair — the same content-addressed key the in-memory verify cache uses.
+//! The record stores the *analysis results* (lint diagnostics, verdict
+//! diagnostics, usage/claim violations, fast-path counts) but not the
+//! resolved [`System`](crate::system::System) or integration automaton:
+//! those are cheap, deterministic functions of the source and are rebuilt
+//! on restore, which keeps the file format small and free of automaton
+//! internals. The expensive passes — lints, the typestate analysis,
+//! language-inclusion usage checking, and LTLf claim checking — are
+//! skipped entirely on a hit.
+//!
+//! # File format
+//!
+//! Newline-delimited JSON with a versioned header:
+//!
+//! ```text
+//! {"magic":"shelleyc-cache","format":1}
+//! {"class_fp":123,"dep_fp":456,"saved":{...}}
+//! {"class_fp":789,"dep_fp":101,"saved":{...}}
+//! ```
+//!
+//! Saving writes to a temporary file in the same directory and renames it
+//! into place, so readers never observe a half-written cache. Loading is
+//! corruption-tolerant: a missing file or foreign header yields an empty
+//! cache, and a malformed record line stops the scan while keeping every
+//! record before it — with atomic saves, a torn tail is the only
+//! realistic corruption, and a stale or empty cache only costs
+//! re-verification, never correctness.
+
+use crate::diagnostics::Diagnostics;
+use crate::verify::claims::ClaimViolation;
+use crate::verify::usage::UsageViolation;
+use serde::json;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// First-line marker distinguishing cache files from arbitrary JSON.
+pub const CACHE_MAGIC: &str = "shelleyc-cache";
+
+/// On-disk format version; bump on any incompatible record change.
+///
+/// A loaded file with a different version is ignored wholesale — the
+/// cache is a pure accelerator, so "ignore and rebuild" is always safe.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// The persisted verify-stage products of one class.
+///
+/// Restoring an entry replays these results after re-running only the
+/// cheap, deterministic resolution step (and integration construction for
+/// composites) — see
+/// [`Workspace::check`](crate::workspace::Workspace::check).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SavedVerify {
+    /// Per-class lint diagnostics (including typestate findings).
+    pub lint_diags: Diagnostics,
+    /// Verification diagnostics (`E100`/`E101` blocks, claim-parse errors).
+    pub verdict_diags: Diagnostics,
+    /// `INVALID SUBSYSTEM USAGE` failures of this class.
+    pub usage_violations: Vec<UsageViolation>,
+    /// `FAIL TO MEET REQUIREMENT` failures of this class.
+    pub claim_violations: Vec<ClaimViolation>,
+    /// Inclusion checks the typestate analysis proved away.
+    pub fast_path_skips: usize,
+}
+
+/// One cache line: the content-addressed key plus the saved products.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Record {
+    class_fp: u64,
+    dep_fp: u64,
+    saved: SavedVerify,
+}
+
+/// The header line of a cache file.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Header {
+    magic: String,
+    format: u32,
+}
+
+/// What [`load`] recovered, plus how much it had to discard.
+#[derive(Debug, Default)]
+pub struct LoadOutcome {
+    /// Usable records, keyed by `(class fingerprint, dep fingerprint)`.
+    pub entries: HashMap<(u64, u64), Arc<SavedVerify>>,
+    /// Record lines dropped as malformed (torn tail after a crash).
+    pub skipped_lines: usize,
+    /// Why the whole file was ignored, when it was (missing file, foreign
+    /// header, version mismatch).
+    pub rejected: Option<String>,
+}
+
+/// Loads a cache file, recovering every record before the first sign of
+/// corruption. Never fails: any problem degrades to a smaller (possibly
+/// empty) cache.
+pub fn load(path: &Path) -> LoadOutcome {
+    let mut outcome = LoadOutcome::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            outcome.rejected = Some(format!("cannot read {}: {e}", path.display()));
+            return outcome;
+        }
+    };
+    let mut lines = text.lines();
+    let header: Header = match lines.next().map(json::from_str) {
+        Some(Ok(header)) => header,
+        Some(Err(e)) => {
+            outcome.rejected = Some(format!("bad cache header: {e}"));
+            return outcome;
+        }
+        None => {
+            outcome.rejected = Some("empty cache file".to_string());
+            return outcome;
+        }
+    };
+    if header.magic != CACHE_MAGIC {
+        outcome.rejected = Some(format!("foreign cache magic `{}`", header.magic));
+        return outcome;
+    }
+    if header.format != CACHE_FORMAT {
+        outcome.rejected = Some(format!(
+            "cache format {} (this build speaks {CACHE_FORMAT})",
+            header.format
+        ));
+        return outcome;
+    }
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::from_str::<Record>(line) {
+            Ok(record) => {
+                outcome
+                    .entries
+                    .insert((record.class_fp, record.dep_fp), Arc::new(record.saved));
+            }
+            Err(_) => {
+                // A torn tail: count the rest and keep what parsed.
+                outcome.skipped_lines += 1;
+            }
+        }
+    }
+    outcome
+}
+
+/// Atomically writes `entries` to `path` (temp file + rename). Returns
+/// the number of records written.
+pub fn save<'a, I>(path: &Path, entries: I) -> io::Result<usize>
+where
+    I: IntoIterator<Item = ((u64, u64), &'a SavedVerify)>,
+{
+    let mut out = String::new();
+    out.push_str(&json::to_string(&Header {
+        magic: CACHE_MAGIC.to_string(),
+        format: CACHE_FORMAT,
+    }));
+    out.push('\n');
+    let mut count = 0;
+    for ((class_fp, dep_fp), saved) in entries {
+        let record = Record {
+            class_fp,
+            dep_fp,
+            saved: saved.clone(),
+        };
+        out.push_str(&json::to_string(&record));
+        out.push('\n');
+        count += 1;
+    }
+    let tmp = path.with_extension("tmp");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(out.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::{codes, Diagnostic};
+
+    fn sample_saved() -> SavedVerify {
+        let mut lint_diags = Diagnostics::new();
+        lint_diags.push(Diagnostic::warning(codes::IMPLICIT_RETURN, "implicit"));
+        SavedVerify {
+            lint_diags,
+            verdict_diags: Diagnostics::new(),
+            usage_violations: Vec::new(),
+            claim_violations: Vec::new(),
+            fast_path_skips: 2,
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("shelley-persist-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("cache.ndjson")
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let path = temp_path("roundtrip");
+        let saved = sample_saved();
+        let n = save(&path, vec![((1u64, 2u64), &saved), ((3, 4), &saved)]).unwrap();
+        assert_eq!(n, 2);
+        let outcome = load(&path);
+        assert!(outcome.rejected.is_none(), "{:?}", outcome.rejected);
+        assert_eq!(outcome.skipped_lines, 0);
+        assert_eq!(outcome.entries.len(), 2);
+        assert_eq!(*outcome.entries[&(1, 2)], saved);
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_prefix() {
+        let path = temp_path("torn");
+        let saved = sample_saved();
+        save(&path, vec![((1u64, 2u64), &saved), ((3, 4), &saved)]).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Simulate a crash mid-write of the last record.
+        text.truncate(text.len() - 20);
+        std::fs::write(&path, text).unwrap();
+        let outcome = load(&path);
+        assert!(outcome.rejected.is_none());
+        assert_eq!(outcome.entries.len(), 1);
+        assert_eq!(outcome.skipped_lines, 1);
+    }
+
+    #[test]
+    fn foreign_or_future_files_are_ignored_wholesale() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, "{\"something\":\"else\"}\n").unwrap();
+        assert!(load(&path).rejected.is_some());
+
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"magic\":\"{CACHE_MAGIC}\",\"format\":{}}}\n",
+                CACHE_FORMAT + 1
+            ),
+        )
+        .unwrap();
+        let outcome = load(&path);
+        assert!(outcome.rejected.unwrap().contains("format"));
+
+        std::fs::write(&path, "not json at all\n").unwrap();
+        assert!(load(&path).rejected.is_some());
+
+        let missing = temp_path("missing-dir").with_file_name("never-written.ndjson");
+        assert!(load(&missing).rejected.is_some());
+    }
+
+    #[test]
+    fn unknown_diagnostic_codes_poison_only_their_line() {
+        let path = temp_path("badcode");
+        let saved = sample_saved();
+        save(&path, vec![((1u64, 2u64), &saved)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // A record whose diagnostic code no longer exists in the registry.
+        let bad = text.replace("W003", "Z999");
+        std::fs::write(&path, &bad).unwrap();
+        let outcome = load(&path);
+        assert!(outcome.rejected.is_none());
+        assert_eq!(outcome.entries.len(), 0);
+        assert_eq!(outcome.skipped_lines, 1);
+    }
+}

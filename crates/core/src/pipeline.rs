@@ -211,7 +211,7 @@ pub fn verify_system(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use crate::checker::Checker;
 
     /// Listings 2.1 + 2.2 of the paper, verbatim.

@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// The paper's `FAIL TO MEET REQUIREMENT` verification failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ClaimViolation {
     /// The claim's formula text as written in the source.
     pub formula: String,

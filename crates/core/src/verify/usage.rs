@@ -19,7 +19,7 @@ use shelley_regular::{ops, Symbol, Word};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One subsystem's explanation of why a trace is invalid.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SubsystemError {
     /// The subsystem's class name (`Valve`).
     pub class_name: String,
@@ -35,7 +35,8 @@ pub struct SubsystemError {
 }
 
 /// Why a projected trace is not a valid complete usage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum FailureReason {
     /// The trace ends here but the operation is not final.
     NotFinal,
@@ -73,7 +74,7 @@ impl SubsystemError {
 }
 
 /// The paper's `INVALID SUBSYSTEM USAGE` verification failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct UsageViolation {
     /// The shortest offending integration word, markers included.
     pub counterexample: Word,

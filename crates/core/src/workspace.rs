@@ -62,6 +62,7 @@
 use crate::checker::CheckError;
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::lint::{run_lints, LintConfig, LintLevel};
+use crate::persist::{self, SavedVerify};
 use crate::pipeline::{proven_fields, verify_system, CheckReport, Checked, SystemVerdict};
 use crate::spec::ClassSpec;
 use crate::stats::{system_stats, SystemStats};
@@ -82,7 +83,7 @@ use std::time::{Duration, Instant};
 /// [`Workspace`] — one value accumulated over the workspace's lifetime
 /// ([`Workspace::stats`]) and one reset every round
 /// ([`Workspace::last_round`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct WorkspaceStats {
     /// Number of completed [`Workspace::check`] rounds.
     pub rounds: u64,
@@ -98,6 +99,9 @@ pub struct WorkspaceStats {
     pub verified: u64,
     /// Classes whose verification artifacts were reused.
     pub verify_cache_hits: u64,
+    /// Freshly verified classes (counted in [`Self::verified`]) that were
+    /// restored from the on-disk cache, skipping the expensive analyses.
+    pub verify_disk_hits: u64,
     /// Subsystem inclusion checks skipped because the typestate analysis
     /// proved them (fast path), across freshly verified classes.
     pub fast_path_proven: u64,
@@ -124,6 +128,7 @@ impl WorkspaceStats {
         self.extract_cache_hits += round.extract_cache_hits;
         self.verified += round.verified;
         self.verify_cache_hits += round.verify_cache_hits;
+        self.verify_disk_hits += round.verify_disk_hits;
         self.fast_path_proven += round.fast_path_proven;
         self.stats_computed += round.stats_computed;
         self.stats_cache_hits += round.stats_cache_hits;
@@ -207,6 +212,11 @@ pub struct Workspace {
     /// `class name → (class fingerprint, dependency fingerprint)` as of the
     /// last completed round; the lookup key for [`Self::class_stats`].
     class_keys: BTreeMap<String, (u64, u64)>,
+    /// Verify-stage products restored from disk
+    /// ([`Self::load_disk_cache`]), consulted when the in-memory
+    /// `verify_cache` misses. Kept across rounds: a key that is stale now
+    /// can become live again when a closed file is reopened.
+    disk_cache: HashMap<(u64, u64), Arc<SavedVerify>>,
     totals: WorkspaceStats,
     last: WorkspaceStats,
 }
@@ -235,6 +245,7 @@ impl Workspace {
             verify_cache: HashMap::new(),
             stats_cache: HashMap::new(),
             class_keys: BTreeMap::new(),
+            disk_cache: HashMap::new(),
             totals: WorkspaceStats::default(),
             last: WorkspaceStats::default(),
         }
@@ -478,15 +489,27 @@ impl Workspace {
             .count() as u64
             - round.verified;
         let config = &self.config;
+        let disk_cache = &self.disk_cache;
         let fresh = par_map(self.effective_jobs(), &missing, |&i| {
             let extraction = extract_entries[i]
                 .extraction
                 .clone()
                 .expect("verify stage only runs for @sys classes");
-            Arc::new(run_verify(extraction, units[i], &spec_index, config))
+            let key = (units[i].fingerprint, dep_fingerprints[i]);
+            match disk_cache.get(&key) {
+                Some(saved) => (
+                    Arc::new(run_verify_restored(extraction, &spec_index, saved)),
+                    true,
+                ),
+                None => (
+                    Arc::new(run_verify(extraction, units[i], &spec_index, config)),
+                    false,
+                ),
+            }
         });
-        for (&i, entry) in missing.iter().zip(fresh) {
+        for (&i, (entry, from_disk)) in missing.iter().zip(fresh) {
             round.fast_path_proven += entry.verdict.fast_path_skips as u64;
+            round.verify_disk_hits += u64::from(from_disk);
             self.verify_cache
                 .insert((units[i].fingerprint, dep_fingerprints[i]), entry.clone());
             verify_entries[i] = Some(entry);
@@ -592,6 +615,49 @@ impl Workspace {
         self.totals.stats_computed += 1;
         self.stats_cache.insert(key, stats.clone());
         Some(stats)
+    }
+
+    /// Seeds the workspace from a persistent cache file written by
+    /// [`save_disk_cache`](Self::save_disk_cache). Subsequent
+    /// [`check`](Self::check) rounds restore matching classes instead of
+    /// re-running the expensive analyses, counting each restore in
+    /// [`WorkspaceStats::verify_disk_hits`].
+    ///
+    /// Loading never fails: corrupt or version-mismatched files degrade
+    /// to a smaller (possibly empty) cache — see [`crate::persist`].
+    pub fn load_disk_cache(&mut self, path: impl AsRef<std::path::Path>) -> persist::LoadOutcome {
+        let outcome = persist::load(path.as_ref());
+        for (key, saved) in &outcome.entries {
+            self.disk_cache.insert(*key, saved.clone());
+        }
+        outcome
+    }
+
+    /// Atomically persists the verify-stage products of every class of
+    /// the last completed round, so a future process can
+    /// [`load_disk_cache`](Self::load_disk_cache) them. Returns the
+    /// number of records written.
+    pub fn save_disk_cache(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        let records: Vec<((u64, u64), SavedVerify)> = self
+            .verify_cache
+            .iter()
+            .map(|(&key, entry)| {
+                (
+                    key,
+                    SavedVerify {
+                        lint_diags: entry.lint_diags.clone(),
+                        verdict_diags: entry.verdict.diagnostics.clone(),
+                        usage_violations: entry.verdict.usage_violations.clone(),
+                        claim_violations: entry.verdict.claim_violations.clone(),
+                        fast_path_skips: entry.verdict.fast_path_skips,
+                    },
+                )
+            })
+            .collect();
+        persist::save(
+            path.as_ref(),
+            records.iter().map(|(key, saved)| (*key, saved)),
+        )
     }
 
     fn finish_round(&mut self, round: WorkspaceStats) {
@@ -706,6 +772,40 @@ fn run_verify(
         verdict,
         resolve_diags,
         lint_diags,
+    }
+}
+
+/// The verification stage restored from an on-disk cache hit: re-runs
+/// only the cheap, deterministic reconstruction (resolution, and the
+/// integration automaton for composites) and replays the persisted
+/// results of the expensive analyses — lints, the typestate fast-path
+/// proof, usage inclusion, and claim checking all stay skipped.
+///
+/// Soundness rests on the cache key: the `(class fingerprint, dependency
+/// fingerprint)` pair covers every input those analyses read, so a hit
+/// means the persisted products are exactly what a fresh run would
+/// compute.
+fn run_verify_restored(
+    extraction: ClassExtraction,
+    spec_index: &BTreeMap<String, ClassSpec>,
+    saved: &SavedVerify,
+) -> VerifyEntry {
+    let mut resolve_diags = Diagnostics::new();
+    let system = resolve_class(extraction, spec_index, &mut resolve_diags);
+    let integration = system
+        .is_composite()
+        .then(|| crate::integration::build_integration(&system));
+    VerifyEntry {
+        system,
+        verdict: SystemVerdict {
+            integration,
+            diagnostics: saved.verdict_diags.clone(),
+            usage_violations: saved.usage_violations.clone(),
+            claim_violations: saved.claim_violations.clone(),
+            fast_path_skips: saved.fast_path_skips,
+        },
+        resolve_diags,
+        lint_diags: saved.lint_diags.clone(),
     }
 }
 

@@ -1,0 +1,128 @@
+//! Property tests over the serde wire surface: every API type must
+//! survive a JSON round trip unchanged, whatever its contents — the
+//! invariant the daemon, `--format json`, and the disk cache all lean on.
+
+use micropython_parser::Span;
+use proptest::prelude::*;
+use serde::json;
+use shelley_core::api::{CheckSummary, ParseFailure};
+use shelley_core::{Diagnostic, Method, Reply, ReplyBody, Request, WorkspaceStats, REGISTRY};
+use std::time::Duration;
+
+fn arb_stats() -> impl Strategy<Value = WorkspaceStats> {
+    (
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+        ),
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+        ),
+        (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        proptest::collection::vec(0u32..u32::MAX, 4),
+    )
+        .prop_map(|(a, b, c, nanos)| WorkspaceStats {
+            rounds: a.0,
+            files_parsed: a.1,
+            parse_cache_hits: a.2,
+            extracted: a.3,
+            extract_cache_hits: b.0,
+            verified: b.1,
+            verify_cache_hits: b.2,
+            verify_disk_hits: b.3,
+            fast_path_proven: c.0,
+            stats_computed: c.1,
+            stats_cache_hits: c.2,
+            parse_time: Duration::from_nanos(u64::from(nanos[0])),
+            extract_time: Duration::from_nanos(u64::from(nanos[1])),
+            verify_time: Duration::from_nanos(u64::from(nanos[2])),
+            assemble_time: Duration::from_nanos(u64::from(nanos[3])),
+        })
+}
+
+fn arb_diagnostic() -> impl Strategy<Value = Diagnostic> {
+    (
+        0..REGISTRY.len(),
+        (0u8..2).prop_map(|b| b == 1),
+        "[ -~]{0,40}",
+        proptest::collection::vec("[ -~]{0,20}", 0..3),
+        proptest::option::of("[a-z]{1,8}\\.py"),
+        proptest::option::of((0usize..10_000, 0usize..100)),
+    )
+        .prop_map(|(code, warn, message, notes, file, span)| {
+            let info = &REGISTRY[code];
+            let mut d = if warn {
+                Diagnostic::warning(info.code, message)
+            } else {
+                Diagnostic::error(info.code, message)
+            };
+            for note in notes {
+                d = d.with_note(note);
+            }
+            if let Some(name) = file {
+                d = d.with_file(name);
+            }
+            if let Some((start, len)) = span {
+                d = d.with_span(Span::new(start, start + len));
+            }
+            d
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Workspace stats — the struct behind `stats` replies and the
+    /// `# round` marker — round-trip exactly, durations included.
+    #[test]
+    fn workspace_stats_round_trip(stats in arb_stats()) {
+        let back: WorkspaceStats = json::from_str(&json::to_string(&stats)).unwrap();
+        prop_assert_eq!(back, stats);
+    }
+
+    /// Diagnostics with any combination of code, severity, notes, file,
+    /// and span survive the wire.
+    #[test]
+    fn diagnostic_round_trip(d in arb_diagnostic()) {
+        let back: Diagnostic = json::from_str(&json::to_string(&d)).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    /// Full request/reply envelopes round-trip, including summaries that
+    /// carry the generated diagnostics and stats.
+    #[test]
+    fn envelope_round_trip(
+        id in 0u64..u64::MAX,
+        version in 0u32..u32::MAX,
+        stats in arb_stats(),
+        diags in proptest::collection::vec(arb_diagnostic(), 0..4),
+        passed in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let request = Request { id, method: Method::Hello { version } };
+        let back: Request = json::from_str(&json::to_string(&request)).unwrap();
+        prop_assert_eq!(back, request);
+
+        let summary = CheckSummary {
+            passed,
+            systems: vec!["A".to_string(), "B".to_string()],
+            usage_violations: Vec::new(),
+            claim_violations: Vec::new(),
+            diagnostics: diags,
+            parse_error: passed.then(|| ParseFailure {
+                file: "x.py".to_string(),
+                message: "syntax error at 0..1: boom".to_string(),
+                line: Some(1),
+                column: Some(2),
+            }),
+            stats,
+        };
+        let reply = Reply { id, body: ReplyBody::Check { summary } };
+        let back: Reply = json::from_str(&json::to_string(&reply)).unwrap();
+        prop_assert_eq!(back, reply);
+    }
+}

@@ -303,6 +303,72 @@ fn fast_path_counter_tracks_typestate_proven_subsystems() {
 }
 
 #[test]
+fn disk_cache_round_trip_restores_verification_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("shelley-ws-disk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("verify.ndjson");
+
+    // Cold process: check a mixed project (passing composites plus the
+    // paper's failing BadSector) and persist the verify cache.
+    let mut cold_ws = Checker::new().jobs(2).into_workspace();
+    cold_ws.set_file("valve.py", VALVE_PY);
+    cold_ws.set_file("led.py", LED_PY);
+    cold_ws.set_file("sector_a.py", SECTOR_A_PY);
+    cold_ws.set_file("sector_b.py", SECTOR_B_PY);
+    let paper = PAPER_SOURCE.replace("Valve", "PaperValve");
+    cold_ws.set_file("paper.py", paper.clone());
+    let cold = cold_ws.check().unwrap();
+    assert!(!cold.report.passed(), "BadSector must fail");
+    let written = cold_ws.save_disk_cache(&cache).unwrap();
+    assert_eq!(written, 6, "one record per live class");
+
+    // "Restarted" process: a fresh workspace with the same sources and
+    // the saved cache skips the expensive analyses for every class but
+    // still produces a byte-identical report and identical stats.
+    let mut warm_ws = Checker::new().jobs(2).into_workspace();
+    let outcome = warm_ws.load_disk_cache(&cache);
+    assert!(outcome.rejected.is_none(), "{:?}", outcome.rejected);
+    assert_eq!(outcome.entries.len(), 6);
+    warm_ws.set_file("valve.py", VALVE_PY);
+    warm_ws.set_file("led.py", LED_PY);
+    warm_ws.set_file("sector_a.py", SECTOR_A_PY);
+    warm_ws.set_file("sector_b.py", SECTOR_B_PY);
+    warm_ws.set_file("paper.py", paper);
+    let warm = warm_ws.check().unwrap();
+    assert_eq!(fingerprint_report(&warm), fingerprint_report(&cold));
+    assert_eq!(warm_ws.last_round().verify_disk_hits, 6);
+    assert_eq!(
+        warm_ws.last_round().verified,
+        6,
+        "disk hits count as verified"
+    );
+    assert_eq!(
+        warm_ws.last_round().fast_path_proven,
+        cold_ws.last_round().fast_path_proven,
+        "replayed fast-path skips keep the stats line identical"
+    );
+    let strip_time = |s: String| s.rsplit_once(" in ").map(|(head, _)| head.to_owned());
+    assert_eq!(
+        strip_time(warm_ws.last_round().render()),
+        strip_time(cold_ws.last_round().render()),
+        "the watch-mode round marker (minus wall time) is stable across a restart"
+    );
+
+    // An edit after restore falls back to full verification for the
+    // touched class only; the disk entries keep serving the rest.
+    warm_ws.set_file("valve.py", VALVE_PY.replace("if ok:", "if ready:"));
+    let edited = warm_ws.check().unwrap();
+    assert!(!edited.report.passed());
+    assert_eq!(
+        warm_ws.last_round().verify_disk_hits,
+        0,
+        "Valve+SectorA recomputed"
+    );
+    assert_eq!(warm_ws.last_round().verified, 2);
+    assert_eq!(warm_ws.last_round().verify_cache_hits, 4);
+}
+
+#[test]
 fn check_source_errors_carry_the_synthetic_input_name() {
     let err = Checker::new().check_source("def broken(:\n").unwrap_err();
     assert_eq!(err.file, INPUT_NAME);

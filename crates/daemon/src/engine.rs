@@ -1,0 +1,172 @@
+//! The transport-independent request handler.
+//!
+//! [`Engine`] owns the shared [`Workspace`] and turns one [`Request`]
+//! into a stream of [`Reply`] values through a caller-provided sink —
+//! the same code path whether requests arrive over stdio, a Unix
+//! socket, or (as in `shelleyc watch`) an in-process call.
+
+use micropython_parser::SourceFile;
+use shelley_core::api::{CheckSummary, ParseFailure, SERVER_NAME};
+use shelley_core::persist::LoadOutcome;
+use shelley_core::{
+    Checker, Method, Reply, ReplyBody, Request, WireDiagnostic, Workspace, PROTOCOL_VERSION,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// What the transport should do after a request has been answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Keep reading requests.
+    Continue,
+    /// The client asked for `shutdown`: stop serving.
+    Shutdown,
+}
+
+/// One verification engine: the shared workspace, the text of every open
+/// file (kept for resolving diagnostic positions), and the optional
+/// on-disk cache location.
+pub struct Engine {
+    workspace: Workspace,
+    files: BTreeMap<String, String>,
+    cache_path: Option<PathBuf>,
+}
+
+impl Engine {
+    /// Creates an engine with no persistent cache.
+    pub fn new(checker: Checker) -> Self {
+        Engine {
+            workspace: checker.into_workspace(),
+            files: BTreeMap::new(),
+            cache_path: None,
+        }
+    }
+
+    /// Attaches a persistent cache: loads whatever `path` holds now (a
+    /// missing or corrupt file degrades to an empty cache) and remembers
+    /// the path for [`persist`](Self::persist). Returns what the load
+    /// recovered so callers can report it.
+    pub fn with_cache(mut self, path: impl Into<PathBuf>) -> (Self, LoadOutcome) {
+        let path = path.into();
+        let outcome = self.workspace.load_disk_cache(&path);
+        self.cache_path = Some(path);
+        (self, outcome)
+    }
+
+    /// Saves the verify cache to the attached path, if any. Returns the
+    /// number of records written.
+    pub fn persist(&self) -> std::io::Result<Option<usize>> {
+        match &self.cache_path {
+            Some(path) => self.workspace.save_disk_cache(path).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Answers one request, pushing every reply (in wire order) through
+    /// `emit`.
+    pub fn handle(&mut self, request: Request, emit: &mut dyn FnMut(Reply)) -> Outcome {
+        let id = request.id;
+        let mut reply = |body| emit(Reply { id, body });
+        match request.method {
+            Method::Hello { version } => {
+                if version == PROTOCOL_VERSION {
+                    reply(ReplyBody::Hello {
+                        version: PROTOCOL_VERSION,
+                        server: SERVER_NAME.to_string(),
+                    });
+                } else {
+                    reply(ReplyBody::Error {
+                        message: format!(
+                            "protocol version mismatch: client speaks {version}, \
+                             server speaks {PROTOCOL_VERSION}"
+                        ),
+                    });
+                }
+            }
+            Method::Open { path, text } | Method::Change { path, text } => {
+                self.workspace.set_file(path.clone(), text.clone());
+                self.files.insert(path, text);
+                reply(ReplyBody::Ok);
+            }
+            Method::Close { path } => {
+                self.workspace.remove_file(&path);
+                self.files.remove(&path);
+                reply(ReplyBody::Ok);
+            }
+            Method::Check => self.run_check(id, emit),
+            Method::Stats => {
+                reply(ReplyBody::Stats {
+                    totals: self.workspace.stats().clone(),
+                    last_round: self.workspace.last_round().clone(),
+                });
+            }
+            Method::Shutdown => {
+                match self.persist() {
+                    Ok(_) => reply(ReplyBody::Ok),
+                    Err(e) => reply(ReplyBody::Error {
+                        message: format!("cache save failed: {e}"),
+                    }),
+                }
+                return Outcome::Shutdown;
+            }
+        }
+        Outcome::Continue
+    }
+
+    /// Runs one verification round: streams a `batch` per file that has
+    /// diagnostics (project-level diagnostics batch under `file: None`),
+    /// then the final `check` summary.
+    fn run_check(&mut self, id: u64, emit: &mut dyn FnMut(Reply)) {
+        match self.workspace.check() {
+            Ok(checked) => {
+                // Group diagnostics by file in first-appearance order —
+                // the report is already normalized, so this order is
+                // deterministic across runs and job counts.
+                let mut sources: BTreeMap<&str, SourceFile> = BTreeMap::new();
+                let mut order: Vec<Option<String>> = Vec::new();
+                let mut groups: BTreeMap<Option<String>, Vec<WireDiagnostic>> = BTreeMap::new();
+                for d in checked.report.diagnostics.iter() {
+                    let source = match d.file.as_deref().map(|n| (n, self.files.get(n))) {
+                        Some((name, Some(text))) => Some(
+                            &*sources
+                                .entry(name)
+                                .or_insert_with(|| SourceFile::new(name, text.clone())),
+                        ),
+                        _ => None,
+                    };
+                    let wire = WireDiagnostic::new(d, source);
+                    let key = wire.file.clone();
+                    if !groups.contains_key(&key) {
+                        order.push(key.clone());
+                    }
+                    groups.entry(key).or_default().push(wire);
+                }
+                for key in order {
+                    let diagnostics = groups.remove(&key).unwrap_or_default();
+                    emit(Reply {
+                        id,
+                        body: ReplyBody::Batch {
+                            file: key,
+                            diagnostics,
+                        },
+                    });
+                }
+                let summary = CheckSummary::new(&checked, self.workspace.last_round().clone());
+                emit(Reply {
+                    id,
+                    body: ReplyBody::Check { summary },
+                });
+            }
+            Err(e) => {
+                let source = self.files.get(&e.file).map(String::as_str);
+                let failure = ParseFailure::new(&e, source);
+                let summary =
+                    CheckSummary::from_parse_error(failure, self.workspace.last_round().clone());
+                emit(Reply {
+                    id,
+                    body: ReplyBody::Check { summary },
+                });
+            }
+        }
+    }
+}

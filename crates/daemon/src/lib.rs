@@ -1,0 +1,36 @@
+//! # shelley-daemon
+//!
+//! The long-lived verification server behind `shelleyc serve`, plus the
+//! thin client used by `shelleyc watch` and `shelleyc connect`.
+//!
+//! A daemon hosts one shared [`shelley_core::Workspace`] — with all of
+//! its fingerprint caches — behind the newline-delimited JSON protocol
+//! defined in [`shelley_core::api`]: one [`Request`](shelley_core::Request)
+//! per line in, one or more [`Reply`](shelley_core::Reply) lines out,
+//! every reply echoing the request's `id`. A `check` request streams one
+//! `batch` reply per file that has diagnostics before the final `check`
+//! summary, so editors can surface results as they arrive.
+//!
+//! Two transports share the same [`Engine`]:
+//!
+//! - **stdio** ([`serve_stdio`]) — a single session on stdin/stdout, the
+//!   editor-subprocess shape;
+//! - **Unix socket** ([`serve_socket`]) — many concurrent clients, one
+//!   thread per connection, all funnelled through the one workspace so
+//!   every client benefits from every other client's warm caches.
+//!
+//! Between restarts the engine persists its verify-stage products through
+//! [`shelley_core::persist`]: the cache is loaded on startup and saved on
+//! `shutdown` (and on end-of-input), so a restarted daemon re-verifies
+//! only what actually changed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod server;
+
+pub use client::Client;
+pub use engine::{Engine, Outcome};
+pub use server::{serve_socket, serve_stdio};

@@ -1,0 +1,312 @@
+//! End-to-end daemon tests: concurrent socket clients, warm restarts
+//! through the persistent cache, and protocol error handling.
+
+use shelley_core::{Checker, Method, Reply, ReplyBody, Request, PROTOCOL_VERSION};
+use shelley_daemon::{serve_socket, Client, Engine, Outcome};
+use std::path::PathBuf;
+
+const VALVE_PY: &str = r#"
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+"#;
+
+const SECTOR_PY: &str = r#"
+@sys(["a"])
+class Sector:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def water(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+"#;
+
+const BAD_PY: &str = r#"
+@sys(["v"])
+class Misuser:
+    def __init__(self):
+        self.v = Valve()
+
+    @op_initial_final
+    def slam(self):
+        match self.v.test():
+            case ["open"]:
+                self.v.open()
+                return []
+            case ["clean"]:
+                self.v.clean()
+                return []
+"#;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shelley-daemon-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// What a one-shot `shelleyc check` of the same files prints.
+fn one_shot_render(files: &[(&str, &str)]) -> String {
+    let project: Vec<shelley_core::ProjectFile> = files
+        .iter()
+        .map(|(name, text)| shelley_core::ProjectFile::new(*name, *text))
+        .collect();
+    let checked = Checker::new().check_files(&project).unwrap();
+    let mut out = checked.report.render(None);
+    if checked.report.passed() {
+        out.push_str(&format!(
+            "OK: {} system(s) verified\n",
+            checked.systems.len()
+        ));
+    }
+    out
+}
+
+#[test]
+fn concurrent_socket_clients_match_the_one_shot_check() {
+    let dir = temp_dir("concurrent");
+    let socket = dir.join("daemon.sock");
+    let cache = dir.join("cache.ndjson");
+    let engine = Engine::new(Checker::new().jobs(2));
+    let (engine, _) = engine.with_cache(&cache);
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || serve_socket(engine, &socket))
+    };
+    while !socket.exists() {
+        std::thread::yield_now();
+    }
+
+    let reference = one_shot_render(&[("valve.py", VALVE_PY), ("sector.py", SECTOR_PY)]);
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).unwrap();
+                client.hello().unwrap();
+                client.open("valve.py", VALVE_PY).unwrap();
+                client.open("sector.py", SECTOR_PY).unwrap();
+                client.check().unwrap().render_text()
+            })
+        })
+        .collect();
+    for client in clients {
+        assert_eq!(client.join().unwrap(), reference);
+    }
+
+    let mut closer = Client::connect(&socket).unwrap();
+    closer.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    assert!(!socket.exists(), "socket file is cleaned up");
+    assert!(cache.exists(), "shutdown persisted the cache");
+
+    // A restarted daemon answers from the persisted cache: every class
+    // verifies via a disk hit, and the report is still byte-identical.
+    let (engine, outcome) = Engine::new(Checker::new().jobs(2)).with_cache(&cache);
+    assert!(outcome.rejected.is_none(), "{:?}", outcome.rejected);
+    assert_eq!(outcome.entries.len(), 2);
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || serve_socket(engine, &socket))
+    };
+    while !socket.exists() {
+        std::thread::yield_now();
+    }
+    let mut client = Client::connect(&socket).unwrap();
+    client.hello().unwrap();
+    client.open("valve.py", VALVE_PY).unwrap();
+    client.open("sector.py", SECTOR_PY).unwrap();
+    let summary = client.check().unwrap();
+    assert_eq!(summary.render_text(), reference);
+    assert_eq!(summary.stats.verify_disk_hits, 2, "warm restart");
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn a_corrupted_cache_degrades_to_a_cold_start() {
+    let dir = temp_dir("corrupt");
+    let cache = dir.join("cache.ndjson");
+    std::fs::write(&cache, "this is not a cache file\nat all\n").unwrap();
+
+    let (mut engine, outcome) = Engine::new(Checker::new().jobs(1)).with_cache(&cache);
+    assert!(outcome.rejected.is_some(), "garbage is rejected wholesale");
+
+    // The engine still verifies normally...
+    let mut replies = Vec::new();
+    engine.handle(
+        Request {
+            id: 1,
+            method: Method::Open {
+                path: "valve.py".into(),
+                text: VALVE_PY.into(),
+            },
+        },
+        &mut |r| replies.push(r),
+    );
+    let outcome = engine.handle(
+        Request {
+            id: 2,
+            method: Method::Check,
+        },
+        &mut |r| replies.push(r),
+    );
+    assert_eq!(outcome, Outcome::Continue);
+    match replies.last() {
+        Some(Reply {
+            id: 2,
+            body: ReplyBody::Check { summary },
+        }) => assert!(summary.passed),
+        other => panic!("expected a check reply, got {other:?}"),
+    }
+
+    // ...and shutdown overwrites the garbage with a loadable cache.
+    let outcome = engine.handle(
+        Request {
+            id: 3,
+            method: Method::Shutdown,
+        },
+        &mut |r| replies.push(r),
+    );
+    assert_eq!(outcome, Outcome::Shutdown);
+    let reloaded = shelley_core::persist::load(&cache);
+    assert!(reloaded.rejected.is_none(), "{:?}", reloaded.rejected);
+    assert_eq!(reloaded.entries.len(), 1);
+}
+
+#[test]
+fn check_streams_per_file_batches_before_the_summary() {
+    let mut engine = Engine::new(Checker::new().jobs(1));
+    let mut replies = Vec::new();
+    let mut emit = |r: Reply| replies.push(r);
+    engine.handle(
+        Request {
+            id: 1,
+            method: Method::Open {
+                path: "valve.py".into(),
+                text: VALVE_PY.into(),
+            },
+        },
+        &mut emit,
+    );
+    engine.handle(
+        Request {
+            id: 2,
+            method: Method::Open {
+                path: "bad.py".into(),
+                text: BAD_PY.into(),
+            },
+        },
+        &mut emit,
+    );
+    engine.handle(
+        Request {
+            id: 3,
+            method: Method::Check,
+        },
+        &mut emit,
+    );
+
+    let check_replies: Vec<_> = replies.iter().filter(|r| r.id == 3).collect();
+    assert!(
+        check_replies.len() >= 2,
+        "at least one batch plus the summary: {check_replies:?}"
+    );
+    match &check_replies[0].body {
+        ReplyBody::Batch { diagnostics, .. } => {
+            assert!(!diagnostics.is_empty());
+            assert!(diagnostics.iter().any(|d| d.code == "E100"));
+        }
+        other => panic!("expected a batch first, got {other:?}"),
+    }
+    match &check_replies[check_replies.len() - 1].body {
+        ReplyBody::Check { summary } => {
+            assert!(!summary.passed);
+            assert_eq!(summary.usage_violations.len(), 1);
+        }
+        other => panic!("expected the summary last, got {other:?}"),
+    }
+}
+
+#[test]
+fn hello_rejects_a_future_protocol_version() {
+    let mut engine = Engine::new(Checker::new());
+    let mut replies = Vec::new();
+    engine.handle(
+        Request {
+            id: 7,
+            method: Method::Hello {
+                version: PROTOCOL_VERSION + 1,
+            },
+        },
+        &mut |r| replies.push(r),
+    );
+    match replies.as_slice() {
+        [Reply {
+            id: 7,
+            body: ReplyBody::Error { message },
+        }] => assert!(message.contains("version mismatch"), "{message}"),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_errors_surface_as_a_failed_summary_with_position() {
+    let mut engine = Engine::new(Checker::new());
+    let mut replies = Vec::new();
+    let mut emit = |r: Reply| replies.push(r);
+    engine.handle(
+        Request {
+            id: 1,
+            method: Method::Open {
+                path: "broken.py".into(),
+                text: "def broken(:\n".into(),
+            },
+        },
+        &mut emit,
+    );
+    engine.handle(
+        Request {
+            id: 2,
+            method: Method::Check,
+        },
+        &mut emit,
+    );
+    match replies.last() {
+        Some(Reply {
+            body: ReplyBody::Check { summary },
+            ..
+        }) => {
+            assert!(!summary.passed);
+            let failure = summary.parse_error.as_ref().expect("parse error");
+            assert_eq!(failure.file, "broken.py");
+            assert_eq!(failure.line, Some(1));
+            assert!(failure.render_text().starts_with("broken.py: syntax error"));
+        }
+        other => panic!("expected a check reply, got {other:?}"),
+    }
+}

@@ -40,6 +40,29 @@ impl fmt::Display for Span {
     }
 }
 
+/// Spans serialize as `{"start", "end"}` byte offsets.
+impl serde::Serialize for Span {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "start".to_string(),
+                serde::Serialize::serialize(&self.start),
+            ),
+            ("end".to_string(), serde::Serialize::serialize(&self.end)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Span {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = serde::__as_map(value, "Span")?;
+        Ok(Span {
+            start: serde::__field(map, "start", "Span")?,
+            end: serde::__field(map, "end", "Span")?,
+        })
+    }
+}
+
 /// A value with its source span.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Spanned<T> {

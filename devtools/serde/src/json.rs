@@ -1,0 +1,485 @@
+//! JSON reading and writing over [`Value`] — the shim's
+//! stand-in for `serde_json`.
+//!
+//! Two writers:
+//!
+//! * [`to_string`] — compact (`{"a":1}`), the newline-delimited wire form;
+//! * [`to_string_pretty`] — two-space indent, object keys in insertion
+//!   order, empty containers inline. Byte-identical to the hand-rolled
+//!   writer the diagnostics renderers used before this crate existed, so
+//!   the `--format json` / SARIF golden files are unchanged.
+//!
+//! The reader ([`from_str`]) is a strict recursive-descent JSON parser;
+//! non-negative integers parse as [`Value::UInt`], negative ones as
+//! [`Value::Int`], anything with a fraction or exponent as
+//! [`Value::Float`].
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Serializes `value` into its [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+/// Serializes `value` as compact JSON (no whitespace).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_compact(&value.serialize(), &mut out);
+    out
+}
+
+/// Serializes `value` as pretty JSON (two-space indent, no trailing
+/// newline).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_pretty(&value.serialize(), &mut out, 0);
+    out
+}
+
+/// Parses JSON text and rebuilds a `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize(&value_from_str(text)?)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing data at byte {} of JSON text",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+
+fn write_atom(value: &Value, out: &mut String) -> bool {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f}"));
+            } else {
+                // JSON has no NaN/Inf; mirror serde_json's lossy `null`.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape(s, out);
+            out.push('"');
+        }
+        Value::Seq(_) | Value::Map(_) => return false,
+    }
+    true
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    if write_atom(value, out) {
+        return;
+    }
+    match value {
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape(k, out);
+                out.push_str("\":");
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+        _ => unreachable!("atoms handled above"),
+    }
+}
+
+fn write_pretty(value: &Value, out: &mut String, indent: usize) {
+    if write_atom(value, out) {
+        return;
+    }
+    match value {
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                out.push('"');
+                escape(k, out);
+                out.push_str("\": ");
+                write_pretty(v, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        _ => unreachable!("atoms handled above"),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected JSON at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in JSON string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                let combined =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated JSON string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::new("invalid \\u escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !fractional {
+            if let Some(rest) = text.strip_prefix('-') {
+                if rest.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {
+                    return text
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| Error::new(format!("integer `{text}` out of range")));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Seq(vec![Value::Str("x\"y\n".into()), Value::Null]),
+            ),
+            ("c".into(), Value::Int(-3)),
+            ("d".into(), Value::Bool(true)),
+        ]);
+        let text = to_string(&v);
+        assert_eq!(text, r#"{"a":1,"b":["x\"y\n",null],"c":-3,"d":true}"#);
+        assert_eq!(value_from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_matches_legacy_writer_shape() {
+        let v = Value::Map(vec![
+            ("tool".into(), Value::Str("shelleyc".into())),
+            ("diagnostics".into(), Value::Seq(vec![])),
+        ]);
+        assert_eq!(
+            to_string_pretty(&v),
+            "{\n  \"tool\": \"shelleyc\",\n  \"diagnostics\": []\n}"
+        );
+    }
+
+    #[test]
+    fn parses_escapes_and_numbers() {
+        let v =
+            value_from_str(r#"{"s":"A\n\t\"","n":18446744073709551615,"m":-9,"f":1.5}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "A\n\t\"");
+        assert_eq!(v.get("n").unwrap().as_u64().unwrap(), u64::MAX);
+        assert_eq!(v.get("m").unwrap().as_i64().unwrap(), -9);
+        assert_eq!(v.get("f"), Some(&Value::Float(1.5)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(value_from_str("{\"a\":").is_err());
+        assert!(value_from_str("hello").is_err());
+        assert!(value_from_str("{} trailing").is_err());
+        assert!(value_from_str("").is_err());
+    }
+}

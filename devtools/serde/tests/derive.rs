@@ -1,0 +1,123 @@
+//! Exercises the `serde_derive` shim against the `serde` shim — structs,
+//! enums, option-skipping, renaming, and error paths.
+
+use serde::{json, Deserialize, Serialize, Value};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Inner {
+    label: String,
+    count: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Outer {
+    name: String,
+    total: usize,
+    signed: i64,
+    flag: bool,
+    items: Vec<Inner>,
+    note: Option<String>,
+    span: Option<Inner>,
+    elapsed: std::time::Duration,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum Command {
+    Check,
+    OpenFile { path: String, text: String },
+    SetLevel { level: Option<u32> },
+}
+
+fn sample() -> Outer {
+    Outer {
+        name: "dev".into(),
+        total: 3,
+        signed: -7,
+        flag: true,
+        items: vec![Inner {
+            label: "a\"b".into(),
+            count: u64::MAX,
+        }],
+        note: None,
+        span: Some(Inner {
+            label: "s".into(),
+            count: 0,
+        }),
+        elapsed: std::time::Duration::new(2, 125_000_000),
+    }
+}
+
+#[test]
+fn struct_round_trip() {
+    let outer = sample();
+    let text = json::to_string(&outer);
+    let back: Outer = json::from_str(&text).unwrap();
+    assert_eq!(back, outer);
+}
+
+#[test]
+fn none_fields_are_skipped_and_default() {
+    let text = json::to_string(&sample());
+    assert!(!text.contains("\"note\""), "{text}");
+    assert!(text.contains("\"span\""), "{text}");
+    // A document missing optional fields still deserializes.
+    let minimal = r#"{"name":"x","total":0,"signed":0,"flag":false,"items":[],"elapsed":{"secs":0,"nanos":0}}"#;
+    let back: Outer = json::from_str(minimal).unwrap();
+    assert_eq!(back.note, None);
+    assert_eq!(back.span, None);
+}
+
+#[test]
+fn field_order_is_declaration_order() {
+    let value = json::to_value(&sample());
+    let keys: Vec<&str> = value
+        .as_map()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys,
+        ["name", "total", "signed", "flag", "items", "span", "elapsed"]
+    );
+}
+
+#[test]
+fn enum_encoding_is_externally_tagged_snake_case() {
+    assert_eq!(json::to_string(&Command::Check), r#""check""#);
+    let open = Command::OpenFile {
+        path: "a.py".into(),
+        text: "x = 1\n".into(),
+    };
+    assert_eq!(
+        json::to_string(&open),
+        r#"{"open_file":{"path":"a.py","text":"x = 1\n"}}"#
+    );
+    for cmd in [
+        Command::Check,
+        open,
+        Command::SetLevel { level: None },
+        Command::SetLevel { level: Some(2) },
+    ] {
+        let text = json::to_string(&cmd);
+        assert_eq!(json::from_str::<Command>(&text).unwrap(), cmd, "{text}");
+    }
+}
+
+#[test]
+fn unknown_variants_and_missing_fields_error() {
+    assert!(json::from_str::<Command>(r#""frobnicate""#).is_err());
+    assert!(json::from_str::<Command>(r#"{"open_file":{"path":"a"}}"#).is_err());
+    let err = json::from_str::<Inner>(r#"{"label":"x"}"#).unwrap_err();
+    assert!(err.to_string().contains("missing field `count`"), "{err}");
+    assert!(json::from_str::<Inner>("[1]").is_err());
+}
+
+#[test]
+fn value_accessors() {
+    let v = json::value_from_str(r#"{"a":1,"b":"s"}"#).unwrap();
+    assert_eq!(v.get("a"), Some(&Value::UInt(1)));
+    assert_eq!(v.get("b").unwrap().as_str(), Some("s"));
+    assert_eq!(v.get("missing"), None);
+}
