@@ -34,6 +34,20 @@ echo "==> servebench gate (warm restart >= 2x cold on the 1k-class workspace)"
 # for itself: a warm daemon restart must beat a cold start by >= 2x.
 cargo run -p servebench --release -q -- BENCH_serve.json
 
+echo "==> corpus gates (strict examples, 200-file recovering sweep)"
+# Strict mode must hold the line on the checked-in paper examples, and
+# the recovering front end must clear the ISSUE floors (>= 95% parse,
+# >= 90% extract) on the 200-file synthetic real-world corpus, whose
+# rates are published as BENCH_corpus.json.
+cargo build -p shelley-cli -p corpusgen --release -q
+SHELLEYC=target/release/shelleyc
+"$SHELLEYC" corpus examples_py --min-parse 100 --min-extract 100 > /dev/null
+CORPUS_DIR="$(mktemp -d)"
+target/release/corpusgen "$CORPUS_DIR" 200 > /dev/null
+"$SHELLEYC" corpus "$CORPUS_DIR" --recover --json BENCH_corpus.json \
+    --min-parse 95 --min-extract 90 > /dev/null
+rm -rf "$CORPUS_DIR"
+
 echo "==> daemon smoke test (serve over a socket, check, shutdown)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT

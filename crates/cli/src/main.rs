@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! shelleyc check <file.py> [more.py ...]  verify all @sys classes
+//! shelleyc corpus <dir>                   parse/extract/verify rates over a corpus
 //! shelleyc watch <file.py> [more.py ...]  re-check on demand (reads stdin)
 //! shelleyc serve [--socket p] [--cache p] persistent verification daemon
 //! shelleyc connect <socket> [file.py ...] one-shot client of a daemon
@@ -58,12 +59,14 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   shelleyc check <file.py> [more.py ...]
       [-A <code>] [-W <code>] [-D <code>|-D warnings] [--deny-warnings]
-      [--format text|json|sarif] [--jobs N]
-  shelleyc watch <file.py> [more.py ...] [--jobs N]
+      [--format text|json|sarif] [--jobs N] [--recover]
+  shelleyc corpus <dir> [--recover] [--json <path>]
+      [--min-parse <pct>] [--min-extract <pct>] [--jobs N]
+  shelleyc watch <file.py> [more.py ...] [--jobs N] [--recover]
       (then `check` or `quit` on stdin)
-  shelleyc serve [--socket <path>] [--cache <path>] [--jobs N]
+  shelleyc serve [--socket <path>] [--cache <path>] [--jobs N] [--recover]
       (JSON protocol on stdin/stdout, or many clients on the socket)
-  shelleyc connect <socket> [file.py ...] [--shutdown]
+  shelleyc connect <socket> [file.py ...] [--shutdown] [--recover]
   shelleyc diagram <file.py> <Class>
   shelleyc deps <file.py> <Class>
   shelleyc integration <file.py> <Class>
@@ -96,6 +99,10 @@ struct Options {
     socket: Option<String>,
     cache: Option<String>,
     shutdown: bool,
+    recover: bool,
+    json_out: Option<String>,
+    min_parse: Option<f64>,
+    min_extract: Option<f64>,
 }
 
 impl Default for Options {
@@ -107,6 +114,10 @@ impl Default for Options {
             socket: None,
             cache: None,
             shutdown: false,
+            recover: false,
+            json_out: None,
+            min_parse: None,
+            min_extract: None,
         }
     }
 }
@@ -216,7 +227,48 @@ const FLAGS: &[Flag] = &[
             Ok(())
         },
     },
+    Flag {
+        names: &["--recover"],
+        value: None,
+        apply: |opts, _, _| {
+            opts.recover = true;
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--json"],
+        value: Some("path"),
+        apply: |opts, _, value| {
+            opts.json_out = Some(value.to_string());
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--min-parse"],
+        value: Some("percentage"),
+        apply: |opts, flag, value| {
+            opts.min_parse = Some(parse_percentage(flag, value)?);
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--min-extract"],
+        value: Some("percentage"),
+        apply: |opts, flag, value| {
+            opts.min_extract = Some(parse_percentage(flag, value)?);
+            Ok(())
+        },
+    },
 ];
+
+fn parse_percentage(flag: &str, value: &str) -> Result<f64, CliError> {
+    match value.parse::<f64>() {
+        Ok(pct) if (0.0..=100.0).contains(&pct) => Ok(pct),
+        _ => Err(CliError::Usage(format!(
+            "invalid {flag} value `{value}` (expected a percentage 0..=100)"
+        ))),
+    }
+}
 
 /// Splits `args` into positionals and flags (which may appear anywhere),
 /// driving every flag through the declarative [`FLAGS`] table.
@@ -265,9 +317,15 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
     let cmd = args
         .first()
         .ok_or_else(|| CliError::Usage("missing command".into()))?;
-    let checker = Checker::new().lints(opts.config.clone()).jobs(opts.jobs);
+    let checker = Checker::new()
+        .lints(opts.config.clone())
+        .jobs(opts.jobs)
+        .recover(opts.recover);
     if cmd == "watch" {
         return run_watch(&args[1..], checker);
+    }
+    if cmd == "corpus" {
+        return run_corpus(&args[1..], &opts, checker);
     }
     if cmd == "serve" {
         return run_serve(&opts, checker);
@@ -459,6 +517,185 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Per-file outcome of one corpus run.
+struct CorpusTotals {
+    files: usize,
+    parse_ok: usize,
+    extract_ok: usize,
+    verify_ok: usize,
+}
+
+impl CorpusTotals {
+    fn rate(n: usize, total: usize) -> f64 {
+        if total == 0 {
+            100.0
+        } else {
+            n as f64 * 100.0 / total as f64
+        }
+    }
+
+    fn parse_rate(&self) -> f64 {
+        CorpusTotals::rate(self.parse_ok, self.files)
+    }
+
+    fn extract_rate(&self) -> f64 {
+        CorpusTotals::rate(self.extract_ok, self.files)
+    }
+
+    fn verify_rate(&self) -> f64 {
+        CorpusTotals::rate(self.verify_ok, self.files)
+    }
+
+    fn render_json(&self) -> String {
+        format!(
+            "{{\n  \"files\": {},\n  \"parse_ok\": {},\n  \"extract_ok\": {},\n  \
+             \"verify_ok\": {},\n  \"parse_rate\": {:.1},\n  \"extract_rate\": {:.1},\n  \
+             \"verify_rate\": {:.1}\n}}\n",
+            self.files,
+            self.parse_ok,
+            self.extract_ok,
+            self.verify_ok,
+            self.parse_rate(),
+            self.extract_rate(),
+            self.verify_rate(),
+        )
+    }
+}
+
+/// Diagnostic codes that indicate the *extraction* of a model failed (as
+/// opposed to the model failing verification): malformed annotations and
+/// spec-shape errors.
+const EXTRACT_ERROR_CODES: &[&str] = &[
+    shelley_core::codes::BAD_ANNOTATION,
+    shelley_core::codes::UNKNOWN_SUBSYSTEM,
+    shelley_core::codes::NO_INITIAL_OPERATION,
+    shelley_core::codes::BAD_CLAIM,
+];
+
+/// `shelleyc corpus <dir>`: checks every `.py` file under `dir` (one
+/// directory level, sorted) and reports three cumulative rates —
+///
+/// * **parse**: the file is fully inside the supported grammar. In
+///   `--recover` mode every file produces *some* module, so a file counts
+///   only when recovery degraded nothing.
+/// * **extract**: parsing aside, every `@sys` class yielded a model
+///   (no annotation/spec-shape errors).
+/// * **verify**: the full check passed.
+///
+/// `--json <path>` writes the totals as JSON (the `BENCH_corpus.json`
+/// shape); `--min-parse`/`--min-extract` turn the rates into gates that
+/// fail the run when unmet.
+fn run_corpus(args: &[String], opts: &Options, checker: Checker) -> Result<String, CliError> {
+    let dir = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing corpus directory".into()))?;
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::Usage(format!("cannot read {dir}: {e}")))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "py"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Usage(format!("no .py files in {dir}")));
+    }
+
+    let mut totals = CorpusTotals {
+        files: 0,
+        parse_ok: 0,
+        extract_ok: 0,
+        verify_ok: 0,
+    };
+    let mut failures = String::new();
+    for path in &paths {
+        let name = path.display().to_string();
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Usage(format!("cannot read {name}: {e}")))?;
+        totals.files += 1;
+        let parse_ok = if opts.recover {
+            let module = micropython_parser::parse_module_recover(&source);
+            micropython_parser::visit::collect_degraded(&module).is_empty()
+        } else {
+            micropython_parser::parse_module(&source).is_ok()
+        };
+        if parse_ok {
+            totals.parse_ok += 1;
+        }
+        // In recovery mode extraction proceeds even for degraded files;
+        // in strict mode a parse failure stops the file here.
+        let checked = match checker.check_source(&source) {
+            Ok(checked) => checked,
+            Err(e) => {
+                failures.push_str(&format!("{name}: parse: {}\n", e.error));
+                continue;
+            }
+        };
+        if !parse_ok {
+            failures.push_str(&format!("{name}: parse: constructs degraded\n"));
+        }
+        let extract_errors: Vec<&str> = checked
+            .report
+            .diagnostics
+            .errors()
+            .filter(|d| EXTRACT_ERROR_CODES.contains(&d.code))
+            .map(|d| d.code)
+            .collect();
+        if extract_errors.is_empty() {
+            totals.extract_ok += 1;
+        } else {
+            failures.push_str(&format!("{name}: extract: {}\n", extract_errors.join(", ")));
+        }
+        if checked.report.passed() {
+            totals.verify_ok += 1;
+        }
+    }
+
+    let mut out = format!(
+        "corpus: {} file(s) in {dir}\n  parse:   {}/{} ({:.1}%)\n  extract: {}/{} \
+         ({:.1}%)\n  verify:  {}/{} ({:.1}%)\n",
+        totals.files,
+        totals.parse_ok,
+        totals.files,
+        totals.parse_rate(),
+        totals.extract_ok,
+        totals.files,
+        totals.extract_rate(),
+        totals.verify_ok,
+        totals.files,
+        totals.verify_rate(),
+    );
+    out.push_str(&failures);
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, totals.render_json())
+            .map_err(|e| CliError::Usage(format!("cannot write {path}: {e}")))?;
+    }
+    let mut gate_failures = Vec::new();
+    if let Some(min) = opts.min_parse {
+        if totals.parse_rate() < min {
+            gate_failures.push(format!(
+                "parse rate {:.1}% below --min-parse {min}%",
+                totals.parse_rate()
+            ));
+        }
+    }
+    if let Some(min) = opts.min_extract {
+        if totals.extract_rate() < min {
+            gate_failures.push(format!(
+                "extract rate {:.1}% below --min-extract {min}%",
+                totals.extract_rate()
+            ));
+        }
+    }
+    if gate_failures.is_empty() {
+        Ok(out)
+    } else {
+        for failure in gate_failures {
+            out.push_str(&format!("FAIL: {failure}\n"));
+        }
+        Err(CliError::Verification(out))
+    }
+}
+
 /// The multi-round mode: a thin client over the daemon wire types. Each
 /// `check` line read from stdin re-reads the watched files from disk,
 /// sends them through the protocol [`Engine`], and renders the returned
@@ -573,6 +810,9 @@ fn run_connect(args: &[String], opts: &Options) -> Result<String, CliError> {
         .map_err(|e| CliError::Usage(format!("cannot connect to {socket}: {e}")))?;
     let fail = |e: std::io::Error| CliError::Usage(format!("daemon request failed: {e}"));
     client.hello().map_err(fail)?;
+    if opts.recover {
+        client.configure(true).map_err(fail)?;
+    }
     let mut files = Vec::new();
     for path in &args[1..] {
         let text = std::fs::read_to_string(path)

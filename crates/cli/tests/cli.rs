@@ -459,6 +459,160 @@ fn unknown_format_is_a_usage_error() {
     assert!(stderr.contains("unknown format"), "{stderr}");
 }
 
+/// `GOOD` with one statement (line 6) that is outside the calculus and
+/// degrades to `skip` under `--recover`.
+const DEGRADABLE: &str = r#"
+@sys
+class Led:
+    @op_initial
+    def on(self):
+        x = = 1
+        return ["off"]
+
+    @op_final
+    def off(self):
+        return ["on"]
+"#;
+
+#[test]
+fn recover_degrades_unknown_syntax_to_a_w014_warning() {
+    let path = write_temp("recover.py", DEGRADABLE);
+    // Strict mode: a parse error, reported with its position.
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("recover.py:6:"), "{stdout}");
+    // Recovery mode: the statement degrades, verification still passes.
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "--recover"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("warning [W014]"), "{stdout}");
+    assert!(stdout.contains("construct degraded to `skip`"), "{stdout}");
+    assert!(stdout.contains("OK: 1 system(s) verified"), "{stdout}");
+}
+
+#[test]
+fn w014_level_control_accepts_lowercase_codes() {
+    let path = write_temp("recover_levels.py", DEGRADABLE);
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "--recover", "-A", "w014"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(!stdout.contains("W014"), "{stdout}");
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "--recover", "-D", "w014"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("error [W014]"), "{stdout}");
+    let (stdout, _, code) = shelleyc(&[
+        "check",
+        path.to_str().unwrap(),
+        "--recover",
+        "--deny-warnings",
+        "-W",
+        "w014",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("warning [W014]"), "{stdout}");
+}
+
+#[test]
+fn w014_reaches_json_with_a_position() {
+    let path = write_temp("recover_json.py", DEGRADABLE);
+    let (stdout, _, code) = shelleyc(&[
+        "check",
+        path.to_str().unwrap(),
+        "--recover",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"code\": \"W014\""), "{stdout}");
+    assert!(stdout.contains("\"line\": 6"), "{stdout}");
+}
+
+#[test]
+fn w014_reaches_sarif_with_a_rule_catalog_entry() {
+    let path = write_temp("recover_sarif.py", DEGRADABLE);
+    let (stdout, _, code) = shelleyc(&[
+        "check",
+        path.to_str().unwrap(),
+        "--recover",
+        "--format=sarif",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"ruleId\": \"W014\""), "{stdout}");
+    // The registry-driven rule catalog carries the new code even when
+    // the run has no W014 result.
+    let clean = write_temp("recover_sarif_clean.py", GOOD);
+    let (stdout, _, _) = shelleyc(&["check", clean.to_str().unwrap(), "--format=sarif"]);
+    assert!(stdout.contains("\"id\": \"W014\""), "{stdout}");
+    assert!(stdout.contains("construct-degraded"), "{stdout}");
+}
+
+fn corpus_dir(name: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("shelleyc-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (file, content) in files {
+        std::fs::write(dir.join(file), content).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn corpus_reports_rates_over_a_directory() {
+    let dir = corpus_dir(
+        "corpus_rates",
+        &[
+            ("good.py", GOOD),
+            ("paper.py", PAPER),
+            ("degradable.py", DEGRADABLE),
+        ],
+    );
+    // Strict: the degradable file fails to parse; the paper file parses
+    // and extracts but fails verification.
+    let (stdout, _, code) = shelleyc(&["corpus", dir.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("corpus: 3 file(s)"), "{stdout}");
+    assert!(stdout.contains("parse:   2/3 (66.7%)"), "{stdout}");
+    assert!(stdout.contains("extract: 2/3 (66.7%)"), "{stdout}");
+    assert!(stdout.contains("verify:  1/3 (33.3%)"), "{stdout}");
+    // Recovery lifts neither strict parse nor verify for the degradable
+    // file (it has degraded constructs) but extraction now runs on it.
+    let (stdout, _, code) = shelleyc(&["corpus", dir.to_str().unwrap(), "--recover"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("extract: 3/3 (100.0%)"), "{stdout}");
+}
+
+#[test]
+fn corpus_gates_fail_the_run_and_json_records_the_rates() {
+    let dir = corpus_dir("corpus_gate", &[("good.py", GOOD), ("bad.py", DEGRADABLE)]);
+    let json = dir.join("rates.json");
+    let (stdout, _, code) = shelleyc(&[
+        "corpus",
+        dir.to_str().unwrap(),
+        "--min-parse",
+        "100",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    let written = std::fs::read_to_string(&json).unwrap();
+    assert!(written.contains("\"files\": 2"), "{written}");
+    assert!(written.contains("\"parse_ok\": 1"), "{written}");
+    assert!(written.contains("\"parse_rate\": 50.0"), "{written}");
+}
+
+#[test]
+fn corpus_usage_errors() {
+    let (_, stderr, code) = shelleyc(&["corpus", "/nonexistent-dir"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let empty = corpus_dir("corpus_empty", &[]);
+    let (_, stderr, code) = shelleyc(&["corpus", empty.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("no .py files"), "{stderr}");
+    let dir = corpus_dir("corpus_badpct", &[("good.py", GOOD)]);
+    let (_, stderr, code) = shelleyc(&["corpus", dir.to_str().unwrap(), "--min-parse", "potato"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--min-parse"), "{stderr}");
+}
+
 #[test]
 fn replay_validates_traces() {
     let program = write_temp("paper9.py", PAPER);

@@ -18,14 +18,19 @@
 //! clients can surface per-file results as they arrive:
 //!
 //! ```text
-//! → {"id":1,"method":{"hello":{"version":1}}}
-//! ← {"id":1,"body":{"hello":{"version":1,"server":"shelleyc"}}}
-//! → {"id":2,"method":{"open":{"path":"valve.py","text":"..."}}}
+//! → {"id":1,"method":{"hello":{"version":2}}}
+//! ← {"id":1,"body":{"hello":{"version":2,"server":"shelleyc"}}}
+//! → {"id":2,"method":{"configure":{"recover":true}}}
 //! ← {"id":2,"body":"ok"}
-//! → {"id":3,"method":"check"}
-//! ← {"id":3,"body":{"batch":{"file":"valve.py","diagnostics":[...]}}}
-//! ← {"id":3,"body":{"check":{"summary":{...}}}}
+//! → {"id":3,"method":{"open":{"path":"valve.py","text":"..."}}}
+//! ← {"id":3,"body":"ok"}
+//! → {"id":4,"method":"check"}
+//! ← {"id":4,"body":{"batch":{"file":"valve.py","diagnostics":[...]}}}
+//! ← {"id":4,"body":{"check":{"summary":{...}}}}
 //! ```
+//!
+//! Version 2 added the `configure` method (recovery mode); everything
+//! else is unchanged from version 1.
 
 use crate::checker::CheckError;
 use crate::diagnostics::{resolved_file, Diagnostic, Diagnostics, Severity};
@@ -39,7 +44,7 @@ use micropython_parser::SourceFile;
 ///
 /// Bump on any incompatible change to the types in this module; the
 /// daemon rejects `hello` requests carrying a different version.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The server name announced in [`ReplyBody::Hello`].
 pub const SERVER_NAME: &str = "shelleyc";
@@ -81,6 +86,13 @@ pub enum Method {
     Close {
         /// Workspace-relative file name.
         path: String,
+    },
+    /// Reconfigures the workspace. Switching `recover` re-parses every
+    /// open file under the new grammar on the next `check`.
+    Configure {
+        /// Recovery mode: total parsing with degrade-to-`skip` (`W014`)
+        /// instead of strict subset errors.
+        recover: bool,
     },
     /// Runs one verification round over the current file set.
     Check,
@@ -414,9 +426,16 @@ mod tests {
             (
                 Request {
                     id: 1,
-                    method: Method::Hello { version: 1 },
+                    method: Method::Hello { version: 2 },
                 },
-                r#"{"id":1,"method":{"hello":{"version":1}}}"#,
+                r#"{"id":1,"method":{"hello":{"version":2}}}"#,
+            ),
+            (
+                Request {
+                    id: 6,
+                    method: Method::Configure { recover: true },
+                },
+                r#"{"id":6,"method":{"configure":{"recover":true}}}"#,
             ),
             (
                 Request {
@@ -467,7 +486,7 @@ mod tests {
                         server: SERVER_NAME.into(),
                     },
                 },
-                r#"{"id":1,"body":{"hello":{"version":1,"server":"shelleyc"}}}"#,
+                r#"{"id":1,"body":{"hello":{"version":2,"server":"shelleyc"}}}"#,
             ),
             (
                 Reply {

@@ -69,6 +69,7 @@ impl std::error::Error for CheckError {
 pub struct Checker {
     lints: LintConfig,
     jobs: usize,
+    recover: bool,
 }
 
 impl Checker {
@@ -89,6 +90,15 @@ impl Checker {
     /// runs strictly sequentially on the calling thread.
     pub fn jobs(mut self, n: usize) -> Self {
         self.jobs = n;
+        self
+    }
+
+    /// Switches recovery mode on: parsing becomes total, out-of-subset
+    /// constructs degrade to spanned `skip` nodes, and each degraded
+    /// region is reported as `W014`. Strict mode (the default) rejects
+    /// the same constructs with a parse error.
+    pub fn recover(mut self, recover: bool) -> Self {
+        self.recover = recover;
         self
     }
 
@@ -136,6 +146,8 @@ impl Checker {
     /// Converts the configuration into a long-lived [`Workspace`] that
     /// caches per-file and per-class artifacts across repeated checks.
     pub fn into_workspace(self) -> Workspace {
-        Workspace::with_config(self.lints, self.jobs)
+        let mut workspace = Workspace::with_config(self.lints, self.jobs);
+        workspace.set_recover(self.recover);
+        workspace
     }
 }

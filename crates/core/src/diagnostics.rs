@@ -94,6 +94,9 @@ pub mod codes {
     pub const POSSIBLE_PROTOCOL_VIOLATION: &str = "W012";
     /// A dependency operation no reachable statement ever invokes.
     pub const DEAD_SUBSYSTEM_OPERATION: &str = "W013";
+    /// Recovery mode degraded an out-of-subset construct to `skip`; the
+    /// model claims nothing about the skipped region.
+    pub const CONSTRUCT_DEGRADED: &str = "W014";
 }
 
 /// Metadata for one stable diagnostic code.
@@ -255,11 +258,20 @@ pub const REGISTRY: &[CodeInfo] = &[
         summary: "a dependency operation no reachable statement ever invokes",
         default_severity: Severity::Warning,
     },
+    CodeInfo {
+        code: codes::CONSTRUCT_DEGRADED,
+        name: "construct-degraded",
+        summary: "recovery mode degraded an unsupported construct to `skip`",
+        default_severity: Severity::Warning,
+    },
 ];
 
 /// Looks up the metadata of a stable code.
 pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
-    REGISTRY.iter().find(|info| info.code == code)
+    // Case-insensitive so `-A w014` and `-A W014` mean the same thing.
+    REGISTRY
+        .iter()
+        .find(|info| info.code.eq_ignore_ascii_case(code))
 }
 
 /// A single diagnostic.
@@ -681,7 +693,7 @@ mod tests {
             vec![
                 "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E009", "E100",
                 "E101", "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009",
-                "W010", "W011", "W012", "W013",
+                "W010", "W011", "W012", "W013", "W014",
             ]
         );
         for info in REGISTRY {

@@ -347,13 +347,41 @@ impl Builder<'_> {
                     ends.extend(breaks);
                     ends
                 }
-                // Straight-line statements (nested defs do not run here).
+                Stmt::Raise(_) => {
+                    // Control leaves the method (or the enclosing `try`,
+                    // which the graph over-approximates as leaving).
+                    self.edge(node, EXIT);
+                    Vec::new()
+                }
+                Stmt::Try(t) => {
+                    let body_ends = self.block(&t.body, vec![node]);
+                    let mut ends = match &t.orelse {
+                        Some(b) => self.block(b, body_ends.clone()),
+                        None => body_ends.clone(),
+                    };
+                    for h in &t.handlers {
+                        // A handler runs after the body was interrupted at
+                        // any point; the head node plus the body frontier
+                        // conservatively stand in for every such point.
+                        let mut preds = vec![node];
+                        preds.extend(body_ends.iter().copied());
+                        ends.extend(self.block(&h.body, preds));
+                    }
+                    match &t.finally {
+                        Some(b) => self.block(b, ends),
+                        None => ends,
+                    }
+                }
+                Stmt::With(ws) => self.block(&ws.body, vec![node]),
+                // Straight-line statements (nested defs do not run here; a
+                // degraded region is opaque skip).
                 Stmt::Assign(_)
                 | Stmt::Expr(_)
                 | Stmt::Pass(_)
                 | Stmt::Import(_)
                 | Stmt::ClassDef(_)
-                | Stmt::FuncDef(_) => vec![node],
+                | Stmt::FuncDef(_)
+                | Stmt::Degraded(_) => vec![node],
             };
         }
         preds
@@ -393,12 +421,39 @@ fn record_accesses(stmt: &Stmt, fields: &BTreeSet<String>, node: &mut CfgNode) {
         Stmt::Match(ms) => collect_reads(&ms.subject, fields, &mut node.reads),
         Stmt::While(ws) => collect_reads(&ws.cond, fields, &mut node.reads),
         Stmt::For(fs) => collect_reads(&fs.iter, fields, &mut node.reads),
+        Stmt::Raise(r) => {
+            for e in r.exc.iter().chain(r.cause.iter()) {
+                collect_reads(e, fields, &mut node.reads);
+            }
+        }
+        Stmt::With(ws) => {
+            for item in &ws.items {
+                collect_reads(&item.context, fields, &mut node.reads);
+                if let Some(target) = &item.target {
+                    if let Some(field) = plain_field_target(target, fields) {
+                        node.writes.push(field.to_owned());
+                    } else {
+                        collect_reads(target, fields, &mut node.reads);
+                    }
+                }
+            }
+        }
+        Stmt::Try(t) => {
+            // Handler exception expressions have no node of their own; they
+            // are charged to the `try` head.
+            for h in &t.handlers {
+                if let Some(exc) = &h.exc {
+                    collect_reads(exc, fields, &mut node.reads);
+                }
+            }
+        }
         Stmt::Pass(_)
         | Stmt::Break(_)
         | Stmt::Continue(_)
         | Stmt::Import(_)
         | Stmt::ClassDef(_)
-        | Stmt::FuncDef(_) => {}
+        | Stmt::FuncDef(_)
+        | Stmt::Degraded(_) => {}
     }
 }
 
@@ -449,12 +504,36 @@ fn collect_reads(expr: &Expr, fields: &BTreeSet<String>, out: &mut Vec<(String, 
             collect_reads(right, fields, out);
         }
         ExprKind::UnaryOp { operand, .. } => collect_reads(operand, fields, out),
+        ExprKind::Await(operand) => collect_reads(operand, fields, out),
+        ExprKind::Starred { value, .. } => collect_reads(value, fields, out),
+        ExprKind::Comp {
+            element,
+            value,
+            clauses,
+            ..
+        } => {
+            for c in clauses {
+                collect_reads(&c.iter, fields, out);
+            }
+            for c in clauses {
+                for cond in &c.ifs {
+                    collect_reads(cond, fields, out);
+                }
+            }
+            collect_reads(element, fields, out);
+            if let Some(v) = value {
+                collect_reads(v, fields, out);
+            }
+        }
+        // A lambda body does not run at definition time.
+        ExprKind::Lambda { .. } => {}
         ExprKind::Name(_)
         | ExprKind::Str(_)
         | ExprKind::Int(_)
         | ExprKind::Float(_)
         | ExprKind::Bool(_)
-        | ExprKind::NoneLit => {}
+        | ExprKind::NoneLit
+        | ExprKind::FString(_) => {}
     }
 }
 
@@ -493,12 +572,40 @@ fn record_calls(stmt: &Stmt, fields: &BTreeSet<String>, node: &mut CfgNode) {
             // through this head would replay it every iteration.
             node.calls_inexact = !node.calls.is_empty();
         }
+        Stmt::Raise(r) => {
+            for e in r.exc.iter().chain(r.cause.iter()) {
+                collect_calls(e, fields, &mut node.calls);
+            }
+        }
+        Stmt::With(ws) => {
+            for item in &ws.items {
+                collect_calls(&item.context, fields, &mut node.calls);
+                if let Some(target) = &item.target {
+                    collect_calls(target, fields, &mut node.calls);
+                }
+            }
+        }
+        Stmt::Try(t) => {
+            for h in &t.handlers {
+                if let Some(exc) = &h.exc {
+                    let before = node.calls.len();
+                    collect_calls(exc, fields, &mut node.calls);
+                    // The lowering keeps each handler's exception
+                    // expression inside its own choice arm; the head node
+                    // replays all of them.
+                    if node.calls.len() > before {
+                        node.calls_inexact = true;
+                    }
+                }
+            }
+        }
         Stmt::Pass(_)
         | Stmt::Break(_)
         | Stmt::Continue(_)
         | Stmt::Import(_)
         | Stmt::ClassDef(_)
-        | Stmt::FuncDef(_) => {}
+        | Stmt::FuncDef(_)
+        | Stmt::Degraded(_) => {}
     }
 }
 
@@ -555,12 +662,37 @@ fn collect_calls(expr: &Expr, fields: &BTreeSet<String>, out: &mut Vec<CallEvent
             collect_calls(right, fields, out);
         }
         ExprKind::UnaryOp { operand, .. } => collect_calls(operand, fields, out),
+        // `await` is transparent: the awaited call happens.
+        ExprKind::Await(operand) => collect_calls(operand, fields, out),
+        ExprKind::Starred { value, .. } => collect_calls(value, fields, out),
+        ExprKind::Comp {
+            element,
+            value,
+            clauses,
+            ..
+        } => {
+            for c in clauses {
+                collect_calls(&c.iter, fields, out);
+            }
+            for c in clauses {
+                for cond in &c.ifs {
+                    collect_calls(cond, fields, out);
+                }
+            }
+            collect_calls(element, fields, out);
+            if let Some(v) = value {
+                collect_calls(v, fields, out);
+            }
+        }
+        // A lambda body does not run at definition time.
+        ExprKind::Lambda { .. } => {}
         ExprKind::Name(_)
         | ExprKind::Str(_)
         | ExprKind::Int(_)
         | ExprKind::Float(_)
         | ExprKind::Bool(_)
-        | ExprKind::NoneLit => {}
+        | ExprKind::NoneLit
+        | ExprKind::FString(_) => {}
     }
 }
 

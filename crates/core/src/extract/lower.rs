@@ -287,6 +287,63 @@ impl LowerCtx<'_> {
             // Nested definitions are outside the analyzed subset; their
             // bodies do not run at method-execution time.
             Stmt::ClassDef(_) | Stmt::FuncDef(_) => Program::skip(),
+            Stmt::Try(t) => {
+                // Exceptions can interrupt the try body at any call
+                // boundary, so the abstraction over-approximates with a
+                // choice of observable completions: the body ran to the end
+                // (plus `else`), the body was cut short and a handler ran,
+                // or a handler ran alone (interruption before any call).
+                // `finally` always runs afterwards.
+                let body = self.lower_stmts(&t.body);
+                let orelse = match &t.orelse {
+                    Some(b) => self.lower_stmts(b),
+                    None => Program::skip(),
+                };
+                let mut arms = vec![Program::seq(body.clone(), orelse)];
+                for h in &t.handlers {
+                    let exc = match &h.exc {
+                        Some(e) => self.lower_expr(e, false),
+                        None => Program::skip(),
+                    };
+                    let handler = Program::seq(exc, self.lower_stmts(&h.body));
+                    arms.push(handler.clone());
+                    arms.push(Program::seq(body.clone(), handler));
+                }
+                let tried = Program::choice(arms);
+                let finally = match &t.finally {
+                    Some(b) => self.lower_stmts(b),
+                    None => Program::skip(),
+                };
+                Program::seq(tried, finally)
+            }
+            Stmt::With(w) => {
+                // Context managers are entered in order, then the body runs.
+                // `__enter__`/`__exit__` of unconstrained objects are
+                // invisible to the alphabet, so this is a plain sequence.
+                let mut parts = Vec::new();
+                for item in &w.items {
+                    parts.push(self.lower_expr(&item.context, false));
+                    if let Some(target) = &item.target {
+                        parts.push(self.lower_expr(target, false));
+                    }
+                }
+                parts.push(self.lower_stmts(&w.body));
+                Program::seq_all(parts)
+            }
+            Stmt::Raise(r) => {
+                // The raised expression is evaluated; the jump itself is
+                // control-flow the regular abstraction already
+                // over-approximates (like `break`).
+                let mut parts = Vec::new();
+                for e in r.exc.iter().chain(r.cause.iter()) {
+                    parts.push(self.lower_expr(e, false));
+                }
+                Program::seq_all(parts)
+            }
+            // A degraded region is exactly the paper's `skip`: whatever the
+            // original source did, the model claims nothing about it. W014
+            // reports the imprecision.
+            Stmt::Degraded(_) => Program::skip(),
         }
     }
 
@@ -349,12 +406,43 @@ impl LowerCtx<'_> {
                 self.collect_calls(right, false, out);
             }
             ExprKind::UnaryOp { operand, .. } => self.collect_calls(operand, false, out),
+            // `await` is transparent: the awaited call happens.
+            ExprKind::Await(operand) => self.collect_calls(operand, scrutinized, out),
+            ExprKind::Starred { value, .. } => self.collect_calls(value, false, out),
+            ExprKind::Comp {
+                element,
+                value,
+                clauses,
+                ..
+            } => {
+                // Iterables are evaluated eagerly; the element/filters run
+                // per iteration — approximated as a single evaluation (the
+                // loop body's calls appear at least once in the order they
+                // are written, matching the `for`-statement abstraction
+                // without its `loop`, which the subset's verifier would
+                // over-penalize for lazy generators).
+                for c in clauses {
+                    self.collect_calls(&c.iter, false, out);
+                }
+                for c in clauses {
+                    for cond in &c.ifs {
+                        self.collect_calls(cond, false, out);
+                    }
+                }
+                self.collect_calls(element, false, out);
+                if let Some(v) = value {
+                    self.collect_calls(v, false, out);
+                }
+            }
+            // A lambda body does not run at definition time.
+            ExprKind::Lambda { .. } => {}
             ExprKind::Name(_)
             | ExprKind::Str(_)
             | ExprKind::Int(_)
             | ExprKind::Float(_)
             | ExprKind::Bool(_)
-            | ExprKind::NoneLit => {}
+            | ExprKind::NoneLit
+            | ExprKind::FString(_) => {}
         }
     }
 }

@@ -121,12 +121,47 @@ fn collect_self_calls(stmt: &Stmt, out: &mut Vec<(String, micropython_parser::Sp
                 collect_self_calls(s, out);
             }
         }
+        Stmt::Try(t) => {
+            for s in &t.body {
+                collect_self_calls(s, out);
+            }
+            for h in &t.handlers {
+                if let Some(exc) = &h.exc {
+                    expr_self_calls(exc, out);
+                }
+                for s in &h.body {
+                    collect_self_calls(s, out);
+                }
+            }
+            for body in t.orelse.iter().chain(t.finally.iter()) {
+                for s in body {
+                    collect_self_calls(s, out);
+                }
+            }
+        }
+        Stmt::With(ws) => {
+            for item in &ws.items {
+                expr_self_calls(&item.context, out);
+                if let Some(target) = &item.target {
+                    expr_self_calls(target, out);
+                }
+            }
+            for s in &ws.body {
+                collect_self_calls(s, out);
+            }
+        }
+        Stmt::Raise(r) => {
+            for e in r.exc.iter().chain(r.cause.iter()) {
+                expr_self_calls(e, out);
+            }
+        }
         Stmt::Pass(_)
         | Stmt::Break(_)
         | Stmt::Continue(_)
         | Stmt::Import(_)
         | Stmt::ClassDef(_)
-        | Stmt::FuncDef(_) => {}
+        | Stmt::FuncDef(_)
+        | Stmt::Degraded(_) => {}
     }
 }
 
@@ -164,12 +199,35 @@ fn expr_self_calls(expr: &Expr, out: &mut Vec<(String, micropython_parser::Span)
             expr_self_calls(right, out);
         }
         ExprKind::UnaryOp { operand, .. } => expr_self_calls(operand, out),
+        ExprKind::Await(operand) => expr_self_calls(operand, out),
+        ExprKind::Starred { value, .. } => expr_self_calls(value, out),
+        ExprKind::Comp {
+            element,
+            value,
+            clauses,
+            ..
+        } => {
+            for c in clauses {
+                expr_self_calls(&c.iter, out);
+                for cond in &c.ifs {
+                    expr_self_calls(cond, out);
+                }
+            }
+            expr_self_calls(element, out);
+            if let Some(v) = value {
+                expr_self_calls(v, out);
+            }
+        }
+        // A lambda body runs later (if at all), but a sibling-operation
+        // call written inside one still sidesteps the protocol — report it.
+        ExprKind::Lambda { body, .. } => expr_self_calls(body, out),
         ExprKind::Name(_)
         | ExprKind::Str(_)
         | ExprKind::Int(_)
         | ExprKind::Float(_)
         | ExprKind::Bool(_)
-        | ExprKind::NoneLit => {}
+        | ExprKind::NoneLit
+        | ExprKind::FString(_) => {}
     }
 }
 

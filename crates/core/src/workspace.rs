@@ -73,7 +73,8 @@ use crate::verify::claims::ClaimViolation;
 use crate::verify::usage::UsageViolation;
 use micropython_parser::ast::{Module, Stmt};
 use micropython_parser::printer::print_module;
-use micropython_parser::{parse_module, ParseError};
+use micropython_parser::visit::collect_degraded;
+use micropython_parser::{parse_module, parse_module_recover, ParseError};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -176,6 +177,9 @@ struct FileState {
     fingerprint: u64,
     source: Option<String>,
     parsed: Option<Result<Vec<ClassUnit>, ParseError>>,
+    /// `W014` diagnostics for constructs recovery mode degraded to `skip`,
+    /// computed at parse time (cached with the parse).
+    degraded: Diagnostics,
 }
 
 /// Extraction-stage products of one class (keyed by class fingerprint).
@@ -202,6 +206,10 @@ struct VerifyEntry {
 pub struct Workspace {
     config: LintConfig,
     jobs: usize,
+    /// Recovery mode: parse with
+    /// [`parse_module_recover`] (total), degrading out-of-subset
+    /// constructs to spanned `skip` nodes reported as `W014`.
+    recover: bool,
     files: Vec<FileState>,
     extract_cache: HashMap<u64, Arc<ExtractEntry>>,
     verify_cache: HashMap<(u64, u64), Arc<VerifyEntry>>,
@@ -240,6 +248,7 @@ impl Workspace {
         Workspace {
             config,
             jobs,
+            recover: false,
             files: Vec::new(),
             extract_cache: HashMap::new(),
             verify_cache: HashMap::new(),
@@ -249,6 +258,27 @@ impl Workspace {
             totals: WorkspaceStats::default(),
             last: WorkspaceStats::default(),
         }
+    }
+
+    /// Switches recovery mode on or off. Changing the mode invalidates
+    /// every cached parse of source-backed files — the same text parses
+    /// differently under the two grammars.
+    pub fn set_recover(&mut self, recover: bool) {
+        if self.recover == recover {
+            return;
+        }
+        self.recover = recover;
+        for file in &mut self.files {
+            if file.source.is_some() {
+                file.parsed = None;
+                file.degraded = Diagnostics::new();
+            }
+        }
+    }
+
+    /// Whether recovery mode is on.
+    pub fn recover(&self) -> bool {
+        self.recover
     }
 
     /// Adds a file, or replaces its source if the name is already
@@ -264,6 +294,7 @@ impl Workspace {
                     state.fingerprint = fingerprint;
                     state.source = Some(source);
                     state.parsed = None;
+                    state.degraded = Diagnostics::new();
                 }
             }
             None => self.files.push(FileState {
@@ -271,6 +302,7 @@ impl Workspace {
                 fingerprint,
                 source: Some(source),
                 parsed: None,
+                degraded: Diagnostics::new(),
             }),
         }
     }
@@ -294,6 +326,7 @@ impl Workspace {
             fingerprint,
             source: None,
             parsed: Some(Ok(units)),
+            degraded: degraded_diags(&module),
         };
         match self.files.iter_mut().find(|f| f.name == name) {
             Some(existing) => *existing = state,
@@ -350,9 +383,15 @@ impl Workspace {
                 .source
                 .as_deref()
                 .expect("files without source are registered pre-parsed");
-            file.parsed = Some(match parse_module(source) {
-                Ok(module) => Ok(class_units(&file.name, &module)),
-                Err(e) => Err(e),
+            file.parsed = Some(if self.recover {
+                let module = parse_module_recover(source);
+                file.degraded = degraded_diags(&module);
+                Ok(class_units(&file.name, &module))
+            } else {
+                match parse_module(source) {
+                    Ok(module) => Ok(class_units(&file.name, &module)),
+                    Err(e) => Err(e),
+                }
             });
         }
         round.parse_time = t.elapsed();
@@ -550,6 +589,9 @@ impl Workspace {
             }
             systems.push(entry.system.clone());
         }
+        for file in &self.files {
+            diagnostics.extend(file.degraded.clone());
+        }
         diagnostics.extend(duplicate_diags);
         self.config.apply(&mut diagnostics);
         if self.config.level(codes::INVALID_SUBSYSTEM_USAGE) != LintLevel::Deny {
@@ -674,6 +716,27 @@ impl Workspace {
             self.jobs
         }
     }
+}
+
+/// One `W014` per construct recovery mode degraded to `skip`: the model
+/// claims nothing about the skipped region, so every downstream verdict
+/// is conditional on the region being irrelevant to the protocol.
+fn degraded_diags(module: &Module) -> Diagnostics {
+    let mut out = Diagnostics::new();
+    for d in collect_degraded(module) {
+        out.push(
+            Diagnostic::warning(
+                codes::CONSTRUCT_DEGRADED,
+                format!("construct degraded to `skip`: {}", d.reason),
+            )
+            .with_span(d.span)
+            .with_note(
+                "the model treats this region as doing nothing; verification \
+                 results do not cover it",
+            ),
+        );
+    }
+    out
 }
 
 /// Splits a module into per-class units, fingerprinting each class by its

@@ -91,6 +91,15 @@ impl<R: BufRead, W: Write> Client<R, W> {
         }
     }
 
+    /// Switches the daemon's recovery mode (see
+    /// [`Workspace::set_recover`](shelley_core::Workspace::set_recover)).
+    pub fn configure(&mut self, recover: bool) -> io::Result<()> {
+        match self.call(Method::Configure { recover })? {
+            bodies if matches!(bodies.last(), Some(ReplyBody::Ok)) => Ok(()),
+            bodies => Err(reply_error(&bodies)),
+        }
+    }
+
     /// Runs one verification round, returning the final summary (any
     /// streamed batches are folded away — use [`call`](Self::call) to
     /// observe them).

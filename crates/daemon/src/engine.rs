@@ -93,6 +93,10 @@ impl Engine {
                 self.files.remove(&path);
                 reply(ReplyBody::Ok);
             }
+            Method::Configure { recover } => {
+                self.workspace.set_recover(recover);
+                reply(ReplyBody::Ok);
+            }
             Method::Check => self.run_check(id, emit),
             Method::Stats => {
                 reply(ReplyBody::Stats {

@@ -275,6 +275,85 @@ fn hello_rejects_a_future_protocol_version() {
 }
 
 #[test]
+fn configure_switches_recovery_mode_mid_session() {
+    let mut engine = Engine::new(Checker::new().jobs(1));
+    let mut replies = Vec::new();
+    // One statement of `broken.py` is outside the grammar: a strict
+    // check fails to parse, then `configure {recover: true}` turns the
+    // same open file into a degraded-but-verifiable module.
+    let text = VALVE_PY.replace(
+        "    @op\n    def open(self):\n",
+        "    @op\n    def open(self):\n        x = = 1\n",
+    );
+    engine.handle(
+        Request {
+            id: 1,
+            method: Method::Open {
+                path: "broken.py".into(),
+                text,
+            },
+        },
+        &mut |r| replies.push(r),
+    );
+    engine.handle(
+        Request {
+            id: 2,
+            method: Method::Check,
+        },
+        &mut |r| replies.push(r),
+    );
+    match replies.last() {
+        Some(Reply {
+            body: ReplyBody::Check { summary },
+            ..
+        }) => {
+            assert!(!summary.passed);
+            assert!(summary.parse_error.is_some());
+        }
+        other => panic!("expected a failed summary, got {other:?}"),
+    }
+
+    engine.handle(
+        Request {
+            id: 3,
+            method: Method::Configure { recover: true },
+        },
+        &mut |r| replies.push(r),
+    );
+    assert!(matches!(
+        replies.last(),
+        Some(Reply {
+            id: 3,
+            body: ReplyBody::Ok
+        })
+    ));
+    engine.handle(
+        Request {
+            id: 4,
+            method: Method::Check,
+        },
+        &mut |r| replies.push(r),
+    );
+    let check_replies: Vec<_> = replies.iter().filter(|r| r.id == 4).collect();
+    match &check_replies[check_replies.len() - 1].body {
+        ReplyBody::Check { summary } => {
+            assert!(summary.passed, "degraded statement no longer fatal");
+            assert!(summary.parse_error.is_none());
+        }
+        other => panic!("expected the summary last, got {other:?}"),
+    }
+    // The degraded span surfaces as a W014 warning batch.
+    assert!(
+        check_replies.iter().any(|r| matches!(
+            &r.body,
+            ReplyBody::Batch { diagnostics, .. }
+                if diagnostics.iter().any(|d| d.code == "W014")
+        )),
+        "{check_replies:?}"
+    );
+}
+
+#[test]
 fn parse_errors_surface_as_a_failed_summary_with_position() {
     let mut engine = Engine::new(Checker::new());
     let mut replies = Vec::new();

@@ -60,6 +60,16 @@ pub enum Stmt {
     Continue(Span),
     /// `import module` / `from module import names` (recorded, not analyzed).
     Import(ImportStmt),
+    /// `try/except/else/finally`.
+    Try(TryStmt),
+    /// `with ctx [as name], ...: body`.
+    With(WithStmt),
+    /// `raise [exc [from cause]]`.
+    Raise(RaiseStmt),
+    /// A region of source the parser could not fit into the calculus and
+    /// degraded to `skip` (recovery mode only). The span covers the
+    /// skipped source; `reason` says what was not understood.
+    Degraded(DegradedStmt),
 }
 
 impl Stmt {
@@ -77,6 +87,10 @@ impl Stmt {
             Stmt::Expr(s) => s.span,
             Stmt::Pass(sp) | Stmt::Break(sp) | Stmt::Continue(sp) => *sp,
             Stmt::Import(s) => s.span,
+            Stmt::Try(s) => s.span,
+            Stmt::With(s) => s.span,
+            Stmt::Raise(s) => s.span,
+            Stmt::Degraded(s) => s.span,
         }
     }
 }
@@ -118,10 +132,13 @@ pub struct FuncDef {
     pub decorators: Vec<Decorator>,
     /// Function name.
     pub name: Spanned<String>,
-    /// Parameter names (e.g. `self`).
+    /// Parameter names (e.g. `self`). Star parameters (`*args`,
+    /// `**kwargs`) are recorded by name only.
     pub params: Vec<Spanned<String>>,
     /// Function body.
     pub body: Vec<Stmt>,
+    /// Whether this is an `async def`.
+    pub is_async: bool,
     /// Full span.
     pub span: Span,
 }
@@ -274,6 +291,74 @@ pub struct ExprStmt {
     pub span: Span,
 }
 
+/// A `try/except/else/finally` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TryStmt {
+    /// The `try` body.
+    pub body: Vec<Stmt>,
+    /// The `except` handlers, in order.
+    pub handlers: Vec<ExceptHandler>,
+    /// The `else` body, if present.
+    pub orelse: Option<Vec<Stmt>>,
+    /// The `finally` body, if present.
+    pub finally: Option<Vec<Stmt>>,
+    /// Full span.
+    pub span: Span,
+}
+
+/// One `except [exc [as name]]: body` handler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptHandler {
+    /// The caught exception expression, if any.
+    pub exc: Option<Expr>,
+    /// The `as` binding, if any.
+    pub name: Option<Spanned<String>>,
+    /// The handler body.
+    pub body: Vec<Stmt>,
+    /// Full span.
+    pub span: Span,
+}
+
+/// A `with` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithStmt {
+    /// The context managers, in order.
+    pub items: Vec<WithItem>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Full span.
+    pub span: Span,
+}
+
+/// One `ctx [as target]` item of a `with` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithItem {
+    /// The context-manager expression.
+    pub context: Expr,
+    /// The `as` target, if any.
+    pub target: Option<Expr>,
+}
+
+/// A `raise` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaiseStmt {
+    /// The raised exception, if any.
+    pub exc: Option<Expr>,
+    /// The `from` cause, if any.
+    pub cause: Option<Expr>,
+    /// Full span.
+    pub span: Span,
+}
+
+/// A source region degraded to `skip` by recovery-mode parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedStmt {
+    /// Why the region was degraded (human-readable).
+    pub reason: String,
+    /// The skipped source region.
+    pub span: Span,
+}
+
 /// An import statement (kept for completeness; not analyzed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ImportStmt {
@@ -399,6 +484,63 @@ pub enum ExprKind {
         /// Operand.
         operand: Box<Expr>,
     },
+    /// `await expr`.
+    Await(Box<Expr>),
+    /// `lambda params: body`.
+    Lambda {
+        /// Parameter names.
+        params: Vec<Spanned<String>>,
+        /// The body expression.
+        body: Box<Expr>,
+    },
+    /// An f-string literal; contents kept verbatim (interpolations are
+    /// opaque to the analysis).
+    FString(String),
+    /// A starred argument `*x` (`stars == 1`) or `**x` (`stars == 2`) in a
+    /// call or unpacking position.
+    Starred {
+        /// 1 for `*`, 2 for `**`.
+        stars: u8,
+        /// The unpacked value.
+        value: Box<Expr>,
+    },
+    /// A comprehension (`[x for y in z]`, `{...}`, `(...)`).
+    Comp {
+        /// Which bracket form.
+        kind: CompKind,
+        /// The element (the key for dict comprehensions).
+        element: Box<Expr>,
+        /// The value of a dict comprehension (`{k: v for ...}`).
+        value: Option<Box<Expr>>,
+        /// The `for`/`if` clauses, in order.
+        clauses: Vec<CompClause>,
+    },
+}
+
+/// The bracket form of a comprehension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompKind {
+    /// `[x for ...]`
+    List,
+    /// `{x for ...}`
+    Set,
+    /// `{k: v for ...}`
+    Dict,
+    /// `(x for ...)`
+    Generator,
+}
+
+/// One `for target in iter [if cond]*` clause of a comprehension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompClause {
+    /// The loop target.
+    pub target: Expr,
+    /// The iterated expression.
+    pub iter: Expr,
+    /// The `if` filters attached to this clause.
+    pub ifs: Vec<Expr>,
+    /// Whether this is an `async for` clause.
+    pub is_async: bool,
 }
 
 #[cfg(test)]

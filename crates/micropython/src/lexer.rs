@@ -35,7 +35,20 @@ impl Error for LexError {}
 /// unterminated strings, tabs in indentation mixing with spaces in a way
 /// that cannot be resolved, or unexpected characters.
 pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
-    Lexer::new(source).run()
+    Lexer::new(source, false).run()
+}
+
+/// Tokenizes `source` totally: every input produces a token stream.
+///
+/// Malformed pieces degrade instead of erroring — unknown characters are
+/// skipped, unterminated strings close at the line (or input) end,
+/// inconsistent dedents re-anchor to the nearest level, and overflowing
+/// numeric literals become `0`. This is the recovery-mode front door used
+/// by [`crate::parse_module_recover`].
+pub fn tokenize_recover(source: &str) -> Vec<Token> {
+    Lexer::new(source, true)
+        .run()
+        .expect("recovery-mode lexing is total")
 }
 
 struct Lexer<'s> {
@@ -45,10 +58,12 @@ struct Lexer<'s> {
     indents: Vec<usize>,
     paren_depth: usize,
     at_line_start: bool,
+    /// Degrade malformed input instead of erroring.
+    recover: bool,
 }
 
 impl<'s> Lexer<'s> {
-    fn new(source: &'s str) -> Self {
+    fn new(source: &'s str, recover: bool) -> Self {
         Lexer {
             src: source.as_bytes(),
             pos: 0,
@@ -56,6 +71,7 @@ impl<'s> Lexer<'s> {
             indents: vec![0],
             paren_depth: 0,
             at_line_start: true,
+            recover,
         }
     }
 
@@ -137,9 +153,9 @@ impl<'s> Lexer<'s> {
                     self.bump();
                     self.bump();
                 }
-                b'"' | b'\'' => self.lex_string()?,
+                b'"' | b'\'' => self.lex_string(start, false)?,
                 b'0'..=b'9' => self.lex_number()?,
-                c if c == b'_' || c.is_ascii_alphabetic() => self.lex_name(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.lex_name()?,
                 _ => self.lex_punct()?,
             }
         }
@@ -218,10 +234,19 @@ impl<'s> Lexer<'s> {
                     ));
                 }
                 if *self.indents.last().expect("indent stack nonempty") != width {
-                    return Err(self.err(
-                        Span::new(line_start, self.pos),
-                        "unindent does not match any outer indentation level",
-                    ));
+                    if self.recover {
+                        // Re-anchor: treat the stray level as a new block.
+                        self.indents.push(width);
+                        self.tokens.push(Token::new(
+                            TokenKind::Indent,
+                            Span::new(line_start, self.pos),
+                        ));
+                    } else {
+                        return Err(self.err(
+                            Span::new(line_start, self.pos),
+                            "unindent does not match any outer indentation level",
+                        ));
+                    }
                 }
             }
             self.at_line_start = false;
@@ -229,8 +254,10 @@ impl<'s> Lexer<'s> {
         }
     }
 
-    fn lex_string(&mut self) -> Result<(), LexError> {
-        let start = self.pos;
+    /// Lexes a string literal starting at the quote under the cursor;
+    /// `start` is the token start (before any `f`/`r`/`b` prefix) and
+    /// `fstring` selects the [`TokenKind::FStr`] token kind.
+    fn lex_string(&mut self, start: usize, fstring: bool) -> Result<(), LexError> {
         let quote = self.bump().expect("string start");
         // Triple-quoted strings.
         let triple = self.peek() == Some(quote) && self.peek2() == Some(quote);
@@ -239,19 +266,44 @@ impl<'s> Lexer<'s> {
             self.bump();
         }
         let mut value = String::new();
+        let finish = |l: &mut Self, value: String| {
+            let kind = if fstring {
+                TokenKind::FStr(value)
+            } else {
+                TokenKind::Str(value)
+            };
+            l.push(kind, start);
+        };
         loop {
             match self.peek() {
                 None => {
-                    return Err(self.err(Span::new(start, self.pos), "unterminated string literal"))
+                    if self.recover {
+                        finish(self, value);
+                        return Ok(());
+                    }
+                    return Err(self.err(Span::new(start, self.pos), "unterminated string literal"));
                 }
                 Some(b'\n') if !triple => {
-                    return Err(self.err(Span::new(start, self.pos), "unterminated string literal"))
+                    if self.recover {
+                        // Close at the line end; the newline stays outside.
+                        finish(self, value);
+                        return Ok(());
+                    }
+                    return Err(self.err(Span::new(start, self.pos), "unterminated string literal"));
                 }
                 Some(b'\\') => {
                     self.bump();
-                    let esc = self.bump().ok_or_else(|| {
-                        self.err(Span::new(start, self.pos), "unterminated escape")
-                    })?;
+                    let esc = match self.bump() {
+                        Some(e) => e,
+                        None if self.recover => {
+                            value.push('\\');
+                            finish(self, value);
+                            return Ok(());
+                        }
+                        None => {
+                            return Err(self.err(Span::new(start, self.pos), "unterminated escape"))
+                        }
+                    };
                     value.push(match esc {
                         b'n' => '\n',
                         b't' => '\t',
@@ -261,11 +313,17 @@ impl<'s> Lexer<'s> {
                         b'"' => '"',
                         b'0' => '\0',
                         b'\n' => continue, // line continuation inside string
-                        other => {
+                        other if other.is_ascii() => {
                             // Unknown escapes are kept verbatim (Python keeps
                             // the backslash; we keep just the char for
                             // simplicity of the subset).
                             other as char
+                        }
+                        _ => {
+                            // Multi-byte char after the backslash: back up so
+                            // the normal path below copies it whole.
+                            self.pos -= 1;
+                            continue;
                         }
                     });
                 }
@@ -285,15 +343,22 @@ impl<'s> Lexer<'s> {
                         break;
                     }
                 }
-                Some(c) => {
-                    // Collect raw UTF-8 bytes; the source is valid UTF-8 so
-                    // multi-byte sequences pass through unchanged.
+                Some(c) if c.is_ascii() => {
                     value.push(c as char);
                     self.bump();
                 }
+                Some(_) => {
+                    // Copy a whole multi-byte UTF-8 sequence: the source is
+                    // valid UTF-8, so decode from the current boundary.
+                    let tail =
+                        std::str::from_utf8(&self.src[self.pos..]).expect("source is valid UTF-8");
+                    let ch = tail.chars().next().expect("nonempty tail");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
             }
         }
-        self.push(TokenKind::Str(value), start);
+        finish(self, value);
         Ok(())
     }
 
@@ -322,8 +387,13 @@ impl<'s> Lexer<'s> {
             let text: String = std::str::from_utf8(&self.src[digits_start..self.pos])
                 .expect("ascii digits")
                 .replace('_', "");
-            let value = i64::from_str_radix(&text, radix)
-                .map_err(|_| self.err(Span::new(start, self.pos), "invalid integer literal"))?;
+            let value = match i64::from_str_radix(&text, radix) {
+                Ok(v) => v,
+                Err(_) if self.recover => 0,
+                Err(_) => {
+                    return Err(self.err(Span::new(start, self.pos), "invalid integer literal"))
+                }
+            };
             self.push(TokenKind::Int(value), start);
             return Ok(());
         }
@@ -353,20 +423,26 @@ impl<'s> Lexer<'s> {
             .expect("ascii number")
             .replace('_', "");
         if is_float {
-            let v: f64 = text
-                .parse()
-                .map_err(|_| self.err(Span::new(start, self.pos), "invalid float literal"))?;
+            let v: f64 = match text.parse() {
+                Ok(v) => v,
+                Err(_) if self.recover => 0.0,
+                Err(_) => return Err(self.err(Span::new(start, self.pos), "invalid float literal")),
+            };
             self.push(TokenKind::Float(v), start);
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| self.err(Span::new(start, self.pos), "invalid integer literal"))?;
+            let v: i64 = match text.parse() {
+                Ok(v) => v,
+                Err(_) if self.recover => 0,
+                Err(_) => {
+                    return Err(self.err(Span::new(start, self.pos), "invalid integer literal"))
+                }
+            };
             self.push(TokenKind::Int(v), start);
         }
         Ok(())
     }
 
-    fn lex_name(&mut self) {
+    fn lex_name(&mut self) -> Result<(), LexError> {
         let start = self.pos;
         while matches!(self.peek(), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
             self.bump();
@@ -374,10 +450,20 @@ impl<'s> Lexer<'s> {
         let text = std::str::from_utf8(&self.src[start..self.pos])
             .expect("ascii identifier")
             .to_owned();
+        // A string prefix (`f"..."`, `rb'...'`, …) glues onto the literal.
+        let is_prefix = (1..=2).contains(&text.len())
+            && text
+                .bytes()
+                .all(|b| matches!(b, b'f' | b'F' | b'r' | b'R' | b'b' | b'B' | b'u' | b'U'));
+        if is_prefix && matches!(self.peek(), Some(b'"') | Some(b'\'')) {
+            let fstring = text.bytes().any(|b| b == b'f' || b == b'F');
+            return self.lex_string(start, fstring);
+        }
         match Keyword::from_str(&text) {
             Some(k) => self.push(TokenKind::Keyword(k), start),
             None => self.push(TokenKind::Ident(text), start),
         }
+        Ok(())
     }
 
     fn lex_punct(&mut self) -> Result<(), LexError> {
@@ -415,10 +501,38 @@ impl<'s> Lexer<'s> {
             b';' => Punct::Semicolon,
             b'@' => Punct::At,
             b'~' => Punct::Tilde,
-            b'^' => Punct::Caret,
-            b'&' => Punct::Amp,
-            b'|' => Punct::Pipe,
-            b'%' => Punct::Percent,
+            b'^' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    Punct::CaretAssign
+                } else {
+                    Punct::Caret
+                }
+            }
+            b'&' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    Punct::AmpAssign
+                } else {
+                    Punct::Amp
+                }
+            }
+            b'|' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    Punct::PipeAssign
+                } else {
+                    Punct::Pipe
+                }
+            }
+            b'%' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    Punct::PercentAssign
+                } else {
+                    Punct::Percent
+                }
+            }
             b'=' => {
                 if two(self) == Some(b'=') {
                     self.bump();
@@ -432,6 +546,9 @@ impl<'s> Lexer<'s> {
                     self.bump();
                     Punct::Ne
                 } else {
+                    if self.recover {
+                        return Ok(());
+                    }
                     return Err(self.err(
                         Span::new(start, self.pos),
                         "unexpected character `!` (did you mean `!=` or `not`?)",
@@ -445,7 +562,12 @@ impl<'s> Lexer<'s> {
                 }
                 Some(b'<') => {
                     self.bump();
-                    Punct::LShift
+                    if two(self) == Some(b'=') {
+                        self.bump();
+                        Punct::LShiftAssign
+                    } else {
+                        Punct::LShift
+                    }
                 }
                 _ => Punct::Lt,
             },
@@ -456,7 +578,12 @@ impl<'s> Lexer<'s> {
                 }
                 Some(b'>') => {
                     self.bump();
-                    Punct::RShift
+                    if two(self) == Some(b'=') {
+                        self.bump();
+                        Punct::RShiftAssign
+                    } else {
+                        Punct::RShift
+                    }
                 }
                 _ => Punct::Gt,
             },
@@ -482,7 +609,12 @@ impl<'s> Lexer<'s> {
             b'*' => match two(self) {
                 Some(b'*') => {
                     self.bump();
-                    Punct::DoubleStar
+                    if two(self) == Some(b'=') {
+                        self.bump();
+                        Punct::DoubleStarAssign
+                    } else {
+                        Punct::DoubleStar
+                    }
                 }
                 Some(b'=') => {
                     self.bump();
@@ -493,7 +625,12 @@ impl<'s> Lexer<'s> {
             b'/' => match two(self) {
                 Some(b'/') => {
                     self.bump();
-                    Punct::DoubleSlash
+                    if two(self) == Some(b'=') {
+                        self.bump();
+                        Punct::DoubleSlashAssign
+                    } else {
+                        Punct::DoubleSlash
+                    }
                 }
                 Some(b'=') => {
                     self.bump();
@@ -502,10 +639,20 @@ impl<'s> Lexer<'s> {
                 _ => Punct::Slash,
             },
             other => {
+                if self.recover {
+                    // Skip the whole UTF-8 sequence so the next byte is a
+                    // character boundary again.
+                    if other >= 0x80 {
+                        while matches!(self.peek(), Some(b) if b & 0xC0 == 0x80) {
+                            self.bump();
+                        }
+                    }
+                    return Ok(());
+                }
                 return Err(self.err(
                     Span::new(start, self.pos),
                     format!("unexpected character `{}`", other as char),
-                ))
+                ));
             }
         };
         self.push(TokenKind::Punct(kind), start);

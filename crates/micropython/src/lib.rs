@@ -14,7 +14,15 @@
 //!   and `while` (§2.2);
 //! * calls and attribute chains (`self.a.open()`), assignments, literals.
 //!
-//! Python exceptions are not modeled, matching the paper's scope.
+//! Beyond the paper's scope, the front end also parses the real-world
+//! MicroPython constructs firmware actually uses — class inheritance
+//! lists, arbitrary decorators, `try/except/finally`, `with`,
+//! `async def`/`await`, `lambda`, comprehensions, f-strings, augmented
+//! assignment, and star/keyword call arguments. The calculus does not
+//! model their semantics precisely: extraction degrades them soundly to
+//! `skip`/`*` abstractions. For inputs even further afield,
+//! [`parse_module_recover`] never fails — regions outside the grammar
+//! become spanned [`ast::DegradedStmt`] nodes instead of errors.
 //!
 //! The parser is a hand-written recursive-descent parser over an
 //! indentation-aware token stream (CPython-style `INDENT`/`DEDENT` with
@@ -50,7 +58,7 @@ mod span;
 mod token;
 pub mod visit;
 
-pub use lexer::{tokenize, LexError};
-pub use parser::{parse_module, ParseError};
+pub use lexer::{tokenize, tokenize_recover, LexError};
+pub use parser::{parse_module, parse_module_recover, ParseError};
 pub use span::{SourceFile, Span, Spanned};
 pub use token::{Keyword, Punct, Token, TokenKind};

@@ -1,7 +1,7 @@
 //! Recursive-descent parser for the MicroPython subset.
 
 use crate::ast::*;
-use crate::lexer::{tokenize, LexError};
+use crate::lexer::{tokenize, tokenize_recover, LexError};
 use crate::span::{Span, Spanned};
 use crate::token::{Keyword, Punct, Token, TokenKind};
 use std::error::Error;
@@ -53,14 +53,49 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse_module(source: &str) -> Result<Module, ParseError> {
     let tokens = tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        recover: false,
+    };
     let body = p.parse_stmts_until_eof()?;
     Ok(Module { body })
+}
+
+/// Parses a module in **recovery mode**: lexing and parsing are total.
+/// Any region the grammar cannot fit into the calculus is replaced by a
+/// spanned [`Stmt::Degraded`] node (which downstream analysis treats as
+/// `skip`) instead of failing the whole file.
+///
+/// # Examples
+///
+/// ```
+/// use micropython_parser::ast::Stmt;
+/// use micropython_parser::parse_module_recover;
+///
+/// let m = parse_module_recover("x = 1\nglobal y !!\nz = 2\n");
+/// assert_eq!(m.body.len(), 3);
+/// assert!(matches!(m.body[1], Stmt::Degraded(_)));
+/// ```
+pub fn parse_module_recover(source: &str) -> Module {
+    let tokens = tokenize_recover(source);
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        recover: true,
+    };
+    let body = p
+        .parse_stmts_until_eof()
+        .expect("recovery-mode parsing is total");
+    Module { body }
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// In recovery mode statements that fail to parse degrade to
+    /// [`Stmt::Degraded`] instead of aborting.
+    recover: bool,
 }
 
 impl Parser {
@@ -156,7 +191,70 @@ impl Parser {
             if self.at(&TokenKind::Eof) {
                 return Ok(out);
             }
-            out.push(self.parse_stmt()?);
+            out.push(self.parse_stmt_recovering()?);
+        }
+    }
+
+    /// Parses one statement; in recovery mode a failed parse degrades to a
+    /// spanned [`Stmt::Degraded`] covering the skipped region instead of
+    /// propagating the error.
+    fn parse_stmt_recovering(&mut self) -> Result<Stmt, ParseError> {
+        if !self.recover {
+            return self.parse_stmt();
+        }
+        let start_pos = self.pos;
+        let start_span = self.peek().span;
+        match self.parse_stmt() {
+            Ok(s) => Ok(s),
+            Err(e) => {
+                // Guarantee progress even when the error is on the very
+                // token we started at (e.g. a stray dedent).
+                if self.pos == start_pos && !self.at(&TokenKind::Eof) {
+                    self.bump();
+                }
+                self.skip_degraded();
+                let end_span = if self.pos > start_pos {
+                    self.tokens[self.pos - 1].span
+                } else {
+                    start_span
+                };
+                Ok(Stmt::Degraded(DegradedStmt {
+                    reason: e.message,
+                    span: start_span.to(end_span),
+                }))
+            }
+        }
+    }
+
+    /// Skips past the remainder of a broken statement: to the end of the
+    /// logical line, plus any indented block that follows it (so a broken
+    /// compound-statement header swallows its whole suite).
+    fn skip_degraded(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek_kind() {
+                TokenKind::Eof => return,
+                TokenKind::Indent => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Dedent => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                TokenKind::Newline => {
+                    self.bump();
+                    if depth == 0 && !self.at(&TokenKind::Indent) {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
         }
     }
 
@@ -170,6 +268,9 @@ impl Parser {
             TokenKind::Keyword(Keyword::Match) => self.parse_match(),
             TokenKind::Keyword(Keyword::While) => self.parse_while(),
             TokenKind::Keyword(Keyword::For) => self.parse_for(),
+            TokenKind::Keyword(Keyword::Try) => self.parse_try(),
+            TokenKind::Keyword(Keyword::With) => self.parse_with(),
+            TokenKind::Keyword(Keyword::Async) => self.parse_async(Vec::new()),
             _ => {
                 let stmt = self.parse_simple_stmt()?;
                 // Allow `a; b` on one line — additional statements are
@@ -211,9 +312,121 @@ impl Parser {
             self.parse_class(decorators).map(Stmt::ClassDef)
         } else if self.at_keyword(Keyword::Def) {
             self.parse_def(decorators).map(Stmt::FuncDef)
+        } else if self.at_keyword(Keyword::Async) {
+            self.parse_async(decorators)
         } else {
             Err(self.error("decorators must be followed by `class` or `def`"))
         }
+    }
+
+    /// Parses an `async` compound statement. `async for`/`async with` are
+    /// modeled exactly like their synchronous forms (the calculus has no
+    /// concurrency); `async def` records the flag.
+    fn parse_async(&mut self, decorators: Vec<Decorator>) -> Result<Stmt, ParseError> {
+        let kw = self.expect_keyword(Keyword::Async)?;
+        if self.at_keyword(Keyword::Def) {
+            let mut f = self.parse_def(decorators)?;
+            f.is_async = true;
+            f.span = kw.span.to(f.span);
+            Ok(Stmt::FuncDef(f))
+        } else if self.at_keyword(Keyword::For) && decorators.is_empty() {
+            self.parse_for()
+        } else if self.at_keyword(Keyword::With) && decorators.is_empty() {
+            self.parse_with()
+        } else {
+            Err(self.error("expected `def`, `for`, or `with` after `async`"))
+        }
+    }
+
+    fn parse_try(&mut self) -> Result<Stmt, ParseError> {
+        let kw = self.expect_keyword(Keyword::Try)?;
+        let body = self.parse_suite()?;
+        let mut handlers = Vec::new();
+        let mut orelse = None;
+        let mut finally = None;
+        let mut end = body.last().map_or(kw.span, Stmt::span);
+        loop {
+            // Clauses appear at the same indentation, possibly after blank
+            // lines (mirrors `elif`/`else` handling in `parse_if`).
+            let save = self.pos;
+            while self.at(&TokenKind::Newline) {
+                self.bump();
+            }
+            if self.at_keyword(Keyword::Except) && finally.is_none() {
+                let ekw = self.bump();
+                let exc = if self.at_punct(Punct::Colon) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                let name = if self.at_keyword(Keyword::As) {
+                    self.bump();
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                let hbody = self.parse_suite()?;
+                end = hbody.last().map_or(ekw.span, Stmt::span);
+                handlers.push(ExceptHandler {
+                    exc,
+                    name,
+                    body: hbody,
+                    span: ekw.span.to(end),
+                });
+            } else if self.at_keyword(Keyword::Else)
+                && !handlers.is_empty()
+                && orelse.is_none()
+                && finally.is_none()
+            {
+                self.bump();
+                let b = self.parse_suite()?;
+                end = b.last().map_or(end, Stmt::span);
+                orelse = Some(b);
+            } else if self.at_keyword(Keyword::Finally) && finally.is_none() {
+                self.bump();
+                let b = self.parse_suite()?;
+                end = b.last().map_or(end, Stmt::span);
+                finally = Some(b);
+            } else {
+                self.pos = save;
+                break;
+            }
+        }
+        if handlers.is_empty() && finally.is_none() {
+            return Err(self.error("`try` requires at least one `except` or a `finally`"));
+        }
+        Ok(Stmt::Try(TryStmt {
+            body,
+            handlers,
+            orelse,
+            finally,
+            span: kw.span.to(end),
+        }))
+    }
+
+    fn parse_with(&mut self) -> Result<Stmt, ParseError> {
+        let kw = self.expect_keyword(Keyword::With)?;
+        let mut items = Vec::new();
+        loop {
+            let context = self.parse_expr()?;
+            let target = if self.at_keyword(Keyword::As) {
+                self.bump();
+                Some(self.parse_postfix()?)
+            } else {
+                None
+            };
+            items.push(WithItem { context, target });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        let body = self.parse_suite()?;
+        let end = body.last().map_or(kw.span, Stmt::span);
+        Ok(Stmt::With(WithStmt {
+            items,
+            body,
+            span: kw.span.to(end),
+        }))
     }
 
     fn parse_class(&mut self, decorators: Vec<Decorator>) -> Result<ClassDef, ParseError> {
@@ -247,6 +460,21 @@ impl Parser {
         self.expect_punct(Punct::LParen)?;
         let mut params = Vec::new();
         while !self.at_punct(Punct::RParen) {
+            // Positional-only marker `/` and keyword-only marker `*` are
+            // parsed and discarded; `*args`/`**kwargs` record the name.
+            if self.eat_punct(Punct::Slash) {
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+                continue;
+            }
+            let starred = self.eat_punct(Punct::DoubleStar) || self.eat_punct(Punct::Star);
+            if starred && (self.at_punct(Punct::Comma) || self.at_punct(Punct::RParen)) {
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+                continue;
+            }
             let p = self.expect_ident()?;
             // Optional annotation / default (parsed and discarded).
             if self.eat_punct(Punct::Colon) {
@@ -272,6 +500,7 @@ impl Parser {
             name,
             params,
             body,
+            is_async: false,
             span: start.to(end),
         })
     }
@@ -301,7 +530,7 @@ impl Parser {
                 if self.at(&TokenKind::Eof) {
                     return Ok(out);
                 }
-                out.push(self.parse_stmt()?);
+                out.push(self.parse_stmt_recovering()?);
             }
         } else {
             // Simple suite on the same line.
@@ -333,6 +562,29 @@ impl Parser {
             TokenKind::Keyword(Keyword::Pass) => Ok(Stmt::Pass(self.bump().span)),
             TokenKind::Keyword(Keyword::Break) => Ok(Stmt::Break(self.bump().span)),
             TokenKind::Keyword(Keyword::Continue) => Ok(Stmt::Continue(self.bump().span)),
+            TokenKind::Keyword(Keyword::Raise) => {
+                let kw = self.bump();
+                let mut span = kw.span;
+                let exc = if self.at(&TokenKind::Newline)
+                    || self.at(&TokenKind::Eof)
+                    || self.at_punct(Punct::Semicolon)
+                {
+                    None
+                } else {
+                    let e = self.parse_expr()?;
+                    span = span.to(e.span);
+                    Some(e)
+                };
+                let cause = if exc.is_some() && self.at_keyword(Keyword::From) {
+                    self.bump();
+                    let c = self.parse_expr()?;
+                    span = span.to(c.span);
+                    Some(c)
+                } else {
+                    None
+                };
+                Ok(Stmt::Raise(RaiseStmt { exc, cause, span }))
+            }
             TokenKind::Keyword(Keyword::Import) => {
                 let kw = self.bump();
                 let mut names = vec![self.parse_dotted_name()?];
@@ -382,14 +634,30 @@ impl Parser {
                     p @ (Punct::PlusAssign
                     | Punct::MinusAssign
                     | Punct::StarAssign
-                    | Punct::SlashAssign),
+                    | Punct::SlashAssign
+                    | Punct::DoubleSlashAssign
+                    | Punct::PercentAssign
+                    | Punct::DoubleStarAssign
+                    | Punct::PipeAssign
+                    | Punct::AmpAssign
+                    | Punct::CaretAssign
+                    | Punct::LShiftAssign
+                    | Punct::RShiftAssign),
                 ) = *self.peek_kind()
                 {
                     let op = match p {
                         Punct::PlusAssign => "+",
                         Punct::MinusAssign => "-",
                         Punct::StarAssign => "*",
-                        _ => "/",
+                        Punct::SlashAssign => "/",
+                        Punct::DoubleSlashAssign => "//",
+                        Punct::PercentAssign => "%",
+                        Punct::DoubleStarAssign => "**",
+                        Punct::PipeAssign => "|",
+                        Punct::AmpAssign => "&",
+                        Punct::CaretAssign => "^",
+                        Punct::LShiftAssign => "<<",
+                        _ => ">>",
                     };
                     self.bump();
                     let value = self.parse_testlist()?;
@@ -646,7 +914,36 @@ impl Parser {
     }
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.at_keyword(Keyword::Lambda) {
+            return self.parse_lambda();
+        }
         self.parse_or()
+    }
+
+    fn parse_lambda(&mut self) -> Result<Expr, ParseError> {
+        let kw = self.expect_keyword(Keyword::Lambda)?;
+        let mut params = Vec::new();
+        while !self.at_punct(Punct::Colon) {
+            let _ = self.eat_punct(Punct::DoubleStar) || self.eat_punct(Punct::Star);
+            let p = self.expect_ident()?;
+            if self.eat_punct(Punct::Assign) {
+                let _ = self.parse_expr()?;
+            }
+            params.push(p);
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::Colon)?;
+        let body = self.parse_expr()?;
+        let span = kw.span.to(body.span);
+        Ok(Expr::new(
+            ExprKind::Lambda {
+                params,
+                body: Box::new(body),
+            },
+            span,
+        ))
     }
 
     fn parse_or(&mut self) -> Result<Expr, ParseError> {
@@ -838,6 +1135,12 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.at_keyword(Keyword::Await) {
+            let kw = self.bump();
+            let operand = self.parse_unary()?;
+            let span = kw.span.to(operand.span);
+            return Ok(Expr::new(ExprKind::Await(Box::new(operand)), span));
+        }
         let op = match self.peek_kind() {
             TokenKind::Punct(Punct::Minus) => "-",
             TokenKind::Punct(Punct::Plus) => "+",
@@ -874,9 +1177,53 @@ impl Parser {
                 self.bump();
                 let mut args = Vec::new();
                 while !self.at_punct(Punct::RParen) {
+                    // `*args` / `**kwargs` unpacking.
+                    if self.at_punct(Punct::Star) || self.at_punct(Punct::DoubleStar) {
+                        let stars = if self.at_punct(Punct::DoubleStar) {
+                            2
+                        } else {
+                            1
+                        };
+                        let t = self.bump();
+                        let value = self.parse_expr()?;
+                        let span = t.span.to(value.span);
+                        args.push(Expr::new(
+                            ExprKind::Starred {
+                                stars,
+                                value: Box::new(value),
+                            },
+                            span,
+                        ));
+                        if !self.eat_punct(Punct::Comma) {
+                            break;
+                        }
+                        continue;
+                    }
                     // Keyword arguments are parsed and flattened to their
                     // value (the analysis ignores arguments anyway).
                     let arg = self.parse_expr()?;
+                    // `f(x for y in z)` — a bare generator expression as
+                    // the sole argument.
+                    if args.is_empty()
+                        && (self.at_keyword(Keyword::For) || self.at_keyword(Keyword::Async))
+                    {
+                        let clauses = self.parse_comp_clauses()?;
+                        let end = clauses
+                            .last()
+                            .map(|c| c.ifs.last().map(|e| e.span).unwrap_or(c.iter.span))
+                            .unwrap_or(arg.span);
+                        let span = arg.span.to(end);
+                        args.push(Expr::new(
+                            ExprKind::Comp {
+                                kind: CompKind::Generator,
+                                element: Box::new(arg),
+                                value: None,
+                                clauses,
+                            },
+                            span,
+                        ));
+                        break;
+                    }
                     if self.at_punct(Punct::Assign) {
                         self.bump();
                         let value = self.parse_expr()?;
@@ -934,6 +1281,11 @@ impl Parser {
                 let t = self.bump();
                 Ok(Expr::new(ExprKind::Str(s), t.span))
             }
+            TokenKind::FStr(s) => {
+                let t = self.bump();
+                Ok(Expr::new(ExprKind::FString(s), t.span))
+            }
+            TokenKind::Keyword(Keyword::Lambda) => self.parse_lambda(),
             TokenKind::Keyword(Keyword::True) => {
                 let t = self.bump();
                 Ok(Expr::new(ExprKind::Bool(true), t.span))
@@ -951,6 +1303,23 @@ impl Parser {
                 let mut items = Vec::new();
                 while !self.at_punct(Punct::RBracket) {
                     items.push(self.parse_expr()?);
+                    // `[x for y in z]` — list comprehension.
+                    if items.len() == 1
+                        && (self.at_keyword(Keyword::For) || self.at_keyword(Keyword::Async))
+                    {
+                        let element = items.pop().expect("one element");
+                        let clauses = self.parse_comp_clauses()?;
+                        let close = self.expect_punct(Punct::RBracket)?;
+                        return Ok(Expr::new(
+                            ExprKind::Comp {
+                                kind: CompKind::List,
+                                element: Box::new(element),
+                                value: None,
+                                clauses,
+                            },
+                            open.span.to(close.span),
+                        ));
+                    }
                     if !self.eat_punct(Punct::Comma) {
                         break;
                     }
@@ -971,6 +1340,20 @@ impl Parser {
                 let first = self.parse_expr()?;
                 if self.eat_punct(Punct::Colon) {
                     let value = self.parse_expr()?;
+                    // `{k: v for x in y}` — dict comprehension.
+                    if self.at_keyword(Keyword::For) || self.at_keyword(Keyword::Async) {
+                        let clauses = self.parse_comp_clauses()?;
+                        let close = self.expect_punct(Punct::RBrace)?;
+                        return Ok(Expr::new(
+                            ExprKind::Comp {
+                                kind: CompKind::Dict,
+                                element: Box::new(first),
+                                value: Some(Box::new(value)),
+                                clauses,
+                            },
+                            open.span.to(close.span),
+                        ));
+                    }
                     let mut pairs = vec![(first, value)];
                     while self.eat_punct(Punct::Comma) {
                         if self.at_punct(Punct::RBrace) {
@@ -984,6 +1367,20 @@ impl Parser {
                     let close = self.expect_punct(Punct::RBrace)?;
                     Ok(Expr::new(ExprKind::Dict(pairs), open.span.to(close.span)))
                 } else {
+                    // `{x for y in z}` — set comprehension.
+                    if self.at_keyword(Keyword::For) || self.at_keyword(Keyword::Async) {
+                        let clauses = self.parse_comp_clauses()?;
+                        let close = self.expect_punct(Punct::RBrace)?;
+                        return Ok(Expr::new(
+                            ExprKind::Comp {
+                                kind: CompKind::Set,
+                                element: Box::new(first),
+                                value: None,
+                                clauses,
+                            },
+                            open.span.to(close.span),
+                        ));
+                    }
                     let mut items = vec![first];
                     while self.eat_punct(Punct::Comma) {
                         if self.at_punct(Punct::RBrace) {
@@ -1015,6 +1412,19 @@ impl Parser {
                     }
                     let close = self.expect_punct(Punct::RParen)?;
                     Ok(Expr::new(ExprKind::Tuple(items), open.span.to(close.span)))
+                } else if self.at_keyword(Keyword::For) || self.at_keyword(Keyword::Async) {
+                    // `(x for y in z)` — generator expression.
+                    let clauses = self.parse_comp_clauses()?;
+                    let close = self.expect_punct(Punct::RParen)?;
+                    Ok(Expr::new(
+                        ExprKind::Comp {
+                            kind: CompKind::Generator,
+                            element: Box::new(first),
+                            value: None,
+                            clauses,
+                        },
+                        open.span.to(close.span),
+                    ))
                 } else {
                     self.expect_punct(Punct::RParen)?;
                     Ok(first)
@@ -1022,6 +1432,45 @@ impl Parser {
             }
             other => Err(self.error(format!("expected an expression, found {other}"))),
         }
+    }
+
+    /// Parses the `for target in iter [if cond]*` clause chain of a
+    /// comprehension (the leading element is already consumed).
+    fn parse_comp_clauses(&mut self) -> Result<Vec<CompClause>, ParseError> {
+        let mut clauses = Vec::new();
+        loop {
+            let is_async = if self.at_keyword(Keyword::Async) {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            if !self.at_keyword(Keyword::For) {
+                if is_async {
+                    return Err(self.error("expected `for` after `async` in a comprehension"));
+                }
+                break;
+            }
+            self.bump();
+            let target = self.parse_target_list()?;
+            self.expect_keyword(Keyword::In)?;
+            let iter = self.parse_or()?;
+            let mut ifs = Vec::new();
+            while self.at_keyword(Keyword::If) {
+                self.bump();
+                ifs.push(self.parse_or()?);
+            }
+            clauses.push(CompClause {
+                target,
+                iter,
+                ifs,
+                is_async,
+            });
+        }
+        if clauses.is_empty() {
+            return Err(self.error("a comprehension requires at least one `for` clause"));
+        }
+        Ok(clauses)
     }
 }
 
@@ -1336,5 +1785,264 @@ c = y not in items
             panic!()
         };
         assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn parses_try_except_finally() {
+        let src = r#"
+def f(self):
+    try:
+        self.a.open()
+    except OSError as e:
+        self.a.clean()
+    except:
+        pass
+    else:
+        self.log()
+    finally:
+        self.a.close()
+"#;
+        let m = parse_module(src).unwrap();
+        let Stmt::FuncDef(f) = &m.body[0] else {
+            panic!()
+        };
+        let Stmt::Try(t) = &f.body[0] else { panic!() };
+        assert_eq!(t.handlers.len(), 2);
+        assert!(t.handlers[0].exc.is_some());
+        assert_eq!(t.handlers[0].name.as_ref().unwrap().node, "e");
+        assert!(t.handlers[1].exc.is_none());
+        assert!(t.orelse.is_some());
+        assert!(t.finally.is_some());
+    }
+
+    #[test]
+    fn try_without_handlers_or_finally_errors() {
+        let err = parse_module("try:\n    pass\n").unwrap_err();
+        assert!(err.message.contains("except"));
+    }
+
+    #[test]
+    fn parses_with_statement() {
+        let src = "with open(\"f\") as fh, lock:\n    fh.write(data)\n";
+        let m = parse_module(src).unwrap();
+        let Stmt::With(w) = &m.body[0] else { panic!() };
+        assert_eq!(w.items.len(), 2);
+        assert!(w.items[0].target.is_some());
+        assert!(w.items[1].target.is_none());
+    }
+
+    #[test]
+    fn parses_raise_forms() {
+        let m = parse_module("raise\nraise ValueError(\"x\")\nraise E() from cause\n").unwrap();
+        let Stmt::Raise(r0) = &m.body[0] else {
+            panic!()
+        };
+        assert!(r0.exc.is_none());
+        let Stmt::Raise(r1) = &m.body[1] else {
+            panic!()
+        };
+        assert!(r1.exc.is_some() && r1.cause.is_none());
+        let Stmt::Raise(r2) = &m.body[2] else {
+            panic!()
+        };
+        assert!(r2.cause.is_some());
+    }
+
+    #[test]
+    fn parses_async_def_and_await() {
+        let src = "@task\nasync def run(self):\n    await self.a.open()\n";
+        let m = parse_module(src).unwrap();
+        let Stmt::FuncDef(f) = &m.body[0] else {
+            panic!()
+        };
+        assert!(f.is_async);
+        assert_eq!(f.decorators.len(), 1);
+        let Stmt::Expr(e) = &f.body[0] else { panic!() };
+        let ExprKind::Await(inner) = &e.expr.kind else {
+            panic!("expected await, got {:?}", e.expr.kind)
+        };
+        assert!(inner.as_self_method_call().is_some());
+    }
+
+    #[test]
+    fn parses_async_for_and_with_as_sync() {
+        let src = "async def f(self):\n    async for x in src:\n        pass\n    \
+                   async with lock:\n        pass\n";
+        let m = parse_module(src).unwrap();
+        let Stmt::FuncDef(f) = &m.body[0] else {
+            panic!()
+        };
+        assert!(matches!(&f.body[0], Stmt::For(_)));
+        assert!(matches!(&f.body[1], Stmt::With(_)));
+    }
+
+    #[test]
+    fn parses_lambda() {
+        let m = parse_module("f = lambda x, y=2: x + y\ng = lambda: 0\n").unwrap();
+        let Stmt::Assign(a) = &m.body[0] else {
+            panic!()
+        };
+        let ExprKind::Lambda { params, .. } = &a.value.kind else {
+            panic!()
+        };
+        assert_eq!(params.len(), 2);
+        let Stmt::Assign(b) = &m.body[1] else {
+            panic!()
+        };
+        assert!(matches!(&b.value.kind, ExprKind::Lambda { params, .. } if params.is_empty()));
+    }
+
+    #[test]
+    fn parses_comprehensions() {
+        let m = parse_module(
+            "a = [x * 2 for x in items if x > 0]\n\
+             b = {k: v for k, v in pairs}\n\
+             c = {x for x in s}\n\
+             d = (y for y in gen)\n",
+        )
+        .unwrap();
+        let kinds: Vec<CompKind> = m
+            .body
+            .iter()
+            .map(|s| {
+                let Stmt::Assign(a) = s else { panic!() };
+                let ExprKind::Comp { kind, .. } = &a.value.kind else {
+                    panic!("expected comp, got {:?}", a.value.kind)
+                };
+                *kind
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CompKind::List,
+                CompKind::Dict,
+                CompKind::Set,
+                CompKind::Generator
+            ]
+        );
+        let Stmt::Assign(a) = &m.body[0] else {
+            panic!()
+        };
+        let ExprKind::Comp { clauses, .. } = &a.value.kind else {
+            panic!()
+        };
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].ifs.len(), 1);
+    }
+
+    #[test]
+    fn parses_bare_generator_argument() {
+        let m = parse_module("total = sum(r * 2 for r in rates)\n").unwrap();
+        let Stmt::Assign(a) = &m.body[0] else {
+            panic!()
+        };
+        let ExprKind::Call { args, .. } = &a.value.kind else {
+            panic!("expected call, got {:?}", a.value.kind)
+        };
+        assert_eq!(args.len(), 1);
+        let ExprKind::Comp { kind, clauses, .. } = &args[0].kind else {
+            panic!("expected generator arg, got {:?}", args[0].kind)
+        };
+        assert_eq!(*kind, CompKind::Generator);
+        assert_eq!(clauses.len(), 1);
+    }
+
+    #[test]
+    fn parses_fstrings() {
+        let m = parse_module("msg = f\"pin {n} high\"\n").unwrap();
+        let Stmt::Assign(a) = &m.body[0] else {
+            panic!()
+        };
+        assert!(matches!(&a.value.kind, ExprKind::FString(s) if s == "pin {n} high"));
+    }
+
+    #[test]
+    fn parses_star_call_arguments() {
+        let m = parse_module("f(a, *rest, **kw)\n").unwrap();
+        let Stmt::Expr(e) = &m.body[0] else { panic!() };
+        let ExprKind::Call { args, .. } = &e.expr.kind else {
+            panic!()
+        };
+        assert_eq!(args.len(), 3);
+        assert!(matches!(&args[1].kind, ExprKind::Starred { stars: 1, .. }));
+        assert!(matches!(&args[2].kind, ExprKind::Starred { stars: 2, .. }));
+    }
+
+    #[test]
+    fn parses_star_params() {
+        let m = parse_module("def f(self, a, *args, **kwargs):\n    pass\n").unwrap();
+        let Stmt::FuncDef(f) = &m.body[0] else {
+            panic!()
+        };
+        let names: Vec<&str> = f.params.iter().map(|p| p.node.as_str()).collect();
+        assert_eq!(names, vec!["self", "a", "args", "kwargs"]);
+    }
+
+    #[test]
+    fn parses_extended_augmented_assignment() {
+        let src = "a //= 2\nb %= 3\nc **= 2\nd |= 1\ne &= 1\nf ^= 1\ng <<= 1\nh >>= 1\n";
+        let m = parse_module(src).unwrap();
+        let ops: Vec<&str> = m
+            .body
+            .iter()
+            .map(|s| {
+                let Stmt::Assign(a) = s else { panic!() };
+                a.aug_op.as_deref().unwrap()
+            })
+            .collect();
+        assert_eq!(ops, vec!["//", "%", "**", "|", "&", "^", "<<", ">>"]);
+    }
+
+    #[test]
+    fn recovery_degrades_bad_statement_to_skip() {
+        let m = parse_module_recover("x = 1\ny = = 2\nz = 3\n");
+        assert_eq!(m.body.len(), 3);
+        let Stmt::Degraded(d) = &m.body[1] else {
+            panic!("expected degraded, got {:?}", m.body[1])
+        };
+        assert!(d.span.start < d.span.end);
+        assert!(matches!(&m.body[2], Stmt::Assign(_)));
+    }
+
+    #[test]
+    fn recovery_swallows_broken_compound_suite() {
+        // The broken `def` header degrades together with its whole body;
+        // the class after it still parses. (An unbalanced bracket would
+        // instead join the rest of the file into one logical line, like
+        // CPython's tokenizer — so the break here is a missing paren list.)
+        let m = parse_module_recover(
+            "def broken:\n    x = 1\n    y = 2\n\n@sys\nclass C:\n    def m(self):\n        pass\n",
+        );
+        assert!(matches!(&m.body[0], Stmt::Degraded(_)));
+        assert!(m.class("C").is_some());
+    }
+
+    #[test]
+    fn recovery_keeps_good_methods_of_a_class() {
+        let src = "@sys\nclass C:\n    def good(self):\n        return [\"x\"]\n\n    \
+                   def bad(self):\n        x = = 1\n        return [\"x\"]\n";
+        let m = parse_module_recover(src);
+        let c = m.class("C").unwrap();
+        assert_eq!(c.methods().count(), 2);
+        let bad = c.method("bad").unwrap();
+        assert!(bad.body.iter().any(|s| matches!(s, Stmt::Degraded(_))));
+        assert!(bad.body.iter().any(|s| matches!(s, Stmt::Return(_))));
+    }
+
+    #[test]
+    fn recovery_is_total_on_garbage() {
+        let m = parse_module_recover("?? !! \u{1F600} ||| def ( class\n    @@@\n");
+        for s in &m.body {
+            if let Stmt::Degraded(d) = s {
+                assert!(d.span.start <= d.span.end);
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_still_rejects_unknown_syntax() {
+        assert!(parse_module("y = = 2\n").is_err());
+        assert!(parse_module("def broken(:\n    pass\n").is_err());
     }
 }

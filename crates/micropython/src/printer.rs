@@ -72,7 +72,12 @@ impl Printer {
                     self.line(&format!("@{text}"));
                 }
                 let params: Vec<&str> = f.params.iter().map(|p| p.node.as_str()).collect();
-                self.line(&format!("def {}({}):", f.name.node, params.join(", ")));
+                let prefix = if f.is_async { "async " } else { "" };
+                self.line(&format!(
+                    "{prefix}def {}({}):",
+                    f.name.node,
+                    params.join(", ")
+                ));
                 self.block(&f.body);
             }
             Stmt::Return(r) => match &r.value {
@@ -148,6 +153,59 @@ impl Printer {
             Stmt::Import(i) => {
                 self.line(&format!("import {}", i.names.join(", ")));
             }
+            Stmt::Try(t) => {
+                self.line("try:");
+                self.block(&t.body);
+                for h in &t.handlers {
+                    let mut head = "except".to_owned();
+                    if let Some(exc) = &h.exc {
+                        head.push(' ');
+                        head.push_str(&print_expr(exc));
+                        if let Some(name) = &h.name {
+                            head.push_str(" as ");
+                            head.push_str(&name.node);
+                        }
+                    }
+                    head.push(':');
+                    self.line(&head);
+                    self.block(&h.body);
+                }
+                if let Some(body) = &t.orelse {
+                    self.line("else:");
+                    self.block(body);
+                }
+                if let Some(body) = &t.finally {
+                    self.line("finally:");
+                    self.block(body);
+                }
+            }
+            Stmt::With(w) => {
+                let items: Vec<String> = w
+                    .items
+                    .iter()
+                    .map(|item| match &item.target {
+                        Some(t) => format!("{} as {}", print_expr(&item.context), print_expr(t)),
+                        None => print_expr(&item.context),
+                    })
+                    .collect();
+                self.line(&format!("with {}:", items.join(", ")));
+                self.block(&w.body);
+            }
+            Stmt::Raise(r) => {
+                let mut text = "raise".to_owned();
+                if let Some(exc) = &r.exc {
+                    text.push(' ');
+                    text.push_str(&print_expr(exc));
+                    if let Some(cause) = &r.cause {
+                        text.push_str(" from ");
+                        text.push_str(&print_expr(cause));
+                    }
+                }
+                self.line(&text);
+            }
+            // A degraded region has no source to reproduce; it prints as
+            // the `skip` it means.
+            Stmt::Degraded(_) => self.line("pass"),
         }
     }
 
@@ -273,6 +331,74 @@ fn render_expr(expr: &Expr, prec: u8) -> String {
                 text
             }
         }
+        ExprKind::Await(operand) => {
+            let text = format!("await {}", render_expr(operand, 8));
+            if prec > 8 {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        ExprKind::Lambda { params, body } => {
+            let names: Vec<&str> = params.iter().map(|p| p.node.as_str()).collect();
+            let head = if names.is_empty() {
+                "lambda".to_owned()
+            } else {
+                format!("lambda {}", names.join(", "))
+            };
+            let text = format!("{head}: {}", render_expr(body, 0));
+            // A lambda binds everything after the colon, so it always needs
+            // parens when nested inside another expression.
+            if prec > 0 {
+                format!("({text})")
+            } else {
+                text
+            }
+        }
+        ExprKind::FString(s) => {
+            let escaped = s
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t")
+                .replace('\r', "\\r");
+            format!("f\"{escaped}\"")
+        }
+        ExprKind::Starred { stars, value } => {
+            let prefix = if *stars == 2 { "**" } else { "*" };
+            format!("{prefix}{}", render_expr(value, 8))
+        }
+        ExprKind::Comp {
+            kind,
+            element,
+            value,
+            clauses,
+        } => {
+            let mut inner = render_expr(element, 0);
+            if let Some(v) = value {
+                inner.push_str(": ");
+                inner.push_str(&render_expr(v, 0));
+            }
+            for c in clauses {
+                let target = match &c.target.kind {
+                    ExprKind::Tuple(items) if !items.is_empty() => {
+                        let parts: Vec<String> = items.iter().map(|e| render_expr(e, 8)).collect();
+                        parts.join(", ")
+                    }
+                    _ => render_expr(&c.target, 8),
+                };
+                let kw = if c.is_async { "async for" } else { "for" };
+                inner.push_str(&format!(" {kw} {target} in {}", render_expr(&c.iter, 1)));
+                for cond in &c.ifs {
+                    inner.push_str(&format!(" if {}", render_expr(cond, 1)));
+                }
+            }
+            match kind {
+                CompKind::List => format!("[{inner}]"),
+                CompKind::Set | CompKind::Dict => format!("{{{inner}}}"),
+                CompKind::Generator => format!("({inner})"),
+            }
+        }
     }
 }
 
@@ -378,5 +504,72 @@ def f(self):
         let m = parse_module("def f(self):\n    return [\"a\"], 2\n").unwrap();
         let printed = print_module(&m);
         assert!(printed.contains("return [\"a\"], 2"));
+    }
+
+    #[test]
+    fn roundtrips_try_with_raise() {
+        roundtrip(
+            r#"
+def f(self):
+    try:
+        self.a.open()
+    except OSError as e:
+        raise ValueError("bad") from e
+    except:
+        pass
+    else:
+        self.log()
+    finally:
+        self.a.close()
+    with open("f") as fh, lock:
+        fh.write(data)
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_async_and_lambda() {
+        roundtrip(
+            r#"
+@task
+async def run(self):
+    await self.a.open()
+    f = lambda x, y: x + y
+    g = lambda: 0
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_comprehensions_and_fstrings() {
+        roundtrip(
+            "a = [x * 2 for x in items if x > 0]\n\
+             b = {k: v for k, v in pairs}\n\
+             c = {x for x in s}\n\
+             d = (y for y in gen)\n\
+             msg = f\"pin {n} high\"\n",
+        );
+    }
+
+    #[test]
+    fn roundtrips_star_args_and_inheritance() {
+        roundtrip(
+            r#"
+class C(Base, mixin.Other):
+    def f(self, a, *args, **kwargs):
+        g(a, *args, **kwargs)
+        x //= 2
+        x **= 2
+        x |= mask
+"#,
+        );
+    }
+
+    #[test]
+    fn degraded_prints_as_pass() {
+        use crate::parse_module_recover;
+        let m = parse_module_recover("x = 1\ny = = 2\n");
+        let printed = print_module(&m);
+        assert_eq!(printed, "x = 1\npass\n");
     }
 }

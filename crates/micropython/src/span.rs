@@ -114,13 +114,18 @@ impl SourceFile {
         &self.text
     }
 
-    /// 1-based `(line, column)` of a byte offset.
+    /// 1-based `(line, column)` of a byte offset. Columns count
+    /// *characters*, not bytes, so multi-byte UTF-8 text reports the
+    /// position an editor shows.
     pub fn line_col(&self, offset: usize) -> (usize, usize) {
         let line = match self.line_starts.binary_search(&offset) {
             Ok(l) => l,
             Err(l) => l - 1,
         };
-        let col = offset - self.line_starts[line];
+        let start = self.line_starts[line];
+        let col = self.text[start..offset.min(self.text.len()).max(start)]
+            .chars()
+            .count();
         (line + 1, col + 1)
     }
 
@@ -135,12 +140,18 @@ impl SourceFile {
     }
 
     /// Renders a `file:line:col: message` diagnostic with a source snippet
-    /// and caret underline.
+    /// and caret underline. Caret position and width are measured in
+    /// characters so they line up under multi-byte UTF-8 text.
     pub fn render_diagnostic(&self, span: Span, severity: &str, message: &str) -> String {
         let (line, col) = self.line_col(span.start);
         let line_str = self.line_text(line);
-        let width = span.end.saturating_sub(span.start).max(1);
-        let carets = "^".repeat(width.min(line_str.len().saturating_sub(col - 1).max(1)));
+        let width = self
+            .text
+            .get(span.start..span.end.min(self.text.len()))
+            .map_or(1, |s| s.chars().count())
+            .max(1);
+        let line_chars = line_str.chars().count();
+        let carets = "^".repeat(width.min(line_chars.saturating_sub(col - 1).max(1)));
         format!(
             "{}:{}:{}: {}: {}\n    {}\n    {}{}",
             self.name,
@@ -182,6 +193,38 @@ mod tests {
         assert!(d.contains("t.py:1:5"));
         assert!(d.contains("^^^"));
         assert!(d.contains("unknown name"));
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        // "é" is two bytes; "日" is three. The column must count characters.
+        let f = SourceFile::new("t.py", "é = 日本\nx = 1\n");
+        // Offset of `=` on line 1: "é" (2 bytes) + " " → byte 3, char col 3.
+        assert_eq!(f.line_col(3), (1, 3));
+        // Offset of `本`: 2 + 1 + 1 + 1 + 3 = byte 8, char col 6.
+        assert_eq!(f.line_col(8), (1, 6));
+        // ASCII on line 2 is unaffected (line 2 starts at byte 12).
+        assert_eq!(f.line_col(12), (2, 1));
+    }
+
+    #[test]
+    fn caret_aligns_under_multibyte_text() {
+        let f = SourceFile::new("t.py", "日本 = foo()\n");
+        // Span over `foo` — bytes 9..12 ("日本" = 6 bytes, " = " = 3).
+        let d = f.render_diagnostic(Span::new(9, 12), "error", "unknown name");
+        // Char col of `foo` is 6 (日, 本, space, =, space → 5 chars before).
+        assert!(d.contains("t.py:1:6"), "got: {d}");
+        let caret_line = d.lines().last().unwrap();
+        assert_eq!(caret_line, "    ".to_string() + &" ".repeat(5) + "^^^");
+    }
+
+    #[test]
+    fn caret_width_counts_chars() {
+        let f = SourceFile::new("t.py", "x = 日本\n");
+        // Span over the two-char name `日本` (6 bytes) → two carets.
+        let d = f.render_diagnostic(Span::new(4, 10), "error", "bad value");
+        let caret_line = d.lines().last().unwrap();
+        assert!(caret_line.ends_with("    ^^"), "got: {caret_line:?}");
     }
 
     #[test]

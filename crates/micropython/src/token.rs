@@ -16,6 +16,9 @@ pub enum TokenKind {
     Float(f64),
     /// String literal (decoded contents).
     Str(String),
+    /// Formatted string literal (`f"..."`; decoded contents, interpolations
+    /// kept verbatim).
+    FStr(String),
     /// Punctuation or operator.
     Punct(Punct),
     /// End of a logical line.
@@ -36,6 +39,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Int(v) => write!(f, "integer `{v}`"),
             TokenKind::Float(v) => write!(f, "float `{v}`"),
             TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::FStr(_) => write!(f, "f-string literal"),
             TokenKind::Punct(p) => write!(f, "`{p}`"),
             TokenKind::Newline => write!(f, "end of line"),
             TokenKind::Indent => write!(f, "indent"),
@@ -73,6 +77,14 @@ pub enum Keyword {
     Import,
     From,
     As,
+    Try,
+    Except,
+    Finally,
+    With,
+    Raise,
+    Async,
+    Await,
+    Lambda,
 }
 
 impl Keyword {
@@ -105,6 +117,14 @@ impl Keyword {
             "import" => Keyword::Import,
             "from" => Keyword::From,
             "as" => Keyword::As,
+            "try" => Keyword::Try,
+            "except" => Keyword::Except,
+            "finally" => Keyword::Finally,
+            "with" => Keyword::With,
+            "raise" => Keyword::Raise,
+            "async" => Keyword::Async,
+            "await" => Keyword::Await,
+            "lambda" => Keyword::Lambda,
             _ => return None,
         })
     }
@@ -137,6 +157,14 @@ impl fmt::Display for Keyword {
             Keyword::Import => "import",
             Keyword::From => "from",
             Keyword::As => "as",
+            Keyword::Try => "try",
+            Keyword::Except => "except",
+            Keyword::Finally => "finally",
+            Keyword::With => "with",
+            Keyword::Raise => "raise",
+            Keyword::Async => "async",
+            Keyword::Await => "await",
+            Keyword::Lambda => "lambda",
         };
         f.write_str(s)
     }
@@ -182,6 +210,14 @@ pub enum Punct {
     MinusAssign,
     StarAssign,
     SlashAssign,
+    DoubleSlashAssign,
+    PercentAssign,
+    DoubleStarAssign,
+    PipeAssign,
+    AmpAssign,
+    CaretAssign,
+    LShiftAssign,
+    RShiftAssign,
 }
 
 impl fmt::Display for Punct {
@@ -223,6 +259,14 @@ impl fmt::Display for Punct {
             Punct::MinusAssign => "-=",
             Punct::StarAssign => "*=",
             Punct::SlashAssign => "/=",
+            Punct::DoubleSlashAssign => "//=",
+            Punct::PercentAssign => "%=",
+            Punct::DoubleStarAssign => "**=",
+            Punct::PipeAssign => "|=",
+            Punct::AmpAssign => "&=",
+            Punct::CaretAssign => "^=",
+            Punct::LShiftAssign => "<<=",
+            Punct::RShiftAssign => ">>=",
         };
         f.write_str(s)
     }

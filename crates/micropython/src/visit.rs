@@ -96,7 +96,45 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
             v.visit_expr(&a.value);
         }
         Stmt::Expr(e) => v.visit_expr(&e.expr),
-        Stmt::Pass(_) | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Import(_) => {}
+        Stmt::Try(t) => {
+            for s in &t.body {
+                v.visit_stmt(s);
+            }
+            for h in &t.handlers {
+                if let Some(exc) = &h.exc {
+                    v.visit_expr(exc);
+                }
+                for s in &h.body {
+                    v.visit_stmt(s);
+                }
+            }
+            for body in t.orelse.iter().chain(t.finally.iter()) {
+                for s in body {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        Stmt::With(w) => {
+            for item in &w.items {
+                v.visit_expr(&item.context);
+                if let Some(t) = &item.target {
+                    v.visit_expr(t);
+                }
+            }
+            for s in &w.body {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::Raise(r) => {
+            for e in r.exc.iter().chain(r.cause.iter()) {
+                v.visit_expr(e);
+            }
+        }
+        Stmt::Pass(_)
+        | Stmt::Break(_)
+        | Stmt::Continue(_)
+        | Stmt::Import(_)
+        | Stmt::Degraded(_) => {}
     }
 }
 
@@ -153,12 +191,34 @@ pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
             v.visit_expr(right);
         }
         ExprKind::UnaryOp { operand, .. } => v.visit_expr(operand),
+        ExprKind::Await(operand) => v.visit_expr(operand),
+        ExprKind::Lambda { body, .. } => v.visit_expr(body),
+        ExprKind::Starred { value, .. } => v.visit_expr(value),
+        ExprKind::Comp {
+            element,
+            value,
+            clauses,
+            ..
+        } => {
+            for c in clauses {
+                v.visit_expr(&c.target);
+                v.visit_expr(&c.iter);
+                for cond in &c.ifs {
+                    v.visit_expr(cond);
+                }
+            }
+            v.visit_expr(element);
+            if let Some(val) = value {
+                v.visit_expr(val);
+            }
+        }
         ExprKind::Name(_)
         | ExprKind::Str(_)
         | ExprKind::Int(_)
         | ExprKind::Float(_)
         | ExprKind::Bool(_)
-        | ExprKind::NoneLit => {}
+        | ExprKind::NoneLit
+        | ExprKind::FString(_) => {}
     }
 }
 
@@ -212,6 +272,27 @@ pub fn collect_exprs(module: &Module, pred: impl Fn(&Expr) -> bool) -> Vec<&Expr
                 rec(right, pred, out);
             }
             ExprKind::UnaryOp { operand, .. } => rec(operand, pred, out),
+            ExprKind::Await(operand) => rec(operand, pred, out),
+            ExprKind::Lambda { body, .. } => rec(body, pred, out),
+            ExprKind::Starred { value, .. } => rec(value, pred, out),
+            ExprKind::Comp {
+                element,
+                value,
+                clauses,
+                ..
+            } => {
+                for c in clauses {
+                    rec(&c.target, pred, out);
+                    rec(&c.iter, pred, out);
+                    for cond in &c.ifs {
+                        rec(cond, pred, out);
+                    }
+                }
+                rec(element, pred, out);
+                if let Some(val) = value {
+                    rec(val, pred, out);
+                }
+            }
             _ => {}
         }
     }
@@ -277,12 +358,106 @@ pub fn collect_exprs(module: &Module, pred: impl Fn(&Expr) -> bool) -> Vec<&Expr
                 rec(&a.value, pred, out);
             }
             Stmt::Expr(e) => rec(&e.expr, pred, out),
+            Stmt::Try(t) => {
+                for s in &t.body {
+                    stmt_rec(s, pred, out);
+                }
+                for h in &t.handlers {
+                    if let Some(exc) = &h.exc {
+                        rec(exc, pred, out);
+                    }
+                    for s in &h.body {
+                        stmt_rec(s, pred, out);
+                    }
+                }
+                for body in t.orelse.iter().chain(t.finally.iter()) {
+                    for s in body {
+                        stmt_rec(s, pred, out);
+                    }
+                }
+            }
+            Stmt::With(w) => {
+                for item in &w.items {
+                    rec(&item.context, pred, out);
+                    if let Some(t) = &item.target {
+                        rec(t, pred, out);
+                    }
+                }
+                for s in &w.body {
+                    stmt_rec(s, pred, out);
+                }
+            }
+            Stmt::Raise(r) => {
+                for e in r.exc.iter().chain(r.cause.iter()) {
+                    rec(e, pred, out);
+                }
+            }
             _ => {}
         }
     }
     let mut out = Vec::new();
     for stmt in &module.body {
         stmt_rec(stmt, &pred, &mut out);
+    }
+    out
+}
+
+/// Collects every [`Stmt::Degraded`] node of a module, in source order.
+///
+/// Recovery-mode parsing ([`crate::parse_module_recover`]) records each
+/// out-of-calculus region as a `Degraded` node; this is how downstream
+/// tooling finds them (W014 diagnostics, corpus parse-rate accounting).
+pub fn collect_degraded(module: &Module) -> Vec<&DegradedStmt> {
+    fn rec<'m>(stmt: &'m Stmt, out: &mut Vec<&'m DegradedStmt>) {
+        if let Stmt::Degraded(d) = stmt {
+            out.push(d);
+        }
+        each_child(stmt, &mut |s| rec(s, out));
+    }
+    /// Applies `f` to every direct child statement of `stmt`.
+    fn each_child<'m>(stmt: &'m Stmt, f: &mut impl FnMut(&'m Stmt)) {
+        match stmt {
+            Stmt::ClassDef(c) => c.body.iter().for_each(f),
+            Stmt::FuncDef(func) => func.body.iter().for_each(f),
+            Stmt::If(ifs) => {
+                for (_, body) in &ifs.branches {
+                    body.iter().for_each(&mut *f);
+                }
+                if let Some(body) = &ifs.orelse {
+                    body.iter().for_each(f);
+                }
+            }
+            Stmt::Match(ms) => {
+                for case in &ms.cases {
+                    case.body.iter().for_each(&mut *f);
+                }
+            }
+            Stmt::While(ws) => ws.body.iter().for_each(f),
+            Stmt::For(fs) => fs.body.iter().for_each(f),
+            Stmt::Try(t) => {
+                t.body.iter().for_each(&mut *f);
+                for h in &t.handlers {
+                    h.body.iter().for_each(&mut *f);
+                }
+                for body in t.orelse.iter().chain(t.finally.iter()) {
+                    body.iter().for_each(&mut *f);
+                }
+            }
+            Stmt::With(w) => w.body.iter().for_each(f),
+            Stmt::Return(_)
+            | Stmt::Assign(_)
+            | Stmt::Expr(_)
+            | Stmt::Pass(_)
+            | Stmt::Break(_)
+            | Stmt::Continue(_)
+            | Stmt::Import(_)
+            | Stmt::Raise(_)
+            | Stmt::Degraded(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    for stmt in &module.body {
+        rec(stmt, &mut out);
     }
     out
 }

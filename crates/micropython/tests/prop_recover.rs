@@ -1,0 +1,91 @@
+//! Recovery-mode totality: `parse_module_recover` must turn *any* input —
+//! byte soup, truncated Python, mixed Unicode — into *some* module without
+//! panicking or erroring, and every `Degraded` node it records must carry
+//! a span that lies within the input.
+
+use micropython_parser::ast::Module;
+use micropython_parser::visit::collect_degraded;
+use micropython_parser::{parse_module, parse_module_recover, tokenize_recover};
+use proptest::prelude::*;
+
+fn assert_degraded_spans_valid(module: &Module, input: &str) -> Result<(), TestCaseError> {
+    for d in collect_degraded(module) {
+        prop_assert!(
+            d.span.start <= d.span.end,
+            "inverted degraded span {} for input {input:?}",
+            d.span
+        );
+        prop_assert!(
+            d.span.end <= input.len() + 1,
+            "degraded span {} beyond input of {} bytes",
+            d.span,
+            input.len()
+        );
+        prop_assert!(!d.reason.is_empty(), "degraded node without a reason");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII input always produces a module in recovery mode.
+    #[test]
+    fn ascii_soup_recovers(input in "[ -~\n\t]{0,200}") {
+        let module = parse_module_recover(&input);
+        assert_degraded_spans_valid(&module, &input)?;
+    }
+
+    /// Arbitrary Unicode input always produces a module in recovery mode
+    /// (multi-byte characters inside strings, names, and garbage positions).
+    #[test]
+    fn unicode_soup_recovers(input in "\\PC{0,100}") {
+        let _ = tokenize_recover(&input);
+        let module = parse_module_recover(&input);
+        assert_degraded_spans_valid(&module, &input)?;
+    }
+
+    /// Token soup built from real grammar fragments recovers, and whenever
+    /// strict parsing succeeds, recovery parses the same input with zero
+    /// degraded nodes.
+    #[test]
+    fn python_shaped_soup_recovers(
+        fragments in proptest::collection::vec(
+            prop_oneof![
+                Just("def f(self):"),
+                Just("async def g(self):"),
+                Just("class C(Base):"),
+                Just("    return [\"x\"], 2"),
+                Just("    pass"),
+                Just("try:"),
+                Just("except OSError as e:"),
+                Just("finally:"),
+                Just("with open(f) as fh:"),
+                Just("    await self.a.open()"),
+                Just("x = [i for i in items]"),
+                Just("y = f\"pin {n}\""),
+                Just("z = lambda a: a + 1"),
+                Just("raise ValueError(\"bad\")"),
+                Just("x //= 2"),
+                Just("@sys"),
+                Just("    case _:"),
+                Just("x = [1, 2"),
+                Just("\"unterminated"),
+                Just("?? !! $$"),
+                Just("    "),
+                Just(""),
+            ],
+            0..12
+        )
+    ) {
+        let input = fragments.join("\n");
+        let module = parse_module_recover(&input);
+        assert_degraded_spans_valid(&module, &input)?;
+        if parse_module(&input).is_ok() {
+            prop_assert!(
+                collect_degraded(&module).is_empty(),
+                "strictly-valid input produced degraded nodes: {input:?}"
+            );
+        }
+    }
+}

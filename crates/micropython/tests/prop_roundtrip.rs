@@ -39,6 +39,55 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 value: Box::new(value),
                 attr: sp(attr),
             })),
+            // `await x` (the printer parenthesizes where required).
+            inner
+                .clone()
+                .prop_map(|o| expr(ExprKind::Await(Box::new(o)))),
+            // `lambda p: body`.
+            (proptest::collection::vec(arb_name(), 0..3), inner.clone()).prop_map(
+                |(params, body)| expr(ExprKind::Lambda {
+                    params: params.into_iter().map(sp).collect(),
+                    body: Box::new(body),
+                })
+            ),
+            // f-string with interpolation-free odd contents.
+            "[a-zA-Z0-9 _.!?]{0,10}".prop_map(|s| expr(ExprKind::FString(s))),
+            // `[e for v in i if c]` — single-clause comprehension of each kind.
+            (
+                prop_oneof![
+                    Just(CompKind::List),
+                    Just(CompKind::Set),
+                    Just(CompKind::Generator)
+                ],
+                inner.clone(),
+                arb_name(),
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 0..2)
+            )
+                .prop_map(|(kind, element, v, iter, ifs)| expr(ExprKind::Comp {
+                    kind,
+                    element: Box::new(element),
+                    value: None,
+                    clauses: vec![CompClause {
+                        target: expr(ExprKind::Name(v)),
+                        iter,
+                        ifs,
+                        is_async: false,
+                    }],
+                })),
+            (inner.clone(), arb_name(), inner.clone()).prop_map(|(k, v, iter)| {
+                expr(ExprKind::Comp {
+                    kind: CompKind::Dict,
+                    element: Box::new(k.clone()),
+                    value: Some(Box::new(k)),
+                    clauses: vec![CompClause {
+                        target: expr(ExprKind::Name(v)),
+                        iter,
+                        ifs: vec![],
+                        is_async: false,
+                    }],
+                })
+            }),
             (
                 inner.clone(),
                 proptest::collection::vec(inner.clone(), 0..3)
@@ -100,6 +149,22 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             aug_op: None,
             span: Span::default(),
         })),
+        (
+            arb_name(),
+            prop_oneof![Just("+"), Just("//"), Just("%"), Just("**"), Just("|")],
+            arb_expr()
+        )
+            .prop_map(|(n, op, v)| Stmt::Assign(AssignStmt {
+                target: expr(ExprKind::Name(n)),
+                value: v,
+                aug_op: Some(op.to_owned()),
+                span: Span::default(),
+            })),
+        proptest::option::of(arb_expr()).prop_map(|exc| Stmt::Raise(RaiseStmt {
+            exc,
+            cause: None,
+            span: Span::default(),
+        })),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         let body = proptest::collection::vec(inner.clone(), 1..3);
@@ -124,6 +189,81 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                     span: Span::default(),
                 })
             }),
+            // try/except/else/finally — always at least one handler.
+            (
+                body.clone(),
+                proptest::collection::vec(
+                    (
+                        proptest::option::of(arb_name()),
+                        proptest::option::of(arb_name()),
+                        body.clone()
+                    ),
+                    1..3
+                ),
+                proptest::option::of(body.clone()),
+                proptest::option::of(body.clone())
+            )
+                .prop_map(|(b, hs, orelse, finally)| {
+                    let mut handlers: Vec<ExceptHandler> = hs
+                        .into_iter()
+                        .map(|(exc, name, hbody)| ExceptHandler {
+                            name: exc.as_ref().and(name).map(sp),
+                            exc: exc.map(|e| expr(ExprKind::Name(e))),
+                            body: hbody,
+                            span: Span::default(),
+                        })
+                        .collect();
+                    // A bare `except:` must come last to reparse cleanly.
+                    handlers.sort_by_key(|h| h.exc.is_none());
+                    let orelse = handlers.first().and(orelse);
+                    Stmt::Try(TryStmt {
+                        body: b,
+                        handlers,
+                        orelse,
+                        finally,
+                        span: Span::default(),
+                    })
+                }),
+            // with items: body
+            (
+                proptest::collection::vec((arb_expr(), proptest::option::of(arb_name())), 1..3),
+                body.clone()
+            )
+                .prop_map(|(items, b)| Stmt::With(WithStmt {
+                    items: items
+                        .into_iter()
+                        .map(|(context, target)| WithItem {
+                            context,
+                            target: target.map(|n| expr(ExprKind::Name(n))),
+                        })
+                        .collect(),
+                    body: b,
+                    span: Span::default(),
+                })),
+            // (async) def with decorators and parameters.
+            (
+                proptest::collection::vec(arb_name(), 0..2),
+                arb_name(),
+                proptest::collection::vec(arb_name(), 0..3),
+                prop_oneof![Just(false), Just(true)],
+                body.clone()
+            )
+                .prop_map(|(decs, name, params, is_async, b)| {
+                    Stmt::FuncDef(FuncDef {
+                        decorators: decs
+                            .into_iter()
+                            .map(|d| Decorator {
+                                expr: expr(ExprKind::Name(d)),
+                                span: Span::default(),
+                            })
+                            .collect(),
+                        name: sp(name),
+                        params: params.into_iter().map(sp).collect(),
+                        body: b,
+                        is_async,
+                        span: Span::default(),
+                    })
+                }),
         ]
     })
 }

@@ -1,0 +1,52 @@
+//! `corpusgen` — materializes the synthetic real-world MicroPython
+//! corpus ([`shelley_bench::realworld_corpus`]) as `.py` files so
+//! `shelleyc corpus` can measure parse/extract/verify rates on it.
+//!
+//! The generator is deterministic: every 50th file starting at index 7
+//! carries a syntax break (recoverable in `--recover` mode), every 50th
+//! starting at index 23 carries a specification error (`E006`), and the
+//! rest rotate through four grammars exercising the recovering front
+//! end (try/except, with, async/await, lambda, comprehensions,
+//! f-strings, star args, augmented assignment, inheritance).
+//!
+//! Usage: `cargo run -p corpusgen -- <dir> [count]` (default count 200).
+
+use shelley_bench::realworld_corpus;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = match args.first() {
+        Some(d) => Path::new(d),
+        None => {
+            eprintln!("usage: corpusgen <dir> [count]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let count: usize = match args.get(1).map(|c| c.parse()) {
+        None => 200,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("corpusgen: count must be a non-negative integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("corpusgen: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let files = realworld_corpus(count);
+    for (name, text) in &files {
+        if let Err(e) = std::fs::write(dir.join(name), text) {
+            eprintln!("corpusgen: cannot write {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "corpusgen: wrote {} file(s) to {}",
+        files.len(),
+        dir.display()
+    );
+    ExitCode::SUCCESS
+}
