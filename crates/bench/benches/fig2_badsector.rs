@@ -35,7 +35,12 @@ fn bench_fig2(c: &mut Criterion) {
     c.bench_function("fig2/claim_check_with_counterexample", |b| {
         b.iter(|| {
             let mut diags = shelley_core::Diagnostics::new();
-            let violations = check_claims(badsector, Some(&integration), &mut diags);
+            let violations = check_claims(
+                badsector,
+                Some(&integration),
+                shelley_core::Backend::Explicit,
+                &mut diags,
+            );
             assert_eq!(violations.len(), 1);
             violations[0].counterexample.len()
         })

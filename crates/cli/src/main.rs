@@ -29,7 +29,7 @@
 
 use shelley_core::extract::dependency::DependencyGraph;
 use shelley_core::{
-    build_integration, integration_diagram, spec_diagram, Checker, LintConfig, LintLevel,
+    build_integration, integration_diagram, spec_diagram, Backend, Checker, LintConfig, LintLevel,
 };
 use shelley_daemon::{Client, Engine};
 use shelley_smv::nfa_to_smv;
@@ -60,13 +60,15 @@ const USAGE: &str = "usage:
   shelleyc check <file.py> [more.py ...]
       [-A <code>] [-W <code>] [-D <code>|-D warnings] [--deny-warnings]
       [--format text|json|sarif] [--jobs N] [--recover]
+      [--backend auto|explicit|symbolic|smv]
   shelleyc corpus <dir> [--recover] [--json <path>]
-      [--min-parse <pct>] [--min-extract <pct>] [--jobs N]
-  shelleyc watch <file.py> [more.py ...] [--jobs N] [--recover]
+      [--min-parse <pct>] [--min-extract <pct>] [--min-verify <pct>] [--jobs N]
+  shelleyc watch <file.py> [more.py ...] [--jobs N] [--recover] [--backend <name>]
       (then `check` or `quit` on stdin)
   shelleyc serve [--socket <path>] [--cache <path>] [--jobs N] [--recover]
+      [--backend <name>]
       (JSON protocol on stdin/stdout, or many clients on the socket)
-  shelleyc connect <socket> [file.py ...] [--shutdown] [--recover]
+  shelleyc connect <socket> [file.py ...] [--shutdown] [--recover] [--backend <name>]
   shelleyc diagram <file.py> <Class>
   shelleyc deps <file.py> <Class>
   shelleyc integration <file.py> <Class>
@@ -103,6 +105,8 @@ struct Options {
     json_out: Option<String>,
     min_parse: Option<f64>,
     min_extract: Option<f64>,
+    min_verify: Option<f64>,
+    backend: Backend,
 }
 
 impl Default for Options {
@@ -118,6 +122,8 @@ impl Default for Options {
             json_out: None,
             min_parse: None,
             min_extract: None,
+            min_verify: None,
+            backend: Backend::Auto,
         }
     }
 }
@@ -259,6 +265,24 @@ const FLAGS: &[Flag] = &[
             Ok(())
         },
     },
+    Flag {
+        names: &["--min-verify"],
+        value: Some("percentage"),
+        apply: |opts, flag, value| {
+            opts.min_verify = Some(parse_percentage(flag, value)?);
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--backend"],
+        value: Some("backend name"),
+        apply: |opts, _, value| {
+            opts.backend = value
+                .parse()
+                .map_err(|e: shelley_core::ParseBackendError| CliError::Usage(e.to_string()))?;
+            Ok(())
+        },
+    },
 ];
 
 fn parse_percentage(flag: &str, value: &str) -> Result<f64, CliError> {
@@ -320,7 +344,8 @@ fn run(raw_args: &[String]) -> Result<String, CliError> {
     let checker = Checker::new()
         .lints(opts.config.clone())
         .jobs(opts.jobs)
-        .recover(opts.recover);
+        .recover(opts.recover)
+        .backend(opts.backend);
     if cmd == "watch" {
         return run_watch(&args[1..], checker);
     }
@@ -583,8 +608,8 @@ const EXTRACT_ERROR_CODES: &[&str] = &[
 /// * **verify**: the full check passed.
 ///
 /// `--json <path>` writes the totals as JSON (the `BENCH_corpus.json`
-/// shape); `--min-parse`/`--min-extract` turn the rates into gates that
-/// fail the run when unmet.
+/// shape); `--min-parse`/`--min-extract`/`--min-verify` turn the three
+/// rates into gates that fail the run when unmet.
 fn run_corpus(args: &[String], opts: &Options, checker: Checker) -> Result<String, CliError> {
     let dir = args
         .first()
@@ -683,6 +708,14 @@ fn run_corpus(args: &[String], opts: &Options, checker: Checker) -> Result<Strin
             gate_failures.push(format!(
                 "extract rate {:.1}% below --min-extract {min}%",
                 totals.extract_rate()
+            ));
+        }
+    }
+    if let Some(min) = opts.min_verify {
+        if totals.verify_rate() < min {
+            gate_failures.push(format!(
+                "verify rate {:.1}% below --min-verify {min}%",
+                totals.verify_rate()
             ));
         }
     }
@@ -810,8 +843,8 @@ fn run_connect(args: &[String], opts: &Options) -> Result<String, CliError> {
         .map_err(|e| CliError::Usage(format!("cannot connect to {socket}: {e}")))?;
     let fail = |e: std::io::Error| CliError::Usage(format!("daemon request failed: {e}"));
     client.hello().map_err(fail)?;
-    if opts.recover {
-        client.configure(true).map_err(fail)?;
+    if opts.recover || opts.backend != Backend::Auto {
+        client.configure(opts.recover, opts.backend).map_err(fail)?;
     }
     let mut files = Vec::new();
     for path in &args[1..] {

@@ -600,6 +600,89 @@ fn corpus_gates_fail_the_run_and_json_records_the_rates() {
 }
 
 #[test]
+fn corpus_min_verify_gates_the_verify_rate() {
+    let dir = corpus_dir(
+        "corpus_verify_gate",
+        &[("good.py", GOOD), ("paper.py", PAPER)],
+    );
+    // 1/2 files verify: a 50% floor passes, a 51% floor fails with the
+    // exact gate line.
+    let (stdout, _, code) = shelleyc(&["corpus", dir.to_str().unwrap(), "--min-verify", "50"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("verify:  1/2 (50.0%)"), "{stdout}");
+    let (stdout, _, code) = shelleyc(&["corpus", dir.to_str().unwrap(), "--min-verify", "51"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(
+        stdout.contains("FAIL: verify rate 50.0% below --min-verify 51%"),
+        "{stdout}"
+    );
+    // Bad percentages are rejected like the other gates.
+    let (_, stderr, code) = shelleyc(&["corpus", dir.to_str().unwrap(), "--min-verify", "200"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--min-verify"), "{stderr}");
+}
+
+#[test]
+fn usage_string_agrees_with_the_flag_table() {
+    // The usage text (printed on any usage error) must mention every flag
+    // the parser accepts — a missing one is how `--min-verify` went
+    // undocumented once. Exercise each spelling against the parser too,
+    // so the list below stays tied to reality in both directions.
+    let (_, usage, code) = shelleyc(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    let flags = [
+        "-A",
+        "-W",
+        "-D",
+        "--deny-warnings",
+        "--format",
+        "--jobs",
+        "--socket",
+        "--cache",
+        "--shutdown",
+        "--recover",
+        "--json",
+        "--min-parse",
+        "--min-extract",
+        "--min-verify",
+        "--backend",
+    ];
+    for flag in flags {
+        assert!(
+            usage.contains(flag),
+            "usage text is missing `{flag}`:\n{usage}"
+        );
+        // Known to the parser: an unknown flag error names the flag, a
+        // known one fails differently (missing value/command instead).
+        let (_, stderr, _) = shelleyc(&[flag]);
+        assert!(
+            !stderr.contains(&format!("unknown flag `{flag}`")),
+            "flag table is missing `{flag}`:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn check_accepts_every_backend_with_identical_verdicts() {
+    let path = write_temp("paper_backend.py", PAPER);
+    let auto = shelleyc(&["check", path.to_str().unwrap()]);
+    for backend in ["auto", "explicit", "symbolic"] {
+        let run = shelleyc(&["check", path.to_str().unwrap(), "--backend", backend]);
+        assert_eq!(run, auto, "--backend {backend} diverged");
+    }
+    // The SMV engine agrees on the verdict; its witness may differ on
+    // marker-bearing composites, so compare the failure shape only.
+    let (stdout, _, code) = shelleyc(&["check", path.to_str().unwrap(), "--backend", "smv"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL TO MEET REQUIREMENT"), "{stdout}");
+    assert!(stdout.contains("Formula: (!a.open) W b.open"), "{stdout}");
+
+    let (_, stderr, code) = shelleyc(&["check", path.to_str().unwrap(), "--backend", "nusmv"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown backend `nusmv`"), "{stderr}");
+}
+
+#[test]
 fn corpus_usage_errors() {
     let (_, stderr, code) = shelleyc(&["corpus", "/nonexistent-dir"]);
     assert_eq!(code, Some(2), "{stderr}");

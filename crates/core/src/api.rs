@@ -18,9 +18,9 @@
 //! clients can surface per-file results as they arrive:
 //!
 //! ```text
-//! → {"id":1,"method":{"hello":{"version":2}}}
-//! ← {"id":1,"body":{"hello":{"version":2,"server":"shelleyc"}}}
-//! → {"id":2,"method":{"configure":{"recover":true}}}
+//! → {"id":1,"method":{"hello":{"version":3}}}
+//! ← {"id":1,"body":{"hello":{"version":3,"server":"shelleyc"}}}
+//! → {"id":2,"method":{"configure":{"recover":true,"backend":"auto"}}}
 //! ← {"id":2,"body":"ok"}
 //! → {"id":3,"method":{"open":{"path":"valve.py","text":"..."}}}
 //! ← {"id":3,"body":"ok"}
@@ -29,9 +29,11 @@
 //! ← {"id":4,"body":{"check":{"summary":{...}}}}
 //! ```
 //!
-//! Version 2 added the `configure` method (recovery mode); everything
-//! else is unchanged from version 1.
+//! Version 2 added the `configure` method (recovery mode). Version 3
+//! extended `configure` with the claim-checking `backend`
+//! ([`crate::backend::Backend`]); everything else is unchanged.
 
+use crate::backend::Backend;
 use crate::checker::CheckError;
 use crate::diagnostics::{resolved_file, Diagnostic, Diagnostics, Severity};
 use crate::pipeline::{CheckReport, Checked};
@@ -44,7 +46,7 @@ use micropython_parser::SourceFile;
 ///
 /// Bump on any incompatible change to the types in this module; the
 /// daemon rejects `hello` requests carrying a different version.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// The server name announced in [`ReplyBody::Hello`].
 pub const SERVER_NAME: &str = "shelleyc";
@@ -88,11 +90,15 @@ pub enum Method {
         path: String,
     },
     /// Reconfigures the workspace. Switching `recover` re-parses every
-    /// open file under the new grammar on the next `check`.
+    /// open file under the new grammar on the next `check`; switching
+    /// `backend` only changes which engine decides claims (cached
+    /// verdicts stay valid — all backends agree).
     Configure {
         /// Recovery mode: total parsing with degrade-to-`skip` (`W014`)
         /// instead of strict subset errors.
         recover: bool,
+        /// The claim-checking engine (see [`crate::backend`]).
+        backend: Backend,
     },
     /// Runs one verification round over the current file set.
     Check,
@@ -426,16 +432,19 @@ mod tests {
             (
                 Request {
                     id: 1,
-                    method: Method::Hello { version: 2 },
+                    method: Method::Hello { version: 3 },
                 },
-                r#"{"id":1,"method":{"hello":{"version":2}}}"#,
+                r#"{"id":1,"method":{"hello":{"version":3}}}"#,
             ),
             (
                 Request {
                     id: 6,
-                    method: Method::Configure { recover: true },
+                    method: Method::Configure {
+                        recover: true,
+                        backend: Backend::Symbolic,
+                    },
                 },
-                r#"{"id":6,"method":{"configure":{"recover":true}}}"#,
+                r#"{"id":6,"method":{"configure":{"recover":true,"backend":"symbolic"}}}"#,
             ),
             (
                 Request {
@@ -486,7 +495,7 @@ mod tests {
                         server: SERVER_NAME.into(),
                     },
                 },
-                r#"{"id":1,"body":{"hello":{"version":2,"server":"shelleyc"}}}"#,
+                r#"{"id":1,"body":{"hello":{"version":3,"server":"shelleyc"}}}"#,
             ),
             (
                 Reply {

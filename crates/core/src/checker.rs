@@ -22,6 +22,7 @@
 //! evolving project, convert it with [`Checker::into_workspace`] and keep
 //! the workspace alive — unchanged classes are then never re-verified.
 
+use crate::backend::Backend;
 use crate::lint::LintConfig;
 use crate::pipeline::Checked;
 use crate::project::ProjectFile;
@@ -70,6 +71,7 @@ pub struct Checker {
     lints: LintConfig,
     jobs: usize,
     recover: bool,
+    backend: Backend,
 }
 
 impl Checker {
@@ -99,6 +101,16 @@ impl Checker {
     /// the same constructs with a parse error.
     pub fn recover(mut self, recover: bool) -> Self {
         self.recover = recover;
+        self
+    }
+
+    /// Selects the engine that decides temporal claims: the explicit
+    /// joint search, the symbolic BDD fixpoint, or the NuSMV-encoding
+    /// evaluator (see [`crate::backend`]). The default [`Backend::Auto`]
+    /// resolves per claim by monitor-size estimate; all backends decide
+    /// identical verdicts.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -148,6 +160,7 @@ impl Checker {
     pub fn into_workspace(self) -> Workspace {
         let mut workspace = Workspace::with_config(self.lints, self.jobs);
         workspace.set_recover(self.recover);
+        workspace.set_backend(self.backend);
         workspace
     }
 }

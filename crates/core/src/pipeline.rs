@@ -4,6 +4,7 @@
 //! subsystem usage → temporal claims`, producing a [`CheckReport`] with all
 //! structural diagnostics and the paper's two specification errors.
 
+use crate::backend::Backend;
 use crate::dataflow::typestate::analyze_class;
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::integration::{build_integration, Integration};
@@ -88,7 +89,7 @@ pub fn check_module_direct(module: &Module, config: &LintConfig) -> Checked {
 
     for system in systems.iter() {
         let proven = proven_fields(module.class(&system.name), system, &systems);
-        let verdict = verify_system(system, &systems, &proven);
+        let verdict = verify_system(system, &systems, &proven, Backend::Auto);
         diagnostics.extend(verdict.diagnostics);
         for v in verdict.usage_violations {
             usage_violations.push((system.name.clone(), v));
@@ -163,11 +164,14 @@ pub fn proven_fields(
 ///
 /// `proven` lists subsystem fields whose usage inclusion is already
 /// established (see [`proven_fields`]); their checks are skipped and
-/// counted in [`SystemVerdict::fast_path_skips`].
+/// counted in [`SystemVerdict::fast_path_skips`]. `backend` selects the
+/// claim-checking engine (see [`crate::backend`]); every backend decides
+/// the same verdicts.
 pub fn verify_system(
     system: &System,
     systems: &SystemSet,
     proven: &BTreeSet<String>,
+    backend: Backend,
 ) -> SystemVerdict {
     let mut verdict = SystemVerdict::default();
     if let Some(info) = system.composite() {
@@ -193,7 +197,12 @@ pub fn verify_system(
             verdict.usage_violations.push(v);
         }
     }
-    for v in check_claims(system, integration.as_ref(), &mut verdict.diagnostics) {
+    for v in check_claims(
+        system,
+        integration.as_ref(),
+        backend,
+        &mut verdict.diagnostics,
+    ) {
         verdict.diagnostics.push(
             Diagnostic::error(
                 codes::FAIL_TO_MEET_REQUIREMENT,
@@ -363,7 +372,7 @@ class GoodSector:
         let good = systems.get("GoodSector").unwrap();
         let proven = proven_fields(module.class("GoodSector"), good, &systems);
         assert_eq!(proven.iter().collect::<Vec<_>>(), ["a"]);
-        let verdict = verify_system(good, &systems, &proven);
+        let verdict = verify_system(good, &systems, &proven, crate::backend::Backend::Auto);
         assert_eq!(verdict.fast_path_skips, 1);
         assert!(verdict.usage_violations.is_empty());
         // The full pipeline agrees with the skipped check.

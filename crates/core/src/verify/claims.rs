@@ -10,14 +10,15 @@
 //! ```
 
 use crate::annotations::Claim;
+use crate::backend::Backend;
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::integration::Integration;
 use crate::spec::{intern_spec_events, spec_automaton};
 use crate::system::{System, SystemKind};
-use shelley_ltlf::{check_claim, parse_formula, ClaimOutcome};
+use shelley_ltlf::{check_claim, parse_formula, ClaimOutcome, Formula};
 use shelley_regular::ops::strip_markers;
-use shelley_regular::{Alphabet, Nfa, Word};
-use std::collections::BTreeSet;
+use shelley_regular::{Alphabet, Nfa, Symbol, Word};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// The paper's `FAIL TO MEET REQUIREMENT` verification failure.
@@ -45,10 +46,14 @@ impl ClaimViolation {
 /// integration automaton (markers invisible to the claim); for base systems
 /// it is the specification automaton over unqualified operation events.
 ///
+/// `backend` picks the engine that decides each claim (see
+/// [`crate::backend`]); every backend returns the same verdicts.
+///
 /// Claims that fail to parse are reported in `diagnostics` and skipped.
 pub fn check_claims(
     system: &System,
     integration: Option<&Integration>,
+    backend: Backend,
     diagnostics: &mut Diagnostics,
 ) -> Vec<ClaimViolation> {
     let mut violations = Vec::new();
@@ -78,7 +83,7 @@ pub fn check_claims(
     };
 
     for claim in &system.claims {
-        let violation = check_one_claim(system, &model, &markers, claim, diagnostics);
+        let violation = check_one_claim(system, &model, &markers, claim, backend, diagnostics);
         violations.extend(violation);
     }
     violations
@@ -89,6 +94,7 @@ fn check_one_claim(
     model: &Nfa,
     markers: &BTreeSet<shelley_regular::Symbol>,
     claim: &Claim,
+    backend: Backend,
     diagnostics: &mut Diagnostics,
 ) -> Option<ClaimViolation> {
     // Parse against a scratch alphabet to surface unknown atoms, then
@@ -132,7 +138,12 @@ fn check_one_claim(
     // are preserved because interning is append-only.
     let scratch = Arc::new(scratch);
     let model = rebuild_over(model, scratch.clone());
-    match check_claim(&model, &formula, markers) {
+    let outcome = match backend.resolve(&formula.negate()) {
+        Backend::Auto | Backend::Explicit => check_claim(&model, &formula, markers),
+        Backend::Symbolic => shelley_symbolic::check_claim(&model, &formula, markers),
+        Backend::Smv => check_claim_smv(&model, &formula, markers),
+    };
+    match outcome {
         ClaimOutcome::Holds => None,
         ClaimOutcome::Violated { counterexample } => {
             let events = strip_markers(&counterexample, markers);
@@ -144,6 +155,50 @@ fn check_one_claim(
             })
         }
     }
+}
+
+/// Decides one claim through the NuSMV encoding: project markers out of
+/// the model (the monitor never observes them, so the projected language
+/// decides the same verdict), emit the SMV model with the claim as its
+/// second `LTLSPEC`, and run the executable spec semantics on it.
+///
+/// The returned witness is a shortest *visible* violating word. The
+/// explicit and symbolic engines instead minimize the joint trace
+/// (markers included) and strip markers afterwards, so on marker-bearing
+/// composites this engine can report a different — equally valid —
+/// counterexample. Verdicts always agree.
+fn check_claim_smv(model: &Nfa, formula: &Formula, markers: &BTreeSet<Symbol>) -> ClaimOutcome {
+    let visible = if markers.is_empty() {
+        model.clone()
+    } else {
+        model.erase_symbols(markers)
+    };
+    let smv = shelley_smv::nfa_to_smv(&visible, "claim check", std::slice::from_ref(formula));
+    let outcome = shelley_smv::eval_spec(&smv, &smv.ltlspecs[1])
+        .expect("the evaluator accepts every spec the translator emits");
+    if outcome.holds {
+        return ClaimOutcome::Holds;
+    }
+    // The evaluator speaks sanitized SMV event names; map them back to
+    // alphabet symbols (first symbol wins on a sanitization collision,
+    // matching the translator's event-value order).
+    let mut by_smv_name: BTreeMap<String, Symbol> = BTreeMap::new();
+    for (symbol, name) in visible.alphabet().iter() {
+        by_smv_name
+            .entry(shelley_smv::sanitize(name))
+            .or_insert(symbol);
+    }
+    let counterexample = outcome
+        .counterexample
+        .unwrap_or_default()
+        .iter()
+        .map(|name| {
+            *by_smv_name
+                .get(name)
+                .expect("every witness event is an alphabet symbol")
+        })
+        .collect();
+    ClaimOutcome::Violated { counterexample }
 }
 
 /// Copies an NFA onto a larger alphabet that extends the original (same
@@ -196,15 +251,19 @@ class Valve:
         return ["test"]
 "#;
 
-    fn check(src: &str, class: &str) -> (Vec<ClaimViolation>, Diagnostics) {
+    fn check_with(src: &str, class: &str, backend: Backend) -> (Vec<ClaimViolation>, Diagnostics) {
         let m = parse_module(src).unwrap();
         let (systems, diags) = build_systems(&m);
         assert!(!diags.has_errors(), "{:?}", diags);
         let sys = systems.get(class).unwrap();
         let integration = sys.is_composite().then(|| build_integration(sys));
         let mut d = Diagnostics::new();
-        let v = check_claims(sys, integration.as_ref(), &mut d);
+        let v = check_claims(sys, integration.as_ref(), backend, &mut d);
         (v, d)
+    }
+
+    fn check(src: &str, class: &str) -> (Vec<ClaimViolation>, Diagnostics) {
+        check_with(src, class, Backend::Auto)
     }
 
     #[test]
@@ -263,6 +322,67 @@ class BadSector:
             .map(|n| ab.intern(n))
             .collect();
         assert!(!eval(&f, &trace));
+    }
+
+    #[test]
+    fn every_backend_agrees_on_the_paper_violation() {
+        let src = format!(
+            r#"{VALVE}
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+"#
+        );
+        for backend in [
+            Backend::Auto,
+            Backend::Explicit,
+            Backend::Symbolic,
+            Backend::Smv,
+        ] {
+            let (violations, diags) = check_with(&src, "BadSector", backend);
+            assert!(diags.is_empty(), "{backend}: {diags:?}");
+            assert_eq!(violations.len(), 1, "{backend}");
+            // Every engine finds a genuine shortest violation; explicit
+            // and symbolic agree on the exact canonical witness.
+            let v = &violations[0];
+            let mut ab = Alphabet::new();
+            let f = parse_formula(&v.formula, &mut ab).unwrap();
+            let trace: Vec<_> = v
+                .counterexample_text
+                .split(", ")
+                .map(|n| ab.intern(n))
+                .collect();
+            assert!(!eval(&f, &trace), "{backend}: {}", v.counterexample_text);
+            if backend != Backend::Smv {
+                assert_eq!(v.counterexample_text, "a.test, a.open", "{backend}");
+            }
+        }
     }
 
     #[test]

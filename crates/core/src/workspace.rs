@@ -59,6 +59,7 @@
 //! # Ok::<(), shelley_core::CheckError>(())
 //! ```
 
+use crate::backend::Backend;
 use crate::checker::CheckError;
 use crate::diagnostics::{codes, Diagnostic, Diagnostics};
 use crate::lint::{run_lints, LintConfig, LintLevel};
@@ -210,6 +211,8 @@ pub struct Workspace {
     /// [`parse_module_recover`] (total), degrading out-of-subset
     /// constructs to spanned `skip` nodes reported as `W014`.
     recover: bool,
+    /// The engine that decides temporal claims (see [`crate::backend`]).
+    backend: Backend,
     files: Vec<FileState>,
     extract_cache: HashMap<u64, Arc<ExtractEntry>>,
     verify_cache: HashMap<(u64, u64), Arc<VerifyEntry>>,
@@ -249,6 +252,7 @@ impl Workspace {
             config,
             jobs,
             recover: false,
+            backend: Backend::Auto,
             files: Vec::new(),
             extract_cache: HashMap::new(),
             verify_cache: HashMap::new(),
@@ -279,6 +283,21 @@ impl Workspace {
     /// Whether recovery mode is on.
     pub fn recover(&self) -> bool {
         self.recover
+    }
+
+    /// Selects the claim-checking backend for subsequent rounds (see
+    /// [`crate::backend`]). All backends decide identical verdicts — the
+    /// differential suite pins this — so switching does **not** invalidate
+    /// cached verify results: an entry computed under one backend answers
+    /// for any other. (A violation witness is whichever shortest
+    /// counterexample the computing engine picked.)
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The claim-checking backend in effect.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Adds a file, or replaces its source if the name is already
@@ -528,6 +547,7 @@ impl Workspace {
             .count() as u64
             - round.verified;
         let config = &self.config;
+        let backend = self.backend;
         let disk_cache = &self.disk_cache;
         let fresh = par_map(self.effective_jobs(), &missing, |&i| {
             let extraction = extract_entries[i]
@@ -541,7 +561,13 @@ impl Workspace {
                     true,
                 ),
                 None => (
-                    Arc::new(run_verify(extraction, units[i], &spec_index, config)),
+                    Arc::new(run_verify(
+                        extraction,
+                        units[i],
+                        &spec_index,
+                        config,
+                        backend,
+                    )),
                     false,
                 ),
             }
@@ -793,6 +819,7 @@ fn run_verify(
     unit: &ClassUnit,
     spec_index: &BTreeMap<String, ClassSpec>,
     config: &LintConfig,
+    backend: Backend,
 ) -> VerifyEntry {
     let mut resolve_diags = Diagnostics::new();
     let system = resolve_class(extraction, spec_index, &mut resolve_diags);
@@ -828,7 +855,7 @@ fn run_verify(
     run_lints(&unit.solo, &verify_scope, config, &mut lint_diags);
 
     let proven = proven_fields(unit.solo.class(&system.name), &system, &verify_scope);
-    let verdict = verify_system(&system, &verify_scope, &proven);
+    let verdict = verify_system(&system, &verify_scope, &proven, backend);
 
     VerifyEntry {
         system,

@@ -93,8 +93,9 @@ impl Engine {
                 self.files.remove(&path);
                 reply(ReplyBody::Ok);
             }
-            Method::Configure { recover } => {
+            Method::Configure { recover, backend } => {
                 self.workspace.set_recover(recover);
+                self.workspace.set_backend(backend);
                 reply(ReplyBody::Ok);
             }
             Method::Check => self.run_check(id, emit),

@@ -316,7 +316,10 @@ fn configure_switches_recovery_mode_mid_session() {
     engine.handle(
         Request {
             id: 3,
-            method: Method::Configure { recover: true },
+            method: Method::Configure {
+                recover: true,
+                backend: shelley_core::Backend::Auto,
+            },
         },
         &mut |r| replies.push(r),
     );

@@ -93,6 +93,39 @@ impl StateSet {
         }
     }
 
+    /// Intersects `self` with `other`, block-wise (`self &= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ (sets from different automata).
+    pub fn intersect_with(&mut self, other: &StateSet) {
+        assert_eq!(
+            self.blocks.len(),
+            other.blocks.len(),
+            "intersection of state sets with different capacities"
+        );
+        for (dst, src) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *dst &= src;
+        }
+    }
+
+    /// Removes every state of `other` from `self`, block-wise
+    /// (`self &= !other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ (sets from different automata).
+    pub fn difference_with(&mut self, other: &StateSet) {
+        assert_eq!(
+            self.blocks.len(),
+            other.blocks.len(),
+            "difference of state sets with different capacities"
+        );
+        for (dst, src) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *dst &= !src;
+        }
+    }
+
     /// Whether every state of `self` is also in `other`.
     ///
     /// # Panics
@@ -237,6 +270,50 @@ mod tests {
         assert_eq!(hash(&a), hash(&b));
         b.insert(0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn intersect_and_difference() {
+        let mut a = StateSet::new(200);
+        let mut b = StateSet::new(200);
+        for q in [3, 64, 127, 128, 199] {
+            a.insert(q);
+        }
+        for q in [64, 128, 5] {
+            b.insert(q);
+        }
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![64, 128]);
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(diff.iter().collect::<Vec<_>>(), vec![3, 127, 199]);
+        // a \ b and a ∩ b partition a.
+        diff.union_with(&inter);
+        assert_eq!(diff, a);
+        // Difference with self empties; intersection with self is identity.
+        let mut gone = a.clone();
+        gone.difference_with(&a.clone());
+        assert!(gone.is_empty());
+        let mut same = a.clone();
+        same.intersect_with(&a.clone());
+        assert_eq!(same, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacities")]
+    fn intersect_rejects_mismatched_capacity() {
+        let mut a = StateSet::new(64);
+        let b = StateSet::new(128);
+        a.intersect_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacities")]
+    fn difference_rejects_mismatched_capacity() {
+        let mut a = StateSet::new(64);
+        let b = StateSet::new(128);
+        a.difference_with(&b);
     }
 
     #[test]

@@ -184,6 +184,8 @@ proptest! {
 enum SetOp {
     Insert(usize),
     UnionPrepared(Vec<usize>),
+    IntersectPrepared(Vec<usize>),
+    DifferencePrepared(Vec<usize>),
     Clear,
 }
 
@@ -191,6 +193,8 @@ fn arb_set_op(capacity: usize) -> impl Strategy<Value = SetOp> {
     prop_oneof![
         4 => (0..capacity).prop_map(SetOp::Insert),
         2 => proptest::collection::vec(0..capacity, 0..8).prop_map(SetOp::UnionPrepared),
+        2 => proptest::collection::vec(0..capacity, 0..8).prop_map(SetOp::IntersectPrepared),
+        2 => proptest::collection::vec(0..capacity, 0..8).prop_map(SetOp::DifferencePrepared),
         1 => Just(SetOp::Clear),
     ]
 }
@@ -234,6 +238,28 @@ proptest! {
                         other.iter().any(|q| set.contains(q))
                     );
                     set.union_with(&other);
+                }
+                SetOp::IntersectPrepared(items) => {
+                    let mut other = StateSet::new(capacity);
+                    let mut other_model: BTreeSet<usize> = BTreeSet::new();
+                    for q in items {
+                        let q = q % capacity;
+                        other.insert(q);
+                        other_model.insert(q);
+                    }
+                    set.intersect_with(&other);
+                    model = model.intersection(&other_model).copied().collect();
+                }
+                SetOp::DifferencePrepared(items) => {
+                    let mut other = StateSet::new(capacity);
+                    let mut other_model: BTreeSet<usize> = BTreeSet::new();
+                    for q in items {
+                        let q = q % capacity;
+                        other.insert(q);
+                        other_model.insert(q);
+                    }
+                    set.difference_with(&other);
+                    model = model.difference(&other_model).copied().collect();
                 }
                 SetOp::Clear => {
                     set.clear();

@@ -1,0 +1,405 @@
+//! A reduced-ordered binary decision diagram arena.
+//!
+//! Hand-rolled and dependency-free, like the rest of the workspace core.
+//! Nodes live in one append-only arena and are **hash-consed**: the
+//! `(var, lo, hi)` triple of every reduced node is unique, so semantic
+//! equality of functions is pointer (index) equality, constant-time. Every
+//! boolean operation is memoized in an **apply cache** keyed by
+//! `(op, operand, operand)`, giving the standard `O(|f|·|g|)` bound.
+//!
+//! Variable numbering implements the interleaved current/next convention
+//! used by the transition-relation encoder: *pair* `p` owns the current-
+//! state variable `2p` (even) and the next-state variable `2p + 1` (odd).
+//! Because a primed variable sits directly below its unprimed twin in the
+//! order, renaming primed to unprimed (or back) is a monotone shift by one
+//! level — [`Bdd::unprime`]/[`Bdd::prime`] never have to reorder anything.
+
+/// Index of a BDD node in the arena. `0` and `1` are the terminals.
+pub(crate) type Ref = u32;
+
+/// The constant-false terminal.
+pub(crate) const FALSE: Ref = 0;
+/// The constant-true terminal.
+pub(crate) const TRUE: Ref = 1;
+
+/// Sentinel variable of the terminals: below every real variable.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Apply-cache operation tags.
+const OP_AND: u8 = 0;
+const OP_OR: u8 = 1;
+const OP_NOT: u8 = 2;
+const OP_EXISTS_EVEN: u8 = 3;
+const OP_EXISTS_ODD: u8 = 4;
+const OP_PRIME: u8 = 5;
+const OP_UNPRIME: u8 = 6;
+
+/// One reduced node: `if var then hi else lo`.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// The arena: nodes, the hash-consing index, and the apply cache.
+#[derive(Debug)]
+pub(crate) struct Bdd {
+    nodes: Vec<Node>,
+    unique: std::collections::HashMap<(u32, Ref, Ref), Ref>,
+    cache: std::collections::HashMap<(u8, Ref, Ref), Ref>,
+}
+
+impl Bdd {
+    pub(crate) fn new() -> Bdd {
+        let terminal = Node {
+            var: TERMINAL_VAR,
+            lo: FALSE,
+            hi: FALSE,
+        };
+        Bdd {
+            nodes: vec![terminal, terminal],
+            unique: std::collections::HashMap::new(),
+            cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Total number of live nodes (terminals included) — the size metric
+    /// the benchmarks report.
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The reduced node `if var then hi else lo` (hash-consed).
+    pub(crate) fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < self.nodes[lo as usize].var);
+        debug_assert!(var < self.nodes[hi as usize].var);
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        let r = u32::try_from(self.nodes.len()).expect("BDD arena overflow");
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    /// The single-variable function `var`.
+    pub(crate) fn var(&mut self, var: u32) -> Ref {
+        self.mk(var, FALSE, TRUE)
+    }
+
+    /// The single-variable function `!var`.
+    pub(crate) fn nvar(&mut self, var: u32) -> Ref {
+        self.mk(var, TRUE, FALSE)
+    }
+
+    pub(crate) fn and(&mut self, a: Ref, b: Ref) -> Ref {
+        if a == FALSE || b == FALSE {
+            return FALSE;
+        }
+        if a == TRUE {
+            return b;
+        }
+        if b == TRUE || a == b {
+            return a;
+        }
+        let key = (OP_AND, a.min(b), a.max(b));
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (v, alo, ahi, blo, bhi) = self.split(a, b);
+        let lo = self.and(alo, blo);
+        let hi = self.and(ahi, bhi);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    pub(crate) fn or(&mut self, a: Ref, b: Ref) -> Ref {
+        if a == TRUE || b == TRUE {
+            return TRUE;
+        }
+        if a == FALSE {
+            return b;
+        }
+        if b == FALSE || a == b {
+            return a;
+        }
+        let key = (OP_OR, a.min(b), a.max(b));
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (v, alo, ahi, blo, bhi) = self.split(a, b);
+        let lo = self.or(alo, blo);
+        let hi = self.or(ahi, bhi);
+        let r = self.mk(v, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    pub(crate) fn not(&mut self, a: Ref) -> Ref {
+        if a == FALSE {
+            return TRUE;
+        }
+        if a == TRUE {
+            return FALSE;
+        }
+        let key = (OP_NOT, a, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[a as usize];
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Existentially quantifies every variable of the given parity
+    /// (`odd = true` quantifies the primed/next-state variables).
+    pub(crate) fn exists_parity(&mut self, a: Ref, odd: bool) -> Ref {
+        if a <= TRUE {
+            return a;
+        }
+        let op = if odd { OP_EXISTS_ODD } else { OP_EXISTS_EVEN };
+        let key = (op, a, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[a as usize];
+        let lo = self.exists_parity(n.lo, odd);
+        let hi = self.exists_parity(n.hi, odd);
+        let r = if (n.var % 2 == 1) == odd {
+            self.or(lo, hi)
+        } else {
+            self.mk(n.var, lo, hi)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Renames every (odd) primed variable `2p + 1` to its unprimed twin
+    /// `2p`. The input must mention only odd variables.
+    pub(crate) fn unprime(&mut self, a: Ref) -> Ref {
+        self.shift(a, OP_UNPRIME)
+    }
+
+    /// Renames every (even) unprimed variable `2p` to its primed twin
+    /// `2p + 1`. The input must mention only even variables.
+    pub(crate) fn prime(&mut self, a: Ref) -> Ref {
+        self.shift(a, OP_PRIME)
+    }
+
+    fn shift(&mut self, a: Ref, op: u8) -> Ref {
+        if a <= TRUE {
+            return a;
+        }
+        let key = (op, a, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[a as usize];
+        let var = if op == OP_PRIME {
+            debug_assert_eq!(n.var % 2, 0, "prime() input mentions a primed variable");
+            n.var + 1
+        } else {
+            debug_assert_eq!(
+                n.var % 2,
+                1,
+                "unprime() input mentions an unprimed variable"
+            );
+            n.var - 1
+        };
+        let lo = self.shift(n.lo, op);
+        let hi = self.shift(n.hi, op);
+        let r = self.mk(var, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// The biconditional `current(pair) ↔ next(pair)` for one variable pair
+    /// — the building block of marker-step monitor identity.
+    pub(crate) fn pair_identity(&mut self, pair: u32) -> Ref {
+        let (v, vn) = (2 * pair, 2 * pair + 1);
+        let both_false = self.mk(vn, TRUE, FALSE);
+        let both_true = self.mk(vn, FALSE, TRUE);
+        self.mk(v, both_false, both_true)
+    }
+
+    /// One full satisfying assignment over the **pairs** (even variables):
+    /// `result[p]` is the value of variable `2p`. Variables not on the
+    /// chosen path are don't-cares and default to `false` — any completion
+    /// of a path to `TRUE` still satisfies the function. Returns `None` for
+    /// the constant-false function. The input must mention only even
+    /// variables.
+    pub(crate) fn any_sat(&self, a: Ref, npairs: usize) -> Option<Vec<bool>> {
+        if a == FALSE {
+            return None;
+        }
+        let mut values = vec![false; npairs];
+        let mut cur = a;
+        while cur > TRUE {
+            let n = self.nodes[cur as usize];
+            debug_assert_eq!(n.var % 2, 0, "any_sat input mentions a primed variable");
+            if n.hi != FALSE {
+                values[(n.var / 2) as usize] = true;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(values)
+    }
+
+    /// The cube (conjunction of literals) fixing every pair's even variable
+    /// to the given value — the BDD of one concrete product state.
+    pub(crate) fn cube(&mut self, values: &[bool]) -> Ref {
+        let mut r = TRUE;
+        for (p, &bit) in values.iter().enumerate().rev() {
+            let var = 2 * u32::try_from(p).expect("pair index overflow");
+            r = if bit {
+                self.mk(var, FALSE, r)
+            } else {
+                self.mk(var, r, FALSE)
+            };
+        }
+        r
+    }
+
+    /// Evaluates `a` under a total assignment (used by the tests).
+    #[cfg(test)]
+    fn eval(&self, a: Ref, assignment: &dyn Fn(u32) -> bool) -> bool {
+        let mut cur = a;
+        while cur > TRUE {
+            let n = self.nodes[cur as usize];
+            cur = if assignment(n.var) { n.hi } else { n.lo };
+        }
+        cur == TRUE
+    }
+
+    /// Splits `a` and `b` on their top variable, returning
+    /// `(var, a_lo, a_hi, b_lo, b_hi)` with the non-split side duplicated.
+    fn split(&self, a: Ref, b: Ref) -> (u32, Ref, Ref, Ref, Ref) {
+        let na = self.nodes[a as usize];
+        let nb = self.nodes[b as usize];
+        let v = na.var.min(nb.var);
+        let (alo, ahi) = if na.var == v { (na.lo, na.hi) } else { (a, a) };
+        let (blo, bhi) = if nb.var == v { (nb.lo, nb.hi) } else { (b, b) };
+        (v, alo, ahi, blo, bhi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively compares a BDD against a reference boolean function
+    /// over `nvars` variables.
+    fn assert_table(bdd: &Bdd, a: Ref, nvars: u32, f: &dyn Fn(&[bool]) -> bool) {
+        for bits in 0u32..(1 << nvars) {
+            let assignment: Vec<bool> = (0..nvars).map(|v| bits & (1 << v) != 0).collect();
+            assert_eq!(
+                bdd.eval(a, &|v| assignment[v as usize]),
+                f(&assignment),
+                "assignment {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn boolean_algebra_matches_truth_tables() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(2);
+        let z = b.var(4);
+        let xy = b.and(x, y);
+        let xy_or_z = b.or(xy, z);
+        assert_table(&b, xy_or_z, 6, &|a| (a[0] && a[2]) || a[4]);
+        let neg = b.not(xy_or_z);
+        assert_table(&b, neg, 6, &|a| !((a[0] && a[2]) || a[4]));
+        // Involution and De Morgan through hash-consing: equality is
+        // index equality.
+        assert_eq!(b.not(neg), xy_or_z);
+        let nx = b.not(x);
+        let ny = b.not(y);
+        let nx_or_ny = b.or(nx, ny);
+        assert_eq!(b.not(xy), nx_or_ny);
+    }
+
+    #[test]
+    fn hash_consing_makes_equality_structural() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(2);
+        let left = b.and(x, y);
+        let right = b.and(y, x);
+        assert_eq!(left, right);
+        let taut = {
+            let nx = b.not(x);
+            b.or(x, nx)
+        };
+        assert_eq!(taut, TRUE);
+        let contradiction = {
+            let nx = b.not(x);
+            b.and(x, nx)
+        };
+        assert_eq!(contradiction, FALSE);
+    }
+
+    #[test]
+    fn quantification_by_parity() {
+        let mut b = Bdd::new();
+        // f = x0 & x1' (pair 0 current, pair 0 next).
+        let x = b.var(0);
+        let xn = b.var(1);
+        let f = b.and(x, xn);
+        // ∃ odd: x0 remains.
+        assert_eq!(b.exists_parity(f, true), x);
+        // ∃ even: x1' remains.
+        assert_eq!(b.exists_parity(f, false), xn);
+        // Quantifying a variable not mentioned is the identity.
+        assert_eq!(b.exists_parity(x, true), x);
+    }
+
+    #[test]
+    fn prime_and_unprime_are_inverse_shifts() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(2);
+        let f = b.or(x, y);
+        let primed = b.prime(f);
+        let xn = b.var(1);
+        let yn = b.var(3);
+        let expected = b.or(xn, yn);
+        assert_eq!(primed, expected);
+        assert_eq!(b.unprime(primed), f);
+    }
+
+    #[test]
+    fn pair_identity_relates_twins() {
+        let mut b = Bdd::new();
+        let id = b.pair_identity(1);
+        assert_table(&b, id, 4, &|a| a[2] == a[3]);
+    }
+
+    #[test]
+    fn any_sat_and_cube_round_trip() {
+        let mut b = Bdd::new();
+        assert_eq!(b.any_sat(FALSE, 3), None);
+        assert_eq!(b.any_sat(TRUE, 3), Some(vec![false, false, false]));
+        let x = b.var(0);
+        let z = b.var(4);
+        let f = b.and(x, z);
+        let sat = b.any_sat(f, 3).unwrap();
+        assert_eq!(sat, vec![true, false, true]);
+        let cube = b.cube(&sat);
+        // The cube implies f and is satisfiable.
+        let nf = b.not(f);
+        assert_eq!(b.and(cube, nf), FALSE);
+        assert_ne!(cube, FALSE);
+    }
+}

@@ -1,0 +1,402 @@
+//! Encoding the model × ¬claim product as boolean transition relations.
+//!
+//! The symbolic checker never materializes the monitor's state graph.
+//! Instead it represents a *set* of product configurations as one BDD over
+//! the **even** (current-state) variables and each event's transition
+//! relation as a BDD over even + **odd** (next-state) variable pairs:
+//!
+//! * **System half** — the model NFA is compiled ([`CompiledNfa`]) and
+//!   restricted to its *live* states (forward-reachable ∧ co-reachable,
+//!   computed with word-parallel [`StateSet`] passes), then the surviving
+//!   states are renumbered compactly and binary-encoded in
+//!   `⌈log₂ L⌉` variable pairs. One step follows the ε-saturated move
+//!   `q → closure(t)` for `t` a symbol successor of `closure(q)`, so ε
+//!   transitions stay free exactly as in the explicit subset search.
+//! * **Monitor half** — the negated claim is decomposed into its
+//!   **obligation leaves**: the non-connective subformulas reachable by
+//!   closing `¬φ` under [`progress`] over every non-marker event. Each leaf
+//!   gets one variable pair; a monitor configuration is a set of
+//!   obligations, and holding obligation `f` after event `e` obliges the
+//!   (primed) structural translation of `progress(f, e)`. Marker events
+//!   leave every obligation unchanged (the monitor is blind to them). A
+//!   configuration accepts iff every held obligation accepts the empty
+//!   remainder. Soundness of the set representation is monotonicity:
+//!   formulas are in negation normal form, so extra obligations only
+//!   shrink the accepted language — and the exact-truth assignment always
+//!   exists, so no violation is lost.
+
+use crate::bdd::{Bdd, Ref, FALSE, TRUE};
+use shelley_ltlf::{accepts_empty, progress, Formula};
+use shelley_regular::{CompiledNfa, Nfa, StateSet, Symbol};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// The symbolic product: one BDD arena plus the relations the fixpoint
+/// search needs. Variable pair `p < system_bits` is bit `p` of the encoded
+/// live-state index; pair `system_bits + j` is obligation leaf `j`.
+pub(crate) struct Encoding {
+    pub(crate) bdd: Bdd,
+    /// Total variable pairs (system bits + obligation leaves).
+    pub(crate) npairs: usize,
+    /// Binary digits spent on the live system state index.
+    pub(crate) system_bits: usize,
+    /// Obligation-leaf variable pairs.
+    pub(crate) monitor_vars: usize,
+    /// Initial configurations, over even variables.
+    pub(crate) init: Ref,
+    /// Accepting (= violating) configurations, over even variables.
+    pub(crate) accept: Ref,
+    /// Per-event transition relations over even + odd variables. Events
+    /// with no live system move are omitted entirely.
+    pub(crate) trans: Vec<(Symbol, Ref)>,
+}
+
+impl Encoding {
+    /// Builds the product encoding of `model × bad` (with `bad = ¬claim`
+    /// already negated by the caller). Returns `None` when the model's
+    /// language is empty — no live states — so the claim trivially holds.
+    pub(crate) fn build(
+        model: &Nfa,
+        bad: &Formula,
+        markers: &BTreeSet<Symbol>,
+    ) -> Option<Encoding> {
+        let compiled = CompiledNfa::compile(model);
+        let symbols: Vec<Symbol> = compiled.alphabet().symbols().collect();
+
+        // Live-state restriction: reachable ∧ co-reachable, via the
+        // word-parallel StateSet block operations.
+        let mut live = forward_reachable(&compiled, &symbols);
+        live.intersect_with(&co_reachable(model, &compiled, &symbols));
+        if live.is_empty() {
+            return None;
+        }
+        let live_states: Vec<usize> = live.iter().collect();
+        let mut live_index = vec![usize::MAX; compiled.num_states()];
+        for (i, &q) in live_states.iter().enumerate() {
+            live_index[q] = i;
+        }
+        let system_bits = bits_for(live_states.len());
+
+        // Obligation leaves: close ¬φ under progression over non-marker
+        // events, decomposing every result through its And/Or spine.
+        let mut leaves: Vec<Formula> = Vec::new();
+        let mut leaf_index: BTreeMap<Formula, usize> = BTreeMap::new();
+        let mut pending = Vec::new();
+        decompose(bad, &mut |f| pending.push(f.clone()));
+        while let Some(f) = pending.pop() {
+            if leaf_index.contains_key(&f) {
+                continue;
+            }
+            leaf_index.insert(f.clone(), leaves.len());
+            leaves.push(f.clone());
+            for &e in &symbols {
+                if markers.contains(&e) {
+                    continue;
+                }
+                decompose(&progress(&f, e), &mut |g| pending.push(g.clone()));
+            }
+        }
+        let monitor_vars = leaves.len();
+        let npairs = system_bits + monitor_vars;
+
+        let mut bdd = Bdd::new();
+
+        // Monitor relations, shared across events where possible.
+        let translate = |bdd: &mut Bdd, f: &Formula, primed: bool| -> Ref {
+            translate_obligation(bdd, f, primed, system_bits, &leaf_index)
+        };
+        let marker_identity = {
+            let mut id = TRUE;
+            for j in 0..monitor_vars {
+                let pair = bdd.pair_identity(pair_var(system_bits + j));
+                id = bdd.and(id, pair);
+            }
+            id
+        };
+        let mut monitor_step: BTreeMap<usize, Ref> = BTreeMap::new();
+        for &e in &symbols {
+            if markers.contains(&e) {
+                continue;
+            }
+            let mut rel = TRUE;
+            for (j, f) in leaves.iter().enumerate() {
+                let held = bdd.nvar(2 * pair_var(system_bits + j));
+                let next = progress(f, e);
+                let obliged = translate(&mut bdd, &next, true);
+                let clause = bdd.or(held, obliged);
+                rel = bdd.and(rel, clause);
+            }
+            monitor_step.insert(e.index(), rel);
+        }
+        let init_mon = translate(&mut bdd, bad, false);
+        let accept_mon = {
+            let mut acc = TRUE;
+            for (j, f) in leaves.iter().enumerate() {
+                if !accepts_empty(f) {
+                    let dropped = bdd.nvar(2 * pair_var(system_bits + j));
+                    acc = bdd.and(acc, dropped);
+                }
+            }
+            acc
+        };
+
+        // System relations over the compact live indices.
+        let mut trans = Vec::new();
+        for &e in &symbols {
+            let mut rel = FALSE;
+            let mut moved = compiled.empty_set();
+            for (i, &q) in live_states.iter().enumerate() {
+                moved.clear();
+                for p in compiled.closure_of(q) {
+                    for &t in compiled.successors(p, e) {
+                        moved.union_with(compiled.closure_of(t as usize));
+                    }
+                }
+                moved.intersect_with(&live);
+                if moved.is_empty() {
+                    continue;
+                }
+                let src = state_cube(&mut bdd, i, system_bits, false);
+                let mut dsts = FALSE;
+                for q2 in &moved {
+                    let dst = state_cube(&mut bdd, live_index[q2], system_bits, true);
+                    dsts = bdd.or(dsts, dst);
+                }
+                let edge = bdd.and(src, dsts);
+                rel = bdd.or(rel, edge);
+            }
+            if rel == FALSE {
+                continue;
+            }
+            let mon = if markers.contains(&e) {
+                marker_identity
+            } else {
+                monitor_step[&e.index()]
+            };
+            let full = bdd.and(rel, mon);
+            if full != FALSE {
+                trans.push((e, full));
+            }
+        }
+
+        let mut init_sys = FALSE;
+        for q in &compiled.start_set() {
+            if live.contains(q) {
+                let cube = state_cube(&mut bdd, live_index[q], system_bits, false);
+                init_sys = bdd.or(init_sys, cube);
+            }
+        }
+        let init = bdd.and(init_sys, init_mon);
+
+        let mut accept_sys = FALSE;
+        for (i, &q) in live_states.iter().enumerate() {
+            if model.is_accepting(q) {
+                let cube = state_cube(&mut bdd, i, system_bits, false);
+                accept_sys = bdd.or(accept_sys, cube);
+            }
+        }
+        let accept = bdd.and(accept_sys, accept_mon);
+
+        Some(Encoding {
+            bdd,
+            npairs,
+            system_bits,
+            monitor_vars,
+            init,
+            accept,
+            trans,
+        })
+    }
+}
+
+/// Binary digits needed to address `n ≥ 1` states (zero for a single one).
+fn bits_for(n: usize) -> usize {
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+fn pair_var(pair: usize) -> u32 {
+    u32::try_from(pair).expect("variable pair overflow")
+}
+
+/// Walks the And/Or spine of a formula, yielding its non-connective leaves.
+/// Constants fold into the spine itself and produce no leaf.
+fn decompose(f: &Formula, out: &mut dyn FnMut(&Formula)) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::And(items) | Formula::Or(items) => {
+            for g in items {
+                decompose(g, out);
+            }
+        }
+        leaf => out(leaf),
+    }
+}
+
+/// The structural BDD of a formula over obligation-leaf variables: the
+/// And/Or spine becomes ∧/∨, every leaf its (possibly primed) variable.
+fn translate_obligation(
+    bdd: &mut Bdd,
+    f: &Formula,
+    primed: bool,
+    system_bits: usize,
+    leaf_index: &BTreeMap<Formula, usize>,
+) -> Ref {
+    match f {
+        Formula::True => TRUE,
+        Formula::False => FALSE,
+        Formula::And(items) => {
+            let mut r = TRUE;
+            for g in items {
+                let t = translate_obligation(bdd, g, primed, system_bits, leaf_index);
+                r = bdd.and(r, t);
+            }
+            r
+        }
+        Formula::Or(items) => {
+            let mut r = FALSE;
+            for g in items {
+                let t = translate_obligation(bdd, g, primed, system_bits, leaf_index);
+                r = bdd.or(r, t);
+            }
+            r
+        }
+        leaf => {
+            let j = leaf_index[leaf];
+            bdd.var(2 * pair_var(system_bits + j) + u32::from(primed))
+        }
+    }
+}
+
+/// The cube fixing the system bits to the binary encoding of live state
+/// index `i`, on the current (even) or next (odd) variables.
+fn state_cube(bdd: &mut Bdd, i: usize, system_bits: usize, primed: bool) -> Ref {
+    let mut r = TRUE;
+    for bit in (0..system_bits).rev() {
+        let var = 2 * pair_var(bit) + u32::from(primed);
+        r = if i & (1 << bit) != 0 {
+            bdd.mk(var, FALSE, r)
+        } else {
+            bdd.mk(var, r, FALSE)
+        };
+    }
+    r
+}
+
+/// Forward-reachable states of the compiled NFA (ε-closed throughout).
+fn forward_reachable(compiled: &CompiledNfa, symbols: &[Symbol]) -> StateSet {
+    let mut seen = compiled.start_set();
+    let mut frontier = seen.clone();
+    while !frontier.is_empty() {
+        let mut next = compiled.empty_set();
+        for q in &frontier {
+            for &e in symbols {
+                for &t in compiled.successors(q, e) {
+                    next.union_with(compiled.closure_of(t as usize));
+                }
+            }
+        }
+        next.difference_with(&seen);
+        seen.union_with(&next);
+        frontier = next;
+    }
+    seen
+}
+
+/// States from which an accepting state is reachable (through any mix of ε
+/// and symbol moves). Iterated to fixpoint; the NFA has no reverse CSR
+/// table, so this is a quadratic sweep — fine for encoding-time work.
+fn co_reachable(model: &Nfa, compiled: &CompiledNfa, symbols: &[Symbol]) -> StateSet {
+    let n = compiled.num_states();
+    let mut co = StateSet::new(n);
+    for q in 0..n {
+        if model.is_accepting(q) {
+            co.insert(q);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for q in 0..n {
+            if co.contains(q) {
+                continue;
+            }
+            let reaches = compiled.closure_of(q).intersects(&co)
+                || symbols.iter().any(|&e| {
+                    compiled
+                        .successors(q, e)
+                        .iter()
+                        .any(|&t| compiled.closure_of(t as usize).intersects(&co))
+                });
+            if reaches {
+                co.insert(q);
+                changed = true;
+            }
+        }
+        if !changed {
+            return co;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shelley_ltlf::parse_formula;
+    use shelley_regular::{parse_regex, Alphabet};
+    use std::sync::Arc;
+
+    fn model(re: &str, ab: &mut Alphabet) -> Nfa {
+        let r = parse_regex(re, ab).unwrap();
+        Nfa::from_regex(&r, Arc::new(ab.clone()))
+    }
+
+    #[test]
+    fn empty_language_has_no_encoding() {
+        let mut ab = Alphabet::new();
+        let claim = parse_formula("F a", &mut ab).unwrap();
+        let nfa = model("void", &mut ab);
+        assert!(Encoding::build(&nfa, &claim.negate(), &BTreeSet::new()).is_none());
+    }
+
+    #[test]
+    fn leaf_closure_is_finite_and_small() {
+        let mut ab = Alphabet::new();
+        // ¬(G !a) = F a: leaves {F a, nonempty-free progressions…} stay tiny.
+        let claim = parse_formula("G !a", &mut ab).unwrap();
+        let nfa = model("a + b", &mut ab);
+        let enc = Encoding::build(&nfa, &claim.negate(), &BTreeSet::new()).unwrap();
+        assert!(enc.monitor_vars <= 4, "leaves: {}", enc.monitor_vars);
+        assert!(enc.system_bits >= 1);
+        assert_eq!(enc.npairs, enc.system_bits + enc.monitor_vars);
+    }
+
+    #[test]
+    fn dead_states_are_pruned_from_the_encoding() {
+        use shelley_regular::Label;
+        let mut ab = Alphabet::new();
+        let claim = parse_formula("F a", &mut ab).unwrap();
+        let a = ab.lookup("a").unwrap();
+        let b = ab.intern("b");
+        // Hand-built NFA (the regex layer folds dead branches away): one
+        // accepting `a` edge plus a reachable but non-co-reachable chain of
+        // ten `b` states.
+        let mut builder = Nfa::builder(Arc::new(ab));
+        let start = builder.add_state();
+        builder.set_start(start);
+        let acc = builder.add_state();
+        builder.add_edge(start, Label::Sym(a), acc);
+        builder.mark_accepting(acc);
+        let mut prev = start;
+        for _ in 0..10 {
+            let next = builder.add_state();
+            builder.add_edge(prev, Label::Sym(b), next);
+            prev = next;
+        }
+        let nfa = builder.build();
+        let full = CompiledNfa::compile(&nfa).num_states();
+        assert_eq!(full, 12);
+        let enc = Encoding::build(&nfa, &claim.negate(), &BTreeSet::new()).unwrap();
+        // Only {start, acc} survive: one bit, far below the raw count.
+        assert_eq!(enc.system_bits, 1);
+        assert!(1 << enc.system_bits < full);
+    }
+}

@@ -1,7 +1,7 @@
 //! `langbench` — machine-readable summaries of the language-engine
 //! performance story.
 //!
-//! Two artifacts, written next to the workspace root:
+//! Three artifacts, written next to the workspace root:
 //!
 //! * `BENCH_lang.json` — the lazy-vs-eager separation: the `lang_views`
 //!   adversarial workload (claim `F a0 & ... & F a{n-1}` against the model
@@ -13,17 +13,23 @@
 //!   retained reference engine, plus Hopcroft-vs-Moore minimization. Each
 //!   row records size, wall-ns, states visited, and peak subset size so
 //!   later PRs can prove regressions or improvements against it.
+//! * `BENCH_sym.json` — the symbolic-vs-explicit claim-backend
+//!   separation: the same `∧ F aᵢ` claim family, but against the model
+//!   `Σⁿ`, whose reachable product frontier is genuinely exponential —
+//!   the explicit joint search must enumerate it while the BDD engine
+//!   carries each breadth-first ring as one diagram.
 //!
 //! The JSON is hand-rolled — the workspace is offline and carries no serde.
 //!
-//! Run with `cargo run -p langbench --release [LANG_OUT [PERF_OUT]]`.
+//! Run with `cargo run -p langbench --release [LANG_OUT [PERF_OUT [SYM_OUT]]]`.
 
 use shelley_bench::adversarial_claim;
 use shelley_core::system::build_systems;
 use shelley_core::{analyze_class, Checker};
-use shelley_ltlf::{check_claim, to_dfa, MonitorView};
+use shelley_ltlf::{check_claim, to_dfa, Formula, MonitorView};
 use shelley_regular::lang::{self, Complement, Lang, NfaView, NfaViewRef};
 use shelley_regular::{ops, Alphabet, Dfa, Nfa, Regex, Symbol};
+use shelley_symbolic::check_claim_counted;
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -117,6 +123,205 @@ fn lang_report() -> (String, bool) {
     );
     json.push_str("}\n");
     (json, gate_states && gate_time)
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_sym.json: symbolic BDD backend vs explicit joint search.
+
+/// `∧_{i<n} F aᵢ` against the model `Σⁿ` over an `n`-symbol alphabet.
+///
+/// Unlike the `lang_views` family (whose model `a0*` keeps the reachable
+/// product linear), every length-`k` prefix here reaches a distinct
+/// monitor residual per *set* of symbols seen so far — the product
+/// frontier really is exponential, and the explicit engine must enumerate
+/// it state by state before the first accepting node appears at depth
+/// `n`. The claim is violated (e.g. `a0ⁿ` never sees `a1`), and every
+/// accepted word has length `n`, so shortest witnesses have length `n`
+/// on every backend.
+fn many_state_family(n: usize) -> (Arc<Alphabet>, Formula, Nfa) {
+    let mut ab = Alphabet::new();
+    let syms: Vec<_> = (0..n).map(|i| ab.intern(&format!("a{i}"))).collect();
+    let ab = Arc::new(ab);
+    let claim = syms
+        .iter()
+        .map(|&s| Formula::eventually(Formula::atom(s)))
+        .reduce(Formula::and)
+        .expect("n >= 1");
+    let sigma = syms
+        .iter()
+        .map(|&s| Regex::sym(s))
+        .reduce(Regex::union)
+        .expect("n >= 1");
+    let mut re = sigma.clone();
+    for _ in 1..n {
+        re = Regex::concat(re, sigma.clone());
+    }
+    (ab.clone(), claim, Nfa::from_regex(&re, ab))
+}
+
+/// What a budgeted explicit product search produced.
+enum BudgetedSearch {
+    /// A shortest violating word of this length was found.
+    Decided { witness_len: usize },
+    /// The budget ran out with no verdict.
+    Aborted,
+}
+
+/// The explicit product search — model subsets × progression-monitor
+/// residuals, breadth-first — capped at `budget` discovered product
+/// states. Returns the verdict (for this family, always a violation when
+/// it finishes) plus the number of states discovered.
+fn explicit_budgeted(
+    model: &Nfa,
+    bad: &Formula,
+    ab: Arc<Alphabet>,
+    budget: usize,
+) -> (BudgetedSearch, usize) {
+    let view = NfaView::new(model);
+    let monitor = MonitorView::new(bad, ab.clone());
+    let nsyms = ab.len();
+    type Node<'a> = (<NfaView<'a> as Lang>::State, <MonitorView as Lang>::State);
+    let start: Node = (view.start(), monitor.start());
+    if view.is_accepting(&start.0) && monitor.is_accepting(&start.1) {
+        return (BudgetedSearch::Decided { witness_len: 0 }, 1);
+    }
+    let mut seen: HashSet<Node> = HashSet::from([start.clone()]);
+    let mut queue: VecDeque<(Node, usize)> = VecDeque::from([(start, 0)]);
+    while let Some((node, depth)) = queue.pop_front() {
+        for s in 0..nsyms {
+            let sym = Symbol::from_index(s);
+            let next = (view.step(&node.0, sym), monitor.step(&node.1, sym));
+            if seen.contains(&next) {
+                continue;
+            }
+            if view.is_accepting(&next.0) && monitor.is_accepting(&next.1) {
+                return (
+                    BudgetedSearch::Decided {
+                        witness_len: depth + 1,
+                    },
+                    seen.len() + 1,
+                );
+            }
+            seen.insert(next.clone());
+            if seen.len() >= budget {
+                return (BudgetedSearch::Aborted, seen.len());
+            }
+            queue.push_back((next, depth + 1));
+        }
+    }
+    // The whole product was exhausted without an accepting node: the
+    // claim holds. The family never takes this branch.
+    (BudgetedSearch::Aborted, seen.len())
+}
+
+/// One measured size where both engines run to completion.
+struct SymRow {
+    n: usize,
+    product_states: usize,
+    bdd_nodes: usize,
+    explicit_ns: u128,
+    symbolic_ns: u128,
+}
+
+/// The state budget the n=16 showcase instance must exceed explicitly.
+const SYM_BUDGET: usize = 100_000;
+
+fn measure_sym(n: usize) -> SymRow {
+    let (ab, claim, model) = many_state_family(n);
+    let markers = BTreeSet::new();
+    let bad = claim.negate();
+
+    let (decided, product_states) = explicit_budgeted(&model, &bad, ab.clone(), SYM_BUDGET * 100);
+    assert!(
+        matches!(decided, BudgetedSearch::Decided { witness_len } if witness_len == n),
+        "family claim must be violated at witness length n"
+    );
+    let search = check_claim_counted(&model, &claim, &markers);
+    assert_eq!(search.layers, n + 1, "one breadth-first ring per position");
+    let bdd_nodes = search.bdd_nodes;
+
+    let reps = if n >= 10 { 3 } else { 10 };
+    let explicit_ns = time(reps, || {
+        assert!(!check_claim(&model, &claim, &markers).holds());
+    });
+    let symbolic_ns = time(reps, || {
+        assert!(!shelley_symbolic::check_claim(&model, &claim, &markers).holds());
+    });
+
+    SymRow {
+        n,
+        product_states,
+        bdd_nodes,
+        explicit_ns,
+        symbolic_ns,
+    }
+}
+
+fn sym_report() -> (String, bool) {
+    let rows: Vec<SymRow> = [4, 8, 10, 12].into_iter().map(measure_sym).collect();
+
+    // The showcase instance: at n = 16 the explicit engine blows through
+    // the state budget undecided, while the symbolic engine returns a
+    // shortest witness.
+    const SHOWCASE_N: usize = 16;
+    let (ab, claim, model) = many_state_family(SHOWCASE_N);
+    let markers = BTreeSet::new();
+    let bad = claim.negate();
+    let t = Instant::now();
+    let (verdict, explicit_states) = explicit_budgeted(&model, &bad, ab, SYM_BUDGET);
+    let explicit_aborted = matches!(verdict, BudgetedSearch::Aborted);
+    let explicit_abort_ns = t.elapsed().as_nanos();
+    let t = Instant::now();
+    let search = check_claim_counted(&model, &claim, &markers);
+    let symbolic_ns = t.elapsed().as_nanos();
+    let symbolic_witness_len = match &search.outcome {
+        shelley_ltlf::ClaimOutcome::Violated { counterexample } => Some(counterexample.len()),
+        shelley_ltlf::ClaimOutcome::Holds => None,
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"symbolic_backend\",\n");
+    json.push_str(
+        "  \"workload\": \"claim F a0 & ... & F a{n-1} vs model Sigma^n (exponential product frontier)\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.explicit_ns as f64 / r.symbolic_ns.max(1) as f64;
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"explicit_product_states\": {}, \"bdd_nodes\": {}, \
+             \"explicit_ns\": {}, \"symbolic_ns\": {}, \"speedup\": {:.2}}}",
+            r.n, r.product_states, r.bdd_nodes, r.explicit_ns, r.symbolic_ns, speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"showcase\": {{\"n\": {SHOWCASE_N}, \"state_budget\": {SYM_BUDGET}, \
+         \"explicit_aborted\": {explicit_aborted}, \"explicit_states_at_abort\": {explicit_states}, \
+         \"explicit_abort_ns\": {explicit_abort_ns}, \"symbolic_witness_len\": {}, \
+         \"symbolic_bdd_nodes\": {}, \"symbolic_ns\": {symbolic_ns}}},",
+        symbolic_witness_len.map_or(-1i64, |l| l as i64),
+        search.bdd_nodes
+    );
+
+    // The acceptance gates: the symbolic engine decides the showcase
+    // instance the explicit engine cannot touch within the budget, and is
+    // at least break-even at n ≥ 12.
+    let gate_showcase = explicit_aborted && symbolic_witness_len == Some(SHOWCASE_N);
+    let gate_speed = rows
+        .iter()
+        .filter(|r| r.n >= 12)
+        .all(|r| r.explicit_ns >= r.symbolic_ns);
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"symbolic_decides_past_explicit_budget\": {gate_showcase}, \
+         \"symbolic_at_least_1x_at_n12\": {gate_speed}}}"
+    );
+    json.push_str("}\n");
+    (json, gate_showcase && gate_speed)
 }
 
 // ---------------------------------------------------------------------------
@@ -520,6 +725,9 @@ fn main() {
     let perf_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_perf.json".to_owned());
+    let sym_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_sym.json".to_owned());
 
     let (lang_json, lang_gate) = lang_report();
     write_or_die(&lang_path, &lang_json);
@@ -529,6 +737,10 @@ fn main() {
     write_or_die(&perf_path, &perf_json);
     print!("{perf_json}");
 
+    let (sym_json, sym_gate) = sym_report();
+    write_or_die(&sym_path, &sym_json);
+    print!("{sym_json}");
+
     assert!(
         lang_gate,
         "lazy-vs-eager separation gate failed (see {lang_path})"
@@ -536,5 +748,9 @@ fn main() {
     assert!(
         perf_gate,
         "bitset-vs-reference 2x gate failed (see {perf_path})"
+    );
+    assert!(
+        sym_gate,
+        "symbolic-backend separation gate failed (see {sym_path})"
     );
 }
