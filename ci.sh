@@ -27,13 +27,15 @@ echo "==> differential backend suite (explicit vs symbolic vs evaluated-SMV)"
 # equal witness lengths) on 1800 random system/claim pairs.
 cargo test -p shelley-symbolic --test differential -q
 
-echo "==> langbench gates (lazy-vs-eager, bitset 2x, hopcroft >= moore, dataflow skip rate, symbolic backend)"
+echo "==> langbench gates (lazy-vs-eager, bitset 2x, antichain 2x, hopcroft >= moore, dataflow skip rate, symbolic backend)"
 # Writes BENCH_lang.json / BENCH_perf.json / BENCH_sym.json and asserts
 # every gate in them: the lazy engine separation, the bitset >= 2x wins at
-# n >= 10, Hopcroft never losing to the Moore baseline at n >= 10, the
-# typestate fast path proving a positive share of the synthetic 100-class
-# workspace, and the symbolic backend deciding the 2^n-frontier claim
-# family past the explicit engine's 100k-state budget (>= 1x at n >= 12).
+# n >= 10, the antichain inclusion engine beating the classic exhaustive
+# search >= 2x at n >= 10, Hopcroft never losing to the Moore baseline at
+# n >= 10, the typestate fast path proving a positive share of the
+# synthetic 100-class workspace, and the symbolic backend deciding the
+# 2^n-frontier claim family past the explicit engine's 100k-state budget
+# (>= 1x at n >= 12).
 cargo run -p langbench --release -q -- BENCH_lang.json BENCH_perf.json BENCH_sym.json > /dev/null
 
 echo "==> servebench gate (warm restart >= 2x cold on the 1k-class workspace)"

@@ -115,5 +115,60 @@ fn bench_state_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lang_views, bench_state_engine);
+/// Antichain-pruned inclusion vs the classic exhaustive joint search on
+/// the `Σ*·a·Σ^(n-1)` spec family with an *included* model: the classic
+/// engine must enumerate the exponential reachable product while the
+/// antichain keeps an O(n) frontier. `devtools/langbench` sweeps `n` and
+/// gates ≥ 2× at n ≥ 10 into `BENCH_perf.json`; here we pin the frontier
+/// separation once and let Criterion time the n = 10 point.
+fn bench_inclusion_engine(c: &mut Criterion) {
+    use shelley_regular::antichain;
+
+    const EXP_N: usize = 10;
+    let (ab, spec) = exponential_nfa(EXP_N);
+
+    let a = Symbol::from_index(0);
+    let b = Symbol::from_index(1);
+    let sigma = Regex::union(Regex::sym(a), Regex::sym(b));
+    let mut model_re = Regex::sym(a);
+    for _ in 1..EXP_N {
+        model_re = Regex::concat(model_re, sigma.clone());
+    }
+    let model = Nfa::from_regex(&model_re, ab);
+    let markers = BTreeSet::new();
+
+    // Both engines agree the model conforms, and the antichain's frontier
+    // stays far below the classic engine's visited product region.
+    let (verdict, stats) =
+        antichain::projected_subset_counted(&model, &NfaView::new(&spec), &markers);
+    assert!(verdict.is_ok());
+    let classic_visited = ops::shortest_joint_word_counted(
+        &model,
+        &lang::Complement::new(NfaView::new(&spec)),
+        &markers,
+    )
+    .visited;
+    assert!(
+        stats.frontier * 4 < classic_visited,
+        "antichain frontier {} vs classic visited {classic_visited}",
+        stats.frontier
+    );
+
+    let mut group = c.benchmark_group("inclusion_engine");
+    group.sample_size(10);
+    group.bench_function("antichain", |bench| {
+        bench.iter(|| antichain::projected_subset(&model, &NfaView::new(&spec), &markers).is_ok())
+    });
+    group.bench_function("classic", |bench| {
+        bench.iter(|| ops::projected_subset(&model, &NfaView::new(&spec), &markers).is_ok())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lang_views,
+    bench_state_engine,
+    bench_inclusion_engine
+);
 criterion_main!(benches);

@@ -69,6 +69,7 @@ const USAGE: &str = "usage:
       [--backend <name>]
       (JSON protocol on stdin/stdout, or many clients on the socket)
   shelleyc connect <socket> [file.py ...] [--shutdown] [--recover] [--backend <name>]
+      [--stats] [--format text|json]
   shelleyc diagram <file.py> <Class>
   shelleyc deps <file.py> <Class>
   shelleyc integration <file.py> <Class>
@@ -107,6 +108,7 @@ struct Options {
     min_extract: Option<f64>,
     min_verify: Option<f64>,
     backend: Backend,
+    stats: bool,
 }
 
 impl Default for Options {
@@ -124,6 +126,7 @@ impl Default for Options {
             min_extract: None,
             min_verify: None,
             backend: Backend::Auto,
+            stats: false,
         }
     }
 }
@@ -270,6 +273,14 @@ const FLAGS: &[Flag] = &[
         value: Some("percentage"),
         apply: |opts, flag, value| {
             opts.min_verify = Some(parse_percentage(flag, value)?);
+            Ok(())
+        },
+    },
+    Flag {
+        names: &["--stats"],
+        value: None,
+        apply: |opts, _, _| {
+            opts.stats = true;
             Ok(())
         },
     },
@@ -888,6 +899,27 @@ fn run_connect(args: &[String], opts: &Options) -> Result<String, CliError> {
         }
         summary.passed
     };
+    if opts.stats {
+        let (totals, last_round) = client.stats().map_err(fail)?;
+        match opts.format {
+            Format::Json => {
+                // The wire structs verbatim — the same serde surface the
+                // daemon's stats reply uses.
+                out.push_str(&format!(
+                    "{{\"totals\":{},\"last_round\":{}}}\n",
+                    serde::json::to_string(&totals),
+                    serde::json::to_string(&last_round),
+                ));
+            }
+            _ => {
+                out.push_str(&format!("# totals: {}\n", totals.render()));
+                out.push_str(&format!(
+                    "# inclusion engine: {} antichain pairs kept, {} pruned\n",
+                    totals.antichain_frontier, totals.antichain_pruned
+                ));
+            }
+        }
+    }
     if opts.shutdown {
         client.shutdown().map_err(fail)?;
     }

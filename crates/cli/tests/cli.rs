@@ -256,6 +256,62 @@ fn serve_and_connect_match_check_and_shut_down_cleanly() {
     assert!(cache.exists(), "shutdown persisted the verify cache");
 }
 
+/// `connect --stats` surfaces the daemon's workspace counters, including
+/// the antichain inclusion-engine frontier/pruned totals, in both the
+/// text and JSON renderings.
+#[test]
+fn connect_stats_reports_antichain_counters() {
+    let dir = std::env::temp_dir().join(format!("shelleyc-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("daemon.sock");
+    // A conforming class: the check passes, so every `connect` exits 0.
+    let path = write_temp(
+        "stats.py",
+        "@sys\nclass Led:\n    @op_initial\n    def on(self):\n        \
+         return [\"off\"]\n\n    @op_final\n    def off(self):\n        \
+         return [\"on\"]\n",
+    );
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_shelleyc"))
+        .args(["serve", "--socket", socket.to_str().unwrap()])
+        .spawn()
+        .expect("binary runs");
+    while !socket.exists() {
+        std::thread::yield_now();
+    }
+
+    let (text, _, code) = shelleyc(&[
+        "connect",
+        socket.to_str().unwrap(),
+        path.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(text.contains("# totals:"), "text stats header: {text}");
+    assert!(
+        text.contains("# inclusion engine:"),
+        "antichain line: {text}"
+    );
+
+    let (json, _, code) = shelleyc(&[
+        "connect",
+        socket.to_str().unwrap(),
+        "--stats",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(json.contains("\"totals\":"), "json stats: {json}");
+    assert!(
+        json.contains("\"antichain_frontier\""),
+        "antichain counters in json stats: {json}"
+    );
+
+    let (_, _, code) = shelleyc(&["connect", socket.to_str().unwrap(), "--shutdown"]);
+    assert_eq!(code, Some(0));
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+}
+
 #[test]
 fn diagram_outputs_dot() {
     let path = write_temp("paper2.py", PAPER);
@@ -645,6 +701,7 @@ fn usage_string_agrees_with_the_flag_table() {
         "--min-parse",
         "--min-extract",
         "--min-verify",
+        "--stats",
         "--backend",
     ];
     for flag in flags {

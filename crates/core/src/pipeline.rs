@@ -11,7 +11,7 @@ use crate::integration::{build_integration, Integration};
 use crate::lint::{run_lints, LintConfig, LintLevel};
 use crate::system::{build_systems, System, SystemSet};
 use crate::verify::claims::{check_claims, ClaimViolation};
-use crate::verify::usage::{check_usage, UsageViolation};
+use crate::verify::usage::{check_usage_counted, UsageViolation};
 use micropython_parser::ast::{ClassDef, Module};
 use micropython_parser::SourceFile;
 use std::collections::BTreeSet;
@@ -140,10 +140,16 @@ pub struct SystemVerdict {
     /// Subsystem fields whose inclusion check was skipped because the
     /// typestate analysis already proved it passes (the fast path).
     pub fast_path_skips: usize,
+    /// Pairs the antichain inclusion engine kept on its frontier across
+    /// this class's usage checks (see [`shelley_regular::antichain`]).
+    pub antichain_frontier: u64,
+    /// Frontier candidates the antichain engine discarded as ⊆-subsumed.
+    pub antichain_pruned: u64,
 }
 
 /// The subsystem fields of `system` the typestate analysis proves
-/// protocol-conforming — [`check_usage`] may skip them.
+/// protocol-conforming — [`check_usage`](crate::verify::usage::check_usage)
+/// may skip them.
 ///
 /// `class` is the system's source definition (`None` short-circuits to an
 /// empty set, disabling the fast path).
@@ -183,7 +189,10 @@ pub fn verify_system(
     }
     let integration = system.is_composite().then(|| build_integration(system));
     if let Some(ref integ) = integration {
-        if let Err(v) = check_usage(system, systems, integ, proven) {
+        let (checked, search) = check_usage_counted(system, systems, integ, proven);
+        verdict.antichain_frontier = search.frontier as u64;
+        verdict.antichain_pruned = search.pruned as u64;
+        if let Err(v) = checked {
             verdict.diagnostics.push(
                 Diagnostic::error(
                     codes::INVALID_SUBSYSTEM_USAGE,

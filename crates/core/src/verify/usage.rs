@@ -15,7 +15,8 @@
 use crate::integration::Integration;
 use crate::spec::{spec_automaton, ClassSpec};
 use crate::system::{Subsystem, System, SystemSet};
-use shelley_regular::{ops, Symbol, Word};
+use shelley_regular::antichain::{self, InclusionStats};
+use shelley_regular::{ops, Dfa, Symbol, Word};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One subsystem's explanation of why a trace is invalid.
@@ -114,8 +115,32 @@ pub fn check_usage(
     integration: &Integration,
     proven: &BTreeSet<String>,
 ) -> Result<(), UsageViolation> {
+    check_usage_counted(system, systems, integration, proven).0
+}
+
+/// [`check_usage`] plus the antichain inclusion-engine counters summed
+/// over every subsystem checked.
+///
+/// Each inclusion runs on the antichain engine
+/// ([`antichain::projected_subset_counted`]): the search never expands a
+/// spec macrostate when a ⊆-smaller one was kept at the same or smaller
+/// distance, which is what keeps batch verification from paying full
+/// determinization per subsystem. When a violation is found, the classic
+/// engine ([`ops::projected_subset`]) re-derives the witness: it is the
+/// differential oracle (debug builds assert the verdicts and witness
+/// lengths agree) and its shortlex-least word keeps the reported
+/// counterexamples byte-identical to the paper's. The oracle only ever
+/// runs on violating (small, already-diagnosed) instances — the hot path
+/// of conforming code is antichain-only.
+pub fn check_usage_counted(
+    system: &System,
+    systems: &SystemSet,
+    integration: &Integration,
+    proven: &BTreeSet<String>,
+) -> (Result<(), UsageViolation>, InclusionStats) {
+    let mut search = InclusionStats::default();
     let Some(info) = system.composite() else {
-        return Ok(());
+        return (Ok(()), search);
     };
     let alphabet = integration.nfa.alphabet().clone();
 
@@ -130,7 +155,8 @@ pub fn check_usage(
         let spec = &sub_system.spec;
         // The spec automaton of this instance over the global alphabet,
         // driven as a lazy view: the inclusion check below determinizes
-        // only the spec subsets the integration language actually reaches.
+        // only the spec subsets the integration language actually reaches,
+        // and the antichain prunes the ⊆-subsumed ones among those.
         let auto = spec_automaton(spec, Some(&sub.field), alphabet.clone());
         // Everything that is not an event of this subsystem is invisible.
         let sub_events: BTreeSet<Symbol> = spec
@@ -142,7 +168,17 @@ pub fn check_usage(
             .symbols()
             .filter(|s| !sub_events.contains(s))
             .collect();
-        if let Err(word) = ops::projected_subset(&integration.nfa, &auto.view(), &invisible) {
+        let view = auto.view();
+        let (included, stats) =
+            antichain::projected_subset_counted(&integration.nfa, &view, &invisible);
+        antichain::absorb_stats(&mut search, stats);
+        if let Err(pruned_word) = included {
+            // Canonical witness from the classic oracle (shortlex-least);
+            // the antichain word is length-equal but may spell a different
+            // violation of the same length.
+            let word = ops::projected_subset(&integration.nfa, &view, &invisible)
+                .expect_err("antichain found a violation the classic engine must confirm");
+            debug_assert_eq!(pruned_word.len(), word.len());
             let better = match &best {
                 None => true,
                 Some((w, _, _)) => word.len() < w.len(),
@@ -154,27 +190,62 @@ pub fn check_usage(
     }
 
     let Some((word, _, _)) = &best else {
-        return Ok(());
+        return (Ok(()), search);
     };
 
     // Explain the counterexample for every subsystem whose projection is
-    // invalid (the paper lists "Subsystems errors" plural).
+    // invalid (the paper lists "Subsystems errors" plural). The simulation
+    // artifacts (unqualified alphabet + materialized spec DFA + dead-state
+    // classification) are built once per distinct class and shared across
+    // the error loop.
+    let mut sims: BTreeMap<&str, SpecSim> = BTreeMap::new();
     let mut subsystem_errors = Vec::new();
     for sub in &info.subsystems {
         let Some(sub_system) = systems.get(&sub.class_name) else {
             continue;
         };
-        if let Some(err) = explain_projection(word, sub, &sub_system.spec, integration) {
+        let sim = sims
+            .entry(sub.class_name.as_str())
+            .or_insert_with(|| SpecSim::new(&sub_system.spec));
+        if let Some(err) = explain_projection(word, sub, &sub_system.spec, integration, sim) {
             subsystem_errors.push(err);
         }
     }
 
     let counterexample_text = alphabet.render_word(word);
-    Err(UsageViolation {
-        counterexample: word.clone(),
-        counterexample_text,
-        subsystem_errors,
-    })
+    (
+        Err(UsageViolation {
+            counterexample: word.clone(),
+            counterexample_text,
+            subsystem_errors,
+        }),
+        search,
+    )
+}
+
+/// The per-class simulation artifacts [`explain_projection`] walks: the
+/// unqualified spec alphabet, the materialized spec DFA, and its dead-state
+/// classification. Built once per distinct subsystem class and reused
+/// across the error loop — multiple fields of the same class (and multiple
+/// errors of one violation) share one materialization.
+struct SpecSim {
+    ab: shelley_regular::Alphabet,
+    dfa: Dfa,
+    dead: Vec<bool>,
+}
+
+impl SpecSim {
+    fn new(spec: &ClassSpec) -> SpecSim {
+        // Dead-state classification needs the whole (tiny, per-class)
+        // automaton, so this diagnostic-only path materializes the spec
+        // view.
+        let mut ab = shelley_regular::Alphabet::new();
+        crate::spec::intern_spec_events(spec, None, &mut ab);
+        let auto = spec_automaton(spec, None, std::sync::Arc::new(ab.clone()));
+        let dfa = auto.materialize();
+        let dead = dfa.dead_states();
+        SpecSim { ab, dfa, dead }
+    }
 }
 
 /// Walks `x`'s projection of `word` through `spec` and explains the first
@@ -184,6 +255,7 @@ fn explain_projection(
     sub: &Subsystem,
     spec: &ClassSpec,
     integration: &Integration,
+    sim: &SpecSim,
 ) -> Option<SubsystemError> {
     let alphabet = integration.nfa.alphabet();
     // Map each event symbol of this subsystem to its operation name.
@@ -199,14 +271,9 @@ fn explain_projection(
     }
     let trace: Vec<String> = projected.iter().map(|s| (*s).clone()).collect();
 
-    // Simulate the unqualified spec automaton step by step. Dead-state
-    // classification needs the whole (tiny, per-class) automaton, so this
-    // diagnostic-only path materializes the spec view.
-    let mut ab = shelley_regular::Alphabet::new();
-    crate::spec::intern_spec_events(spec, None, &mut ab);
-    let auto = spec_automaton(spec, None, std::sync::Arc::new(ab.clone()));
-    let dfa = auto.materialize();
-    let dead = dfa.dead_states();
+    // Simulate the unqualified spec automaton step by step over the
+    // prebuilt per-class artifacts.
+    let SpecSim { ab, dfa, dead } = sim;
     let mut state = dfa.start();
     for (i, op_name) in trace.iter().enumerate() {
         let sym = ab.lookup(op_name).expect("spec op interned");

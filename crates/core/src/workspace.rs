@@ -107,6 +107,13 @@ pub struct WorkspaceStats {
     /// Subsystem inclusion checks skipped because the typestate analysis
     /// proved them (fast path), across freshly verified classes.
     pub fast_path_proven: u64,
+    /// Pairs the antichain inclusion engine kept on its frontier across
+    /// freshly verified classes' usage checks
+    /// (see [`shelley_regular::antichain`]).
+    pub antichain_frontier: u64,
+    /// Frontier candidates the antichain engine discarded as ⊆-subsumed —
+    /// spec macrostates batch verification never had to expand.
+    pub antichain_pruned: u64,
     /// [`Workspace::class_stats`] calls that computed statistics afresh.
     pub stats_computed: u64,
     /// [`Workspace::class_stats`] calls served from the stats cache.
@@ -132,6 +139,8 @@ impl WorkspaceStats {
         self.verify_cache_hits += round.verify_cache_hits;
         self.verify_disk_hits += round.verify_disk_hits;
         self.fast_path_proven += round.fast_path_proven;
+        self.antichain_frontier += round.antichain_frontier;
+        self.antichain_pruned += round.antichain_pruned;
         self.stats_computed += round.stats_computed;
         self.stats_cache_hits += round.stats_cache_hits;
         self.parse_time += round.parse_time;
@@ -574,6 +583,8 @@ impl Workspace {
         });
         for (&i, (entry, from_disk)) in missing.iter().zip(fresh) {
             round.fast_path_proven += entry.verdict.fast_path_skips as u64;
+            round.antichain_frontier += entry.verdict.antichain_frontier;
+            round.antichain_pruned += entry.verdict.antichain_pruned;
             round.verify_disk_hits += u64::from(from_disk);
             self.verify_cache
                 .insert((units[i].fingerprint, dep_fingerprints[i]), entry.clone());
@@ -893,6 +904,10 @@ fn run_verify_restored(
             usage_violations: saved.usage_violations.clone(),
             claim_violations: saved.claim_violations.clone(),
             fast_path_skips: saved.fast_path_skips,
+            // Restored rounds run no inclusion search, so they report no
+            // antichain work — the counters measure what this round did.
+            antichain_frontier: 0,
+            antichain_pruned: 0,
         },
         resolve_diags,
         lint_diags: saved.lint_diags.clone(),

@@ -24,9 +24,10 @@ fn arb_stats() -> impl Strategy<Value = WorkspaceStats> {
             0u64..u64::MAX,
         ),
         (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        (0u64..u64::MAX, 0u64..u64::MAX),
         proptest::collection::vec(0u32..u32::MAX, 4),
     )
-        .prop_map(|(a, b, c, nanos)| WorkspaceStats {
+        .prop_map(|(a, b, c, d, nanos)| WorkspaceStats {
             rounds: a.0,
             files_parsed: a.1,
             parse_cache_hits: a.2,
@@ -36,6 +37,8 @@ fn arb_stats() -> impl Strategy<Value = WorkspaceStats> {
             verify_cache_hits: b.2,
             verify_disk_hits: b.3,
             fast_path_proven: c.0,
+            antichain_frontier: d.0,
+            antichain_pruned: d.1,
             stats_computed: c.1,
             stats_cache_hits: c.2,
             parse_time: Duration::from_nanos(u64::from(nanos[0])),

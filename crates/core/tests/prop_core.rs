@@ -237,6 +237,26 @@ proptest! {
             &invisible,
         );
         prop_assert_eq!(&lazy, &reference, "bitset vs reference on:\n{}", src);
+        // Fourth engine: the antichain-pruned joint search that the
+        // verification hot path actually runs. Same verdict; on a
+        // violation, a witness exactly as short as the classic one that
+        // replays against the integration automaton.
+        let pruned =
+            shelley_regular::antichain::projected_subset(&integration.nfa, &auto.view(), &invisible);
+        match (&lazy, &pruned) {
+            (Ok(()), Ok(())) => {}
+            (Err(c), Err(p)) => {
+                prop_assert_eq!(c.len(), p.len(), "witness lengths diverge on:\n{}", src);
+                prop_assert!(
+                    integration.nfa.accepts(p),
+                    "antichain witness does not replay on:\n{}",
+                    src
+                );
+            }
+            (c, p) => {
+                prop_assert!(false, "classic vs antichain: {:?} vs {:?} on:\n{}", c, p, src);
+            }
+        }
         // The pipeline's own verdict matches the dual-engine result.
         prop_assert_eq!(
             checked.report.usage_violations.is_empty(),

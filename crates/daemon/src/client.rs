@@ -4,7 +4,7 @@
 
 use serde::json;
 use shelley_core::api::CheckSummary;
-use shelley_core::{Backend, Method, Reply, ReplyBody, Request, PROTOCOL_VERSION};
+use shelley_core::{Backend, Method, Reply, ReplyBody, Request, WorkspaceStats, PROTOCOL_VERSION};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -109,6 +109,16 @@ impl<R: BufRead, W: Write> Client<R, W> {
             Some(ReplyBody::Check { summary }) => Ok(summary),
             Some(body) => Err(reply_error(&[body])),
             None => Err(protocol_error("empty reply to check")),
+        }
+    }
+
+    /// Fetches the daemon's workspace statistics: lifetime totals and the
+    /// most recent round, antichain inclusion-engine counters included.
+    pub fn stats(&mut self) -> io::Result<(WorkspaceStats, WorkspaceStats)> {
+        match self.call(Method::Stats)?.pop() {
+            Some(ReplyBody::Stats { totals, last_round }) => Ok((totals, last_round)),
+            Some(body) => Err(reply_error(&[body])),
+            None => Err(protocol_error("empty reply to stats")),
         }
     }
 

@@ -1,0 +1,136 @@
+//! Flat transition tables backing [`Dfa`](crate::Dfa) hot operations.
+//!
+//! A [`DenseDfa`] packs the transition function into one contiguous
+//! `states × symbols` array of `u32` targets plus a [`StateSet`] accepting
+//! bitset. [`Dfa`](crate::Dfa) builds one at every construction boundary
+//! (subset construction, `from_parts` — and therefore minimization — and
+//! products) and routes its stepping, BFS searches, and dead-state analysis
+//! through it: one multiply-add and one cache line per step instead of a
+//! nested-`Vec` double indirection. The nested table stays on the `Dfa` as
+//! the reference representation; the differential suite pins the two
+//! byte-identical.
+
+use crate::nfa::StateId;
+use crate::stateset::StateSet;
+use crate::symbol::Symbol;
+
+/// A dense row-major transition table with an accepting bitset.
+///
+/// Construction-only invariants (`Dfa` validates before building): every
+/// target is in range and every row has exactly `num_symbols` entries, so
+/// lookups are plain arithmetic.
+#[derive(Debug, Clone)]
+pub struct DenseDfa {
+    nsyms: usize,
+    nstates: usize,
+    start: u32,
+    /// `table[q * nsyms + s]` is the successor of `q` on symbol index `s`.
+    table: Box<[u32]>,
+    accepting: StateSet,
+}
+
+impl DenseDfa {
+    /// Flattens a validated nested transition table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is shorter than `nsyms`, if `accepting` is shorter
+    /// than the table, or if a state id exceeds `u32`.
+    pub fn from_table(
+        nsyms: usize,
+        table: &[Vec<StateId>],
+        start: StateId,
+        accepting: &[bool],
+    ) -> DenseDfa {
+        let nstates = table.len();
+        let mut flat = Vec::with_capacity(nstates * nsyms);
+        for row in table {
+            for &dst in &row[..nsyms] {
+                flat.push(u32::try_from(dst).expect("DFA state id exceeds u32"));
+            }
+        }
+        let mut acc = StateSet::new(nstates);
+        for (q, &is_acc) in accepting[..nstates].iter().enumerate() {
+            if is_acc {
+                acc.insert(q);
+            }
+        }
+        DenseDfa {
+            nsyms,
+            nstates,
+            start: u32::try_from(start).expect("DFA state id exceeds u32"),
+            table: flat.into_boxed_slice(),
+            accepting: acc,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.nstates
+    }
+
+    /// Number of alphabet symbols (the row width).
+    pub fn num_symbols(&self) -> usize {
+        self.nsyms
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start as StateId
+    }
+
+    /// The successor of `state` on `symbol`: one flat-array load.
+    #[inline]
+    pub fn step(&self, state: StateId, symbol: Symbol) -> StateId {
+        self.table[state * self.nsyms + symbol.index()] as StateId
+    }
+
+    /// The full successor row of `state`, one `u32` per symbol index.
+    ///
+    /// Hot loops (BFS searches, dead-state predecessor scans) iterate this
+    /// slice instead of re-indexing per symbol.
+    #[inline]
+    pub fn row(&self, state: StateId) -> &[u32] {
+        &self.table[state * self.nsyms..(state + 1) * self.nsyms]
+    }
+
+    /// Whether `state` accepts (bitset probe).
+    #[inline]
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting.contains(state)
+    }
+
+    /// The accepting states as a [`StateSet`] sized to this automaton.
+    pub fn accepting_set(&self) -> &StateSet {
+        &self.accepting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_rows_and_accepting_bits() {
+        // Two states over two symbols: 0 -a-> 1, 0 -b-> 0, 1 -*-> 1.
+        let table = vec![vec![1, 0], vec![1, 1]];
+        let dense = DenseDfa::from_table(2, &table, 0, &[false, true]);
+        assert_eq!(dense.num_states(), 2);
+        assert_eq!(dense.num_symbols(), 2);
+        assert_eq!(dense.start(), 0);
+        assert_eq!(dense.step(0, Symbol::from_index(0)), 1);
+        assert_eq!(dense.step(0, Symbol::from_index(1)), 0);
+        assert_eq!(dense.row(1), &[1, 1]);
+        assert!(!dense.is_accepting(0));
+        assert!(dense.is_accepting(1));
+        assert_eq!(dense.accepting_set().len(), 1);
+    }
+
+    #[test]
+    fn empty_alphabet_table() {
+        let dense = DenseDfa::from_table(0, &[vec![]], 0, &[true]);
+        assert_eq!(dense.num_states(), 1);
+        assert!(dense.row(0).is_empty());
+        assert!(dense.is_accepting(0));
+    }
+}

@@ -6,6 +6,7 @@
 //! equivalence.
 
 use crate::compiled::CompiledNfa;
+use crate::dense::DenseDfa;
 use crate::nfa::{Nfa, StateId};
 use crate::stateset::StateSet;
 use crate::symbol::{Alphabet, Symbol, Word};
@@ -35,12 +36,35 @@ use std::sync::Arc;
 pub struct Dfa {
     alphabet: Arc<Alphabet>,
     /// `table[q][s]` is the successor of state `q` on symbol index `s`.
+    ///
+    /// This nested table is the reference representation kept for the
+    /// differential suite; every hot operation reads `dense` instead.
     table: Vec<Vec<StateId>>,
     start: StateId,
     accepting: Vec<bool>,
+    /// Flat `states × symbols` mirror of `table` + accepting bitset, built
+    /// once at every construction boundary.
+    dense: DenseDfa,
 }
 
 impl Dfa {
+    /// Builds the dense mirror and assembles the automaton. Every
+    /// constructor funnels through here so `dense` can never go stale.
+    fn assemble(
+        alphabet: Arc<Alphabet>,
+        table: Vec<Vec<StateId>>,
+        start: StateId,
+        accepting: Vec<bool>,
+    ) -> Dfa {
+        let dense = DenseDfa::from_table(alphabet.len(), &table, start, &accepting);
+        Dfa {
+            alphabet,
+            table,
+            start,
+            accepting,
+            dense,
+        }
+    }
     /// Determinizes `nfa` by subset construction.
     ///
     /// Compiles the NFA's ε-closures and successor tables once, then runs
@@ -99,12 +123,7 @@ impl Dfa {
                 table[q][sym_idx] = dst;
             }
         }
-        Dfa {
-            alphabet,
-            table,
-            start: 0,
-            accepting,
-        }
+        Dfa::assemble(alphabet, table, 0, accepting)
     }
 
     /// Builds a DFA directly from parts (used by the minimizer and tests).
@@ -128,12 +147,7 @@ impl Dfa {
                 assert!(dst < n, "transition target out of range");
             }
         }
-        Dfa {
-            alphabet,
-            table,
-            start,
-            accepting,
-        }
+        Dfa::assemble(alphabet, table, start, accepting)
     }
 
     /// The automaton's alphabet.
@@ -156,20 +170,28 @@ impl Dfa {
         self.accepting[state]
     }
 
-    /// The successor of `state` on `symbol`.
+    /// The successor of `state` on `symbol` (one flat-table load).
+    #[inline]
     pub fn step(&self, state: StateId, symbol: Symbol) -> StateId {
+        self.dense.step(state, symbol)
+    }
+
+    /// The successor read from the nested reference table.
+    ///
+    /// Exists so the differential suite can pin the dense mirror against
+    /// the reference representation; everything else uses [`Dfa::step`].
+    pub fn step_reference(&self, state: StateId, symbol: Symbol) -> StateId {
         self.table[state][symbol.index()]
+    }
+
+    /// The dense flat-table engine backing this automaton's hot operations.
+    pub fn dense(&self) -> &DenseDfa {
+        &self.dense
     }
 
     /// The accepting states as a [`StateSet`] sized to this automaton.
     pub fn accepting_set(&self) -> StateSet {
-        let mut set = StateSet::new(self.num_states());
-        for (q, &acc) in self.accepting.iter().enumerate() {
-            if acc {
-                set.insert(q);
-            }
-        }
-        set
+        self.dense.accepting_set().clone()
     }
 
     /// The image of a state *set* under `symbol`: `{ δ(q, symbol) | q ∈ set }`.
@@ -197,11 +219,13 @@ impl Dfa {
 
     /// The complement automaton (accepting exactly the rejected words).
     pub fn complement(&self) -> Dfa {
-        let mut out = self.clone();
-        for acc in &mut out.accepting {
-            *acc = !*acc;
-        }
-        out
+        let accepting = self.accepting.iter().map(|&acc| !acc).collect();
+        Dfa::assemble(
+            self.alphabet.clone(),
+            self.table.clone(),
+            self.start,
+            accepting,
+        )
     }
 
     /// Product automaton accepting the intersection of both languages.
@@ -271,8 +295,9 @@ impl Dfa {
         let mut seen_len = 1usize;
         while let Some(q) = queue.pop_front() {
             let (qa, qb) = pairs[q];
+            let (row_a, row_b) = (self.dense.row(qa), other.dense.row(qb));
             for sym_idx in 0..nsyms {
-                let dst_pair = (self.table[qa][sym_idx], other.table[qb][sym_idx]);
+                let dst_pair = (row_a[sym_idx] as StateId, row_b[sym_idx] as StateId);
                 let dst = intern(dst_pair, &mut table, &mut accepting, &mut pairs, &mut index);
                 table[q][sym_idx] = dst;
                 if dst >= seen_len {
@@ -281,12 +306,7 @@ impl Dfa {
                 }
             }
         }
-        Dfa {
-            alphabet: self.alphabet.clone(),
-            table,
-            start,
-            accepting,
-        }
+        Dfa::assemble(self.alphabet.clone(), table, start, accepting)
     }
 
     /// Whether the language is empty.
@@ -311,8 +331,8 @@ impl Dfa {
                 word.reverse();
                 return Some(word);
             }
-            for sym_idx in 0..self.alphabet.len() {
-                let dst = self.table[q][sym_idx];
+            for (sym_idx, &dst) in self.dense.row(q).iter().enumerate() {
+                let dst = dst as StateId;
                 if !visited[dst] {
                     visited[dst] = true;
                     parent[dst] = Some((q, Symbol::from_index(sym_idx)));
@@ -341,8 +361,8 @@ impl Dfa {
                 word.reverse();
                 return Some(word);
             }
-            for sym_idx in 0..self.alphabet.len() {
-                let dst = self.table[q][sym_idx];
+            for (sym_idx, &dst) in self.dense.row(q).iter().enumerate() {
+                let dst = dst as StateId;
                 if !visited[dst] {
                     visited[dst] = true;
                     parent[dst] = Some((q, Symbol::from_index(sym_idx)));

@@ -74,12 +74,14 @@ impl Dfa {
 
     /// States from which no accepting state is reachable.
     pub fn dead_states(&self) -> Vec<bool> {
-        // Backwards reachability from accepting states.
+        // Backwards reachability from accepting states; the predecessor
+        // scan walks the dense successor rows, one contiguous slice per
+        // state.
         let n = self.num_states();
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
         for q in 0..n {
-            for sym in self.alphabet().symbols() {
-                preds[self.step(q, sym)].push(q);
+            for &dst in self.dense().row(q) {
+                preds[dst as usize].push(q);
             }
         }
         let mut live = vec![false; n];

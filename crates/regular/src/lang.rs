@@ -75,6 +75,19 @@ pub trait Lang {
     /// The unique successor of `state` on `symbol`.
     fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State;
 
+    /// Writes the successor of `state` on `symbol` into `out`, reusing
+    /// `out`'s storage where the representation allows.
+    ///
+    /// The default clones through [`step`](Lang::step). Views whose states
+    /// own heap storage ([`NfaView`]'s bitsets, products and complements
+    /// of such) override or forward it so the generic searches
+    /// ([`shortest_accepted`], [`materialize`], the antichain engine in
+    /// [`crate::antichain`]) allocate only when a genuinely new state must
+    /// be retained — the same discipline as [`CompiledNfa::step_into`].
+    fn step_into(&self, state: &Self::State, symbol: Symbol, out: &mut Self::State) {
+        *out = self.step(state, symbol);
+    }
+
     /// Whether `state` accepts.
     fn is_accepting(&self, state: &Self::State) -> bool;
 }
@@ -93,6 +106,10 @@ impl<L: Lang + ?Sized> Lang for &L {
 
     fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
         (**self).step(state, symbol)
+    }
+
+    fn step_into(&self, state: &Self::State, symbol: Symbol, out: &mut Self::State) {
+        (**self).step_into(state, symbol, out);
     }
 
     fn is_accepting(&self, state: &Self::State) -> bool {
@@ -175,6 +192,10 @@ impl Lang for NfaView<'_> {
 
     fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
         self.compiled.step(state, symbol)
+    }
+
+    fn step_into(&self, state: &Self::State, symbol: Symbol, out: &mut Self::State) {
+        self.compiled.step_into(state, symbol, out);
     }
 
     fn is_accepting(&self, state: &Self::State) -> bool {
@@ -305,6 +326,11 @@ impl<A: Lang, B: Lang> Lang for Product<A, B> {
         (self.a.step(&state.0, symbol), self.b.step(&state.1, symbol))
     }
 
+    fn step_into(&self, state: &Self::State, symbol: Symbol, out: &mut Self::State) {
+        self.a.step_into(&state.0, symbol, &mut out.0);
+        self.b.step_into(&state.1, symbol, &mut out.1);
+    }
+
     fn is_accepting(&self, state: &Self::State) -> bool {
         let (qa, qb) = (self.a.is_accepting(&state.0), self.b.is_accepting(&state.1));
         match self.op {
@@ -344,6 +370,10 @@ impl<L: Lang> Lang for Complement<L> {
 
     fn step(&self, state: &Self::State, symbol: Symbol) -> Self::State {
         self.inner.step(state, symbol)
+    }
+
+    fn step_into(&self, state: &Self::State, symbol: Symbol, out: &mut Self::State) {
+        self.inner.step_into(state, symbol, out);
     }
 
     fn is_accepting(&self, state: &Self::State) -> bool {
@@ -395,6 +425,14 @@ impl<L: Lang> Lang for EraseMarkers<L> {
         }
     }
 
+    fn step_into(&self, state: &Self::State, symbol: Symbol, out: &mut Self::State) {
+        if self.markers.contains(&symbol) {
+            out.clone_from(state);
+        } else {
+            self.inner.step_into(state, symbol, out);
+        }
+    }
+
     fn is_accepting(&self, state: &Self::State) -> bool {
         self.inner.is_accepting(state)
     }
@@ -441,6 +479,10 @@ pub fn shortest_accepted_counted<L: Lang>(lang: &L) -> (Option<Word>, usize) {
     states.push(start);
     parent.push(None);
     let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    // One scratch successor reused across every step: the search allocates
+    // only when a genuinely new state must be interned (see
+    // [`Lang::step_into`]).
+    let mut scratch = lang.start();
     while let Some(q) = queue.pop_front() {
         if lang.is_accepting(&states[q]) {
             let mut word = Vec::new();
@@ -454,11 +496,11 @@ pub fn shortest_accepted_counted<L: Lang>(lang: &L) -> (Option<Word>, usize) {
         }
         for sym_idx in 0..nsyms {
             let sym = Symbol::from_index(sym_idx);
-            let next = lang.step(&states[q], sym);
-            if !index.contains_key(&next) {
+            lang.step_into(&states[q], sym, &mut scratch);
+            if !index.contains_key(&scratch) {
                 let id = states.len();
-                index.insert(next.clone(), id);
-                states.push(next);
+                index.insert(scratch.clone(), id);
+                states.push(scratch.clone());
                 parent.push(Some((q, sym)));
                 queue.push_back(id);
             }
@@ -474,6 +516,12 @@ pub fn is_empty<L: Lang>(lang: &L) -> bool {
 
 /// Checks `L(a) ⊆ L(b)` lazily; on failure returns a shortest word in the
 /// difference (byte-identical to [`Dfa::subset_of`]'s witness).
+///
+/// This is the *classic* engine: it distinguishes every reachable product
+/// state, exponential when `b` is a blowing-up [`NfaView`]. The pruned
+/// engine in [`crate::antichain`] decides the same question while
+/// discarding ⊆-subsumed spec macrostates; this one stays as the
+/// differential oracle and the source of canonical shortlex witnesses.
 ///
 /// # Panics
 ///
@@ -511,17 +559,20 @@ pub fn materialize<L: Lang>(lang: &L) -> Dfa {
     table.push(vec![usize::MAX; nsyms]);
 
     let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    // Scratch successor reused across steps, as in
+    // [`shortest_accepted_counted`]: allocation happens only at interning.
+    let mut scratch = lang.start();
     while let Some(q) = queue.pop_front() {
         for sym_idx in 0..nsyms {
             let sym = Symbol::from_index(sym_idx);
-            let next = lang.step(&states[q], sym);
-            let dst = match index.get(&next) {
+            lang.step_into(&states[q], sym, &mut scratch);
+            let dst = match index.get(&scratch) {
                 Some(&d) => d,
                 None => {
                     let d = states.len();
-                    index.insert(next.clone(), d);
-                    accepting.push(lang.is_accepting(&next));
-                    states.push(next);
+                    index.insert(scratch.clone(), d);
+                    accepting.push(lang.is_accepting(&scratch));
+                    states.push(scratch.clone());
                     table.push(vec![usize::MAX; nsyms]);
                     queue.push_back(d);
                     d

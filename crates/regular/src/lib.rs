@@ -25,7 +25,11 @@
 //! * [`Dfa`] — complete DFAs with subset construction, boolean algebra,
 //!   inclusion/equivalence with shortest counterexamples,
 //!   [Hopcroft minimization](Dfa::minimize), shortlex
-//!   [word enumeration](Dfa::enumerate_words).
+//!   [word enumeration](Dfa::enumerate_words), each hot operation stepping
+//!   a flat [`DenseDfa`] transition table.
+//! * [`antichain`] — inclusion checking that prunes ⊆-subsumed spec
+//!   macrostates (De Wulf–Doyen–Henzinger–Raskin), the engine under the
+//!   verification hot path; the classic searches remain as oracles.
 //! * [`lang`] — lazy language views: a [`lang::Lang`] trait with on-the-fly
 //!   combinators (product, complement, marker erasure) and generic searches
 //!   that explore only reachable states, with
@@ -58,7 +62,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod antichain;
 mod compiled;
+mod dense;
 mod derivative;
 mod dfa;
 mod dot;
@@ -74,6 +80,7 @@ mod symbol;
 mod to_regex;
 
 pub use compiled::CompiledNfa;
+pub use dense::DenseDfa;
 pub use dfa::Dfa;
 pub use nfa::{Label, Nfa, NfaBuilder, StateId};
 pub use parser::{parse_regex, ParseRegexError};

@@ -460,3 +460,85 @@ proptest! {
         prop_assert!(dfa.equivalent(&d2).is_ok());
     }
 }
+
+proptest! {
+    /// The antichain inclusion engine and the classic product search give
+    /// the same verdict on every generated pair of languages, and when
+    /// both find a violation the antichain's witness is exactly as short
+    /// as the classic shortlex-minimal one and replays as a genuine
+    /// counterexample (accepted by the model, rejected by the spec).
+    #[test]
+    fn antichain_subset_matches_classic(r1 in arb_regex(), r2 in arb_regex()) {
+        use shelley_regular::lang::{self, NfaView};
+        use shelley_regular::antichain;
+        let ab = alphabet();
+        let n1 = Nfa::from_regex(&r1, ab.clone());
+        let n2 = Nfa::from_regex(&r2, ab);
+        let classic = lang::subset_of(&NfaView::new(&n1), &NfaView::new(&n2));
+        let pruned = antichain::subset_of(&NfaView::new(&n1), &NfaView::new(&n2));
+        match (classic, pruned) {
+            (Ok(()), Ok(())) => {}
+            (Err(c), Err(p)) => {
+                prop_assert_eq!(c.len(), p.len(), "witness lengths diverge");
+                prop_assert!(n1.accepts(&p), "witness not in the model");
+                prop_assert!(!n2.accepts(&p), "witness not outside the spec");
+            }
+            (c, p) => prop_assert!(false, "verdicts diverge: {:?} vs {:?}", c, p),
+        }
+    }
+
+    /// Marker-aware inclusion: the antichain joint search agrees with the
+    /// classic 0-1 BFS of `ops` on verdict and witness length, and its
+    /// witnesses replay — the model accepts the word, the spec rejects its
+    /// marker-erased projection.
+    #[test]
+    fn antichain_projected_matches_classic(
+        r1 in arb_regex(),
+        r2 in arb_regex(),
+        marker in 0..NSYMS
+    ) {
+        use shelley_regular::lang::NfaView;
+        use shelley_regular::{antichain, ops};
+        use std::collections::BTreeSet;
+        let ab = alphabet();
+        let model = Nfa::from_regex(&r1, ab.clone());
+        let spec = Nfa::from_regex(&r2, ab);
+        let markers = BTreeSet::from([Symbol::from_index(marker)]);
+        let classic = ops::projected_subset(&model, &NfaView::new(&spec), &markers);
+        let pruned = antichain::projected_subset(&model, &NfaView::new(&spec), &markers);
+        match (classic, pruned) {
+            (Ok(()), Ok(())) => {}
+            (Err(c), Err(p)) => {
+                prop_assert_eq!(c.len(), p.len(), "witness lengths diverge");
+                prop_assert!(model.accepts(&p), "witness not in the model");
+                let stripped: Vec<Symbol> =
+                    p.iter().copied().filter(|s| !markers.contains(s)).collect();
+                prop_assert!(!spec.accepts(&stripped), "projection not outside the spec");
+            }
+            (c, p) => prop_assert!(false, "verdicts diverge: {:?} vs {:?}", c, p),
+        }
+    }
+
+    /// The dense transition table embedded in every [`Dfa`] is a faithful
+    /// mirror of the nested reference table, on the raw subset-construction
+    /// automaton and on its minimized form alike: same stepping on every
+    /// (state, symbol) pair, same acceptance bits, same start state.
+    #[test]
+    fn dense_table_matches_reference_table(r in arb_regex(), w in arb_word()) {
+        let ab = alphabet();
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&r, ab.clone()));
+        for d in [&dfa, &dfa.minimize()] {
+            let dense = d.dense();
+            prop_assert_eq!(dense.num_states(), d.num_states());
+            prop_assert_eq!(dense.start(), d.start());
+            for q in 0..d.num_states() {
+                prop_assert_eq!(dense.is_accepting(q), d.is_accepting(q));
+                for s in ab.symbols() {
+                    prop_assert_eq!(d.step(q, s), d.step_reference(q, s));
+                    prop_assert_eq!(dense.step(q, s), d.step_reference(q, s));
+                }
+            }
+        }
+        prop_assert_eq!(dfa.accepts(&w), r.matches(&w));
+    }
+}

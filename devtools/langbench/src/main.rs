@@ -10,9 +10,10 @@
 //! * `BENCH_perf.json` — the bitset-vs-`BTreeSet` state-engine trajectory:
 //!   subset construction and exhaustive joint BFS on an exponential-DFA
 //!   family, each timed on the `StateSet`/`CompiledNfa` engine and the
-//!   retained reference engine, plus Hopcroft-vs-Moore minimization. Each
-//!   row records size, wall-ns, states visited, and peak subset size so
-//!   later PRs can prove regressions or improvements against it.
+//!   retained reference engine, plus the antichain-vs-classic inclusion
+//!   engines and Hopcroft-vs-Moore minimization. Each row records size,
+//!   wall-ns, states visited, and peak subset size so later PRs can prove
+//!   regressions or improvements against it.
 //! * `BENCH_sym.json` — the symbolic-vs-explicit claim-backend
 //!   separation: the same `∧ F aᵢ` claim family, but against the model
 //!   `Σⁿ`, whose reachable product frontier is genuinely exponential —
@@ -27,6 +28,7 @@ use shelley_bench::adversarial_claim;
 use shelley_core::system::build_systems;
 use shelley_core::{analyze_class, Checker};
 use shelley_ltlf::{check_claim, to_dfa, Formula, MonitorView};
+use shelley_regular::antichain;
 use shelley_regular::lang::{self, Complement, Lang, NfaView, NfaViewRef};
 use shelley_regular::{ops, Alphabet, Dfa, Nfa, Regex, Symbol};
 use shelley_symbolic::check_claim_counted;
@@ -454,6 +456,35 @@ fn measure_joint(n: usize) -> PerfRow {
     }
 }
 
+/// Antichain-pruned inclusion vs the classic exhaustive joint search on
+/// the same included-model family. Inclusion holds, so the classic engine
+/// drains the exponential reachable product while the antichain engine
+/// keeps a ⊆-minimal frontier that grows only linearly in `n`; `visited`
+/// records the pairs the antichain discarded and `peak_subset` the pairs
+/// it kept.
+fn measure_inclusion(n: usize) -> PerfRow {
+    let (ab, spec) = exponential_nfa(n);
+    let model = included_model(n, ab);
+    let markers = BTreeSet::new();
+    let (verdict, stats) =
+        antichain::projected_subset_counted(&model, &NfaView::new(&spec), &markers);
+    assert!(verdict.is_ok(), "model must be included in spec");
+    let reps = reps_for(n);
+    let fast_ns = time(reps, || {
+        antichain::projected_subset(&model, &NfaView::new(&spec), &markers).is_ok()
+    });
+    let slow_ns = time(reps, || {
+        ops::projected_subset(&model, &NfaView::new(&spec), &markers).is_ok()
+    });
+    PerfRow {
+        n,
+        visited: stats.pruned,
+        peak_subset: stats.frontier,
+        fast_ns,
+        slow_ns,
+    }
+}
+
 /// Hopcroft vs the naive Moore baseline on the 2^n-state DFA.
 fn measure_minimize(n: usize) -> PerfRow {
     let (_, nfa) = exponential_nfa(n);
@@ -618,6 +649,7 @@ fn perf_report() -> (String, bool) {
     let sweep = [4usize, 6, 8, 10, 12];
     let subset: Vec<PerfRow> = sweep.iter().map(|&n| measure_subset(n)).collect();
     let joint: Vec<PerfRow> = sweep.iter().map(|&n| measure_joint(n)).collect();
+    let inclusion: Vec<PerfRow> = sweep.iter().map(|&n| measure_inclusion(n)).collect();
     let minimize: Vec<PerfRow> = [4usize, 6, 8, 10, 12]
         .iter()
         .map(|&n| measure_minimize(n))
@@ -652,6 +684,20 @@ fn perf_report() -> (String, bool) {
         "reference_ns",
     );
     json.push_str("    ]\n  },\n");
+    json.push_str("  \"inclusion\": {\n");
+    json.push_str(
+        "    \"workload\": \"antichain-pruned inclusion vs classic exhaustive joint search, same included-model family\",\n",
+    );
+    json.push_str("    \"rows\": [\n");
+    write_rows(
+        &mut json,
+        &inclusion,
+        "inclusion_antichain_pruned",
+        "inclusion_antichain_frontier",
+        "inclusion_antichain_ns",
+        "inclusion_classic_ns",
+    );
+    json.push_str("    ]\n  },\n");
     json.push_str("  \"minimization\": {\n");
     json.push_str("    \"rows\": [\n");
     write_rows(
@@ -682,9 +728,10 @@ fn perf_report() -> (String, bool) {
     json.push_str("    ]\n  },\n");
 
     // The acceptance gates: at n ≥ 10 the bitset engine wins subset
-    // construction and the exhaustive joint BFS by ≥ 2×, Hopcroft never
-    // loses to the Moore baseline, and the typestate fast path proves a
-    // positive share of the synthetic workspace.
+    // construction and the exhaustive joint BFS by ≥ 2×, the antichain
+    // engine wins inclusion by ≥ 2× over the classic search, Hopcroft
+    // never loses to the Moore baseline, and the typestate fast path
+    // proves a positive share of the synthetic workspace.
     let gate_rows = |rows: &[PerfRow]| {
         rows.iter()
             .filter(|r| r.n >= 10)
@@ -692,6 +739,7 @@ fn perf_report() -> (String, bool) {
     };
     let gate_subset = gate_rows(&subset);
     let gate_joint = gate_rows(&joint);
+    let gate_inclusion = gate_rows(&inclusion);
     let gate_hopcroft = minimize
         .iter()
         .filter(|r| r.n >= 10)
@@ -701,13 +749,14 @@ fn perf_report() -> (String, bool) {
         json,
         "  \"gate\": {{\"n\": 10, \"subset_bitset_at_least_2x\": {gate_subset}, \
          \"joint_bitset_at_least_2x\": {gate_joint}, \
+         \"inclusion_antichain_at_least_2x\": {gate_inclusion}, \
          \"hopcroft_at_least_moore\": {gate_hopcroft}, \
          \"dataflow_skip_rate_positive\": {gate_dataflow}}}"
     );
     json.push_str("}\n");
     (
         json,
-        gate_subset && gate_joint && gate_hopcroft && gate_dataflow,
+        gate_subset && gate_joint && gate_inclusion && gate_hopcroft && gate_dataflow,
     )
 }
 
